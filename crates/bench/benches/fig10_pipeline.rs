@@ -1,0 +1,79 @@
+//! Criterion version of Figure 10 (reduced scale): separate jobs with a
+//! file handoff vs the integrated DataFrame pipeline.
+
+use bench::textgen;
+use catalyst::value::Value;
+use catalyst::Row;
+use catalyst::{DataType, Schema, StructField};
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::hdfs::FileStore;
+use engine::PairRdd;
+use spark_sql::{DataFrame, SQLContext};
+use std::sync::Arc;
+
+const MESSAGES: usize = 100_000;
+const PARTITIONS: usize = 8;
+
+fn corpus(ctx: &SQLContext) -> DataFrame {
+    let msgs = Arc::new(textgen::messages(MESSAGES, 0.9, 0xF16));
+    let schema = Arc::new(Schema::new(vec![StructField::new("text", DataType::String, false)]));
+    let sc = ctx.spark_context().clone();
+    let per = MESSAGES.div_ceil(PARTITIONS);
+    let rdd = sc.generate(PARTITIONS, move |p| {
+        let msgs = msgs.clone();
+        let lo = p * per;
+        let hi = ((p + 1) * per).min(msgs.len());
+        Box::new((lo..hi).map(move |i| Row::new(vec![Value::str(&msgs[i])])))
+    });
+    ctx.dataframe_from_rdd("messages", schema, rdd).unwrap()
+}
+
+fn word_count(lines: &engine::RddRef<String>) -> u64 {
+    lines
+        .flat_map(|line: String| {
+            line.split_whitespace().map(|w| (w.to_string(), 1u64)).collect::<Vec<_>>()
+        })
+        .reduce_by_key(|a, b| a + b, PARTITIONS)
+        .count()
+}
+
+fn bench(c: &mut Criterion) {
+    let ctx = SQLContext::new_local(4);
+    ctx.set_conf(|cfg| cfg.shuffle_partitions = PARTITIONS);
+    corpus(&ctx).register_temp_table("messages");
+    let sc = ctx.spark_context().clone();
+
+    let mut group = c.benchmark_group("fig10_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("separate_jobs_with_file_handoff", |b| {
+        b.iter(|| {
+            let fs = FileStore::temp("fig10bench").unwrap();
+            let filtered = ctx
+                .sql("SELECT text FROM messages WHERE text LIKE '%data%'")
+                .unwrap()
+                .to_rdd()
+                .unwrap()
+                .map(|row: Row| row.get_str(0).to_string());
+            fs.save_text(&sc, &filtered, "filtered").unwrap();
+            let lines = fs.read_text(&sc, "filtered").unwrap();
+            word_count(&lines)
+        })
+    });
+
+    group.bench_function("integrated_dataframe_pipeline", |b| {
+        b.iter(|| {
+            let filtered = ctx
+                .sql("SELECT text FROM messages WHERE text LIKE '%data%'")
+                .unwrap()
+                .to_rdd()
+                .unwrap()
+                .map(|row: Row| row.get_str(0).to_string());
+            word_count(&filtered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion version of Figure 4: per-evaluation cost of x+x+x under the
+//! interpreter, the compiled evaluator, and hand-written code.
+
+use catalyst::codegen;
+use catalyst::expr::Expr;
+use catalyst::interpreter;
+use catalyst::row::Row;
+use catalyst::types::DataType;
+use catalyst::value::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn x() -> Expr {
+    Expr::BoundRef { index: 0, dtype: DataType::Long, nullable: false, name: "x".into() }
+}
+
+fn bench(c: &mut Criterion) {
+    let expr = x().add(x()).add(x());
+    let row = Row::new(vec![Value::Long(37)]);
+    let mut group = c.benchmark_group("fig4_x_plus_x_plus_x");
+
+    group.bench_function("interpreted", |b| {
+        b.iter(|| interpreter::eval(black_box(&expr), black_box(&row)).unwrap())
+    });
+
+    let compiled = codegen::compile(&expr);
+    let codegen::Compiled::Long(f) = &compiled else { panic!() };
+    group.bench_function("generated", |b| b.iter(|| f(black_box(&row))));
+
+    group.bench_function("hand_written", |b| {
+        b.iter(|| {
+            let r = black_box(&row);
+            let x = match black_box(r.get(0)) {
+                Value::Long(v) => *v,
+                _ => 0,
+            };
+            x + x + x
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

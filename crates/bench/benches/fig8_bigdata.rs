@@ -1,0 +1,36 @@
+//! Criterion version of Figure 8 (reduced scale): the AMPLab queries
+//! under the Shark-like and full Spark SQL configurations plus the
+//! hand-written native baseline.
+
+use bench::amplab::{self, native, AmplabScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let scale = AmplabScale { pages: 20_000, visits: 50_000, documents: 5_000 };
+    let data = amplab::generate(scale);
+    let shark = amplab::make_context(&data, spark_sql::SqlConf::shark_like(), 4);
+    let sparksql = amplab::make_context(&data, spark_sql::SqlConf::default(), 4);
+
+    let mut group = c.benchmark_group("fig8_amplab");
+    group.sample_size(10);
+    for q in ["1b", "2a", "3c"] {
+        let text = amplab::query(q);
+        group.bench_with_input(BenchmarkId::new("shark", q), &text, |b, text| {
+            b.iter(|| shark.sql(text).unwrap().count().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sparksql", q), &text, |b, text| {
+            b.iter(|| sparksql.sql(text).unwrap().count().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native", q), &q, |b, q| {
+            b.iter(|| match *q {
+                "1b" => native::query1(&data, 1000, 4),
+                "2a" => native::query2(&data, 6, 4),
+                _ => native::query3(&data, "2010-01-01", 4).0.len(),
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

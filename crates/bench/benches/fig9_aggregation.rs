@@ -1,0 +1,83 @@
+//! Criterion version of Figure 9 (reduced scale): dynamic RDD vs typed
+//! RDD vs DataFrame aggregation.
+
+use bench::dynvalue::DynValue;
+use catalyst::value::Value;
+use catalyst::Row;
+use catalyst::{DataType, Schema, StructField};
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{PairRdd, SparkContext};
+use spark_sql::SQLContext;
+use std::sync::Arc;
+
+const PAIRS: usize = 400_000;
+const DISTINCT: i64 = 10_000;
+const PARTITIONS: usize = 8;
+
+fn gen_pair(i: usize) -> (i64, f64) {
+    let mut z = (i as u64).wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    ((z % DISTINCT as u64) as i64, (z >> 16) as f64 / 1e4)
+}
+
+fn bench(c: &mut Criterion) {
+    let sc = SparkContext::new(4);
+    let ctx = SQLContext::new_local(4);
+    ctx.set_conf(|cfg| cfg.shuffle_partitions = PARTITIONS);
+    let per = PAIRS / PARTITIONS;
+
+    let mut group = c.benchmark_group("fig9_aggregation");
+    group.sample_size(10);
+
+    group.bench_function("rdd_dynamic_python", |b| {
+        b.iter(|| {
+            let data = sc.generate(PARTITIONS, move |p| {
+                Box::new((p * per..(p + 1) * per).map(|i| {
+                    let (a, bb) = gen_pair(i);
+                    DynValue::record(vec![("a", DynValue::Int(a)), ("b", DynValue::Float(bb))])
+                }))
+            });
+            data.map(|x| {
+                (x.attr("a"), DynValue::tuple(vec![x.attr("b"), DynValue::Int(1)]))
+            })
+            .reduce_by_key(
+                |x, y| DynValue::tuple(vec![x.item(0).add(&y.item(0)), x.item(1).add(&y.item(1))]),
+                PARTITIONS,
+            )
+            .count()
+        })
+    });
+
+    group.bench_function("rdd_typed", |b| {
+        b.iter(|| {
+            let data = sc.generate(PARTITIONS, move |p| {
+                Box::new((p * per..(p + 1) * per).map(gen_pair))
+            });
+            data.map(|(a, bb)| (a, (bb, 1i64)))
+                .reduce_by_key(|x, y| (x.0 + y.0, x.1 + y.1), PARTITIONS)
+                .count()
+        })
+    });
+
+    group.bench_function("dataframe", |b| {
+        let schema = Arc::new(Schema::new(vec![
+            StructField::new("a", DataType::Long, false),
+            StructField::new("b", DataType::Double, false),
+        ]));
+        b.iter(|| {
+            let sc2 = ctx.spark_context().clone();
+            let rdd = sc2.generate(PARTITIONS, move |p| {
+                Box::new((p * per..(p + 1) * per).map(|i| {
+                    let (a, bb) = gen_pair(i);
+                    Row::new(vec![Value::Long(a), Value::Double(bb)])
+                }))
+            });
+            let df = ctx.dataframe_from_rdd("pairs", schema.clone(), rdd).unwrap();
+            df.group_by_cols(&["a"]).avg("b").unwrap().count().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

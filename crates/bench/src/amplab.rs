@@ -1,0 +1,368 @@
+//! The AMPLab big data benchmark workload (§6.1): Pavlo et al.'s web
+//! analytics schema, its data generator, and the three Spark SQL
+//! configurations Figure 8 compares (plus the hand-written "Impala-like"
+//! native implementations).
+
+use catalyst::value::{parse_date, Value};
+use catalyst::Row;
+use catalyst::{DataType, Schema, StructField};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spark_sql::{SQLContext, SqlConf};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Generated benchmark dataset (typed columns retained so the native
+/// baseline can run over raw vectors, like a C++ engine would).
+pub struct AmplabData {
+    /// rankings: (pageURL, pageRank, avgDuration).
+    pub rankings: Vec<(String, i32, i32)>,
+    /// uservisits: (sourceIP, destURL, visitDate-days, adRevenue).
+    pub uservisits: Vec<(String, String, i32, f64)>,
+    /// documents for query 4: free text with embedded URLs.
+    pub documents: Vec<String>,
+}
+
+/// Scale configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AmplabScale {
+    /// Number of ranked pages.
+    pub pages: usize,
+    /// Number of user visits.
+    pub visits: usize,
+    /// Number of documents (query 4).
+    pub documents: usize,
+}
+
+impl Default for AmplabScale {
+    fn default() -> Self {
+        AmplabScale { pages: 100_000, visits: 300_000, documents: 20_000 }
+    }
+}
+
+/// Deterministically generate the dataset.
+pub fn generate(scale: AmplabScale) -> AmplabData {
+    let mut rng = StdRng::seed_from_u64(0xA3B1);
+    let rankings: Vec<(String, i32, i32)> = (0..scale.pages)
+        .map(|i| {
+            // Zipf-ish ranks: many small, few large.
+            let r = rng.random_range(0.0f64..1.0);
+            let rank = (10_000.0 * r * r * r) as i32;
+            (format!("url{i}"), rank, rng.random_range(1..100))
+        })
+        .collect();
+    let epoch_1980 = parse_date("1980-01-01").unwrap();
+    let epoch_2010 = parse_date("2010-01-01").unwrap();
+    let uservisits: Vec<(String, String, i32, f64)> = (0..scale.visits)
+        .map(|_| {
+            (
+                format!(
+                    "{}.{}.{}.{}",
+                    rng.random_range(1..240),
+                    rng.random_range(0..256),
+                    rng.random_range(0..256),
+                    rng.random_range(0..256)
+                ),
+                format!("url{}", rng.random_range(0..scale.pages)),
+                rng.random_range(epoch_1980..epoch_2010),
+                rng.random_range(0.0..1000.0),
+            )
+        })
+        .collect();
+    let words = ["the", "quick", "brown", "fox", "data", "spark", "query", "web"];
+    let documents: Vec<String> = (0..scale.documents)
+        .map(|i| {
+            let mut doc = String::new();
+            for _ in 0..rng.random_range(5..20) {
+                doc.push_str(words[rng.random_range(0..words.len())]);
+                doc.push(' ');
+            }
+            doc.push_str(&format!("http://site{}.com/page{} ", i % 97, i % 13));
+            doc
+        })
+        .collect();
+    AmplabData { rankings, uservisits, documents }
+}
+
+/// Register the dataset as tables in a context configured per `conf`.
+pub fn make_context(data: &AmplabData, conf: SqlConf, threads: usize) -> SQLContext {
+    let ctx = SQLContext::new_local(threads);
+    ctx.set_conf(|c| *c = conf);
+
+    let rankings_schema = Arc::new(Schema::new(vec![
+        StructField::new("pageURL", DataType::String, false),
+        StructField::new("pageRank", DataType::Int, false),
+        StructField::new("avgDuration", DataType::Int, false),
+    ]));
+    let rankings_rows: Vec<Row> = data
+        .rankings
+        .iter()
+        .map(|(u, r, d)| Row::new(vec![Value::str(u), Value::Int(*r), Value::Int(*d)]))
+        .collect();
+    ctx.register_rows("rankings", rankings_schema, rankings_rows).unwrap();
+
+    let visits_schema = Arc::new(Schema::new(vec![
+        StructField::new("sourceIP", DataType::String, false),
+        StructField::new("destURL", DataType::String, false),
+        StructField::new("visitDate", DataType::Date, false),
+        StructField::new("adRevenue", DataType::Double, false),
+    ]));
+    let visits_rows: Vec<Row> = data
+        .uservisits
+        .iter()
+        .map(|(ip, url, d, rev)| {
+            Row::new(vec![
+                Value::str(ip),
+                Value::str(url),
+                Value::Date(*d),
+                Value::Double(*rev),
+            ])
+        })
+        .collect();
+    ctx.register_rows("uservisits", visits_schema, visits_rows).unwrap();
+
+    let docs_schema =
+        Arc::new(Schema::new(vec![StructField::new("text", DataType::String, false)]));
+    let docs_rows: Vec<Row> =
+        data.documents.iter().map(|d| Row::new(vec![Value::str(d)])).collect();
+    ctx.register_rows("documents", docs_schema, docs_rows).unwrap();
+    ctx
+}
+
+/// The benchmark queries with their selectivity variants.
+pub fn query(name: &str) -> String {
+    match name {
+        // Query 1: scan + filter, a (most selective) → c (least).
+        "1a" => "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 9000".into(),
+        "1b" => "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 1000".into(),
+        "1c" => "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100".into(),
+        // Query 2: aggregation on a computed key; prefix length varies.
+        "2a" | "2b" | "2c" => {
+            let x = match name {
+                "2a" => 6,
+                "2b" => 9,
+                _ => 12,
+            };
+            format!(
+                "SELECT substr(sourceIP, 1, {x}) AS prefix, sum(adRevenue) AS rev \
+                 FROM uservisits GROUP BY substr(sourceIP, 1, {x})"
+            )
+        }
+        // Query 3: join + aggregation + top-1; date range varies.
+        "3a" | "3b" | "3c" => {
+            let hi = match name {
+                "3a" => "1980-04-01",
+                "3b" => "1983-01-01",
+                _ => "2010-01-01",
+            };
+            format!(
+                "SELECT sourceIP, totalRevenue, avgPageRank FROM \
+                   (SELECT sourceIP, avg(pageRank) AS avgPageRank, \
+                           sum(adRevenue) AS totalRevenue \
+                    FROM rankings, uservisits \
+                    WHERE pageURL = destURL \
+                      AND visitDate BETWEEN DATE '1980-01-01' AND DATE '{hi}' \
+                    GROUP BY sourceIP) t \
+                 ORDER BY totalRevenue DESC LIMIT 1"
+            )
+        }
+        other => panic!("unknown query {other}"),
+    }
+}
+
+/// Run query 4 (the UDF/MapReduce-style job): extract URLs from documents
+/// with a UDF, count occurrences — mixing SQL with a procedural word
+/// count, as the original benchmark's external-script query does.
+pub fn run_query4(ctx: &SQLContext) -> u64 {
+    ctx.register_udf("extract_url", DataType::String, |args| {
+        let text = args[0].as_str().unwrap_or("");
+        Ok(text
+            .split_whitespace()
+            .find(|w| w.starts_with("http://"))
+            .map(Value::str)
+            .unwrap_or(Value::Null))
+    });
+    let df = ctx
+        .sql(
+            "SELECT extract_url(text) AS url, count(*) AS cnt FROM documents \
+             WHERE extract_url(text) IS NOT NULL GROUP BY extract_url(text)",
+        )
+        .unwrap();
+    df.count().unwrap()
+}
+
+/// Hand-written "Impala-like" native implementations over raw typed
+/// columns, multithreaded with scoped threads — the compiled-engine
+/// ceiling Figure 8 compares against.
+pub mod native {
+    use super::*;
+
+    fn chunked<T: Sync, R: Send>(
+        data: &[T],
+        threads: usize,
+        f: impl Fn(&[T]) -> R + Sync,
+    ) -> Vec<R> {
+        let chunk = data.len().div_ceil(threads.max(1));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(chunk.max(1))
+                .map(|c| s.spawn(|| f(c)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    /// Query 1: count + materialize matching (url, rank) pairs.
+    pub fn query1(data: &AmplabData, threshold: i32, threads: usize) -> usize {
+        chunked(&data.rankings, threads, |chunk| {
+            chunk
+                .iter()
+                .filter(|(_, rank, _)| *rank > threshold)
+                .map(|(url, rank, _)| (url.clone(), *rank))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .map(|v| v.len())
+        .sum()
+    }
+
+    /// Query 2: revenue by IP prefix.
+    pub fn query2(data: &AmplabData, prefix: usize, threads: usize) -> usize {
+        let partials = chunked(&data.uservisits, threads, |chunk| {
+            let mut m: HashMap<&str, f64> = HashMap::new();
+            for (ip, _, _, rev) in chunk {
+                let p = &ip[..prefix.min(ip.len())];
+                *m.entry(p).or_insert(0.0) += rev;
+            }
+            m.into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect::<Vec<_>>()
+        });
+        let mut total: HashMap<String, f64> = HashMap::new();
+        for p in partials {
+            for (k, v) in p {
+                *total.entry(k).or_insert(0.0) += v;
+            }
+        }
+        total.len()
+    }
+
+    /// Query 3: hash join + aggregate + top-1.
+    pub fn query3(data: &AmplabData, hi_date: &str, threads: usize) -> (String, f64) {
+        let hi = parse_date(hi_date).unwrap();
+        let lo = parse_date("1980-01-01").unwrap();
+        // Build phase (like the hash join build side).
+        let ranks: HashMap<&str, i32> =
+            data.rankings.iter().map(|(u, r, _)| (u.as_str(), *r)).collect();
+        let partials = chunked(&data.uservisits, threads, |chunk| {
+            let mut m: HashMap<&str, (f64, i64, i64)> = HashMap::new();
+            for (ip, url, date, rev) in chunk {
+                if *date < lo || *date > hi {
+                    continue;
+                }
+                if let Some(rank) = ranks.get(url.as_str()) {
+                    let e = m.entry(ip.as_str()).or_insert((0.0, 0, 0));
+                    e.0 += rev;
+                    e.1 += *rank as i64;
+                    e.2 += 1;
+                }
+            }
+            m.into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect::<Vec<_>>()
+        });
+        let mut total: HashMap<String, (f64, i64, i64)> = HashMap::new();
+        for p in partials {
+            for (k, (rev, ranks, n)) in p {
+                let e = total.entry(k).or_insert((0.0, 0, 0));
+                e.0 += rev;
+                e.1 += ranks;
+                e.2 += n;
+            }
+        }
+        total
+            .into_iter()
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .map(|(ip, (rev, _, _))| (ip, rev))
+            .unwrap_or_default()
+    }
+
+    /// Query 4: URL extraction + counting.
+    pub fn query4(data: &AmplabData, threads: usize) -> usize {
+        let partials = chunked(&data.documents, threads, |chunk| {
+            let mut m: HashMap<&str, i64> = HashMap::new();
+            for doc in chunk {
+                if let Some(url) = doc.split_whitespace().find(|w| w.starts_with("http://")) {
+                    *m.entry(url).or_insert(0) += 1;
+                }
+            }
+            m.into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect::<Vec<_>>()
+        });
+        let mut total: HashMap<String, i64> = HashMap::new();
+        for p in partials {
+            for (k, v) in p {
+                *total.entry(k).or_insert(0) += v;
+            }
+        }
+        total.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AmplabData {
+        generate(AmplabScale { pages: 2000, visits: 5000, documents: 500 })
+    }
+
+    #[test]
+    fn sql_and_native_agree_on_query1() {
+        let data = tiny();
+        let ctx = make_context(&data, SqlConf::default(), 2);
+        for (q, threshold) in [("1a", 9000), ("1b", 1000), ("1c", 100)] {
+            let sql_count = ctx.sql(&query(q)).unwrap().count().unwrap() as usize;
+            let native_count = native::query1(&data, threshold, 2);
+            assert_eq!(sql_count, native_count, "query {q}");
+        }
+    }
+
+    #[test]
+    fn sql_and_native_agree_on_query2() {
+        let data = tiny();
+        let ctx = make_context(&data, SqlConf::default(), 2);
+        let sql_groups = ctx.sql(&query("2a")).unwrap().count().unwrap() as usize;
+        assert_eq!(sql_groups, native::query2(&data, 6, 2));
+    }
+
+    #[test]
+    fn sql_and_native_agree_on_query3() {
+        let data = tiny();
+        let ctx = make_context(&data, SqlConf::default(), 2);
+        let rows = ctx.sql(&query("3c")).unwrap().collect().unwrap();
+        let (ip, rev) = native::query3(&data, "2010-01-01", 2);
+        assert_eq!(rows[0].get_str(0), ip);
+        assert!((rows[0].get_double(1) - rev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sql_and_native_agree_on_query4() {
+        let data = tiny();
+        let ctx = make_context(&data, SqlConf::default(), 2);
+        assert_eq!(run_query4(&ctx) as usize, native::query4(&data, 2));
+    }
+
+    #[test]
+    fn shark_config_matches_default_results() {
+        let data = tiny();
+        let fast = make_context(&data, SqlConf::default(), 2);
+        let slow = make_context(&data, SqlConf::shark_like(), 2);
+        for q in ["1b", "2a", "3c"] {
+            let a = fast.sql(&query(q)).unwrap().count().unwrap();
+            let b = slow.sql(&query(q)).unwrap().count().unwrap();
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+}

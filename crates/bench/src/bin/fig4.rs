@@ -1,0 +1,95 @@
+//! Figure 4: "A comparison of the performance evaluating the expression
+//! x+x+x, where x is an integer, 1 billion times."
+//!
+//! The paper's bars: Intepreted ≈ 40s, Hand-written ≈ 9.36s, Generated ≈
+//! 9.52s — i.e. code generation removes nearly all interpretation
+//! overhead and lands within a few percent of hand-written code. We
+//! evaluate the same expression with the tree-walking interpreter, the
+//! compiled ("code-generated") evaluator, and a hand-written loop, and
+//! report per-evaluation cost and projected time for 10⁹ evaluations.
+//!
+//! Run with: `cargo run --release -p bench --bin fig4`
+
+use bench::time;
+use catalyst::codegen;
+use catalyst::expr::Expr;
+use catalyst::interpreter;
+use catalyst::row::Row;
+use catalyst::types::DataType;
+use catalyst::value::Value;
+
+const N: usize = 20_000_000;
+
+fn x() -> Expr {
+    Expr::BoundRef { index: 0, dtype: DataType::Long, nullable: false, name: "x".into() }
+}
+
+fn main() {
+    let expr = x().add(x()).add(x());
+    let row = Row::new(vec![Value::Long(37)]);
+    println!("Figure 4: evaluating x+x+x, {N} times per variant\n");
+
+    // Interpreted: walk the tree per evaluation (branches + dispatch +
+    // boxed intermediates).
+    let (sum_i, interpreted) = time(|| {
+        let mut sum = 0i64;
+        for _ in 0..N {
+            if let Value::Long(v) = interpreter::eval(&expr, &row).expect("eval") {
+                sum = sum.wrapping_add(v);
+            }
+        }
+        sum
+    });
+
+    // Compiled ("code generation"): one fused closure, unboxed i64s.
+    let compiled = codegen::compile(&expr);
+    let catalyst::codegen::Compiled::Long(f) = &compiled else {
+        panic!("expected Long-typed compilation");
+    };
+    let (sum_c, generated) = time(|| {
+        let mut sum = 0i64;
+        for _ in 0..N {
+            sum = sum.wrapping_add(f(&row).unwrap_or(0));
+        }
+        sum
+    });
+
+    // Hand-written: what a programmer would write directly — reading x
+    // from the row each evaluation, like both engine variants must.
+    let (sum_h, hand) = time(|| {
+        let mut sum = 0i64;
+        for _ in 0..N {
+            let r = std::hint::black_box(&row);
+            let x = match std::hint::black_box(r.get(0)) {
+                Value::Long(v) => *v,
+                _ => 0,
+            };
+            sum = sum.wrapping_add(x + x + x);
+        }
+        sum
+    });
+
+    assert_eq!(sum_i, sum_c);
+    assert_eq!(sum_c, sum_h);
+
+    let per = |d: std::time::Duration| d.as_secs_f64() * 1e9 / N as f64;
+    let billion = |d: std::time::Duration| d.as_secs_f64() * (1e9 / N as f64);
+    println!("{:<14} {:>12} {:>16} {:>18}", "variant", "ns/eval", "total (this N)", "projected 1e9 (s)");
+    for (name, d) in [("interpreted", interpreted), ("hand-written", hand), ("generated", generated)] {
+        println!(
+            "{:<14} {:>12.2} {:>14.0}ms {:>18.2}",
+            name,
+            per(d),
+            d.as_secs_f64() * 1e3,
+            billion(d)
+        );
+    }
+    println!(
+        "\ninterpreted / generated = {:.1}x (paper: ~4.2x)",
+        interpreted.as_secs_f64() / generated.as_secs_f64()
+    );
+    println!(
+        "generated / hand-written = {:.2}x (paper: ~1.02x)",
+        generated.as_secs_f64() / hand.as_secs_f64()
+    );
+}

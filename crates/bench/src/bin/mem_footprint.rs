@@ -1,0 +1,60 @@
+//! §3.6's claim: "the columnar cache can reduce memory footprint by an
+//! order of magnitude" compared with storing rows as (boxed) objects,
+//! because it applies dictionary and run-length encoding.
+//!
+//! Run with: `cargo run --release -p bench --bin mem_footprint`
+
+use catalyst::value::Value;
+use catalyst::Row;
+use catalyst::{DataType, Schema, StructField};
+use columnar::{batch_rows, memory};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+const ROWS: usize = 1_000_000;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x3B6);
+    // A typical analytics table: low-cardinality strings, slowly-changing
+    // ints, flags, plus one high-entropy metric column.
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("country", DataType::String, false),
+        StructField::new("day", DataType::Int, false),
+        StructField::new("active", DataType::Boolean, false),
+        StructField::new("metric", DataType::Double, false),
+    ]));
+    let countries = ["US", "DE", "JP", "BR", "IN", "FR", "GB", "CN"];
+    let rows: Vec<Row> = (0..ROWS)
+        .map(|i| {
+            Row::new(vec![
+                Value::str(countries[rng.random_range(0..countries.len())]),
+                Value::Int((i / 5000) as i32),
+                Value::Boolean(rng.random_range(0..10) > 3),
+                Value::Double(rng.random_range(0.0..1e6)),
+            ])
+        })
+        .collect();
+
+    let batches = batch_rows(schema, &rows, columnar::DEFAULT_BATCH_SIZE);
+    let object_bytes = memory::object_cache_bytes(&rows);
+    let columnar_bytes = memory::columnar_cache_bytes(&batches);
+
+    println!("§3.6 cache footprint, {ROWS} rows:\n");
+    println!("{:<26} {:>14}", "representation", "bytes");
+    println!("{:<26} {:>14}", "row objects (native cache)", object_bytes);
+    println!("{:<26} {:>14}", "columnar + compression", columnar_bytes);
+    println!(
+        "\ncompression ratio: {:.1}x (paper claims ~an order of magnitude)",
+        memory::compression_ratio(&rows, &batches)
+    );
+    println!("\nper-column encodings chosen:");
+    for (i, c) in batches[0].columns().iter().enumerate() {
+        println!(
+            "  {:<10} {:<12} {:>10} bytes/batch",
+            batches[0].schema().field(i).name,
+            c.encoding_name(),
+            c.bytes()
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! A dynamically typed record runtime standing in for CPython in the
+//! Figure 9 experiment.
+//!
+//! The paper's "native Spark Python" baseline is slow because every
+//! record is a boxed, dynamically typed object: attribute access is a
+//! dict lookup, every arithmetic op type-checks and allocates, and tuples
+//! are heap structures. [`DynValue`] models those *semantic* costs
+//! honestly — shared boxed payloads, string-keyed attribute lookup,
+//! per-operation dispatch and allocation — without any artificial delays.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dynamically typed value, as a Python runtime would hold it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynValue {
+    /// `None`.
+    None,
+    /// Python int (unbounded in CPython; i64 here).
+    Int(i64),
+    /// Python float.
+    Float(f64),
+    /// Python str.
+    Str(Arc<str>),
+    /// Python tuple.
+    Tuple(Arc<Vec<DynValue>>),
+    /// Python object/dict with named attributes.
+    Dict(Arc<HashMap<String, DynValue>>),
+}
+
+impl DynValue {
+    /// Build an "object" with named fields.
+    pub fn record(fields: Vec<(&str, DynValue)>) -> DynValue {
+        DynValue::Dict(Arc::new(
+            fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        ))
+    }
+
+    /// Attribute access `x.a` — a hash lookup plus a refcount bump,
+    /// exactly what the interpreter pays.
+    pub fn attr(&self, name: &str) -> DynValue {
+        match self {
+            DynValue::Dict(m) => m.get(name).cloned().unwrap_or(DynValue::None),
+            _ => DynValue::None,
+        }
+    }
+
+    /// Tuple indexing `x[i]`.
+    pub fn item(&self, i: usize) -> DynValue {
+        match self {
+            DynValue::Tuple(t) => t.get(i).cloned().unwrap_or(DynValue::None),
+            _ => DynValue::None,
+        }
+    }
+
+    /// Build a tuple (heap allocation, like CPython).
+    pub fn tuple(items: Vec<DynValue>) -> DynValue {
+        DynValue::Tuple(Arc::new(items))
+    }
+
+    /// Dynamic `+`: type-check both operands, dispatch, allocate result.
+    pub fn add(&self, other: &DynValue) -> DynValue {
+        match (self, other) {
+            (DynValue::Int(a), DynValue::Int(b)) => DynValue::Int(a + b),
+            (DynValue::Float(a), DynValue::Float(b)) => DynValue::Float(a + b),
+            (DynValue::Int(a), DynValue::Float(b)) => DynValue::Float(*a as f64 + b),
+            (DynValue::Float(a), DynValue::Int(b)) => DynValue::Float(a + *b as f64),
+            (DynValue::Str(a), DynValue::Str(b)) => DynValue::Str(Arc::from(format!("{a}{b}"))),
+            _ => DynValue::None,
+        }
+    }
+
+    /// Dynamic `/` (true division).
+    pub fn div(&self, other: &DynValue) -> DynValue {
+        match (self.as_float(), other.as_float()) {
+            (Some(a), Some(b)) if b != 0.0 => DynValue::Float(a / b),
+            _ => DynValue::None,
+        }
+    }
+
+    /// Coerce to float, as `float(x)` would.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            DynValue::Int(v) => Some(*v as f64),
+            DynValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Coerce to int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            DynValue::Int(v) => Some(*v),
+            DynValue::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Hash on the dynamic value (for reduceByKey keys).
+impl std::hash::Hash for DynValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            DynValue::None => 0u8.hash(state),
+            DynValue::Int(v) => v.hash(state),
+            DynValue::Float(v) => v.to_bits().hash(state),
+            DynValue::Str(s) => s.hash(state),
+            DynValue::Tuple(t) => {
+                for v in t.iter() {
+                    v.hash(state);
+                }
+            }
+            DynValue::Dict(_) => 1u8.hash(state), // unhashable in Python; don't key on dicts
+        }
+    }
+}
+
+impl Eq for DynValue {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_attr_and_tuple_item() {
+        let rec = DynValue::record(vec![("a", DynValue::Int(3)), ("b", DynValue::Float(1.5))]);
+        assert_eq!(rec.attr("a"), DynValue::Int(3));
+        assert_eq!(rec.attr("missing"), DynValue::None);
+        let t = DynValue::tuple(vec![DynValue::Int(1), DynValue::Int(2)]);
+        assert_eq!(t.item(1), DynValue::Int(2));
+        assert_eq!(t.item(9), DynValue::None);
+    }
+
+    #[test]
+    fn dynamic_arithmetic_dispatches_by_type() {
+        assert_eq!(DynValue::Int(2).add(&DynValue::Int(3)), DynValue::Int(5));
+        assert_eq!(DynValue::Int(2).add(&DynValue::Float(0.5)), DynValue::Float(2.5));
+        assert_eq!(
+            DynValue::Str(Arc::from("a")).add(&DynValue::Str(Arc::from("b"))),
+            DynValue::Str(Arc::from("ab"))
+        );
+        assert_eq!(DynValue::Int(1).add(&DynValue::None), DynValue::None);
+        assert_eq!(DynValue::Int(7).div(&DynValue::Int(2)), DynValue::Float(3.5));
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic text corpus for the Figure 10 pipeline experiment: messages
+//! of ~10 dictionary words, ~90% of which match the relational filter.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A small English dictionary (enough for realistic word-count keys).
+pub const DICTIONARY: &[&str] = &[
+    "the", "of", "and", "to", "in", "for", "is", "on", "that", "by", "this", "with", "you",
+    "it", "not", "or", "be", "are", "from", "at", "as", "your", "all", "have", "new", "more",
+    "an", "was", "we", "will", "can", "about", "data", "query", "engine", "cluster", "node",
+    "shuffle", "memory", "columnar", "stream", "batch", "table", "index", "join", "filter",
+];
+
+/// Generate `n` messages; a fraction `keep` of them contain the marker
+/// word "data" (the filter key used by the experiment).
+pub fn messages(n: usize, keep: f64, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut words: Vec<&str> = (0..10)
+                .map(|_| DICTIONARY[rng.random_range(0..DICTIONARY.len())])
+                .collect();
+            if rng.random_range(0.0..1.0) < keep {
+                let pos = rng.random_range(0..words.len());
+                words[pos] = "data";
+            } else {
+                words.retain(|w| *w != "data");
+            }
+            words.join(" ")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_fraction_is_respected() {
+        let msgs = messages(10_000, 0.9, 7);
+        let kept = msgs.iter().filter(|m| m.contains("data")).count();
+        let frac = kept as f64 / msgs.len() as f64;
+        assert!((0.85..0.95).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(messages(100, 0.9, 1), messages(100, 0.9, 1));
+        assert_ne!(messages(100, 0.9, 1), messages(100, 0.9, 2));
+    }
+}

@@ -1,0 +1,135 @@
+//! The Catalog: tracks tables in all data sources (§4.3.1) plus
+//! registered functions. Temp tables registered from DataFrames stay
+//! *unmaterialized views* — their logical plans are inlined, so
+//! optimizations happen across SQL and the original DataFrame expressions
+//! (§3.3).
+
+use crate::error::{CatalystError, Result};
+use crate::expr::UdfImpl;
+use crate::plan::LogicalPlan;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Table name → logical plan resolution.
+pub trait Catalog: Send + Sync {
+    /// Look up a table by name.
+    fn lookup(&self, name: &str) -> Option<LogicalPlan>;
+    /// All registered table names (sorted).
+    fn table_names(&self) -> Vec<String>;
+}
+
+/// In-memory catalog of temp tables / views.
+#[derive(Default)]
+pub struct SimpleCatalog {
+    tables: RwLock<HashMap<String, LogicalPlan>>,
+}
+
+impl SimpleCatalog {
+    /// Register (or replace) a table.
+    pub fn register(&self, name: impl Into<String>, plan: LogicalPlan) {
+        self.tables.write().insert(name.into().to_ascii_lowercase(), plan);
+    }
+
+    /// Remove a table; true if it existed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.tables.write().remove(&name.to_ascii_lowercase()).is_some()
+    }
+}
+
+impl Catalog for SimpleCatalog {
+    fn lookup(&self, name: &str) -> Option<LogicalPlan> {
+        self.tables.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Registry of user-defined functions (§3.7: inline registration).
+#[derive(Default)]
+pub struct FunctionRegistry {
+    udfs: RwLock<HashMap<String, Arc<UdfImpl>>>,
+}
+
+impl FunctionRegistry {
+    /// Register a UDF under its name.
+    pub fn register(&self, udf: UdfImpl) {
+        self.udfs
+            .write()
+            .insert(udf.name.to_ascii_lowercase(), Arc::new(udf));
+    }
+
+    /// Look up a UDF.
+    pub fn lookup(&self, name: &str) -> Option<Arc<UdfImpl>> {
+        self.udfs.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Registered names (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.udfs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Look up a table or fail with a helpful message.
+pub fn require_table(catalog: &dyn Catalog, name: &str) -> Result<LogicalPlan> {
+    catalog.lookup(name).ok_or_else(|| {
+        CatalystError::analysis(format!(
+            "table '{name}' not found; known tables: [{}]",
+            catalog.table_names().join(", ")
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ColumnRef;
+    use crate::types::DataType;
+
+    fn table() -> LogicalPlan {
+        LogicalPlan::LocalRelation {
+            output: vec![ColumnRef::new("x", DataType::Int, false)],
+            rows: Arc::new(vec![]),
+        }
+    }
+
+    #[test]
+    fn register_lookup_case_insensitive() {
+        let c = SimpleCatalog::default();
+        c.register("Users", table());
+        assert!(c.lookup("users").is_some());
+        assert!(c.lookup("USERS").is_some());
+        assert!(c.lookup("missing").is_none());
+        assert_eq!(c.table_names(), vec!["users".to_string()]);
+        assert!(c.unregister("users"));
+        assert!(!c.unregister("users"));
+    }
+
+    #[test]
+    fn require_table_lists_known_tables() {
+        let c = SimpleCatalog::default();
+        c.register("users", table());
+        let err = require_table(&c, "logs").unwrap_err();
+        assert!(err.to_string().contains("users"));
+    }
+
+    #[test]
+    fn function_registry_roundtrip() {
+        use crate::value::Value;
+        let r = FunctionRegistry::default();
+        r.register(UdfImpl {
+            name: "twice".into(),
+            return_type: DataType::Long,
+            func: Box::new(|args| Ok(Value::Long(args[0].as_i64().unwrap_or(0) * 2))),
+        });
+        assert!(r.lookup("TWICE").is_some());
+        assert!(r.lookup("thrice").is_none());
+        assert_eq!(r.names(), vec!["twice".to_string()]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Resolved attribute references.
+//!
+//! During analysis every attribute gets a globally unique [`ExprId`]
+//! (§4.3.1: "determining which attributes refer to the same value to give
+//! them a unique ID"). Ids survive aliasing and projection, which is what
+//! makes column pruning and `col = col` style optimizations sound.
+
+use crate::types::DataType;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Globally unique expression/attribute identifier.
+pub type ExprId = u64;
+
+static NEXT_EXPR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh [`ExprId`].
+pub fn new_expr_id() -> ExprId {
+    NEXT_EXPR_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A fully resolved column: name, type, nullability, optional relation
+/// qualifier, and the unique id that ties together every reference to the
+/// same value across the plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Unique id.
+    pub id: ExprId,
+    /// Column name as written / inferred.
+    pub name: Arc<str>,
+    /// Resolved type.
+    pub dtype: DataType,
+    /// Whether NULLs can appear.
+    pub nullable: bool,
+    /// Table alias / relation name the column came from, if any.
+    pub qualifier: Option<Arc<str>>,
+}
+
+impl ColumnRef {
+    /// New column with a fresh id.
+    pub fn new(name: impl Into<Arc<str>>, dtype: DataType, nullable: bool) -> Self {
+        ColumnRef { id: new_expr_id(), name: name.into(), dtype, nullable, qualifier: None }
+    }
+
+    /// Attach a qualifier (used by `SubqueryAlias` / FROM aliases).
+    pub fn with_qualifier(mut self, qualifier: impl Into<Arc<str>>) -> Self {
+        self.qualifier = Some(qualifier.into());
+        self
+    }
+
+    /// Does this column answer to `name` (and `qualifier`, if given)?
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if let Some(q) = qualifier {
+            if !self.qualifier.as_deref().is_some_and(|mine| mine.eq_ignore_ascii_case(q)) {
+                return false;
+            }
+        }
+        self.name.eq_ignore_ascii_case(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_ids_are_unique() {
+        let a = ColumnRef::new("x", DataType::Int, false);
+        let b = ColumnRef::new("x", DataType::Int, false);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn matching_respects_qualifier_and_case() {
+        let c = ColumnRef::new("Age", DataType::Int, false).with_qualifier("users");
+        assert!(c.matches(None, "age"));
+        assert!(c.matches(Some("USERS"), "AGE"));
+        assert!(!c.matches(Some("dept"), "age"));
+        assert!(!c.matches(None, "name"));
+    }
+}

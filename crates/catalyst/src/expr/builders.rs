@@ -1,0 +1,319 @@
+//! The expression DSL (§3.3): builders that construct ASTs rather than
+//! opaque host-language closures, so Catalyst can see and optimize them.
+//!
+//! ```
+//! use catalyst::expr::{col, lit};
+//!
+//! // users("age") < 21 from the paper becomes:
+//! let pred = col("age").lt(lit(21));
+//! ```
+
+use super::{AggFunc, BinaryOperator, Expr, ScalarFunc};
+use crate::expr::attribute::new_expr_id;
+use crate::types::DataType;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Reference a column by name (resolved later by the analyzer).
+pub fn col(name: impl Into<String>) -> Expr {
+    let name = name.into();
+    match name.split_once('.') {
+        Some((q, n)) if !q.is_empty() && !n.is_empty() && !n.contains('.') => {
+            Expr::UnresolvedAttribute { qualifier: Some(q.to_string()), name: n.to_string() }
+        }
+        _ => Expr::UnresolvedAttribute { qualifier: None, name },
+    }
+}
+
+/// Reference a column with an explicit relation qualifier.
+pub fn qualified_col(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+    Expr::UnresolvedAttribute { qualifier: Some(qualifier.into()), name: name.into() }
+}
+
+/// Literal value.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+/// Start a searched CASE expression: `when(cond, value).otherwise(dflt)`.
+pub fn when(condition: Expr, value: Expr) -> Expr {
+    Expr::Case { operand: None, branches: vec![(condition, value)], else_expr: None }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+fn bin(left: Expr, op: BinaryOperator, right: Expr) -> Expr {
+    Expr::BinaryOp { left: Box::new(left), op, right: Box::new(right) }
+}
+
+#[allow(clippy::should_implement_trait)] // deliberate DSL names (§3.3)
+impl Expr {
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Add, other)
+    }
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Sub, other)
+    }
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Mul, other)
+    }
+    /// `self / other`.
+    pub fn div(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Div, other)
+    }
+    /// `self % other`.
+    pub fn rem(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Mod, other)
+    }
+    /// `self = other` (the DSL's `===`).
+    pub fn eq(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Eq, other)
+    }
+    /// `self <> other`.
+    pub fn not_eq(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::NotEq, other)
+    }
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Lt, other)
+    }
+    /// `self <= other`.
+    pub fn lt_eq(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::LtEq, other)
+    }
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Gt, other)
+    }
+    /// `self >= other`.
+    pub fn gt_eq(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::GtEq, other)
+    }
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::And, other)
+    }
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        bin(self, BinaryOperator::Or, other)
+    }
+    /// `NOT self`.
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Negate(Box::new(self))
+    }
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+    /// `self IS NOT NULL`.
+    pub fn is_not_null(self) -> Expr {
+        Expr::IsNotNull(Box::new(self))
+    }
+    /// `self LIKE pattern`.
+    pub fn like(self, pattern: Expr) -> Expr {
+        Expr::Like { expr: Box::new(self), pattern: Box::new(pattern), negated: false }
+    }
+    /// `self IN (list…)`.
+    pub fn in_list(self, list: Vec<Expr>) -> Expr {
+        Expr::InList { expr: Box::new(self), list, negated: false }
+    }
+    /// `self BETWEEN low AND high` (sugar for two comparisons).
+    pub fn between(self, low: Expr, high: Expr) -> Expr {
+        self.clone().gt_eq(low).and(self.lt_eq(high))
+    }
+    /// `CAST(self AS dtype)`.
+    pub fn cast(self, dtype: DataType) -> Expr {
+        Expr::Cast { expr: Box::new(self), dtype }
+    }
+    /// `self AS name`.
+    pub fn alias(self, name: impl Into<Arc<str>>) -> Expr {
+        Expr::Alias { child: Box::new(self), name: name.into(), id: new_expr_id() }
+    }
+    /// Struct field access.
+    pub fn get_field(self, name: impl Into<Arc<str>>) -> Expr {
+        Expr::GetField { expr: Box::new(self), name: name.into() }
+    }
+    /// Array element access.
+    pub fn get_item(self, index: Expr) -> Expr {
+        Expr::GetItem { expr: Box::new(self), index: Box::new(index) }
+    }
+    /// Ascending sort key.
+    pub fn asc(self) -> super::SortOrder {
+        super::SortOrder { expr: self, ascending: true }
+    }
+    /// Descending sort key.
+    pub fn desc(self) -> super::SortOrder {
+        super::SortOrder { expr: self, ascending: false }
+    }
+    /// Add a WHEN branch to a CASE expression.
+    pub fn when(self, condition: Expr, value: Expr) -> Expr {
+        match self {
+            Expr::Case { operand, mut branches, else_expr } => {
+                branches.push((condition, value));
+                Expr::Case { operand, branches, else_expr }
+            }
+            other => Expr::Case {
+                operand: Some(Box::new(other)),
+                branches: vec![(condition, value)],
+                else_expr: None,
+            },
+        }
+    }
+    /// Set the ELSE branch of a CASE expression.
+    pub fn otherwise(self, value: Expr) -> Expr {
+        match self {
+            Expr::Case { operand, branches, .. } => {
+                Expr::Case { operand, branches, else_expr: Some(Box::new(value)) }
+            }
+            other => other,
+        }
+    }
+}
+
+// ---- aggregate builders ----
+
+/// `COUNT(expr)` or `COUNT(*)` via [`count_star`].
+pub fn count(e: Expr) -> Expr {
+    Expr::Agg { func: AggFunc::Count, arg: Some(Box::new(e)), distinct: false }
+}
+
+/// `COUNT(*)`.
+pub fn count_star() -> Expr {
+    Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+}
+
+/// `COUNT(DISTINCT expr)`.
+pub fn count_distinct(e: Expr) -> Expr {
+    Expr::Agg { func: AggFunc::Count, arg: Some(Box::new(e)), distinct: true }
+}
+
+/// `SUM(expr)`.
+pub fn sum(e: Expr) -> Expr {
+    Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(e)), distinct: false }
+}
+
+/// `AVG(expr)`.
+pub fn avg(e: Expr) -> Expr {
+    Expr::Agg { func: AggFunc::Avg, arg: Some(Box::new(e)), distinct: false }
+}
+
+/// `MIN(expr)`.
+pub fn min(e: Expr) -> Expr {
+    Expr::Agg { func: AggFunc::Min, arg: Some(Box::new(e)), distinct: false }
+}
+
+/// `MAX(expr)`.
+pub fn max(e: Expr) -> Expr {
+    Expr::Agg { func: AggFunc::Max, arg: Some(Box::new(e)), distinct: false }
+}
+
+// ---- scalar function builders ----
+
+/// `SUBSTR(s, pos, len)` — 1-based position, like SQL.
+pub fn substr(s: Expr, pos: Expr, len: Expr) -> Expr {
+    Expr::ScalarFn { func: ScalarFunc::Substr, args: vec![s, pos, len] }
+}
+
+/// `CONCAT(args…)`.
+pub fn concat(args: Vec<Expr>) -> Expr {
+    Expr::ScalarFn { func: ScalarFunc::Concat, args }
+}
+
+/// `LENGTH(s)`.
+pub fn length(s: Expr) -> Expr {
+    Expr::ScalarFn { func: ScalarFunc::Length, args: vec![s] }
+}
+
+/// `COALESCE(args…)`.
+pub fn coalesce(args: Vec<Expr>) -> Expr {
+    Expr::ScalarFn { func: ScalarFunc::Coalesce, args }
+}
+
+/// `YEAR(date)`.
+pub fn year(d: Expr) -> Expr {
+    Expr::ScalarFn { func: ScalarFunc::Year, args: vec![d] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_splits_qualifier() {
+        assert_eq!(
+            col("users.age"),
+            Expr::UnresolvedAttribute { qualifier: Some("users".into()), name: "age".into() }
+        );
+        assert_eq!(col("age"), Expr::UnresolvedAttribute { qualifier: None, name: "age".into() });
+    }
+
+    #[test]
+    fn dsl_builds_the_paper_example() {
+        // employees("deptId") === dept("id")
+        let e = qualified_col("employees", "deptId").eq(qualified_col("dept", "id"));
+        match e {
+            Expr::BinaryOp { op: BinaryOperator::Eq, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_desugars_to_range() {
+        let e = col("x").between(lit(1), lit(10));
+        assert!(matches!(e, Expr::BinaryOp { op: BinaryOperator::And, .. }));
+    }
+
+    #[test]
+    fn case_builder_accumulates_branches() {
+        let e = when(col("x").gt(lit(0)), lit("pos"))
+            .when(col("x").lt(lit(0)), lit("neg"))
+            .otherwise(lit("zero"));
+        if let Expr::Case { branches, else_expr, .. } = e {
+            assert_eq!(branches.len(), 2);
+            assert!(else_expr.is_some());
+        } else {
+            panic!("expected CASE");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Pretty-printing for expressions (EXPLAIN output, error messages,
+//! auto-generated column names).
+
+use super::Expr;
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => match v {
+                crate::value::Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::UnresolvedAttribute { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            Expr::UnresolvedAttribute { qualifier: None, name } => write!(f, "{name}"),
+            Expr::UnresolvedFunction { name, args, distinct } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                fmt_args(f, args)?;
+                write!(f, ")")
+            }
+            Expr::Wildcard { qualifier: Some(q) } => write!(f, "{q}.*"),
+            Expr::Wildcard { qualifier: None } => write!(f, "*"),
+            Expr::Column(c) => match &c.qualifier {
+                Some(q) => write!(f, "{q}.{}#{}", c.name, c.id),
+                None => write!(f, "{}#{}", c.name, c.id),
+            },
+            Expr::BoundRef { index, name, .. } => write!(f, "{name}@{index}"),
+            Expr::Alias { child, name, .. } => write!(f, "{child} AS {name}"),
+            Expr::BinaryOp { left, op, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Negate(e) => write!(f, "(- {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                fmt_args(f, list)?;
+                write!(f, "))")
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                write!(f, "CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Cast { expr, dtype } => write!(f, "CAST({expr} AS {dtype})"),
+            Expr::ScalarFn { func, args } => {
+                write!(f, "{}(", func.name())?;
+                fmt_args(f, args)?;
+                write!(f, ")")
+            }
+            Expr::Udf { udf, args } => {
+                write!(f, "{}(", udf.name)?;
+                fmt_args(f, args)?;
+                write!(f, ")")
+            }
+            Expr::Agg { func, arg, distinct } => {
+                write!(f, "{}(", func.name())?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    Some(a) => write!(f, "{a}")?,
+                    None => write!(f, "*")?,
+                }
+                write!(f, ")")
+            }
+            Expr::GetField { expr, name } => write!(f, "{expr}.{name}"),
+            Expr::GetItem { expr, index } => write!(f, "{expr}[{index}]"),
+            Expr::UnscaledValue(e) => write!(f, "unscaled({e})"),
+            Expr::MakeDecimal { expr, precision, scale } => {
+                write!(f, "make_decimal({expr}, {precision}, {scale})")
+            }
+        }
+    }
+}
+
+fn fmt_args(f: &mut fmt::Formatter<'_>, args: &[Expr]) -> fmt::Result {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::builders::{col, count, lit};
+
+    #[test]
+    fn renders_sql_like_text() {
+        let e = col("age").lt(lit(21)).and(col("name").like(lit("A%")));
+        assert_eq!(e.to_string(), "((age < 21) AND (name LIKE 'A%'))");
+        assert_eq!(count(col("name")).to_string(), "count(name)");
+    }
+}

@@ -1,0 +1,216 @@
+//! `TreeNode` implementation for expressions: generic child mapping and
+//! traversal, the machinery rules are written against.
+
+use super::Expr;
+use crate::tree::{Transformed, TreeNode};
+
+fn map_box(
+    b: Box<Expr>,
+    f: &mut dyn FnMut(Expr) -> Transformed<Expr>,
+    changed: &mut bool,
+) -> Box<Expr> {
+    let t = f(*b);
+    *changed |= t.changed;
+    Box::new(t.data)
+}
+
+fn map_vec(
+    v: Vec<Expr>,
+    f: &mut dyn FnMut(Expr) -> Transformed<Expr>,
+    changed: &mut bool,
+) -> Vec<Expr> {
+    v.into_iter()
+        .map(|e| {
+            let t = f(e);
+            *changed |= t.changed;
+            t.data
+        })
+        .collect()
+}
+
+impl TreeNode for Expr {
+    fn map_children(self, f: &mut dyn FnMut(Expr) -> Transformed<Expr>) -> Transformed<Expr> {
+        let mut ch = false;
+        let out = match self {
+            // Leaves.
+            e @ (Expr::Literal(_)
+            | Expr::UnresolvedAttribute { .. }
+            | Expr::Wildcard { .. }
+            | Expr::Column(_)
+            | Expr::BoundRef { .. }) => e,
+            Expr::UnresolvedFunction { name, args, distinct } => Expr::UnresolvedFunction {
+                name,
+                args: map_vec(args, f, &mut ch),
+                distinct,
+            },
+            Expr::Alias { child, name, id } => {
+                Expr::Alias { child: map_box(child, f, &mut ch), name, id }
+            }
+            Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+                left: map_box(left, f, &mut ch),
+                op,
+                right: map_box(right, f, &mut ch),
+            },
+            Expr::Not(e) => Expr::Not(map_box(e, f, &mut ch)),
+            Expr::Negate(e) => Expr::Negate(map_box(e, f, &mut ch)),
+            Expr::IsNull(e) => Expr::IsNull(map_box(e, f, &mut ch)),
+            Expr::IsNotNull(e) => Expr::IsNotNull(map_box(e, f, &mut ch)),
+            Expr::Like { expr, pattern, negated } => Expr::Like {
+                expr: map_box(expr, f, &mut ch),
+                pattern: map_box(pattern, f, &mut ch),
+                negated,
+            },
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: map_box(expr, f, &mut ch),
+                list: map_vec(list, f, &mut ch),
+                negated,
+            },
+            Expr::Case { operand, branches, else_expr } => Expr::Case {
+                operand: operand.map(|o| map_box(o, f, &mut ch)),
+                branches: branches
+                    .into_iter()
+                    .map(|(c, r)| {
+                        let c = f(c);
+                        let r = f(r);
+                        ch |= c.changed || r.changed;
+                        (c.data, r.data)
+                    })
+                    .collect(),
+                else_expr: else_expr.map(|e| map_box(e, f, &mut ch)),
+            },
+            Expr::Cast { expr, dtype } => Expr::Cast { expr: map_box(expr, f, &mut ch), dtype },
+            Expr::ScalarFn { func, args } => {
+                Expr::ScalarFn { func, args: map_vec(args, f, &mut ch) }
+            }
+            Expr::Udf { udf, args } => Expr::Udf { udf, args: map_vec(args, f, &mut ch) },
+            Expr::Agg { func, arg, distinct } => Expr::Agg {
+                func,
+                arg: arg.map(|a| map_box(a, f, &mut ch)),
+                distinct,
+            },
+            Expr::GetField { expr, name } => {
+                Expr::GetField { expr: map_box(expr, f, &mut ch), name }
+            }
+            Expr::GetItem { expr, index } => Expr::GetItem {
+                expr: map_box(expr, f, &mut ch),
+                index: map_box(index, f, &mut ch),
+            },
+            Expr::UnscaledValue(e) => Expr::UnscaledValue(map_box(e, f, &mut ch)),
+            Expr::MakeDecimal { expr, precision, scale } => Expr::MakeDecimal {
+                expr: map_box(expr, f, &mut ch),
+                precision,
+                scale,
+            },
+        };
+        Transformed { data: out, changed: ch }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Literal(_)
+            | Expr::UnresolvedAttribute { .. }
+            | Expr::Wildcard { .. }
+            | Expr::Column(_)
+            | Expr::BoundRef { .. } => {}
+            Expr::UnresolvedFunction { args, .. }
+            | Expr::ScalarFn { args, .. }
+            | Expr::Udf { args, .. } => {
+                for a in args {
+                    a.for_each(f);
+                }
+            }
+            Expr::Alias { child, .. } => child.for_each(f),
+            Expr::BinaryOp { left, right, .. } => {
+                left.for_each(f);
+                right.for_each(f);
+            }
+            Expr::Not(e)
+            | Expr::Negate(e)
+            | Expr::IsNull(e)
+            | Expr::IsNotNull(e)
+            | Expr::UnscaledValue(e) => e.for_each(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.for_each(f);
+                pattern.for_each(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.for_each(f);
+                for e in list {
+                    e.for_each(f);
+                }
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(o) = operand {
+                    o.for_each(f);
+                }
+                for (c, r) in branches {
+                    c.for_each(f);
+                    r.for_each(f);
+                }
+                if let Some(e) = else_expr {
+                    e.for_each(f);
+                }
+            }
+            Expr::Cast { expr, .. }
+            | Expr::GetField { expr, .. }
+            | Expr::MakeDecimal { expr, .. } => expr.for_each(f),
+            Expr::GetItem { expr, index } => {
+                expr.for_each(f);
+                index.for_each(f);
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.for_each(f);
+                }
+            }
+        }
+    }
+}
+
+impl Expr {
+    /// Visit every node (inherent alias of [`TreeNode::for_each`] so call
+    /// sites don't need the trait in scope).
+    pub fn for_each_node(&self, f: &mut dyn FnMut(&Expr)) {
+        self.for_each(f);
+    }
+
+    /// Bottom-up rewrite (inherent alias of [`TreeNode::transform_up`]).
+    pub fn rewrite_up(self, f: &mut dyn FnMut(Expr) -> Transformed<Expr>) -> Transformed<Expr> {
+        self.transform_up(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builders::{col, lit};
+    use crate::value::Value;
+
+    #[test]
+    fn transform_up_rewrites_nested_nodes() {
+        // (x + 1) + 2: replace every literal with 0.
+        let e = col("x").add(lit(1i64)).add(lit(2i64));
+        let out = e.transform_up(&mut |e| match e {
+            Expr::Literal(_) => Transformed::yes(Expr::Literal(Value::Long(0))),
+            other => Transformed::no(other),
+        });
+        assert!(out.changed);
+        let mut literals = 0;
+        out.data.for_each_node(&mut |e| {
+            if let Expr::Literal(v) = e {
+                assert_eq!(v, &Value::Long(0));
+                literals += 1;
+            }
+        });
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn untouched_tree_is_unchanged() {
+        let e = col("x").add(col("y"));
+        let out = e.clone().transform_up(&mut Transformed::no);
+        assert!(!out.changed);
+        assert_eq!(out.data, e);
+    }
+}

@@ -1,0 +1,53 @@
+//! Catalyst: an extensible relational query optimizer (§4 of *Spark SQL:
+//! Relational Data Processing in Spark*, SIGMOD 2015), in Rust.
+//!
+//! At its core Catalyst is a library for representing trees and applying
+//! rules to them ([`tree`], [`rules`]). On top of that sit libraries for
+//! relational query processing — expressions ([`expr`]), data types
+//! ([`types`]), logical plans ([`plan`]) — and rule sets for each phase of
+//! query execution:
+//!
+//! 1. **Analysis** ([`analysis`]): resolve relations and attributes from a
+//!    catalog, give attributes unique ids, propagate and coerce types.
+//! 2. **Logical optimization** ([`optimizer`]): constant folding,
+//!    predicate pushdown, projection pruning, null propagation, Boolean
+//!    simplification, the paper's `DecimalAggregates` rule, and more.
+//! 3. **Physical planning** ([`physical`]): translate to physical
+//!    operators, choosing join algorithms with a cost model (broadcast vs
+//!    shuffled hash join) and pushing projections/filters into data
+//!    sources ([`source`]).
+//! 4. **Code generation** ([`codegen`]): compile expression trees into
+//!    fused, monomorphically typed closures — the Rust analogue of the
+//!    paper's quasiquote-based bytecode generation — with the
+//!    tree-walking [`interpreter`] as the fallback.
+//!
+//! Extension points mirror the paper's: user rule batches, planning
+//! strategies, data sources, UDFs and user-defined types.
+
+#![warn(missing_docs)]
+
+#[macro_use]
+pub mod row;
+
+pub mod analysis;
+pub mod codegen;
+pub mod error;
+pub mod expr;
+pub mod interpreter;
+pub mod optimizer;
+pub mod physical;
+pub mod plan;
+pub mod rules;
+pub mod schema;
+pub mod source;
+pub mod tree;
+pub mod types;
+pub mod udt;
+pub mod value;
+
+pub use error::{CatalystError, Result};
+pub use expr::{col, lit, Expr};
+pub use row::Row;
+pub use schema::{Schema, SchemaRef};
+pub use types::{DataType, StructField};
+pub use value::Value;

@@ -1,0 +1,394 @@
+//! Logical optimization (§4.3.2): rule-based rewrites over resolved
+//! plans, executed in fixed-point batches.
+
+pub mod expr_rules;
+pub mod plan_rules;
+
+pub use expr_rules::{
+    BooleanSimplification, ConstantFolding, DecimalAggregates, NullPropagation, SimplifyCasts,
+    SimplifyLike,
+};
+pub use plan_rules::{
+    conjunction, split_conjuncts, CollapseProjects, ColumnPruning, CombineFilters, CombineLimits,
+    EliminateSubqueryAliases, PruneFilters, PushDownLimit, PushDownPredicate,
+};
+
+use crate::plan::LogicalPlan;
+use crate::rules::{Batch, RuleExecutor, TraceEvent};
+
+/// The logical optimizer: a rule executor with the standard batches plus
+/// any user-registered extension batches (§4.4).
+pub struct Optimizer {
+    executor: RuleExecutor<LogicalPlan>,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::new()
+    }
+}
+
+impl Optimizer {
+    /// Standard rule batches.
+    pub fn new() -> Self {
+        let executor = RuleExecutor::new(vec![
+            Batch::once("Finish Analysis", vec![Box::new(EliminateSubqueryAliases)]),
+            Batch::fixed_point(
+            "Operator Optimizations",
+            vec![
+                Box::new(ConstantFolding),
+                Box::new(NullPropagation),
+                Box::new(BooleanSimplification),
+                Box::new(SimplifyCasts),
+                Box::new(SimplifyLike),
+                Box::new(CombineFilters),
+                Box::new(PushDownPredicate),
+                Box::new(PruneFilters),
+                Box::new(CollapseProjects),
+                Box::new(ColumnPruning),
+                Box::new(CombineLimits),
+                Box::new(PushDownLimit),
+                Box::new(DecimalAggregates),
+            ],
+        ),
+        ]);
+        Optimizer { executor }
+    }
+
+    /// Append a user batch (extension point).
+    pub fn add_batch(&mut self, batch: Batch<LogicalPlan>) {
+        self.executor.add_batch(batch);
+    }
+
+    /// Optimize a resolved plan.
+    pub fn optimize(&self, plan: LogicalPlan) -> LogicalPlan {
+        self.executor.execute(plan, None)
+    }
+
+    /// Optimize while recording which rules fired (for EXPLAIN-style
+    /// tracing).
+    pub fn optimize_traced(&self, plan: LogicalPlan) -> (LogicalPlan, Vec<TraceEvent>) {
+        let mut trace = Vec::new();
+        let out = self.executor.execute(plan, Some(&mut trace));
+        (out, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Analyzer, FunctionRegistry, SimpleCatalog};
+    use crate::expr::builders::{col, lit, sum};
+    use crate::expr::{ColumnRef, Expr, ScalarFunc};
+    use crate::plan::JoinType;
+    use crate::row::Row;
+    use crate::tree::{Transformed, TreeNode};
+    use crate::types::DataType;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn table(cols: &[(&str, DataType)]) -> LogicalPlan {
+        LogicalPlan::LocalRelation {
+            output: cols
+                .iter()
+                .map(|(n, t)| ColumnRef::new(*n, t.clone(), false))
+                .collect(),
+            rows: Arc::new(vec![Row::new(vec![])]),
+        }
+    }
+
+    fn analyze(plan: LogicalPlan, tables: Vec<(&str, LogicalPlan)>) -> LogicalPlan {
+        let catalog = Arc::new(SimpleCatalog::default());
+        for (n, p) in tables {
+            catalog.register(n, p);
+        }
+        Analyzer::new(catalog, Arc::new(FunctionRegistry::default()))
+            .analyze(plan)
+            .unwrap()
+    }
+
+    fn count_nodes(plan: &LogicalPlan, pred: impl Fn(&LogicalPlan) -> bool) -> usize {
+        let mut n = 0;
+        plan.for_each(&mut |p| {
+            if pred(p) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn constant_folding_folds_arithmetic() {
+        let t = table(&[("x", DataType::Long)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }
+                .project(vec![col("x").add(lit(1i64).add(lit(2i64))).alias("y")]),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let mut saw_three = false;
+        opt.for_each(&mut |p| {
+            for e in p.expressions() {
+                e.for_each_node(&mut |e| {
+                    if matches!(e, Expr::Literal(Value::Long(3))) {
+                        saw_three = true;
+                    }
+                });
+            }
+        });
+        assert!(saw_three, "{opt}");
+    }
+
+    #[test]
+    fn filter_true_is_removed_filter_false_becomes_empty() {
+        let t = table(&[("x", DataType::Long)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(lit(1i64).lt(lit(2i64))),
+            vec![("t", t.clone())],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 0);
+
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(lit(1i64).gt(lit(2i64))),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        assert_eq!(
+            count_nodes(&opt, |p| matches!(p, LogicalPlan::LocalRelation { rows, .. } if rows.is_empty())),
+            1,
+            "{opt}"
+        );
+    }
+
+    #[test]
+    fn like_prefix_becomes_starts_with() {
+        let t = table(&[("s", DataType::String)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }
+                .filter(col("s").like(lit("abc%"))),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let mut saw = false;
+        opt.for_each(&mut |p| {
+            for e in p.expressions() {
+                e.for_each_node(&mut |e| {
+                    if matches!(e, Expr::ScalarFn { func: ScalarFunc::StartsWith, .. }) {
+                        saw = true;
+                    }
+                });
+            }
+        });
+        assert!(saw, "{opt}");
+    }
+
+    #[test]
+    fn like_infix_becomes_contains_and_exact_becomes_eq() {
+        let t = table(&[("s", DataType::String)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }
+                .filter(col("s").like(lit("%mid%")).and(col("s").like(lit("exact")))),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let (mut contains, mut eq) = (false, false);
+        opt.for_each(&mut |p| {
+            for e in p.expressions() {
+                e.for_each_node(&mut |e| match e {
+                    Expr::ScalarFn { func: ScalarFunc::Contains, .. } => contains = true,
+                    Expr::BinaryOp { op: crate::expr::BinaryOperator::Eq, .. } => eq = true,
+                    _ => {}
+                });
+            }
+        });
+        assert!(contains && eq, "{opt}");
+    }
+
+    fn depth_of(p: &LogicalPlan, f: &dyn Fn(&LogicalPlan) -> bool, d: usize) -> Option<usize> {
+        if f(p) {
+            return Some(d);
+        }
+        for c in p.children() {
+            if let Some(found) = depth_of(&c, f, d + 1) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn predicate_pushes_through_projection() {
+        let t = table(&[("x", DataType::Long), ("y", DataType::Long)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }
+                .project(vec![col("x"), col("y")])
+                .filter(col("x").gt(lit(5i64))),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let proj_depth = depth_of(&opt, &|p| matches!(p, LogicalPlan::Project { .. }), 0);
+        let filter_depth = depth_of(&opt, &|p| matches!(p, LogicalPlan::Filter { .. }), 0);
+        match (proj_depth, filter_depth) {
+            (Some(pd), Some(fd)) => {
+                assert!(fd > pd, "filter ({fd}) should be below project ({pd}) in\n{opt}")
+            }
+            _ => panic!("missing nodes in\n{opt}"),
+        }
+    }
+
+    #[test]
+    fn predicate_splits_across_join() {
+        let l = table(&[("a", DataType::Long)]);
+        let r = table(&[("b", DataType::Long)]);
+        let join = LogicalPlan::UnresolvedRelation { name: "l".into() }.join(
+            LogicalPlan::UnresolvedRelation { name: "r".into() },
+            JoinType::Inner,
+            Some(col("a").eq(col("b"))),
+        );
+        let plan = analyze(
+            join.filter(col("a").gt(lit(1i64)).and(col("b").lt(lit(10i64)))),
+            vec![("l", l), ("r", r)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        fn top_filter(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Filter { input, .. } => matches!(&**input, LogicalPlan::Join { .. }),
+                _ => false,
+            }
+        }
+        assert_eq!(count_nodes(&opt, top_filter), 0, "{opt}");
+        assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 2, "{opt}");
+    }
+
+    #[test]
+    fn column_pruning_narrows_join_inputs() {
+        let l = table(&[("a", DataType::Long), ("unused1", DataType::String)]);
+        let r = table(&[("b", DataType::Long), ("unused2", DataType::String)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "l".into() }
+                .join(
+                    LogicalPlan::UnresolvedRelation { name: "r".into() },
+                    JoinType::Inner,
+                    Some(col("a").eq(col("b"))),
+                )
+                .project(vec![col("a")]),
+            vec![("l", l), ("r", r)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let mut join_input_widths = vec![];
+        opt.for_each(&mut |p| {
+            if let LogicalPlan::Join { left, right, .. } = p {
+                join_input_widths.push((left.output().len(), right.output().len()));
+            }
+        });
+        assert_eq!(join_input_widths, vec![(1, 1)], "{opt}");
+    }
+
+    #[test]
+    fn decimal_aggregates_rewrites_small_precision_sums() {
+        let t = table(&[("d", DataType::Decimal(6, 2))]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }
+                .aggregate(vec![], vec![sum(col("d")).alias("s")]),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let mut saw_make_decimal = false;
+        let mut saw_unscaled = false;
+        opt.for_each(&mut |p| {
+            for e in p.expressions() {
+                e.for_each_node(&mut |e| match e {
+                    Expr::MakeDecimal { precision: 16, scale: 2, .. } => saw_make_decimal = true,
+                    Expr::UnscaledValue(_) => saw_unscaled = true,
+                    _ => {}
+                });
+            }
+        });
+        assert!(saw_make_decimal && saw_unscaled, "{opt}");
+    }
+
+    #[test]
+    fn decimal_aggregates_skips_large_precision() {
+        let t = table(&[("d", DataType::Decimal(12, 2))]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }
+                .aggregate(vec![], vec![sum(col("d")).alias("s")]),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let mut saw_make_decimal = false;
+        opt.for_each(&mut |p| {
+            for e in p.expressions() {
+                e.for_each_node(&mut |e| {
+                    if matches!(e, Expr::MakeDecimal { .. }) {
+                        saw_make_decimal = true;
+                    }
+                });
+            }
+        });
+        assert!(!saw_make_decimal, "{opt}");
+    }
+
+    #[test]
+    fn limits_combine_and_push_through_projects() {
+        let t = table(&[("x", DataType::Long)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }
+                .limit(100)
+                .project(vec![col("x")])
+                .limit(10),
+            vec![("t", t)],
+        );
+        let opt = Optimizer::new().optimize(plan);
+        let mut limits = vec![];
+        opt.for_each(&mut |p| {
+            if let LogicalPlan::Limit { n, .. } = p {
+                limits.push(*n);
+            }
+        });
+        assert_eq!(limits, vec![10], "{opt}");
+    }
+
+    #[test]
+    fn user_batches_extend_the_optimizer() {
+        use crate::rules::{Batch, FnRule};
+        let t = table(&[("x", DataType::Long)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }.limit(7),
+            vec![("t", t)],
+        );
+        let mut opt = Optimizer::new();
+        opt.add_batch(Batch::once(
+            "user",
+            vec![Box::new(FnRule::new("DoubleLimit", |p: LogicalPlan| {
+                p.transform_up(&mut |p| match p {
+                    LogicalPlan::Limit { input, n } => {
+                        Transformed::yes(LogicalPlan::Limit { input, n: n * 2 })
+                    }
+                    other => Transformed::no(other),
+                })
+            }))],
+        ));
+        let out = opt.optimize(plan);
+        let mut limits = vec![];
+        out.for_each(&mut |p| {
+            if let LogicalPlan::Limit { n, .. } = p {
+                limits.push(*n);
+            }
+        });
+        assert_eq!(limits, vec![14]);
+    }
+
+    #[test]
+    fn trace_reports_fired_rules() {
+        let t = table(&[("x", DataType::Long)]);
+        let plan = analyze(
+            LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(lit(1i64).lt(lit(2i64))),
+            vec![("t", t)],
+        );
+        let (_, trace) = Optimizer::new().optimize_traced(plan);
+        assert!(trace.iter().any(|e| e.rule == "ConstantFolding"));
+        assert!(trace.iter().any(|e| e.rule == "PruneFilters"));
+    }
+}

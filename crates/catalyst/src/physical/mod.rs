@@ -1,0 +1,10 @@
+//! Physical planning: operators, statistics, and the strategy-driven
+//! planner (§4.3.3).
+
+pub mod plan;
+pub mod planner;
+pub mod stats;
+
+pub use plan::{BuildSide, ExtensionExec, PhysicalPlan};
+pub use planner::{expr_to_filter, extract_equi_keys, Planner, PlannerConfig, Strategy};
+pub use stats::{estimate, Statistics};

@@ -1,0 +1,361 @@
+//! Physical operators: the plan shape handed to the execution backend.
+//!
+//! Physical plans are *data* — execution lives in the `spark-sql` crate,
+//! which lowers each node onto engine RDD transformations. Keeping them
+//! here lets planning strategies (including user extensions like the §7.2
+//! interval join) be defined purely against Catalyst.
+
+use crate::error::Result;
+use crate::expr::{ColumnRef, Expr, SortOrder};
+use crate::row::Row;
+use crate::schema::{Schema, SchemaRef};
+use crate::source::{BaseRelation, ExternalData, Filter};
+use crate::plan::JoinType;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which side a hash join builds its table from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSide {
+    /// Build from the left child, stream the right.
+    Left,
+    /// Build from the right child, stream the left.
+    Right,
+}
+
+/// A user-defined physical operator (extension point; used by the
+/// genomics interval join of §7.2).
+pub trait ExtensionExec: Send + Sync {
+    /// Operator name for EXPLAIN.
+    fn name(&self) -> String;
+    /// Output attributes.
+    fn output(&self) -> Vec<ColumnRef>;
+    /// Execute over fully materialized child partitions, producing output
+    /// partitions.
+    fn execute(&self, children: Vec<Vec<Vec<Row>>>) -> Result<Vec<Vec<Row>>>;
+}
+
+/// A physical plan node.
+#[derive(Clone)]
+pub enum PhysicalPlan {
+    /// Data source scan with pushed-down projection and filters.
+    Scan {
+        /// The relation.
+        relation: Arc<dyn BaseRelation>,
+        /// Column indices to read (into the relation's schema), if pruned.
+        projection: Option<Vec<usize>>,
+        /// Advisory filters pushed to the source.
+        pushed_filters: Vec<Filter>,
+        /// Predicate re-applied above the scan (filters the source may
+        /// not fully evaluate). `None` when everything pushed is exact.
+        residual: Option<Expr>,
+        /// Output attributes (post-projection).
+        output: Vec<ColumnRef>,
+    },
+    /// Scan of host-program data (RDD-backed DataFrames, §3.5).
+    ExternalScan {
+        /// Opaque data handle.
+        data: Arc<dyn ExternalData>,
+        /// Output attributes.
+        output: Vec<ColumnRef>,
+    },
+    /// Literal rows.
+    LocalData {
+        /// The rows.
+        rows: Arc<Vec<Row>>,
+        /// Output attributes.
+        output: Vec<ColumnRef>,
+    },
+    /// Compiled per-row projection.
+    Project {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Projection expressions (resolved; bound at execution).
+        exprs: Vec<Expr>,
+    },
+    /// Compiled per-row filter.
+    Filter {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Hash aggregation (the backend performs map-side partial
+    /// aggregation followed by a shuffle and final merge).
+    HashAggregate {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Grouping expressions.
+        groupings: Vec<Expr>,
+        /// Output expressions (may nest aggregate calls, e.g. the
+        /// `MakeDecimal(Sum(…))` produced by `DecimalAggregates`).
+        output_exprs: Vec<Expr>,
+    },
+    /// Global sort via range-partitioned shuffle.
+    Sort {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Sort keys.
+        orders: Vec<SortOrder>,
+    },
+    /// Sort + Limit fused into a top-k selection (avoids a global sort).
+    TakeOrdered {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Sort keys.
+        orders: Vec<SortOrder>,
+        /// How many rows to keep.
+        n: usize,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Max rows.
+        n: usize,
+    },
+    /// Hash join where the build side is broadcast to every partition of
+    /// the stream side (chosen by the cost model for small tables).
+    BroadcastHashJoin {
+        /// Left child.
+        left: Arc<PhysicalPlan>,
+        /// Right child.
+        right: Arc<PhysicalPlan>,
+        /// Equi-join keys from the left side.
+        left_keys: Vec<Expr>,
+        /// Equi-join keys from the right side.
+        right_keys: Vec<Expr>,
+        /// Join flavor.
+        join_type: JoinType,
+        /// Which side is built/broadcast.
+        build_side: BuildSide,
+        /// Non-equi residual condition applied to joined rows.
+        residual: Option<Expr>,
+    },
+    /// Hash join with both sides shuffled on the join keys.
+    ShuffledHashJoin {
+        /// Left child.
+        left: Arc<PhysicalPlan>,
+        /// Right child.
+        right: Arc<PhysicalPlan>,
+        /// Equi-join keys from the left side.
+        left_keys: Vec<Expr>,
+        /// Equi-join keys from the right side.
+        right_keys: Vec<Expr>,
+        /// Join flavor.
+        join_type: JoinType,
+        /// Non-equi residual condition.
+        residual: Option<Expr>,
+    },
+    /// Fallback join for non-equi conditions.
+    NestedLoopJoin {
+        /// Left child.
+        left: Arc<PhysicalPlan>,
+        /// Right child.
+        right: Arc<PhysicalPlan>,
+        /// Join condition (None = cross join).
+        condition: Option<Expr>,
+        /// Join flavor.
+        join_type: JoinType,
+    },
+    /// Concatenation.
+    Union {
+        /// Children.
+        inputs: Vec<Arc<PhysicalPlan>>,
+    },
+    /// Bernoulli sample.
+    Sample {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Fraction kept.
+        fraction: f64,
+        /// Seed.
+        seed: u64,
+    },
+    /// User-defined operator.
+    Extension {
+        /// The implementation.
+        exec: Arc<dyn ExtensionExec>,
+        /// Children.
+        children: Vec<Arc<PhysicalPlan>>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output attributes.
+    pub fn output(&self) -> Vec<ColumnRef> {
+        match self {
+            PhysicalPlan::Scan { output, .. }
+            | PhysicalPlan::ExternalScan { output, .. }
+            | PhysicalPlan::LocalData { output, .. } => output.clone(),
+            PhysicalPlan::Project { exprs, .. } => {
+                exprs.iter().filter_map(|e| e.to_attribute().ok()).collect()
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::TakeOrdered { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Sample { input, .. } => input.output(),
+            PhysicalPlan::HashAggregate { output_exprs, .. } => {
+                output_exprs.iter().filter_map(|e| e.to_attribute().ok()).collect()
+            }
+            PhysicalPlan::BroadcastHashJoin { left, right, join_type, .. }
+            | PhysicalPlan::ShuffledHashJoin { left, right, join_type, .. } => {
+                join_output(left, right, *join_type)
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, join_type, .. } => {
+                join_output(left, right, *join_type)
+            }
+            PhysicalPlan::Union { inputs } => {
+                inputs.first().map(|i| i.output()).unwrap_or_default()
+            }
+            PhysicalPlan::Extension { exec, .. } => exec.output(),
+        }
+    }
+
+    /// Schema of the output.
+    pub fn schema(&self) -> SchemaRef {
+        Arc::new(
+            self.output()
+                .into_iter()
+                .map(|c| crate::types::StructField::new(c.name, c.dtype, c.nullable))
+                .collect::<Schema>(),
+        )
+    }
+
+    /// Direct children.
+    pub fn children(&self) -> Vec<Arc<PhysicalPlan>> {
+        match self {
+            PhysicalPlan::Scan { .. }
+            | PhysicalPlan::ExternalScan { .. }
+            | PhysicalPlan::LocalData { .. } => vec![],
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::TakeOrdered { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Sample { input, .. } => vec![input.clone()],
+            PhysicalPlan::BroadcastHashJoin { left, right, .. }
+            | PhysicalPlan::ShuffledHashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                vec![left.clone(), right.clone()]
+            }
+            PhysicalPlan::Union { inputs } => inputs.clone(),
+            PhysicalPlan::Extension { children, .. } => children.clone(),
+        }
+    }
+
+    /// One-line description for EXPLAIN.
+    pub fn node_description(&self) -> String {
+        match self {
+            PhysicalPlan::Scan { relation, projection, pushed_filters, residual, .. } => {
+                let mut s = format!("Scan {}", relation.name());
+                if let Some(p) = projection {
+                    let schema = relation.schema();
+                    let cols: Vec<&str> =
+                        p.iter().map(|&i| schema.field(i).name.as_ref()).collect();
+                    s.push_str(&format!(" [columns: {}]", cols.join(", ")));
+                }
+                if !pushed_filters.is_empty() {
+                    s.push_str(&format!(" [pushed: {pushed_filters:?}]"));
+                }
+                if let Some(r) = residual {
+                    s.push_str(&format!(" [residual: {r}]"));
+                }
+                s
+            }
+            PhysicalPlan::ExternalScan { data, .. } => format!("ExternalScan {}", data.name()),
+            PhysicalPlan::LocalData { rows, .. } => format!("LocalData ({} rows)", rows.len()),
+            PhysicalPlan::Project { exprs, .. } => {
+                let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Project [{}]", es.join(", "))
+            }
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysicalPlan::HashAggregate { groupings, output_exprs, .. } => {
+                let gs: Vec<String> = groupings.iter().map(|e| e.to_string()).collect();
+                let os: Vec<String> = output_exprs.iter().map(|e| e.to_string()).collect();
+                format!("HashAggregate [{}] [{}]", gs.join(", "), os.join(", "))
+            }
+            PhysicalPlan::Sort { orders, .. } => format!("Sort [{}]", fmt_orders(orders)),
+            PhysicalPlan::TakeOrdered { orders, n, .. } => {
+                format!("TakeOrdered {n} [{}]", fmt_orders(orders))
+            }
+            PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            PhysicalPlan::BroadcastHashJoin { join_type, build_side, left_keys, right_keys, .. } => {
+                format!(
+                    "BroadcastHashJoin {} build={build_side:?} keys=({} = {})",
+                    join_type.keyword(),
+                    fmt_exprs(left_keys),
+                    fmt_exprs(right_keys)
+                )
+            }
+            PhysicalPlan::ShuffledHashJoin { join_type, left_keys, right_keys, .. } => {
+                format!(
+                    "ShuffledHashJoin {} keys=({} = {})",
+                    join_type.keyword(),
+                    fmt_exprs(left_keys),
+                    fmt_exprs(right_keys)
+                )
+            }
+            PhysicalPlan::NestedLoopJoin { join_type, condition, .. } => match condition {
+                Some(c) => format!("NestedLoopJoin {} ON {c}", join_type.keyword()),
+                None => format!("CartesianProduct {}", join_type.keyword()),
+            },
+            PhysicalPlan::Union { inputs } => format!("Union ({} inputs)", inputs.len()),
+            PhysicalPlan::Sample { fraction, .. } => format!("Sample {fraction}"),
+            PhysicalPlan::Extension { exec, .. } => exec.name(),
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        for _ in 0..indent {
+            write!(f, "  ")?;
+        }
+        writeln!(f, "{}", self.node_description())?;
+        for c in self.children() {
+            c.fmt_indent(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn join_output(left: &PhysicalPlan, right: &PhysicalPlan, join_type: JoinType) -> Vec<ColumnRef> {
+    let mut out = left.output();
+    let mut r = right.output();
+    match join_type {
+        JoinType::Left => r.iter_mut().for_each(|c| c.nullable = true),
+        JoinType::Right => out.iter_mut().for_each(|c| c.nullable = true),
+        JoinType::Full => {
+            out.iter_mut().for_each(|c| c.nullable = true);
+            r.iter_mut().for_each(|c| c.nullable = true);
+        }
+        _ => {}
+    }
+    out.extend(r);
+    out
+}
+
+fn fmt_orders(orders: &[SortOrder]) -> String {
+    orders
+        .iter()
+        .map(|o| format!("{} {}", o.expr, if o.ascending { "ASC" } else { "DESC" }))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn fmt_exprs(exprs: &[Expr]) -> String {
+    exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+impl fmt::Debug for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}

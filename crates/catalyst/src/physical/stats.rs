@@ -1,0 +1,198 @@
+//! The cost model (§4.3.3): sizes estimated recursively for a whole tree.
+//!
+//! Footnote 5 of the paper: "table sizes are estimated if the table is
+//! cached in memory or comes from an external file, or if it is the
+//! result of a subquery with a LIMIT". Those are exactly the cases with
+//! tight estimates here; everything else degrades gracefully with
+//! heuristic selectivities.
+
+use crate::plan::LogicalPlan;
+
+/// Estimated properties of a (sub)plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Statistics {
+    /// Estimated output size in bytes.
+    pub size_in_bytes: u64,
+    /// Estimated row count, when derivable.
+    pub row_count: Option<u64>,
+}
+
+impl Statistics {
+    /// A completely unknown relation: assume huge so we never broadcast
+    /// something unbounded.
+    pub fn unknown() -> Self {
+        Statistics { size_in_bytes: u64::MAX / 4, row_count: None }
+    }
+}
+
+/// Default selectivity assumed for a filter.
+pub const FILTER_SELECTIVITY: f64 = 0.5;
+
+/// Default group-count ratio assumed for an aggregate.
+pub const AGGREGATE_RATIO: f64 = 0.2;
+
+/// Estimate statistics bottom-up.
+pub fn estimate(plan: &LogicalPlan) -> Statistics {
+    match plan {
+        LogicalPlan::UnresolvedRelation { .. } => Statistics::unknown(),
+        LogicalPlan::Scan { relation, .. } => match relation.size_in_bytes() {
+            Some(b) => Statistics { size_in_bytes: b, row_count: relation.row_count() },
+            None => Statistics::unknown(),
+        },
+        LogicalPlan::External { data, .. } => match data.size_in_bytes() {
+            Some(b) => Statistics { size_in_bytes: b, row_count: None },
+            None => Statistics::unknown(),
+        },
+        LogicalPlan::LocalRelation { rows, .. } => {
+            let bytes = plan.schema().approx_row_bytes() * rows.len() as u64;
+            Statistics { size_in_bytes: bytes.max(1), row_count: Some(rows.len() as u64) }
+        }
+        LogicalPlan::Filter { input, .. } => {
+            let s = estimate(input);
+            Statistics {
+                size_in_bytes: scale(s.size_in_bytes, FILTER_SELECTIVITY),
+                row_count: s.row_count.map(|r| scale(r, FILTER_SELECTIVITY)),
+            }
+        }
+        LogicalPlan::Project { input, .. } => {
+            let s = estimate(input);
+            let in_width = input.schema().approx_row_bytes();
+            let out_width = plan.schema().approx_row_bytes();
+            let ratio = (out_width as f64 / in_width.max(1) as f64).min(1.0);
+            Statistics { size_in_bytes: scale(s.size_in_bytes, ratio), row_count: s.row_count }
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            let l = estimate(left);
+            let r = estimate(right);
+            // Assume FK-style join: output about the size of the bigger
+            // input (bounded to avoid overflow on unknowns).
+            Statistics {
+                size_in_bytes: l.size_in_bytes.max(r.size_in_bytes),
+                row_count: match (l.row_count, r.row_count) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                },
+            }
+        }
+        LogicalPlan::Aggregate { input, groupings, .. } => {
+            let s = estimate(input);
+            if groupings.is_empty() {
+                Statistics {
+                    size_in_bytes: plan.schema().approx_row_bytes(),
+                    row_count: Some(1),
+                }
+            } else {
+                Statistics {
+                    size_in_bytes: scale(s.size_in_bytes, AGGREGATE_RATIO),
+                    row_count: s.row_count.map(|r| scale(r, AGGREGATE_RATIO)),
+                }
+            }
+        }
+        LogicalPlan::Sort { input, .. } | LogicalPlan::SubqueryAlias { input, .. } => {
+            estimate(input)
+        }
+        LogicalPlan::Distinct { input } => {
+            let s = estimate(input);
+            Statistics {
+                size_in_bytes: scale(s.size_in_bytes, 0.5),
+                row_count: s.row_count.map(|r| scale(r, 0.5)),
+            }
+        }
+        LogicalPlan::Limit { input, n } => {
+            // Footnote 5: LIMIT makes the size known.
+            let s = estimate(input);
+            let width = plan.schema().approx_row_bytes();
+            let capped_rows = match s.row_count {
+                Some(r) => r.min(*n as u64),
+                None => *n as u64,
+            };
+            Statistics {
+                size_in_bytes: (capped_rows * width).min(s.size_in_bytes).max(1),
+                row_count: Some(capped_rows),
+            }
+        }
+        LogicalPlan::Union { inputs } => {
+            let mut size = 0u64;
+            let mut rows = Some(0u64);
+            for i in inputs {
+                let s = estimate(i);
+                size = size.saturating_add(s.size_in_bytes);
+                rows = match (rows, s.row_count) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                };
+            }
+            Statistics { size_in_bytes: size, row_count: rows }
+        }
+        LogicalPlan::Sample { input, fraction, .. } => {
+            let s = estimate(input);
+            Statistics {
+                size_in_bytes: scale(s.size_in_bytes, *fraction),
+                row_count: s.row_count.map(|r| scale(r, *fraction)),
+            }
+        }
+    }
+}
+
+fn scale(v: u64, f: f64) -> u64 {
+    if v >= u64::MAX / 8 {
+        return v; // keep "unknown" huge
+    }
+    ((v as f64 * f) as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builders::{col, lit};
+    use crate::expr::ColumnRef;
+    use crate::row::Row;
+    use crate::types::DataType;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn local(n: usize) -> LogicalPlan {
+        LogicalPlan::LocalRelation {
+            output: vec![ColumnRef::new("x", DataType::Long, false)],
+            rows: Arc::new((0..n).map(|i| Row::new(vec![Value::Long(i as i64)])).collect()),
+        }
+    }
+
+    #[test]
+    fn local_relation_size_is_exact() {
+        let s = estimate(&local(100));
+        assert_eq!(s.row_count, Some(100));
+        assert_eq!(s.size_in_bytes, 800);
+    }
+
+    #[test]
+    fn limit_bounds_the_estimate() {
+        let plan = local(1_000_000).limit(10);
+        let s = estimate(&plan);
+        assert_eq!(s.row_count, Some(10));
+        assert!(s.size_in_bytes <= 100);
+    }
+
+    #[test]
+    fn filter_halves_the_estimate() {
+        let base = estimate(&local(100)).size_in_bytes;
+        let filtered = estimate(&local(100).filter(col("x").gt(lit(0i64))));
+        assert_eq!(filtered.size_in_bytes, base / 2);
+    }
+
+    #[test]
+    fn unknown_stays_huge() {
+        let s = estimate(&LogicalPlan::UnresolvedRelation { name: "t".into() });
+        assert!(s.size_in_bytes > u64::MAX / 8);
+        let filtered = estimate(
+            &LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(lit(true)),
+        );
+        assert!(filtered.size_in_bytes > u64::MAX / 8, "filters must not shrink unknowns");
+    }
+
+    #[test]
+    fn global_aggregate_is_one_row() {
+        let plan = local(1000).aggregate(vec![], vec![]);
+        assert_eq!(estimate(&plan).row_count, Some(1));
+    }
+}

@@ -1,0 +1,102 @@
+//! EXPLAIN-style pretty printing for logical plans.
+
+use super::logical::LogicalPlan;
+use std::fmt;
+
+impl LogicalPlan {
+    /// One-line description of this node (no children).
+    pub fn node_description(&self) -> String {
+        match self {
+            LogicalPlan::UnresolvedRelation { name } => format!("UnresolvedRelation [{name}]"),
+            LogicalPlan::Scan { relation, filters, .. } => {
+                if filters.is_empty() {
+                    format!("Scan {}", relation.name())
+                } else {
+                    let fs: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
+                    format!("Scan {} [pushed: {}]", relation.name(), fs.join(", "))
+                }
+            }
+            LogicalPlan::External { data, .. } => format!("ExternalScan {}", data.name()),
+            LogicalPlan::LocalRelation { rows, output } => {
+                let cols: Vec<&str> = output.iter().map(|c| c.name.as_ref()).collect();
+                format!("LocalRelation [{}] ({} rows)", cols.join(", "), rows.len())
+            }
+            LogicalPlan::Project { exprs, .. } => {
+                let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Project [{}]", es.join(", "))
+            }
+            LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            LogicalPlan::Join { join_type, condition, .. } => match condition {
+                Some(c) => format!("Join {} ON {c}", join_type.keyword()),
+                None => format!("Join {}", join_type.keyword()),
+            },
+            LogicalPlan::Aggregate { groupings, aggregates, .. } => {
+                let gs: Vec<String> = groupings.iter().map(|e| e.to_string()).collect();
+                let as_: Vec<String> = aggregates.iter().map(|e| e.to_string()).collect();
+                format!("Aggregate [{}] [{}]", gs.join(", "), as_.join(", "))
+            }
+            LogicalPlan::Sort { orders, .. } => {
+                let os: Vec<String> = orders
+                    .iter()
+                    .map(|o| {
+                        format!("{} {}", o.expr, if o.ascending { "ASC" } else { "DESC" })
+                    })
+                    .collect();
+                format!("Sort [{}]", os.join(", "))
+            }
+            LogicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            LogicalPlan::Union { inputs } => format!("Union ({} inputs)", inputs.len()),
+            LogicalPlan::Distinct { .. } => "Distinct".to_string(),
+            LogicalPlan::SubqueryAlias { alias, .. } => format!("SubqueryAlias {alias}"),
+            LogicalPlan::Sample { fraction, .. } => format!("Sample {fraction}"),
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        for _ in 0..indent {
+            write!(f, "  ")?;
+        }
+        writeln!(f, "{}", self.node_description())?;
+        for c in self.children() {
+            c.fmt_indent(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+impl fmt::Debug for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::builders::{col, lit};
+    use crate::expr::ColumnRef;
+    use crate::plan::LogicalPlan;
+    use crate::types::DataType;
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_tree_with_indentation() {
+        let plan = LogicalPlan::LocalRelation {
+            output: vec![ColumnRef::new("a", DataType::Long, false)],
+            rows: Arc::new(vec![]),
+        }
+        .filter(col("a").gt(lit(1i64)))
+        .project(vec![col("a")])
+        .limit(5);
+        let text = plan.to_string();
+        assert!(text.starts_with("Limit 5"));
+        assert!(text.contains("\n  Project"));
+        assert!(text.contains("\n    Filter"));
+        assert!(text.contains("\n      LocalRelation"));
+    }
+}

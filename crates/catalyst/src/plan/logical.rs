@@ -1,0 +1,520 @@
+//! The logical plan tree: what DataFrames and SQL queries build, what the
+//! analyzer resolves, and what the optimizer rewrites.
+
+use crate::expr::{ColumnRef, Expr, SortOrder};
+use crate::row::Row;
+use crate::schema::{Schema, SchemaRef};
+use crate::source::{BaseRelation, ExternalData};
+use crate::tree::{Transformed, TreeNode};
+use std::sync::Arc;
+
+/// Join flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    /// Only matching pairs.
+    Inner,
+    /// All left rows, nulls for unmatched right.
+    Left,
+    /// All right rows, nulls for unmatched left.
+    Right,
+    /// All rows from both sides.
+    Full,
+    /// Cartesian product (no condition).
+    Cross,
+}
+
+impl JoinType {
+    /// SQL keyword for display.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            JoinType::Inner => "INNER",
+            JoinType::Left => "LEFT OUTER",
+            JoinType::Right => "RIGHT OUTER",
+            JoinType::Full => "FULL OUTER",
+            JoinType::Cross => "CROSS",
+        }
+    }
+}
+
+/// A node in the logical plan tree.
+#[derive(Clone)]
+pub enum LogicalPlan {
+    /// A table name not yet looked up in the catalog.
+    UnresolvedRelation {
+        /// Table name.
+        name: String,
+    },
+    /// A scan over a data source relation.
+    Scan {
+        /// The source relation.
+        relation: Arc<dyn BaseRelation>,
+        /// Output attributes (created once, ids stable).
+        output: Vec<ColumnRef>,
+        /// Predicates logically pushed into the scan (converted to source
+        /// [`crate::source::Filter`]s at physical planning).
+        filters: Vec<Expr>,
+    },
+    /// A scan over host-program data (an RDD of native objects, §3.5).
+    External {
+        /// Opaque handle the execution layer downcasts.
+        data: Arc<dyn ExternalData>,
+        /// Output attributes.
+        output: Vec<ColumnRef>,
+    },
+    /// Literal rows known at plan time.
+    LocalRelation {
+        /// Output attributes.
+        output: Vec<ColumnRef>,
+        /// The rows.
+        rows: Arc<Vec<Row>>,
+    },
+    /// Column-level transformation (SELECT list).
+    Project {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Projection expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Row filter (WHERE).
+    Filter {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// Binary join.
+    Join {
+        /// Left input.
+        left: Arc<LogicalPlan>,
+        /// Right input.
+        right: Arc<LogicalPlan>,
+        /// Flavor.
+        join_type: JoinType,
+        /// ON condition (None for cross joins).
+        condition: Option<Expr>,
+    },
+    /// Grouped aggregation; `aggregates` is the full output list (grouping
+    /// expressions and/or aggregate functions), as in Spark.
+    Aggregate {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// GROUP BY expressions.
+        groupings: Vec<Expr>,
+        /// Output expressions.
+        aggregates: Vec<Expr>,
+    },
+    /// Total-order sort.
+    Sort {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Sort keys.
+        orders: Vec<SortOrder>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Max rows.
+        n: usize,
+    },
+    /// Bag union of same-schema inputs.
+    Union {
+        /// Inputs.
+        inputs: Vec<Arc<LogicalPlan>>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+    },
+    /// Renames the relation (FROM alias / registered temp view) — output
+    /// ids are preserved, only the qualifier changes.
+    SubqueryAlias {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// New qualifier.
+        alias: Arc<str>,
+    },
+    /// Bernoulli sample (used by the §7.1 online-aggregation extension).
+    Sample {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Sampling fraction in [0, 1].
+        fraction: f64,
+        /// Deterministic seed.
+        seed: u64,
+    },
+}
+
+impl LogicalPlan {
+    /// Output attributes of this node.
+    pub fn output(&self) -> Vec<ColumnRef> {
+        match self {
+            LogicalPlan::UnresolvedRelation { .. } => vec![],
+            LogicalPlan::Scan { output, .. }
+            | LogicalPlan::External { output, .. }
+            | LogicalPlan::LocalRelation { output, .. } => output.clone(),
+            LogicalPlan::Project { exprs, .. } => exprs
+                .iter()
+                .filter_map(|e| e.to_attribute().ok())
+                .collect(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sample { input, .. } => input.output(),
+            LogicalPlan::Join { left, right, join_type, .. } => {
+                let mut out = left.output();
+                let mut r = right.output();
+                // Outer sides become nullable.
+                match join_type {
+                    JoinType::Left => r.iter_mut().for_each(|c| c.nullable = true),
+                    JoinType::Right => out.iter_mut().for_each(|c| c.nullable = true),
+                    JoinType::Full => {
+                        out.iter_mut().for_each(|c| c.nullable = true);
+                        r.iter_mut().for_each(|c| c.nullable = true);
+                    }
+                    _ => {}
+                }
+                out.extend(r);
+                out
+            }
+            LogicalPlan::Aggregate { aggregates, .. } => aggregates
+                .iter()
+                .filter_map(|e| e.to_attribute().ok())
+                .collect(),
+            LogicalPlan::Union { inputs } => {
+                inputs.first().map(|i| i.output()).unwrap_or_default()
+            }
+            LogicalPlan::SubqueryAlias { input, alias } => input
+                .output()
+                .into_iter()
+                .map(|mut c| {
+                    c.qualifier = Some(alias.clone());
+                    c
+                })
+                .collect(),
+        }
+    }
+
+    /// Schema derived from [`LogicalPlan::output`].
+    pub fn schema(&self) -> SchemaRef {
+        Arc::new(
+            self.output()
+                .into_iter()
+                .map(|c| crate::types::StructField::new(c.name, c.dtype, c.nullable))
+                .collect::<Schema>(),
+        )
+    }
+
+    /// Direct children.
+    pub fn children(&self) -> Vec<Arc<LogicalPlan>> {
+        match self {
+            LogicalPlan::UnresolvedRelation { .. }
+            | LogicalPlan::Scan { .. }
+            | LogicalPlan::External { .. }
+            | LogicalPlan::LocalRelation { .. } => vec![],
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::SubqueryAlias { input, .. }
+            | LogicalPlan::Sample { input, .. } => vec![input.clone()],
+            LogicalPlan::Join { left, right, .. } => vec![left.clone(), right.clone()],
+            LogicalPlan::Union { inputs } => inputs.clone(),
+        }
+    }
+
+    /// Expressions held directly by this node (not descendants').
+    pub fn expressions(&self) -> Vec<Expr> {
+        match self {
+            LogicalPlan::Project { exprs, .. } => exprs.clone(),
+            LogicalPlan::Filter { predicate, .. } => vec![predicate.clone()],
+            LogicalPlan::Scan { filters, .. } => filters.clone(),
+            LogicalPlan::Join { condition, .. } => condition.iter().cloned().collect(),
+            LogicalPlan::Aggregate { groupings, aggregates, .. } => {
+                groupings.iter().chain(aggregates.iter()).cloned().collect()
+            }
+            LogicalPlan::Sort { orders, .. } => orders.iter().map(|o| o.expr.clone()).collect(),
+            _ => vec![],
+        }
+    }
+
+    /// Rebuild this node with its expressions rewritten by `f`.
+    pub fn map_expressions(
+        self,
+        f: &mut dyn FnMut(Expr) -> Transformed<Expr>,
+    ) -> Transformed<LogicalPlan> {
+        let mut ch = false;
+        let mut apply = |e: Expr| {
+            let t = f(e);
+            ch |= t.changed;
+            t.data
+        };
+        let out = match self {
+            LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+                input,
+                exprs: exprs.into_iter().map(&mut apply).collect(),
+            },
+            LogicalPlan::Filter { input, predicate } => {
+                LogicalPlan::Filter { input, predicate: apply(predicate) }
+            }
+            LogicalPlan::Scan { relation, output, filters } => LogicalPlan::Scan {
+                relation,
+                output,
+                filters: filters.into_iter().map(&mut apply).collect(),
+            },
+            LogicalPlan::Join { left, right, join_type, condition } => LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                condition: condition.map(&mut apply),
+            },
+            LogicalPlan::Aggregate { input, groupings, aggregates } => LogicalPlan::Aggregate {
+                input,
+                groupings: groupings.into_iter().map(&mut apply).collect(),
+                aggregates: aggregates.into_iter().map(&mut apply).collect(),
+            },
+            LogicalPlan::Sort { input, orders } => LogicalPlan::Sort {
+                input,
+                orders: orders
+                    .into_iter()
+                    .map(|o| SortOrder { expr: apply(o.expr), ascending: o.ascending })
+                    .collect(),
+            },
+            other => other,
+        };
+        Transformed { data: out, changed: ch }
+    }
+
+    /// The paper's `transformAllExpressions`: rewrite every expression in
+    /// every node of the plan, bottom-up on both trees.
+    pub fn transform_all_expressions(
+        self,
+        f: &mut dyn FnMut(Expr) -> Transformed<Expr>,
+    ) -> Transformed<LogicalPlan> {
+        self.transform_up(&mut |plan| plan.map_expressions(&mut |e| e.transform_up(f)))
+    }
+
+    /// True once analysis has resolved every name in the subtree.
+    pub fn is_resolved(&self) -> bool {
+        let mut ok = true;
+        self.for_each(&mut |p| {
+            if matches!(p, LogicalPlan::UnresolvedRelation { .. }) {
+                ok = false;
+            }
+            for e in p.expressions() {
+                if !e.is_resolved() {
+                    ok = false;
+                }
+            }
+        });
+        ok
+    }
+
+    // ---- construction helpers (used by the DataFrame API and the SQL
+    // planner; plans built this way are unanalyzed) ----
+
+    /// Wrap in a projection.
+    pub fn project(self, exprs: Vec<Expr>) -> LogicalPlan {
+        LogicalPlan::Project { input: Arc::new(self), exprs }
+    }
+
+    /// Wrap in a filter.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter { input: Arc::new(self), predicate }
+    }
+
+    /// Join with another plan.
+    pub fn join(self, right: LogicalPlan, join_type: JoinType, condition: Option<Expr>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Arc::new(self),
+            right: Arc::new(right),
+            join_type,
+            condition,
+        }
+    }
+
+    /// Group and aggregate.
+    pub fn aggregate(self, groupings: Vec<Expr>, aggregates: Vec<Expr>) -> LogicalPlan {
+        LogicalPlan::Aggregate { input: Arc::new(self), groupings, aggregates }
+    }
+
+    /// Sort.
+    pub fn sort(self, orders: Vec<SortOrder>) -> LogicalPlan {
+        LogicalPlan::Sort { input: Arc::new(self), orders }
+    }
+
+    /// Limit.
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit { input: Arc::new(self), n }
+    }
+
+    /// Distinct.
+    pub fn distinct(self) -> LogicalPlan {
+        LogicalPlan::Distinct { input: Arc::new(self) }
+    }
+
+    /// Alias the relation.
+    pub fn subquery_alias(self, alias: impl Into<Arc<str>>) -> LogicalPlan {
+        LogicalPlan::SubqueryAlias { input: Arc::new(self), alias: alias.into() }
+    }
+
+    /// Bernoulli sample.
+    pub fn sample(self, fraction: f64, seed: u64) -> LogicalPlan {
+        LogicalPlan::Sample { input: Arc::new(self), fraction, seed }
+    }
+
+    /// Union with other plans.
+    pub fn union(self, others: Vec<LogicalPlan>) -> LogicalPlan {
+        let mut inputs = vec![Arc::new(self)];
+        inputs.extend(others.into_iter().map(Arc::new));
+        LogicalPlan::Union { inputs }
+    }
+
+    /// An empty relation with the given output attributes (what
+    /// `Filter(false)` simplifies to).
+    pub fn empty(output: Vec<ColumnRef>) -> LogicalPlan {
+        LogicalPlan::LocalRelation { output, rows: Arc::new(vec![]) }
+    }
+}
+
+impl TreeNode for LogicalPlan {
+    fn map_children(
+        self,
+        f: &mut dyn FnMut(LogicalPlan) -> Transformed<LogicalPlan>,
+    ) -> Transformed<LogicalPlan> {
+        let mut ch = false;
+        let mut apply = |p: Arc<LogicalPlan>| {
+            let t = f((*p).clone());
+            ch |= t.changed;
+            Arc::new(t.data)
+        };
+        let out = match self {
+            leaf @ (LogicalPlan::UnresolvedRelation { .. }
+            | LogicalPlan::Scan { .. }
+            | LogicalPlan::External { .. }
+            | LogicalPlan::LocalRelation { .. }) => leaf,
+            LogicalPlan::Project { input, exprs } => {
+                LogicalPlan::Project { input: apply(input), exprs }
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                LogicalPlan::Filter { input: apply(input), predicate }
+            }
+            LogicalPlan::Join { left, right, join_type, condition } => LogicalPlan::Join {
+                left: apply(left),
+                right: apply(right),
+                join_type,
+                condition,
+            },
+            LogicalPlan::Aggregate { input, groupings, aggregates } => {
+                LogicalPlan::Aggregate { input: apply(input), groupings, aggregates }
+            }
+            LogicalPlan::Sort { input, orders } => {
+                LogicalPlan::Sort { input: apply(input), orders }
+            }
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit { input: apply(input), n },
+            LogicalPlan::Union { inputs } => {
+                LogicalPlan::Union { inputs: inputs.into_iter().map(&mut apply).collect() }
+            }
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: apply(input) },
+            LogicalPlan::SubqueryAlias { input, alias } => {
+                LogicalPlan::SubqueryAlias { input: apply(input), alias }
+            }
+            LogicalPlan::Sample { input, fraction, seed } => {
+                LogicalPlan::Sample { input: apply(input), fraction, seed }
+            }
+        };
+        Transformed { data: out, changed: ch }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&LogicalPlan)) {
+        f(self);
+        for c in self.children() {
+            c.for_each(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builders::{col, count, lit};
+    use crate::expr::ColumnRef;
+    use crate::types::DataType;
+
+    fn leaf() -> LogicalPlan {
+        LogicalPlan::LocalRelation {
+            output: vec![
+                ColumnRef::new("a", DataType::Long, false),
+                ColumnRef::new("b", DataType::String, true),
+            ],
+            rows: Arc::new(vec![]),
+        }
+    }
+
+    #[test]
+    fn output_flows_through_unary_nodes() {
+        let p = leaf().filter(col("a").gt(lit(1i64))).limit(10);
+        assert_eq!(p.output().len(), 2);
+        assert_eq!(p.schema().field(0).name.as_ref(), "a");
+    }
+
+    #[test]
+    fn join_output_concatenates_and_nullifies() {
+        let l = leaf();
+        let r = leaf();
+        let j = l.join(r, JoinType::Left, None);
+        let out = j.output();
+        assert_eq!(out.len(), 4);
+        assert!(!out[0].nullable);
+        assert!(out[2].nullable, "right side of a left join becomes nullable");
+    }
+
+    #[test]
+    fn subquery_alias_requalifies_but_keeps_ids() {
+        let base = leaf();
+        let id_before = base.output()[0].id;
+        let aliased = base.subquery_alias("t");
+        let out = aliased.output();
+        assert_eq!(out[0].qualifier.as_deref(), Some("t"));
+        assert_eq!(out[0].id, id_before);
+    }
+
+    #[test]
+    fn is_resolved_detects_unresolved_names() {
+        let p = leaf().filter(col("missing").gt(lit(1)));
+        assert!(!p.is_resolved()); // col("missing") is an UnresolvedAttribute
+        let resolved_leaf = leaf();
+        let a = resolved_leaf.output()[0].clone();
+        let p = resolved_leaf.filter(Expr::Column(a).gt(lit(1i64)));
+        assert!(p.is_resolved());
+        let u = LogicalPlan::UnresolvedRelation { name: "t".into() };
+        assert!(!u.is_resolved());
+    }
+
+    #[test]
+    fn transform_all_expressions_reaches_nested_nodes() {
+        let p = leaf()
+            .filter(col("a").gt(lit(1i64)))
+            .aggregate(vec![col("b")], vec![count(col("a")).alias("n")]);
+        let out = p.transform_all_expressions(&mut |e| match e {
+            Expr::Literal(_) => Transformed::yes(Expr::Literal(crate::value::Value::Long(99))),
+            other => Transformed::no(other),
+        });
+        assert!(out.changed);
+        let mut found = false;
+        out.data.for_each(&mut |n| {
+            for e in n.expressions() {
+                e.for_each_node(&mut |e| {
+                    if matches!(e, Expr::Literal(crate::value::Value::Long(99))) {
+                        found = true;
+                    }
+                });
+            }
+        });
+        assert!(found);
+    }
+}

@@ -1,0 +1,6 @@
+//! Logical query plans.
+
+pub mod display;
+pub mod logical;
+
+pub use logical::{JoinType, LogicalPlan};

@@ -1,0 +1,212 @@
+//! Rule executor: batches of rules run to fixed point (§4.2).
+//!
+//! "Catalyst groups rules into batches, and executes each batch until it
+//! reaches a fixed point, that is, until the tree stops changing after
+//! applying its rules." Rules report change through the
+//! [`Transformed::changed`] flag; a batch terminates when a full pass over
+//! its rules changes nothing, or when the iteration cap is hit (a safety
+//! valve against non-converging rule sets).
+
+use crate::tree::Transformed;
+
+/// A named rewrite over trees of type `T`.
+pub trait Rule<T>: Send + Sync {
+    /// Rule name for tracing/EXPLAIN.
+    fn name(&self) -> &str;
+    /// Apply once; report whether anything changed.
+    fn apply(&self, tree: T) -> Transformed<T>;
+}
+
+/// Wrap a closure as a rule.
+pub struct FnRule<T> {
+    name: String,
+    f: Box<dyn Fn(T) -> Transformed<T> + Send + Sync>,
+}
+
+impl<T> FnRule<T> {
+    /// Create a rule from a closure.
+    pub fn new(name: impl Into<String>, f: impl Fn(T) -> Transformed<T> + Send + Sync + 'static) -> Self {
+        FnRule { name: name.into(), f: Box::new(f) }
+    }
+}
+
+impl<T> Rule<T> for FnRule<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn apply(&self, tree: T) -> Transformed<T> {
+        (self.f)(tree)
+    }
+}
+
+/// How many times a batch may run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Run each rule exactly once.
+    Once,
+    /// Iterate until no rule changes the tree, capped at `max_iterations`.
+    FixedPoint {
+        /// Iteration cap.
+        max_iterations: usize,
+    },
+}
+
+/// A named group of rules with an execution strategy.
+pub struct Batch<T> {
+    /// Batch name.
+    pub name: String,
+    /// Execution strategy.
+    pub strategy: Strategy,
+    /// Rules in application order.
+    pub rules: Vec<Box<dyn Rule<T>>>,
+}
+
+impl<T> Batch<T> {
+    /// A fixed-point batch with the default cap of 100 iterations.
+    pub fn fixed_point(name: impl Into<String>, rules: Vec<Box<dyn Rule<T>>>) -> Self {
+        Batch { name: name.into(), strategy: Strategy::FixedPoint { max_iterations: 100 }, rules }
+    }
+
+    /// A once batch.
+    pub fn once(name: impl Into<String>, rules: Vec<Box<dyn Rule<T>>>) -> Self {
+        Batch { name: name.into(), strategy: Strategy::Once, rules }
+    }
+}
+
+/// Trace record of one rule application that changed the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Batch the rule ran in.
+    pub batch: String,
+    /// Rule that fired.
+    pub rule: String,
+    /// Iteration within the batch.
+    pub iteration: usize,
+}
+
+/// Runs batches of rules in order.
+pub struct RuleExecutor<T> {
+    batches: Vec<Batch<T>>,
+}
+
+impl<T> RuleExecutor<T> {
+    /// Build an executor from batches.
+    pub fn new(batches: Vec<Batch<T>>) -> Self {
+        RuleExecutor { batches }
+    }
+
+    /// Append a batch (the extension point: "developers can add batches of
+    /// rules to each phase of query optimization at runtime", §4.4).
+    pub fn add_batch(&mut self, batch: Batch<T>) {
+        self.batches.push(batch);
+    }
+
+    /// Insert a batch before the others (for rules that must see the raw
+    /// tree first).
+    pub fn prepend_batch(&mut self, batch: Batch<T>) {
+        self.batches.insert(0, batch);
+    }
+
+    /// Run every batch; optionally record which rules fired into `trace`.
+    pub fn execute(&self, mut tree: T, mut trace: Option<&mut Vec<TraceEvent>>) -> T {
+        for batch in &self.batches {
+            let max = match batch.strategy {
+                Strategy::Once => 1,
+                Strategy::FixedPoint { max_iterations } => max_iterations,
+            };
+            for iteration in 0..max {
+                let mut any_change = false;
+                for rule in &batch.rules {
+                    let out = rule.apply(tree);
+                    if out.changed {
+                        any_change = true;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(TraceEvent {
+                                batch: batch.name.clone(),
+                                rule: rule.name().to_string(),
+                                iteration,
+                            });
+                        }
+                    }
+                    tree = out.data;
+                }
+                if !any_change {
+                    break; // fixed point
+                }
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trees are plain i64 here; rules are numeric rewrites.
+    fn halve() -> Box<dyn Rule<i64>> {
+        Box::new(FnRule::new("halve", |n: i64| {
+            if n > 1 && n % 2 == 0 {
+                Transformed::yes(n / 2)
+            } else {
+                Transformed::no(n)
+            }
+        }))
+    }
+
+    fn dec_odd() -> Box<dyn Rule<i64>> {
+        Box::new(FnRule::new("dec-odd", |n: i64| {
+            if n > 1 && n % 2 == 1 {
+                Transformed::yes(n - 1)
+            } else {
+                Transformed::no(n)
+            }
+        }))
+    }
+
+    #[test]
+    fn fixed_point_composes_simple_rules_into_global_effect() {
+        // Collatz-ish: repeatedly halving/decrementing reaches 1 — each
+        // rule is tiny but the batch has a large cumulative effect (§4.2).
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("shrink", vec![halve(), dec_odd()])]);
+        assert_eq!(exec.execute(1000, None), 1);
+        assert_eq!(exec.execute(77, None), 1);
+    }
+
+    #[test]
+    fn once_strategy_runs_single_pass() {
+        let exec = RuleExecutor::new(vec![Batch::once("shrink", vec![halve()])]);
+        assert_eq!(exec.execute(8, None), 4);
+    }
+
+    #[test]
+    fn iteration_cap_stops_nonconverging_batches() {
+        let flip = Box::new(FnRule::new("flip", |n: i64| Transformed::yes(-n)));
+        let exec = RuleExecutor::new(vec![Batch {
+            name: "osc".into(),
+            strategy: Strategy::FixedPoint { max_iterations: 7 },
+            rules: vec![flip],
+        }]);
+        // 7 iterations of negation: odd count -> negated.
+        assert_eq!(exec.execute(5, None), -5);
+    }
+
+    #[test]
+    fn trace_records_fired_rules() {
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("shrink", vec![halve()])]);
+        let mut trace = Vec::new();
+        exec.execute(8, Some(&mut trace));
+        assert_eq!(trace.len(), 3); // 8 -> 4 -> 2 -> 1
+        assert!(trace.iter().all(|e| e.rule == "halve"));
+    }
+
+    #[test]
+    fn added_batches_run_after_existing_ones() {
+        let mut exec = RuleExecutor::new(vec![Batch::once("noop", vec![])]);
+        exec.add_batch(Batch::once(
+            "user",
+            vec![Box::new(FnRule::new("plus-one", |n: i64| Transformed::yes(n + 1)))],
+        ));
+        assert_eq!(exec.execute(1, None), 2);
+    }
+}

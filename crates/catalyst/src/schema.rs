@@ -1,0 +1,158 @@
+//! Relation schemas: an ordered list of named, typed fields.
+
+use crate::error::{CatalystError, Result};
+use crate::types::{DataType, StructField};
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+/// Ordered collection of fields describing a relation or DataFrame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<StructField>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<StructField>) -> Self {
+        Schema { fields }
+    }
+
+    /// Empty schema.
+    pub fn empty() -> SchemaRef {
+        Arc::new(Schema { fields: vec![] })
+    }
+
+    /// Fields in order.
+    pub fn fields(&self) -> &[StructField] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &StructField {
+        &self.fields[i]
+    }
+
+    /// Index of the field named `name` (case-insensitive, like Spark SQL).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.name.eq_ignore_ascii_case(name) {
+                if found.is_some() {
+                    return Err(CatalystError::analysis(format!(
+                        "ambiguous column reference '{name}'"
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let known: Vec<&str> = self.fields.iter().map(|f| f.name.as_ref()).collect();
+            CatalystError::analysis(format!(
+                "cannot resolve column '{name}' among ({})",
+                known.join(", ")
+            ))
+        })
+    }
+
+    /// Select a subset of fields by position.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn merge(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Rough serialized size of one row with this schema (cost model).
+    pub fn approx_row_bytes(&self) -> u64 {
+        self.fields.iter().map(|f| f.dtype.approx_value_bytes()).sum::<u64>().max(1)
+    }
+
+    /// Equivalent struct data type.
+    pub fn as_struct_type(&self) -> DataType {
+        DataType::struct_type(self.fields.clone())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, ",")?;
+            }
+            write!(f, "{} {}", field.name, field.dtype)?;
+            if !field.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<StructField> for Schema {
+    fn from_iter<I: IntoIterator<Item = StructField>>(iter: I) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            StructField::new("id", DataType::Long, false),
+            StructField::new("name", DataType::String, true),
+        ])
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("NAME").unwrap(), 1);
+        assert_eq!(s.index_of("id").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_column_lists_candidates() {
+        let err = sample().index_of("missing").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("missing"));
+        assert!(msg.contains("id"));
+    }
+
+    #[test]
+    fn ambiguous_column_is_an_error() {
+        let s = Schema::new(vec![
+            StructField::new("x", DataType::Int, false),
+            StructField::new("X", DataType::Long, false),
+        ]);
+        assert!(s.index_of("x").is_err());
+    }
+
+    #[test]
+    fn project_and_merge() {
+        let s = sample();
+        let p = s.project(&[1]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.field(0).name.as_ref(), "name");
+        let m = s.merge(&p);
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! The data source API (§4.4.1): Catalyst's first public extension point.
+//!
+//! A source implements [`BaseRelation`] and declares, via
+//! [`ScanCapability`], how much of the query it can absorb:
+//!
+//! * `TableScan` — returns all rows of the table;
+//! * `PrunedScan` — takes the column indices to read;
+//! * `PrunedFilteredScan` — additionally takes an array of advisory
+//!   [`Filter`]s (a deliberately small subset of expression syntax:
+//!   comparisons against constants and IN, each on one attribute);
+//! * `CatalystScan` — receives complete Catalyst expression trees.
+//!
+//! Filters are *advisory*: a source may return false positives for
+//! filters it cannot evaluate; the engine re-applies the predicate above
+//! the scan unless the source reports the filter as exactly handled.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::row::Row;
+use crate::schema::SchemaRef;
+use crate::value::Value;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Boxed row iterator produced by one scan partition.
+pub type RowIter = Box<dyn Iterator<Item = Row> + Send>;
+
+/// How sophisticated a relation's scan interface is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanCapability {
+    /// Full scans only.
+    TableScan,
+    /// Column pruning.
+    PrunedScan,
+    /// Column pruning + advisory filter pushdown.
+    PrunedFilteredScan,
+    /// Receives raw Catalyst predicate expressions.
+    CatalystScan,
+}
+
+/// The advisory filter language pushed into sources (§4.4.1 footnote 7:
+/// "equality, comparisons against a constant, and IN clauses, each on one
+/// attribute").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// `column = value`.
+    Eq(String, Value),
+    /// `column > value`.
+    Gt(String, Value),
+    /// `column >= value`.
+    GtEq(String, Value),
+    /// `column < value`.
+    Lt(String, Value),
+    /// `column <= value`.
+    LtEq(String, Value),
+    /// `column IN (values…)`.
+    In(String, Vec<Value>),
+    /// `column IS NOT NULL`.
+    IsNotNull(String),
+    /// `column IS NULL`.
+    IsNull(String),
+    /// `column LIKE 'prefix%'` → prefix match.
+    StringStartsWith(String, String),
+    /// `column LIKE '%infix%'` → containment.
+    StringContains(String, String),
+}
+
+impl Filter {
+    /// The single attribute this filter constrains.
+    pub fn column(&self) -> &str {
+        match self {
+            Filter::Eq(c, _)
+            | Filter::Gt(c, _)
+            | Filter::GtEq(c, _)
+            | Filter::Lt(c, _)
+            | Filter::LtEq(c, _)
+            | Filter::In(c, _)
+            | Filter::IsNotNull(c)
+            | Filter::IsNull(c)
+            | Filter::StringStartsWith(c, _)
+            | Filter::StringContains(c, _) => c,
+        }
+    }
+
+    /// Evaluate against a value of the filtered column.
+    pub fn matches(&self, v: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Filter::Eq(_, w) => v.sql_cmp(w) == Some(Equal),
+            Filter::Gt(_, w) => v.sql_cmp(w) == Some(Greater),
+            Filter::GtEq(_, w) => matches!(v.sql_cmp(w), Some(Greater | Equal)),
+            Filter::Lt(_, w) => v.sql_cmp(w) == Some(Less),
+            Filter::LtEq(_, w) => matches!(v.sql_cmp(w), Some(Less | Equal)),
+            Filter::In(_, list) => list.iter().any(|w| v.sql_cmp(w) == Some(Equal)),
+            Filter::IsNotNull(_) => !v.is_null(),
+            Filter::IsNull(_) => v.is_null(),
+            Filter::StringStartsWith(_, p) => v.as_str().is_some_and(|s| s.starts_with(p)),
+            Filter::StringContains(_, p) => v.as_str().is_some_and(|s| s.contains(p)),
+        }
+    }
+}
+
+/// A table exposed to the optimizer by a data source.
+pub trait BaseRelation: Send + Sync {
+    /// Human-readable name (file path, table name…).
+    fn name(&self) -> String;
+
+    /// The relation's schema.
+    fn schema(&self) -> SchemaRef;
+
+    /// Estimated size in bytes, if known — feeds the cost-based join
+    /// selection (§4.3.3 footnote 5).
+    fn size_in_bytes(&self) -> Option<u64> {
+        None
+    }
+
+    /// Estimated row count, if known.
+    fn row_count(&self) -> Option<u64> {
+        None
+    }
+
+    /// Scan interface tier.
+    fn capability(&self) -> ScanCapability {
+        ScanCapability::TableScan
+    }
+
+    /// Number of scan partitions this relation naturally splits into.
+    fn num_partitions(&self) -> usize {
+        1
+    }
+
+    /// Scan one partition.
+    ///
+    /// `projection` (indices into [`BaseRelation::schema`]) is honored by
+    /// `PrunedScan`+ sources; `filters` by `PrunedFilteredScan`+ sources,
+    /// advisorily. Lower-tier sources may ignore both — the execution
+    /// layer compensates.
+    fn scan_partition(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        filters: &[Filter],
+    ) -> Result<RowIter>;
+
+    /// `CatalystScan` tier: scan with full predicate expressions. Default
+    /// delegates to [`BaseRelation::scan_partition`] without filters.
+    fn catalyst_scan_partition(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        _predicates: &[Expr],
+    ) -> Result<RowIter> {
+        self.scan_partition(partition, projection, &[])
+    }
+
+    /// Which of `filters` this source evaluates *exactly* (no false
+    /// positives), so the engine can skip re-evaluation. Default: none —
+    /// filters are advisory.
+    fn handled_filters(&self, filters: &[Filter]) -> Vec<bool> {
+        vec![false; filters.len()]
+    }
+
+    /// Write support: append rows. Default: unsupported.
+    fn insert(&self, _rows: Vec<Row>) -> Result<()> {
+        Err(crate::error::CatalystError::DataSource(format!(
+            "relation '{}' is read-only",
+            self.name()
+        )))
+    }
+
+    /// Downcasting hook for engine-specific integrations.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A relation backed by host-program data the optimizer can't interpret
+/// (e.g. an RDD of rows created from native objects, §3.5). The execution
+/// layer downcasts `as_any` to recover its handle.
+pub trait ExternalData: Send + Sync {
+    /// Display name.
+    fn name(&self) -> String;
+    /// The schema inferred for the native objects.
+    fn schema(&self) -> SchemaRef;
+    /// Estimated size in bytes, if known.
+    fn size_in_bytes(&self) -> Option<u64> {
+        None
+    }
+    /// Downcasting hook.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An in-memory relation materialized from literal rows.
+pub struct MemoryTable {
+    name: String,
+    schema: SchemaRef,
+    partitions: Vec<Arc<Vec<Row>>>,
+}
+
+impl MemoryTable {
+    /// Build from rows, split into `num_partitions` chunks.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        rows: Vec<Row>,
+        num_partitions: usize,
+    ) -> Self {
+        let num_partitions = num_partitions.max(1);
+        let total = rows.len();
+        let base = total / num_partitions;
+        let extra = total % num_partitions;
+        let mut it = rows.into_iter();
+        let mut partitions = Vec::with_capacity(num_partitions);
+        for i in 0..num_partitions {
+            let len = base + usize::from(i < extra);
+            partitions.push(Arc::new(it.by_ref().take(len).collect::<Vec<Row>>()));
+        }
+        MemoryTable { name: name.into(), schema, partitions }
+    }
+
+    /// Total row count.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl BaseRelation for MemoryTable {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn size_in_bytes(&self) -> Option<u64> {
+        Some(self.len() as u64 * self.schema.approx_row_bytes())
+    }
+
+    fn row_count(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+
+    fn capability(&self) -> ScanCapability {
+        ScanCapability::TableScan
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn scan_partition(
+        &self,
+        partition: usize,
+        _projection: Option<&[usize]>,
+        _filters: &[Filter],
+    ) -> Result<RowIter> {
+        let rows = self.partitions[partition].clone();
+        Ok(Box::new((0..rows.len()).map(move |i| rows[i].clone())))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::{DataType, StructField};
+
+    #[test]
+    fn filter_matching() {
+        assert!(Filter::Eq("x".into(), Value::Int(5)).matches(&Value::Int(5)));
+        assert!(Filter::Gt("x".into(), Value::Int(5)).matches(&Value::Int(6)));
+        assert!(!Filter::Gt("x".into(), Value::Int(5)).matches(&Value::Null));
+        assert!(Filter::In("x".into(), vec![Value::Int(1), Value::Int(2)]).matches(&Value::Int(2)));
+        assert!(Filter::StringStartsWith("s".into(), "he".into()).matches(&Value::str("hello")));
+        assert!(Filter::IsNull("s".into()).matches(&Value::Null));
+    }
+
+    #[test]
+    fn memory_table_partitions_and_scans() {
+        let schema = Arc::new(Schema::new(vec![StructField::new("x", DataType::Int, false)]));
+        let rows: Vec<Row> = (0..10).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let t = MemoryTable::new("t", schema, rows, 3);
+        assert_eq!(t.num_partitions(), 3);
+        let mut all = Vec::new();
+        for p in 0..3 {
+            all.extend(t.scan_partition(p, None, &[]).unwrap());
+        }
+        assert_eq!(all.len(), 10);
+        assert_eq!(t.row_count(), Some(10));
+        assert!(t.size_in_bytes().unwrap() > 0);
+    }
+}

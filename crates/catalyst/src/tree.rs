@@ -1,0 +1,178 @@
+//! The core tree-transformation protocol (§4.1–4.2 of the paper).
+//!
+//! Catalyst manipulates immutable trees with *rules*: functions from a
+//! tree to another tree. In Scala, rules are partial functions applied by
+//! a generic `transform` method; the Rust analogue is a closure from node
+//! to [`Transformed`] node, where the `changed` flag plays the role of
+//! "the pattern matched" — it is what lets rule batches detect a fixed
+//! point (§4.2: "executes each batch until it reaches a fixed point").
+
+/// A possibly-rewritten tree plus a flag recording whether any rewrite
+/// happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transformed<T> {
+    /// The (possibly new) tree.
+    pub data: T,
+    /// True if this node or any descendant was rewritten.
+    pub changed: bool,
+}
+
+impl<T> Transformed<T> {
+    /// A rewritten node.
+    pub fn yes(data: T) -> Self {
+        Transformed { data, changed: true }
+    }
+
+    /// An unchanged node.
+    pub fn no(data: T) -> Self {
+        Transformed { data, changed: false }
+    }
+
+    /// Map the payload, preserving the flag.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Transformed<U> {
+        Transformed { data: f(self.data), changed: self.changed }
+    }
+
+    /// Combine with another flag.
+    pub fn or_changed(mut self, changed: bool) -> Self {
+        self.changed |= changed;
+        self
+    }
+}
+
+/// Nodes that expose their children for generic traversal.
+///
+/// `transform_up` applies a rewrite bottom-up (children first), matching
+/// the semantics of Catalyst's `transform`; `transform_down` applies it
+/// top-down (`transformDown`). Both skip nothing: like the paper's partial
+/// functions, a rewrite that doesn't apply simply returns the node
+/// unchanged with `changed = false`.
+pub trait TreeNode: Sized {
+    /// Rebuild this node with each child replaced by `f(child)`,
+    /// reporting whether anything changed.
+    fn map_children(self, f: &mut dyn FnMut(Self) -> Transformed<Self>) -> Transformed<Self>;
+
+    /// Bottom-up rewrite.
+    fn transform_up(self, f: &mut dyn FnMut(Self) -> Transformed<Self>) -> Transformed<Self> {
+        let after_children = self.map_children(&mut |c| c.transform_up(f));
+        let changed = after_children.changed;
+        f(after_children.data).or_changed(changed)
+    }
+
+    /// Top-down rewrite.
+    fn transform_down(self, f: &mut dyn FnMut(Self) -> Transformed<Self>) -> Transformed<Self> {
+        let here = f(self);
+        let changed = here.changed;
+        here.data
+            .map_children(&mut |c| c.transform_down(f))
+            .or_changed(changed)
+    }
+
+    /// Visit every node top-down without rewriting.
+    fn for_each(&self, f: &mut dyn FnMut(&Self));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper's §4.1 toy expression language: Literal / Attribute / Add.
+    #[derive(Debug, Clone, PartialEq)]
+    enum Toy {
+        Literal(i64),
+        Attribute(&'static str),
+        Add(Box<Toy>, Box<Toy>),
+    }
+
+    impl TreeNode for Toy {
+        fn map_children(self, f: &mut dyn FnMut(Self) -> Transformed<Self>) -> Transformed<Self> {
+            match self {
+                Toy::Add(l, r) => {
+                    let l = f(*l);
+                    let r = f(*r);
+                    let changed = l.changed || r.changed;
+                    Transformed {
+                        data: Toy::Add(Box::new(l.data), Box::new(r.data)),
+                        changed,
+                    }
+                }
+                leaf => Transformed::no(leaf),
+            }
+        }
+
+        fn for_each(&self, f: &mut dyn FnMut(&Self)) {
+            f(self);
+            if let Toy::Add(l, r) = self {
+                l.for_each(f);
+                r.for_each(f);
+            }
+        }
+    }
+
+    fn fold_constants(t: Toy) -> Transformed<Toy> {
+        // The paper's example rule:
+        //   case Add(Literal(c1), Literal(c2)) => Literal(c1+c2)
+        //   case Add(left, Literal(0)) => left
+        //   case Add(Literal(0), right) => right
+        match t {
+            Toy::Add(l, r) => match (*l, *r) {
+                (Toy::Literal(c1), Toy::Literal(c2)) => Transformed::yes(Toy::Literal(c1 + c2)),
+                (left, Toy::Literal(0)) => Transformed::yes(left),
+                (Toy::Literal(0), right) => Transformed::yes(right),
+                (l, r) => Transformed::no(Toy::Add(Box::new(l), Box::new(r))),
+            },
+            other => Transformed::no(other),
+        }
+    }
+
+    #[test]
+    fn folds_x_plus_1_plus_2() {
+        // Add(Attribute(x), Add(Literal(1), Literal(2))) => Add(x, 3)
+        let tree = Toy::Add(
+            Box::new(Toy::Attribute("x")),
+            Box::new(Toy::Add(Box::new(Toy::Literal(1)), Box::new(Toy::Literal(2)))),
+        );
+        let out = tree.transform_up(&mut fold_constants);
+        assert!(out.changed);
+        assert_eq!(
+            out.data,
+            Toy::Add(Box::new(Toy::Attribute("x")), Box::new(Toy::Literal(3)))
+        );
+    }
+
+    #[test]
+    fn repeated_application_reaches_fixed_point() {
+        // (x+0)+(3+3): one bottom-up pass folds both sub-adds; a second
+        // pass confirms no further change (fixed point).
+        let tree = Toy::Add(
+            Box::new(Toy::Add(Box::new(Toy::Attribute("x")), Box::new(Toy::Literal(0)))),
+            Box::new(Toy::Add(Box::new(Toy::Literal(3)), Box::new(Toy::Literal(3)))),
+        );
+        let pass1 = tree.transform_up(&mut fold_constants);
+        assert!(pass1.changed);
+        assert_eq!(
+            pass1.data,
+            Toy::Add(Box::new(Toy::Attribute("x")), Box::new(Toy::Literal(6)))
+        );
+        // Second pass: nothing left to fold — the fixed point.
+        let pass2 = pass1.data.clone().transform_up(&mut fold_constants);
+        assert!(!pass2.changed);
+        assert_eq!(pass2.data, pass1.data);
+    }
+
+    #[test]
+    fn unchanged_tree_reports_no_change() {
+        let tree = Toy::Add(Box::new(Toy::Attribute("x")), Box::new(Toy::Attribute("y")));
+        let out = tree.clone().transform_up(&mut fold_constants);
+        assert!(!out.changed);
+        assert_eq!(out.data, tree);
+    }
+
+    #[test]
+    fn for_each_visits_all_nodes() {
+        let tree = Toy::Add(Box::new(Toy::Literal(1)), Box::new(Toy::Literal(2)));
+        let mut count = 0;
+        tree.for_each(&mut |_| count += 1);
+        assert_eq!(count, 3);
+    }
+}

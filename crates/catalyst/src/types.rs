@@ -1,0 +1,270 @@
+//! The Spark SQL data model (§3.2): all major SQL data types plus
+//! first-class complex types (structs, arrays, maps) that can nest, and
+//! user-defined types that map onto built-in structures (§4.4.2).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A field of a struct type or a table schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StructField {
+    /// Field name.
+    pub name: Arc<str>,
+    /// Field type.
+    pub dtype: DataType,
+    /// Whether nulls may appear.
+    pub nullable: bool,
+}
+
+impl StructField {
+    /// Create a field.
+    pub fn new(name: impl Into<Arc<str>>, dtype: DataType, nullable: bool) -> Self {
+        StructField { name: name.into(), dtype, nullable }
+    }
+}
+
+/// Data types supported by the engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// The type of `NULL` literals before coercion.
+    Null,
+    /// Booleans.
+    Boolean,
+    /// 32-bit signed integers.
+    Int,
+    /// 64-bit signed integers.
+    Long,
+    /// 32-bit IEEE floats.
+    Float,
+    /// 64-bit IEEE floats.
+    Double,
+    /// Fixed-precision decimal: (precision, scale), stored unscaled in an
+    /// `i128`.
+    Decimal(u8, u8),
+    /// UTF-8 strings.
+    String,
+    /// Days since the Unix epoch.
+    Date,
+    /// Microseconds since the Unix epoch.
+    Timestamp,
+    /// Raw bytes.
+    Binary,
+    /// Variable-length array of one element type.
+    Array(Box<DataType>),
+    /// Nested record.
+    Struct(Arc<Vec<StructField>>),
+    /// Key/value map (represented as sorted pairs).
+    Map(Box<DataType>, Box<DataType>),
+}
+
+impl DataType {
+    /// Struct type helper.
+    pub fn struct_type(fields: Vec<StructField>) -> DataType {
+        DataType::Struct(Arc::new(fields))
+    }
+
+    /// True for Int/Long/Float/Double/Decimal.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            DataType::Int
+                | DataType::Long
+                | DataType::Float
+                | DataType::Double
+                | DataType::Decimal(_, _)
+        )
+    }
+
+    /// True for Int/Long.
+    pub fn is_integral(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Long)
+    }
+
+    /// True for Float/Double.
+    pub fn is_floating(&self) -> bool {
+        matches!(self, DataType::Float | DataType::Double)
+    }
+
+    /// True if values of this type have a total order usable in ORDER BY
+    /// and range partitioning.
+    pub fn is_orderable(&self) -> bool {
+        !matches!(self, DataType::Map(_, _))
+    }
+
+    /// The most specific common supertype of two types, if any — the
+    /// lattice used by both type coercion (§4.3.1) and JSON schema
+    /// inference (§5.1, "most specific supertype" merge).
+    pub fn tightest_common_type(a: &DataType, b: &DataType) -> Option<DataType> {
+        use DataType::*;
+        if a == b {
+            return Some(a.clone());
+        }
+        match (a, b) {
+            (Null, t) | (t, Null) => Some(t.clone()),
+            // Numeric precedence lattice (as in Spark SQL):
+            // Int < Long < Float < Double.
+            (Int, Long) | (Long, Int) => Some(Long),
+            (Float, Double) | (Double, Float) => Some(Double),
+            (i, Float) | (Float, i) if i.is_integral() => Some(Float),
+            (i, Double) | (Double, i) if i.is_integral() => Some(Double),
+            // Decimal unifies with any numeric by widening.
+            (Decimal(p1, s1), Decimal(p2, s2)) => {
+                let scale = (*s1).max(*s2);
+                let whole = (p1 - s1).max(p2 - s2);
+                Some(Decimal((whole + scale).min(38), scale))
+            }
+            (Decimal(_, s), t) | (t, Decimal(_, s)) if t.is_integral() => {
+                Some(Decimal(38.min(20 + s), *s))
+            }
+            (Decimal(_, _), t) | (t, Decimal(_, _)) if t.is_floating() => Some(Double),
+            // Arrays merge element-wise.
+            (Array(x), Array(y)) => {
+                DataType::tightest_common_type(x, y).map(|e| Array(Box::new(e)))
+            }
+            // Structs merge field-wise by name (union of fields; a field
+            // missing on one side becomes nullable).
+            (Struct(fa), Struct(fb)) => {
+                let mut fields: Vec<StructField> = Vec::new();
+                for f in fa.iter() {
+                    match fb.iter().find(|g| g.name == f.name) {
+                        Some(g) => {
+                            let merged = DataType::tightest_common_type(&f.dtype, &g.dtype)?;
+                            fields.push(StructField::new(
+                                f.name.clone(),
+                                merged,
+                                f.nullable || g.nullable,
+                            ));
+                        }
+                        None => fields.push(StructField::new(f.name.clone(), f.dtype.clone(), true)),
+                    }
+                }
+                for g in fb.iter() {
+                    if !fa.iter().any(|f| f.name == g.name) {
+                        fields.push(StructField::new(g.name.clone(), g.dtype.clone(), true));
+                    }
+                }
+                Some(DataType::struct_type(fields))
+            }
+            // Anything else generalizes to String, preserving the original
+            // representation (§5.1: "for fields that display multiple
+            // types, Spark SQL uses STRING as the most generic type").
+            _ => Some(String),
+        }
+    }
+
+    /// Rough per-value size in bytes, used by the cost model.
+    pub fn approx_value_bytes(&self) -> u64 {
+        match self {
+            DataType::Null => 1,
+            DataType::Boolean => 1,
+            DataType::Int | DataType::Float | DataType::Date => 4,
+            DataType::Long | DataType::Double | DataType::Timestamp => 8,
+            DataType::Decimal(_, _) => 16,
+            DataType::String | DataType::Binary => 24,
+            DataType::Array(e) => 8 + 4 * e.approx_value_bytes(),
+            DataType::Struct(fs) => fs.iter().map(|f| f.dtype.approx_value_bytes()).sum(),
+            DataType::Map(k, v) => 8 + 4 * (k.approx_value_bytes() + v.approx_value_bytes()),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Null => write!(f, "NULL"),
+            DataType::Boolean => write!(f, "BOOLEAN"),
+            DataType::Int => write!(f, "INT"),
+            DataType::Long => write!(f, "LONG"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Decimal(p, s) => write!(f, "DECIMAL({p},{s})"),
+            DataType::String => write!(f, "STRING"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Timestamp => write!(f, "TIMESTAMP"),
+            DataType::Binary => write!(f, "BINARY"),
+            DataType::Array(e) => write!(f, "ARRAY<{e}>"),
+            DataType::Struct(fields) => {
+                write!(f, "STRUCT<")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} {}", field.name, field.dtype)?;
+                    if !field.nullable {
+                        write!(f, " NOT NULL")?;
+                    }
+                }
+                write!(f, ">")
+            }
+            DataType::Map(k, v) => write!(f, "MAP<{k}, {v}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_widening_lattice() {
+        use DataType::*;
+        assert_eq!(DataType::tightest_common_type(&Int, &Long), Some(Long));
+        assert_eq!(DataType::tightest_common_type(&Int, &Double), Some(Double));
+        assert_eq!(DataType::tightest_common_type(&Float, &Double), Some(Double));
+        assert_eq!(DataType::tightest_common_type(&Long, &Float), Some(Float));
+        assert_eq!(DataType::tightest_common_type(&Null, &Int), Some(Int));
+    }
+
+    #[test]
+    fn incompatible_types_generalize_to_string() {
+        // The paper's §5.1 rule: mixed-type JSON fields become STRING.
+        assert_eq!(
+            DataType::tightest_common_type(&DataType::Boolean, &DataType::Int),
+            Some(DataType::String)
+        );
+    }
+
+    #[test]
+    fn struct_merge_unions_fields_and_relaxes_nullability() {
+        let a = DataType::struct_type(vec![
+            StructField::new("lat", DataType::Int, false),
+            StructField::new("only_a", DataType::String, false),
+        ]);
+        let b = DataType::struct_type(vec![StructField::new("lat", DataType::Double, false)]);
+        let merged = DataType::tightest_common_type(&a, &b).unwrap();
+        if let DataType::Struct(fields) = merged {
+            assert_eq!(fields.len(), 2);
+            assert_eq!(fields[0].dtype, DataType::Double);
+            assert!(!fields[0].nullable);
+            assert!(fields[1].nullable, "field missing on one side becomes nullable");
+        } else {
+            panic!("expected struct");
+        }
+    }
+
+    #[test]
+    fn array_merge_is_elementwise() {
+        let a = DataType::Array(Box::new(DataType::Int));
+        let b = DataType::Array(Box::new(DataType::Double));
+        assert_eq!(
+            DataType::tightest_common_type(&a, &b),
+            Some(DataType::Array(Box::new(DataType::Double)))
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_figure6_style() {
+        let t = DataType::struct_type(vec![
+            StructField::new("lat", DataType::Float, false),
+            StructField::new("long", DataType::Float, false),
+        ]);
+        assert_eq!(t.to_string(), "STRUCT<lat FLOAT NOT NULL, long FLOAT NOT NULL>");
+    }
+
+    #[test]
+    fn decimal_merge_widens_precision() {
+        let a = DataType::Decimal(10, 2);
+        let b = DataType::Decimal(8, 4);
+        assert_eq!(DataType::tightest_common_type(&a, &b), Some(DataType::Decimal(12, 4)));
+    }
+}

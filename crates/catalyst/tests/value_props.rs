@@ -1,0 +1,122 @@
+//! Property tests on the Value lattice: total ordering, hash/equality
+//! consistency, arithmetic laws, and cast behaviors — the invariants
+//! grouping, sorting, and shuffling rely on.
+
+use catalyst::types::DataType;
+use catalyst::value::Value;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Boolean),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        any::<f32>().prop_map(Value::Float),
+        any::<f64>().prop_map(Value::Double),
+        "[a-z]{0,8}".prop_map(Value::str),
+        (-100_000i32..100_000).prop_map(Value::Date),
+        any::<i64>().prop_map(Value::Timestamp),
+        (any::<i64>(), 0u8..6).prop_map(|(u, s)| Value::Decimal(u as i128, 18, s)),
+    ]
+}
+
+fn h(v: &Value) -> u64 {
+    let mut s = DefaultHasher::new();
+    v.hash(&mut s);
+    s.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// total_cmp is reflexive, antisymmetric, and transitive.
+    #[test]
+    fn total_order_laws(a in arb_value(), b in arb_value(), c in arb_value()) {
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Eq values hash identically (HashMap grouping soundness).
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Cross-width numeric equality hashes consistently (Int 5 groups
+    /// with Long 5 and Double 5.0 after coercion edge cases).
+    #[test]
+    fn numeric_widening_hash(v in any::<i32>()) {
+        prop_assert_eq!(h(&Value::Int(v)), h(&Value::Long(v as i64)));
+        prop_assert_eq!(h(&Value::Long(v as i64)), h(&Value::Double(v as f64)));
+        prop_assert_eq!(Value::Int(v), Value::Long(v as i64));
+    }
+
+    /// NULL propagates through every arithmetic op.
+    #[test]
+    fn null_absorbs_arithmetic(v in arb_value()) {
+        prop_assert_eq!(Value::Null.add(&v).unwrap(), Value::Null);
+        prop_assert_eq!(v.sub(&Value::Null).unwrap(), Value::Null);
+        prop_assert_eq!(Value::Null.mul(&v).unwrap(), Value::Null);
+        prop_assert_eq!(v.div(&Value::Null).unwrap(), Value::Null);
+        prop_assert_eq!(v.rem(&Value::Null).unwrap(), Value::Null);
+    }
+
+    /// Integer addition is commutative and matches i64 semantics in range.
+    #[test]
+    fn int_add_commutes(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let x = Value::Long(a);
+        let y = Value::Long(b);
+        prop_assert_eq!(x.add(&y).unwrap(), y.add(&x).unwrap());
+        prop_assert_eq!(x.add(&y).unwrap(), Value::Long(a + b));
+    }
+
+    /// String round-trips through a cast to STRING and back for integers.
+    #[test]
+    fn long_string_cast_roundtrip(v in any::<i64>()) {
+        let s = Value::Long(v).cast_to(&DataType::String).unwrap();
+        prop_assert_eq!(s.cast_to(&DataType::Long).unwrap(), Value::Long(v));
+    }
+
+    /// Date formatting and parsing are inverse.
+    #[test]
+    fn date_roundtrip(d in -200_000i32..200_000) {
+        let text = catalyst::value::format_date(d);
+        prop_assert_eq!(catalyst::value::parse_date(&text), Some(d));
+    }
+
+    /// sql_cmp agrees with total_cmp on non-null values.
+    #[test]
+    fn sql_cmp_consistent(a in arb_value(), b in arb_value()) {
+        match a.sql_cmp(&b) {
+            None => prop_assert!(a.is_null() || b.is_null()),
+            Some(ord) => prop_assert_eq!(ord, a.total_cmp(&b)),
+        }
+    }
+
+    /// Casting to the value's own type is the identity.
+    #[test]
+    fn self_cast_is_identity(v in arb_value()) {
+        if !v.is_null() {
+            let t = v.dtype();
+            prop_assert_eq!(v.cast_to(&t).unwrap(), v);
+        }
+    }
+}
+
+#[test]
+fn nan_is_orderable_and_hashable() {
+    let nan = Value::Double(f64::NAN);
+    assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+    assert_eq!(h(&nan), h(&Value::Double(f64::NAN)));
+    // NaN sorts after all finite doubles under total order.
+    assert_eq!(nan.total_cmp(&Value::Double(f64::INFINITY)), Ordering::Greater);
+}

@@ -1,0 +1,158 @@
+//! Columnar batches: a horizontal slice of a cached table, one encoded
+//! column per field, with per-column statistics for batch skipping.
+
+use crate::column::EncodedColumn;
+use crate::stats::ColumnStats;
+use catalyst::row::Row;
+use catalyst::schema::SchemaRef;
+use catalyst::source::Filter;
+use catalyst::value::Value;
+
+/// Default rows per batch for cached relations.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// One encoded batch of rows.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    schema: SchemaRef,
+    columns: Vec<EncodedColumn>,
+    num_rows: usize,
+}
+
+impl ColumnarBatch {
+    /// Encode rows into a batch.
+    pub fn from_rows(schema: SchemaRef, rows: &[Row]) -> Self {
+        let num_rows = rows.len();
+        let mut columns = Vec::with_capacity(schema.len());
+        let mut scratch: Vec<Value> = Vec::with_capacity(num_rows);
+        for (i, field) in schema.fields().iter().enumerate() {
+            scratch.clear();
+            for r in rows {
+                scratch.push(r.values().get(i).cloned().unwrap_or(Value::Null));
+            }
+            columns.push(EncodedColumn::encode(&field.dtype, &scratch));
+        }
+        ColumnarBatch { schema, columns, num_rows }
+    }
+
+    /// Reassemble a batch from already-encoded columns (file format
+    /// deserialization). Column order must match the schema.
+    pub fn from_columns(schema: SchemaRef, columns: Vec<EncodedColumn>, num_rows: usize) -> Self {
+        assert_eq!(schema.len(), columns.len(), "column count mismatch");
+        ColumnarBatch { schema, columns, num_rows }
+    }
+
+    /// Schema of the batch.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Encoded columns.
+    pub fn columns(&self) -> &[EncodedColumn] {
+        &self.columns
+    }
+
+    /// Decode back to rows, optionally projecting a subset of columns
+    /// (column pruning: untouched columns are never decoded).
+    pub fn decode(&self, projection: Option<&[usize]>) -> Vec<Row> {
+        let indices: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.columns.len()).collect(),
+        };
+        let decoded: Vec<Vec<Value>> =
+            indices.iter().map(|&i| self.columns[i].decode_all()).collect();
+        (0..self.num_rows)
+            .map(|r| Row::new(decoded.iter().map(|c| c[r].clone()).collect()))
+            .collect()
+    }
+
+    /// Could any row satisfy all `filters`? (`false` ⇒ skip the batch.)
+    /// Filters reference columns by name against this batch's schema.
+    pub fn may_match(&self, filters: &[Filter]) -> bool {
+        for f in filters {
+            if let Ok(i) = self.schema.index_of(f.column()) {
+                if !self.columns[i].stats.may_match(f) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Per-column stats.
+    pub fn stats(&self, column: usize) -> &ColumnStats {
+        &self.columns[column].stats
+    }
+
+    /// Compressed footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.columns.iter().map(EncodedColumn::bytes).sum()
+    }
+}
+
+/// Split rows into encoded batches of `batch_size`.
+pub fn batch_rows(schema: SchemaRef, rows: &[Row], batch_size: usize) -> Vec<ColumnarBatch> {
+    let batch_size = batch_size.max(1);
+    rows.chunks(batch_size)
+        .map(|chunk| ColumnarBatch::from_rows(schema.clone(), chunk))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyst::schema::Schema;
+    use catalyst::types::{DataType, StructField};
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            StructField::new("id", DataType::Long, false),
+            StructField::new("cat", DataType::String, false),
+        ]))
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Long(i as i64), Value::str(format!("c{}", i % 3))]))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_projection() {
+        let rs = rows(100);
+        let b = ColumnarBatch::from_rows(schema(), &rs);
+        assert_eq!(b.decode(None), rs);
+        let projected = b.decode(Some(&[1]));
+        assert_eq!(projected[0], Row::new(vec![Value::str("c0")]));
+        assert_eq!(projected.len(), 100);
+    }
+
+    #[test]
+    fn batch_skipping_via_stats() {
+        let batches = batch_rows(schema(), &rows(100), 10);
+        assert_eq!(batches.len(), 10);
+        // Batch 0 holds ids 0..10; a filter on id > 50 skips it.
+        assert!(!batches[0].may_match(&[Filter::Gt("id".into(), Value::Long(50))]));
+        assert!(batches[9].may_match(&[Filter::Gt("id".into(), Value::Long(50))]));
+        // Unknown column: conservative true.
+        assert!(batches[0].may_match(&[Filter::Gt("nope".into(), Value::Long(50))]));
+    }
+
+    #[test]
+    fn compressed_batches_are_smaller_than_rows() {
+        let rs = rows(4096);
+        let b = ColumnarBatch::from_rows(schema(), &rs);
+        let row_bytes: u64 = rs.iter().map(Row::approx_bytes).sum();
+        assert!(
+            b.bytes() * 2 < row_bytes,
+            "columnar {} vs rows {row_bytes}",
+            b.bytes()
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Null bitmaps: one bit per row, set = null.
+
+/// A compact bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-clear bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Heap footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.words.len() * 8) as u64
+    }
+
+    /// Raw word storage (for serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from raw words and a bit length (for deserialization).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert!(words.len() * 64 >= len, "not enough words for {len} bits");
+        Bitmap { words, len }
+    }
+
+    /// Append a bit (grows the map).
+    pub fn push(&mut self, set: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        if set {
+            self.words[self.len / 64] |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::new(100);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(99);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(99));
+        assert!(!b.get(1) && !b.get(65));
+        assert_eq!(b.count_set(), 4);
+        assert!(!b.none_set());
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut b = Bitmap::default();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_set(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: every encoding path round-trips arbitrary typed data,
+//! statistics are sound (never skip a batch containing a match), and
+//! compression never corrupts.
+
+use catalyst::row::Row;
+use catalyst::schema::Schema;
+use catalyst::source::Filter;
+use catalyst::types::{DataType, StructField};
+use catalyst::value::Value;
+use columnar::{batch_rows, ColumnarBatch, EncodedColumn};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_long_col() -> impl Strategy<Value = Vec<Value>> {
+    prop_oneof![
+        // Repetitive (forces RLE).
+        proptest::collection::vec((-3i64..3).prop_map(Value::Long), 0..300),
+        // Random (forces plain).
+        proptest::collection::vec(any::<i64>().prop_map(Value::Long), 0..300),
+        // With nulls.
+        proptest::collection::vec(
+            proptest::option::of(any::<i64>()).prop_map(|o| o.map(Value::Long).unwrap_or(Value::Null)),
+            0..300
+        ),
+    ]
+}
+
+fn arb_str_col() -> impl Strategy<Value = Vec<Value>> {
+    prop_oneof![
+        // Low cardinality (forces dictionary).
+        proptest::collection::vec(
+            proptest::sample::select(vec!["a", "b", "c"]).prop_map(Value::str),
+            0..300
+        ),
+        // High cardinality (forces plain).
+        proptest::collection::vec("[a-z]{0,12}".prop_map(Value::str), 0..300),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn long_column_roundtrip(values in arb_long_col()) {
+        let c = EncodedColumn::encode(&DataType::Long, &values);
+        prop_assert_eq!(c.decode_all(), values.clone());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(&c.get(i), v);
+        }
+    }
+
+    #[test]
+    fn string_column_roundtrip(values in arb_str_col()) {
+        let c = EncodedColumn::encode(&DataType::String, &values);
+        prop_assert_eq!(c.decode_all(), values);
+    }
+
+    #[test]
+    fn bool_column_roundtrip(values in proptest::collection::vec(
+        proptest::option::of(any::<bool>()).prop_map(|o| o.map(Value::Boolean).unwrap_or(Value::Null)),
+        0..300
+    )) {
+        let c = EncodedColumn::encode(&DataType::Boolean, &values);
+        prop_assert_eq!(c.decode_all(), values);
+    }
+
+    #[test]
+    fn double_column_roundtrip(values in proptest::collection::vec(
+        any::<f64>().prop_map(Value::Double), 0..200
+    )) {
+        let c = EncodedColumn::encode(&DataType::Double, &values);
+        prop_assert_eq!(c.decode_all(), values);
+    }
+
+    /// Soundness of batch skipping: if a batch is skipped for a filter,
+    /// no row in it matches the filter.
+    #[test]
+    fn stats_skipping_is_sound(
+        values in proptest::collection::vec(-100i64..100, 1..200),
+        threshold in -120i64..120,
+    ) {
+        let schema = Arc::new(Schema::new(vec![StructField::new("x", DataType::Long, false)]));
+        let rows: Vec<Row> = values.iter().map(|&v| Row::new(vec![Value::Long(v)])).collect();
+        let batches = batch_rows(schema, &rows, 16);
+        for (fi, filter) in [
+            Filter::Gt("x".into(), Value::Long(threshold)),
+            Filter::Lt("x".into(), Value::Long(threshold)),
+            Filter::Eq("x".into(), Value::Long(threshold)),
+            Filter::GtEq("x".into(), Value::Long(threshold)),
+            Filter::LtEq("x".into(), Value::Long(threshold)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut matched_in_skipped = 0usize;
+            for b in &batches {
+                if !b.may_match(std::slice::from_ref(&filter)) {
+                    for row in b.decode(None) {
+                        if filter.matches(row.get(0)) {
+                            matched_in_skipped += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(matched_in_skipped, 0, "filter #{} skipped a matching batch", fi);
+        }
+    }
+
+    /// Multi-column batches preserve row alignment.
+    #[test]
+    fn batch_alignment(data in proptest::collection::vec((any::<i64>(), "[a-c]{1,2}", any::<bool>()), 0..150)) {
+        let schema = Arc::new(Schema::new(vec![
+            StructField::new("n", DataType::Long, false),
+            StructField::new("s", DataType::String, false),
+            StructField::new("b", DataType::Boolean, false),
+        ]));
+        let rows: Vec<Row> = data
+            .iter()
+            .map(|(n, s, b)| Row::new(vec![Value::Long(*n), Value::str(s), Value::Boolean(*b)]))
+            .collect();
+        let batch = ColumnarBatch::from_rows(schema, &rows);
+        prop_assert_eq!(batch.decode(None), rows.clone());
+        // Projection keeps alignment too.
+        let projected = batch.decode(Some(&[2, 0]));
+        for (p, r) in projected.iter().zip(&rows) {
+            prop_assert_eq!(p.get(0), r.get(2));
+            prop_assert_eq!(p.get(1), r.get(0));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Session configuration — including the ablation switches the benchmark
+//! harness flips (codegen, columnar cache, pushdown, broadcast threshold).
+
+/// Tunable knobs of a [`crate::SQLContext`].
+#[derive(Debug, Clone)]
+pub struct SqlConf {
+    /// Compile expressions to fused closures (§4.3.4) instead of
+    /// interpreting them per row. Off ≈ the Shark baseline.
+    pub codegen_enabled: bool,
+    /// Cache DataFrames as compressed columnar batches (§3.6) instead of
+    /// row objects.
+    pub columnar_cache_enabled: bool,
+    /// Push filters into capable data sources (§4.4.1).
+    pub pushdown_enabled: bool,
+    /// Prune columns at the source.
+    pub column_pruning_enabled: bool,
+    /// Broadcast-join threshold in estimated bytes (§4.3.3).
+    pub broadcast_threshold: u64,
+    /// Reduce-side partitions for shuffles.
+    pub shuffle_partitions: usize,
+    /// Rows per columnar cache batch.
+    pub cache_batch_size: usize,
+}
+
+impl Default for SqlConf {
+    fn default() -> Self {
+        SqlConf {
+            codegen_enabled: true,
+            columnar_cache_enabled: true,
+            pushdown_enabled: true,
+            column_pruning_enabled: true,
+            broadcast_threshold: 10 * 1024 * 1024,
+            shuffle_partitions: 8,
+            cache_batch_size: columnar::DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+impl SqlConf {
+    /// A configuration approximating Shark (§6.1 baseline): no expression
+    /// compilation, no columnar cache, no source pushdown.
+    pub fn shark_like() -> Self {
+        SqlConf {
+            codegen_enabled: false,
+            columnar_cache_enabled: false,
+            pushdown_enabled: false,
+            column_pruning_enabled: false,
+            ..Default::default()
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The session entry point: `SQLContext` (the paper's
+//! `SQLContext`/`HiveContext`), tying the catalog, analyzer, optimizer,
+//! planner, data source registry, and execution engine together.
+
+use crate::cache::CachedRelation;
+use crate::conf::SqlConf;
+use crate::dataframe::DataFrame;
+use crate::execution::{execute, ExecContext};
+use crate::rdd_table::RddTable;
+use crate::record::Record;
+use catalyst::analysis::{Analyzer, Catalog, FunctionRegistry, SimpleCatalog};
+use catalyst::error::{CatalystError, Result};
+use catalyst::expr::{ColumnRef, UdfImpl};
+use catalyst::physical::{Planner, PlannerConfig, PhysicalPlan, Strategy};
+use catalyst::plan::LogicalPlan;
+use catalyst::row::Row;
+use catalyst::rules::Batch;
+use catalyst::schema::SchemaRef;
+use catalyst::source::BaseRelation;
+use catalyst::types::DataType;
+use catalyst::udt::UdtRegistry;
+use catalyst::value::Value;
+use catalyst::optimizer::Optimizer;
+use datasources::{CsvOptions, CsvRelation, DataSourceRegistry, JsonRelation, Options};
+use engine::{RddRef, SparkContext};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+struct CtxInner {
+    sc: SparkContext,
+    catalog: Arc<SimpleCatalog>,
+    functions: Arc<FunctionRegistry>,
+    udts: UdtRegistry,
+    sources: DataSourceRegistry,
+    conf: RwLock<SqlConf>,
+    strategies: RwLock<Vec<Arc<dyn Strategy>>>,
+    optimizer: Mutex<Optimizer>,
+    /// Plans saved by `CACHE TABLE` so `UNCACHE` can restore them.
+    uncached_plans: Mutex<std::collections::HashMap<String, LogicalPlan>>,
+}
+
+/// A Spark SQL session.
+#[derive(Clone)]
+pub struct SQLContext {
+    inner: Arc<CtxInner>,
+}
+
+impl SQLContext {
+    /// Create a session over an existing engine context.
+    pub fn new(sc: SparkContext) -> Self {
+        SQLContext {
+            inner: Arc::new(CtxInner {
+                sc,
+                catalog: Arc::new(SimpleCatalog::default()),
+                functions: Arc::new(FunctionRegistry::default()),
+                udts: UdtRegistry::default(),
+                sources: DataSourceRegistry::default(),
+                conf: RwLock::new(SqlConf::default()),
+                strategies: RwLock::new(Vec::new()),
+                optimizer: Mutex::new(Optimizer::new()),
+                uncached_plans: Mutex::new(std::collections::HashMap::new()),
+            }),
+        }
+    }
+
+    /// Create a session with a fresh local "cluster" of
+    /// `executor_threads` workers.
+    pub fn new_local(executor_threads: usize) -> Self {
+        SQLContext::new(SparkContext::new(executor_threads))
+    }
+
+    /// The underlying engine context.
+    pub fn spark_context(&self) -> &SparkContext {
+        &self.inner.sc
+    }
+
+    /// Read the current configuration.
+    pub fn conf(&self) -> SqlConf {
+        self.inner.conf.read().clone()
+    }
+
+    /// Mutate the configuration.
+    pub fn set_conf(&self, f: impl FnOnce(&mut SqlConf)) {
+        f(&mut self.inner.conf.write());
+    }
+
+    /// The user-defined-type registry (§4.4.2).
+    pub fn udts(&self) -> &UdtRegistry {
+        &self.inner.udts
+    }
+
+    /// The data source provider registry (§4.4.1).
+    pub fn data_sources(&self) -> &DataSourceRegistry {
+        &self.inner.sources
+    }
+
+    // ---- analysis / planning / execution pipeline ----
+
+    /// Analyze a plan against this session's catalog and functions.
+    pub fn analyze(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        Analyzer::new(self.inner.catalog.clone(), self.inner.functions.clone()).analyze(plan)
+    }
+
+    /// Wrap an unanalyzed plan into a DataFrame (analyzing it eagerly).
+    pub fn dataframe(&self, plan: LogicalPlan) -> Result<DataFrame> {
+        Ok(DataFrame::new(self.clone(), self.analyze(plan)?))
+    }
+
+    /// Which optimizer rules fired for a plan (observability for the
+    /// §4.2 fixed-point machinery).
+    pub fn optimizer_trace(&self, analyzed: &LogicalPlan) -> Vec<catalyst::rules::TraceEvent> {
+        self.inner.optimizer.lock().optimize_traced(analyzed.clone()).1
+    }
+
+    /// Optimize + physically plan a query.
+    pub fn plan_query(&self, analyzed: &LogicalPlan) -> Result<(LogicalPlan, PhysicalPlan)> {
+        let optimized = self.inner.optimizer.lock().optimize(analyzed.clone());
+        let conf = self.conf();
+        let mut planner = Planner::new(PlannerConfig {
+            pushdown_enabled: conf.pushdown_enabled,
+            column_pruning_enabled: conf.column_pruning_enabled,
+            broadcast_threshold: conf.broadcast_threshold,
+        });
+        for s in self.inner.strategies.read().iter() {
+            planner.add_strategy(s.clone());
+        }
+        let physical = planner.plan(&optimized)?;
+        Ok((optimized, physical))
+    }
+
+    /// Full pipeline: analyzed plan → engine RDD.
+    pub fn execute_plan(&self, analyzed: &LogicalPlan) -> Result<RddRef<Row>> {
+        let (_, physical) = self.plan_query(analyzed)?;
+        let ctx = ExecContext { sc: self.inner.sc.clone(), conf: self.conf() };
+        execute(&physical, &ctx)
+    }
+
+    // ---- SQL ----
+
+    /// Run a SQL statement. Queries return a DataFrame; DDL statements
+    /// return an empty DataFrame after taking effect.
+    pub fn sql(&self, text: &str) -> Result<DataFrame> {
+        match sql::parse(text)? {
+            sql::Statement::Query(plan) => self.dataframe(plan),
+            sql::Statement::CreateTempTable { name, provider, options, query } => {
+                match query {
+                    Some(q) => {
+                        // CREATE TABLE … AS SELECT: materialize through
+                        // the session and register the result.
+                        let df = self.dataframe(q)?;
+                        let rows = df.collect()?;
+                        self.register_rows(&name, df.schema(), rows)?;
+                    }
+                    None => {
+                        let rel = self.inner.sources.create_relation(&provider, &options)?;
+                        self.register_relation(&name, rel);
+                    }
+                }
+                self.empty_dataframe()
+            }
+            sql::Statement::CacheTable { name } => {
+                self.cache_table(&name)?;
+                self.empty_dataframe()
+            }
+            sql::Statement::UncacheTable { name } => {
+                self.uncache_table(&name)?;
+                self.empty_dataframe()
+            }
+            sql::Statement::Explain(plan) => {
+                let df = self.dataframe(plan)?;
+                let text = df.explain()?;
+                let rows: Vec<Row> =
+                    text.lines().map(|l| Row::new(vec![Value::str(l)])).collect();
+                let schema = Arc::new(catalyst::schema::Schema::new(vec![
+                    catalyst::types::StructField::new("plan", DataType::String, false),
+                ]));
+                self.create_dataframe(schema, rows)
+            }
+            sql::Statement::ShowTables => {
+                let rows: Vec<Row> = self
+                    .inner
+                    .catalog
+                    .table_names()
+                    .into_iter()
+                    .map(|n| Row::new(vec![Value::str(n)]))
+                    .collect();
+                let schema = Arc::new(catalyst::schema::Schema::new(vec![
+                    catalyst::types::StructField::new("table", DataType::String, false),
+                ]));
+                self.create_dataframe(schema, rows)
+            }
+            sql::Statement::Describe { name } => {
+                let df = self.table(&name)?;
+                let rows: Vec<Row> = df
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        Row::new(vec![
+                            Value::str(f.name.as_ref()),
+                            Value::str(f.dtype.to_string()),
+                            Value::Boolean(f.nullable),
+                        ])
+                    })
+                    .collect();
+                let schema = Arc::new(catalyst::schema::Schema::new(vec![
+                    catalyst::types::StructField::new("column", DataType::String, false),
+                    catalyst::types::StructField::new("type", DataType::String, false),
+                    catalyst::types::StructField::new("nullable", DataType::Boolean, false),
+                ]));
+                self.create_dataframe(schema, rows)
+            }
+        }
+    }
+
+    fn empty_dataframe(&self) -> Result<DataFrame> {
+        self.dataframe(LogicalPlan::LocalRelation {
+            output: vec![],
+            rows: Arc::new(vec![]),
+        })
+    }
+
+    // ---- catalog ----
+
+    /// Register an analyzed plan as a temp table.
+    pub fn register_plan(&self, name: &str, plan: LogicalPlan) {
+        self.inner.catalog.register(name, plan);
+    }
+
+    /// Register a data source relation as a table.
+    pub fn register_relation(&self, name: &str, relation: Arc<dyn BaseRelation>) {
+        self.inner.catalog.register(name, scan_plan(relation));
+    }
+
+    /// Register literal rows as a table.
+    pub fn register_rows(&self, name: &str, schema: SchemaRef, rows: Vec<Row>) -> Result<()> {
+        let df = self.create_dataframe(schema, rows)?;
+        df.register_temp_table(name);
+        Ok(())
+    }
+
+    /// Remove a temp table.
+    pub fn drop_temp_table(&self, name: &str) -> bool {
+        self.inner.catalog.unregister(name)
+    }
+
+    /// Look up a table as a DataFrame.
+    pub fn table(&self, name: &str) -> Result<DataFrame> {
+        self.dataframe(LogicalPlan::UnresolvedRelation { name: name.to_string() })
+    }
+
+    // ---- DataFrame construction ----
+
+    /// DataFrame over literal rows.
+    pub fn create_dataframe(&self, schema: SchemaRef, rows: Vec<Row>) -> Result<DataFrame> {
+        let output = fresh_output(&schema);
+        self.dataframe(LogicalPlan::LocalRelation { output, rows: Arc::new(rows) })
+    }
+
+    /// DataFrame over an existing RDD of rows (§3.5's "querying native
+    /// datasets" once objects are rows).
+    pub fn dataframe_from_rdd(
+        &self,
+        name: &str,
+        schema: SchemaRef,
+        rdd: RddRef<Row>,
+    ) -> Result<DataFrame> {
+        let output = fresh_output(&schema);
+        let table = RddTable::new(name, schema, rdd);
+        self.dataframe(LogicalPlan::External { data: Arc::new(table), output })
+    }
+
+    /// DataFrame over a collection of native objects: schema comes from
+    /// the [`Record`] implementation (the reflection step of §3.5) and
+    /// field extraction happens lazily inside scan tasks.
+    pub fn create_dataframe_from<T: Record>(
+        &self,
+        objects: Vec<T>,
+        num_partitions: usize,
+    ) -> Result<DataFrame> {
+        let schema = Arc::new(T::schema());
+        let rdd = self
+            .inner
+            .sc
+            .parallelize(objects, num_partitions)
+            .map(|obj| obj.to_row());
+        self.dataframe_from_rdd(std::any::type_name::<T>(), schema, rdd)
+    }
+
+    /// View an RDD of records as a DataFrame (the `rdd.toDF` of §3.5).
+    pub fn rdd_to_dataframe<T: Record>(&self, rdd: &RddRef<T>) -> Result<DataFrame> {
+        let schema = Arc::new(T::schema());
+        self.dataframe_from_rdd(std::any::type_name::<T>(), schema, rdd.map(|o| o.to_row()))
+    }
+
+    /// Read newline-delimited JSON with schema inference (§5.1).
+    pub fn read_json_lines(
+        &self,
+        name: &str,
+        lines: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> Result<DataFrame> {
+        let rel = JsonRelation::from_lines(name, lines, 2, None)?;
+        self.dataframe(scan_plan(Arc::new(rel)))
+    }
+
+    /// Read a JSON file.
+    pub fn read_json(&self, path: &str) -> Result<DataFrame> {
+        let rel = JsonRelation::from_path(path, 2)?;
+        self.dataframe(scan_plan(Arc::new(rel)))
+    }
+
+    /// Read a CSV file.
+    pub fn read_csv(&self, path: &str, options: &CsvOptions) -> Result<DataFrame> {
+        let rel = CsvRelation::from_path(path, options)?;
+        self.dataframe(scan_plan(Arc::new(rel)))
+    }
+
+    /// Read a colfile (Parquet stand-in).
+    pub fn read_colfile(&self, path: &str) -> Result<DataFrame> {
+        let rel = datasources::ColFileRelation::from_path(path)?;
+        self.dataframe(scan_plan(Arc::new(rel)))
+    }
+
+    /// Open a relation through the provider registry (`USING` names).
+    pub fn read_source(&self, provider: &str, options: &Options) -> Result<DataFrame> {
+        let rel = self.inner.sources.create_relation(provider, options)?;
+        self.dataframe(scan_plan(rel))
+    }
+
+    // ---- extension points (§4.4) ----
+
+    /// Register an inline UDF (§3.7).
+    pub fn register_udf(
+        &self,
+        name: &str,
+        return_type: DataType,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.inner.functions.register(UdfImpl {
+            name: Arc::from(name),
+            return_type,
+            func: Box::new(f),
+        });
+    }
+
+    /// Register a user-defined type (§4.4.2).
+    pub fn register_udt(&self, name: &str, sql_type: DataType) {
+        self.inner.udts.register(name, sql_type);
+    }
+
+    /// Register a physical planning strategy ahead of the defaults (what
+    /// the §7.2 interval join uses).
+    pub fn add_strategy(&self, strategy: Arc<dyn Strategy>) {
+        self.inner.strategies.write().push(strategy);
+    }
+
+    /// Append a batch of logical optimizer rules (§4.4: "developers can
+    /// add batches of rules … at runtime").
+    pub fn add_optimizer_batch(&self, batch: Batch<LogicalPlan>) {
+        self.inner.optimizer.lock().add_batch(batch);
+    }
+
+    // ---- caching (§3.6) ----
+
+    /// Materialize a DataFrame into the in-memory columnar cache.
+    pub fn cache_dataframe(&self, df: &DataFrame) -> Result<DataFrame> {
+        let rel = self.cached_relation_for(df, "dataframe")?;
+        self.dataframe(scan_plan(rel))
+    }
+
+    fn cached_relation_for(&self, df: &DataFrame, name: &str) -> Result<Arc<dyn BaseRelation>> {
+        let conf = self.conf();
+        let rdd = df.to_rdd()?;
+        let num_partitions = rdd.num_partitions();
+        let materializer = Box::new(move || {
+            rdd.run_job(|_, it| it.collect::<Vec<Row>>())
+                .map_err(|e| CatalystError::Internal(format!("cache materialization: {e}")))
+        });
+        Ok(Arc::new(CachedRelation::new(
+            name,
+            df.schema(),
+            num_partitions,
+            conf.columnar_cache_enabled,
+            conf.cache_batch_size,
+            materializer,
+        )))
+    }
+
+    /// `CACHE TABLE name`: replace the catalog entry with its cached form.
+    pub fn cache_table(&self, name: &str) -> Result<()> {
+        let df = self.table(name)?;
+        let plan = df.logical_plan().clone();
+        let rel = self.cached_relation_for(&df, name)?;
+        self.inner.uncached_plans.lock().insert(name.to_ascii_lowercase(), plan);
+        self.register_relation(name, rel);
+        Ok(())
+    }
+
+    /// `UNCACHE TABLE name`: restore the original plan.
+    pub fn uncache_table(&self, name: &str) -> Result<()> {
+        match self.inner.uncached_plans.lock().remove(&name.to_ascii_lowercase()) {
+            Some(plan) => {
+                self.register_plan(name, plan);
+                Ok(())
+            }
+            None => Err(CatalystError::analysis(format!("table '{name}' is not cached"))),
+        }
+    }
+}
+
+/// Build a logical scan with fresh attribute ids for a relation.
+pub fn scan_plan(relation: Arc<dyn BaseRelation>) -> LogicalPlan {
+    let output: Vec<ColumnRef> = relation
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| ColumnRef::new(f.name.clone(), f.dtype.clone(), f.nullable))
+        .collect();
+    LogicalPlan::Scan { relation, output, filters: vec![] }
+}
+
+fn fresh_output(schema: &SchemaRef) -> Vec<ColumnRef> {
+    schema
+        .fields()
+        .iter()
+        .map(|f| ColumnRef::new(f.name.clone(), f.dtype.clone(), f.nullable))
+        .collect()
+}

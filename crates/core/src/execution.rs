@@ -1,0 +1,1193 @@
+//! Physical plan execution: lowers Catalyst physical operators onto the
+//! engine's RDDs, so relational queries run on the same substrate —
+//! stages, shuffles, broadcasts — as procedural Spark code.
+//!
+//! Expression evaluation honors `SqlConf::codegen_enabled`: on, operators
+//! use compiled fused closures (§4.3.4); off, they fall back to the
+//! tree-walking interpreter — which is exactly the Shark-baseline
+//! configuration of the Figure 8 experiment.
+
+use crate::conf::SqlConf;
+use crate::rdd_table::RddTable;
+use catalyst::codegen;
+use catalyst::error::{CatalystError, Result};
+use catalyst::expr::{AggFunc, ColumnRef, Expr, SortOrder};
+use catalyst::interpreter::{self, bind_references};
+use catalyst::physical::{BuildSide, PhysicalPlan};
+use catalyst::plan::JoinType;
+use catalyst::row::Row;
+use catalyst::tree::{Transformed, TreeNode};
+use catalyst::types::DataType;
+use catalyst::value::Value;
+use engine::{HashPartitioner, PairRdd, RddRef, SparkContext};
+use std::cmp::Ordering;
+
+fn engine_err(e: engine::EngineError) -> CatalystError {
+    CatalystError::Internal(format!("execution failed: {e}"))
+}
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Everything execution needs.
+pub struct ExecContext {
+    /// The engine.
+    pub sc: SparkContext,
+    /// Session configuration.
+    pub conf: SqlConf,
+}
+
+type RowFn = Arc<dyn Fn(&Row) -> Row + Send + Sync>;
+type PredFn = Arc<dyn Fn(&Row) -> bool + Send + Sync>;
+
+fn bind_all(exprs: &[Expr], input: &[ColumnRef]) -> Result<Vec<Expr>> {
+    exprs.iter().map(|e| bind_references(e.clone(), input)).collect()
+}
+
+/// Build a row→row projector, compiled or interpreted per config.
+fn projector(exprs: &[Expr], input: &[ColumnRef], codegen_on: bool) -> Result<RowFn> {
+    let bound = bind_all(exprs, input)?;
+    if codegen_on {
+        let compiled = codegen::compile_projection(&bound);
+        Ok(Arc::new(move |row| compiled(row).expect("projection failed")))
+    } else {
+        Ok(Arc::new(move |row| {
+            Row::new(
+                bound
+                    .iter()
+                    .map(|e| interpreter::eval(e, row).expect("projection failed"))
+                    .collect(),
+            )
+        }))
+    }
+}
+
+/// Build a row predicate, compiled or interpreted per config.
+fn predicate(expr: &Expr, input: &[ColumnRef], codegen_on: bool) -> Result<PredFn> {
+    let bound = bind_references(expr.clone(), input)?;
+    if codegen_on {
+        Ok(codegen::compile_predicate(&bound))
+    } else {
+        Ok(Arc::new(move |row| {
+            interpreter::eval_predicate(&bound, row).expect("predicate failed")
+        }))
+    }
+}
+
+type ValueFn = Arc<dyn Fn(&Row) -> Value + Send + Sync>;
+
+/// Build a single-value evaluator, compiled or interpreted per config.
+fn value_fn(bound: Expr, codegen_on: bool) -> ValueFn {
+    if codegen_on {
+        let dtype = bound.data_type().unwrap_or(DataType::String);
+        let compiled = codegen::compile(&bound);
+        Arc::new(move |row| compiled.eval_value(row, &dtype).expect("expression failed"))
+    } else {
+        Arc::new(move |row| interpreter::eval(&bound, row).expect("expression failed"))
+    }
+}
+
+/// Sort key with per-column directions and a total order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SortKey {
+    values: Vec<Value>,
+    descending_mask: u64,
+}
+
+impl SortKey {
+    fn new(values: Vec<Value>, orders: &[SortOrder]) -> Self {
+        let mut mask = 0u64;
+        for (i, o) in orders.iter().enumerate() {
+            if !o.ascending {
+                mask |= 1 << i;
+            }
+        }
+        SortKey { values, descending_mask: mask }
+    }
+}
+
+impl PartialOrd for SortKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SortKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (i, (a, b)) in self.values.iter().zip(other.values.iter()).enumerate() {
+            let mut o = a.total_cmp(b);
+            if self.descending_mask & (1 << i) != 0 {
+                o = o.reverse();
+            }
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+// ---- aggregation machinery ----
+
+/// One accumulator instance.
+#[derive(Debug, Clone)]
+pub enum Acc {
+    /// COUNT (of non-null args, or all rows for COUNT(*)).
+    Count(i64),
+    /// SUM.
+    Sum(Option<Value>),
+    /// MIN.
+    Min(Option<Value>),
+    /// MAX.
+    Max(Option<Value>),
+    /// AVG (sum + count).
+    Avg(Option<Value>, i64),
+    /// Any DISTINCT aggregate: collect the distinct set, finish by func.
+    Distinct(HashSet<Value>, AggFunc),
+}
+
+/// A planned aggregate call: evaluator for the argument + accumulator
+/// factory.
+#[derive(Clone)]
+struct AggCall {
+    func: AggFunc,
+    distinct: bool,
+    /// Bound argument evaluator (None = COUNT(*)).
+    arg: Option<ValueFn>,
+}
+
+impl AggCall {
+    fn init(&self) -> Acc {
+        if self.distinct {
+            return Acc::Distinct(HashSet::new(), self.func);
+        }
+        match self.func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum(None),
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg(None, 0),
+        }
+    }
+
+    fn arg_value(&self, row: &Row) -> Value {
+        match &self.arg {
+            None => Value::Long(1), // COUNT(*): every row counts
+            Some(f) => f(row),
+        }
+    }
+
+    fn update(&self, acc: &mut Acc, row: &Row) {
+        let v = self.arg_value(row);
+        match acc {
+            Acc::Count(n) => {
+                if self.arg.is_none() || !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Acc::Sum(s) => {
+                if !v.is_null() {
+                    *s = Some(match s.take() {
+                        Some(cur) => cur.add(&v).expect("sum failed"),
+                        None => v,
+                    });
+                }
+            }
+            Acc::Min(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < *cur) {
+                    *m = Some(v);
+                }
+            }
+            Acc::Max(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > *cur) {
+                    *m = Some(v);
+                }
+            }
+            Acc::Avg(s, n) => {
+                if !v.is_null() {
+                    *s = Some(match s.take() {
+                        Some(cur) => cur.add(&v).expect("avg failed"),
+                        None => v,
+                    });
+                    *n += 1;
+                }
+            }
+            Acc::Distinct(set, _) => {
+                if !v.is_null() {
+                    set.insert(v);
+                }
+            }
+        }
+    }
+}
+
+fn merge_acc(a: Acc, b: Acc) -> Acc {
+    match (a, b) {
+        (Acc::Count(x), Acc::Count(y)) => Acc::Count(x + y),
+        (Acc::Sum(x), Acc::Sum(y)) => Acc::Sum(merge_opt_add(x, y)),
+        (Acc::Min(x), Acc::Min(y)) => Acc::Min(merge_opt_by(x, y, |a, b| a <= b)),
+        (Acc::Max(x), Acc::Max(y)) => Acc::Max(merge_opt_by(x, y, |a, b| a >= b)),
+        (Acc::Avg(xs, xn), Acc::Avg(ys, yn)) => Acc::Avg(merge_opt_add(xs, ys), xn + yn),
+        (Acc::Distinct(mut xa, f), Acc::Distinct(yb, _)) => {
+            xa.extend(yb);
+            Acc::Distinct(xa, f)
+        }
+        _ => unreachable!("mismatched accumulators"),
+    }
+}
+
+fn merge_opt_add(a: Option<Value>, b: Option<Value>) -> Option<Value> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.add(&y).expect("merge failed")),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn merge_opt_by(a: Option<Value>, b: Option<Value>, keep_left: fn(&Value, &Value) -> bool) -> Option<Value> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if keep_left(&x, &y) { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn finish_acc(acc: Acc) -> Value {
+    match acc {
+        Acc::Count(n) => Value::Long(n),
+        Acc::Sum(s) => s.unwrap_or(Value::Null),
+        Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Null),
+        Acc::Avg(s, n) => match (s, n) {
+            (Some(sum), n) if n > 0 => match sum.as_f64() {
+                Some(f) => Value::Double(f / n as f64),
+                None => Value::Null,
+            },
+            _ => Value::Null,
+        },
+        Acc::Distinct(set, f) => match f {
+            AggFunc::Count => Value::Long(set.len() as i64),
+            AggFunc::Sum => set
+                .into_iter()
+                .try_fold(None::<Value>, |acc, v| -> Result<Option<Value>> {
+                    Ok(Some(match acc {
+                        Some(cur) => cur.add(&v)?,
+                        None => v,
+                    }))
+                })
+                .ok()
+                .flatten()
+                .unwrap_or(Value::Null),
+            AggFunc::Min => set.into_iter().min().unwrap_or(Value::Null),
+            AggFunc::Max => set.into_iter().max().unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                let n = set.len();
+                if n == 0 {
+                    Value::Null
+                } else {
+                    let sum: f64 = set.iter().filter_map(Value::as_f64).sum();
+                    Value::Double(sum / n as f64)
+                }
+            }
+        },
+    }
+}
+
+/// Execute a physical plan into an RDD of rows.
+pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
+    match plan {
+        PhysicalPlan::Scan { relation, projection, pushed_filters, residual, output } => {
+            let relation = relation.clone();
+            let n = relation.num_partitions().max(1);
+            let proj = projection.clone();
+            let filters = pushed_filters.clone();
+            let rdd = ctx.sc.generate(n, move |p| {
+                match relation.scan_partition(p, proj.as_deref(), &filters) {
+                    Ok(it) => it,
+                    Err(e) => panic!("scan failed: {e}"),
+                }
+            });
+            match residual {
+                Some(r) => {
+                    let pred = predicate(r, output, ctx.conf.codegen_enabled)?;
+                    Ok(rdd.filter(move |row| pred(row)))
+                }
+                None => Ok(rdd),
+            }
+        }
+
+        PhysicalPlan::ExternalScan { data, .. } => {
+            match data.as_any().downcast_ref::<RddTable>() {
+                Some(t) => Ok(t.rdd().clone()),
+                None => Err(CatalystError::Internal(format!(
+                    "unknown external data source '{}'",
+                    data.name()
+                ))),
+            }
+        }
+
+        PhysicalPlan::LocalData { rows, .. } => {
+            Ok(ctx.sc.parallelize(rows.as_ref().clone(), 1))
+        }
+
+        PhysicalPlan::Project { input, exprs } => {
+            let child = execute(input, ctx)?;
+            let f = projector(exprs, &input.output(), ctx.conf.codegen_enabled)?;
+            Ok(child.map(move |row| f(&row)))
+        }
+
+        PhysicalPlan::Filter { input, predicate: pred_expr } => {
+            let child = execute(input, ctx)?;
+            let pred = predicate(pred_expr, &input.output(), ctx.conf.codegen_enabled)?;
+            Ok(child.filter(move |row| pred(row)))
+        }
+
+        PhysicalPlan::HashAggregate { input, groupings, output_exprs } => {
+            execute_aggregate(input, groupings, output_exprs, ctx)
+        }
+
+        PhysicalPlan::Sort { input, orders } => {
+            let child = execute(input, ctx)?;
+            let bound = bind_all(
+                &orders.iter().map(|o| o.expr.clone()).collect::<Vec<_>>(),
+                &input.output(),
+            )?;
+            let orders_meta = orders.clone();
+            let keyed = child.map(move |row| {
+                let values: Vec<Value> = bound
+                    .iter()
+                    .map(|e| interpreter::eval(e, &row).expect("sort key failed"))
+                    .collect();
+                (SortKey::new(values, &orders_meta), row)
+            });
+            use engine::pair::SortedPairRdd;
+            Ok(keyed.sort_by_key(true, ctx.conf.shuffle_partitions).values())
+        }
+
+        PhysicalPlan::TakeOrdered { input, orders, n } => {
+            let child = execute(input, ctx)?;
+            let bound = bind_all(
+                &orders.iter().map(|o| o.expr.clone()).collect::<Vec<_>>(),
+                &input.output(),
+            )?;
+            let orders_meta = orders.clone();
+            let n = *n;
+            // Per-partition top-k, then a driver-side merge.
+            let tops = child.run_job(move |_, it| {
+                let mut rows: Vec<(SortKey, Row)> = it
+                    .map(|row| {
+                        let values: Vec<Value> = bound
+                            .iter()
+                            .map(|e| interpreter::eval(e, &row).expect("sort key failed"))
+                            .collect();
+                        (SortKey::new(values, &orders_meta), row)
+                    })
+                    .collect();
+                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                rows.truncate(n);
+                rows
+            }).map_err(engine_err)?;
+            let mut all: Vec<(SortKey, Row)> = tops.into_iter().flatten().collect();
+            all.sort_by(|a, b| a.0.cmp(&b.0));
+            all.truncate(n);
+            Ok(ctx.sc.parallelize(all.into_iter().map(|(_, r)| r).collect(), 1))
+        }
+
+        PhysicalPlan::Limit { input, n } => {
+            let child = execute(input, ctx)?;
+            let n = *n;
+            let local = child.map_partitions(move |it| Box::new(it.take(n)));
+            let single = local.coalesce(1);
+            Ok(single.map_partitions(move |it| Box::new(it.take(n))))
+        }
+
+        PhysicalPlan::BroadcastHashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            build_side,
+            residual,
+        } => execute_broadcast_join(
+            left, right, left_keys, right_keys, *join_type, *build_side, residual, plan, ctx,
+        ),
+
+        PhysicalPlan::ShuffledHashJoin { left, right, left_keys, right_keys, join_type, residual } => {
+            execute_shuffled_join(left, right, left_keys, right_keys, *join_type, residual, plan, ctx)
+        }
+
+        PhysicalPlan::NestedLoopJoin { left, right, condition, join_type } => {
+            execute_nested_loop_join(left, right, condition, *join_type, plan, ctx)
+        }
+
+        PhysicalPlan::Union { inputs } => {
+            let mut it = inputs.iter();
+            let first = it
+                .next()
+                .ok_or_else(|| CatalystError::Internal("empty union".into()))?;
+            let mut rdd = execute(first, ctx)?;
+            for i in it {
+                rdd = rdd.union(&execute(i, ctx)?);
+            }
+            Ok(rdd)
+        }
+
+        PhysicalPlan::Sample { input, fraction, seed } => {
+            Ok(execute(input, ctx)?.sample(*fraction, *seed))
+        }
+
+        PhysicalPlan::Extension { exec, children } => {
+            let mut child_data = Vec::with_capacity(children.len());
+            for c in children {
+                let rdd = execute(c, ctx)?;
+                let partitions: Vec<Vec<Row>> =
+                    rdd.run_job(|_, it| it.collect()).map_err(engine_err)?;
+                child_data.push(partitions);
+            }
+            let out = exec.execute(child_data)?;
+            let out = Arc::new(out);
+            let n = out.len().max(1);
+            Ok(ctx.sc.generate(n, move |p| match out.get(p) {
+                Some(rows) => Box::new(rows.clone().into_iter()),
+                None => Box::new(std::iter::empty()),
+            }))
+        }
+    }
+}
+
+// ---- compiled ("whole-stage codegen") aggregation fast path ----
+//
+// When codegen is enabled, single-integer-key aggregations over numeric
+// columns run entirely on unboxed i64/f64 accumulators: no Value boxing,
+// no per-record pair allocation, no interpreter dispatch. This is the
+// Rust analogue of the compiled aggregation that makes the Figure 9
+// DataFrame program outperform hand-written RDD code.
+
+#[derive(Clone)]
+enum TAcc {
+    /// COUNT(*) or COUNT(non-null arg).
+    Cnt(i64),
+    /// SUM with integral result type.
+    SumI(i64, bool),
+    /// SUM with floating result type.
+    SumF(f64, bool),
+    /// AVG.
+    Avg(f64, i64),
+    /// MIN over numerics.
+    MinF(f64, bool),
+    /// MAX over numerics.
+    MaxF(f64, bool),
+}
+
+impl TAcc {
+    fn merge(&mut self, other: &TAcc) {
+        match (self, other) {
+            (TAcc::Cnt(a), TAcc::Cnt(b)) => *a += b,
+            (TAcc::SumI(a, sa), TAcc::SumI(b, sb)) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (TAcc::SumF(a, sa), TAcc::SumF(b, sb)) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (TAcc::Avg(a, na), TAcc::Avg(b, nb)) => {
+                *a += b;
+                *na += nb;
+            }
+            (TAcc::MinF(a, sa), TAcc::MinF(b, sb)) => {
+                if *sb && (!*sa || *b < *a) {
+                    *a = *b;
+                    *sa = true;
+                }
+            }
+            (TAcc::MaxF(a, sa), TAcc::MaxF(b, sb)) => {
+                if *sb && (!*sa || *b > *a) {
+                    *a = *b;
+                    *sa = true;
+                }
+            }
+            _ => unreachable!("mismatched typed accumulators"),
+        }
+    }
+
+    fn finish(&self, dtype: &DataType) -> Value {
+        match self {
+            TAcc::Cnt(n) => Value::Long(*n),
+            TAcc::SumI(v, seen) => {
+                if *seen {
+                    if *dtype == DataType::Int {
+                        Value::Int(*v as i32)
+                    } else {
+                        Value::Long(*v)
+                    }
+                } else {
+                    Value::Null
+                }
+            }
+            TAcc::SumF(v, seen) => {
+                if *seen {
+                    Value::Double(*v)
+                } else {
+                    Value::Null
+                }
+            }
+            TAcc::Avg(s, n) => {
+                if *n > 0 {
+                    Value::Double(s / *n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            TAcc::MinF(v, seen) | TAcc::MaxF(v, seen) => {
+                if !*seen {
+                    Value::Null
+                } else if dtype.is_integral() {
+                    if *dtype == DataType::Int {
+                        Value::Int(*v as i32)
+                    } else {
+                        Value::Long(*v as i64)
+                    }
+                } else {
+                    Value::Double(*v)
+                }
+            }
+        }
+    }
+}
+
+/// One compiled aggregate: argument evaluator + accumulator template.
+#[derive(Clone)]
+enum TCall {
+    CountAll,
+    CountOf(codegen::RowFn<f64>),
+    SumI(codegen::RowFn<i64>),
+    SumF(codegen::RowFn<f64>),
+    Avg(codegen::RowFn<f64>),
+    Min(codegen::RowFn<f64>),
+    Max(codegen::RowFn<f64>),
+}
+
+impl TCall {
+    fn init(&self) -> TAcc {
+        match self {
+            TCall::CountAll | TCall::CountOf(_) => TAcc::Cnt(0),
+            TCall::SumI(_) => TAcc::SumI(0, false),
+            TCall::SumF(_) => TAcc::SumF(0.0, false),
+            TCall::Avg(_) => TAcc::Avg(0.0, 0),
+            TCall::Min(_) => TAcc::MinF(0.0, false),
+            TCall::Max(_) => TAcc::MaxF(0.0, false),
+        }
+    }
+
+    #[inline]
+    fn update(&self, acc: &mut TAcc, row: &Row) {
+        match (self, acc) {
+            (TCall::CountAll, TAcc::Cnt(n)) => *n += 1,
+            (TCall::CountOf(f), TAcc::Cnt(n)) => {
+                if f(row).is_some() {
+                    *n += 1;
+                }
+            }
+            (TCall::SumI(f), TAcc::SumI(s, seen)) => {
+                if let Some(v) = f(row) {
+                    *s += v;
+                    *seen = true;
+                }
+            }
+            (TCall::SumF(f), TAcc::SumF(s, seen)) => {
+                if let Some(v) = f(row) {
+                    *s += v;
+                    *seen = true;
+                }
+            }
+            (TCall::Avg(f), TAcc::Avg(s, n)) => {
+                if let Some(v) = f(row) {
+                    *s += v;
+                    *n += 1;
+                }
+            }
+            (TCall::Min(f), TAcc::MinF(m, seen)) => {
+                if let Some(v) = f(row) {
+                    if !*seen || v < *m {
+                        *m = v;
+                        *seen = true;
+                    }
+                }
+            }
+            (TCall::Max(f), TAcc::MaxF(m, seen)) => {
+                if let Some(v) = f(row) {
+                    if !*seen || v > *m {
+                        *m = v;
+                        *seen = true;
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Fast multiply-xor hasher for integer group keys (the engine-internal
+/// hashing a compiled aggregation would emit; std's SipHash is
+/// DoS-resistant but slow for this).
+#[derive(Default, Clone)]
+pub struct IntHasher(u64);
+
+impl std::hash::Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        let mut z = self.0 ^ v;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        self.0 = z ^ (z >> 31);
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type IntHashMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<IntHasher>>;
+
+/// Try the compiled aggregation path. Requirements: codegen on, exactly
+/// one integral grouping key, and only plain numeric aggregates.
+#[allow(clippy::too_many_arguments)]
+fn try_fast_aggregate(
+    child: &RddRef<Row>,
+    bound_groupings: &[Expr],
+    agg_exprs: &[Expr],
+    input_attrs_len: usize,
+    final_exprs: &[Expr],
+    ctx: &ExecContext,
+) -> Option<RddRef<Row>> {
+    let _ = input_attrs_len;
+    if !ctx.conf.codegen_enabled || bound_groupings.len() != 1 {
+        return None;
+    }
+    let key_dtype = bound_groupings[0].data_type().ok()?;
+
+    let mut calls: Vec<(TCall, DataType)> = Vec::with_capacity(agg_exprs.len());
+    for e in agg_exprs {
+        let Expr::Agg { func, arg, distinct: false } = e else { return None };
+        let out_type = e.data_type().ok()?;
+        let call = match (func, arg) {
+            (AggFunc::Count, None) => TCall::CountAll,
+            (func, Some(a)) => {
+                let compiled = codegen::compile(a);
+                let as_f = match &compiled {
+                    codegen::Compiled::Double(f) => f.clone(),
+                    codegen::Compiled::Long(f) => {
+                        let f = f.clone();
+                        Arc::new(move |row: &Row| f(row).map(|v| v as f64)) as codegen::RowFn<f64>
+                    }
+                    _ => return None,
+                };
+                match func {
+                    AggFunc::Count => TCall::CountOf(as_f),
+                    AggFunc::Sum => match &compiled {
+                        codegen::Compiled::Long(f) if out_type.is_integral() => {
+                            TCall::SumI(f.clone())
+                        }
+                        _ if out_type.is_integral() => return None,
+                        _ => TCall::SumF(as_f),
+                    },
+                    AggFunc::Avg => TCall::Avg(as_f),
+                    AggFunc::Min => TCall::Min(as_f),
+                    AggFunc::Max => TCall::Max(as_f),
+                }
+            }
+            _ => return None,
+        };
+        calls.push((call, out_type));
+    }
+
+    // Dispatch on the compiled key type: unboxed i64 or shared strings.
+    match codegen::compile(&bound_groupings[0]) {
+        codegen::Compiled::Long(key_fn) => {
+            let key_is_int = key_dtype == DataType::Int;
+            Some(run_fast_agg(
+                child,
+                key_fn,
+                Arc::new(move |key: Option<i64>| match key {
+                    None => Value::Null,
+                    Some(k) if key_is_int => Value::Int(k as i32),
+                    Some(k) => Value::Long(k),
+                }),
+                calls,
+                final_exprs,
+                ctx,
+            ))
+        }
+        codegen::Compiled::Str(key_fn) => Some(run_fast_agg(
+            child,
+            key_fn,
+            Arc::new(|key: Option<Arc<str>>| key.map_or(Value::Null, Value::Str)),
+            calls,
+            final_exprs,
+            ctx,
+        )),
+        _ => None,
+    }
+}
+
+/// The shared fast-aggregation pipeline: map-side combine into unboxed
+/// accumulators keyed by `K`, shuffle the combined groups raw, merge once
+/// on the reduce side, then run the final projection.
+fn run_fast_agg<K: engine::Data + std::hash::Hash + Eq>(
+    child: &RddRef<Row>,
+    key_fn: codegen::RowFn<K>,
+    key_to_value: Arc<dyn Fn(Option<K>) -> Value + Send + Sync>,
+    calls: Vec<(TCall, DataType)>,
+    final_exprs: &[Expr],
+    ctx: &ExecContext,
+) -> RddRef<Row> {
+    let calls_map = calls.clone();
+    let combined = child
+        .map_partitions(move |it| {
+            let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
+            for row in it {
+                let key = key_fn(&row);
+                let accs = groups.entry(key).or_insert_with(|| {
+                    calls_map.iter().map(|(c, _)| c.init()).collect()
+                });
+                for ((call, _), acc) in calls_map.iter().zip(accs.iter_mut()) {
+                    call.update(acc, &row);
+                }
+            }
+            Box::new(groups.into_iter())
+        })
+        .partition_by(Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions)))
+        .map_partitions(|it| {
+            let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
+            for (key, accs) in it {
+                match groups.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (x, y) in e.get_mut().iter_mut().zip(&accs) {
+                            x.merge(y);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(accs);
+                    }
+                }
+            }
+            Box::new(groups.into_iter())
+        });
+
+    // Final: typed accumulators → values → final projection.
+    let final_exprs = final_exprs.to_vec();
+    combined.map(move |(key, accs)| {
+        let mut values = Vec::with_capacity(1 + accs.len());
+        values.push(key_to_value(key));
+        for ((_, dtype), acc) in calls.iter().zip(accs) {
+            values.push(acc.finish(dtype));
+        }
+        let internal = Row::new(values);
+        Row::new(
+            final_exprs
+                .iter()
+                .map(|e| interpreter::eval(e, &internal).expect("final aggregate failed"))
+                .collect(),
+        )
+    })
+}
+
+fn execute_aggregate(
+    input: &Arc<PhysicalPlan>,
+    groupings: &[Expr],
+    output_exprs: &[Expr],
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    let input_attrs = input.output();
+    let child = execute(input, ctx)?;
+
+    // Unique aggregate calls appearing anywhere in the output list.
+    let mut agg_exprs: Vec<Expr> = Vec::new();
+    for e in output_exprs {
+        e.for_each_node(&mut |n| {
+            if matches!(n, Expr::Agg { .. }) && !agg_exprs.contains(n) {
+                agg_exprs.push(n.clone());
+            }
+        });
+    }
+
+    // Rewrite output expressions over [group values ++ agg results].
+    let ngroups = groupings.len();
+    let mut final_exprs: Vec<Expr> = Vec::with_capacity(output_exprs.len());
+    for e in output_exprs {
+        let rewritten = e.clone().transform_down(&mut |n| {
+            if let Some(i) = groupings.iter().position(|g| g == &n) {
+                let dtype = n.data_type().unwrap_or(DataType::String);
+                return Transformed::yes(Expr::BoundRef {
+                    index: i,
+                    dtype,
+                    nullable: n.nullable(),
+                    name: Arc::from(n.auto_name().as_str()),
+                });
+            }
+            if let Some(j) = agg_exprs.iter().position(|a| a == &n) {
+                let dtype = n.data_type().unwrap_or(DataType::String);
+                return Transformed::yes(Expr::BoundRef {
+                    index: ngroups + j,
+                    dtype,
+                    nullable: true,
+                    name: Arc::from(n.auto_name().as_str()),
+                });
+            }
+            Transformed::no(n)
+        });
+        final_exprs.push(rewritten.data);
+    }
+
+    // Bind group keys and aggregate args to the child output.
+    let bound_groupings = bind_all(groupings, &input_attrs)?;
+    let calls: Vec<AggCall> = agg_exprs
+        .iter()
+        .map(|e| match e {
+            Expr::Agg { func, arg, distinct } => {
+                let arg = match arg {
+                    Some(a) => {
+                        let bound = bind_references((**a).clone(), &input_attrs)?;
+                        Some(value_fn(bound, ctx.conf.codegen_enabled))
+                    }
+                    None => None,
+                };
+                Ok(AggCall { func: *func, distinct: *distinct, arg })
+            }
+            _ => unreachable!(),
+        })
+        .collect::<Result<_>>()?;
+
+    // Compiled fast path (unboxed keys and accumulators).
+    {
+        let bound_agg_exprs: Result<Vec<Expr>> = agg_exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Agg { func, arg, distinct } => Ok(Expr::Agg {
+                    func: *func,
+                    arg: match arg {
+                        Some(a) => {
+                            Some(Box::new(bind_references((**a).clone(), &input_attrs)?))
+                        }
+                        None => None,
+                    },
+                    distinct: *distinct,
+                }),
+                _ => unreachable!(),
+            })
+            .collect();
+        if let Ok(bound_agg_exprs) = bound_agg_exprs {
+            let bound_groupings_fast = bind_all(groupings, &input_attrs)?;
+            if let Some(rdd) = try_fast_aggregate(
+                &child,
+                &bound_groupings_fast,
+                &bound_agg_exprs,
+                input_attrs.len(),
+                &final_exprs,
+                ctx,
+            ) {
+                return Ok(rdd);
+            }
+        }
+    }
+
+    let finish_rows = {
+        let final_exprs = final_exprs.clone();
+        move |key: Row, accs: Vec<Acc>| -> Row {
+            let mut values = key.into_values();
+            values.extend(accs.into_iter().map(finish_acc));
+            let internal = Row::new(values);
+            Row::new(
+                final_exprs
+                    .iter()
+                    .map(|e| interpreter::eval(e, &internal).expect("final aggregate failed"))
+                    .collect(),
+            )
+        }
+    };
+
+    if groupings.is_empty() {
+        // Global aggregate: partials per partition, merged on the driver —
+        // correct even over an empty input (COUNT(*) = 0).
+        let calls_for_job = calls.clone();
+        let partials = child.run_job(move |_, it| {
+            let mut accs: Vec<Acc> = calls_for_job.iter().map(AggCall::init).collect();
+            for row in it {
+                for (call, acc) in calls_for_job.iter().zip(accs.iter_mut()) {
+                    call.update(acc, &row);
+                }
+            }
+            accs
+        }).map_err(engine_err)?;
+        let merged = partials
+            .into_iter()
+            .reduce(|a, b| {
+                a.into_iter().zip(b).map(|(x, y)| merge_acc(x, y)).collect()
+            })
+            .unwrap_or_else(|| calls.iter().map(AggCall::init).collect());
+        let row = finish_rows(Row::empty(), merged);
+        return Ok(ctx.sc.parallelize(vec![row], 1));
+    }
+
+    // Grouped: map-side partial aggregation + shuffle + final merge (the
+    // engine's combine-by-key is the Partial/Final split).
+    let calls_create = calls.clone();
+    let calls_update = calls.clone();
+    let aggregator = engine::shuffle::Aggregator::new(
+        move |row: Row| {
+            let mut accs: Vec<Acc> = calls_create.iter().map(AggCall::init).collect();
+            for (call, acc) in calls_create.iter().zip(accs.iter_mut()) {
+                call.update(acc, &row);
+            }
+            accs
+        },
+        move |mut accs: Vec<Acc>, row: Row| {
+            for (call, acc) in calls_update.iter().zip(accs.iter_mut()) {
+                call.update(acc, &row);
+            }
+            accs
+        },
+        |a: Vec<Acc>, b: Vec<Acc>| a.into_iter().zip(b).map(|(x, y)| merge_acc(x, y)).collect(),
+    );
+
+    let key_fns: Vec<ValueFn> = bound_groupings
+        .into_iter()
+        .map(|e| value_fn(e, ctx.conf.codegen_enabled))
+        .collect();
+    let keyed = child.map(move |row| {
+        let key = Row::new(key_fns.iter().map(|f| f(&row)).collect());
+        (key, row)
+    });
+    let combined = keyed.combine_by_key(
+        aggregator,
+        Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions)),
+        true,
+    );
+    Ok(combined.map(move |(key, accs)| finish_rows(key, accs)))
+}
+
+/// Null-safe key evaluation: returns None when any key is NULL (SQL
+/// equi-join semantics: NULL joins nothing).
+fn join_key(fns: &[ValueFn], row: &Row) -> Option<Row> {
+    let mut values = Vec::with_capacity(fns.len());
+    for f in fns {
+        let v = f(row);
+        if v.is_null() {
+            return None;
+        }
+        values.push(v);
+    }
+    Some(Row::new(values))
+}
+
+/// Compile join-key expressions to value evaluators.
+fn key_value_fns(exprs: &[Expr], input: &[ColumnRef], codegen_on: bool) -> Result<Vec<ValueFn>> {
+    bind_all(exprs, input).map(|bound| {
+        bound.into_iter().map(|e| value_fn(e, codegen_on)).collect()
+    })
+}
+
+fn null_row(width: usize) -> Row {
+    Row::new(vec![Value::Null; width])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_broadcast_join(
+    left: &Arc<PhysicalPlan>,
+    right: &Arc<PhysicalPlan>,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    join_type: JoinType,
+    build_side: BuildSide,
+    residual: &Option<Expr>,
+    join_plan: &PhysicalPlan,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    let left_attrs = left.output();
+    let right_attrs = right.output();
+    let bound_left_keys = key_value_fns(left_keys, &left_attrs, ctx.conf.codegen_enabled)?;
+    let bound_right_keys = key_value_fns(right_keys, &right_attrs, ctx.conf.codegen_enabled)?;
+    let residual_pred: Option<PredFn> = match residual {
+        Some(r) => Some(predicate(r, &join_plan.output(), ctx.conf.codegen_enabled)?),
+        None => None,
+    };
+
+    let (build_plan, build_keys, stream_plan, stream_keys, build_is_left) = match build_side {
+        BuildSide::Right => (right, bound_right_keys, left, bound_left_keys, false),
+        BuildSide::Left => (left, bound_left_keys, right, bound_right_keys, true),
+    };
+    let build_width = build_plan.output().len();
+
+    // Build and broadcast the hash table (a separate job, like Spark's
+    // broadcast exchange).
+    let build_rows = execute(build_plan, ctx)?.try_collect().map_err(engine_err)?;
+    let mut table: HashMap<Row, Vec<Row>> = HashMap::new();
+    let mut bytes = 0u64;
+    for row in build_rows {
+        if let Some(k) = join_key(&build_keys, &row) {
+            bytes += row.approx_bytes();
+            table.entry(k).or_default().push(row);
+        }
+    }
+    let broadcast = ctx.sc.broadcast(table, bytes as usize);
+    let table = broadcast.value_arc();
+
+    // Stream-side probe. The stream side is the outer-preserved side (the
+    // planner guarantees this).
+    let stream = execute(stream_plan, ctx)?;
+    let preserve_unmatched = matches!(
+        (join_type, build_is_left),
+        (JoinType::Left, false) | (JoinType::Right, true)
+    );
+    Ok(stream.flat_map(move |srow| {
+        let mut out = Vec::new();
+        let key = join_key(&stream_keys, &srow);
+        if let Some(key) = key {
+            if let Some(matches) = table.get(&key) {
+                for brow in matches {
+                    let joined = if build_is_left {
+                        brow.concat(&srow)
+                    } else {
+                        srow.concat(brow)
+                    };
+                    if residual_pred.as_ref().is_none_or(|p| p(&joined)) {
+                        out.push(joined);
+                    }
+                }
+            }
+        }
+        if out.is_empty() && preserve_unmatched {
+            let nulls = null_row(build_width);
+            out.push(if build_is_left {
+                nulls.concat(&srow)
+            } else {
+                srow.concat(&nulls)
+            });
+        }
+        out
+    }))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_shuffled_join(
+    left: &Arc<PhysicalPlan>,
+    right: &Arc<PhysicalPlan>,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    join_type: JoinType,
+    residual: &Option<Expr>,
+    join_plan: &PhysicalPlan,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    let left_attrs = left.output();
+    let right_attrs = right.output();
+    let bound_left_keys = key_value_fns(left_keys, &left_attrs, ctx.conf.codegen_enabled)?;
+    let bound_right_keys = key_value_fns(right_keys, &right_attrs, ctx.conf.codegen_enabled)?;
+    let residual_pred: Option<PredFn> = match residual {
+        Some(r) => Some(predicate(r, &join_plan.output(), ctx.conf.codegen_enabled)?),
+        None => None,
+    };
+    let left_width = left_attrs.len();
+    let right_width = right_attrs.len();
+
+    let partitions = ctx.conf.shuffle_partitions;
+    // Key both sides; NULL keys keep a sentinel so outer rows survive the
+    // shuffle (they can never match — Option<Row> keys, None = NULL).
+    let lkeyed = execute(left, ctx)?
+        .map(move |row| (join_key(&bound_left_keys, &row), row))
+        .partition_by(Arc::new(HashPartitioner::new(partitions)));
+    let rkeyed = execute(right, ctx)?
+        .map(move |row| (join_key(&bound_right_keys, &row), row))
+        .partition_by(Arc::new(HashPartitioner::new(partitions)));
+
+    Ok(lkeyed.zip_partitions(&rkeyed, move |lit, rit| {
+        // Build from the right partition.
+        let mut table: HashMap<Row, Vec<(Row, bool)>> = HashMap::new();
+        let mut null_key_right: Vec<Row> = Vec::new();
+        for (k, row) in rit {
+            match k {
+                Some(k) => table.entry(k).or_default().push((row, false)),
+                None => null_key_right.push(row),
+            }
+        }
+        let mut out: Vec<Row> = Vec::new();
+        for (k, lrow) in lit {
+            let mut matched = false;
+            if let Some(k) = &k {
+                if let Some(entries) = table.get_mut(k) {
+                    for (rrow, rmatched) in entries.iter_mut() {
+                        let joined = lrow.concat(rrow);
+                        if residual_pred.as_ref().is_none_or(|p| p(&joined)) {
+                            *rmatched = true;
+                            matched = true;
+                            out.push(joined);
+                        }
+                    }
+                }
+            }
+            if !matched && matches!(join_type, JoinType::Left | JoinType::Full) {
+                out.push(lrow.concat(&null_row(right_width)));
+            }
+        }
+        if matches!(join_type, JoinType::Right | JoinType::Full) {
+            for entries in table.values() {
+                for (rrow, matched) in entries {
+                    if !matched {
+                        out.push(null_row(left_width).concat(rrow));
+                    }
+                }
+            }
+            for rrow in &null_key_right {
+                out.push(null_row(left_width).concat(rrow));
+            }
+        }
+        Box::new(out.into_iter())
+    }))
+}
+
+fn execute_nested_loop_join(
+    left: &Arc<PhysicalPlan>,
+    right: &Arc<PhysicalPlan>,
+    condition: &Option<Expr>,
+    join_type: JoinType,
+    join_plan: &PhysicalPlan,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        return Err(CatalystError::Plan(format!(
+            "non-equi {} joins are not supported; rewrite with an equality condition",
+            join_type.keyword()
+        )));
+    }
+    let cond: Option<PredFn> = match condition {
+        Some(c) => Some(predicate(c, &join_plan.output(), ctx.conf.codegen_enabled)?),
+        None => None,
+    };
+    let right_width = right.output().len();
+    let right_rows = Arc::new(execute(right, ctx)?.try_collect().map_err(engine_err)?);
+    let stream = execute(left, ctx)?;
+    Ok(stream.flat_map(move |lrow| {
+        let mut out = Vec::new();
+        for rrow in right_rows.iter() {
+            let joined = lrow.concat(rrow);
+            if cond.as_ref().is_none_or(|p| p(&joined)) {
+                out.push(joined);
+            }
+        }
+        if out.is_empty() && join_type == JoinType::Left {
+            out.push(lrow.concat(&null_row(right_width)));
+        }
+        out
+    }))
+}

@@ -1,0 +1,55 @@
+//! The bridge between engine RDDs and Catalyst plans: an
+//! [`catalyst::source::ExternalData`] wrapping an `RddRef<Row>`, so
+//! relational operators can run over data created by procedural Spark
+//! code (§3.5) and DataFrames can be viewed back as RDDs of rows (§3.1).
+
+use catalyst::schema::SchemaRef;
+use catalyst::source::ExternalData;
+use catalyst::Row;
+use engine::RddRef;
+use std::any::Any;
+
+/// A logical table backed by an RDD of rows.
+pub struct RddTable {
+    name: String,
+    schema: SchemaRef,
+    rdd: RddRef<Row>,
+    size_hint: Option<u64>,
+}
+
+impl RddTable {
+    /// Wrap an RDD with its schema.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, rdd: RddRef<Row>) -> Self {
+        RddTable { name: name.into(), schema, rdd, size_hint: None }
+    }
+
+    /// Attach a size estimate (lets the cost model consider broadcasting
+    /// this side of a join).
+    pub fn with_size_hint(mut self, bytes: u64) -> Self {
+        self.size_hint = Some(bytes);
+        self
+    }
+
+    /// The wrapped RDD.
+    pub fn rdd(&self) -> &RddRef<Row> {
+        &self.rdd
+    }
+}
+
+impl ExternalData for RddTable {
+    fn name(&self) -> String {
+        format!("rdd:{}", self.name)
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn size_in_bytes(&self) -> Option<u64> {
+        self.size_hint
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

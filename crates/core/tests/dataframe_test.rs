@@ -1,0 +1,260 @@
+//! DataFrame API surface tests (the DSL side of §3, complementing the
+//! SQL-driven end-to-end suite).
+
+use catalyst::value::Value;
+use catalyst::Row;
+use spark_sql::prelude::*;
+use std::sync::Arc;
+
+fn people(ctx: &SQLContext) -> DataFrame {
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("name", DataType::String, false),
+        StructField::new("age", DataType::Int, false),
+        StructField::new("dept", DataType::String, false),
+    ]));
+    let rows: Vec<Row> = [
+        ("alice", 22, "eng"),
+        ("bob", 19, "eng"),
+        ("carol", 31, "sales"),
+        ("dan", 17, "sales"),
+        ("erin", 40, "hr"),
+    ]
+    .iter()
+    .map(|(n, a, d)| Row::new(vec![Value::str(*n), Value::Int(*a), Value::str(*d)]))
+    .collect();
+    ctx.create_dataframe(schema, rows).unwrap()
+}
+
+#[test]
+fn select_filter_chain() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx);
+    let out = df
+        .where_(col("age").gt_eq(lit(20)))
+        .unwrap()
+        .select(vec![col("name"), col("age").add(lit(1)).alias("next_age")])
+        .unwrap();
+    assert_eq!(out.columns(), vec!["name", "next_age"]);
+    assert_eq!(out.count().unwrap(), 3);
+}
+
+#[test]
+fn with_column_appends() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx);
+    let out = df.with_column("minor", col("age").lt(lit(18))).unwrap();
+    assert_eq!(out.columns(), vec!["name", "age", "dept", "minor"]);
+    let minors: Vec<Row> = out
+        .filter(col("minor").eq(lit(true)))
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(minors.len(), 1);
+    assert_eq!(minors[0].get_str(0), "dan");
+}
+
+#[test]
+fn grouped_helpers() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx);
+    let counts = df.group_by_cols(&["dept"]).count().unwrap();
+    assert_eq!(counts.count().unwrap(), 3);
+
+    let avg = df.group_by_cols(&["dept"]).avg("age").unwrap();
+    assert_eq!(avg.columns(), vec!["dept", "avg(age)"]);
+
+    let multi = df
+        .group_by_cols(&["dept"])
+        .agg(vec![
+            min(col("age")).alias("youngest"),
+            max(col("age")).alias("oldest"),
+            sum(col("age")).alias("total"),
+        ])
+        .unwrap()
+        .order_by(vec![col("dept").asc()])
+        .unwrap()
+        .collect()
+        .unwrap();
+    // eng: 19/22/41.
+    assert_eq!(multi[0].get(1), &Value::Int(19));
+    assert_eq!(multi[0].get(2), &Value::Int(22));
+    assert_eq!(multi[0].get(3), &Value::Long(41));
+}
+
+#[test]
+fn global_agg_without_grouping() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx);
+    let out = df
+        .agg(vec![count_star().alias("n"), avg(col("age")).alias("a")])
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out[0].get(0), &Value::Long(5));
+    assert!((out[0].get_double(1) - 25.8).abs() < 1e-9);
+}
+
+#[test]
+fn self_join_via_aliased_copies() {
+    // The documented workaround: register two DataFrames with distinct
+    // attribute ids (two create_dataframe calls), then join.
+    let ctx = SQLContext::new_local(2);
+    let left = people(&ctx).alias("l").unwrap();
+    let right = people(&ctx).alias("r").unwrap();
+    let pairs = left
+        .join_on(&right, qualified_col("l", "dept").eq(qualified_col("r", "dept")))
+        .unwrap()
+        .filter(qualified_col("l", "name").not_eq(qualified_col("r", "name")))
+        .unwrap();
+    // eng: 2 pairs, sales: 2 pairs, hr: 0.
+    assert_eq!(pairs.count().unwrap(), 4);
+}
+
+#[test]
+fn union_and_distinct_and_sample() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx);
+    let doubled = df.union(&df).unwrap();
+    assert_eq!(doubled.count().unwrap(), 10);
+    assert_eq!(doubled.select_cols(&["name"]).unwrap().distinct().unwrap().count().unwrap(), 5);
+    let sampled = df.sample(0.5, 7).unwrap();
+    assert!(sampled.count().unwrap() <= 5);
+}
+
+#[test]
+fn take_first_show() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx).order_by(vec![col("age").desc()]).unwrap();
+    let first = df.first().unwrap().unwrap();
+    assert_eq!(first.get_str(0), "erin");
+    assert_eq!(df.take(2).unwrap().len(), 2);
+    let table = df.show(3).unwrap();
+    assert!(table.contains("| name"), "{table}");
+    assert!(table.contains("erin"), "{table}");
+    assert_eq!(table.lines().filter(|l| l.starts_with('|')).count(), 4); // header + 3 rows
+}
+
+#[test]
+fn explain_mentions_all_phases_and_chosen_join() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx).alias("big").unwrap();
+    let small = people(&ctx).alias("small").unwrap().limit(2).unwrap();
+    let joined = df
+        .join_on(&small, qualified_col("big", "age").eq(qualified_col("small", "age")))
+        .unwrap();
+    let text = joined.explain().unwrap();
+    assert!(text.contains("Analyzed Logical Plan"), "{text}");
+    assert!(text.contains("Optimized Logical Plan"), "{text}");
+    assert!(text.contains("Physical Plan"), "{text}");
+    // LIMIT makes the small side's size known (footnote 5) → broadcast.
+    assert!(text.contains("BroadcastHashJoin"), "{text}");
+}
+
+#[test]
+fn ambiguous_join_columns_error_eagerly() {
+    let ctx = SQLContext::new_local(2);
+    let a = people(&ctx);
+    let b = people(&ctx);
+    let err = a.join_on(&b, col("age").eq(col("age")));
+    assert!(err.is_err(), "duplicate names across both sides must be ambiguous");
+    let msg = match err {
+        Err(e) => e.to_string(),
+        Ok(_) => unreachable!(),
+    };
+    assert!(msg.contains("ambiguous"), "{msg}");
+}
+
+#[test]
+fn save_and_reload_colfile_and_csv() {
+    let ctx = SQLContext::new_local(2);
+    let dir = std::env::temp_dir().join(format!("dftest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let df = people(&ctx);
+
+    let colfile = dir.join("people.rcf");
+    df.save_as_colfile(colfile.to_str().unwrap(), 2).unwrap();
+    let reloaded = ctx.read_colfile(colfile.to_str().unwrap()).unwrap();
+    assert_eq!(reloaded.count().unwrap(), 5);
+    assert_eq!(reloaded.schema().len(), 3);
+    // Pushdown works against the reloaded file.
+    let filtered = reloaded.where_(col("age").gt(lit(30))).unwrap();
+    assert_eq!(filtered.count().unwrap(), 2);
+
+    let csv = dir.join("people.csv");
+    df.save_as_csv(csv.to_str().unwrap()).unwrap();
+    let csv_df = ctx
+        .read_csv(csv.to_str().unwrap(), &datasources::CsvOptions::default())
+        .unwrap();
+    assert_eq!(csv_df.count().unwrap(), 5);
+    assert_eq!(csv_df.schema().field(1).dtype, DataType::Int);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn read_source_via_registry() {
+    let ctx = SQLContext::new_local(2);
+    let dir = std::env::temp_dir().join(format!("dfsrc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("x.json");
+    std::fs::write(&path, "{\"a\": 1}\n{\"a\": 2}\n").unwrap();
+    let mut opts = datasources::Options::new();
+    opts.insert("path".into(), path.to_str().unwrap().into());
+    let df = ctx.read_source("json", &opts).unwrap();
+    assert_eq!(df.count().unwrap(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn show_tables_and_describe_via_sql() {
+    let ctx = SQLContext::new_local(2);
+    people(&ctx).register_temp_table("people");
+    let tables = ctx.sql("SHOW TABLES").unwrap().collect().unwrap();
+    assert_eq!(tables.len(), 1);
+    assert_eq!(tables[0].get_str(0), "people");
+    let desc = ctx.sql("DESCRIBE people").unwrap().collect().unwrap();
+    assert_eq!(desc.len(), 3);
+    assert_eq!(desc[1].get_str(0), "age");
+    assert_eq!(desc[1].get_str(1), "INT");
+}
+
+#[test]
+fn drop_temp_table() {
+    let ctx = SQLContext::new_local(2);
+    people(&ctx).register_temp_table("p");
+    assert!(ctx.table("p").is_ok());
+    assert!(ctx.drop_temp_table("p"));
+    assert!(ctx.table("p").is_err());
+    assert!(!ctx.drop_temp_table("p"));
+}
+
+#[test]
+fn dataframe_cache_roundtrip() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx);
+    let cached = df.cache().unwrap();
+    let a = cached.group_by_cols(&["dept"]).count().unwrap().count().unwrap();
+    let b = df.group_by_cols(&["dept"]).count().unwrap().count().unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn case_when_dsl() {
+    let ctx = SQLContext::new_local(2);
+    let df = people(&ctx);
+    let banded = df
+        .select(vec![
+            col("name"),
+            when(col("age").lt(lit(20)), lit("young"))
+                .when(col("age").lt(lit(35)), lit("mid"))
+                .otherwise(lit("senior"))
+                .alias("band"),
+        ])
+        .unwrap()
+        .order_by(vec![col("name").asc()])
+        .unwrap()
+        .collect()
+        .unwrap();
+    let bands: Vec<&str> = banded.iter().map(|r| r.get_str(1)).collect();
+    assert_eq!(bands, vec!["mid", "young", "mid", "young", "senior"]);
+}

@@ -1,0 +1,370 @@
+//! CSV data source: "simply scans the whole file, but allows users to
+//! specify a schema" (§4.4.1). Includes the type-inference convenience the
+//! paper lists as future work for CSV.
+
+use catalyst::error::{CatalystError, Result};
+use catalyst::row::Row;
+use catalyst::schema::{Schema, SchemaRef};
+use catalyst::source::{BaseRelation, Filter, RowIter, ScanCapability};
+use catalyst::types::{DataType, StructField};
+use catalyst::value::Value;
+use std::sync::Arc;
+
+/// Split one CSV line honoring double-quoted fields with `""` escapes.
+pub fn split_csv_line(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Infer a column type from sample texts: INT → LONG → DOUBLE → BOOLEAN →
+/// DATE → STRING.
+fn infer_column_type(samples: &[&str]) -> DataType {
+    let mut candidate = DataType::Null;
+    for s in samples {
+        let s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+        let t = if s.parse::<i32>().is_ok() {
+            DataType::Int
+        } else if s.parse::<i64>().is_ok() {
+            DataType::Long
+        } else if s.parse::<f64>().is_ok() {
+            DataType::Double
+        } else if s.eq_ignore_ascii_case("true") || s.eq_ignore_ascii_case("false") {
+            DataType::Boolean
+        } else if catalyst::value::parse_date(s).is_some() && s.len() == 10 {
+            DataType::Date
+        } else {
+            DataType::String
+        };
+        candidate = DataType::tightest_common_type(&candidate, &t).unwrap_or(DataType::String);
+    }
+    if candidate == DataType::Null {
+        DataType::String
+    } else {
+        candidate
+    }
+}
+
+fn parse_field(text: &str, dtype: &DataType) -> Value {
+    let t = text.trim();
+    if t.is_empty() {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Int => t.parse().map(Value::Int).unwrap_or(Value::Null),
+        DataType::Long => t.parse().map(Value::Long).unwrap_or(Value::Null),
+        DataType::Float => t.parse().map(Value::Float).unwrap_or(Value::Null),
+        DataType::Double => t.parse().map(Value::Double).unwrap_or(Value::Null),
+        DataType::Boolean => match t.to_ascii_lowercase().as_str() {
+            "true" | "1" => Value::Boolean(true),
+            "false" | "0" => Value::Boolean(false),
+            _ => Value::Null,
+        },
+        DataType::Date => catalyst::value::parse_date(t).map(Value::Date).unwrap_or(Value::Null),
+        _ => Value::str(text),
+    }
+}
+
+/// A CSV-backed relation.
+pub struct CsvRelation {
+    name: String,
+    schema: SchemaRef,
+    partitions: Vec<Arc<Vec<Row>>>,
+    bytes: u64,
+}
+
+/// CSV options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter.
+    pub delimiter: char,
+    /// First line is a header?
+    pub header: bool,
+    /// User-specified schema (skips inference).
+    pub schema: Option<SchemaRef>,
+    /// Partitions to split into.
+    pub num_partitions: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: ',', header: true, schema: None, num_partitions: 2 }
+    }
+}
+
+impl CsvRelation {
+    /// Build from text lines.
+    pub fn from_lines(
+        name: impl Into<String>,
+        lines: impl IntoIterator<Item = impl AsRef<str>>,
+        options: &CsvOptions,
+    ) -> Result<Self> {
+        let mut raw: Vec<Vec<String>> = Vec::new();
+        let mut header: Option<Vec<String>> = None;
+        let mut bytes = 0u64;
+        for line in lines {
+            let line = line.as_ref();
+            if line.trim().is_empty() {
+                continue;
+            }
+            bytes += line.len() as u64;
+            let fields = split_csv_line(line, options.delimiter);
+            if options.header && header.is_none() {
+                header = Some(fields);
+            } else {
+                raw.push(fields);
+            }
+        }
+        let width = raw.iter().map(Vec::len).max().unwrap_or_else(|| {
+            header.as_ref().map(Vec::len).unwrap_or(0)
+        });
+
+        let schema = match &options.schema {
+            Some(s) => s.clone(),
+            None => {
+                let names: Vec<String> = match &header {
+                    Some(h) => h.iter().map(|s| s.trim().to_string()).collect(),
+                    None => (0..width).map(|i| format!("_c{i}")).collect(),
+                };
+                let fields: Vec<StructField> = (0..width)
+                    .map(|i| {
+                        let samples: Vec<&str> = raw
+                            .iter()
+                            .take(1000)
+                            .filter_map(|r| r.get(i).map(String::as_str))
+                            .collect();
+                        StructField::new(
+                            names.get(i).cloned().unwrap_or_else(|| format!("_c{i}")),
+                            infer_column_type(&samples),
+                            true,
+                        )
+                    })
+                    .collect();
+                Arc::new(Schema::new(fields))
+            }
+        };
+
+        if schema.len() < width {
+            return Err(CatalystError::DataSource(format!(
+                "CSV has {width} columns but schema has {}",
+                schema.len()
+            )));
+        }
+
+        let rows: Vec<Row> = raw
+            .iter()
+            .map(|fields| {
+                Row::new(
+                    schema
+                        .fields()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| match fields.get(i) {
+                            Some(text) => parse_field(text, &f.dtype),
+                            None => Value::Null,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let np = options.num_partitions.max(1);
+        let base = rows.len() / np;
+        let extra = rows.len() % np;
+        let mut it = rows.into_iter();
+        let mut partitions = Vec::with_capacity(np);
+        for i in 0..np {
+            let len = base + usize::from(i < extra);
+            partitions.push(Arc::new(it.by_ref().take(len).collect::<Vec<Row>>()));
+        }
+        Ok(CsvRelation { name: name.into(), schema, partitions, bytes })
+    }
+
+    /// Build from a file path.
+    pub fn from_path(path: &str, options: &CsvOptions) -> Result<Self> {
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| CatalystError::DataSource(format!("cannot read '{path}': {e}")))?;
+        Self::from_lines(path, content.lines(), options)
+    }
+
+    /// Total row count.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl BaseRelation for CsvRelation {
+    fn name(&self) -> String {
+        format!("csv:{}", self.name)
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn size_in_bytes(&self) -> Option<u64> {
+        Some(self.bytes)
+    }
+
+    fn row_count(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+
+    fn capability(&self) -> ScanCapability {
+        ScanCapability::TableScan // CSV "simply scans the whole file"
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn scan_partition(
+        &self,
+        partition: usize,
+        _projection: Option<&[usize]>,
+        _filters: &[Filter],
+    ) -> Result<RowIter> {
+        let rows = self.partitions[partition].clone();
+        Ok(Box::new((0..rows.len()).map(move |i| rows[i].clone())))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Serialize rows back to CSV text (write path).
+pub fn rows_to_csv(schema: &Schema, rows: &[Row], delimiter: char) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = schema.fields().iter().map(|f| f.name.as_ref()).collect();
+    out.push_str(&names.join(&delimiter.to_string()));
+    out.push('\n');
+    for r in rows {
+        let fields: Vec<String> = r
+            .values()
+            .iter()
+            .map(|v| {
+                let s = if v.is_null() { String::new() } else { v.to_string() };
+                if s.contains(delimiter) || s.contains('"') || s.contains('\n') {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s
+                }
+            })
+            .collect();
+        out.push_str(&fields.join(&delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoted_field_splitting() {
+        assert_eq!(split_csv_line("a,b,c", ','), vec!["a", "b", "c"]);
+        assert_eq!(split_csv_line(r#""a,b",c"#, ','), vec!["a,b", "c"]);
+        assert_eq!(split_csv_line(r#""he said ""hi""",x"#, ','), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(split_csv_line("a,,c", ','), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn header_and_type_inference() {
+        let rel = CsvRelation::from_lines(
+            "t",
+            ["id,name,score,ok,day", "1,alice,9.5,true,2015-01-01", "2,bob,7.25,false,2015-06-30"],
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let s = rel.schema();
+        assert_eq!(s.field(0).dtype, DataType::Int);
+        assert_eq!(s.field(1).dtype, DataType::String);
+        assert_eq!(s.field(2).dtype, DataType::Double);
+        assert_eq!(s.field(3).dtype, DataType::Boolean);
+        assert_eq!(s.field(4).dtype, DataType::Date);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn user_schema_overrides_inference() {
+        let schema = Arc::new(Schema::new(vec![
+            StructField::new("a", DataType::Long, true),
+            StructField::new("b", DataType::String, true),
+        ]));
+        let rel = CsvRelation::from_lines(
+            "t",
+            ["1,hello", "2,world"],
+            &CsvOptions { header: false, schema: Some(schema), ..Default::default() },
+        )
+        .unwrap();
+        let rows: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
+        assert_eq!(rows[0].get(0), &Value::Long(1));
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let rel = CsvRelation::from_lines(
+            "t",
+            ["a,b", "1,", ",2"],
+            &CsvOptions { num_partitions: 1, ..Default::default() },
+        )
+        .unwrap();
+        let rows: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
+        assert!(rows[0].get(1).is_null());
+        assert!(rows[1].get(0).is_null());
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        let schema = Schema::new(vec![
+            StructField::new("x", DataType::Int, true),
+            StructField::new("s", DataType::String, true),
+        ]);
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::str("plain")]),
+            Row::new(vec![Value::Int(2), Value::str("has,comma")]),
+        ];
+        let text = rows_to_csv(&schema, &rows, ',');
+        let rel = CsvRelation::from_lines(
+            "t",
+            text.lines(),
+            &CsvOptions { num_partitions: 1, ..Default::default() },
+        )
+        .unwrap();
+        let back: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
+        assert_eq!(back[1].get_str(1), "has,comma");
+    }
+}

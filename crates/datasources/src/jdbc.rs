@@ -1,0 +1,391 @@
+//! Query federation to external databases (§5.3), simulated.
+//!
+//! The paper's JDBC source pushes column pruning and filter predicates
+//! into MySQL to minimize communication. Here [`RemoteDb`] is an
+//! in-process "database server" with its own mini filter engine and a
+//! byte-metered link: every row that crosses the simulated wire is
+//! counted, and every generated remote query is logged (mirroring the
+//! rewritten MySQL query the paper shows). Tests and the federation
+//! example assert pushdown by watching bytes-transferred drop.
+//!
+//! Like the real source, a table can be *sharded* on a numeric column so
+//! ranges are scanned in parallel (§5.3 footnote 8).
+
+use catalyst::error::{CatalystError, Result};
+use catalyst::row::Row;
+use catalyst::schema::SchemaRef;
+use catalyst::source::{BaseRelation, Filter, RowIter, ScanCapability};
+use catalyst::value::Value;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct RemoteTable {
+    schema: SchemaRef,
+    rows: Vec<Row>,
+}
+
+/// A simulated remote RDBMS reachable over a metered link.
+#[derive(Default)]
+pub struct RemoteDb {
+    tables: RwLock<HashMap<String, Arc<RemoteTable>>>,
+    bytes_transferred: AtomicU64,
+    rows_transferred: AtomicU64,
+    query_log: Mutex<Vec<String>>,
+}
+
+impl RemoteDb {
+    /// Create an empty database.
+    pub fn new() -> Arc<Self> {
+        Arc::new(RemoteDb::default())
+    }
+
+    /// Create or replace a table.
+    pub fn create_table(&self, name: impl Into<String>, schema: SchemaRef, rows: Vec<Row>) {
+        self.tables
+            .write()
+            .insert(name.into().to_ascii_lowercase(), Arc::new(RemoteTable { schema, rows }));
+    }
+
+    /// Bytes that crossed the simulated wire so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred.load(Ordering::Relaxed)
+    }
+
+    /// Rows that crossed the simulated wire so far.
+    pub fn rows_transferred(&self) -> u64 {
+        self.rows_transferred.load(Ordering::Relaxed)
+    }
+
+    /// Reset the wire meters.
+    pub fn reset_meters(&self) {
+        self.bytes_transferred.store(0, Ordering::Relaxed);
+        self.rows_transferred.store(0, Ordering::Relaxed);
+    }
+
+    /// Queries the "server" has executed (SQL text, like the paper's
+    /// generated MySQL query).
+    pub fn query_log(&self) -> Vec<String> {
+        self.query_log.lock().clone()
+    }
+
+    fn table(&self, name: &str) -> Result<Arc<RemoteTable>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| CatalystError::DataSource(format!("remote table '{name}' not found")))
+    }
+
+    /// Execute a remote scan: the server evaluates filters and projection
+    /// locally, then "transfers" only the surviving rows.
+    pub fn query(
+        &self,
+        table: &str,
+        projection: Option<&[usize]>,
+        filters: &[Filter],
+        shard: Option<(String, Value, Value)>, // column, lo (incl), hi (excl)
+    ) -> Result<Vec<Row>> {
+        let t = self.table(table)?;
+        self.query_log.lock().push(render_query(table, &t.schema, projection, filters, &shard));
+
+        let mut out = Vec::new();
+        'rows: for row in &t.rows {
+            if let Some((col, lo, hi)) = &shard {
+                let i = t.schema.index_of(col)?;
+                let v = row.get(i);
+                use std::cmp::Ordering::*;
+                if v.sql_cmp(lo) == Some(Less) || !matches!(v.sql_cmp(hi), Some(Less)) {
+                    continue;
+                }
+            }
+            for f in filters {
+                let i = t.schema.index_of(f.column())?;
+                if !f.matches(row.get(i)) {
+                    continue 'rows;
+                }
+            }
+            let transferred = match projection {
+                Some(p) => row.project(p),
+                None => row.clone(),
+            };
+            self.bytes_transferred
+                .fetch_add(transferred.approx_bytes(), Ordering::Relaxed);
+            self.rows_transferred.fetch_add(1, Ordering::Relaxed);
+            out.push(transferred);
+        }
+        Ok(out)
+    }
+}
+
+fn render_query(
+    table: &str,
+    schema: &SchemaRef,
+    projection: Option<&[usize]>,
+    filters: &[Filter],
+    shard: &Option<(String, Value, Value)>,
+) -> String {
+    let cols = match projection {
+        Some(p) => p
+            .iter()
+            .map(|&i| schema.field(i).name.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        None => "*".to_string(),
+    };
+    let mut preds: Vec<String> = filters
+        .iter()
+        .map(|f| match f {
+            Filter::Eq(c, v) => format!("{c} = {v}"),
+            Filter::Gt(c, v) => format!("{c} > {v}"),
+            Filter::GtEq(c, v) => format!("{c} >= {v}"),
+            Filter::Lt(c, v) => format!("{c} < {v}"),
+            Filter::LtEq(c, v) => format!("{c} <= {v}"),
+            Filter::In(c, vs) => format!(
+                "{c} IN ({})",
+                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            Filter::IsNull(c) => format!("{c} IS NULL"),
+            Filter::IsNotNull(c) => format!("{c} IS NOT NULL"),
+            Filter::StringStartsWith(c, p) => format!("{c} LIKE '{p}%'"),
+            Filter::StringContains(c, p) => format!("{c} LIKE '%{p}%'"),
+        })
+        .collect();
+    if let Some((c, lo, hi)) = shard {
+        preds.push(format!("{c} >= {lo} AND {c} < {hi}"));
+    }
+    if preds.is_empty() {
+        format!("SELECT {cols} FROM {table}")
+    } else {
+        format!("SELECT {cols} FROM {table} WHERE {}", preds.join(" AND "))
+    }
+}
+
+/// Global URL → database registry so `USING jdbc OPTIONS(url '…')` can
+/// find its server, as a connection pool would.
+static GLOBAL_DBS: Mutex<Option<HashMap<String, Arc<RemoteDb>>>> = Mutex::new(None);
+
+/// Register a database under a connection URL.
+pub fn register_database(url: impl Into<String>, db: Arc<RemoteDb>) {
+    GLOBAL_DBS.lock().get_or_insert_with(HashMap::new).insert(url.into(), db);
+}
+
+/// Resolve a registered database.
+pub fn lookup_database(url: &str) -> Option<Arc<RemoteDb>> {
+    GLOBAL_DBS.lock().as_ref().and_then(|m| m.get(url).cloned())
+}
+
+/// A relation federated from a [`RemoteDb`] table.
+pub struct JdbcRelation {
+    db: Arc<RemoteDb>,
+    table: String,
+    schema: SchemaRef,
+    shards: Vec<Option<(String, Value, Value)>>,
+}
+
+impl JdbcRelation {
+    /// Connect to a table, optionally sharding a numeric `shard_column`
+    /// into `num_shards` ranges read in parallel.
+    pub fn connect(
+        db: Arc<RemoteDb>,
+        table: impl Into<String>,
+        shard_column: Option<&str>,
+        num_shards: usize,
+    ) -> Result<Self> {
+        let table = table.into();
+        let t = db.table(&table)?;
+        let schema = t.schema.clone();
+        let shards = match shard_column {
+            None => vec![None],
+            Some(col) => {
+                let i = schema.index_of(col)?;
+                let mut lo = None::<Value>;
+                let mut hi = None::<Value>;
+                for r in &t.rows {
+                    let v = r.get(i);
+                    if v.is_null() {
+                        continue;
+                    }
+                    if lo.as_ref().is_none_or(|l| v < l) {
+                        lo = Some(v.clone());
+                    }
+                    if hi.as_ref().is_none_or(|h| v > h) {
+                        hi = Some(v.clone());
+                    }
+                }
+                match (lo.and_then(|v| v.as_f64()), hi.and_then(|v| v.as_f64())) {
+                    (Some(lo), Some(hi)) if num_shards > 1 => {
+                        let width = (hi - lo) / num_shards as f64;
+                        (0..num_shards)
+                            .map(|s| {
+                                let a = lo + width * s as f64;
+                                // Last shard is open-ended past the max.
+                                let b = if s + 1 == num_shards {
+                                    hi + 1.0
+                                } else {
+                                    lo + width * (s + 1) as f64
+                                };
+                                Some((col.to_string(), Value::Double(a), Value::Double(b)))
+                            })
+                            .collect()
+                    }
+                    _ => vec![None],
+                }
+            }
+        };
+        Ok(JdbcRelation { db, table, schema, shards })
+    }
+
+    /// The backing database handle.
+    pub fn db(&self) -> &Arc<RemoteDb> {
+        &self.db
+    }
+}
+
+impl BaseRelation for JdbcRelation {
+    fn name(&self) -> String {
+        format!("jdbc:{}", self.table)
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn size_in_bytes(&self) -> Option<u64> {
+        let t = self.db.table(&self.table).ok()?;
+        Some(t.rows.iter().map(Row::approx_bytes).sum())
+    }
+
+    fn row_count(&self) -> Option<u64> {
+        self.db.table(&self.table).ok().map(|t| t.rows.len() as u64)
+    }
+
+    fn capability(&self) -> ScanCapability {
+        ScanCapability::PrunedFilteredScan
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn scan_partition(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        filters: &[Filter],
+    ) -> Result<RowIter> {
+        let rows =
+            self.db
+                .query(&self.table, projection, filters, self.shards[partition].clone())?;
+        Ok(Box::new(rows.into_iter()))
+    }
+
+    fn handled_filters(&self, filters: &[Filter]) -> Vec<bool> {
+        // The remote engine evaluates the full advisory language exactly
+        // when it knows the column.
+        filters
+            .iter()
+            .map(|f| self.schema.index_of(f.column()).is_ok())
+            .collect()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyst::schema::Schema;
+    use catalyst::types::{DataType, StructField};
+
+    fn users_db() -> Arc<RemoteDb> {
+        let db = RemoteDb::new();
+        let schema = Arc::new(Schema::new(vec![
+            StructField::new("id", DataType::Long, false),
+            StructField::new("name", DataType::String, false),
+            StructField::new("registrationDate", DataType::Date, false),
+        ]));
+        let rows: Vec<Row> = (0..100)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Long(i),
+                    Value::str(format!("user{i}")),
+                    Value::Date(16000 + i as i32 * 10),
+                ])
+            })
+            .collect();
+        db.create_table("users", schema, rows);
+        db
+    }
+
+    #[test]
+    fn pushdown_reduces_bytes_on_the_wire() {
+        let db = users_db();
+        let rel = JdbcRelation::connect(db.clone(), "users", None, 1).unwrap();
+
+        // Full scan.
+        let all: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
+        assert_eq!(all.len(), 100);
+        let full_bytes = db.bytes_transferred();
+        db.reset_meters();
+
+        // Filtered + projected scan (the §5.3 query shape).
+        let filters = [Filter::Gt("registrationDate".into(), Value::Date(16800))];
+        let some: Vec<Row> =
+            rel.scan_partition(0, Some(&[0, 1]), &filters).unwrap().collect();
+        assert!(some.len() < 30);
+        assert!(
+            db.bytes_transferred() < full_bytes / 3,
+            "pushdown should cut wire bytes: {} vs {full_bytes}",
+            db.bytes_transferred()
+        );
+    }
+
+    #[test]
+    fn generated_remote_query_shows_pushdown() {
+        let db = users_db();
+        let rel = JdbcRelation::connect(db.clone(), "users", None, 1).unwrap();
+        let filters = [Filter::Gt("registrationDate".into(), Value::Date(16436))];
+        let _: Vec<Row> = rel.scan_partition(0, Some(&[0, 1]), &filters).unwrap().collect();
+        let log = db.query_log();
+        let q = log.last().unwrap();
+        // Mirrors the paper's: SELECT users.id, users.name FROM users
+        // WHERE users.registrationDate > "2015-01-01".
+        assert!(q.starts_with("SELECT id, name FROM users WHERE"), "{q}");
+        assert!(q.contains("registrationDate >"), "{q}");
+        assert!(q.contains("2015-01-01"), "{q}");
+    }
+
+    #[test]
+    fn sharded_scans_partition_ranges() {
+        let db = users_db();
+        let rel = JdbcRelation::connect(db, "users", Some("id"), 4).unwrap();
+        assert_eq!(rel.num_partitions(), 4);
+        let mut all = Vec::new();
+        for p in 0..4 {
+            all.extend(rel.scan_partition(p, None, &[]).unwrap());
+        }
+        assert_eq!(all.len(), 100, "shards must cover every row exactly once");
+        let mut ids: Vec<i64> = all.iter().map(|r| r.get_long(0)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn global_registry_resolves_urls() {
+        let db = users_db();
+        register_database("jdbc:mysql://userDB/users", db.clone());
+        let found = lookup_database("jdbc:mysql://userDB/users").unwrap();
+        assert!(Arc::ptr_eq(&db, &found));
+        assert!(lookup_database("jdbc:mysql://nope").is_none());
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let db = RemoteDb::new();
+        assert!(JdbcRelation::connect(db, "ghost", None, 1).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! JSON schema inference (§5.1).
+//!
+//! One pass over the records: each record yields a schema (a tree of
+//! STRUCT types), and schemata are merged with an associative "most
+//! specific supertype" function — the same reduce-friendly formulation
+//! the paper uses, which makes the algorithm single-pass and
+//! communication-efficient. Fields that appear as both integers and
+//! fractions generalize to FLOAT; incompatible types generalize to
+//! STRING, preserving the original JSON representation.
+
+use super::parse::Json;
+use catalyst::schema::Schema;
+use catalyst::types::{DataType, StructField};
+
+/// Infer the type of one JSON value. Integers that fit 32 bits infer as
+/// INT, larger as LONG; fractions as FLOAT (widening to DOUBLE happens
+/// only via merging with DOUBLE values).
+pub fn infer_value_type(v: &Json) -> DataType {
+    match v {
+        Json::Null => DataType::Null,
+        Json::Bool(_) => DataType::Boolean,
+        Json::Int(i) => {
+            if *i >= i32::MIN as i64 && *i <= i32::MAX as i64 {
+                DataType::Int
+            } else {
+                DataType::Long
+            }
+        }
+        Json::Float(_) => DataType::Float,
+        Json::Str(_) => DataType::String,
+        Json::Array(items) => {
+            // "Most specific supertype" over the observed elements.
+            let elem = items
+                .iter()
+                .map(infer_value_type)
+                .reduce(|a, b| DataType::tightest_common_type(&a, &b).unwrap_or(DataType::String))
+                .unwrap_or(DataType::Null);
+            DataType::Array(Box::new(elem))
+        }
+        Json::Object(fields) => DataType::struct_type(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    StructField::new(k.as_str(), infer_value_type(v), matches!(v, Json::Null))
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Merge two record schemata (associative; identity = empty struct).
+pub fn merge_types(a: &DataType, b: &DataType) -> DataType {
+    DataType::tightest_common_type(a, b).unwrap_or(DataType::String)
+}
+
+/// Infer a relation schema from a set of JSON records (each must be an
+/// object). This is the "single reduce operation over the data".
+pub fn infer_schema<'a>(records: impl IntoIterator<Item = &'a Json>) -> Schema {
+    let merged = records
+        .into_iter()
+        .map(infer_value_type)
+        .reduce(|a, b| merge_types(&a, &b));
+    match merged {
+        Some(DataType::Struct(fields)) => Schema::new(fields.as_ref().clone()),
+        _ => Schema::new(vec![]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse::parse_json;
+
+    /// The paper's Figure 5 records must infer the Figure 6 schema.
+    #[test]
+    fn figure5_infers_figure6() {
+        let records = [
+            r##"{"text": "This is a tweet about #Spark", "tags": ["#Spark"],
+                "loc": {"lat": 45.1, "long": 90}}"##,
+            r#"{"text": "This is another tweet", "tags": [],
+                "loc": {"lat": 39, "long": 88.5}}"#,
+            r##"{"text": "A #tweet without #location", "tags": ["#tweet", "#location"]}"##,
+        ];
+        let parsed: Vec<_> = records.iter().map(|r| parse_json(r).unwrap()).collect();
+        let schema = infer_schema(parsed.iter());
+
+        // text STRING NOT NULL
+        let text = &schema.fields()[schema.index_of("text").unwrap()];
+        assert_eq!(text.dtype, DataType::String);
+        assert!(!text.nullable);
+
+        // tags ARRAY<STRING NOT NULL> NOT NULL
+        let tags = &schema.fields()[schema.index_of("tags").unwrap()];
+        assert_eq!(tags.dtype, DataType::Array(Box::new(DataType::String)));
+        assert!(!tags.nullable);
+
+        // loc STRUCT<lat FLOAT NOT NULL, long FLOAT NOT NULL> — nullable
+        // because the third tweet has no loc; lat/long generalize
+        // INT ∨ FLOAT → FLOAT exactly as the paper describes.
+        let loc = &schema.fields()[schema.index_of("loc").unwrap()];
+        assert!(loc.nullable);
+        match &loc.dtype {
+            DataType::Struct(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].name.as_ref(), "lat");
+                assert_eq!(fields[0].dtype, DataType::Float);
+                assert!(!fields[0].nullable);
+                assert_eq!(fields[1].dtype, DataType::Float);
+            }
+            other => panic!("expected struct, got {other}"),
+        }
+    }
+
+    #[test]
+    fn int_widens_to_long_and_float() {
+        let a = parse_json(r#"{"n": 1}"#).unwrap();
+        let b = parse_json(r#"{"n": 10000000000}"#).unwrap();
+        let schema = infer_schema([&a, &b]);
+        assert_eq!(schema.fields()[0].dtype, DataType::Long);
+
+        let c = parse_json(r#"{"n": 1.5}"#).unwrap();
+        let schema = infer_schema([&a, &c]);
+        assert_eq!(schema.fields()[0].dtype, DataType::Float);
+    }
+
+    #[test]
+    fn mixed_types_generalize_to_string() {
+        let a = parse_json(r#"{"v": 1}"#).unwrap();
+        let b = parse_json(r#"{"v": true}"#).unwrap();
+        let schema = infer_schema([&a, &b]);
+        assert_eq!(schema.fields()[0].dtype, DataType::String);
+    }
+
+    #[test]
+    fn null_then_value_is_nullable_typed() {
+        let a = parse_json(r#"{"v": null}"#).unwrap();
+        let b = parse_json(r#"{"v": 3}"#).unwrap();
+        let schema = infer_schema([&a, &b]);
+        assert_eq!(schema.fields()[0].dtype, DataType::Int);
+        assert!(schema.fields()[0].nullable);
+    }
+
+    #[test]
+    fn merge_is_associative_on_samples() {
+        let records = [
+            r#"{"a": 1, "b": "x"}"#,
+            r#"{"a": 2.5, "c": [1]}"#,
+            r#"{"b": "y", "c": [2.5]}"#,
+        ];
+        let parsed: Vec<_> = records.iter().map(|r| parse_json(r).unwrap()).collect();
+        let types: Vec<_> = parsed.iter().map(infer_value_type).collect();
+        let left = merge_types(&merge_types(&types[0], &types[1]), &types[2]);
+        let right = merge_types(&types[0], &merge_types(&types[1], &types[2]));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let a = parse_json(r#"{"u": {"addr": {"city": "SF", "zip": 94107}}}"#).unwrap();
+        let b = parse_json(r#"{"u": {"addr": {"city": "NYC"}, "age": 3}}"#).unwrap();
+        let schema = infer_schema([&a, &b]);
+        let u = &schema.fields()[0];
+        let DataType::Struct(u_fields) = &u.dtype else { panic!() };
+        let addr = u_fields.iter().find(|f| f.name.as_ref() == "addr").unwrap();
+        let DataType::Struct(addr_fields) = &addr.dtype else { panic!() };
+        let zip = addr_fields.iter().find(|f| f.name.as_ref() == "zip").unwrap();
+        assert!(zip.nullable, "zip missing in one record");
+        let age = u_fields.iter().find(|f| f.name.as_ref() == "age").unwrap();
+        assert!(age.nullable);
+    }
+}

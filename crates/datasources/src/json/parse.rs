@@ -1,0 +1,297 @@
+//! A small self-contained JSON parser (no external JSON crate in the
+//! allowed dependency set). Integers and fractions are kept distinct so
+//! the §5.1 inference algorithm can pick INT / LONG / FLOAT faithfully.
+
+use catalyst::error::{CatalystError, Result};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integral number.
+    Int(i64),
+    /// Fractional number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object — insertion order preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document.
+pub fn parse_json(text: &str) -> Result<Json> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = JsonParser { chars, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(CatalystError::DataSource(format!(
+            "trailing JSON content at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(CatalystError::DataSource(format!(
+                "expected '{c}' at offset {}, found {got:?}",
+                self.pos - 1
+            ))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(CatalystError::DataSource(format!(
+                "unexpected JSON character {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        for expected in word.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                _ => {
+                    return Err(CatalystError::DataSource(format!(
+                        "bad JSON literal, expected '{word}'"
+                    )))
+                }
+            }
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => {
+                    return Err(CatalystError::DataSource(format!(
+                        "expected ',' or '}}' in object, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Json::Object(fields))
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => break,
+                other => {
+                    return Err(CatalystError::DataSource(format!(
+                        "expected ',' or ']' in array, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Json::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(CatalystError::DataSource("unterminated JSON string".into())),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('b') => s.push('\u{8}'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or_else(|| {
+                                CatalystError::DataSource("truncated \\u escape".into())
+                            })?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| {
+                                    CatalystError::DataSource("bad \\u escape".into())
+                                })?;
+                        }
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(CatalystError::DataSource(format!(
+                            "bad escape \\{other:?}"
+                        )))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    self.bump();
+                }
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    fractional = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if fractional {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| CatalystError::DataSource(format!("bad number '{text}'")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Json::Int(v)),
+                // Overflowing integers degrade to float.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Float)
+                    .map_err(|_| CatalystError::DataSource(format!("bad number '{text}'"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_tweet() {
+        let j = parse_json(
+            r##"{"text": "This is a tweet about #Spark", "tags": ["#Spark"],
+                "loc": {"lat": 45.1, "long": 90}}"##,
+        )
+        .unwrap();
+        assert_eq!(j.get("text"), Some(&Json::Str("This is a tweet about #Spark".into())));
+        assert_eq!(j.get("loc").unwrap().get("lat"), Some(&Json::Float(45.1)));
+        assert_eq!(j.get("loc").unwrap().get("long"), Some(&Json::Int(90)));
+    }
+
+    #[test]
+    fn numbers_keep_int_float_distinction() {
+        assert_eq!(parse_json("42").unwrap(), Json::Int(42));
+        assert_eq!(parse_json("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse_json("4.5").unwrap(), Json::Float(4.5));
+        assert_eq!(parse_json("1e3").unwrap(), Json::Float(1000.0));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        assert_eq!(
+            parse_json(r#""a\"b\nA""#).unwrap(),
+            Json::Str("a\"b\nA".into())
+        );
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let j = parse_json(r#"[1, [2, 3], {"k": null}]"#).unwrap();
+        match j {
+            Json::Array(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[2].get("k"), Some(&Json::Null));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,").is_err());
+        assert!(parse_json(r#"{"a" 1}"#).is_err());
+        assert!(parse_json("tru").is_err());
+        assert!(parse_json("1 2").is_err());
+    }
+}

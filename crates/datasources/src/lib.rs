@@ -1,0 +1,29 @@
+//! Data sources for the Spark SQL reproduction (§4.4.1, §5.1, §5.3).
+//!
+//! Implements the paper's source lineup against the Catalyst
+//! [`catalyst::source::BaseRelation`] API:
+//!
+//! * [`csv`] — whole-file scans with optional user schema and type
+//!   inference;
+//! * [`json`] — newline-delimited JSON with single-pass "most specific
+//!   supertype" schema inference (reproduces Figures 5–6);
+//! * [`colfile`] — a Parquet-like columnar binary format with
+//!   dictionary/RLE encodings, column pruning, and statistics-based
+//!   row-group skipping;
+//! * [`jdbc`] — query federation to a simulated remote database with
+//!   exact filter/projection pushdown over a byte-metered link;
+//! * [`registry`] — the `USING <provider> OPTIONS(…)` factory registry.
+
+#![warn(missing_docs)]
+
+pub mod colfile;
+pub mod csv;
+pub mod jdbc;
+pub mod json;
+pub mod registry;
+
+pub use colfile::{read_colfile, write_colfile, ColFileRelation};
+pub use csv::{CsvOptions, CsvRelation};
+pub use jdbc::{lookup_database, register_database, JdbcRelation, RemoteDb};
+pub use json::JsonRelation;
+pub use registry::{DataSourceRegistry, Options};

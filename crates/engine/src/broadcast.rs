@@ -1,0 +1,48 @@
+//! Broadcast variables.
+//!
+//! Spark ships a read-only value to every executor once via a peer-to-peer
+//! broadcast facility (used by the cost-based planner for broadcast hash
+//! joins, §4.3.3 footnote 5). In-process this is an `Arc`, but we keep the
+//! id and a byte estimate so experiments can report what *would* travel
+//! over the wire.
+
+use std::sync::Arc;
+
+/// A read-only value shared with every task.
+pub struct Broadcast<T: Send + Sync> {
+    id: usize,
+    value: Arc<T>,
+    approx_bytes: usize,
+}
+
+impl<T: Send + Sync> Broadcast<T> {
+    pub(crate) fn new(id: usize, value: T, approx_bytes: usize) -> Self {
+        Broadcast { id, value: Arc::new(value), approx_bytes }
+    }
+
+    /// Broadcast id within the context.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Access the broadcast value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Clone the inner `Arc` (what a task captures).
+    pub fn value_arc(&self) -> Arc<T> {
+        self.value.clone()
+    }
+
+    /// Caller-supplied estimate of the serialized size.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+}
+
+impl<T: Send + Sync> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast { id: self.id, value: self.value.clone(), approx_bytes: self.approx_bytes }
+    }
+}

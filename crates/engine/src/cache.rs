@@ -1,0 +1,114 @@
+//! Block cache manager and the caching RDD wrapper.
+//!
+//! `RddRef::cache()` wraps an RDD in a [`CachedRdd`]; the first job to
+//! touch a partition computes and stores it, later jobs read the stored
+//! block. Evicting blocks (or calling [`CacheManager::clear`]) forces
+//! lineage recomputation — the fault-tolerance path the paper's RDD model
+//! relies on (§2.1).
+
+use crate::context::SparkContext;
+use crate::metrics::Metrics;
+use crate::rdd::{BoxIter, Data, Dependency, Rdd, RddBase, RddId, TaskContext};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Block = Arc<dyn Any + Send + Sync>;
+
+/// Stores computed partitions keyed by `(rdd id, partition)`.
+#[derive(Default)]
+pub struct CacheManager {
+    blocks: Mutex<HashMap<(RddId, usize), Block>>,
+}
+
+impl CacheManager {
+    /// Fetch a cached partition.
+    pub fn get(&self, rdd: RddId, partition: usize) -> Option<Block> {
+        self.blocks.lock().get(&(rdd, partition)).cloned()
+    }
+
+    /// Store a computed partition.
+    pub fn put(&self, rdd: RddId, partition: usize, block: Block) {
+        self.blocks.lock().insert((rdd, partition), block);
+    }
+
+    /// Drop a single partition (simulates losing an executor's block).
+    pub fn evict(&self, rdd: RddId, partition: usize) -> bool {
+        self.blocks.lock().remove(&(rdd, partition)).is_some()
+    }
+
+    /// Drop every block of one RDD.
+    pub fn evict_rdd(&self, rdd: RddId) {
+        self.blocks.lock().retain(|(id, _), _| *id != rdd);
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.blocks.lock().clear();
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.lock().is_empty()
+    }
+}
+
+/// An RDD whose partitions are served from the cache when available.
+pub struct CachedRdd<T: Data> {
+    id: RddId,
+    parent: Arc<dyn Rdd<Item = T>>,
+    ctx: SparkContext,
+}
+
+impl<T: Data> CachedRdd<T> {
+    pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>) -> Self {
+        let ctx = parent.context();
+        CachedRdd { id: ctx.new_rdd_id(), parent, ctx }
+    }
+
+    /// The id under which blocks are stored (for eviction in tests).
+    pub fn cache_id(&self) -> RddId {
+        self.id
+    }
+}
+
+impl<T: Data> RddBase for CachedRdd<T> {
+    fn id(&self) -> RddId {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(crate::shuffle::as_base(self.parent.clone()))]
+    }
+    fn context(&self) -> SparkContext {
+        self.ctx.clone()
+    }
+    fn name(&self) -> &'static str {
+        "cache"
+    }
+}
+
+impl<T: Data> Rdd for CachedRdd<T> {
+    type Item = T;
+
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<T> {
+        let cm = self.ctx.cache_manager();
+        if let Some(block) = cm.get(self.id, split) {
+            Metrics::add(&self.ctx.metrics().cache_hits, 1);
+            let data = block.downcast_ref::<Vec<T>>().expect("cache block type").clone();
+            return Box::new(data.into_iter());
+        }
+        Metrics::add(&self.ctx.metrics().cache_misses, 1);
+        let data: Vec<T> = self.parent.compute(split, tc).collect();
+        cm.put(self.id, split, Arc::new(data.clone()));
+        Box::new(data.into_iter())
+    }
+}

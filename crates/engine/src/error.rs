@@ -1,0 +1,44 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by job execution.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// A task failed more times than `max_task_retries` allows.
+    TaskFailed {
+        /// Stage the task belonged to.
+        stage: usize,
+        /// Partition index of the failing task.
+        partition: usize,
+        /// Description of the last failure.
+        reason: String,
+    },
+    /// An I/O problem in the simulated file store.
+    Io(String),
+    /// Anything else (mis-shapen job, missing shuffle output after retries).
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TaskFailed { stage, partition, reason } => {
+                write!(f, "task failed (stage {stage}, partition {partition}): {reason}")
+            }
+            EngineError::Io(msg) => write!(f, "io error: {msg}"),
+            EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;

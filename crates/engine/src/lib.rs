@@ -1,0 +1,47 @@
+//! A Spark-like in-process distributed execution engine.
+//!
+//! This crate reproduces the substrate that Spark SQL (Armbrust et al.,
+//! SIGMOD 2015) runs on: lazily evaluated, partitioned, fault-tolerant
+//! distributed collections ("RDDs", §2.1 of the paper) executed by a DAG
+//! scheduler that splits the lineage graph into stages at shuffle
+//! boundaries and runs tasks on a pool of executor threads.
+//!
+//! The "cluster" is simulated inside one process: executors are worker
+//! threads, the shuffle service is an in-memory block store, broadcast is
+//! an `Arc` handed to every task, and "HDFS" is a directory of part files
+//! (used by the Figure 10 pipeline experiment to model materialization
+//! between separate jobs). Fault tolerance is real in the sense that
+//! matters for the paper: tasks can be made to fail via an injector, and
+//! lost shuffle output or cached partitions are recomputed from lineage.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::SparkContext;
+//!
+//! let sc = SparkContext::new(4);
+//! let lines = sc.parallelize(vec!["ERROR a", "ok", "ERROR b"], 2);
+//! let errors = lines.filter(|s| s.contains("ERROR"));
+//! assert_eq!(errors.count(), 2);
+//! ```
+
+pub mod broadcast;
+pub mod cache;
+pub mod context;
+pub mod error;
+pub mod hdfs;
+pub mod metrics;
+pub mod ops;
+pub mod pair;
+pub mod partitioner;
+pub mod pool;
+pub mod rdd;
+pub mod scheduler;
+pub mod shuffle;
+
+pub use broadcast::Broadcast;
+pub use context::{EngineConf, SparkContext};
+pub use error::{EngineError, Result};
+pub use pair::PairRdd;
+pub use partitioner::{HashPartitioner, Partitioner, RangePartitioner};
+pub use rdd::{BoxIter, Data, Rdd, RddBase, RddRef};

@@ -1,0 +1,119 @@
+//! Lightweight execution metrics.
+//!
+//! Counters are global to a [`crate::SparkContext`] and cheap to bump from
+//! any executor thread. Experiments use them to report shuffle volume and
+//! task counts alongside wall-clock time; tests use them to assert that a
+//! plan actually avoided work (e.g. predicate pushdown shuffling fewer
+//! records).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global counters for one context.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Tasks launched (including retries).
+    pub tasks_launched: AtomicU64,
+    /// Tasks that failed and were retried.
+    pub task_failures: AtomicU64,
+    /// Records written to the shuffle store by map tasks.
+    pub shuffle_records_written: AtomicU64,
+    /// Records read from the shuffle store by reduce tasks.
+    pub shuffle_records_read: AtomicU64,
+    /// Stages executed.
+    pub stages_run: AtomicU64,
+    /// Jobs executed.
+    pub jobs_run: AtomicU64,
+    /// Partitions served from the cache manager instead of recomputation.
+    pub cache_hits: AtomicU64,
+    /// Partitions computed and inserted into the cache manager.
+    pub cache_misses: AtomicU64,
+    /// Bytes written to the simulated file store.
+    pub fs_bytes_written: AtomicU64,
+    /// Bytes read from the simulated file store.
+    pub fs_bytes_read: AtomicU64,
+}
+
+impl Metrics {
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Reset every counter to zero (useful between benchmark phases).
+    pub fn reset(&self) {
+        self.tasks_launched.store(0, Ordering::Relaxed);
+        self.task_failures.store(0, Ordering::Relaxed);
+        self.shuffle_records_written.store(0, Ordering::Relaxed);
+        self.shuffle_records_read.store(0, Ordering::Relaxed);
+        self.stages_run.store(0, Ordering::Relaxed);
+        self.jobs_run.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.fs_bytes_written.store(0, Ordering::Relaxed);
+        self.fs_bytes_read.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters, for printing in experiment harnesses.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_launched: Metrics::get(&self.tasks_launched),
+            task_failures: Metrics::get(&self.task_failures),
+            shuffle_records_written: Metrics::get(&self.shuffle_records_written),
+            shuffle_records_read: Metrics::get(&self.shuffle_records_read),
+            stages_run: Metrics::get(&self.stages_run),
+            jobs_run: Metrics::get(&self.jobs_run),
+            cache_hits: Metrics::get(&self.cache_hits),
+            cache_misses: Metrics::get(&self.cache_misses),
+            fs_bytes_written: Metrics::get(&self.fs_bytes_written),
+            fs_bytes_read: Metrics::get(&self.fs_bytes_read),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub tasks_launched: u64,
+    pub task_failures: u64,
+    pub shuffle_records_written: u64,
+    pub shuffle_records_read: u64,
+    pub stages_run: u64,
+    pub jobs_run: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub fs_bytes_written: u64,
+    pub fs_bytes_read: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = Metrics::default();
+        Metrics::add(&m.tasks_launched, 3);
+        Metrics::add(&m.tasks_launched, 2);
+        assert_eq!(Metrics::get(&m.tasks_launched), 5);
+        m.reset();
+        assert_eq!(Metrics::get(&m.tasks_launched), 0);
+    }
+
+    #[test]
+    fn snapshot_copies_all_fields() {
+        let m = Metrics::default();
+        Metrics::add(&m.shuffle_records_written, 7);
+        Metrics::add(&m.fs_bytes_read, 11);
+        let s = m.snapshot();
+        assert_eq!(s.shuffle_records_written, 7);
+        assert_eq!(s.fs_bytes_read, 11);
+        assert_eq!(s.tasks_launched, 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Concrete narrow-dependency RDDs.
+
+use crate::context::SparkContext;
+use crate::rdd::{BoxIter, Data, Dependency, Rdd, RddBase, RddId, TaskContext};
+use std::sync::Arc;
+
+/// Deterministic small PRNG (splitmix64) used for sampling so results are
+/// reproducible across runs without pulling `rand` into the engine.
+#[derive(Clone)]
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Source RDD over an in-memory collection, split into `num_partitions`
+/// contiguous slices (`SparkContext::parallelize`).
+pub struct ParallelCollection<T: Data> {
+    id: RddId,
+    ctx: SparkContext,
+    slices: Arc<Vec<Vec<T>>>,
+}
+
+impl<T: Data> ParallelCollection<T> {
+    pub(crate) fn new(ctx: SparkContext, data: Vec<T>, num_partitions: usize) -> Self {
+        let num_partitions = num_partitions.max(1);
+        let total = data.len();
+        let mut slices: Vec<Vec<T>> = Vec::with_capacity(num_partitions);
+        let base = total / num_partitions;
+        let extra = total % num_partitions;
+        let mut it = data.into_iter();
+        for i in 0..num_partitions {
+            let len = base + usize::from(i < extra);
+            slices.push(it.by_ref().take(len).collect());
+        }
+        ParallelCollection { id: ctx.new_rdd_id(), ctx, slices: Arc::new(slices) }
+    }
+}
+
+impl<T: Data> RddBase for ParallelCollection<T> {
+    fn id(&self) -> RddId {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.slices.len()
+    }
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![]
+    }
+    fn context(&self) -> SparkContext {
+        self.ctx.clone()
+    }
+    fn name(&self) -> &'static str {
+        "parallelize"
+    }
+}
+
+impl<T: Data> Rdd for ParallelCollection<T> {
+    type Item = T;
+    fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<T> {
+        let slice = self.slices[split].clone();
+        Box::new(slice.into_iter())
+    }
+}
+
+/// Source RDD whose partitions are produced by a generator function —
+/// lets benchmarks create large datasets in parallel without first
+/// materializing them on the driver.
+pub struct GeneratedRdd<T: Data> {
+    id: RddId,
+    ctx: SparkContext,
+    num_partitions: usize,
+    gen: Arc<dyn Fn(usize) -> BoxIter<T> + Send + Sync>,
+}
+
+impl<T: Data> GeneratedRdd<T> {
+    pub(crate) fn new(
+        ctx: SparkContext,
+        num_partitions: usize,
+        gen: Arc<dyn Fn(usize) -> BoxIter<T> + Send + Sync>,
+    ) -> Self {
+        GeneratedRdd { id: ctx.new_rdd_id(), ctx, num_partitions: num_partitions.max(1), gen }
+    }
+}
+
+impl<T: Data> RddBase for GeneratedRdd<T> {
+    fn id(&self) -> RddId {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![]
+    }
+    fn context(&self) -> SparkContext {
+        self.ctx.clone()
+    }
+    fn name(&self) -> &'static str {
+        "generate"
+    }
+}
+
+impl<T: Data> Rdd for GeneratedRdd<T> {
+    type Item = T;
+    fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<T> {
+        (self.gen)(split)
+    }
+}
+
+macro_rules! narrow_base {
+    ($ty:ident, $name:literal) => {
+        fn id(&self) -> RddId {
+            self.id
+        }
+        fn num_partitions(&self) -> usize {
+            self.parent.num_partitions()
+        }
+        fn dependencies(&self) -> Vec<Dependency> {
+            vec![Dependency::Narrow(crate::shuffle::as_base(self.parent.clone()))]
+        }
+        fn context(&self) -> SparkContext {
+            self.parent.context()
+        }
+        fn name(&self) -> &'static str {
+            $name
+        }
+    };
+}
+
+/// `map` over a parent RDD.
+pub struct MapRdd<T: Data, U: Data> {
+    id: RddId,
+    parent: Arc<dyn Rdd<Item = T>>,
+    f: Arc<dyn Fn(T) -> U + Send + Sync>,
+}
+
+impl<T: Data, U: Data> MapRdd<T, U> {
+    pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>, f: Arc<dyn Fn(T) -> U + Send + Sync>) -> Self {
+        MapRdd { id: parent.context().new_rdd_id(), parent, f }
+    }
+}
+
+impl<T: Data, U: Data> RddBase for MapRdd<T, U> {
+    narrow_base!(MapRdd, "map");
+}
+
+impl<T: Data, U: Data> Rdd for MapRdd<T, U> {
+    type Item = U;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<U> {
+        let f = self.f.clone();
+        Box::new(self.parent.compute(split, tc).map(move |t| f(t)))
+    }
+}
+
+/// `filter` over a parent RDD.
+pub struct FilterRdd<T: Data> {
+    id: RddId,
+    parent: Arc<dyn Rdd<Item = T>>,
+    f: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+}
+
+impl<T: Data> FilterRdd<T> {
+    pub(crate) fn new(
+        parent: Arc<dyn Rdd<Item = T>>,
+        f: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+    ) -> Self {
+        FilterRdd { id: parent.context().new_rdd_id(), parent, f }
+    }
+}
+
+impl<T: Data> RddBase for FilterRdd<T> {
+    narrow_base!(FilterRdd, "filter");
+}
+
+impl<T: Data> Rdd for FilterRdd<T> {
+    type Item = T;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<T> {
+        let f = self.f.clone();
+        Box::new(self.parent.compute(split, tc).filter(move |t| f(t)))
+    }
+}
+
+/// `flat_map` over a parent RDD.
+pub struct FlatMapRdd<T: Data, U: Data> {
+    id: RddId,
+    parent: Arc<dyn Rdd<Item = T>>,
+    f: Arc<dyn Fn(T) -> BoxIter<U> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> FlatMapRdd<T, U> {
+    pub(crate) fn new(
+        parent: Arc<dyn Rdd<Item = T>>,
+        f: Arc<dyn Fn(T) -> BoxIter<U> + Send + Sync>,
+    ) -> Self {
+        FlatMapRdd { id: parent.context().new_rdd_id(), parent, f }
+    }
+}
+
+impl<T: Data, U: Data> RddBase for FlatMapRdd<T, U> {
+    narrow_base!(FlatMapRdd, "flat_map");
+}
+
+impl<T: Data, U: Data> Rdd for FlatMapRdd<T, U> {
+    type Item = U;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<U> {
+        let f = self.f.clone();
+        Box::new(self.parent.compute(split, tc).flat_map(move |t| f(t)))
+    }
+}
+
+/// `map_partitions(_with_index)` over a parent RDD.
+pub struct MapPartitionsRdd<T: Data, U: Data> {
+    id: RddId,
+    parent: Arc<dyn Rdd<Item = T>>,
+    f: Arc<dyn Fn(usize, BoxIter<T>) -> BoxIter<U> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> MapPartitionsRdd<T, U> {
+    pub(crate) fn new(
+        parent: Arc<dyn Rdd<Item = T>>,
+        f: Arc<dyn Fn(usize, BoxIter<T>) -> BoxIter<U> + Send + Sync>,
+    ) -> Self {
+        MapPartitionsRdd { id: parent.context().new_rdd_id(), parent, f }
+    }
+}
+
+impl<T: Data, U: Data> RddBase for MapPartitionsRdd<T, U> {
+    narrow_base!(MapPartitionsRdd, "map_partitions");
+}
+
+impl<T: Data, U: Data> Rdd for MapPartitionsRdd<T, U> {
+    type Item = U;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<U> {
+        (self.f)(split, self.parent.compute(split, tc))
+    }
+}
+
+/// Concatenation of several RDDs of the same type.
+pub struct UnionRdd<T: Data> {
+    id: RddId,
+    parents: Vec<Arc<dyn Rdd<Item = T>>>,
+}
+
+impl<T: Data> UnionRdd<T> {
+    pub(crate) fn new(parents: Vec<Arc<dyn Rdd<Item = T>>>) -> Self {
+        assert!(!parents.is_empty());
+        UnionRdd { id: parents[0].context().new_rdd_id(), parents }
+    }
+
+    fn locate(&self, split: usize) -> (usize, usize) {
+        let mut remaining = split;
+        for (i, p) in self.parents.iter().enumerate() {
+            if remaining < p.num_partitions() {
+                return (i, remaining);
+            }
+            remaining -= p.num_partitions();
+        }
+        panic!("union partition {split} out of range");
+    }
+}
+
+impl<T: Data> RddBase for UnionRdd<T> {
+    fn id(&self) -> RddId {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn dependencies(&self) -> Vec<Dependency> {
+        self.parents
+            .iter()
+            .map(|p| Dependency::Narrow(crate::shuffle::as_base(p.clone())))
+            .collect()
+    }
+    fn context(&self) -> SparkContext {
+        self.parents[0].context()
+    }
+    fn name(&self) -> &'static str {
+        "union"
+    }
+}
+
+impl<T: Data> Rdd for UnionRdd<T> {
+    type Item = T;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<T> {
+        let (parent, sub) = self.locate(split);
+        self.parents[parent].compute(sub, tc)
+    }
+}
+
+/// Pairwise partition zip of two equal-width RDDs.
+pub struct ZippedPartitionsRdd<A: Data, B: Data, U: Data> {
+    id: RddId,
+    left: Arc<dyn Rdd<Item = A>>,
+    right: Arc<dyn Rdd<Item = B>>,
+    f: Arc<dyn Fn(BoxIter<A>, BoxIter<B>) -> BoxIter<U> + Send + Sync>,
+}
+
+impl<A: Data, B: Data, U: Data> ZippedPartitionsRdd<A, B, U> {
+    pub(crate) fn new(
+        left: Arc<dyn Rdd<Item = A>>,
+        right: Arc<dyn Rdd<Item = B>>,
+        f: Arc<dyn Fn(BoxIter<A>, BoxIter<B>) -> BoxIter<U> + Send + Sync>,
+    ) -> Self {
+        ZippedPartitionsRdd { id: left.context().new_rdd_id(), left, right, f }
+    }
+}
+
+impl<A: Data, B: Data, U: Data> RddBase for ZippedPartitionsRdd<A, B, U> {
+    fn id(&self) -> RddId {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions()
+    }
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![
+            Dependency::Narrow(crate::shuffle::as_base(self.left.clone())),
+            Dependency::Narrow(crate::shuffle::as_base(self.right.clone())),
+        ]
+    }
+    fn context(&self) -> SparkContext {
+        self.left.context()
+    }
+    fn name(&self) -> &'static str {
+        "zip_partitions"
+    }
+}
+
+impl<A: Data, B: Data, U: Data> Rdd for ZippedPartitionsRdd<A, B, U> {
+    type Item = U;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<U> {
+        (self.f)(self.left.compute(split, tc), self.right.compute(split, tc))
+    }
+}
+
+/// Bernoulli sample of a parent RDD.
+pub struct SampleRdd<T: Data> {
+    id: RddId,
+    parent: Arc<dyn Rdd<Item = T>>,
+    fraction: f64,
+    seed: u64,
+}
+
+impl<T: Data> SampleRdd<T> {
+    pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>, fraction: f64, seed: u64) -> Self {
+        SampleRdd { id: parent.context().new_rdd_id(), parent, fraction, seed }
+    }
+}
+
+impl<T: Data> RddBase for SampleRdd<T> {
+    narrow_base!(SampleRdd, "sample");
+}
+
+impl<T: Data> Rdd for SampleRdd<T> {
+    type Item = T;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<T> {
+        let mut rng = SplitMix64(self.seed ^ (split as u64).wrapping_mul(0x9E37_79B9));
+        let fraction = self.fraction;
+        Box::new(
+            self.parent
+                .compute(split, tc)
+                .filter(move |_| rng.next_f64() < fraction),
+        )
+    }
+}
+
+/// Shuffle-free partition-count reduction: each output partition chains a
+/// contiguous run of parent partitions.
+pub struct CoalescedRdd<T: Data> {
+    id: RddId,
+    parent: Arc<dyn Rdd<Item = T>>,
+    num_partitions: usize,
+}
+
+impl<T: Data> CoalescedRdd<T> {
+    pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>, num_partitions: usize) -> Self {
+        let num_partitions = num_partitions.min(parent.num_partitions()).max(1);
+        CoalescedRdd { id: parent.context().new_rdd_id(), parent, num_partitions }
+    }
+
+    /// Parent partition range feeding output partition `split`.
+    fn parent_range(&self, split: usize) -> std::ops::Range<usize> {
+        let n = self.parent.num_partitions();
+        let k = self.num_partitions;
+        let start = split * n / k;
+        let end = (split + 1) * n / k;
+        start..end
+    }
+}
+
+impl<T: Data> RddBase for CoalescedRdd<T> {
+    fn id(&self) -> RddId {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(crate::shuffle::as_base(self.parent.clone()))]
+    }
+    fn context(&self) -> SparkContext {
+        self.parent.context()
+    }
+    fn name(&self) -> &'static str {
+        "coalesce"
+    }
+}
+
+impl<T: Data> Rdd for CoalescedRdd<T> {
+    type Item = T;
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<T> {
+        let range = self.parent_range(split);
+        let parent = self.parent.clone();
+        let tc = *tc;
+        Box::new(range.flat_map(move |p| parent.compute(p, &tc)))
+    }
+}

@@ -1,0 +1,141 @@
+//! Key partitioners used on the map side of a shuffle.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+/// Decides which reduce partition a key belongs to.
+pub trait Partitioner<K>: Send + Sync {
+    /// Number of reduce partitions.
+    fn num_partitions(&self) -> usize;
+    /// Partition for `key`; must be `< num_partitions()`.
+    fn partition(&self, key: &K) -> usize;
+}
+
+/// Hash-based partitioner (the default, like Spark's `HashPartitioner`).
+pub struct HashPartitioner<K> {
+    partitions: usize,
+    _k: PhantomData<fn(&K)>,
+}
+
+impl<K> HashPartitioner<K> {
+    /// Create a hash partitioner with `partitions` buckets (at least 1).
+    pub fn new(partitions: usize) -> Self {
+        HashPartitioner { partitions: partitions.max(1), _k: PhantomData }
+    }
+}
+
+impl<K: Hash + Send + Sync> Partitioner<K> for HashPartitioner<K> {
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.partitions as u64) as usize
+    }
+}
+
+/// Range partitioner for global sorts: keys `< bounds[0]` go to partition
+/// 0, keys in `[bounds[i-1], bounds[i])` to partition `i`, the rest to the
+/// last partition. Bounds are computed by sampling (see
+/// `PairRdd::sort_by_key`).
+pub struct RangePartitioner<K: Ord> {
+    bounds: Vec<K>,
+    ascending: bool,
+}
+
+impl<K: Ord + Clone + Send + Sync> RangePartitioner<K> {
+    /// Build from pre-computed, sorted upper bounds.
+    pub fn new(bounds: Vec<K>, ascending: bool) -> Self {
+        RangePartitioner { bounds, ascending }
+    }
+
+    /// Compute `partitions - 1` boundary keys from a sample of the data.
+    pub fn bounds_from_sample(mut sample: Vec<K>, partitions: usize) -> Vec<K> {
+        if partitions <= 1 || sample.is_empty() {
+            return vec![];
+        }
+        sample.sort();
+        let n = sample.len();
+        let mut bounds = Vec::with_capacity(partitions - 1);
+        for i in 1..partitions {
+            let idx = (i * n / partitions).min(n - 1);
+            bounds.push(sample[idx].clone());
+        }
+        bounds.dedup();
+        bounds
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> Partitioner<K> for RangePartitioner<K> {
+    fn num_partitions(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        // partition_point returns the count of bounds <= key, i.e. the
+        // index of the first range whose upper bound exceeds the key.
+        let p = self.bounds.partition_point(|b| b <= key);
+        if self.ascending {
+            p
+        } else {
+            self.bounds.len() - p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_stable_and_in_range() {
+        let p = HashPartitioner::<i64>::new(7);
+        for k in 0..1000i64 {
+            let a = p.partition(&k);
+            let b = p.partition(&k);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_clamps_zero() {
+        let p = HashPartitioner::<i64>::new(0);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.partition(&42), 0);
+    }
+
+    #[test]
+    fn range_partitioner_orders_keys() {
+        let p = RangePartitioner::new(vec![10, 20], true);
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.partition(&5), 0);
+        assert_eq!(p.partition(&10), 1);
+        assert_eq!(p.partition(&15), 1);
+        assert_eq!(p.partition(&20), 2);
+        assert_eq!(p.partition(&99), 2);
+    }
+
+    #[test]
+    fn range_partitioner_descending_reverses() {
+        let p = RangePartitioner::new(vec![10, 20], false);
+        assert_eq!(p.partition(&5), 2);
+        assert_eq!(p.partition(&99), 0);
+    }
+
+    #[test]
+    fn bounds_from_sample_splits_evenly() {
+        let sample: Vec<i64> = (0..100).collect();
+        let bounds = RangePartitioner::bounds_from_sample(sample, 4);
+        assert_eq!(bounds, vec![25, 50, 75]);
+    }
+
+    #[test]
+    fn bounds_from_empty_sample() {
+        let bounds = RangePartitioner::<i64>::bounds_from_sample(vec![], 4);
+        assert!(bounds.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixed-size executor thread pool.
+//!
+//! Each worker thread stands in for one executor core of the simulated
+//! cluster. Tasks are `FnOnce` closures delivered over a crossbeam
+//! channel; the pool lives as long as the [`crate::SparkContext`].
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads executing submitted closures.
+pub struct ThreadPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` worker threads (at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = unbounded::<Task>();
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("executor-{i}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        task();
+                    }
+                })
+                .expect("failed to spawn executor thread");
+            workers.push(handle);
+        }
+        ThreadPool { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a task for asynchronous execution.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.sender
+            .as_ref()
+            .expect("pool shut down")
+            .send(Box::new(f))
+            .expect("executor pool disconnected");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain outstanding tasks and exit.
+        drop(self.sender.take());
+        // The pool can be dropped *from* a worker thread (when a task holds
+        // the last Arc to the owning context); that worker must detach
+        // itself rather than self-join.
+        let me = std::thread::current().id();
+        for w in self.workers.drain(..) {
+            if w.thread().id() == me {
+                continue;
+            }
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for _ in 0..100 {
+            let c = counter.clone();
+            let tx = tx.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_waits_for_submitted_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..32 {
+                let c = counter.clone();
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+}

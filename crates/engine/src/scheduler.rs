@@ -1,0 +1,168 @@
+//! DAG scheduler: splits the lineage graph into stages at shuffle
+//! boundaries, runs map stages in dependency order, then the result stage,
+//! retrying failed tasks up to `max_task_retries`.
+//!
+//! Stage skipping works like Spark's: if a shuffle's map output is already
+//! complete in the [`crate::shuffle::ShuffleManager`] (e.g. an earlier job
+//! computed it), the map stage is not rerun. Invalidated shuffle output is
+//! recomputed from lineage on the next job — the engine's fault-tolerance
+//! story, exercised by the failure-injection tests.
+
+use crate::context::{FailureSite, SparkContext};
+use crate::error::{EngineError, Result};
+use crate::metrics::Metrics;
+use crate::rdd::{BoxIter, Data, Dependency, Rdd, RddBase, TaskContext};
+use crate::shuffle::ShuffleDependencyBase;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Walk the lineage graph and return every shuffle dependency reachable
+/// from `root`, parents before children (topological order).
+pub fn collect_shuffle_dependencies(root: Arc<dyn RddBase>) -> Vec<Arc<dyn ShuffleDependencyBase>> {
+    let mut out: Vec<Arc<dyn ShuffleDependencyBase>> = Vec::new();
+    let mut seen_rdds: HashSet<usize> = HashSet::new();
+    let mut seen_shuffles: HashSet<usize> = HashSet::new();
+
+    fn visit(
+        rdd: Arc<dyn RddBase>,
+        out: &mut Vec<Arc<dyn ShuffleDependencyBase>>,
+        seen_rdds: &mut HashSet<usize>,
+        seen_shuffles: &mut HashSet<usize>,
+    ) {
+        if !seen_rdds.insert(rdd.id()) {
+            return;
+        }
+        for dep in rdd.dependencies() {
+            match dep {
+                Dependency::Narrow(parent) => visit(parent, out, seen_rdds, seen_shuffles),
+                Dependency::Shuffle(sd) => {
+                    if seen_shuffles.insert(sd.shuffle_id()) {
+                        visit(sd.parent(), out, seen_rdds, seen_shuffles);
+                        out.push(sd);
+                    }
+                }
+            }
+        }
+    }
+
+    visit(root, &mut out, &mut seen_rdds, &mut seen_shuffles);
+    out
+}
+
+/// Run `task` for `num_tasks` partitions on the executor pool, retrying
+/// failures (injected or panicking) up to the configured limit.
+fn run_tasks<R: Send + 'static>(
+    sc: &SparkContext,
+    stage_id: usize,
+    num_tasks: usize,
+    task: Arc<dyn Fn(&TaskContext) -> R + Send + Sync>,
+) -> Result<Vec<R>> {
+    Metrics::add(&sc.metrics().stages_run, 1);
+    if num_tasks == 0 {
+        return Ok(vec![]);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, usize, std::result::Result<R, String>)>();
+
+    let submit = |partition: usize, attempt: usize| {
+        let tx = tx.clone();
+        let task = task.clone();
+        let injector = sc.failure_injector();
+        let metrics_tasks = Metrics::get(&sc.metrics().tasks_launched); // touch to keep handle simple
+        let _ = metrics_tasks;
+        let sc2 = sc.clone();
+        sc.pool().execute(move || {
+            Metrics::add(&sc2.metrics().tasks_launched, 1);
+            let tc = TaskContext { stage_id, partition, attempt };
+            if let Some(inj) = &injector {
+                if inj(FailureSite { stage_id, partition, attempt }) {
+                    let _ = tx.send((partition, attempt, Err("injected task failure".into())));
+                    return;
+                }
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| task(&tc)));
+            let msg = match result {
+                Ok(r) => Ok(r),
+                Err(p) => Err(panic_message(p)),
+            };
+            let _ = tx.send((partition, attempt, msg));
+        });
+    };
+
+    for p in 0..num_tasks {
+        submit(p, 0);
+    }
+
+    let max_retries = sc.conf().max_task_retries;
+    let mut results: Vec<Option<R>> = (0..num_tasks).map(|_| None).collect();
+    let mut remaining = num_tasks;
+    while remaining > 0 {
+        let (partition, attempt, res) = rx
+            .recv()
+            .map_err(|_| EngineError::Internal("executor pool disconnected".into()))?;
+        match res {
+            Ok(r) => {
+                if results[partition].is_none() {
+                    results[partition] = Some(r);
+                    remaining -= 1;
+                }
+            }
+            Err(reason) => {
+                Metrics::add(&sc.metrics().task_failures, 1);
+                if attempt + 1 > max_retries {
+                    return Err(EngineError::TaskFailed { stage: stage_id, partition, reason });
+                }
+                submit(partition, attempt + 1);
+            }
+        }
+    }
+    Ok(results.into_iter().map(|r| r.expect("task result")).collect())
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+/// Execute a job: ensure every upstream shuffle is materialized, then run
+/// `func` over each partition of `rdd` and return the per-partition
+/// results in partition order.
+pub fn run_job<T: Data, U: Send + 'static>(
+    sc: &SparkContext,
+    rdd: Arc<dyn Rdd<Item = T>>,
+    func: Arc<dyn Fn(usize, BoxIter<T>) -> U + Send + Sync>,
+) -> Result<Vec<U>> {
+    Metrics::add(&sc.metrics().jobs_run, 1);
+
+    // Map stages, parents first.
+    let shuffles = collect_shuffle_dependencies(crate::shuffle::as_base(rdd.clone()));
+    for sd in shuffles {
+        let num_maps = sd.parent().num_partitions();
+        if sc.shuffle_manager().is_complete(sd.shuffle_id(), num_maps) {
+            continue; // stage skipping
+        }
+        let stage_id = sc.new_stage_id();
+        let sd2 = sd.clone();
+        run_tasks(
+            sc,
+            stage_id,
+            num_maps,
+            Arc::new(move |tc: &TaskContext| sd2.run_map_task(tc.partition, tc)),
+        )?;
+    }
+
+    // Result stage.
+    let stage_id = sc.new_stage_id();
+    let n = rdd.num_partitions();
+    run_tasks(
+        sc,
+        stage_id,
+        n,
+        Arc::new(move |tc: &TaskContext| func(tc.partition, rdd.compute(tc.partition, tc))),
+    )
+}

@@ -1,0 +1,293 @@
+//! In-memory shuffle service and the shuffle dependency.
+//!
+//! A shuffle dependency splits the lineage graph into stages: the map
+//! stage runs [`ShuffleDependencyBase::run_map_task`] for every parent
+//! partition, writing per-reducer buckets into the [`ShuffleManager`];
+//! reduce-side RDDs ([`crate::pair::ShuffledRdd`]) then read and merge
+//! those buckets. Buckets are stored type-erased (`Arc<dyn Any>`) since
+//! all "executors" share one address space — the in-process analogue of
+//! Spark's shuffle files.
+
+use crate::context::SparkContext;
+use crate::metrics::Metrics;
+use crate::partitioner::Partitioner;
+use crate::rdd::{Data, Rdd, RddBase, TaskContext};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Upcast a typed RDD handle to its scheduler-facing base object.
+pub fn as_base<T: Data>(rdd: Arc<dyn Rdd<Item = T>>) -> Arc<dyn RddBase> {
+    rdd
+}
+
+type Bucket = Arc<dyn Any + Send + Sync>;
+
+/// Stores map-task output buckets, keyed by `(shuffle, map partition)`.
+#[derive(Default)]
+pub struct ShuffleManager {
+    state: Mutex<ShuffleState>,
+}
+
+#[derive(Default)]
+struct ShuffleState {
+    /// (shuffle_id, map_id) -> per-reducer buckets.
+    outputs: HashMap<(usize, usize), Bucket>,
+    /// shuffle_id -> completed map partitions.
+    completed: HashMap<usize, HashSet<usize>>,
+}
+
+impl ShuffleManager {
+    /// Record the output of one map task.
+    pub fn put(&self, shuffle_id: usize, map_id: usize, bucket: Bucket) {
+        let mut st = self.state.lock();
+        st.outputs.insert((shuffle_id, map_id), bucket);
+        st.completed.entry(shuffle_id).or_default().insert(map_id);
+    }
+
+    /// Fetch the output of one map task, if present.
+    pub fn get(&self, shuffle_id: usize, map_id: usize) -> Option<Bucket> {
+        self.state.lock().outputs.get(&(shuffle_id, map_id)).cloned()
+    }
+
+    /// True when every one of `num_maps` map partitions has reported.
+    pub fn is_complete(&self, shuffle_id: usize, num_maps: usize) -> bool {
+        self.state
+            .lock()
+            .completed
+            .get(&shuffle_id)
+            .is_some_and(|s| s.len() >= num_maps)
+    }
+
+    /// Drop all output of one shuffle — simulates losing an executor's
+    /// shuffle files; the scheduler must recompute the map stage.
+    pub fn invalidate(&self, shuffle_id: usize) {
+        let mut st = self.state.lock();
+        st.outputs.retain(|(sid, _), _| *sid != shuffle_id);
+        st.completed.remove(&shuffle_id);
+    }
+
+    /// Drop every shuffle output in the context.
+    pub fn invalidate_all(&self) {
+        let mut st = self.state.lock();
+        st.outputs.clear();
+        st.completed.clear();
+    }
+
+    /// Ids of all shuffles with at least one stored output.
+    pub fn known_shuffles(&self) -> Vec<usize> {
+        let st = self.state.lock();
+        let mut ids: Vec<usize> = st.completed.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// How map output is combined before/after the wire.
+pub struct Aggregator<K, V, C> {
+    /// Turn the first value for a key into a combiner.
+    pub create: Arc<dyn Fn(V) -> C + Send + Sync>,
+    /// Fold another value into an existing combiner.
+    pub merge_value: Arc<dyn Fn(C, V) -> C + Send + Sync>,
+    /// Merge combiners produced by different map tasks.
+    pub merge_combiners: Arc<dyn Fn(C, C) -> C + Send + Sync>,
+    _k: PhantomData<fn(&K)>,
+}
+
+impl<K, V, C> Aggregator<K, V, C> {
+    /// Build an aggregator from its three closures.
+    pub fn new(
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(C, V) -> C + Send + Sync + 'static,
+        merge_combiners: impl Fn(C, C) -> C + Send + Sync + 'static,
+    ) -> Self {
+        Aggregator {
+            create: Arc::new(create),
+            merge_value: Arc::new(merge_value),
+            merge_combiners: Arc::new(merge_combiners),
+            _k: PhantomData,
+        }
+    }
+}
+
+impl<K, V, C> Clone for Aggregator<K, V, C> {
+    fn clone(&self) -> Self {
+        Aggregator {
+            create: self.create.clone(),
+            merge_value: self.merge_value.clone(),
+            merge_combiners: self.merge_combiners.clone(),
+            _k: PhantomData,
+        }
+    }
+}
+
+/// Type-erased face of a shuffle dependency, what the scheduler sees.
+pub trait ShuffleDependencyBase: Send + Sync {
+    /// Unique shuffle id within the context.
+    fn shuffle_id(&self) -> usize;
+    /// The map-side RDD.
+    fn parent(&self) -> Arc<dyn RddBase>;
+    /// Number of reduce partitions.
+    fn num_reduce_partitions(&self) -> usize;
+    /// Execute the map task for `map_partition`: compute the parent
+    /// partition, bucket records by reducer, optionally combine map-side,
+    /// and publish to the shuffle manager.
+    fn run_map_task(&self, map_partition: usize, tc: &TaskContext);
+}
+
+/// Typed shuffle dependency from an RDD of `(K, V)` pairs to reduce-side
+/// combiners of type `C`.
+pub struct ShuffleDependency<K: Data, V: Data, C: Data> {
+    shuffle_id: usize,
+    parent: Arc<dyn Rdd<Item = (K, V)>>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    aggregator: Option<Aggregator<K, V, C>>,
+    map_side_combine: bool,
+    ctx: SparkContext,
+}
+
+impl<K, V, C> ShuffleDependency<K, V, C>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+    C: Data,
+{
+    /// Create a dependency; `aggregator: None` means raw repartitioning
+    /// (requires `C == V` — enforced by the only constructor that passes
+    /// `None`, `PairRdd::partition_by`).
+    pub fn new(
+        parent: Arc<dyn Rdd<Item = (K, V)>>,
+        partitioner: Arc<dyn Partitioner<K>>,
+        aggregator: Option<Aggregator<K, V, C>>,
+        map_side_combine: bool,
+    ) -> Self {
+        let ctx = parent.context();
+        ShuffleDependency {
+            shuffle_id: ctx.new_shuffle_id(),
+            parent,
+            partitioner,
+            aggregator,
+            map_side_combine,
+            ctx,
+        }
+    }
+
+    /// Bucket type stored in the shuffle manager: one `Vec<(K, C)>` per
+    /// reduce partition.
+    fn erase(buckets: Vec<Vec<(K, C)>>) -> Bucket {
+        Arc::new(buckets)
+    }
+
+    /// The aggregator, if this is a combining shuffle.
+    pub fn aggregator_ref(&self) -> Option<&Aggregator<K, V, C>> {
+        self.aggregator.as_ref()
+    }
+
+    /// Downcast a stored bucket back to its typed form.
+    pub fn unerase(bucket: &Bucket) -> &Vec<Vec<(K, C)>> {
+        bucket
+            .downcast_ref::<Vec<Vec<(K, C)>>>()
+            .expect("shuffle bucket type mismatch")
+    }
+}
+
+impl<K, V, C> ShuffleDependencyBase for ShuffleDependency<K, V, C>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+    C: Data,
+{
+    fn shuffle_id(&self) -> usize {
+        self.shuffle_id
+    }
+
+    fn parent(&self) -> Arc<dyn RddBase> {
+        as_base(self.parent.clone())
+    }
+
+    fn num_reduce_partitions(&self) -> usize {
+        self.partitioner.num_partitions()
+    }
+
+    fn run_map_task(&self, map_partition: usize, tc: &TaskContext) {
+        let n = self.partitioner.num_partitions();
+        let mut buckets: Vec<Vec<(K, C)>> = (0..n).map(|_| Vec::new()).collect();
+        let input = self.parent.compute(map_partition, tc);
+        let mut written = 0u64;
+
+        match (&self.aggregator, self.map_side_combine) {
+            (Some(agg), true) => {
+                // Combine per bucket before publishing (Spark's map-side
+                // combine; what makes reduce_by_key cheap). Slots hold
+                // Option<C> so values fold in without cloning combiners.
+                let mut maps: Vec<HashMap<K, Option<C>>> = (0..n).map(|_| HashMap::new()).collect();
+                for (k, v) in input {
+                    let b = self.partitioner.partition(&k);
+                    let slot = maps[b].entry(k).or_insert(None);
+                    *slot = Some(match slot.take() {
+                        Some(c) => (agg.merge_value)(c, v),
+                        None => (agg.create)(v),
+                    });
+                }
+                for (b, m) in maps.into_iter().enumerate() {
+                    buckets[b].extend(m.into_iter().map(|(k, c)| (k, c.expect("combiner"))));
+                }
+            }
+            (Some(agg), false) => {
+                for (k, v) in input {
+                    let b = self.partitioner.partition(&k);
+                    buckets[b].push((k, (agg.create)(v)));
+                }
+            }
+            (None, _) => {
+                // Raw repartition: C == V by construction; route through
+                // Any to convert V -> C without an (unavailable) cast.
+                for (k, v) in input {
+                    let b = self.partitioner.partition(&k);
+                    let any: Box<dyn Any> = Box::new(v);
+                    let c = *any.downcast::<C>().expect("raw shuffle requires C == V");
+                    buckets[b].push((k, c));
+                }
+            }
+        }
+
+        for bucket in &buckets {
+            written += bucket.len() as u64;
+        }
+        Metrics::add(&self.ctx.metrics().shuffle_records_written, written);
+        self.ctx
+            .shuffle_manager()
+            .put(self.shuffle_id, map_partition, Self::erase(buckets));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manager_roundtrip_and_invalidate() {
+        let m = ShuffleManager::default();
+        let buckets: Vec<Vec<(i64, i64)>> = vec![vec![(1, 2)], vec![]];
+        m.put(7, 0, Arc::new(buckets));
+        assert!(m.get(7, 0).is_some());
+        assert!(m.is_complete(7, 1));
+        assert!(!m.is_complete(7, 2));
+        m.invalidate(7);
+        assert!(m.get(7, 0).is_none());
+        assert!(!m.is_complete(7, 1));
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let m = ShuffleManager::default();
+        m.put(1, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()));
+        m.put(2, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()));
+        assert_eq!(m.known_shuffles(), vec![1, 2]);
+        m.invalidate_all();
+        assert!(m.known_shuffles().is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: engine transformations agree with sequential
+//! reference implementations for arbitrary data and partitioning.
+
+use engine::pair::SortedPairRdd;
+use engine::{PairRdd, SparkContext};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn map_filter_matches_iterator(data in proptest::collection::vec(any::<i32>(), 0..300),
+                                   parts in 1usize..9) {
+        let sc = SparkContext::new(2);
+        let got = sc
+            .parallelize(data.clone(), parts)
+            .map(|x| x as i64 * 3)
+            .filter(|x| x % 2 == 0)
+            .collect();
+        let want: Vec<i64> =
+            data.iter().map(|&x| x as i64 * 3).filter(|x| x % 2 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_reference(
+        data in proptest::collection::vec((0i64..30, -100i64..100), 0..300),
+        parts in 1usize..9,
+        reducers in 1usize..9,
+    ) {
+        let sc = SparkContext::new(2);
+        let mut got: Vec<(i64, i64)> = sc
+            .parallelize(data.clone(), parts)
+            .reduce_by_key(|a, b| a + b, reducers)
+            .collect();
+        got.sort_unstable();
+        let mut reference: HashMap<i64, i64> = HashMap::new();
+        for (k, v) in &data {
+            *reference.entry(*k).or_insert(0) += v;
+        }
+        let mut want: Vec<(i64, i64)> = reference.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_by_key_totally_orders(
+        data in proptest::collection::vec(any::<i32>(), 0..300),
+        parts in 1usize..7,
+        out_parts in 1usize..7,
+        ascending in any::<bool>(),
+    ) {
+        let sc = SparkContext::new(2);
+        let keyed: Vec<(i32, ())> = data.iter().map(|&k| (k, ())).collect();
+        let got: Vec<i32> = sc
+            .parallelize(keyed, parts)
+            .sort_by_key(ascending, out_parts)
+            .keys()
+            .collect();
+        let mut want = data;
+        want.sort_unstable();
+        if !ascending {
+            want.reverse();
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn distinct_equals_set(data in proptest::collection::vec(0i32..40, 0..300)) {
+        let sc = SparkContext::new(2);
+        let mut got = sc.parallelize(data.clone(), 4).distinct(3).collect();
+        got.sort_unstable();
+        let mut want: Vec<i32> = data.into_iter().collect::<std::collections::BTreeSet<_>>()
+            .into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_matches_reference(
+        left in proptest::collection::vec((0i64..10, 0i32..100), 0..60),
+        right in proptest::collection::vec((0i64..10, 0i32..100), 0..60),
+    ) {
+        let sc = SparkContext::new(2);
+        let mut got = sc
+            .parallelize(left.clone(), 3)
+            .join(&sc.parallelize(right.clone(), 2), 4)
+            .collect();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (lk, lv) in &left {
+            for (rk, rv) in &right {
+                if lk == rk {
+                    want.push((*lk, (*lv, *rv)));
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_preserves_multiplicity(
+        a in proptest::collection::vec(any::<i16>(), 0..150),
+        b in proptest::collection::vec(any::<i16>(), 0..150),
+    ) {
+        let sc = SparkContext::new(2);
+        let got = sc.parallelize(a.clone(), 3).union(&sc.parallelize(b.clone(), 2)).collect();
+        let mut want = a;
+        want.extend(b);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Partition count never changes results, only layout.
+    #[test]
+    fn partitioning_is_transparent(
+        data in proptest::collection::vec((0i64..20, any::<i16>()), 0..200),
+        p1 in 1usize..10,
+        p2 in 1usize..10,
+    ) {
+        let sc = SparkContext::new(3);
+        let run = |parts: usize| {
+            let mut v = sc
+                .parallelize(data.clone(), parts)
+                .map_values(|v| v as i64)
+                .group_by_key(4)
+                .map(|(k, mut vs)| {
+                    vs.sort_unstable();
+                    (k, vs)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(run(p1), run(p2));
+    }
+}

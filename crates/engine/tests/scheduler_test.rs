@@ -1,0 +1,101 @@
+//! DAG scheduler structure tests: stage construction, topological
+//! ordering of shuffle dependencies, stage skipping, and metrics.
+
+use engine::metrics::Metrics;
+use engine::rdd::RddBase;
+use engine::scheduler::collect_shuffle_dependencies;
+use engine::{PairRdd, SparkContext};
+
+#[test]
+fn narrow_only_jobs_have_no_shuffle_stages() {
+    let sc = SparkContext::new(2);
+    let rdd = sc.parallelize((0..100i64).collect(), 4).map(|x| x + 1).filter(|x| x % 2 == 0);
+    let deps = collect_shuffle_dependencies(rdd.as_inner());
+    assert!(deps.is_empty());
+    rdd.count();
+    // One job, one (result) stage.
+    assert_eq!(Metrics::get(&sc.metrics().jobs_run), 1);
+    assert_eq!(Metrics::get(&sc.metrics().stages_run), 1);
+}
+
+#[test]
+fn chained_shuffles_order_parents_first() {
+    let sc = SparkContext::new(2);
+    // Two chained shuffles: reduce_by_key then a re-key + reduce again.
+    let stage1 = sc
+        .parallelize((0..100i64).map(|i| (i % 10, i)).collect(), 4)
+        .reduce_by_key(|a, b| a + b, 4);
+    let stage2 = stage1.map(|(k, v)| (k % 2, v)).reduce_by_key(|a, b| a + b, 2);
+    let deps = collect_shuffle_dependencies(stage2.as_inner());
+    assert_eq!(deps.len(), 2);
+    // Parent (first shuffle) must come before the dependent one, and the
+    // parent's map-side RDD must not itself depend on the later shuffle.
+    assert!(deps[0].shuffle_id() < deps[1].shuffle_id());
+    let parent_deps = collect_shuffle_dependencies(deps[0].parent());
+    assert!(parent_deps.is_empty());
+    let child_deps = collect_shuffle_dependencies(deps[1].parent());
+    assert_eq!(child_deps.len(), 1);
+}
+
+#[test]
+fn diamond_lineage_runs_each_shuffle_once() {
+    let sc = SparkContext::new(2);
+    let base = sc
+        .parallelize((0..100i64).map(|i| (i % 5, i)).collect(), 4)
+        .reduce_by_key(|a, b| a + b, 4);
+    // Diamond: two branches from the same shuffled RDD, joined by union.
+    let a = base.map(|(k, v)| (k, v + 1));
+    let b = base.map(|(k, v)| (k, v - 1));
+    let merged = a.union(&b);
+    let deps = collect_shuffle_dependencies(merged.as_inner());
+    assert_eq!(deps.len(), 1, "shared shuffle dependency must be deduplicated");
+    assert_eq!(merged.count(), 10);
+    // Map stage ran exactly once: 4 map tasks (+ 2×4 narrow result reads).
+    assert_eq!(Metrics::get(&sc.metrics().stages_run), 2);
+}
+
+#[test]
+fn stage_skipping_across_jobs_counts_stages() {
+    let sc = SparkContext::new(2);
+    let rdd = sc
+        .parallelize((0..100i64).map(|i| (i % 4, i)).collect(), 4)
+        .reduce_by_key(|a, b| a + b, 2);
+    rdd.count(); // job 1: map stage + result stage
+    let after_first = Metrics::get(&sc.metrics().stages_run);
+    assert_eq!(after_first, 2);
+    rdd.count(); // job 2: result stage only (map output reused)
+    assert_eq!(Metrics::get(&sc.metrics().stages_run), 3);
+    // Invalidate, forcing the map stage to rerun.
+    sc.shuffle_manager().invalidate_all();
+    rdd.count();
+    assert_eq!(Metrics::get(&sc.metrics().stages_run), 5);
+}
+
+#[test]
+fn task_counts_include_retries() {
+    let sc = SparkContext::new(2);
+    sc.set_failure_injector(Some(std::sync::Arc::new(|site| {
+        site.attempt == 0 && site.partition == 0
+    })));
+    let rdd = sc.parallelize((0..10i64).collect(), 2);
+    assert_eq!(rdd.count(), 10);
+    sc.set_failure_injector(None);
+    // 2 partitions + 1 retry.
+    assert_eq!(Metrics::get(&sc.metrics().tasks_launched), 3);
+    assert_eq!(Metrics::get(&sc.metrics().task_failures), 1);
+}
+
+#[test]
+fn shuffle_metrics_reflect_combining() {
+    let sc = SparkContext::new(2);
+    // 1000 records, 10 keys, 4 map partitions: map-side combine should
+    // write at most 10 combiners per map task (40), not 1000 records.
+    let rdd = sc
+        .parallelize((0..1000i64).map(|i| (i % 10, 1i64)).collect(), 4)
+        .reduce_by_key(|a, b| a + b, 2);
+    let out = rdd.collect();
+    assert_eq!(out.len(), 10);
+    let written = Metrics::get(&sc.metrics().shuffle_records_written);
+    assert!(written <= 40, "map-side combine failed: {written} records written");
+    assert_eq!(Metrics::get(&sc.metrics().shuffle_records_read), written);
+}

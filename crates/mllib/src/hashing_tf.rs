@@ -1,0 +1,112 @@
+//! HashingTF: words → sparse term-frequency vector (Figure 7's second
+//! stage), producing values of the vector UDT.
+
+use crate::pipeline::Transformer;
+use crate::vector::{Vector, VectorUdt};
+use catalyst::error::Result;
+use catalyst::expr::{col, Expr, UdfImpl};
+use catalyst::value::Value;
+use spark_sql::DataFrame;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Hashing term-frequency featurizer.
+pub struct HashingTF {
+    input_col: String,
+    output_col: String,
+    num_features: usize,
+}
+
+impl HashingTF {
+    /// Create with `num_features` hash buckets.
+    pub fn new(
+        input_col: impl Into<String>,
+        output_col: impl Into<String>,
+        num_features: usize,
+    ) -> Self {
+        HashingTF {
+            input_col: input_col.into(),
+            output_col: output_col.into(),
+            num_features: num_features.max(1),
+        }
+    }
+
+    /// Bucket index of one term.
+    pub fn bucket(term: &str, num_features: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        term.hash(&mut h);
+        (h.finish() % num_features as u64) as usize
+    }
+
+    /// Featurize a word list.
+    pub fn featurize(words: &[&str], num_features: usize) -> Vector {
+        let mut counts: HashMap<usize, f64> = HashMap::new();
+        for w in words {
+            *counts.entry(Self::bucket(w, num_features)).or_insert(0.0) += 1.0;
+        }
+        let mut pairs: Vec<(usize, f64)> = counts.into_iter().collect();
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        Vector::Sparse {
+            size: num_features,
+            indices: pairs.iter().map(|(i, _)| *i).collect(),
+            values: pairs.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+}
+
+impl Transformer for HashingTF {
+    fn name(&self) -> &str {
+        "hashing_tf"
+    }
+
+    fn transform(&self, df: &DataFrame) -> Result<DataFrame> {
+        let num_features = self.num_features;
+        let udf = Arc::new(UdfImpl {
+            name: Arc::from("hashing_tf"),
+            return_type: catalyst::udt::UserDefinedType::data_type(&VectorUdt),
+            func: Box::new(move |args: &[Value]| {
+                let words: Vec<&str> = match &args[0] {
+                    Value::Array(items) => items.iter().filter_map(Value::as_str).collect(),
+                    Value::Null => vec![],
+                    other => {
+                        return Err(catalyst::CatalystError::eval(format!(
+                            "hashing_tf expects an array of strings, got {}",
+                            other.dtype()
+                        )))
+                    }
+                };
+                Ok(VectorUdt::to_value(&HashingTF::featurize(&words, num_features)))
+            }),
+        });
+        let expr = Expr::Udf { udf, args: vec![col(self.input_col.as_str())] };
+        df.with_column(&self.output_col, expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn featurize_counts_terms() {
+        let v = HashingTF::featurize(&["a", "b", "a"], 16);
+        match &v {
+            Vector::Sparse { size, values, .. } => {
+                assert_eq!(*size, 16);
+                let total: f64 = values.iter().sum();
+                assert_eq!(total, 3.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Same term always lands in the same bucket.
+        assert_eq!(HashingTF::bucket("spark", 100), HashingTF::bucket("spark", 100));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_vector() {
+        let v = HashingTF::featurize(&[], 8);
+        assert_eq!(v, Vector::Sparse { size: 8, indices: vec![], values: vec![] });
+    }
+}

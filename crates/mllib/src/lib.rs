@@ -1,0 +1,19 @@
+//! DataFrame-based machine learning pipelines (§5.2, Figure 7 of the
+//! Spark SQL paper): Transformer/Estimator stages exchanging DataFrames,
+//! a vector user-defined type stored as four primitive fields, and a
+//! Tokenizer → HashingTF → LogisticRegression pipeline reproducing the
+//! paper's example end to end.
+
+#![warn(missing_docs)]
+
+pub mod hashing_tf;
+pub mod logistic_regression;
+pub mod pipeline;
+pub mod tokenizer;
+pub mod vector;
+
+pub use hashing_tf::HashingTF;
+pub use logistic_regression::{accuracy, LogisticRegression, LogisticRegressionModel};
+pub use pipeline::{Estimator, Pipeline, PipelineModel, PipelineStage, Transformer};
+pub use tokenizer::Tokenizer;
+pub use vector::{Vector, VectorUdt};

@@ -1,0 +1,199 @@
+//! Logistic regression via distributed gradient descent (Figure 7's final
+//! stage). Training runs as engine jobs over the DataFrame's RDD; the
+//! fitted model is both a pipeline [`Transformer`] and a plain prediction
+//! function usable as a UDF (§3.7's `ctx.udf.register("predict", …)`).
+
+use crate::pipeline::{Estimator, Transformer};
+use crate::vector::{Vector, VectorUdt};
+use catalyst::error::{CatalystError, Result};
+use catalyst::expr::{col, Expr, UdfImpl};
+use catalyst::types::DataType;
+use catalyst::value::Value;
+use spark_sql::DataFrame;
+use std::sync::Arc;
+
+/// Unfitted logistic regression.
+pub struct LogisticRegression {
+    features_col: String,
+    label_col: String,
+    prediction_col: String,
+    iterations: usize,
+    learning_rate: f64,
+}
+
+impl LogisticRegression {
+    /// Create with default output column `prediction`.
+    pub fn new(features_col: impl Into<String>, label_col: impl Into<String>) -> Self {
+        LogisticRegression {
+            features_col: features_col.into(),
+            label_col: label_col.into(),
+            prediction_col: "prediction".into(),
+            iterations: 50,
+            learning_rate: 1.0,
+        }
+    }
+
+    /// Set iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Set learning rate.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Set prediction column name.
+    pub fn with_prediction_col(mut self, name: impl Into<String>) -> Self {
+        self.prediction_col = name.into();
+        self
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Estimator for LogisticRegression {
+    type Model = LogisticRegressionModel;
+
+    fn name(&self) -> &str {
+        "logistic_regression"
+    }
+
+    fn fit(&self, df: &DataFrame) -> Result<LogisticRegressionModel> {
+        // Project to (features, label) and keep the RDD cached across
+        // gradient iterations — the iterative workload §3.6 calls out.
+        let pairs = df
+            .select(vec![col(self.features_col.as_str()), col(self.label_col.as_str())])?
+            .to_rdd()?
+            .map(|row| {
+                let features =
+                    VectorUdt::from_value(row.get(0)).expect("features must be vectors");
+                let label = row.get(1).as_f64().unwrap_or(0.0);
+                (features, label)
+            })
+            .cache();
+
+        let dims = match pairs.first() {
+            Some((f, _)) => f.size(),
+            None => {
+                return Err(CatalystError::analysis(
+                    "cannot fit logistic regression on an empty dataset",
+                ))
+            }
+        };
+        let count = pairs.count() as f64;
+
+        let mut weights = vec![0.0f64; dims];
+        let mut bias = 0.0f64;
+        for _ in 0..self.iterations {
+            let w = Arc::new(weights.clone());
+            let b = bias;
+            // One distributed pass: per-partition gradient sums.
+            let partials = pairs
+                .run_job(move |_, it| {
+                    let mut grad = vec![0.0f64; w.len()];
+                    let mut grad_bias = 0.0f64;
+                    for (x, y) in it {
+                        let err = sigmoid(x.dot(&w) + b) - y;
+                        x.add_scaled_into(err, &mut grad);
+                        grad_bias += err;
+                    }
+                    (grad, grad_bias)
+                })
+                .map_err(|e| CatalystError::Internal(format!("training job failed: {e}")))?;
+            let mut grad = vec![0.0f64; dims];
+            let mut grad_bias = 0.0;
+            for (g, gb) in partials {
+                for (a, b) in grad.iter_mut().zip(g) {
+                    *a += b;
+                }
+                grad_bias += gb;
+            }
+            let step = self.learning_rate / count;
+            for (wi, gi) in weights.iter_mut().zip(&grad) {
+                *wi -= step * gi;
+            }
+            bias -= step * grad_bias;
+        }
+
+        Ok(LogisticRegressionModel {
+            weights: Arc::new(weights),
+            bias,
+            features_col: self.features_col.clone(),
+            prediction_col: self.prediction_col.clone(),
+        })
+    }
+}
+
+/// A fitted logistic regression model.
+#[derive(Clone)]
+pub struct LogisticRegressionModel {
+    /// Learned weights.
+    pub weights: Arc<Vec<f64>>,
+    /// Learned intercept.
+    pub bias: f64,
+    features_col: String,
+    prediction_col: String,
+}
+
+impl LogisticRegressionModel {
+    /// P(label = 1 | features).
+    pub fn predict_probability(&self, features: &Vector) -> f64 {
+        sigmoid(features.dot(&self.weights) + self.bias)
+    }
+
+    /// Hard 0/1 prediction.
+    pub fn predict(&self, features: &Vector) -> f64 {
+        if self.predict_probability(features) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Expose the model as a scalar UDF expression over a vector column
+    /// (the MADlib-style SQL integration of §3.7/§5.2).
+    pub fn prediction_udf(&self, input: Expr) -> Expr {
+        let model = self.clone();
+        let udf = Arc::new(UdfImpl {
+            name: Arc::from("predict"),
+            return_type: DataType::Double,
+            func: Box::new(move |args: &[Value]| {
+                let v = VectorUdt::from_value(&args[0])?;
+                Ok(Value::Double(model.predict(&v)))
+            }),
+        });
+        Expr::Udf { udf, args: vec![input] }
+    }
+}
+
+impl Transformer for LogisticRegressionModel {
+    fn name(&self) -> &str {
+        "logistic_regression_model"
+    }
+
+    fn transform(&self, df: &DataFrame) -> Result<DataFrame> {
+        let expr = self.prediction_udf(col(self.features_col.as_str()));
+        df.with_column(&self.prediction_col, expr)
+    }
+}
+
+/// Fraction of rows where `prediction_col == label_col`.
+pub fn accuracy(df: &DataFrame, prediction_col: &str, label_col: &str) -> Result<f64> {
+    let rows = df.select(vec![col(prediction_col), col(label_col)])?.collect()?;
+    if rows.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = rows
+        .iter()
+        .filter(|r| {
+            (r.get(0).as_f64().unwrap_or(f64::NAN) - r.get(1).as_f64().unwrap_or(f64::NAN)).abs()
+                < 1e-9
+        })
+        .count();
+    Ok(correct as f64 / rows.len() as f64)
+}

@@ -1,0 +1,131 @@
+//! ML pipelines over DataFrames (§5.2): "a graph of transformations on
+//! data … each of which exchange datasets", where datasets are DataFrames
+//! and every stage names its input and output columns so it can run on
+//! any subset of fields while retaining the original record.
+
+use catalyst::error::Result;
+use spark_sql::DataFrame;
+use std::sync::Arc;
+
+/// A stage that maps a DataFrame to a DataFrame (feature extractor,
+/// fitted model, …).
+pub trait Transformer: Send + Sync {
+    /// Stage name (for describing pipelines).
+    fn name(&self) -> &str;
+    /// Apply to a dataset.
+    fn transform(&self, df: &DataFrame) -> Result<DataFrame>;
+}
+
+/// A stage that must be fit on data to produce a [`Transformer`].
+pub trait Estimator: Send + Sync {
+    /// Fitted model type.
+    type Model: Transformer + 'static;
+    /// Stage name.
+    fn name(&self) -> &str;
+    /// Fit on a dataset.
+    fn fit(&self, df: &DataFrame) -> Result<Self::Model>;
+}
+
+/// Object-safe adapter over [`Estimator`].
+pub trait AnyEstimator: Send + Sync {
+    /// Stage name.
+    fn name(&self) -> &str;
+    /// Fit, type-erased.
+    fn fit_any(&self, df: &DataFrame) -> Result<Arc<dyn Transformer>>;
+}
+
+impl<E: Estimator> AnyEstimator for E {
+    fn name(&self) -> &str {
+        Estimator::name(self)
+    }
+    fn fit_any(&self, df: &DataFrame) -> Result<Arc<dyn Transformer>> {
+        Ok(Arc::new(self.fit(df)?))
+    }
+}
+
+/// One pipeline stage.
+#[derive(Clone)]
+pub enum PipelineStage {
+    /// Already a transformer (Tokenizer, HashingTF, …).
+    Transformer(Arc<dyn Transformer>),
+    /// Needs fitting (LogisticRegression, …).
+    Estimator(Arc<dyn AnyEstimator>),
+}
+
+/// An unfitted pipeline: an ordered list of stages.
+#[derive(Default, Clone)]
+pub struct Pipeline {
+    stages: Vec<PipelineStage>,
+}
+
+impl Pipeline {
+    /// Empty pipeline.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Append a transformer stage.
+    pub fn add_transformer(mut self, t: impl Transformer + 'static) -> Self {
+        self.stages.push(PipelineStage::Transformer(Arc::new(t)));
+        self
+    }
+
+    /// Append an estimator stage.
+    pub fn add_estimator(mut self, e: impl Estimator + 'static) -> Self {
+        self.stages.push(PipelineStage::Estimator(Arc::new(e)));
+        self
+    }
+
+    /// Stage names in order.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                PipelineStage::Transformer(t) => t.name().to_string(),
+                PipelineStage::Estimator(e) => e.name().to_string(),
+            })
+            .collect()
+    }
+
+    /// Fit the whole pipeline: transformers feed forward, estimators are
+    /// fit on the current dataset and replaced by their fitted models.
+    pub fn fit(&self, df: &DataFrame) -> Result<PipelineModel> {
+        let mut current = df.clone();
+        let mut fitted: Vec<Arc<dyn Transformer>> = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let t: Arc<dyn Transformer> = match stage {
+                PipelineStage::Transformer(t) => t.clone(),
+                PipelineStage::Estimator(e) => e.fit_any(&current)?,
+            };
+            current = t.transform(&current)?;
+            fitted.push(t);
+        }
+        Ok(PipelineModel { stages: fitted })
+    }
+}
+
+/// A fitted pipeline: pure transformers applied in order.
+pub struct PipelineModel {
+    stages: Vec<Arc<dyn Transformer>>,
+}
+
+impl PipelineModel {
+    /// Fitted stages.
+    pub fn stages(&self) -> &[Arc<dyn Transformer>] {
+        &self.stages
+    }
+}
+
+impl Transformer for PipelineModel {
+    fn name(&self) -> &str {
+        "pipeline_model"
+    }
+
+    fn transform(&self, df: &DataFrame) -> Result<DataFrame> {
+        let mut current = df.clone();
+        for s in &self.stages {
+            current = s.transform(&current)?;
+        }
+        Ok(current)
+    }
+}

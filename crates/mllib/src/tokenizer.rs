@@ -1,0 +1,72 @@
+//! Tokenizer: text column → array-of-words column (Figure 7's first
+//! stage). Implemented as pure Catalyst expressions (lower + split), so
+//! the whole stage participates in optimization.
+
+use crate::pipeline::Transformer;
+use catalyst::error::Result;
+use catalyst::expr::{col, Expr, ScalarFunc};
+use spark_sql::DataFrame;
+
+/// Splits a string column on whitespace after lowercasing.
+pub struct Tokenizer {
+    input_col: String,
+    output_col: String,
+}
+
+impl Tokenizer {
+    /// Create with input/output column names.
+    pub fn new(input_col: impl Into<String>, output_col: impl Into<String>) -> Self {
+        Tokenizer { input_col: input_col.into(), output_col: output_col.into() }
+    }
+}
+
+impl Transformer for Tokenizer {
+    fn name(&self) -> &str {
+        "tokenizer"
+    }
+
+    fn transform(&self, df: &DataFrame) -> Result<DataFrame> {
+        let lowered = Expr::ScalarFn {
+            func: ScalarFunc::Lower,
+            args: vec![col(self.input_col.as_str())],
+        };
+        let words = Expr::ScalarFn { func: ScalarFunc::SplitWords, args: vec![lowered] };
+        df.with_column(&self.output_col, words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyst::value::Value;
+    use catalyst::Row;
+    use catalyst::{DataType, Schema, StructField};
+    use spark_sql::SQLContext;
+    use std::sync::Arc;
+
+    #[test]
+    fn tokenizes_text_column() {
+        let ctx = SQLContext::new_local(2);
+        let schema = Arc::new(Schema::new(vec![StructField::new(
+            "text",
+            DataType::String,
+            false,
+        )]));
+        let df = ctx
+            .create_dataframe(
+                schema,
+                vec![Row::new(vec![Value::str("Hello World Again")])],
+            )
+            .unwrap();
+        let out = Tokenizer::new("text", "words").transform(&df).unwrap();
+        assert_eq!(out.columns(), vec!["text", "words"]);
+        let rows = out.collect().unwrap();
+        match rows[0].get(1) {
+            Value::Array(words) => {
+                let w: Vec<&str> = words.iter().filter_map(Value::as_str).collect();
+                assert_eq!(w, vec!["hello", "world", "again"]);
+            }
+            other => panic!("expected array, got {other}"),
+        }
+    }
+}

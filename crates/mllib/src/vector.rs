@@ -1,0 +1,210 @@
+//! ML vectors and their user-defined type (§5.2).
+//!
+//! The vector UDT stores dense and sparse vectors as four primitive
+//! fields — exactly the layout the paper describes: "a boolean for the
+//! type (dense or sparse), a size for the vector, an array of indices
+//! (for sparse coordinates), and an array of double values".
+
+use catalyst::error::{CatalystError, Result};
+use catalyst::row::Row;
+use catalyst::types::{DataType, StructField};
+use catalyst::udt::UserDefinedType;
+use catalyst::value::Value;
+use std::sync::Arc;
+
+/// A dense or sparse numeric vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Vector {
+    /// All coordinates.
+    Dense(Vec<f64>),
+    /// Sorted indices + their non-zero values.
+    Sparse {
+        /// Dimensionality.
+        size: usize,
+        /// Non-zero coordinate indices (ascending).
+        indices: Vec<usize>,
+        /// Non-zero coordinate values.
+        values: Vec<f64>,
+    },
+}
+
+impl Vector {
+    /// Dimensionality.
+    pub fn size(&self) -> usize {
+        match self {
+            Vector::Dense(v) => v.len(),
+            Vector::Sparse { size, .. } => *size,
+        }
+    }
+
+    /// Coordinate `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            Vector::Dense(v) => v.get(i).copied().unwrap_or(0.0),
+            Vector::Sparse { indices, values, .. } => indices
+                .binary_search(&i)
+                .map(|pos| values[pos])
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Dot product with a dense weight slice.
+    pub fn dot(&self, weights: &[f64]) -> f64 {
+        match self {
+            Vector::Dense(v) => v.iter().zip(weights).map(|(a, b)| a * b).sum(),
+            Vector::Sparse { indices, values, .. } => indices
+                .iter()
+                .zip(values)
+                .map(|(&i, &v)| v * weights.get(i).copied().unwrap_or(0.0))
+                .sum(),
+        }
+    }
+
+    /// Accumulate `scale * self` into a dense buffer.
+    pub fn add_scaled_into(&self, scale: f64, out: &mut [f64]) {
+        match self {
+            Vector::Dense(v) => {
+                for (o, x) in out.iter_mut().zip(v) {
+                    *o += scale * x;
+                }
+            }
+            Vector::Sparse { indices, values, .. } => {
+                for (&i, &v) in indices.iter().zip(values) {
+                    if let Some(o) = out.get_mut(i) {
+                        *o += scale * v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convert to dense.
+    pub fn to_dense(&self) -> Vec<f64> {
+        match self {
+            Vector::Dense(v) => v.clone(),
+            Vector::Sparse { size, indices, values } => {
+                let mut out = vec![0.0; *size];
+                for (&i, &v) in indices.iter().zip(values) {
+                    out[i] = v;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The vector UDT.
+pub struct VectorUdt;
+
+impl VectorUdt {
+    /// Serialize directly into a [`Value::Struct`] (for embedding in
+    /// DataFrame columns).
+    pub fn to_value(v: &Vector) -> Value {
+        let row = VectorUdt.serialize(v);
+        Value::Struct(Arc::new(row.into_values()))
+    }
+
+    /// Deserialize a struct value back into a vector.
+    pub fn from_value(v: &Value) -> Result<Vector> {
+        match v {
+            Value::Struct(fields) => VectorUdt.deserialize(&Row::new(fields.as_ref().clone())),
+            other => Err(CatalystError::eval(format!(
+                "expected vector struct, got {}",
+                other.dtype()
+            ))),
+        }
+    }
+}
+
+impl UserDefinedType<Vector> for VectorUdt {
+    fn data_type(&self) -> DataType {
+        DataType::struct_type(vec![
+            StructField::new("dense", DataType::Boolean, false),
+            StructField::new("size", DataType::Int, false),
+            StructField::new("indices", DataType::Array(Box::new(DataType::Int)), false),
+            StructField::new("values", DataType::Array(Box::new(DataType::Double)), false),
+        ])
+    }
+
+    fn serialize(&self, v: &Vector) -> Row {
+        match v {
+            Vector::Dense(values) => Row::new(vec![
+                Value::Boolean(true),
+                Value::Int(values.len() as i32),
+                Value::Array(Arc::new(vec![])),
+                Value::Array(Arc::new(values.iter().map(|&x| Value::Double(x)).collect())),
+            ]),
+            Vector::Sparse { size, indices, values } => Row::new(vec![
+                Value::Boolean(false),
+                Value::Int(*size as i32),
+                Value::Array(Arc::new(indices.iter().map(|&i| Value::Int(i as i32)).collect())),
+                Value::Array(Arc::new(values.iter().map(|&x| Value::Double(x)).collect())),
+            ]),
+        }
+    }
+
+    fn deserialize(&self, row: &Row) -> Result<Vector> {
+        let dense = row.get_bool(0);
+        let size = row.get_long(1) as usize;
+        let values: Vec<f64> = match row.get(3) {
+            Value::Array(items) => items.iter().filter_map(Value::as_f64).collect(),
+            _ => return Err(CatalystError::eval("bad vector values")),
+        };
+        if dense {
+            Ok(Vector::Dense(values))
+        } else {
+            let indices: Vec<usize> = match row.get(2) {
+                Value::Array(items) => items
+                    .iter()
+                    .filter_map(|v| v.as_i64().map(|i| i as usize))
+                    .collect(),
+                _ => return Err(CatalystError::eval("bad vector indices")),
+            };
+            Ok(Vector::Sparse { size, indices, values })
+        }
+    }
+
+    fn name(&self) -> &str {
+        "vector"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let v = Vector::Dense(vec![1.0, 2.0, 3.0]);
+        let value = VectorUdt::to_value(&v);
+        assert_eq!(VectorUdt::from_value(&value).unwrap(), v);
+    }
+
+    #[test]
+    fn sparse_roundtrip_and_access() {
+        let v = Vector::Sparse { size: 10, indices: vec![1, 7], values: vec![0.5, -2.0] };
+        let value = VectorUdt::to_value(&v);
+        let back = VectorUdt::from_value(&value).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get(7), -2.0);
+        assert_eq!(back.get(3), 0.0);
+        assert_eq!(back.size(), 10);
+    }
+
+    #[test]
+    fn dot_products_agree_between_representations() {
+        let d = Vector::Dense(vec![0.0, 0.5, 0.0, -2.0]);
+        let s = Vector::Sparse { size: 4, indices: vec![1, 3], values: vec![0.5, -2.0] };
+        let w = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(d.dot(&w), s.dot(&w));
+        assert_eq!(d.to_dense(), s.to_dense());
+    }
+
+    #[test]
+    fn add_scaled() {
+        let s = Vector::Sparse { size: 3, indices: vec![0, 2], values: vec![1.0, 2.0] };
+        let mut buf = vec![0.0; 3];
+        s.add_scaled_into(2.0, &mut buf);
+        assert_eq!(buf, vec![2.0, 0.0, 4.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end test of the Figure 7 pipeline: (text, label) → Tokenizer →
+//! HashingTF → LogisticRegression, on a learnable synthetic corpus.
+
+use catalyst::value::Value;
+use catalyst::Row;
+use mllib::{accuracy, Estimator, HashingTF, LogisticRegression, Pipeline, Tokenizer, Transformer};
+use spark_sql::prelude::*;
+use std::sync::Arc;
+
+fn training_df(ctx: &SQLContext) -> DataFrame {
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("text", DataType::String, false),
+        StructField::new("label", DataType::Double, false),
+    ]));
+    // Positive docs talk about spark; negative docs about cooking.
+    let mut rows = Vec::new();
+    for i in 0..40 {
+        let (text, label) = if i % 2 == 0 {
+            (format!("spark sql query engine fast distributed {i}"), 1.0)
+        } else {
+            (format!("soup recipe cooking pot tasty dinner {i}"), 0.0)
+        };
+        rows.push(Row::new(vec![Value::str(text), Value::Double(label)]));
+    }
+    ctx.create_dataframe(schema, rows).unwrap()
+}
+
+#[test]
+fn figure7_pipeline_learns_to_separate() {
+    let ctx = SQLContext::new_local(2);
+    let df = training_df(&ctx);
+
+    // The Figure 7 pipeline.
+    let pipeline = Pipeline::new()
+        .add_transformer(Tokenizer::new("text", "words"))
+        .add_transformer(HashingTF::new("words", "features", 256))
+        .add_estimator(
+            LogisticRegression::new("features", "label").with_iterations(60),
+        );
+    assert_eq!(
+        pipeline.stage_names(),
+        vec!["tokenizer", "hashing_tf", "logistic_regression"]
+    );
+
+    let model = pipeline.fit(&df).unwrap();
+    let scored = model.transform(&df).unwrap();
+
+    // Schema grew exactly as Figure 7 shows: original columns retained,
+    // new columns appended per stage.
+    assert_eq!(
+        scored.columns(),
+        vec!["text", "label", "words", "features", "prediction"]
+    );
+    let acc = accuracy(&scored, "prediction", "label").unwrap();
+    assert!(acc > 0.95, "expected near-perfect separation, got {acc}");
+}
+
+#[test]
+fn model_usable_as_sql_udf() {
+    // §3.7: register the model's prediction function and call it in SQL.
+    let ctx = SQLContext::new_local(2);
+    let df = training_df(&ctx);
+    let features = Pipeline::new()
+        .add_transformer(Tokenizer::new("text", "words"))
+        .add_transformer(HashingTF::new("words", "features", 256))
+        .fit(&df)
+        .unwrap()
+        .transform(&df)
+        .unwrap();
+    let model = LogisticRegression::new("features", "label")
+        .with_iterations(60)
+        .fit(&features)
+        .unwrap();
+
+    features.register_temp_table("featurized");
+    let m = model.clone();
+    ctx.register_udf("predict", DataType::Double, move |args| {
+        let v = mllib::VectorUdt::from_value(&args[0])?;
+        Ok(Value::Double(m.predict(&v)))
+    });
+    let rows = ctx
+        .sql("SELECT label, predict(features) FROM featurized")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let correct = rows
+        .iter()
+        .filter(|r| (r.get_double(0) - r.get_double(1)).abs() < 1e-9)
+        .count();
+    assert!(correct as f64 / rows.len() as f64 > 0.95);
+}
+
+#[test]
+fn predictions_on_fresh_data() {
+    let ctx = SQLContext::new_local(2);
+    let df = training_df(&ctx);
+    let pipeline = Pipeline::new()
+        .add_transformer(Tokenizer::new("text", "words"))
+        .add_transformer(HashingTF::new("words", "features", 256))
+        .add_estimator(LogisticRegression::new("features", "label").with_iterations(60));
+    let model = pipeline.fit(&df).unwrap();
+
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("text", DataType::String, false),
+        StructField::new("label", DataType::Double, false),
+    ]));
+    let test = ctx
+        .create_dataframe(
+            schema,
+            vec![
+                Row::new(vec![Value::str("distributed spark engine"), Value::Double(1.0)]),
+                Row::new(vec![Value::str("tasty soup dinner"), Value::Double(0.0)]),
+            ],
+        )
+        .unwrap();
+    let scored = model.transform(&test).unwrap().collect().unwrap();
+    let pred_idx = 4;
+    assert_eq!(scored[0].get_double(pred_idx), 1.0);
+    assert_eq!(scored[1].get_double(pred_idx), 0.0);
+}
+
+#[test]
+fn empty_training_set_errors() {
+    let ctx = SQLContext::new_local(1);
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("features", catalyst::udt::UserDefinedType::data_type(&mllib::VectorUdt), false),
+        StructField::new("label", DataType::Double, false),
+    ]));
+    let df = ctx.create_dataframe(schema, vec![]).unwrap();
+    assert!(LogisticRegression::new("features", "label").fit(&df).is_err());
+}

@@ -1,0 +1,48 @@
+//! Top-level SQL statements.
+//!
+//! Queries parse directly into Catalyst logical plans (the parser *is*
+//! the plan builder); DDL statements carry the information the session
+//! layer needs to act on them.
+
+use catalyst::plan::LogicalPlan;
+use std::collections::BTreeMap;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// A query producing rows.
+    Query(LogicalPlan),
+    /// `CREATE TEMPORARY TABLE name USING provider OPTIONS(k 'v', …)` —
+    /// the data source registration syntax of §4.4.1.
+    CreateTempTable {
+        /// Table name to register.
+        name: String,
+        /// Data source provider name (e.g. `json`, `csv`, `jdbc`,
+        /// `colfile`).
+        provider: String,
+        /// Provider options (path, url, …).
+        options: BTreeMap<String, String>,
+        /// Optional `AS SELECT …` body materialized through the provider.
+        query: Option<LogicalPlan>,
+    },
+    /// `CACHE TABLE name` — materialize a table in the in-memory columnar
+    /// cache (§3.6).
+    CacheTable {
+        /// Table to cache.
+        name: String,
+    },
+    /// `UNCACHE TABLE name`.
+    UncacheTable {
+        /// Table to drop from the cache.
+        name: String,
+    },
+    /// `EXPLAIN <query>` — show analyzed/optimized/physical plans.
+    Explain(LogicalPlan),
+    /// `SHOW TABLES` — list registered tables.
+    ShowTables,
+    /// `DESCRIBE <table>` — show a table's schema.
+    Describe {
+        /// Table to describe.
+        name: String,
+    },
+}

@@ -1,0 +1,290 @@
+//! SQL lexer: turns query text into a token stream.
+
+use catalyst::error::{CatalystError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// `"quoted"` or `` `quoted` `` identifier.
+    QuotedIdent(String),
+    /// String literal (single quotes, `''` escapes).
+    StringLit(String),
+    /// Integral literal.
+    Number(i64),
+    /// Fractional literal.
+    Float(f64),
+    /// `=`.
+    Eq,
+    /// `<>` or `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::QuotedIdent(s) => write!(f, "\"{s}\""),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize SQL text. Supports `--` line comments.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < n && chars[i + 1] == '-' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= n {
+                        return Err(CatalystError::Parse("unterminated string literal".into()));
+                    }
+                    if chars[i] == '\'' {
+                        if i + 1 < n && chars[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+            }
+            '"' | '`' => {
+                let quote = c;
+                i += 1;
+                let start = i;
+                while i < n && chars[i] != quote {
+                    i += 1;
+                }
+                if i >= n {
+                    return Err(CatalystError::Parse("unterminated quoted identifier".into()));
+                }
+                tokens.push(Token::QuotedIdent(chars[start..i].iter().collect()));
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                // Scientific notation.
+                if i < n && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (chars[j] == '+' || chars[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && chars[j].is_ascii_digit() {
+                        i = j;
+                        while i < n && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.contains('.') || text.contains('e') || text.contains('E') {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| CatalystError::Parse(format!("bad number '{text}'")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CatalystError::Parse(format!("bad number '{text}'")))?;
+                    tokens.push(Token::Number(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < n && chars[i + 1] == '=' => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < n && chars[i + 1] == '>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => i += 1, // trailing semicolons are harmless
+            other => {
+                return Err(CatalystError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_query() {
+        let t = tokenize("SELECT a, b FROM t WHERE a >= 10").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t.contains(&Token::GtEq));
+        assert!(t.contains(&Token::Number(10)));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn strings_support_quote_escapes() {
+        let t = tokenize("'it''s'").unwrap();
+        assert_eq!(t[0], Token::StringLit("it's".into()));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let t = tokenize("1 2.5 3e2").unwrap();
+        assert_eq!(t[0], Token::Number(1));
+        assert_eq!(t[1], Token::Float(2.5));
+        assert_eq!(t[2], Token::Float(300.0));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert!(t.contains(&Token::Number(2)));
+        assert!(!t.iter().any(|t| matches!(t, Token::Ident(s) if s == "trailing")));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let t = tokenize("SELECT \"weird col\", `another`").unwrap();
+        assert_eq!(t[1], Token::QuotedIdent("weird col".into()));
+        assert_eq!(t[3], Token::QuotedIdent("another".into()));
+    }
+}

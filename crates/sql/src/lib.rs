@@ -1,0 +1,18 @@
+//! SQL front end for the Spark SQL reproduction: lexer, recursive-descent
+//! parser, and direct construction of unresolved Catalyst logical plans.
+//!
+//! Supported surface: `SELECT [DISTINCT] … FROM … [JOIN … ON …]
+//! [WHERE …] [GROUP BY …] [HAVING …] [UNION ALL …] [ORDER BY …]
+//! [LIMIT n]`, subqueries in FROM, CASE/CAST/LIKE/IN/BETWEEN/IS NULL,
+//! aggregate and scalar functions, plus the paper's data source DDL
+//! (`CREATE TEMPORARY TABLE … USING … OPTIONS(…)`), `CACHE TABLE`, and
+//! `EXPLAIN`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Statement;
+pub use parser::{parse, parse_query};

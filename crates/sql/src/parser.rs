@@ -1,0 +1,775 @@
+//! Recursive-descent SQL parser producing unresolved Catalyst logical
+//! plans (the "AST returned by a SQL parser" entering analysis, §4.3.1).
+
+use crate::ast::Statement;
+use crate::lexer::{tokenize, Token};
+use catalyst::error::{CatalystError, Result};
+use catalyst::expr::{Expr, SortOrder};
+use catalyst::plan::{JoinType, LogicalPlan};
+use catalyst::types::DataType;
+use catalyst::value::Value;
+use std::collections::BTreeMap;
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a query (errors on DDL).
+pub fn parse_query(sql: &str) -> Result<LogicalPlan> {
+    match parse(sql)? {
+        Statement::Query(p) => Ok(p),
+        other => Err(CatalystError::Parse(format!("expected a query, got {other:?}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(CatalystError::Parse(format!("expected {kw}, found '{}'", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CatalystError::Parse(format!("expected '{t}', found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        match self.peek() {
+            Token::Eof => Ok(()),
+            other => Err(CatalystError::Parse(format!("unexpected trailing input at '{other}'"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            Token::QuotedIdent(s) => Ok(s),
+            other => Err(CatalystError::Parse(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    // ---- statements ----
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.at_keyword("CREATE") {
+            return self.create_temp_table();
+        }
+        if self.at_keyword("EXPLAIN") {
+            self.next();
+            return Ok(Statement::Explain(self.query()?));
+        }
+        if self.at_keyword("CACHE") {
+            self.next();
+            self.expect_keyword("TABLE")?;
+            return Ok(Statement::CacheTable { name: self.ident()? });
+        }
+        if self.at_keyword("UNCACHE") {
+            self.next();
+            self.expect_keyword("TABLE")?;
+            return Ok(Statement::UncacheTable { name: self.ident()? });
+        }
+        if self.at_keyword("SHOW") {
+            self.next();
+            self.expect_keyword("TABLES")?;
+            return Ok(Statement::ShowTables);
+        }
+        if self.at_keyword("DESCRIBE") || self.at_keyword("DESC") {
+            self.next();
+            return Ok(Statement::Describe { name: self.ident()? });
+        }
+        Ok(Statement::Query(self.query()?))
+    }
+
+    fn create_temp_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("CREATE")?;
+        self.eat_keyword("TEMPORARY");
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect_keyword("USING")?;
+        // Provider names may be dotted package names
+        // (com.databricks.spark.avro, §4.4.1) — take the last segment.
+        let mut provider = self.ident()?;
+        while self.eat(&Token::Dot) {
+            provider = self.ident()?;
+        }
+        let mut options = BTreeMap::new();
+        if self.eat_keyword("OPTIONS") {
+            self.expect(&Token::LParen)?;
+            loop {
+                let key = self.ident()?;
+                let value = match self.next() {
+                    Token::StringLit(s) | Token::QuotedIdent(s) => s,
+                    other => {
+                        return Err(CatalystError::Parse(format!(
+                            "expected option value string, found '{other}'"
+                        )))
+                    }
+                };
+                options.insert(key.to_ascii_lowercase(), value);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let query = if self.eat_keyword("AS") { Some(self.query()?) } else { None };
+        Ok(Statement::CreateTempTable { name, provider, options, query })
+    }
+
+    // ---- queries ----
+
+    fn query(&mut self) -> Result<LogicalPlan> {
+        let mut plan = self.select_core()?;
+        // UNION ALL chains.
+        let mut unioned = Vec::new();
+        while self.at_keyword("UNION") {
+            self.next();
+            self.expect_keyword("ALL")?;
+            unioned.push(self.select_core()?);
+        }
+        if !unioned.is_empty() {
+            plan = plan.union(unioned);
+        }
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let orders = self.order_list()?;
+            plan = plan.sort(orders);
+        }
+        if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Token::Number(n) if n >= 0 => plan = plan.limit(n as usize),
+                other => {
+                    return Err(CatalystError::Parse(format!(
+                        "expected LIMIT count, found '{other}'"
+                    )))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    fn order_list(&mut self) -> Result<Vec<SortOrder>> {
+        let mut orders = Vec::new();
+        loop {
+            let e = self.expr()?;
+            let ascending = if self.eat_keyword("DESC") {
+                false
+            } else {
+                self.eat_keyword("ASC");
+                true
+            };
+            orders.push(SortOrder { expr: e, ascending });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(orders)
+    }
+
+    fn select_core(&mut self) -> Result<LogicalPlan> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let items = self.select_list()?;
+
+        let mut plan = if self.eat_keyword("FROM") {
+            self.parse_from_clause()?
+        } else {
+            // SELECT without FROM: one empty row.
+            LogicalPlan::LocalRelation {
+                output: vec![],
+                rows: std::sync::Arc::new(vec![catalyst::row::Row::empty()]),
+            }
+        };
+
+        if self.eat_keyword("WHERE") {
+            plan = plan.filter(self.expr()?);
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+
+        let is_aggregate = !group_by.is_empty()
+            || items.iter().any(|(e, _)| contains_agg_call(e))
+            || having.as_ref().is_some_and(contains_agg_call);
+
+        if is_aggregate {
+            // Non-trivial outputs get a deterministic alias so HAVING can
+            // re-project by name; plain column references stay unaliased
+            // to preserve their qualifiers (e.g. ORDER BY dept.id).
+            let named: Vec<(Expr, String, bool)> = items
+                .into_iter()
+                .map(|(e, alias)| match alias {
+                    Some(a) => (e, a, true),
+                    None => {
+                        let name = e.auto_name();
+                        let needs = !matches!(
+                            e,
+                            Expr::UnresolvedAttribute { .. }
+                                | Expr::Column(_)
+                                | Expr::Alias { .. }
+                        );
+                        (e, name, needs)
+                    }
+                })
+                .collect();
+            let mut agg_exprs: Vec<Expr> = named
+                .iter()
+                .map(|(e, name, needs_alias)| {
+                    if *needs_alias {
+                        e.clone().alias(name.as_str())
+                    } else {
+                        e.clone()
+                    }
+                })
+                .collect();
+            match having {
+                Some(h) => {
+                    agg_exprs.push(h.alias("__having__"));
+                    plan = plan.aggregate(group_by, agg_exprs);
+                    plan = plan.filter(catalyst::expr::col("__having__"));
+                    plan = plan.project(
+                        named
+                            .iter()
+                            .map(|(_, name, _)| catalyst::expr::col(name.as_str()))
+                            .collect(),
+                    );
+                }
+                None => {
+                    plan = plan.aggregate(group_by, agg_exprs);
+                }
+            }
+        } else {
+            if having.is_some() {
+                return Err(CatalystError::Parse(
+                    "HAVING requires GROUP BY or aggregate functions".into(),
+                ));
+            }
+            // Plain projection; skip for a bare `SELECT *`.
+            let is_bare_star =
+                items.len() == 1 && matches!(items[0], (Expr::Wildcard { qualifier: None }, None));
+            if !is_bare_star {
+                let exprs = items
+                    .into_iter()
+                    .map(|(e, alias)| match alias {
+                        Some(a) => e.alias(a),
+                        None => e,
+                    })
+                    .collect();
+                plan = plan.project(exprs);
+            }
+        }
+
+        if distinct {
+            plan = plan.distinct();
+        }
+        Ok(plan)
+    }
+
+    /// `expr [AS? alias]` list. Returns (expr, explicit alias).
+    fn select_list(&mut self) -> Result<Vec<(Expr, Option<String>)>> {
+        let mut items = Vec::new();
+        loop {
+            let e = self.expr()?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.ident()?)
+            } else {
+                // Bare alias: an identifier that is not a clause keyword.
+                match self.peek() {
+                    Token::Ident(s) if !is_reserved(s) => {
+                        let a = s.clone();
+                        self.next();
+                        Some(a)
+                    }
+                    Token::QuotedIdent(s) => {
+                        let a = s.clone();
+                        self.next();
+                        Some(a)
+                    }
+                    _ => None,
+                }
+            };
+            items.push((e, alias));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // ---- FROM / joins ----
+
+    fn parse_from_clause(&mut self) -> Result<LogicalPlan> {
+        let mut plan = self.table_ref()?;
+        loop {
+            if self.eat(&Token::Comma) {
+                let right = self.table_ref()?;
+                plan = plan.join(right, JoinType::Cross, None);
+                continue;
+            }
+            let join_type = if self.eat_keyword("JOIN") {
+                JoinType::Inner
+            } else if self.at_keyword("INNER") {
+                self.next();
+                self.expect_keyword("JOIN")?;
+                JoinType::Inner
+            } else if self.at_keyword("LEFT") {
+                self.next();
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinType::Left
+            } else if self.at_keyword("RIGHT") {
+                self.next();
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinType::Right
+            } else if self.at_keyword("FULL") {
+                self.next();
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinType::Full
+            } else if self.at_keyword("CROSS") {
+                self.next();
+                self.expect_keyword("JOIN")?;
+                JoinType::Cross
+            } else {
+                break;
+            };
+            let right = self.table_ref()?;
+            let condition = if self.eat_keyword("ON") { Some(self.expr()?) } else { None };
+            let jt = if condition.is_none() && join_type == JoinType::Inner {
+                JoinType::Cross
+            } else {
+                join_type
+            };
+            plan = plan.join(right, jt, condition);
+        }
+        Ok(plan)
+    }
+
+    fn table_ref(&mut self) -> Result<LogicalPlan> {
+        if self.eat(&Token::LParen) {
+            let sub = self.query()?;
+            self.expect(&Token::RParen)?;
+            self.eat_keyword("AS");
+            let alias = self.ident()?;
+            return Ok(sub.subquery_alias(alias));
+        }
+        let name = self.ident()?;
+        let plan = LogicalPlan::UnresolvedRelation { name };
+        // Optional alias.
+        if self.eat_keyword("AS") {
+            let alias = self.ident()?;
+            return Ok(plan.subquery_alias(alias));
+        }
+        if let Token::Ident(s) = self.peek() {
+            if !is_reserved(s) {
+                let alias = s.clone();
+                self.next();
+                return Ok(plan.subquery_alias(alias));
+            }
+        }
+        Ok(plan)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            e = e.or(self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            e = e.and(self.not_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            return Ok(self.not_expr()?.not());
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let mut e = self.additive()?;
+        loop {
+            if self.eat(&Token::Eq) {
+                e = e.eq(self.additive()?);
+            } else if self.eat(&Token::NotEq) {
+                e = e.not_eq(self.additive()?);
+            } else if self.eat(&Token::LtEq) {
+                e = e.lt_eq(self.additive()?);
+            } else if self.eat(&Token::Lt) {
+                e = e.lt(self.additive()?);
+            } else if self.eat(&Token::GtEq) {
+                e = e.gt_eq(self.additive()?);
+            } else if self.eat(&Token::Gt) {
+                e = e.gt(self.additive()?);
+            } else if self.at_keyword("IS") {
+                self.next();
+                let negated = self.eat_keyword("NOT");
+                self.expect_keyword("NULL")?;
+                e = if negated { e.is_not_null() } else { e.is_null() };
+            } else if self.at_keyword("LIKE") {
+                self.next();
+                let pattern = self.additive()?;
+                e = Expr::Like { expr: Box::new(e), pattern: Box::new(pattern), negated: false };
+            } else if self.at_keyword("IN") {
+                self.next();
+                self.expect(&Token::LParen)?;
+                let mut list = Vec::new();
+                loop {
+                    list.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                e = Expr::InList { expr: Box::new(e), list, negated: false };
+            } else if self.at_keyword("BETWEEN") {
+                self.next();
+                let low = self.additive()?;
+                self.expect_keyword("AND")?;
+                let high = self.additive()?;
+                e = e.between(low, high);
+            } else if self.at_keyword("NOT") {
+                // NOT LIKE / NOT IN / NOT BETWEEN.
+                let save = self.pos;
+                self.next();
+                if self.at_keyword("LIKE") {
+                    self.next();
+                    let pattern = self.additive()?;
+                    e = Expr::Like {
+                        expr: Box::new(e),
+                        pattern: Box::new(pattern),
+                        negated: true,
+                    };
+                } else if self.at_keyword("IN") {
+                    self.next();
+                    self.expect(&Token::LParen)?;
+                    let mut list = Vec::new();
+                    loop {
+                        list.push(self.expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    e = Expr::InList { expr: Box::new(e), list, negated: true };
+                } else if self.at_keyword("BETWEEN") {
+                    self.next();
+                    let low = self.additive()?;
+                    self.expect_keyword("AND")?;
+                    let high = self.additive()?;
+                    e = e.between(low, high).not();
+                } else {
+                    self.pos = save;
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut e = self.multiplicative()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                e = e.add(self.multiplicative()?);
+            } else if self.eat(&Token::Minus) {
+                e = e.sub(self.multiplicative()?);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat(&Token::Star) {
+                e = e.mul(self.unary()?);
+            } else if self.eat(&Token::Slash) {
+                e = e.div(self.unary()?);
+            } else if self.eat(&Token::Percent) {
+                e = e.rem(self.unary()?);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            return Ok(self.unary()?.neg());
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Token::Number(n) => Ok(Expr::Literal(if n >= i32::MIN as i64 && n <= i32::MAX as i64 {
+                Value::Int(n as i32)
+            } else {
+                Value::Long(n)
+            })),
+            Token::Float(v) => Ok(Expr::Literal(Value::Double(v))),
+            Token::StringLit(s) => Ok(Expr::Literal(Value::str(s))),
+            Token::Star => Ok(Expr::Wildcard { qualifier: None }),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(word) => self.ident_led(word),
+            Token::QuotedIdent(word) => self.dotted_reference(word),
+            other => Err(CatalystError::Parse(format!("unexpected token '{other}'"))),
+        }
+    }
+
+    fn ident_led(&mut self, word: String) -> Result<Expr> {
+        let upper = word.to_ascii_uppercase();
+        match upper.as_str() {
+            "TRUE" => return Ok(Expr::Literal(Value::Boolean(true))),
+            "FALSE" => return Ok(Expr::Literal(Value::Boolean(false))),
+            "NULL" => return Ok(Expr::Literal(Value::Null)),
+            "DATE" => {
+                if let Token::StringLit(s) = self.peek() {
+                    let s = s.clone();
+                    self.next();
+                    return match catalyst::value::parse_date(&s) {
+                        Some(d) => Ok(Expr::Literal(Value::Date(d))),
+                        None => Err(CatalystError::Parse(format!("bad DATE literal '{s}'"))),
+                    };
+                }
+            }
+            "CAST" => {
+                self.expect(&Token::LParen)?;
+                let e = self.expr()?;
+                self.expect_keyword("AS")?;
+                let dtype = self.type_name()?;
+                self.expect(&Token::RParen)?;
+                return Ok(e.cast(dtype));
+            }
+            "CASE" => return self.case_expr(),
+            _ => {}
+        }
+
+        // Reserved words can't start a column reference.
+        if is_reserved(&word) {
+            return Err(CatalystError::Parse(format!(
+                "unexpected keyword '{word}' in expression"
+            )));
+        }
+
+        // Function call?
+        if self.peek() == &Token::LParen {
+            self.next();
+            let distinct = self.eat_keyword("DISTINCT");
+            let mut args = Vec::new();
+            if self.peek() != &Token::RParen {
+                loop {
+                    if self.peek() == &Token::Star {
+                        self.next();
+                        args.push(Expr::Wildcard { qualifier: None });
+                    } else {
+                        args.push(self.expr()?);
+                    }
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::UnresolvedFunction { name: word, args, distinct });
+        }
+
+        self.dotted_reference(word)
+    }
+
+    /// `a`, `a.b`, `a.b.c`, `a.*`.
+    fn dotted_reference(&mut self, first: String) -> Result<Expr> {
+        if !self.eat(&Token::Dot) {
+            return Ok(Expr::UnresolvedAttribute { qualifier: None, name: first });
+        }
+        if self.eat(&Token::Star) {
+            return Ok(Expr::Wildcard { qualifier: Some(first) });
+        }
+        let second = self.ident()?;
+        let mut e = Expr::UnresolvedAttribute { qualifier: Some(first), name: second };
+        // Deeper paths are struct-field accesses.
+        while self.eat(&Token::Dot) {
+            let field = self.ident()?;
+            e = e.get_field(field);
+        }
+        Ok(e)
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let operand = if self.at_keyword("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.expr()?;
+            self.expect_keyword("THEN")?;
+            let result = self.expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(CatalystError::Parse("CASE requires at least one WHEN".into()));
+        }
+        let else_expr = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case { operand, branches, else_expr })
+    }
+
+    fn type_name(&mut self) -> Result<DataType> {
+        let name = self.ident()?.to_ascii_uppercase();
+        Ok(match name.as_str() {
+            "INT" | "INTEGER" => DataType::Int,
+            "BIGINT" | "LONG" => DataType::Long,
+            "FLOAT" | "REAL" => DataType::Float,
+            "DOUBLE" => DataType::Double,
+            "STRING" | "VARCHAR" | "TEXT" => DataType::String,
+            "BOOLEAN" | "BOOL" => DataType::Boolean,
+            "DATE" => DataType::Date,
+            "TIMESTAMP" => DataType::Timestamp,
+            "BINARY" => DataType::Binary,
+            "DECIMAL" => {
+                if self.eat(&Token::LParen) {
+                    let p = match self.next() {
+                        Token::Number(n) => n as u8,
+                        other => {
+                            return Err(CatalystError::Parse(format!(
+                                "expected precision, found '{other}'"
+                            )))
+                        }
+                    };
+                    self.expect(&Token::Comma)?;
+                    let s = match self.next() {
+                        Token::Number(n) => n as u8,
+                        other => {
+                            return Err(CatalystError::Parse(format!(
+                                "expected scale, found '{other}'"
+                            )))
+                        }
+                    };
+                    self.expect(&Token::RParen)?;
+                    DataType::Decimal(p, s)
+                } else {
+                    DataType::Decimal(38, 18)
+                }
+            }
+            other => return Err(CatalystError::Parse(format!("unknown type '{other}'"))),
+        })
+    }
+}
+
+/// Does the expression contain an aggregate function call (by name, since
+/// resolution hasn't run yet)?
+fn contains_agg_call(e: &Expr) -> bool {
+    let mut found = false;
+    e.for_each_node(&mut |e| {
+        if let Expr::UnresolvedFunction { name, .. } = e {
+            if catalyst::expr::AggFunc::from_name(name).is_some() {
+                found = true;
+            }
+        }
+        if matches!(e, Expr::Agg { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Keywords that terminate a bare alias position.
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
+        "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "AS", "UNION",
+        "ALL", "DISTINCT", "CASE", "WHEN", "THEN", "ELSE", "END", "LIKE", "IN", "IS", "NULL",
+        "BETWEEN", "ASC", "DESC", "USING", "OPTIONS", "CREATE", "TEMPORARY", "TABLE", "CACHE",
+        "UNCACHE", "EXPLAIN",
+    ];
+    RESERVED.iter().any(|k| k.eq_ignore_ascii_case(word))
+}

@@ -1,0 +1,283 @@
+//! Parser tests: statement shapes, precedence, plan construction.
+
+use catalyst::expr::{BinaryOperator, Expr};
+use catalyst::plan::{JoinType, LogicalPlan};
+use catalyst::tree::TreeNode;
+use catalyst::value::Value;
+use sql::{parse, parse_query, Statement};
+
+fn count_nodes(plan: &LogicalPlan, pred: impl Fn(&LogicalPlan) -> bool) -> usize {
+    let mut n = 0;
+    plan.for_each(&mut |p| {
+        if pred(p) {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[test]
+fn simple_select() {
+    let p = parse_query("SELECT a, b FROM t WHERE a > 1").unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 1);
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::UnresolvedRelation { name } if name == "t")),
+        1
+    );
+}
+
+#[test]
+fn select_star_has_no_projection() {
+    let p = parse_query("SELECT * FROM t").unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 0);
+}
+
+#[test]
+fn qualified_star_keeps_projection() {
+    let p = parse_query("SELECT t.* FROM t").unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 1);
+}
+
+#[test]
+fn arithmetic_precedence() {
+    let p = parse_query("SELECT 1 + 2 * 3 AS x").unwrap();
+    // Expect Add(1, Mul(2, 3)).
+    let LogicalPlan::Project { exprs, .. } = &p else { panic!("{p}") };
+    let Expr::Alias { child, .. } = &exprs[0] else { panic!() };
+    match &**child {
+        Expr::BinaryOp { op: BinaryOperator::Add, right, .. } => {
+            assert!(matches!(&**right, Expr::BinaryOp { op: BinaryOperator::Mul, .. }));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn and_or_precedence() {
+    let p = parse_query("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+    let mut found = false;
+    p.for_each(&mut |n| {
+        if let LogicalPlan::Filter { predicate, .. } = n {
+            // OR at the top: a=1 OR (b=2 AND c=3).
+            assert!(matches!(predicate, Expr::BinaryOp { op: BinaryOperator::Or, .. }));
+            found = true;
+        }
+    });
+    assert!(found);
+}
+
+#[test]
+fn joins_parse_with_types() {
+    let p = parse_query(
+        "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id",
+    )
+    .unwrap();
+    let mut types = vec![];
+    p.for_each(&mut |n| {
+        if let LogicalPlan::Join { join_type, .. } = n {
+            types.push(*join_type);
+        }
+    });
+    assert_eq!(types, vec![JoinType::Left, JoinType::Inner]);
+}
+
+#[test]
+fn comma_join_is_cross() {
+    let p = parse_query("SELECT * FROM a, b WHERE a.x = b.y").unwrap();
+    let mut types = vec![];
+    p.for_each(&mut |n| {
+        if let LogicalPlan::Join { join_type, .. } = n {
+            types.push(*join_type);
+        }
+    });
+    assert_eq!(types, vec![JoinType::Cross]);
+}
+
+#[test]
+fn group_by_builds_aggregate() {
+    let p = parse_query("SELECT dept, count(*), avg(salary) FROM emp GROUP BY dept").unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Aggregate { .. })), 1);
+}
+
+#[test]
+fn implicit_global_aggregate() {
+    let p = parse_query("SELECT count(*) FROM t").unwrap();
+    let mut groupings = None;
+    p.for_each(&mut |n| {
+        if let LogicalPlan::Aggregate { groupings: g, .. } = n {
+            groupings = Some(g.len());
+        }
+    });
+    assert_eq!(groupings, Some(0));
+}
+
+#[test]
+fn having_adds_filter_and_projection() {
+    let p = parse_query("SELECT dept, count(*) AS n FROM emp GROUP BY dept HAVING count(*) > 5")
+        .unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Aggregate { .. })), 1);
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })), 1);
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 1);
+}
+
+#[test]
+fn order_and_limit() {
+    let p = parse_query("SELECT * FROM t ORDER BY x DESC, y LIMIT 10").unwrap();
+    let mut orders = None;
+    p.for_each(&mut |n| {
+        if let LogicalPlan::Sort { orders: o, .. } = n {
+            orders = Some((o.len(), o[0].ascending, o[1].ascending));
+        }
+    });
+    assert_eq!(orders, Some((2, false, true)));
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Limit { n: 10, .. })), 1);
+}
+
+#[test]
+fn union_all_chains() {
+    let p = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v")
+        .unwrap();
+    let mut width = None;
+    p.for_each(&mut |n| {
+        if let LogicalPlan::Union { inputs } = n {
+            width = Some(inputs.len());
+        }
+    });
+    assert_eq!(width, Some(3));
+}
+
+#[test]
+fn subquery_in_from() {
+    let p = parse_query("SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 0").unwrap();
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::SubqueryAlias { alias, .. } if alias.as_ref() == "sub")),
+        1
+    );
+}
+
+#[test]
+fn case_when_like_in_between() {
+    let p = parse_query(
+        "SELECT CASE WHEN x > 0 THEN 'p' ELSE 'n' END FROM t \
+         WHERE s LIKE 'a%' AND x IN (1, 2) AND y BETWEEN 1 AND 9 AND z IS NOT NULL",
+    )
+    .unwrap();
+    let mut saw_like = false;
+    let mut saw_in = false;
+    let mut saw_case = false;
+    let mut saw_notnull = false;
+    p.for_each(&mut |n| {
+        for e in n.expressions() {
+            e.for_each_node(&mut |e| match e {
+                Expr::Like { .. } => saw_like = true,
+                Expr::InList { .. } => saw_in = true,
+                Expr::Case { .. } => saw_case = true,
+                Expr::IsNotNull(_) => saw_notnull = true,
+                _ => {}
+            });
+        }
+    });
+    assert!(saw_like && saw_in && saw_case && saw_notnull);
+}
+
+#[test]
+fn cast_and_literals() {
+    let p = parse_query("SELECT CAST('12' AS INT), TRUE, NULL, -3, 2.5, DATE '2015-01-01'").unwrap();
+    let LogicalPlan::Project { exprs, .. } = &p else { panic!() };
+    assert_eq!(exprs.len(), 6);
+    assert!(matches!(&exprs[0], Expr::Cast { .. }));
+    assert!(matches!(&exprs[1], Expr::Literal(Value::Boolean(true))));
+    assert!(matches!(&exprs[2], Expr::Literal(Value::Null)));
+    assert!(matches!(&exprs[5], Expr::Literal(Value::Date(_))));
+}
+
+#[test]
+fn not_like_and_not_in() {
+    let p = parse_query("SELECT * FROM t WHERE a NOT LIKE 'x%' AND b NOT IN (1)").unwrap();
+    let mut neg_like = false;
+    let mut neg_in = false;
+    p.for_each(&mut |n| {
+        for e in n.expressions() {
+            e.for_each_node(&mut |e| match e {
+                Expr::Like { negated: true, .. } => neg_like = true,
+                Expr::InList { negated: true, .. } => neg_in = true,
+                _ => {}
+            });
+        }
+    });
+    assert!(neg_like && neg_in);
+}
+
+#[test]
+fn create_temp_table_using_options() {
+    // The paper's §4.4.1 example.
+    let stmt = parse(
+        "CREATE TEMPORARY TABLE messages USING com.databricks.spark.avro \
+         OPTIONS (path 'messages.avro')",
+    )
+    .unwrap();
+    match stmt {
+        Statement::CreateTempTable { name, provider, options, query } => {
+            assert_eq!(name, "messages");
+            assert_eq!(provider, "avro");
+            assert_eq!(options["path"], "messages.avro");
+            assert!(query.is_none());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn cache_and_explain() {
+    assert!(matches!(
+        parse("CACHE TABLE t").unwrap(),
+        Statement::CacheTable { name } if name == "t"
+    ));
+    assert!(matches!(parse("EXPLAIN SELECT 1").unwrap(), Statement::Explain(_)));
+}
+
+#[test]
+fn errors_are_parse_errors() {
+    assert!(parse_query("SELEC a FROM t").is_err());
+    assert!(parse_query("SELECT FROM t").is_err());
+    assert!(parse_query("SELECT a FROM t WHERE").is_err());
+    assert!(parse_query("SELECT a FROM t GROUP").is_err());
+    assert!(parse_query("SELECT a FROM t extra garbage !!").is_err());
+}
+
+#[test]
+fn select_without_from() {
+    let p = parse_query("SELECT 1 + 1 AS two").unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::LocalRelation { .. })), 1);
+}
+
+#[test]
+fn distinct_parses() {
+    let p = parse_query("SELECT DISTINCT a FROM t").unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Distinct { .. })), 1);
+}
+
+#[test]
+fn genomics_range_join_shape() {
+    // §7.2's range join parses into a cross join + inequality filter.
+    let p = parse_query(
+        "SELECT * FROM a JOIN b \
+         WHERE a.start < a.end AND b.start < b.end \
+           AND a.start < b.start AND b.start < a.end",
+    )
+    .unwrap();
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Join { .. })), 1);
+    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })), 1);
+}
+
+#[test]
+fn nested_struct_path() {
+    // Figures 5-6: SELECT loc.lat FROM tweets.
+    let p = parse_query("SELECT loc.lat, loc.long FROM tweets WHERE tags IS NOT NULL").unwrap();
+    let LogicalPlan::Project { exprs, .. } = &p else { panic!("{p}") };
+    assert!(matches!(
+        &exprs[0],
+        Expr::UnresolvedAttribute { qualifier: Some(q), name } if q == "loc" && name == "lat"
+    ));
+}

@@ -1,0 +1,40 @@
+//! §5.1: JSON schema inference on the paper's Figure 5 tweets, then the
+//! path query from the text.
+//!
+//! Run with: `cargo run --example json_tweets`
+
+use spark_sql_repro::spark_sql::prelude::*;
+
+fn main() -> catalyst::Result<()> {
+    let ctx = SQLContext::new_local(2);
+
+    // The exact records of Figure 5.
+    let tweets = [
+        r##"{"text": "This is a tweet about #Spark", "tags": ["#Spark"], "loc": {"lat": 45.1, "long": 90}}"##,
+        r#"{"text": "This is another tweet", "tags": [], "loc": {"lat": 39, "long": 88.5}}"#,
+        r##"{"text": "A #tweet without #location", "tags": ["#tweet", "#location"]}"##,
+    ];
+
+    let df = ctx.read_json_lines("tweets", tweets)?;
+
+    // The inferred schema should match Figure 6:
+    //   text STRING NOT NULL
+    //   tags ARRAY<STRING NOT NULL> NOT NULL
+    //   loc STRUCT<lat FLOAT NOT NULL, long FLOAT NOT NULL>
+    println!("inferred schema:\n{}\n", df.schema());
+
+    df.register_temp_table("tweets");
+
+    // The query from the paper:
+    //   SELECT loc.lat, loc.long FROM tweets
+    //   WHERE text LIKE '%Spark%' AND tags IS NOT NULL
+    let result = ctx.sql(
+        "SELECT loc.lat, loc.long FROM tweets \
+         WHERE text LIKE '%Spark%' AND tags IS NOT NULL",
+    )?;
+    println!("{}", result.show(10)?);
+
+    // LIKE '%Spark%' was optimized to a contains() call — see the plan:
+    println!("{}", result.explain()?);
+    Ok(())
+}

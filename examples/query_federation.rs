@@ -1,0 +1,86 @@
+//! §5.3: query federation to external databases — the paper's exact
+//! scenario: a "MySQL" users table joined with a JSON log file, with the
+//! filter predicate pushed down into the remote database to reduce the
+//! data transferred.
+//!
+//! Run with: `cargo run --example query_federation`
+
+use datasources::{register_database, RemoteDb};
+use spark_sql_repro::spark_sql::prelude::*;
+use std::sync::Arc;
+
+fn main() -> catalyst::Result<()> {
+    let ctx = SQLContext::new_local(4);
+
+    // --- the "remote MySQL" server, reachable over a byte-metered wire.
+    let db = RemoteDb::new();
+    let users_schema = Arc::new(Schema::new(vec![
+        StructField::new("id", DataType::Long, false),
+        StructField::new("name", DataType::String, false),
+        StructField::new("registrationDate", DataType::Date, false),
+        StructField::new("bio", DataType::String, false), // wide column we never read
+    ]));
+    let users: Vec<Row> = (0..5000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Long(i),
+                Value::str(format!("user{i}")),
+                Value::Date(catalyst::value::parse_date("2014-01-01").unwrap() + (i % 720) as i32),
+                Value::str("x".repeat(200)),
+            ])
+        })
+        .collect();
+    db.create_table("users", users_schema, users);
+    register_database("jdbc:mysql://userDB/users", db.clone());
+
+    // --- the JSON logs file.
+    let dir = std::env::temp_dir().join(format!("federation-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let logs_path = dir.join("logs.json");
+    let mut logs = String::new();
+    for i in 0..20_000 {
+        logs.push_str(&format!(
+            "{{\"userId\": {}, \"message\": \"event-{i}\"}}\n",
+            i % 5000
+        ));
+    }
+    std::fs::write(&logs_path, logs).unwrap();
+
+    // The paper's DDL, verbatim in shape:
+    ctx.sql("CREATE TEMPORARY TABLE users USING jdbc \
+             OPTIONS(driver 'mysql', url 'jdbc:mysql://userDB/users', table 'users')")?;
+    ctx.sql(&format!(
+        "CREATE TEMPORARY TABLE logs USING json OPTIONS (path '{}')",
+        logs_path.display()
+    ))?;
+
+    // And the paper's federated query:
+    let q = "SELECT users.id, users.name, logs.message \
+             FROM users JOIN logs ON users.id = logs.userId \
+             WHERE users.registrationDate > '2015-06-01'";
+    let df = ctx.sql(q)?;
+    let n = df.count()?;
+    println!("federated join produced {n} rows");
+    println!("bytes over the remote wire WITH pushdown:    {:>12}", db.bytes_transferred());
+    println!(
+        "remote query actually executed (cf. §5.3):\n  {}",
+        db.query_log().last().unwrap()
+    );
+
+    // Ablation: disable pushdown and run the same query.
+    db.reset_meters();
+    ctx.set_conf(|c| {
+        c.pushdown_enabled = false;
+        c.column_pruning_enabled = false;
+    });
+    let n2 = ctx.sql(q)?.count()?;
+    assert_eq!(n, n2, "same answer either way");
+    println!("bytes over the remote wire WITHOUT pushdown: {:>12}", db.bytes_transferred());
+    println!(
+        "remote query without pushdown:\n  {}",
+        db.query_log().last().unwrap()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

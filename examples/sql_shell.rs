@@ -1,0 +1,93 @@
+//! An interactive SQL console (the paper's Figure 1 shows SQL reaching
+//! Spark SQL through JDBC/ODBC or a console — this is the console).
+//!
+//! Comes preloaded with sample tables; supports every statement the
+//! dialect knows: queries, `EXPLAIN`, `SHOW TABLES`, `DESCRIBE t`,
+//! `CACHE TABLE t`, and `CREATE TEMPORARY TABLE … USING … OPTIONS(…)`.
+//!
+//! Run with: `cargo run --release --example sql_shell`
+//! (pipe a script: `echo "SHOW TABLES" | cargo run --example sql_shell`)
+
+use spark_sql_repro::spark_sql::prelude::*;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+fn main() {
+    let ctx = SQLContext::new_local(4);
+    preload(&ctx);
+
+    println!("spark-sql-repro console — try: SHOW TABLES; DESCRIBE employees;");
+    println!("SELECT dept, avg(salary) FROM employees GROUP BY dept ORDER BY dept;");
+    println!("EXPLAIN SELECT * FROM employees WHERE salary > 100; (quit to exit)\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("sql> ");
+        } else {
+            print!("  -> ");
+        }
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && matches!(trimmed, "quit" | "exit" | "\\q") {
+            break;
+        }
+        buffer.push_str(&line);
+        // Execute on a terminating semicolon (or a whole non-empty line
+        // when reading a piped script without semicolons).
+        if !trimmed.ends_with(';') && trimmed.contains(' ') && buffer.lines().count() < 2 {
+            // allow single-line statements without ';'
+        } else if !trimmed.ends_with(';') && !trimmed.is_empty() {
+            continue;
+        }
+        let statement = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+        if statement.is_empty() {
+            continue;
+        }
+        match ctx.sql(&statement) {
+            Ok(df) => {
+                if df.schema().is_empty() {
+                    println!("OK");
+                } else {
+                    match df.show(50) {
+                        Ok(table) => print!("{table}"),
+                        Err(e) => println!("execution error: {e}"),
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn preload(ctx: &SQLContext) {
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("name", DataType::String, false),
+        StructField::new("dept", DataType::String, false),
+        StructField::new("salary", DataType::Double, false),
+    ]));
+    let rows: Vec<Row> = [
+        ("alice", "eng", 120.0),
+        ("bob", "eng", 95.0),
+        ("carol", "sales", 80.0),
+        ("dan", "sales", 85.0),
+        ("erin", "hr", 70.0),
+    ]
+    .iter()
+    .map(|(n, d, s)| Row::new(vec![Value::str(*n), Value::str(*d), Value::Double(*s)]))
+    .collect();
+    ctx.register_rows("employees", schema, rows).unwrap();
+
+    let tweets = [
+        r##"{"text": "This is a tweet about #Spark", "tags": ["#Spark"], "loc": {"lat": 45.1, "long": 90}}"##,
+        r#"{"text": "This is another tweet", "tags": [], "loc": {"lat": 39, "long": 88.5}}"#,
+        r##"{"text": "A #tweet without #location", "tags": ["#tweet", "#location"]}"##,
+    ];
+    ctx.read_json_lines("tweets", tweets).unwrap().register_temp_table("tweets");
+}

@@ -1,0 +1,88 @@
+//! The AMPLab big data benchmark workload (§6.1) at example scale:
+//! rankings & uservisits tables, queried with both SQL and the DataFrame
+//! DSL, showing they build the same optimized plans.
+//!
+//! Run with: `cargo run --example web_analytics`
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spark_sql_repro::spark_sql::prelude::*;
+use std::sync::Arc;
+
+fn main() -> catalyst::Result<()> {
+    let ctx = SQLContext::new_local(4);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // rankings(pageURL, pageRank, avgDuration)
+    let rankings_schema = Arc::new(Schema::new(vec![
+        StructField::new("pageURL", DataType::String, false),
+        StructField::new("pageRank", DataType::Int, false),
+        StructField::new("avgDuration", DataType::Int, false),
+    ]));
+    let rankings: Vec<Row> = (0..20_000)
+        .map(|i| {
+            Row::new(vec![
+                Value::str(format!("url{i}")),
+                Value::Int(rng.random_range(0..10_000)),
+                Value::Int(rng.random_range(1..100)),
+            ])
+        })
+        .collect();
+    ctx.register_rows("rankings", rankings_schema, rankings)?;
+
+    // uservisits(sourceIP, destURL, visitDate, adRevenue)
+    let visits_schema = Arc::new(Schema::new(vec![
+        StructField::new("sourceIP", DataType::String, false),
+        StructField::new("destURL", DataType::String, false),
+        StructField::new("visitDate", DataType::Date, false),
+        StructField::new("adRevenue", DataType::Double, false),
+    ]));
+    let visits: Vec<Row> = (0..50_000)
+        .map(|_| {
+            Row::new(vec![
+                Value::str(format!(
+                    "{}.{}.{}.{}",
+                    rng.random_range(1..255),
+                    rng.random_range(0..255),
+                    rng.random_range(0..255),
+                    rng.random_range(0..255)
+                )),
+                Value::str(format!("url{}", rng.random_range(0..20_000))),
+                Value::Date(rng.random_range(3650..16000)),
+                Value::Double(rng.random_range(0.0..100.0)),
+            ])
+        })
+        .collect();
+    ctx.register_rows("uservisits", visits_schema, visits)?;
+
+    // Query 1 (scan + filter): SQL vs DataFrame DSL.
+    let q1_sql = ctx.sql("SELECT pageURL, pageRank FROM rankings WHERE pageRank > 9000")?;
+    let q1_df = ctx
+        .table("rankings")?
+        .where_(col("pageRank").gt(lit(9000)))?
+        .select(vec![col("pageURL"), col("pageRank")])?;
+    println!("Q1: sql = {} rows, dsl = {} rows", q1_sql.count()?, q1_df.count()?);
+
+    // Query 2 (aggregation on a computed key).
+    let q2 = ctx.sql(
+        "SELECT substr(sourceIP, 1, 7) AS prefix, sum(adRevenue) AS rev \
+         FROM uservisits GROUP BY substr(sourceIP, 1, 7) \
+         ORDER BY rev DESC LIMIT 5",
+    )?;
+    println!("Q2 (top ad-revenue IP prefixes):\n{}", q2.show(5)?);
+
+    // Query 3 (join + aggregation + top-1), the paper's hardest query.
+    let q3 = ctx.sql(
+        "SELECT sourceIP, totalRevenue, avgPageRank FROM \
+           (SELECT sourceIP, avg(pageRank) AS avgPageRank, sum(adRevenue) AS totalRevenue \
+            FROM rankings, uservisits \
+            WHERE pageURL = destURL \
+              AND visitDate BETWEEN DATE '1980-01-01' AND DATE '2010-01-01' \
+            GROUP BY sourceIP) t \
+         ORDER BY totalRevenue DESC LIMIT 1",
+    )?;
+    println!("Q3 (best visitor):\n{}", q3.show(1)?);
+    println!("Q3 physical plan (note the join choice and TakeOrdered):");
+    println!("{}", q3.explain()?);
+    Ok(())
+}

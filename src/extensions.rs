@@ -1,0 +1,7 @@
+//! Research extensions built on Catalyst's extension points (§7 of the
+//! paper): the ADAM-style genomics range join (§7.2) as a custom planning
+//! strategy with an interval-tree physical operator, and helpers for
+//! G-OLA-style online aggregation (§7.1).
+
+pub mod interval_join;
+pub mod online_agg;

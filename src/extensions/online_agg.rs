@@ -1,0 +1,114 @@
+//! G-OLA-style online aggregation (§7.1), prototyped on Catalyst.
+//!
+//! Zeng et al. "add a new operator to represent a relation that has been
+//! broken up into sampled batches. During query planning a call to
+//! transform is used to replace the original full query with several
+//! queries, each of which operates on a successive sample of the data."
+//!
+//! [`online_aggregate`] does exactly that: it rewrites the query plan with
+//! a Catalyst transform that swaps every leaf relation for a sampled
+//! version, runs the rewritten query at increasing sampling fractions,
+//! and scales partial answers into running estimates with a crude
+//! accuracy measure, so a caller can stop early once the estimate is good
+//! enough.
+
+use catalyst::error::Result;
+use catalyst::plan::LogicalPlan;
+use catalyst::tree::{Transformed, TreeNode};
+use catalyst::value::Value;
+use catalyst::Row;
+use spark_sql::{DataFrame, SQLContext};
+
+/// One online-aggregation step: the estimate after seeing a fraction of
+/// the data.
+#[derive(Debug, Clone)]
+pub struct OnlineEstimate {
+    /// Sampling fraction this estimate was computed over.
+    pub fraction: f64,
+    /// Partial result rows, scaled to full-data estimates where the
+    /// output column is a scale-dependent aggregate (counts/sums).
+    pub rows: Vec<Row>,
+    /// Relative change vs. the previous estimate (lower = more stable);
+    /// `None` for the first batch.
+    pub relative_change: Option<f64>,
+}
+
+/// Replace every leaf relation in `plan` with a Bernoulli sample — the
+/// §7.1 "transform" that turns a full query into a sampled one.
+pub fn sample_leaves(plan: LogicalPlan, fraction: f64, seed: u64) -> LogicalPlan {
+    plan.transform_up(&mut |p| match p {
+        leaf @ (LogicalPlan::Scan { .. }
+        | LogicalPlan::External { .. }
+        | LogicalPlan::LocalRelation { .. }) => Transformed::yes(leaf.sample(fraction, seed)),
+        other => Transformed::no(other),
+    })
+    .data
+}
+
+/// Run `df`'s query over successively larger samples, scaling additive
+/// aggregates (columns flagged in `scale_columns`) by 1/fraction.
+///
+/// Returns one [`OnlineEstimate`] per fraction; callers typically stop
+/// consuming once `relative_change` is below their accuracy target.
+pub fn online_aggregate(
+    ctx: &SQLContext,
+    df: &DataFrame,
+    fractions: &[f64],
+    scale_columns: &[usize],
+) -> Result<Vec<OnlineEstimate>> {
+    let mut estimates: Vec<OnlineEstimate> = Vec::new();
+    for (i, &fraction) in fractions.iter().enumerate() {
+        let sampled = sample_leaves(df.logical_plan().clone(), fraction, 42 + i as u64);
+        let rows = ctx.dataframe(sampled)?.collect()?;
+        let scaled: Vec<Row> = rows
+            .into_iter()
+            .map(|r| {
+                Row::new(
+                    r.values()
+                        .iter()
+                        .enumerate()
+                        .map(|(c, v)| {
+                            if scale_columns.contains(&c) && fraction > 0.0 {
+                                match v.as_f64() {
+                                    Some(f) => Value::Double(f / fraction),
+                                    None => v.clone(),
+                                }
+                            } else {
+                                v.clone()
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let relative_change = estimates.last().map(|prev| estimate_delta(&prev.rows, &scaled));
+        estimates.push(OnlineEstimate { fraction, rows: scaled, relative_change });
+    }
+    Ok(estimates)
+}
+
+/// Mean relative difference between numeric cells of two result sets
+/// (compared by sorted order; a crude accuracy signal).
+fn estimate_delta(a: &[Row], b: &[Row]) -> f64 {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort();
+    b.sort();
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (ra, rb) in a.iter().zip(&b) {
+        for (va, vb) in ra.values().iter().zip(rb.values()) {
+            if let (Some(x), Some(y)) = (va.as_f64(), vb.as_f64()) {
+                let denom = x.abs().max(y.abs()).max(1e-12);
+                total += (x - y).abs() / denom;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        total / n as f64
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Spark SQL reproduction workspace.
+//!
+//! Re-exports every component crate so the root `examples/` and `tests/`
+//! can exercise the full stack through one dependency. Library users
+//! should depend on the individual crates (most commonly `spark-sql`).
+
+pub mod extensions;
+
+pub use catalyst;
+pub use columnar;
+pub use datasources;
+pub use engine;
+pub use mllib;
+pub use spark_sql;
+pub use sql;

@@ -1,0 +1,273 @@
+//! Cross-crate integration tests: the paper's end-to-end scenarios
+//! exercised through the full stack (engine + catalyst + sql + sources +
+//! core).
+
+use catalyst::value::Value;
+use catalyst::Row;
+use engine::metrics::Metrics;
+use engine::PairRdd;
+use spark_sql_repro::spark_sql::prelude::*;
+use std::sync::Arc;
+
+record! {
+    pub struct User {
+        pub name: String => DataType::String,
+        pub age: i32 => DataType::Int,
+    }
+}
+
+/// §3.5: create a DataFrame from native objects and join it with a
+/// catalog table — the `usersDF.join(views, …)` example.
+#[test]
+fn native_dataset_joins_catalog_table() {
+    let ctx = SQLContext::new_local(2);
+    let users = ctx
+        .create_dataframe_from(
+            vec![
+                User { name: "Alice".into(), age: 22 },
+                User { name: "Bob".into(), age: 19 },
+            ],
+            2,
+        )
+        .unwrap();
+
+    let views_schema = Arc::new(Schema::new(vec![
+        StructField::new("user", DataType::String, false),
+        StructField::new("page", DataType::String, false),
+    ]));
+    let views = ctx
+        .create_dataframe(
+            views_schema,
+            vec![
+                Row::new(vec![Value::str("Alice"), Value::str("home")]),
+                Row::new(vec![Value::str("Alice"), Value::str("settings")]),
+                Row::new(vec![Value::str("Eve"), Value::str("home")]),
+            ],
+        )
+        .unwrap();
+
+    let joined = users.join_on(&views, col("name").eq(col("user"))).unwrap();
+    assert_eq!(joined.count().unwrap(), 2);
+}
+
+/// §3: seamless relational ⇄ procedural mixing in one program.
+#[test]
+fn relational_and_procedural_mix() {
+    let ctx = SQLContext::new_local(2);
+    let schema = Arc::new(Schema::new(vec![StructField::new("n", DataType::Long, false)]));
+    let rows: Vec<Row> = (0..1000).map(|i| Row::new(vec![Value::Long(i)])).collect();
+    let df = ctx.create_dataframe(schema, rows).unwrap();
+
+    // Relational filter, procedural map, relational re-entry, SQL finish.
+    let evens = df.where_(col("n").rem(lit(2i64)).eq(lit(0i64))).unwrap();
+    let squared = evens.to_rdd().unwrap().map(|r: Row| {
+        Row::new(vec![Value::Long(r.get_long(0) * r.get_long(0))])
+    });
+    let schema2 = Arc::new(Schema::new(vec![StructField::new("sq", DataType::Long, false)]));
+    let df2 = ctx.dataframe_from_rdd("squares", schema2, squared).unwrap();
+    df2.register_temp_table("squares");
+    let out = ctx.sql("SELECT max(sq) FROM squares").unwrap().collect().unwrap();
+    assert_eq!(out[0].get(0), &Value::Long(998 * 998));
+}
+
+/// The engine's fault tolerance holds under SQL execution: inject task
+/// failures and the query still completes with the right answer.
+#[test]
+fn sql_query_survives_injected_task_failures() {
+    let ctx = SQLContext::new_local(4);
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("k", DataType::Long, false),
+        StructField::new("v", DataType::Double, false),
+    ]));
+    let rows: Vec<Row> = (0..10_000)
+        .map(|i| Row::new(vec![Value::Long(i % 50), Value::Double(i as f64)]))
+        .collect();
+    ctx.register_rows("t", schema, rows).unwrap();
+
+    let expected = ctx
+        .sql("SELECT k, sum(v) FROM t GROUP BY k ORDER BY k")
+        .unwrap()
+        .collect()
+        .unwrap();
+
+    // Fail the first attempt of every task from now on.
+    let sc = ctx.spark_context().clone();
+    sc.set_failure_injector(Some(Arc::new(|site| site.attempt == 0)));
+    let with_failures = ctx
+        .sql("SELECT k, sum(v) FROM t GROUP BY k ORDER BY k")
+        .unwrap()
+        .collect()
+        .unwrap();
+    sc.set_failure_injector(None);
+
+    assert_eq!(expected, with_failures);
+    assert!(Metrics::get(&sc.metrics().task_failures) > 0);
+}
+
+/// Figures 5–6 + the §5.1 query through the full stack.
+#[test]
+fn json_tweets_end_to_end() {
+    let ctx = SQLContext::new_local(2);
+    let tweets = [
+        r##"{"text": "This is a tweet about #Spark", "tags": ["#Spark"], "loc": {"lat": 45.1, "long": 90}}"##,
+        r#"{"text": "This is another tweet", "tags": [], "loc": {"lat": 39, "long": 88.5}}"#,
+        r##"{"text": "A #tweet without #location", "tags": ["#tweet", "#location"]}"##,
+    ];
+    let df = ctx.read_json_lines("tweets", tweets).unwrap();
+    assert_eq!(
+        df.schema().to_string(),
+        "text STRING NOT NULL,\ntags ARRAY<STRING> NOT NULL,\nloc STRUCT<lat FLOAT NOT NULL, long FLOAT NOT NULL>"
+    );
+    df.register_temp_table("tweets");
+    let rows = ctx
+        .sql(
+            "SELECT loc.lat, loc.long FROM tweets \
+             WHERE text LIKE '%Spark%' AND tags IS NOT NULL",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0), &Value::Float(45.1));
+}
+
+/// §5.3 federation: pushdown measurably reduces wire traffic through the
+/// full SQL path.
+#[test]
+fn federation_pushdown_reduces_wire_bytes() {
+    use datasources::{register_database, RemoteDb};
+    let db = RemoteDb::new();
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("id", DataType::Long, false),
+        StructField::new("blob", DataType::String, false),
+    ]));
+    let rows: Vec<Row> = (0..2000)
+        .map(|i| Row::new(vec![Value::Long(i), Value::str("y".repeat(100))]))
+        .collect();
+    db.create_table("wide", schema, rows);
+    register_database("jdbc:sim://itest", db.clone());
+
+    let ctx = SQLContext::new_local(2);
+    ctx.sql("CREATE TEMPORARY TABLE wide USING jdbc \
+             OPTIONS(url 'jdbc:sim://itest', table 'wide')")
+        .unwrap();
+    let n = ctx.sql("SELECT id FROM wide WHERE id < 100").unwrap().count().unwrap();
+    assert_eq!(n, 100);
+    let pushed_bytes = db.bytes_transferred();
+    assert_eq!(db.rows_transferred(), 100, "filter ran remotely");
+
+    db.reset_meters();
+    ctx.set_conf(|c| {
+        c.pushdown_enabled = false;
+        c.column_pruning_enabled = false;
+    });
+    let n2 = ctx.sql("SELECT id FROM wide WHERE id < 100").unwrap().count().unwrap();
+    assert_eq!(n2, 100);
+    assert_eq!(db.rows_transferred(), 2000, "everything crossed the wire");
+    assert!(db.bytes_transferred() > pushed_bytes * 10);
+}
+
+/// The interval-join extension (§7.2) gives identical answers to the
+/// nested-loop plan through the whole stack.
+#[test]
+fn interval_join_extension_matches_nested_loop() {
+    use spark_sql_repro::extensions::interval_join::IntervalJoinStrategy;
+    let make = |with_ext: bool| {
+        let ctx = SQLContext::new_local(2);
+        let a = Arc::new(Schema::new(vec![
+            StructField::new("start", DataType::Long, false),
+            StructField::new("end", DataType::Long, false),
+        ]));
+        let b = Arc::new(Schema::new(vec![
+            StructField::new("bstart", DataType::Long, false),
+            StructField::new("bend", DataType::Long, false),
+        ]));
+        let mk = |seed: i64| -> Vec<Row> {
+            (0..300)
+                .map(|i| {
+                    let lo = (i * 37 + seed * 11) % 1000;
+                    Row::new(vec![Value::Long(lo), Value::Long(lo + 20 + (i % 13))])
+                })
+                .collect()
+        };
+        ctx.register_rows("a", a, mk(1)).unwrap();
+        ctx.register_rows("b", b, mk(2)).unwrap();
+        if with_ext {
+            ctx.add_strategy(Arc::new(IntervalJoinStrategy));
+        }
+        ctx
+    };
+    let q = "SELECT * FROM a JOIN b \
+             WHERE start < \"end\" AND bstart < bend \
+               AND start < bstart AND bstart < \"end\"";
+    let mut plain = make(false).sql(q).unwrap().collect().unwrap();
+    let mut fast = make(true).sql(q).unwrap().collect().unwrap();
+    plain.sort();
+    fast.sort();
+    assert!(!plain.is_empty());
+    assert_eq!(plain, fast);
+}
+
+/// Caching: columnar cache answers match uncached answers and the cached
+/// relation reports a real size (enabling broadcast decisions).
+#[test]
+fn cached_dataframe_matches_uncached() {
+    let ctx = SQLContext::new_local(2);
+    let schema = Arc::new(Schema::new(vec![
+        StructField::new("g", DataType::String, false),
+        StructField::new("x", DataType::Long, false),
+    ]));
+    let rows: Vec<Row> = (0..5000)
+        .map(|i| Row::new(vec![Value::str(["a", "b", "c"][i % 3]), Value::Long(i as i64)]))
+        .collect();
+    let df = ctx.create_dataframe(schema, rows).unwrap();
+    df.register_temp_table("t");
+
+    let q = "SELECT g, sum(x), count(*) FROM t GROUP BY g ORDER BY g";
+    let uncached = ctx.sql(q).unwrap().collect().unwrap();
+    ctx.sql("CACHE TABLE t").unwrap();
+    let cached = ctx.sql(q).unwrap().collect().unwrap();
+    assert_eq!(uncached, cached);
+}
+
+/// Procedural word count over a SQL filter — the Figure 10 pipeline at
+/// test scale, both variants agreeing.
+#[test]
+fn figure10_variants_agree() {
+    let ctx = SQLContext::new_local(2);
+    let schema = Arc::new(Schema::new(vec![StructField::new("text", DataType::String, false)]));
+    let rows: Vec<Row> = (0..500)
+        .map(|i| {
+            let text = if i % 10 == 0 { "noise only here" } else { "keep data word data" };
+            Row::new(vec![Value::str(text)])
+        })
+        .collect();
+    ctx.create_dataframe(schema, rows).unwrap().register_temp_table("messages");
+
+    let filtered = ctx
+        .sql("SELECT text FROM messages WHERE text LIKE '%data%'")
+        .unwrap()
+        .to_rdd()
+        .unwrap()
+        .map(|r: Row| r.get_str(0).to_string());
+
+    let direct: u64 = filtered
+        .flat_map(|l: String| l.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+        .map(|w| (w, 1u64))
+        .reduce_by_key(|a, b| a + b, 4)
+        .count();
+
+    let fs = engine::hdfs::FileStore::temp("itest").unwrap();
+    let sc = ctx.spark_context().clone();
+    fs.save_text(&sc, &filtered, "f").unwrap();
+    let via_disk: u64 = fs
+        .read_text(&sc, "f")
+        .unwrap()
+        .flat_map(|l: String| l.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+        .map(|w| (w, 1u64))
+        .reduce_by_key(|a, b| a + b, 4)
+        .count();
+
+    assert_eq!(direct, via_disk);
+    assert_eq!(direct, 3); // keep, data, word
+}
