@@ -29,8 +29,7 @@ fn codegen_ablation() {
     println!("== codegen on/off (AMPLab q1c + q2a) ==");
     let data = amplab::generate(AmplabScale { pages: 100_000, visits: 200_000, documents: 0 });
     for (label, codegen) in [("codegen on", true), ("codegen off", false)] {
-        let mut conf = SqlConf::default();
-        conf.codegen_enabled = codegen;
+        let conf = SqlConf { codegen_enabled: codegen, ..SqlConf::default() };
         let ctx = amplab::make_context(&data, conf, 4);
         let t1 = median_time(3, || ctx.sql(&amplab::query("1c")).unwrap().count().unwrap());
         let t2 = median_time(3, || ctx.sql(&amplab::query("2a")).unwrap().count().unwrap());
@@ -83,8 +82,7 @@ fn cache_ablation() {
     println!("== columnar vs object cache (1M-row cached table) ==");
     let data = amplab::generate(AmplabScale { pages: 300_000, visits: 0, documents: 0 });
     for (label, columnar) in [("columnar cache", true), ("object cache", false)] {
-        let mut conf = SqlConf::default();
-        conf.columnar_cache_enabled = columnar;
+        let conf = SqlConf { columnar_cache_enabled: columnar, ..SqlConf::default() };
         let ctx = amplab::make_context(&data, conf, 4);
         ctx.sql("CACHE TABLE rankings").unwrap();
         // Materialize + query.

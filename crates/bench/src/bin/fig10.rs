@@ -48,7 +48,7 @@ fn word_count(lines: &engine::RddRef<String>) -> usize {
             line.split_whitespace().map(|w| (w.to_string(), 1u64)).collect::<Vec<_>>()
         })
         .reduce_by_key(|a, b| a + b, PARTITIONS)
-        .count() as u64 as usize
+        .count() as usize
 }
 
 fn main() {

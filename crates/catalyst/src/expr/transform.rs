@@ -4,6 +4,7 @@
 use super::Expr;
 use crate::tree::{Transformed, TreeNode};
 
+#[allow(clippy::boxed_local)] // children are Box-typed in the Expr enum; unboxing here just moves the re-allocation to every caller
 fn map_box(
     b: Box<Expr>,
     f: &mut dyn FnMut(Expr) -> Transformed<Expr>,

@@ -25,6 +25,7 @@
 //! strategies, data sources, UDFs and user-defined types.
 
 #![warn(missing_docs)]
+#![allow(clippy::type_complexity)] // Arc<dyn Fn(...)> closure-table types are the crate's idiom
 
 #[macro_use]
 pub mod row;

@@ -1,10 +1,12 @@
 //! Physical planning: operators, statistics, and the strategy-driven
 //! planner (§4.3.3).
 
+pub mod metrics;
 pub mod plan;
 pub mod planner;
 pub mod stats;
 
+pub use metrics::{OperatorMetrics, PlanMetrics};
 pub use plan::{BuildSide, ExtensionExec, PhysicalPlan};
 pub use planner::{expr_to_filter, extract_equi_keys, Planner, PlannerConfig, Strategy};
 pub use stats::{estimate, Statistics};

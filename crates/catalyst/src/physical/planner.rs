@@ -391,7 +391,7 @@ fn plan_scan(
     let required: Vec<ColumnRef> = match project {
         Some(exprs) => {
             let mut req: Vec<ColumnRef> = Vec::new();
-            for e in exprs.iter().chain(predicate.into_iter()) {
+            for e in exprs.iter().chain(predicate) {
                 for r in e.references() {
                     if !req.iter().any(|c: &ColumnRef| c.id == r.id) {
                         req.push(r);

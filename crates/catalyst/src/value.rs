@@ -404,7 +404,7 @@ pub fn parse_date(s: &str) -> Option<i32> {
     // Days from civil algorithm (Howard Hinnant), valid far beyond our needs.
     let y = if month <= 2 { year - 1 } else { year };
     let era = if y >= 0 { y } else { y - 399 } / 400;
-    let yoe = (y - era * 400) as i64;
+    let yoe = y - era * 400;
     let mp = (month as i64 + 9) % 12;
     let doy = (153 * mp + 2) / 5 + day as i64 - 1;
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
@@ -709,7 +709,7 @@ mod tests {
 
     #[test]
     fn total_order_puts_null_first() {
-        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(1));

@@ -62,7 +62,7 @@ impl Bitmap {
 
     /// Append a bit (grows the map).
     pub fn push(&mut self, set: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         if set {

@@ -1,6 +1,9 @@
 //! Property tests: every encoding path round-trips arbitrary typed data,
 //! statistics are sound (never skip a batch containing a match), and
 //! compression never corrupts.
+//!
+//! Deterministic seeded sweeps (formerly proptest; rewritten because the
+//! build environment vendors only a minimal rand shim).
 
 use catalyst::row::Row;
 use catalyst::schema::Schema;
@@ -8,77 +11,116 @@ use catalyst::source::Filter;
 use catalyst::types::{DataType, StructField};
 use catalyst::value::Value;
 use columnar::{batch_rows, ColumnarBatch, EncodedColumn};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
 use std::sync::Arc;
 
-fn arb_long_col() -> impl Strategy<Value = Vec<Value>> {
-    prop_oneof![
-        // Repetitive (forces RLE).
-        proptest::collection::vec((-3i64..3).prop_map(Value::Long), 0..300),
-        // Random (forces plain).
-        proptest::collection::vec(any::<i64>().prop_map(Value::Long), 0..300),
-        // With nulls.
-        proptest::collection::vec(
-            proptest::option::of(any::<i64>()).prop_map(|o| o.map(Value::Long).unwrap_or(Value::Null)),
-            0..300
-        ),
-    ]
+/// A long column from one of three regimes: repetitive (forces RLE),
+/// random (forces plain), and nullable.
+fn arb_long_col(rng: &mut StdRng) -> Vec<Value> {
+    let len = rng.random_range(0usize..300);
+    match rng.random_range(0u32..3) {
+        0 => (0..len)
+            .map(|_| Value::Long(rng.random_range(-3i64..3)))
+            .collect(),
+        1 => (0..len).map(|_| Value::Long(rng.next_u64() as i64)).collect(),
+        _ => (0..len)
+            .map(|_| {
+                if rng.random_bool(0.3) {
+                    Value::Null
+                } else {
+                    Value::Long(rng.next_u64() as i64)
+                }
+            })
+            .collect(),
+    }
 }
 
-fn arb_str_col() -> impl Strategy<Value = Vec<Value>> {
-    prop_oneof![
-        // Low cardinality (forces dictionary).
-        proptest::collection::vec(
-            proptest::sample::select(vec!["a", "b", "c"]).prop_map(Value::str),
-            0..300
-        ),
-        // High cardinality (forces plain).
-        proptest::collection::vec("[a-z]{0,12}".prop_map(Value::str), 0..300),
-    ]
+fn arb_str(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.random_range(0usize..max_len + 1);
+    (0..len)
+        .map(|_| char::from(rng.random_range(b'a'..b'z' + 1)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A string column: low cardinality (forces dictionary) or high
+/// cardinality (forces plain).
+fn arb_str_col(rng: &mut StdRng) -> Vec<Value> {
+    let len = rng.random_range(0usize..300);
+    if rng.random_bool(0.5) {
+        const POOL: &[&str] = &["a", "b", "c"];
+        (0..len)
+            .map(|_| Value::str(POOL[rng.random_range(0..POOL.len())]))
+            .collect()
+    } else {
+        (0..len).map(|_| Value::str(arb_str(rng, 12))).collect()
+    }
+}
 
-    #[test]
-    fn long_column_roundtrip(values in arb_long_col()) {
+#[test]
+fn long_column_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_2001);
+    for _ in 0..64 {
+        let values = arb_long_col(&mut rng);
         let c = EncodedColumn::encode(&DataType::Long, &values);
-        prop_assert_eq!(c.decode_all(), values.clone());
+        assert_eq!(c.decode_all(), values);
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(&c.get(i), v);
+            assert_eq!(&c.get(i), v);
         }
     }
+}
 
-    #[test]
-    fn string_column_roundtrip(values in arb_str_col()) {
+#[test]
+fn string_column_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_2002);
+    for _ in 0..64 {
+        let values = arb_str_col(&mut rng);
         let c = EncodedColumn::encode(&DataType::String, &values);
-        prop_assert_eq!(c.decode_all(), values);
+        assert_eq!(c.decode_all(), values);
     }
+}
 
-    #[test]
-    fn bool_column_roundtrip(values in proptest::collection::vec(
-        proptest::option::of(any::<bool>()).prop_map(|o| o.map(Value::Boolean).unwrap_or(Value::Null)),
-        0..300
-    )) {
+#[test]
+fn bool_column_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_2003);
+    for _ in 0..64 {
+        let len = rng.random_range(0usize..300);
+        let values: Vec<Value> = (0..len)
+            .map(|_| {
+                if rng.random_bool(0.2) {
+                    Value::Null
+                } else {
+                    Value::Boolean(rng.random_bool(0.5))
+                }
+            })
+            .collect();
         let c = EncodedColumn::encode(&DataType::Boolean, &values);
-        prop_assert_eq!(c.decode_all(), values);
+        assert_eq!(c.decode_all(), values);
     }
+}
 
-    #[test]
-    fn double_column_roundtrip(values in proptest::collection::vec(
-        any::<f64>().prop_map(Value::Double), 0..200
-    )) {
+#[test]
+fn double_column_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_2004);
+    for _ in 0..64 {
+        let len = rng.random_range(0usize..200);
+        let values: Vec<Value> = (0..len)
+            .map(|_| Value::Double(f64::from_bits(rng.next_u64())))
+            .collect();
         let c = EncodedColumn::encode(&DataType::Double, &values);
-        prop_assert_eq!(c.decode_all(), values);
+        assert_eq!(c.decode_all(), values);
     }
+}
 
-    /// Soundness of batch skipping: if a batch is skipped for a filter,
-    /// no row in it matches the filter.
-    #[test]
-    fn stats_skipping_is_sound(
-        values in proptest::collection::vec(-100i64..100, 1..200),
-        threshold in -120i64..120,
-    ) {
+/// Soundness of batch skipping: if a batch is skipped for a filter,
+/// no row in it matches the filter.
+#[test]
+fn stats_skipping_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_2005);
+    for _ in 0..64 {
+        let len = rng.random_range(1usize..200);
+        let values: Vec<i64> = (0..len).map(|_| rng.random_range(-100i64..100)).collect();
+        let threshold = rng.random_range(-120i64..120);
         let schema = Arc::new(Schema::new(vec![StructField::new("x", DataType::Long, false)]));
         let rows: Vec<Row> = values.iter().map(|&v| Row::new(vec![Value::Long(v)])).collect();
         let batches = batch_rows(schema, &rows, 16);
@@ -102,29 +144,41 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(matched_in_skipped, 0, "filter #{} skipped a matching batch", fi);
+            assert_eq!(matched_in_skipped, 0, "filter #{fi} skipped a matching batch");
         }
     }
+}
 
-    /// Multi-column batches preserve row alignment.
-    #[test]
-    fn batch_alignment(data in proptest::collection::vec((any::<i64>(), "[a-c]{1,2}", any::<bool>()), 0..150)) {
+/// Multi-column batches preserve row alignment.
+#[test]
+fn batch_alignment() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_2006);
+    for _ in 0..64 {
+        let len = rng.random_range(0usize..150);
         let schema = Arc::new(Schema::new(vec![
             StructField::new("n", DataType::Long, false),
             StructField::new("s", DataType::String, false),
             StructField::new("b", DataType::Boolean, false),
         ]));
-        let rows: Vec<Row> = data
-            .iter()
-            .map(|(n, s, b)| Row::new(vec![Value::Long(*n), Value::str(s), Value::Boolean(*b)]))
+        let rows: Vec<Row> = (0..len)
+            .map(|_| {
+                let s: String = (0..rng.random_range(1usize..3))
+                    .map(|_| char::from(rng.random_range(b'a'..b'd')))
+                    .collect();
+                Row::new(vec![
+                    Value::Long(rng.next_u64() as i64),
+                    Value::str(&s),
+                    Value::Boolean(rng.random_bool(0.5)),
+                ])
+            })
             .collect();
         let batch = ColumnarBatch::from_rows(schema, &rows);
-        prop_assert_eq!(batch.decode(None), rows.clone());
+        assert_eq!(batch.decode(None), rows);
         // Projection keeps alignment too.
         let projected = batch.decode(Some(&[2, 0]));
         for (p, r) in projected.iter().zip(&rows) {
-            prop_assert_eq!(p.get(0), r.get(2));
-            prop_assert_eq!(p.get(1), r.get(0));
+            assert_eq!(p.get(0), r.get(2));
+            assert_eq!(p.get(1), r.get(0));
         }
     }
 }

@@ -6,6 +6,8 @@ use crate::cache::CachedRelation;
 use crate::conf::SqlConf;
 use crate::dataframe::DataFrame;
 use crate::execution::{execute, ExecContext};
+use crate::io::DataFrameReader;
+use crate::query_execution::QueryLogEntry;
 use crate::rdd_table::RddTable;
 use crate::record::Record;
 use catalyst::analysis::{Analyzer, Catalog, FunctionRegistry, SimpleCatalog};
@@ -21,7 +23,7 @@ use catalyst::types::DataType;
 use catalyst::udt::UdtRegistry;
 use catalyst::value::Value;
 use catalyst::optimizer::Optimizer;
-use datasources::{CsvOptions, CsvRelation, DataSourceRegistry, JsonRelation, Options};
+use datasources::{CsvOptions, DataSourceRegistry, JsonRelation, Options};
 use engine::{RddRef, SparkContext};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -37,6 +39,8 @@ struct CtxInner {
     optimizer: Mutex<Optimizer>,
     /// Plans saved by `CACHE TABLE` so `UNCACHE` can restore them.
     uncached_plans: Mutex<std::collections::HashMap<String, LogicalPlan>>,
+    /// Instrumented runs recorded by `QueryExecution::collect`.
+    query_log: Mutex<Vec<QueryLogEntry>>,
 }
 
 /// A Spark SQL session.
@@ -59,6 +63,7 @@ impl SQLContext {
                 strategies: RwLock::new(Vec::new()),
                 optimizer: Mutex::new(Optimizer::new()),
                 uncached_plans: Mutex::new(std::collections::HashMap::new()),
+                query_log: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -131,8 +136,34 @@ impl SQLContext {
     /// Full pipeline: analyzed plan → engine RDD.
     pub fn execute_plan(&self, analyzed: &LogicalPlan) -> Result<RddRef<Row>> {
         let (_, physical) = self.plan_query(analyzed)?;
-        let ctx = ExecContext { sc: self.inner.sc.clone(), conf: self.conf() };
+        let ctx = ExecContext::new(self.inner.sc.clone(), self.conf());
         execute(&physical, &ctx)
+    }
+
+    // ---- query log ----
+
+    /// Record one instrumented run (called by `QueryExecution::collect`).
+    pub(crate) fn log_query(&self, entry: QueryLogEntry) {
+        self.inner.query_log.lock().push(entry);
+    }
+
+    /// Snapshot of the session query log: one entry per instrumented run
+    /// (`collect` on a `QueryExecution`, or `explain_analyze`).
+    pub fn query_log(&self) -> Vec<QueryLogEntry> {
+        self.inner.query_log.lock().clone()
+    }
+
+    /// Drop every recorded query log entry.
+    pub fn clear_query_log(&self) {
+        self.inner.query_log.lock().clear();
+    }
+
+    /// The query log rendered as a JSON array, for dumping from
+    /// benchmark harnesses.
+    pub fn query_log_json(&self) -> String {
+        let entries: Vec<String> =
+            self.inner.query_log.lock().iter().map(QueryLogEntry::to_json).collect();
+        format!("[{}]", entries.join(","))
     }
 
     // ---- SQL ----
@@ -303,22 +334,35 @@ impl SQLContext {
         self.dataframe(scan_plan(Arc::new(rel)))
     }
 
-    /// Read a JSON file.
+    /// Start a builder-style read:
+    /// `ctx.read().format("csv").option("header", "true").load(path)`.
+    pub fn read(&self) -> DataFrameReader {
+        DataFrameReader::new(self.clone())
+    }
+
+    /// Read a JSON file (shorthand for `read().format("json")`).
     pub fn read_json(&self, path: &str) -> Result<DataFrame> {
-        let rel = JsonRelation::from_path(path, 2)?;
-        self.dataframe(scan_plan(Arc::new(rel)))
+        self.read().format("json").load(path)
     }
 
-    /// Read a CSV file.
+    /// Read a CSV file (shorthand for `read().format("csv")` with the
+    /// options spelled out).
     pub fn read_csv(&self, path: &str, options: &CsvOptions) -> Result<DataFrame> {
-        let rel = CsvRelation::from_path(path, options)?;
-        self.dataframe(scan_plan(Arc::new(rel)))
+        let mut reader = self
+            .read()
+            .format("csv")
+            .option("delimiter", options.delimiter)
+            .option("header", options.header)
+            .option("partitions", options.num_partitions);
+        if let Some(schema) = &options.schema {
+            reader = reader.schema(schema);
+        }
+        reader.load(path)
     }
 
-    /// Read a colfile (Parquet stand-in).
+    /// Read a colfile (Parquet stand-in; the default `read()` format).
     pub fn read_colfile(&self, path: &str) -> Result<DataFrame> {
-        let rel = datasources::ColFileRelation::from_path(path)?;
-        self.dataframe(scan_plan(Arc::new(rel)))
+        self.read().load(path)
     }
 
     /// Open a relation through the provider registry (`USING` names).

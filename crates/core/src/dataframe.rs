@@ -254,6 +254,20 @@ impl DataFrame {
         ))
     }
 
+    /// An observability handle over this query: analyzed/optimized/
+    /// physical plans plus a per-operator metrics registry that fills in
+    /// when the handle executes.
+    pub fn query_execution(&self) -> Result<crate::query_execution::QueryExecution> {
+        crate::query_execution::QueryExecution::new(self.ctx.clone(), self.plan.clone())
+    }
+
+    /// Run the query and render the physical plan annotated with actual
+    /// row counts, per-operator times, and shuffle volume — the paper's
+    /// Figure 8/9 measurements attached to individual operators.
+    pub fn explain_analyze(&self) -> Result<String> {
+        self.query_execution()?.explain_analyze()
+    }
+
     /// Names of the optimizer rules that fired for this plan, in order.
     pub fn optimizer_trace(&self) -> Vec<String> {
         self.ctx
@@ -263,23 +277,25 @@ impl DataFrame {
             .collect()
     }
 
+    /// Start a builder-style write:
+    /// `df.write().format("csv").mode(SaveMode::Overwrite).save(path)`.
+    pub fn write(&self) -> crate::io::DataFrameWriter {
+        crate::io::DataFrameWriter::new(self.clone())
+    }
+
     /// Write the result as a colfile (Parquet stand-in).
+    #[deprecated(note = "use df.write().option(\"rows_per_group\", n).save(path)")]
     pub fn save_as_colfile(&self, path: &str, rows_per_group: usize) -> Result<()> {
-        let rows = self.collect()?;
-        datasources::colfile::ColFileRelation::write_path(
-            path,
-            &self.schema(),
-            &rows,
-            rows_per_group,
-        )
+        self.write()
+            .option("rows_per_group", rows_per_group)
+            .mode(crate::io::SaveMode::Overwrite)
+            .save(path)
     }
 
     /// Write the result as CSV.
+    #[deprecated(note = "use df.write().format(\"csv\").save(path)")]
     pub fn save_as_csv(&self, path: &str) -> Result<()> {
-        let rows = self.collect()?;
-        let text = datasources::csv::rows_to_csv(&self.schema(), &rows, ',');
-        std::fs::write(path, text)
-            .map_err(|e| catalyst::CatalystError::DataSource(format!("write '{path}': {e}")))
+        self.write().format("csv").mode(crate::io::SaveMode::Overwrite).save(path)
     }
 }
 

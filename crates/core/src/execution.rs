@@ -13,6 +13,7 @@ use catalyst::codegen;
 use catalyst::error::{CatalystError, Result};
 use catalyst::expr::{AggFunc, ColumnRef, Expr, SortOrder};
 use catalyst::interpreter::{self, bind_references};
+use catalyst::physical::metrics::{subtree_size, OperatorMetrics, PlanMetrics};
 use catalyst::physical::{BuildSide, PhysicalPlan};
 use catalyst::plan::JoinType;
 use catalyst::row::Row;
@@ -21,6 +22,7 @@ use catalyst::types::DataType;
 use catalyst::value::Value;
 use engine::{HashPartitioner, PairRdd, RddRef, SparkContext};
 use std::cmp::Ordering;
+use std::time::Instant;
 
 fn engine_err(e: engine::EngineError) -> CatalystError {
     CatalystError::Internal(format!("execution failed: {e}"))
@@ -34,6 +36,68 @@ pub struct ExecContext {
     pub sc: SparkContext,
     /// Session configuration.
     pub conf: SqlConf,
+    /// Per-operator metrics registry, indexed by pre-order node id.
+    /// `None` runs uninstrumented (no metering wrappers at all).
+    pub metrics: Option<Arc<PlanMetrics>>,
+}
+
+impl ExecContext {
+    /// An uninstrumented execution context.
+    pub fn new(sc: SparkContext, conf: SqlConf) -> Self {
+        ExecContext { sc, conf, metrics: None }
+    }
+
+    /// An instrumented context recording into `metrics`.
+    pub fn instrumented(sc: SparkContext, conf: SqlConf, metrics: Arc<PlanMetrics>) -> Self {
+        ExecContext { sc, conf, metrics: Some(metrics) }
+    }
+}
+
+/// Partition iterator that counts rows and the wall time spent producing
+/// them, flushing into an [`OperatorMetrics`] slot when dropped. Time is
+/// accumulated around `next()` only, so pipelined *downstream* work is
+/// excluded while upstream operators of the same stage are included —
+/// matching how per-operator times read in Spark's SQL UI.
+struct MeteredIter {
+    inner: engine::BoxIter<Row>,
+    node: Arc<OperatorMetrics>,
+    rows: u64,
+    elapsed_ns: u64,
+}
+
+impl Iterator for MeteredIter {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        let t0 = Instant::now();
+        let item = self.inner.next();
+        self.elapsed_ns += t0.elapsed().as_nanos() as u64;
+        if item.is_some() {
+            self.rows += 1;
+        }
+        item
+    }
+}
+
+impl Drop for MeteredIter {
+    fn drop(&mut self) {
+        self.node.add_rows(self.rows);
+        self.node.add_elapsed_ns(self.elapsed_ns);
+    }
+}
+
+/// Wrap an operator's output RDD so every partition records rows/time.
+fn metered(rdd: &RddRef<Row>, node: Arc<OperatorMetrics>) -> RddRef<Row> {
+    rdd.map_partitions(move |it| {
+        Box::new(MeteredIter { inner: it, node: node.clone(), rows: 0, elapsed_ns: 0 })
+    })
+}
+
+/// Credit driver-side (eager) work to a node's elapsed time.
+fn note_eager_ns(ctx: &ExecContext, id: usize, start: Instant) {
+    if let Some(pm) = &ctx.metrics {
+        pm.node(id).add_elapsed_ns(start.elapsed().as_nanos() as u64);
+    }
 }
 
 type RowFn = Arc<dyn Fn(&Row) -> Row + Send + Sync>;
@@ -293,6 +357,31 @@ fn finish_acc(acc: Acc) -> Value {
 
 /// Execute a physical plan into an RDD of rows.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
+    execute_node(plan, 0, ctx)
+}
+
+/// Lower one node (pre-order id `id`), then — when instrumented — claim
+/// the shuffles its lowering allocated and wrap its output with metering.
+///
+/// Children claim their shuffle ids before the parent inspects the
+/// enclosing window, so each shuffle lands on the operator that induced
+/// the exchange (sort, aggregate, shuffled join, distinct).
+fn execute_node(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row>> {
+    let shuffles_before = ctx.sc.current_shuffle_id();
+    let rdd = lower(plan, id, ctx)?;
+    match &ctx.metrics {
+        Some(pm) => {
+            let node = pm.node(id);
+            for sid in pm.claim_shuffles(shuffles_before..ctx.sc.current_shuffle_id()) {
+                node.add_shuffle_id(sid);
+            }
+            Ok(metered(&rdd, node))
+        }
+        None => Ok(rdd),
+    }
+}
+
+fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row>> {
     match plan {
         PhysicalPlan::Scan { relation, projection, pushed_filters, residual, output } => {
             let relation = relation.clone();
@@ -329,23 +418,23 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
         }
 
         PhysicalPlan::Project { input, exprs } => {
-            let child = execute(input, ctx)?;
+            let child = execute_node(input, id + 1, ctx)?;
             let f = projector(exprs, &input.output(), ctx.conf.codegen_enabled)?;
             Ok(child.map(move |row| f(&row)))
         }
 
         PhysicalPlan::Filter { input, predicate: pred_expr } => {
-            let child = execute(input, ctx)?;
+            let child = execute_node(input, id + 1, ctx)?;
             let pred = predicate(pred_expr, &input.output(), ctx.conf.codegen_enabled)?;
             Ok(child.filter(move |row| pred(row)))
         }
 
         PhysicalPlan::HashAggregate { input, groupings, output_exprs } => {
-            execute_aggregate(input, groupings, output_exprs, ctx)
+            execute_aggregate(input, groupings, output_exprs, id, ctx)
         }
 
         PhysicalPlan::Sort { input, orders } => {
-            let child = execute(input, ctx)?;
+            let child = execute_node(input, id + 1, ctx)?;
             let bound = bind_all(
                 &orders.iter().map(|o| o.expr.clone()).collect::<Vec<_>>(),
                 &input.output(),
@@ -363,7 +452,8 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
         }
 
         PhysicalPlan::TakeOrdered { input, orders, n } => {
-            let child = execute(input, ctx)?;
+            let child = execute_node(input, id + 1, ctx)?;
+            let eager_start = Instant::now();
             let bound = bind_all(
                 &orders.iter().map(|o| o.expr.clone()).collect::<Vec<_>>(),
                 &input.output(),
@@ -388,11 +478,12 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
             let mut all: Vec<(SortKey, Row)> = tops.into_iter().flatten().collect();
             all.sort_by(|a, b| a.0.cmp(&b.0));
             all.truncate(n);
+            note_eager_ns(ctx, id, eager_start);
             Ok(ctx.sc.parallelize(all.into_iter().map(|(_, r)| r).collect(), 1))
         }
 
         PhysicalPlan::Limit { input, n } => {
-            let child = execute(input, ctx)?;
+            let child = execute_node(input, id + 1, ctx)?;
             let n = *n;
             let local = child.map_partitions(move |it| Box::new(it.take(n)));
             let single = local.coalesce(1);
@@ -408,15 +499,15 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
             build_side,
             residual,
         } => execute_broadcast_join(
-            left, right, left_keys, right_keys, *join_type, *build_side, residual, plan, ctx,
+            left, right, left_keys, right_keys, *join_type, *build_side, residual, plan, id, ctx,
         ),
 
         PhysicalPlan::ShuffledHashJoin { left, right, left_keys, right_keys, join_type, residual } => {
-            execute_shuffled_join(left, right, left_keys, right_keys, *join_type, residual, plan, ctx)
+            execute_shuffled_join(left, right, left_keys, right_keys, *join_type, residual, plan, id, ctx)
         }
 
         PhysicalPlan::NestedLoopJoin { left, right, condition, join_type } => {
-            execute_nested_loop_join(left, right, condition, *join_type, plan, ctx)
+            execute_nested_loop_join(left, right, condition, *join_type, plan, id, ctx)
         }
 
         PhysicalPlan::Union { inputs } => {
@@ -424,26 +515,33 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
             let first = it
                 .next()
                 .ok_or_else(|| CatalystError::Internal("empty union".into()))?;
-            let mut rdd = execute(first, ctx)?;
+            let mut child_id = id + 1;
+            let mut rdd = execute_node(first, child_id, ctx)?;
+            child_id += subtree_size(first);
             for i in it {
-                rdd = rdd.union(&execute(i, ctx)?);
+                rdd = rdd.union(&execute_node(i, child_id, ctx)?);
+                child_id += subtree_size(i);
             }
             Ok(rdd)
         }
 
         PhysicalPlan::Sample { input, fraction, seed } => {
-            Ok(execute(input, ctx)?.sample(*fraction, *seed))
+            Ok(execute_node(input, id + 1, ctx)?.sample(*fraction, *seed))
         }
 
         PhysicalPlan::Extension { exec, children } => {
             let mut child_data = Vec::with_capacity(children.len());
+            let mut child_id = id + 1;
             for c in children {
-                let rdd = execute(c, ctx)?;
+                let rdd = execute_node(c, child_id, ctx)?;
+                child_id += subtree_size(c);
                 let partitions: Vec<Vec<Row>> =
                     rdd.run_job(|_, it| it.collect()).map_err(engine_err)?;
                 child_data.push(partitions);
             }
+            let eager_start = Instant::now();
             let out = exec.execute(child_data)?;
+            note_eager_ns(ctx, id, eager_start);
             let out = Arc::new(out);
             let n = out.len().max(1);
             Ok(ctx.sc.generate(n, move |p| match out.get(p) {
@@ -807,10 +905,11 @@ fn execute_aggregate(
     input: &Arc<PhysicalPlan>,
     groupings: &[Expr],
     output_exprs: &[Expr],
+    id: usize,
     ctx: &ExecContext,
 ) -> Result<RddRef<Row>> {
     let input_attrs = input.output();
-    let child = execute(input, ctx)?;
+    let child = execute_node(input, id + 1, ctx)?;
 
     // Unique aggregate calls appearing anywhere in the output list.
     let mut agg_exprs: Vec<Expr> = Vec::new();
@@ -920,6 +1019,7 @@ fn execute_aggregate(
     if groupings.is_empty() {
         // Global aggregate: partials per partition, merged on the driver —
         // correct even over an empty input (COUNT(*) = 0).
+        let eager_start = Instant::now();
         let calls_for_job = calls.clone();
         let partials = child.run_job(move |_, it| {
             let mut accs: Vec<Acc> = calls_for_job.iter().map(AggCall::init).collect();
@@ -937,6 +1037,7 @@ fn execute_aggregate(
             })
             .unwrap_or_else(|| calls.iter().map(AggCall::init).collect());
         let row = finish_rows(Row::empty(), merged);
+        note_eager_ns(ctx, id, eager_start);
         return Ok(ctx.sc.parallelize(vec![row], 1));
     }
 
@@ -1012,6 +1113,7 @@ fn execute_broadcast_join(
     build_side: BuildSide,
     residual: &Option<Expr>,
     join_plan: &PhysicalPlan,
+    id: usize,
     ctx: &ExecContext,
 ) -> Result<RddRef<Row>> {
     let left_attrs = left.output();
@@ -1023,29 +1125,46 @@ fn execute_broadcast_join(
         None => None,
     };
 
-    let (build_plan, build_keys, stream_plan, stream_keys, build_is_left) = match build_side {
-        BuildSide::Right => (right, bound_right_keys, left, bound_left_keys, false),
-        BuildSide::Left => (left, bound_left_keys, right, bound_right_keys, true),
-    };
+    let left_id = id + 1;
+    let right_id = left_id + subtree_size(left);
+    let (build_plan, build_keys, build_id, stream_plan, stream_keys, stream_id, build_is_left) =
+        match build_side {
+            BuildSide::Right => {
+                (right, bound_right_keys, right_id, left, bound_left_keys, left_id, false)
+            }
+            BuildSide::Left => {
+                (left, bound_left_keys, left_id, right, bound_right_keys, right_id, true)
+            }
+        };
     let build_width = build_plan.output().len();
 
     // Build and broadcast the hash table (a separate job, like Spark's
     // broadcast exchange).
-    let build_rows = execute(build_plan, ctx)?.try_collect().map_err(engine_err)?;
+    let build_rdd = execute_node(build_plan, build_id, ctx)?;
+    let eager_start = Instant::now();
+    let build_rows = build_rdd.try_collect().map_err(engine_err)?;
     let mut table: HashMap<Row, Vec<Row>> = HashMap::new();
     let mut bytes = 0u64;
+    let mut build_count = 0u64;
     for row in build_rows {
         if let Some(k) = join_key(&build_keys, &row) {
             bytes += row.approx_bytes();
+            build_count += 1;
             table.entry(k).or_default().push(row);
         }
     }
     let broadcast = ctx.sc.broadcast(table, bytes as usize);
     let table = broadcast.value_arc();
+    note_eager_ns(ctx, id, eager_start);
+    if let Some(pm) = &ctx.metrics {
+        let node = pm.node(id);
+        node.add_extra("build_rows", build_count);
+        node.add_extra("build_bytes", bytes);
+    }
 
     // Stream-side probe. The stream side is the outer-preserved side (the
     // planner guarantees this).
-    let stream = execute(stream_plan, ctx)?;
+    let stream = execute_node(stream_plan, stream_id, ctx)?;
     let preserve_unmatched = matches!(
         (join_type, build_is_left),
         (JoinType::Left, false) | (JoinType::Right, true)
@@ -1088,6 +1207,7 @@ fn execute_shuffled_join(
     join_type: JoinType,
     residual: &Option<Expr>,
     join_plan: &PhysicalPlan,
+    id: usize,
     ctx: &ExecContext,
 ) -> Result<RddRef<Row>> {
     let left_attrs = left.output();
@@ -1101,13 +1221,15 @@ fn execute_shuffled_join(
     let left_width = left_attrs.len();
     let right_width = right_attrs.len();
 
+    let left_id = id + 1;
+    let right_id = left_id + subtree_size(left);
     let partitions = ctx.conf.shuffle_partitions;
     // Key both sides; NULL keys keep a sentinel so outer rows survive the
     // shuffle (they can never match — Option<Row> keys, None = NULL).
-    let lkeyed = execute(left, ctx)?
+    let lkeyed = execute_node(left, left_id, ctx)?
         .map(move |row| (join_key(&bound_left_keys, &row), row))
         .partition_by(Arc::new(HashPartitioner::new(partitions)));
-    let rkeyed = execute(right, ctx)?
+    let rkeyed = execute_node(right, right_id, ctx)?
         .map(move |row| (join_key(&bound_right_keys, &row), row))
         .partition_by(Arc::new(HashPartitioner::new(partitions)));
 
@@ -1162,6 +1284,7 @@ fn execute_nested_loop_join(
     condition: &Option<Expr>,
     join_type: JoinType,
     join_plan: &PhysicalPlan,
+    id: usize,
     ctx: &ExecContext,
 ) -> Result<RddRef<Row>> {
     if matches!(join_type, JoinType::Right | JoinType::Full) {
@@ -1174,9 +1297,13 @@ fn execute_nested_loop_join(
         Some(c) => Some(predicate(c, &join_plan.output(), ctx.conf.codegen_enabled)?),
         None => None,
     };
+    let left_id = id + 1;
+    let right_id = left_id + subtree_size(left);
     let right_width = right.output().len();
-    let right_rows = Arc::new(execute(right, ctx)?.try_collect().map_err(engine_err)?);
-    let stream = execute(left, ctx)?;
+    let eager_start = Instant::now();
+    let right_rows = Arc::new(execute_node(right, right_id, ctx)?.try_collect().map_err(engine_err)?);
+    note_eager_ns(ctx, id, eager_start);
+    let stream = execute_node(left, left_id, ctx)?;
     Ok(stream.flat_map(move |lrow| {
         let mut out = Vec::new();
         for rrow in right_rows.iter() {

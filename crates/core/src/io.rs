@@ -1,0 +1,166 @@
+//! The unified reader/writer API (§4.4.1's user-facing face): Spark's
+//! `ctx.read().format("csv").option("header", "true").load(path)` and
+//! `df.write().format("parquet").mode(Overwrite).save(path)` builders.
+//!
+//! [`DataFrameReader`] dispatches through the session's
+//! [`datasources::DataSourceRegistry`], so every provider reachable from
+//! SQL `USING` clauses — including user-registered ones — is reachable
+//! from the builder with the same option names. A user-supplied schema
+//! travels as the `schema` option in DDL form (`"a INT, b STRING"`).
+
+use crate::context::SQLContext;
+use crate::dataframe::DataFrame;
+use catalyst::error::{CatalystError, Result};
+use catalyst::schema::Schema;
+use datasources::{schema_to_ddl, Options};
+use std::path::Path;
+
+/// Builder for reading a data source into a [`DataFrame`].
+///
+/// Created by [`SQLContext::read`]. The default format is `colfile`
+/// (this codebase's Parquet stand-in, mirroring Spark's Parquet
+/// default).
+#[derive(Clone)]
+pub struct DataFrameReader {
+    ctx: SQLContext,
+    format: String,
+    options: Options,
+}
+
+impl DataFrameReader {
+    pub(crate) fn new(ctx: SQLContext) -> DataFrameReader {
+        DataFrameReader { ctx, format: "colfile".into(), options: Options::new() }
+    }
+
+    /// Select the provider, by registry name (`csv`, `json`, `colfile`,
+    /// `parquet`, `jdbc`, or anything user-registered).
+    pub fn format(mut self, format: &str) -> Self {
+        self.format = format.to_string();
+        self
+    }
+
+    /// Set one provider option (same names as SQL `OPTIONS(…)`).
+    pub fn option(mut self, key: &str, value: impl ToString) -> Self {
+        self.options.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Merge several provider options.
+    pub fn options<K: ToString, V: ToString>(
+        mut self,
+        options: impl IntoIterator<Item = (K, V)>,
+    ) -> Self {
+        for (k, v) in options {
+            self.options.insert(k.to_string(), v.to_string());
+        }
+        self
+    }
+
+    /// Supply the schema instead of inferring it (providers that infer,
+    /// like CSV, skip inference when this is set).
+    pub fn schema(self, schema: &Schema) -> Self {
+        self.option("schema", schema_to_ddl(schema))
+    }
+
+    /// Open `path` with the selected provider and options.
+    pub fn load(self, path: &str) -> Result<DataFrame> {
+        self.option("path", path).load_source()
+    }
+
+    /// Open a source that needs no path (e.g. `jdbc`), from the options
+    /// alone.
+    pub fn load_source(self) -> Result<DataFrame> {
+        self.ctx.read_source(&self.format, &self.options)
+    }
+}
+
+/// What [`DataFrameWriter::save`] does when the target already exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SaveMode {
+    /// Fail if the target path exists (the default).
+    #[default]
+    ErrorIfExists,
+    /// Replace the target path.
+    Overwrite,
+}
+
+/// Builder for writing a [`DataFrame`] out to storage.
+///
+/// Created by [`DataFrame::write`]. Formats: `csv` (option `delimiter`)
+/// and `colfile`/`parquet` (option `rows_per_group`).
+#[derive(Clone)]
+pub struct DataFrameWriter {
+    df: DataFrame,
+    format: String,
+    mode: SaveMode,
+    options: Options,
+}
+
+impl DataFrameWriter {
+    pub(crate) fn new(df: DataFrame) -> DataFrameWriter {
+        DataFrameWriter {
+            df,
+            format: "colfile".into(),
+            mode: SaveMode::default(),
+            options: Options::new(),
+        }
+    }
+
+    /// Select the output format: `csv`, `colfile`, or `parquet`.
+    pub fn format(mut self, format: &str) -> Self {
+        self.format = format.to_string();
+        self
+    }
+
+    /// Set one writer option.
+    pub fn option(mut self, key: &str, value: impl ToString) -> Self {
+        self.options.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// What to do when the target exists.
+    pub fn mode(mut self, mode: SaveMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Execute the query and write the result to `path`.
+    pub fn save(self, path: &str) -> Result<()> {
+        if self.mode == SaveMode::ErrorIfExists && Path::new(path).exists() {
+            return Err(CatalystError::DataSource(format!(
+                "path '{path}' already exists (use SaveMode::Overwrite to replace it)"
+            )));
+        }
+        let rows = self.df.collect()?;
+        let schema = self.df.schema();
+        match self.format.to_ascii_lowercase().as_str() {
+            "csv" => {
+                let delimiter = self
+                    .options
+                    .get("delimiter")
+                    .and_then(|d| d.chars().next())
+                    .unwrap_or(',');
+                let text = datasources::csv::rows_to_csv(&schema, &rows, delimiter);
+                std::fs::write(path, text).map_err(|e| {
+                    CatalystError::DataSource(format!("write '{path}': {e}"))
+                })
+            }
+            "colfile" | "parquet" => {
+                let rows_per_group = self
+                    .options
+                    .get("rows_per_group")
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or(1024);
+                datasources::colfile::ColFileRelation::write_path(
+                    path,
+                    &schema,
+                    &rows,
+                    rows_per_group,
+                )
+            }
+            other => Err(CatalystError::DataSource(format!(
+                "unknown write format '{other}'; known: [csv, colfile, parquet]"
+            ))),
+        }
+    }
+}

@@ -40,18 +40,24 @@ pub mod conf;
 pub mod context;
 pub mod dataframe;
 pub mod execution;
+pub mod io;
+pub mod query_execution;
 pub mod rdd_table;
 pub mod record;
 
 pub use conf::SqlConf;
 pub use context::SQLContext;
 pub use dataframe::{DataFrame, GroupedData};
+pub use io::{DataFrameReader, DataFrameWriter, SaveMode};
+pub use query_execution::{OperatorLogEntry, QueryExecution, QueryLogEntry};
 
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::conf::SqlConf;
     pub use crate::context::SQLContext;
     pub use crate::dataframe::DataFrame;
+    pub use crate::io::{DataFrameReader, DataFrameWriter, SaveMode};
+    pub use crate::query_execution::QueryExecution;
     pub use crate::record;
     pub use crate::record::Record;
     pub use catalyst::expr::builders::{

@@ -1,0 +1,274 @@
+//! Programmatic query observability: [`QueryExecution`] exposes the
+//! analyzed, optimized, and physical plans of one query together with a
+//! live per-operator metrics registry, and every instrumented run appends
+//! a [`QueryLogEntry`] to the session's query log.
+//!
+//! This is the machinery behind `DataFrame::explain_analyze()`: the query
+//! runs with a [`PlanMetrics`] registry threaded through lowering, then
+//! the physical tree is rendered with actual row counts and times — the
+//! measurement methodology of the paper's Figures 8 and 9, but attached
+//! to individual operators instead of whole queries.
+
+use crate::context::SQLContext;
+use crate::execution::{execute, ExecContext};
+use catalyst::error::Result;
+use catalyst::physical::metrics::{format_ns, render_annotated, PlanMetrics};
+use catalyst::physical::PhysicalPlan;
+use catalyst::plan::LogicalPlan;
+use catalyst::row::Row;
+use catalyst::CatalystError;
+use engine::RddRef;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One query's compilation pipeline plus its execution metrics.
+///
+/// Obtained from `DataFrame::query_execution()`. Holding the handle, you
+/// can inspect every plan stage before running anything, execute with
+/// instrumentation via [`QueryExecution::collect`], and read per-operator
+/// actuals from [`QueryExecution::metrics`] afterwards. Metrics are
+/// cumulative across repeated executions of the same handle.
+pub struct QueryExecution {
+    ctx: SQLContext,
+    analyzed: LogicalPlan,
+    optimized: LogicalPlan,
+    physical: PhysicalPlan,
+    metrics: Arc<PlanMetrics>,
+}
+
+impl QueryExecution {
+    pub(crate) fn new(ctx: SQLContext, analyzed: LogicalPlan) -> Result<QueryExecution> {
+        let (optimized, physical) = ctx.plan_query(&analyzed)?;
+        let metrics = PlanMetrics::for_plan(&physical);
+        Ok(QueryExecution { ctx, analyzed, optimized, physical, metrics })
+    }
+
+    /// The analyzed logical plan (names resolved, types checked).
+    pub fn analyzed(&self) -> &LogicalPlan {
+        &self.analyzed
+    }
+
+    /// The optimized logical plan.
+    pub fn optimized(&self) -> &LogicalPlan {
+        &self.optimized
+    }
+
+    /// The physical plan the metrics registry is shaped after.
+    pub fn physical(&self) -> &PhysicalPlan {
+        &self.physical
+    }
+
+    /// Per-operator metrics, indexed by pre-order node id. Zero until an
+    /// output operation on this handle runs.
+    pub fn metrics(&self) -> Arc<PlanMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Lower the physical plan to an engine RDD with instrumentation
+    /// attached: every operator meters rows and time into
+    /// [`QueryExecution::metrics`] when the RDD executes.
+    pub fn to_rdd(&self) -> Result<RddRef<Row>> {
+        let ctx = ExecContext::instrumented(
+            self.ctx.spark_context().clone(),
+            self.ctx.conf(),
+            self.metrics.clone(),
+        );
+        execute(&self.physical, &ctx)
+    }
+
+    /// Execute, gather all rows, and record the run: operator metrics
+    /// fill in, engine shuffle volume is attributed to the operators
+    /// that induced each exchange, and a [`QueryLogEntry`] is appended
+    /// to the session query log.
+    pub fn collect(&self) -> Result<Vec<Row>> {
+        let start = Instant::now();
+        let rows = self.to_rdd()?.try_collect().map_err(|e| {
+            CatalystError::Internal(format!("execution failed: {e}"))
+        })?;
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        self.attribute_shuffle_stats();
+        self.ctx.log_query(self.log_entry(wall_ns, rows.len() as u64));
+        Ok(rows)
+    }
+
+    /// Run the query and render the physical tree annotated with actual
+    /// rows and times per operator — `EXPLAIN ANALYZE`.
+    pub fn explain_analyze(&self) -> Result<String> {
+        let rows = self.collect()?;
+        let mut out = String::from("== Physical Plan (executed) ==\n");
+        out.push_str(&render_annotated(&self.physical, &self.metrics));
+        let entry = self.ctx.query_log().pop();
+        let wall = entry.map(|e| e.wall_ns).unwrap_or(0);
+        out.push_str(&format!(
+            "== Totals ==\noutput rows: {}, wall time: {}\n",
+            rows.len(),
+            format_ns(wall),
+        ));
+        Ok(out)
+    }
+
+    /// Copy engine-side per-shuffle I/O counters onto the operators that
+    /// allocated each shuffle during lowering, as `shuffle_*` extras.
+    fn attribute_shuffle_stats(&self) {
+        let em = self.ctx.spark_context().metrics();
+        for id in 0..self.metrics.len() {
+            let node = self.metrics.node(id);
+            let sids = node.shuffle_ids();
+            if sids.is_empty() {
+                continue;
+            }
+            let (mut written, mut bytes, mut read) = (0u64, 0u64, 0u64);
+            for sid in sids {
+                let s = em.shuffle_stats(sid);
+                written += s.records_written;
+                bytes += s.bytes_written;
+                read += s.records_read;
+            }
+            node.set_extra("shuffle_records_written", written);
+            node.set_extra("shuffle_bytes_written", bytes);
+            node.set_extra("shuffle_records_read", read);
+        }
+    }
+
+    fn log_entry(&self, wall_ns: u64, output_rows: u64) -> QueryLogEntry {
+        let mut names = Vec::new();
+        preorder_descriptions(&self.physical, &mut names);
+        let operators = names
+            .into_iter()
+            .enumerate()
+            .map(|(id, operator)| {
+                let m = self.metrics.node(id);
+                OperatorLogEntry {
+                    id,
+                    operator,
+                    rows: m.output_rows(),
+                    elapsed_ns: m.elapsed_ns(),
+                    extras: m.extras().into_iter().collect(),
+                }
+            })
+            .collect();
+        QueryLogEntry {
+            query: self.optimized.node_description(),
+            wall_ns,
+            output_rows,
+            operators,
+        }
+    }
+}
+
+fn preorder_descriptions(plan: &PhysicalPlan, out: &mut Vec<String>) {
+    out.push(plan.node_description());
+    for child in plan.children() {
+        preorder_descriptions(&child, out);
+    }
+}
+
+/// One instrumented query run, as recorded in the session query log.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    /// Root description of the optimized logical plan.
+    pub query: String,
+    /// End-to-end wall time of the run (driver side).
+    pub wall_ns: u64,
+    /// Rows the query returned.
+    pub output_rows: u64,
+    /// Per-operator actuals, in pre-order over the physical plan.
+    pub operators: Vec<OperatorLogEntry>,
+}
+
+/// Actuals of one physical operator within a [`QueryLogEntry`].
+#[derive(Debug, Clone)]
+pub struct OperatorLogEntry {
+    /// Pre-order node id in the physical plan.
+    pub id: usize,
+    /// Operator description, e.g. `HashAggregate [..]`.
+    pub operator: String,
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Time spent producing them, summed across partitions.
+    pub elapsed_ns: u64,
+    /// Named side metrics (build sizes, shuffle volume, …).
+    pub extras: Vec<(String, u64)>,
+}
+
+impl QueryLogEntry {
+    /// Render this entry as a JSON object (no external dependencies).
+    pub fn to_json(&self) -> String {
+        let ops: Vec<String> = self
+            .operators
+            .iter()
+            .map(|op| {
+                let extras: Vec<String> = op
+                    .extras
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", json_string(k), v))
+                    .collect();
+                format!(
+                    "{{\"id\":{},\"operator\":{},\"rows\":{},\"elapsed_ns\":{},\"extras\":{{{}}}}}",
+                    op.id,
+                    json_string(&op.operator),
+                    op.rows,
+                    op.elapsed_ns,
+                    extras.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"query\":{},\"wall_ns\":{},\"output_rows\":{},\"operators\":[{}]}}",
+            json_string(&self.query),
+            self.wall_ns,
+            self.output_rows,
+            ops.join(",")
+        )
+    }
+}
+
+/// Escape `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn log_entry_renders_json() {
+        let entry = QueryLogEntry {
+            query: "Project [a]".into(),
+            wall_ns: 1200,
+            output_rows: 3,
+            operators: vec![OperatorLogEntry {
+                id: 0,
+                operator: "Project [a]".into(),
+                rows: 3,
+                elapsed_ns: 400,
+                extras: vec![("shuffle_bytes_written".into(), 64)],
+            }],
+        };
+        let json = entry.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"query\":\"Project [a]\""), "{json}");
+        assert!(json.contains("\"extras\":{\"shuffle_bytes_written\":64}"), "{json}");
+    }
+}

@@ -172,7 +172,7 @@ fn save_and_reload_colfile_and_csv() {
     let df = people(&ctx);
 
     let colfile = dir.join("people.rcf");
-    df.save_as_colfile(colfile.to_str().unwrap(), 2).unwrap();
+    df.write().option("rows_per_group", 2).save(colfile.to_str().unwrap()).unwrap();
     let reloaded = ctx.read_colfile(colfile.to_str().unwrap()).unwrap();
     assert_eq!(reloaded.count().unwrap(), 5);
     assert_eq!(reloaded.schema().len(), 3);
@@ -181,7 +181,7 @@ fn save_and_reload_colfile_and_csv() {
     assert_eq!(filtered.count().unwrap(), 2);
 
     let csv = dir.join("people.csv");
-    df.save_as_csv(csv.to_str().unwrap()).unwrap();
+    df.write().format("csv").save(csv.to_str().unwrap()).unwrap();
     let csv_df = ctx
         .read_csv(csv.to_str().unwrap(), &datasources::CsvOptions::default())
         .unwrap();

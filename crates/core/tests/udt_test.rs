@@ -128,7 +128,11 @@ fn udt_writes_to_data_sources_as_pairs_of_doubles() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("points.rcf");
 
-    points_df(&ctx, 200).save_as_colfile(path.to_str().unwrap(), 64).unwrap();
+    points_df(&ctx, 200)
+        .write()
+        .option("rows_per_group", 64)
+        .save(path.to_str().unwrap())
+        .unwrap();
     let back = ctx.read_colfile(path.to_str().unwrap()).unwrap();
     assert_eq!(back.count().unwrap(), 200);
     match &back.schema().field(1).dtype {

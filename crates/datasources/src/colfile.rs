@@ -142,7 +142,7 @@ fn corrupt(msg: impl Into<String>) -> CatalystError {
     CatalystError::DataSource(format!("corrupt colfile: {}", msg.into()))
 }
 
-fn checked<'a>(buf: &'a mut Bytes, n: usize) -> Result<&'a mut Bytes> {
+fn checked(buf: &mut Bytes, n: usize) -> Result<&mut Bytes> {
     if buf.remaining() < n {
         Err(corrupt("unexpected end of file"))
     } else {

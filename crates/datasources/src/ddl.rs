@@ -1,0 +1,215 @@
+//! Schema ⇄ DDL string conversion.
+//!
+//! The unified reader API carries a user-supplied schema through the
+//! provider registry as an ordinary string option (`schema`), the way
+//! Spark's `DataFrameReader.schema(ddl)` accepts `"a INT, b STRING"`.
+//! [`schema_to_ddl`] renders exactly what [`parse_schema_ddl`] accepts;
+//! the type grammar matches `DataType`'s `Display` form, including
+//! nested `ARRAY<…>`, `STRUCT<…>`, `MAP<…, …>` and `DECIMAL(p,s)`.
+
+use catalyst::error::{CatalystError, Result};
+use catalyst::schema::{Schema, SchemaRef};
+use catalyst::types::{DataType, StructField};
+use std::sync::Arc;
+
+/// Render a schema as a DDL field list: `a INT NOT NULL, b STRING`.
+pub fn schema_to_ddl(schema: &Schema) -> String {
+    schema
+        .fields()
+        .iter()
+        .map(|f| {
+            let mut s = format!("{} {}", f.name, f.dtype);
+            if !f.nullable {
+                s.push_str(" NOT NULL");
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Parse a DDL field list (`a INT, b ARRAY<STRING> NOT NULL`) into a
+/// schema. Type names are case-insensitive; fields are nullable unless
+/// marked `NOT NULL`.
+pub fn parse_schema_ddl(ddl: &str) -> Result<SchemaRef> {
+    Ok(Arc::new(Schema::new(parse_field_list(ddl)?)))
+}
+
+fn parse_field_list(text: &str) -> Result<Vec<StructField>> {
+    let mut fields = Vec::new();
+    for part in split_top_level(text) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        fields.push(parse_field(part)?);
+    }
+    Ok(fields)
+}
+
+fn parse_field(text: &str) -> Result<StructField> {
+    let (name, rest) = text.split_once(char::is_whitespace).ok_or_else(|| {
+        CatalystError::DataSource(format!("schema DDL field '{text}' is missing a type"))
+    })?;
+    let mut type_text = rest.trim();
+    let mut nullable = true;
+    if let Some(stripped) = strip_suffix_ci(type_text, "NOT NULL") {
+        nullable = false;
+        type_text = stripped.trim_end();
+    }
+    Ok(StructField::new(name, parse_data_type(type_text)?, nullable))
+}
+
+fn strip_suffix_ci<'a>(text: &'a str, suffix: &str) -> Option<&'a str> {
+    let cut = text.len().checked_sub(suffix.len())?;
+    (text.is_char_boundary(cut) && text[cut..].eq_ignore_ascii_case(suffix))
+        .then(|| &text[..cut])
+}
+
+/// Parse one type in `DataType` display syntax.
+pub fn parse_data_type(text: &str) -> Result<DataType> {
+    let text = text.trim();
+    let upper = text.to_ascii_uppercase();
+    let scalar = match upper.as_str() {
+        "NULL" => Some(DataType::Null),
+        "BOOLEAN" | "BOOL" => Some(DataType::Boolean),
+        "INT" | "INTEGER" => Some(DataType::Int),
+        "LONG" | "BIGINT" => Some(DataType::Long),
+        "FLOAT" => Some(DataType::Float),
+        "DOUBLE" => Some(DataType::Double),
+        "STRING" => Some(DataType::String),
+        "DATE" => Some(DataType::Date),
+        "TIMESTAMP" => Some(DataType::Timestamp),
+        "BINARY" => Some(DataType::Binary),
+        _ => None,
+    };
+    if let Some(t) = scalar {
+        return Ok(t);
+    }
+    if let Some(args) = delimited(&upper, text, "DECIMAL", '(', ')') {
+        let (p, s) = args.split_once(',').ok_or_else(|| {
+            CatalystError::DataSource(format!("DECIMAL needs (precision,scale): '{text}'"))
+        })?;
+        let parse = |v: &str| {
+            v.trim().parse::<u8>().map_err(|_| {
+                CatalystError::DataSource(format!("bad DECIMAL argument in '{text}'"))
+            })
+        };
+        return Ok(DataType::Decimal(parse(p)?, parse(s)?));
+    }
+    if let Some(inner) = delimited(&upper, text, "ARRAY", '<', '>') {
+        return Ok(DataType::Array(Box::new(parse_data_type(inner)?)));
+    }
+    if let Some(inner) = delimited(&upper, text, "MAP", '<', '>') {
+        let parts = split_top_level(inner);
+        if parts.len() != 2 {
+            return Err(CatalystError::DataSource(format!(
+                "MAP needs exactly two type arguments: '{text}'"
+            )));
+        }
+        return Ok(DataType::Map(
+            Box::new(parse_data_type(parts[0])?),
+            Box::new(parse_data_type(parts[1])?),
+        ));
+    }
+    if let Some(inner) = delimited(&upper, text, "STRUCT", '<', '>') {
+        return Ok(DataType::struct_type(parse_field_list(inner)?));
+    }
+    Err(CatalystError::DataSource(format!("unknown data type '{text}' in schema DDL")))
+}
+
+/// If `text` is `NAME<open>…<close>` (name matched case-insensitively via
+/// the pre-uppercased copy), return the delimited interior.
+fn delimited<'a>(
+    upper: &str,
+    text: &'a str,
+    name: &str,
+    open: char,
+    close: char,
+) -> Option<&'a str> {
+    let body = upper.strip_prefix(name)?.trim_start();
+    if !(body.starts_with(open) && body.ends_with(close)) {
+        return None;
+    }
+    let start = text.find(open)?;
+    let end = text.rfind(close)?;
+    (start < end).then(|| &text[start + 1..end])
+}
+
+/// Split on commas at nesting depth zero (`<>`/`()` aware).
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '<' | '(' => depth += 1,
+            '>' | ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let schema = Schema::new(vec![
+            StructField::new("a", DataType::Int, false),
+            StructField::new("b", DataType::String, true),
+            StructField::new("c", DataType::Decimal(10, 2), true),
+        ]);
+        let ddl = schema_to_ddl(&schema);
+        assert_eq!(ddl, "a INT NOT NULL, b STRING, c DECIMAL(10,2)");
+        let parsed = parse_schema_ddl(&ddl).unwrap();
+        assert_eq!(parsed.fields(), schema.fields());
+    }
+
+    #[test]
+    fn nested_types_roundtrip() {
+        let schema = Schema::new(vec![
+            StructField::new("xs", DataType::Array(Box::new(DataType::Long)), true),
+            StructField::new(
+                "kv",
+                DataType::Map(Box::new(DataType::String), Box::new(DataType::Double)),
+                true,
+            ),
+            StructField::new(
+                "s",
+                DataType::struct_type(vec![
+                    StructField::new("x", DataType::Int, false),
+                    StructField::new("y", DataType::Array(Box::new(DataType::String)), true),
+                ]),
+                false,
+            ),
+        ]);
+        let ddl = schema_to_ddl(&schema);
+        let parsed = parse_schema_ddl(&ddl).unwrap();
+        assert_eq!(parsed.fields(), schema.fields());
+    }
+
+    #[test]
+    fn case_insensitive_and_aliases() {
+        let parsed = parse_schema_ddl("a integer, b bigint not null, c array<string>").unwrap();
+        assert_eq!(parsed.fields()[0].dtype, DataType::Int);
+        assert_eq!(parsed.fields()[1].dtype, DataType::Long);
+        assert!(!parsed.fields()[1].nullable);
+        assert_eq!(parsed.fields()[2].dtype, DataType::Array(Box::new(DataType::String)));
+    }
+
+    #[test]
+    fn bad_ddl_errors() {
+        assert!(parse_schema_ddl("a").is_err());
+        assert!(parse_schema_ddl("a WIBBLE").is_err());
+        assert!(parse_schema_ddl("a MAP<INT>").is_err());
+        assert!(parse_schema_ddl("a DECIMAL(10)").is_err());
+    }
+}

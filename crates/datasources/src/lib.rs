@@ -18,12 +18,14 @@
 
 pub mod colfile;
 pub mod csv;
+pub mod ddl;
 pub mod jdbc;
 pub mod json;
 pub mod registry;
 
 pub use colfile::{read_colfile, write_colfile, ColFileRelation};
 pub use csv::{CsvOptions, CsvRelation};
+pub use ddl::{parse_schema_ddl, schema_to_ddl};
 pub use jdbc::{lookup_database, register_database, JdbcRelation, RemoteDb};
 pub use json::JsonRelation;
 pub use registry::{DataSourceRegistry, Options};

@@ -52,6 +52,9 @@ impl DataSourceRegistry {
             if let Some(p) = opts.get("partitions") {
                 csv_opts.num_partitions = p.parse().unwrap_or(2);
             }
+            if let Some(ddl) = opts.get("schema") {
+                csv_opts.schema = Some(crate::ddl::parse_schema_ddl(ddl)?);
+            }
             Ok(Arc::new(CsvRelation::from_path(path, &csv_opts)?) as Arc<dyn BaseRelation>)
         });
         reg.register("json", |opts: &Options| {

@@ -153,6 +153,14 @@ impl SparkContext {
         self.inner.next_shuffle_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Peek at the next shuffle id without allocating it. Shuffle ids are
+    /// allocated eagerly when a shuffle dependency is constructed, so the
+    /// SQL layer can snapshot this before and after lowering one operator
+    /// to learn which shuffles that operator induced.
+    pub fn current_shuffle_id(&self) -> usize {
+        self.inner.next_shuffle_id.load(Ordering::Relaxed)
+    }
+
     /// Allocate a fresh broadcast id.
     pub fn new_broadcast_id(&self) -> usize {
         self.inner.next_broadcast_id.fetch_add(1, Ordering::Relaxed)

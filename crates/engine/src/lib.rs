@@ -25,6 +25,8 @@
 //! assert_eq!(errors.count(), 2);
 //! ```
 
+#![allow(clippy::type_complexity)] // Arc<dyn Fn(...)> closure-table types are the crate's idiom
+
 pub mod broadcast;
 pub mod cache;
 pub mod context;

@@ -6,7 +6,22 @@
 //! plan actually avoided work (e.g. predicate pushdown shuffling fewer
 //! records).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// I/O volume of one shuffle, keyed by shuffle id — what lets the SQL
+/// layer attribute shuffle traffic to the operator that induced the
+/// exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// Records published by map tasks.
+    pub records_written: u64,
+    /// Approximate bytes published by map tasks.
+    pub bytes_written: u64,
+    /// Records fetched by reduce tasks.
+    pub records_read: u64,
+}
 
 /// Global counters for one context.
 #[derive(Debug, Default)]
@@ -31,6 +46,10 @@ pub struct Metrics {
     pub fs_bytes_written: AtomicU64,
     /// Bytes read from the simulated file store.
     pub fs_bytes_read: AtomicU64,
+    /// Wall time spent inside task bodies, summed across executor threads.
+    pub task_time_ns: AtomicU64,
+    /// Per-shuffle I/O, keyed by shuffle id.
+    per_shuffle: Mutex<HashMap<usize, ShuffleStats>>,
 }
 
 impl Metrics {
@@ -46,6 +65,27 @@ impl Metrics {
         counter.load(Ordering::Relaxed)
     }
 
+    /// Record one map task's shuffle output (global counter + per-shuffle).
+    pub fn record_shuffle_write(&self, shuffle_id: usize, records: u64, bytes: u64) {
+        Metrics::add(&self.shuffle_records_written, records);
+        let mut per = self.per_shuffle.lock().unwrap();
+        let e = per.entry(shuffle_id).or_default();
+        e.records_written += records;
+        e.bytes_written += bytes;
+    }
+
+    /// Record one reduce task's shuffle fetch (global counter + per-shuffle).
+    pub fn record_shuffle_read(&self, shuffle_id: usize, records: u64) {
+        Metrics::add(&self.shuffle_records_read, records);
+        self.per_shuffle.lock().unwrap().entry(shuffle_id).or_default().records_read +=
+            records;
+    }
+
+    /// I/O stats of one shuffle (zeroes if it never ran).
+    pub fn shuffle_stats(&self, shuffle_id: usize) -> ShuffleStats {
+        self.per_shuffle.lock().unwrap().get(&shuffle_id).copied().unwrap_or_default()
+    }
+
     /// Reset every counter to zero (useful between benchmark phases).
     pub fn reset(&self) {
         self.tasks_launched.store(0, Ordering::Relaxed);
@@ -58,6 +98,8 @@ impl Metrics {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.fs_bytes_written.store(0, Ordering::Relaxed);
         self.fs_bytes_read.store(0, Ordering::Relaxed);
+        self.task_time_ns.store(0, Ordering::Relaxed);
+        self.per_shuffle.lock().unwrap().clear();
     }
 
     /// Snapshot of all counters, for printing in experiment harnesses.
@@ -73,6 +115,7 @@ impl Metrics {
             cache_misses: Metrics::get(&self.cache_misses),
             fs_bytes_written: Metrics::get(&self.fs_bytes_written),
             fs_bytes_read: Metrics::get(&self.fs_bytes_read),
+            task_time_ns: Metrics::get(&self.task_time_ns),
         }
     }
 }
@@ -90,6 +133,7 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     pub fs_bytes_written: u64,
     pub fs_bytes_read: u64,
+    pub task_time_ns: u64,
 }
 
 #[cfg(test)]
@@ -104,6 +148,26 @@ mod tests {
         assert_eq!(Metrics::get(&m.tasks_launched), 5);
         m.reset();
         assert_eq!(Metrics::get(&m.tasks_launched), 0);
+    }
+
+    #[test]
+    fn per_shuffle_stats_accumulate_and_reset() {
+        let m = Metrics::default();
+        m.record_shuffle_write(3, 10, 160);
+        m.record_shuffle_write(3, 5, 80);
+        m.record_shuffle_read(3, 15);
+        m.record_shuffle_write(4, 1, 16);
+        assert_eq!(
+            m.shuffle_stats(3),
+            ShuffleStats { records_written: 15, bytes_written: 240, records_read: 15 }
+        );
+        assert_eq!(m.shuffle_stats(4).records_written, 1);
+        assert_eq!(m.shuffle_stats(99), ShuffleStats::default());
+        // The global counters moved in lockstep.
+        assert_eq!(Metrics::get(&m.shuffle_records_written), 16);
+        assert_eq!(Metrics::get(&m.shuffle_records_read), 15);
+        m.reset();
+        assert_eq!(m.shuffle_stats(3), ShuffleStats::default());
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Operations on RDDs of key-value pairs: shuffles, joins, sorting.
 
-use crate::metrics::Metrics;
 use crate::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
 use crate::rdd::{BoxIter, Data, Dependency, Rdd, RddBase, RddId, RddRef, TaskContext};
 use crate::shuffle::{Aggregator, ShuffleDependency, ShuffleDependencyBase};
@@ -85,7 +84,7 @@ where
             }
             all
         };
-        Metrics::add(&self.ctx.metrics().shuffle_records_read, read);
+        self.ctx.metrics().record_shuffle_read(sid, read);
         out
     }
 
@@ -210,28 +209,30 @@ where
     fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<(K, (Vec<V>, Vec<W>))> {
         let sm = self.ctx.shuffle_manager();
         let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
-        let mut read = 0u64;
+        let mut left_read = 0u64;
         for map_id in 0..self.left_maps {
             let bucket = sm
                 .get(self.left.shuffle_id(), map_id)
                 .expect("missing left shuffle output");
             let typed = ShuffleDependency::<K, V, V>::unerase(&bucket);
             for (k, v) in &typed[split] {
-                read += 1;
+                left_read += 1;
                 groups.entry(k.clone()).or_default().0.push(v.clone());
             }
         }
+        let mut right_read = 0u64;
         for map_id in 0..self.right_maps {
             let bucket = sm
                 .get(self.right.shuffle_id(), map_id)
                 .expect("missing right shuffle output");
             let typed = ShuffleDependency::<K, W, W>::unerase(&bucket);
             for (k, w) in &typed[split] {
-                read += 1;
+                right_read += 1;
                 groups.entry(k.clone()).or_default().1.push(w.clone());
             }
         }
-        Metrics::add(&self.ctx.metrics().shuffle_records_read, read);
+        self.ctx.metrics().record_shuffle_read(self.left.shuffle_id(), left_read);
+        self.ctx.metrics().record_shuffle_read(self.right.shuffle_id(), right_read);
         Box::new(groups.into_iter())
     }
 }

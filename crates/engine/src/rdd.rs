@@ -247,7 +247,7 @@ impl<T: Data> RddRef<T> {
     ) -> U {
         let z = zero.clone();
         let partials = self
-            .run_job(move |_, it| it.fold(z.clone(), |acc, t| fold_part(acc, t)))
+            .run_job(move |_, it| it.fold(z.clone(), &fold_part))
             .expect("job failed");
         partials.into_iter().fold(zero, combine)
     }
@@ -280,7 +280,7 @@ impl<T: Data> RddRef<T> {
 
     /// Run `f` for its side effects on every element.
     pub fn for_each(&self, f: impl Fn(T) + Send + Sync + 'static) {
-        self.run_job(move |_, it| it.for_each(|t| f(t))).expect("job failed");
+        self.run_job(move |_, it| it.for_each(&f)).expect("job failed");
     }
 }
 

@@ -80,7 +80,9 @@ fn run_tasks<R: Send + 'static>(
                     return;
                 }
             }
+            let start = std::time::Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| task(&tc)));
+            Metrics::add(&sc2.metrics().task_time_ns, start.elapsed().as_nanos() as u64);
             let msg = match result {
                 Ok(r) => Ok(r),
                 Err(p) => Err(panic_message(p)),

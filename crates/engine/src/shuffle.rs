@@ -9,7 +9,6 @@
 //! Spark's shuffle files.
 
 use crate::context::SparkContext;
-use crate::metrics::Metrics;
 use crate::partitioner::Partitioner;
 use crate::rdd::{Data, Rdd, RddBase, TaskContext};
 use parking_lot::Mutex;
@@ -257,7 +256,10 @@ where
         for bucket in &buckets {
             written += bucket.len() as u64;
         }
-        Metrics::add(&self.ctx.metrics().shuffle_records_written, written);
+        // Bytes are approximated from the in-memory record footprint: the
+        // store holds typed Vec<(K, C)> buckets, not serialized frames.
+        let bytes = written * std::mem::size_of::<(K, C)>() as u64;
+        self.ctx.metrics().record_shuffle_write(self.shuffle_id, written, bytes);
         self.ctx
             .shuffle_manager()
             .put(self.shuffle_id, map_partition, Self::erase(buckets));

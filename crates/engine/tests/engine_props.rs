@@ -1,18 +1,29 @@
 //! Property tests: engine transformations agree with sequential
 //! reference implementations for arbitrary data and partitioning.
+//!
+//! Deterministic seeded sweeps (formerly proptest; rewritten because the
+//! build environment vendors only a minimal rand shim).
 
 use engine::pair::SortedPairRdd;
 use engine::{PairRdd, SparkContext};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    #[test]
-    fn map_filter_matches_iterator(data in proptest::collection::vec(any::<i32>(), 0..300),
-                                   parts in 1usize..9) {
-        let sc = SparkContext::new(2);
+fn vec_i32(rng: &mut StdRng, max_len: usize) -> Vec<i32> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| rng.next_u64() as i32).collect()
+}
+
+#[test]
+fn map_filter_matches_iterator() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_3001);
+    let sc = SparkContext::new(2);
+    for _ in 0..CASES {
+        let data = vec_i32(&mut rng, 300);
+        let parts = rng.random_range(1usize..9);
         let got = sc
             .parallelize(data.clone(), parts)
             .map(|x| x as i64 * 3)
@@ -20,16 +31,21 @@ proptest! {
             .collect();
         let want: Vec<i64> =
             data.iter().map(|&x| x as i64 * 3).filter(|x| x % 2 == 0).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn reduce_by_key_matches_reference(
-        data in proptest::collection::vec((0i64..30, -100i64..100), 0..300),
-        parts in 1usize..9,
-        reducers in 1usize..9,
-    ) {
-        let sc = SparkContext::new(2);
+#[test]
+fn reduce_by_key_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_3002);
+    let sc = SparkContext::new(2);
+    for _ in 0..CASES {
+        let len = rng.random_range(0usize..300);
+        let data: Vec<(i64, i64)> = (0..len)
+            .map(|_| (rng.random_range(0i64..30), rng.random_range(-100i64..100)))
+            .collect();
+        let parts = rng.random_range(1usize..9);
+        let reducers = rng.random_range(1usize..9);
         let mut got: Vec<(i64, i64)> = sc
             .parallelize(data.clone(), parts)
             .reduce_by_key(|a, b| a + b, reducers)
@@ -41,17 +57,19 @@ proptest! {
         }
         let mut want: Vec<(i64, i64)> = reference.into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn sort_by_key_totally_orders(
-        data in proptest::collection::vec(any::<i32>(), 0..300),
-        parts in 1usize..7,
-        out_parts in 1usize..7,
-        ascending in any::<bool>(),
-    ) {
-        let sc = SparkContext::new(2);
+#[test]
+fn sort_by_key_totally_orders() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_3003);
+    let sc = SparkContext::new(2);
+    for _ in 0..CASES {
+        let data = vec_i32(&mut rng, 300);
+        let parts = rng.random_range(1usize..7);
+        let out_parts = rng.random_range(1usize..7);
+        let ascending = rng.random_bool(0.5);
         let keyed: Vec<(i32, ())> = data.iter().map(|&k| (k, ())).collect();
         let got: Vec<i32> = sc
             .parallelize(keyed, parts)
@@ -63,26 +81,39 @@ proptest! {
         if !ascending {
             want.reverse();
         }
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn distinct_equals_set(data in proptest::collection::vec(0i32..40, 0..300)) {
-        let sc = SparkContext::new(2);
+#[test]
+fn distinct_equals_set() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_3004);
+    let sc = SparkContext::new(2);
+    for _ in 0..CASES {
+        let len = rng.random_range(0usize..300);
+        let data: Vec<i32> = (0..len).map(|_| rng.random_range(0i32..40)).collect();
         let mut got = sc.parallelize(data.clone(), 4).distinct(3).collect();
         got.sort_unstable();
         let mut want: Vec<i32> = data.into_iter().collect::<std::collections::BTreeSet<_>>()
             .into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn join_matches_reference(
-        left in proptest::collection::vec((0i64..10, 0i32..100), 0..60),
-        right in proptest::collection::vec((0i64..10, 0i32..100), 0..60),
-    ) {
-        let sc = SparkContext::new(2);
+#[test]
+fn join_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_3005);
+    let sc = SparkContext::new(2);
+    for _ in 0..CASES {
+        let pairs = |rng: &mut StdRng, max: usize| -> Vec<(i64, i32)> {
+            let len = rng.random_range(0..max);
+            (0..len)
+                .map(|_| (rng.random_range(0i64..10), rng.random_range(0i32..100)))
+                .collect()
+        };
+        let left = pairs(&mut rng, 60);
+        let right = pairs(&mut rng, 60);
         let mut got = sc
             .parallelize(left.clone(), 3)
             .join(&sc.parallelize(right.clone(), 2), 4)
@@ -97,29 +128,40 @@ proptest! {
             }
         }
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn union_preserves_multiplicity(
-        a in proptest::collection::vec(any::<i16>(), 0..150),
-        b in proptest::collection::vec(any::<i16>(), 0..150),
-    ) {
-        let sc = SparkContext::new(2);
+#[test]
+fn union_preserves_multiplicity() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_3006);
+    let sc = SparkContext::new(2);
+    for _ in 0..CASES {
+        let shorts = |rng: &mut StdRng| -> Vec<i16> {
+            let len = rng.random_range(0usize..150);
+            (0..len).map(|_| rng.next_u64() as i16).collect()
+        };
+        let a = shorts(&mut rng);
+        let b = shorts(&mut rng);
         let got = sc.parallelize(a.clone(), 3).union(&sc.parallelize(b.clone(), 2)).collect();
         let mut want = a;
         want.extend(b);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Partition count never changes results, only layout.
-    #[test]
-    fn partitioning_is_transparent(
-        data in proptest::collection::vec((0i64..20, any::<i16>()), 0..200),
-        p1 in 1usize..10,
-        p2 in 1usize..10,
-    ) {
-        let sc = SparkContext::new(3);
+/// Partition count never changes results, only layout.
+#[test]
+fn partitioning_is_transparent() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_3007);
+    let sc = SparkContext::new(3);
+    for _ in 0..CASES {
+        let len = rng.random_range(0usize..200);
+        let data: Vec<(i64, i16)> = (0..len)
+            .map(|_| (rng.random_range(0i64..20), rng.next_u64() as i16))
+            .collect();
+        let p1 = rng.random_range(1usize..10);
+        let p2 = rng.random_range(1usize..10);
         let run = |parts: usize| {
             let mut v = sc
                 .parallelize(data.clone(), parts)
@@ -133,6 +175,6 @@ proptest! {
             v.sort();
             v
         };
-        prop_assert_eq!(run(p1), run(p2));
+        assert_eq!(run(p1), run(p2));
     }
 }

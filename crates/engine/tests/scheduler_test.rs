@@ -2,7 +2,6 @@
 //! ordering of shuffle dependencies, stage skipping, and metrics.
 
 use engine::metrics::Metrics;
-use engine::rdd::RddBase;
 use engine::scheduler::collect_shuffle_dependencies;
 use engine::{PairRdd, SparkContext};
 

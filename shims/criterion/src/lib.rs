@@ -1,0 +1,173 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the macro/API surface the benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`) but replaces the
+//! statistical machinery with a simple timed loop: warm up once, run
+//! `sample_size` samples, report min/median/mean per benchmark on stdout.
+//! Good enough to compare configurations; not a rigorous estimator.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`function/parameter`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("func", param)` renders as `func/param`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, adaptively batching very fast routines so each sample is
+    /// long enough to measure.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: how many calls fit in ~1ms?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
+            as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// End the group (formatting no-op here).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{group}/{id}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Fresh driver with default settings.
+    pub fn new() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup { name: name.into(), sample_size, _c: self }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.default_sample_size.max(1);
+        let mut b = Bencher { samples: Vec::new(), sample_size: n };
+        f(&mut b);
+        report("bench", &id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// Criterion's config hook; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Define a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

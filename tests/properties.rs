@@ -1,4 +1,4 @@
-//! Property-based tests on core invariants:
+//! Deterministic randomized tests on core invariants:
 //!
 //! * the SQL engine agrees with a naive in-memory reference evaluator;
 //! * compiled ("code-generated") and interpreted expression evaluation
@@ -6,13 +6,17 @@
 //! * every ablation configuration (codegen off, shuffled joins forced,
 //!   pushdown off) produces identical answers;
 //! * the columnar file format round-trips arbitrary values.
+//!
+//! Formerly proptest; rewritten as seeded sweeps because the build
+//! environment vendors only a minimal rand shim.
 
 use catalyst::codegen;
 use catalyst::expr::Expr;
 use catalyst::interpreter;
 use catalyst::value::Value;
 use catalyst::Row;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use spark_sql_repro::spark_sql::prelude::*;
 use std::sync::Arc;
 
@@ -24,13 +28,27 @@ fn table_schema() -> SchemaRef {
     ]))
 }
 
-prop_compose! {
-    fn arb_row()(k in 0i64..20, v in proptest::option::of(-100i64..100), s in "[a-d]{1,3}") -> (i64, Option<i64>, String) {
-        (k, v, s)
-    }
+type RawRow = (i64, Option<i64>, String);
+
+fn arb_row(rng: &mut StdRng) -> RawRow {
+    let k = rng.random_range(0i64..20);
+    let v = if rng.random_bool(0.2) {
+        None
+    } else {
+        Some(rng.random_range(-100i64..100))
+    };
+    let s: String = (0..rng.random_range(1usize..4))
+        .map(|_| char::from(rng.random_range(b'a'..b'e')))
+        .collect();
+    (k, v, s)
 }
 
-fn to_rows(data: &[(i64, Option<i64>, String)]) -> Vec<Row> {
+fn arb_table(rng: &mut StdRng, min: usize, max: usize) -> Vec<RawRow> {
+    let len = rng.random_range(min..max);
+    (0..len).map(|_| arb_row(rng)).collect()
+}
+
+fn to_rows(data: &[RawRow]) -> Vec<Row> {
     data.iter()
         .map(|(k, v, s)| {
             Row::new(vec![
@@ -42,20 +60,20 @@ fn to_rows(data: &[(i64, Option<i64>, String)]) -> Vec<Row> {
         .collect()
 }
 
-fn ctx_with(data: &[(i64, Option<i64>, String)], conf: spark_sql::SqlConf) -> SQLContext {
+fn ctx_with(data: &[RawRow], conf: spark_sql::SqlConf) -> SQLContext {
     let ctx = SQLContext::new_local(2);
     ctx.set_conf(|c| *c = conf);
     ctx.register_rows("t", table_schema(), to_rows(data)).unwrap();
     ctx
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// WHERE v > threshold agrees with the reference filter.
-    #[test]
-    fn filter_matches_reference(data in proptest::collection::vec(arb_row(), 0..80),
-                                threshold in -50i64..50) {
+/// WHERE v > threshold agrees with the reference filter.
+#[test]
+fn filter_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_4001);
+    for _ in 0..32 {
+        let data = arb_table(&mut rng, 0, 80);
+        let threshold = rng.random_range(-50i64..50);
         let ctx = ctx_with(&data, spark_sql::SqlConf::default());
         let got = ctx
             .sql(&format!("SELECT count(*) FROM t WHERE v > {threshold}"))
@@ -63,12 +81,16 @@ proptest! {
             .collect()
             .unwrap();
         let want = data.iter().filter(|(_, v, _)| v.is_some_and(|v| v > threshold)).count();
-        prop_assert_eq!(got[0].get(0), &Value::Long(want as i64));
+        assert_eq!(got[0].get(0), &Value::Long(want as i64));
     }
+}
 
-    /// GROUP BY sums agree with the reference (nulls skipped).
-    #[test]
-    fn group_by_matches_reference(data in proptest::collection::vec(arb_row(), 0..80)) {
+/// GROUP BY sums agree with the reference (nulls skipped).
+#[test]
+fn group_by_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_4002);
+    for _ in 0..32 {
+        let data = arb_table(&mut rng, 0, 80);
         let ctx = ctx_with(&data, spark_sql::SqlConf::default());
         let got = ctx
             .sql("SELECT k, sum(v), count(*) FROM t GROUP BY k ORDER BY k")
@@ -84,19 +106,23 @@ proptest! {
             }
             e.1 += 1;
         }
-        prop_assert_eq!(got.len(), reference.len());
+        assert_eq!(got.len(), reference.len());
         for (row, (k, (sum, count))) in got.iter().zip(reference) {
-            prop_assert_eq!(row.get(0), &Value::Long(k));
+            assert_eq!(row.get(0), &Value::Long(k));
             let want_sum = sum.map(Value::Long).unwrap_or(Value::Null);
-            prop_assert_eq!(row.get(1), &want_sum);
-            prop_assert_eq!(row.get(2), &Value::Long(count));
+            assert_eq!(row.get(1), &want_sum);
+            assert_eq!(row.get(2), &Value::Long(count));
         }
     }
+}
 
-    /// ORDER BY produces exactly the reference ordering (stable on ties
-    /// by whole-row comparison).
-    #[test]
-    fn order_by_matches_reference(data in proptest::collection::vec(arb_row(), 0..60)) {
+/// ORDER BY produces exactly the reference ordering (stable on ties
+/// by whole-row comparison).
+#[test]
+fn order_by_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_4003);
+    for _ in 0..32 {
+        let data = arb_table(&mut rng, 0, 60);
         let ctx = ctx_with(&data, spark_sql::SqlConf::default());
         let got: Vec<i64> = ctx
             .sql("SELECT k FROM t ORDER BY k DESC")
@@ -108,13 +134,17 @@ proptest! {
             .collect();
         let mut want: Vec<i64> = data.iter().map(|(k, _, _)| *k).collect();
         want.sort_unstable_by(|a, b| b.cmp(a));
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// All ablation configurations give identical answers for a query
-    /// exercising filter + join + aggregate.
-    #[test]
-    fn ablations_preserve_semantics(data in proptest::collection::vec(arb_row(), 1..60)) {
+/// All ablation configurations give identical answers for a query
+/// exercising filter + join + aggregate.
+#[test]
+fn ablations_preserve_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_4004);
+    for _ in 0..8 {
+        let data = arb_table(&mut rng, 1, 60);
         let q = "SELECT t.k, count(*), sum(u.v) FROM t JOIN t2 u ON t.k = u.k \
                  WHERE t.s LIKE 'a%' OR t.v IS NOT NULL \
                  GROUP BY t.k ORDER BY t.k";
@@ -127,22 +157,24 @@ proptest! {
         let no_codegen = run(spark_sql::SqlConf { codegen_enabled: false, ..Default::default() });
         let shuffled = run(spark_sql::SqlConf { broadcast_threshold: 0, ..Default::default() });
         let shark = run(spark_sql::SqlConf::shark_like());
-        prop_assert_eq!(&baseline, &no_codegen);
-        prop_assert_eq!(&baseline, &shuffled);
-        prop_assert_eq!(&baseline, &shark);
+        assert_eq!(&baseline, &no_codegen);
+        assert_eq!(&baseline, &shuffled);
+        assert_eq!(&baseline, &shark);
     }
+}
 
-    /// Compiled and interpreted evaluation agree on random arithmetic /
-    /// comparison expressions over random rows (NULLs included).
-    #[test]
-    fn codegen_agrees_with_interpreter(
-        a in proptest::option::of(-1000i64..1000),
-        b in proptest::option::of(-1000i64..1000),
-        c in -10i64..10,
-        op in 0usize..8,
-    ) {
-        let x = Expr::BoundRef { index: 0, dtype: DataType::Long, nullable: true, name: "x".into() };
-        let y = Expr::BoundRef { index: 1, dtype: DataType::Long, nullable: true, name: "y".into() };
+/// Compiled and interpreted evaluation agree on random arithmetic /
+/// comparison expressions over random rows (NULLs included).
+#[test]
+fn codegen_agrees_with_interpreter() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_4005);
+    let x = Expr::BoundRef { index: 0, dtype: DataType::Long, nullable: true, name: "x".into() };
+    let y = Expr::BoundRef { index: 1, dtype: DataType::Long, nullable: true, name: "y".into() };
+    for _ in 0..256 {
+        let a = if rng.random_bool(0.2) { None } else { Some(rng.random_range(-1000i64..1000)) };
+        let b = if rng.random_bool(0.2) { None } else { Some(rng.random_range(-1000i64..1000)) };
+        let c = rng.random_range(-10i64..10);
+        let op = rng.random_range(0usize..8);
         let exprs = [
             x.clone().add(y.clone()).mul(lit(c)),
             x.clone().sub(y.clone()),
@@ -161,26 +193,33 @@ proptest! {
         let interpreted = interpreter::eval(e, &row).unwrap();
         let dtype = e.data_type().unwrap();
         let compiled = codegen::compile(e).eval_value(&row, &dtype).unwrap();
-        prop_assert_eq!(interpreted, compiled);
+        assert_eq!(interpreted, compiled, "expr #{op} on {row:?}");
     }
+}
 
-    /// The colfile format round-trips arbitrary typed rows.
-    #[test]
-    fn colfile_roundtrip(data in proptest::collection::vec(arb_row(), 0..50)) {
+/// The colfile format round-trips arbitrary typed rows.
+#[test]
+fn colfile_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_4006);
+    for _ in 0..32 {
+        let data = arb_table(&mut rng, 0, 50);
         let rows = to_rows(&data);
         let schema = table_schema();
         let bytes = datasources::write_colfile(&schema, &rows, 16);
         let file = datasources::read_colfile(bytes).unwrap();
         let decoded: Vec<Row> = file.groups.iter().flat_map(|g| g.decode(None)).collect();
-        prop_assert_eq!(decoded, rows);
+        assert_eq!(decoded, rows);
     }
+}
 
-    /// LIKE simplification (prefix/suffix/infix) never changes results.
-    #[test]
-    fn like_simplification_preserves_semantics(
-        data in proptest::collection::vec(arb_row(), 0..60),
-        pattern in proptest::sample::select(vec!["a%", "%b", "%ab%", "abc", "%", "a_c"]),
-    ) {
+/// LIKE simplification (prefix/suffix/infix) never changes results.
+#[test]
+fn like_simplification_preserves_semantics() {
+    const PATTERNS: &[&str] = &["a%", "%b", "%ab%", "abc", "%", "a_c"];
+    let mut rng = StdRng::seed_from_u64(0x5EED_4007);
+    for _ in 0..32 {
+        let data = arb_table(&mut rng, 0, 60);
+        let pattern = PATTERNS[rng.random_range(0..PATTERNS.len())];
         // Optimized engine vs direct reference using the interpreter's
         // like_match (which the unsimplified path uses).
         let ctx = ctx_with(&data, spark_sql::SqlConf::default());
@@ -193,6 +232,6 @@ proptest! {
             .iter()
             .filter(|(_, _, s)| interpreter::like_match(s, pattern))
             .count();
-        prop_assert_eq!(got[0].get(0), &Value::Long(want as i64));
+        assert_eq!(got[0].get(0), &Value::Long(want as i64));
     }
 }
