@@ -57,6 +57,18 @@ impl Analyzer {
             }
         }
         check_analysis(&plan)?;
+        // With plan validation on (debug builds / CATALYST_VALIDATE=1),
+        // hold the analyzer to the same invariants the optimizer is held
+        // to: a plan leaving analysis must pass every static check.
+        if crate::validation::enabled() {
+            let violations = crate::validation::PlanValidator::new().check_logical(&plan);
+            if !violations.is_empty() {
+                return Err(CatalystError::analysis(format!(
+                    "analyzed plan failed integrity checks:\n{}",
+                    crate::validation::render_violations(&violations)
+                )));
+            }
+        }
         Ok(plan)
     }
 

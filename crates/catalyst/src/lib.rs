@@ -44,6 +44,7 @@ pub mod source;
 pub mod tree;
 pub mod types;
 pub mod udt;
+pub mod validation;
 pub mod value;
 
 pub use error::{CatalystError, Result};

@@ -21,7 +21,13 @@ impl Rule<LogicalPlan> for ConstantFolding {
 
     fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
         plan.transform_all_expressions(&mut |e| {
-            if matches!(e, Expr::Literal(_)) || !e.is_resolved() || !e.foldable() {
+            // Never fold an Alias node itself: the alias carries the
+            // output name and attribute id, and replacing it with a bare
+            // literal silently drops the column from `output()`. The
+            // alias's child has already been folded by the bottom-up
+            // traversal.
+            if matches!(e, Expr::Literal(_) | Expr::Alias { .. }) || !e.is_resolved() || !e.foldable()
+            {
                 return Transformed::no(e);
             }
             match interpreter::eval(&e, &Row::empty()) {

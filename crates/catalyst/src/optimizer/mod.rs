@@ -14,7 +14,10 @@ pub use plan_rules::{
 };
 
 use crate::plan::LogicalPlan;
-use crate::rules::{Batch, RuleExecutor, TraceEvent};
+use crate::rules::{
+    Batch, ExecutionMonitor, InvariantViolation, RuleExecutor, RuleHealthReport, TraceEvent,
+};
+use crate::validation::PlanValidator;
 
 /// The logical optimizer: a rule executor with the standard batches plus
 /// any user-registered extension batches (§4.4).
@@ -61,8 +64,28 @@ impl Optimizer {
     }
 
     /// Optimize a resolved plan.
+    ///
+    /// When plan validation is enabled ([`crate::validation::enabled`] —
+    /// default in debug builds, `CATALYST_VALIDATE=1` in release), every
+    /// rewrite is checked as a post-condition and the process panics with
+    /// a full report (batch, rule, iteration, invariant, plan diff) if
+    /// any rule breaks a plan invariant. Use [`Optimizer::optimize_monitored`]
+    /// for a non-panicking variant that returns the violations.
     pub fn optimize(&self, plan: LogicalPlan) -> LogicalPlan {
-        self.executor.execute(plan, None)
+        if crate::validation::enabled() {
+            let out = self.optimize_monitored(plan);
+            if !out.violations.is_empty() {
+                let mut report = String::from("optimizer rule broke a plan invariant:\n");
+                for v in &out.violations {
+                    report.push_str(&v.to_string());
+                    report.push('\n');
+                }
+                panic!("{report}");
+            }
+            out.plan
+        } else {
+            self.executor.execute(plan, None)
+        }
     }
 
     /// Optimize while recording which rules fired (for EXPLAIN-style
@@ -72,6 +95,49 @@ impl Optimizer {
         let out = self.executor.execute(plan, Some(&mut trace));
         (out, trace)
     }
+
+    /// Optimize under a caller-supplied [`ExecutionMonitor`] — the
+    /// building block behind [`Optimizer::optimize_monitored`] for
+    /// callers that want health counters without validation (pass
+    /// `ExecutionMonitor::new()`) or want to keep the monitor around.
+    pub fn optimize_with(
+        &self,
+        plan: LogicalPlan,
+        monitor: &mut ExecutionMonitor<'_, LogicalPlan>,
+    ) -> LogicalPlan {
+        self.executor.execute_monitored(plan, monitor)
+    }
+
+    /// Optimize under full monitoring: per-rule health counters, a
+    /// plan-change log, and invariant validation with rollback. A rewrite
+    /// that violates an invariant is discarded (the plan keeps its
+    /// pre-rule shape) and reported in [`OptimizeOutcome::violations`];
+    /// this never panics.
+    pub fn optimize_monitored(&self, plan: LogicalPlan) -> OptimizeOutcome {
+        let validator = PlanValidator::new();
+        let mut monitor = ExecutionMonitor::with_validator(&validator);
+        let plan = self.executor.execute_monitored(plan, &mut monitor);
+        OptimizeOutcome {
+            plan,
+            trace: monitor.trace,
+            health: monitor.health,
+            violations: monitor.violations,
+        }
+    }
+}
+
+/// Everything one monitored optimizer run produces.
+pub struct OptimizeOutcome {
+    /// The optimized plan (violating rewrites rolled back).
+    pub plan: LogicalPlan,
+    /// Plan-change log: every fired rule with its before/after diff, plus
+    /// non-convergence markers.
+    pub trace: Vec<TraceEvent>,
+    /// Per-rule fire counts, effectiveness, idempotence probes, and
+    /// non-converged batches.
+    pub health: RuleHealthReport,
+    /// Rewrites rejected by the validator, with full context.
+    pub violations: Vec<InvariantViolation>,
 }
 
 #[cfg(test)]

@@ -6,6 +6,15 @@
 //! [`Transformed::changed`] flag; a batch terminates when a full pass over
 //! its rules changes nothing, or when the iteration cap is hit (a safety
 //! valve against non-converging rule sets).
+//!
+//! Beyond plain execution, the executor supports *monitored* execution
+//! ([`RuleExecutor::execute_monitored`]): every rule application is
+//! counted into a [`RuleHealthReport`], each change can be checked by a
+//! [`RuleValidator`] as a per-rule post-condition (a rewrite that breaks a
+//! plan invariant is rolled back and reported as an
+//! [`InvariantViolation`] with a structural before/after diff), rules are
+//! probed for idempotence, and batches that exhaust `max_iterations`
+//! without converging are recorded instead of silently truncated.
 
 use crate::tree::Transformed;
 
@@ -73,15 +82,313 @@ impl<T> Batch<T> {
     }
 }
 
-/// Trace record of one rule application that changed the tree.
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A rule application that changed the tree.
+    RuleFired,
+    /// A `FixedPoint` batch exhausted `max_iterations` while its last
+    /// iteration was still changing the tree.
+    NonConvergence,
+}
+
+/// Rendered before/after snapshot of a single rewrite (the plan-change
+/// log). Only populated under monitored execution with a validator, since
+/// rendering requires a [`RuleValidator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanChange {
+    /// Plan rendering before the rule fired.
+    pub before: String,
+    /// Plan rendering after the rule fired.
+    pub after: String,
+    /// Line diff between the two (`-` removed, `+` added).
+    pub diff: String,
+}
+
+/// Trace record of one rule application that changed the tree, or of a
+/// batch that failed to converge.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Batch the rule ran in.
     pub batch: String,
-    /// Rule that fired.
+    /// Rule that fired (for [`TraceKind::NonConvergence`], the batch name).
+    pub rule: String,
+    /// Iteration within the batch (for non-convergence, the iteration cap).
+    pub iteration: usize,
+    /// What this event records.
+    pub kind: TraceKind,
+    /// Structural before/after change, when a plan-change log was requested.
+    pub change: Option<PlanChange>,
+}
+
+impl TraceEvent {
+    fn fired(batch: &str, rule: &str, iteration: usize, change: Option<PlanChange>) -> Self {
+        TraceEvent {
+            batch: batch.to_string(),
+            rule: rule.to_string(),
+            iteration,
+            kind: TraceKind::RuleFired,
+            change,
+        }
+    }
+
+    fn non_convergence(batch: &str, max_iterations: usize) -> Self {
+        TraceEvent {
+            batch: batch.to_string(),
+            rule: batch.to_string(),
+            iteration: max_iterations,
+            kind: TraceKind::NonConvergence,
+            change: None,
+        }
+    }
+}
+
+/// One invariant violated by a rule rewrite, as reported by a
+/// [`RuleValidator`]. The validator names the invariant; the executor
+/// attaches batch/rule/iteration context to build an
+/// [`InvariantViolation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleViolation {
+    /// Name of the violated invariant (e.g. `schema-preserved`).
+    pub invariant: String,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+/// A rule rewrite rejected by the validator, with full context: which
+/// batch/rule/iteration produced it, which invariant broke, and a
+/// structural before/after plan diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Batch the offending rule ran in.
+    pub batch: String,
+    /// Rule whose rewrite violated the invariant.
     pub rule: String,
     /// Iteration within the batch.
     pub iteration: usize,
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Line diff of the rejected rewrite (`-` before, `+` after).
+    pub diff: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "invariant '{}' violated by rule '{}' (batch '{}', iteration {}): {}",
+            self.invariant, self.rule, self.batch, self.iteration, self.message
+        )?;
+        write!(f, "plan diff:\n{}", self.diff)
+    }
+}
+
+/// Post-condition checker plugged into monitored execution: after every
+/// rule application that changed the tree, `validate(before, after)` runs
+/// and any violations cause the rewrite to be rolled back and reported.
+pub trait RuleValidator<T>: Send + Sync {
+    /// Check the rewrite `before -> after`; empty means the rewrite is ok.
+    fn validate(&self, before: &T, after: &T) -> Vec<RuleViolation>;
+    /// Render a tree for the plan-change log.
+    fn render(&self, tree: &T) -> String;
+    /// Line diff between two renderings (`-` removed, `+` added).
+    fn diff(&self, before: &T, after: &T) -> String {
+        format!("--- before\n{}\n+++ after\n{}", self.render(before), self.render(after))
+    }
+}
+
+/// Health counters for one rule within one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleHealth {
+    /// Batch the rule belongs to.
+    pub batch: String,
+    /// Rule name.
+    pub rule: String,
+    /// Total applications (fired or not).
+    pub applications: usize,
+    /// Applications that changed the tree.
+    pub fires: usize,
+    /// Fires where immediately re-applying the rule changed the tree
+    /// again — the rule is not idempotent on that input. Benign inside a
+    /// `FixedPoint` batch (the loop re-runs it anyway) but a convergence
+    /// hazard in a `Once` batch.
+    pub reapply_changes: usize,
+    /// Rewrites rejected by the validator and rolled back.
+    pub rejected: usize,
+}
+
+impl RuleHealth {
+    /// Fraction of applications that changed the tree (0.0 when never
+    /// applied).
+    pub fn effectiveness(&self) -> f64 {
+        if self.applications == 0 {
+            0.0
+        } else {
+            self.fires as f64 / self.applications as f64
+        }
+    }
+}
+
+/// A `FixedPoint` batch that hit its iteration cap while still changing
+/// the tree. Before this report existed the executor silently kept the
+/// last tree, hiding oscillating rule sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonConvergence {
+    /// Batch that failed to converge.
+    pub batch: String,
+    /// The iteration cap that was exhausted.
+    pub max_iterations: usize,
+}
+
+/// Aggregated per-rule health over one executor run: fire counts,
+/// effectiveness, idempotence probes, rejected rewrites, and batches that
+/// failed to converge.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleHealthReport {
+    /// Per-rule counters, in first-application order.
+    pub rules: Vec<RuleHealth>,
+    /// Batches that exhausted their iteration cap while still changing.
+    pub non_converged: Vec<NonConvergence>,
+}
+
+impl RuleHealthReport {
+    fn entry(&mut self, batch: &str, rule: &str) -> &mut RuleHealth {
+        if let Some(i) = self.rules.iter().position(|h| h.batch == batch && h.rule == rule) {
+            return &mut self.rules[i];
+        }
+        self.rules.push(RuleHealth {
+            batch: batch.to_string(),
+            rule: rule.to_string(),
+            applications: 0,
+            fires: 0,
+            reapply_changes: 0,
+            rejected: 0,
+        });
+        self.rules.last_mut().unwrap()
+    }
+
+    /// Look up the counters for a rule, if it ever ran.
+    pub fn health_for(&self, batch: &str, rule: &str) -> Option<&RuleHealth> {
+        self.rules.iter().find(|h| h.batch == batch && h.rule == rule)
+    }
+
+    /// Merge another report into this one (used when several executor runs
+    /// back one query, e.g. re-analysis of subplans).
+    pub fn merge(&mut self, other: &RuleHealthReport) {
+        for h in &other.rules {
+            let e = self.entry(&h.batch, &h.rule);
+            e.applications += h.applications;
+            e.fires += h.fires;
+            e.reapply_changes += h.reapply_changes;
+            e.rejected += h.rejected;
+        }
+        self.non_converged.extend(other.non_converged.iter().cloned());
+    }
+
+    /// Render the report as an aligned text table (the form surfaced next
+    /// to `EXPLAIN ANALYZE` output).
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Rule Health ==\n");
+        if self.rules.is_empty() {
+            out.push_str("(no rules ran)\n");
+        } else {
+            let bw = self.rules.iter().map(|h| h.batch.len()).max().unwrap().max(5);
+            let rw = self.rules.iter().map(|h| h.rule.len()).max().unwrap().max(4);
+            out.push_str(&format!(
+                "{:bw$}  {:rw$}  {:>7}  {:>5}  {:>6}  {:>8}  {:>8}\n",
+                "batch", "rule", "applied", "fired", "effect", "reapply", "rejected"
+            ));
+            for h in &self.rules {
+                out.push_str(&format!(
+                    "{:bw$}  {:rw$}  {:>7}  {:>5}  {:>5.0}%  {:>8}  {:>8}\n",
+                    h.batch,
+                    h.rule,
+                    h.applications,
+                    h.fires,
+                    h.effectiveness() * 100.0,
+                    h.reapply_changes,
+                    h.rejected,
+                ));
+            }
+        }
+        if self.non_converged.is_empty() {
+            out.push_str("non-converged batches: none\n");
+        } else {
+            for nc in &self.non_converged {
+                out.push_str(&format!(
+                    "non-converged batch: '{}' still changing after {} iterations\n",
+                    nc.batch, nc.max_iterations
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Collects everything monitored execution observes: the plan-change
+/// trace, per-rule health counters, and validator violations. Create one
+/// per [`RuleExecutor::execute_monitored`] run.
+pub struct ExecutionMonitor<'a, T> {
+    validator: Option<&'a dyn RuleValidator<T>>,
+    log_changes: bool,
+    check_idempotence: bool,
+    /// Plan-change log: one event per fired rule plus non-convergence
+    /// markers.
+    pub trace: Vec<TraceEvent>,
+    /// Per-rule health counters.
+    pub health: RuleHealthReport,
+    /// Rewrites rejected (and rolled back) by the validator.
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl<T> ExecutionMonitor<'static, T> {
+    /// Monitor health and trace only — no validation, no cloning of the
+    /// tree beyond what idempotence probing needs (none here).
+    pub fn new() -> Self {
+        ExecutionMonitor {
+            validator: None,
+            log_changes: false,
+            check_idempotence: false,
+            trace: Vec::new(),
+            health: RuleHealthReport::default(),
+            violations: Vec::new(),
+        }
+    }
+}
+
+impl<T> Default for ExecutionMonitor<'static, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, T> ExecutionMonitor<'a, T> {
+    /// Monitor with a validator: every changed rewrite is checked as a
+    /// post-condition, rendered into the plan-change log, and probed for
+    /// idempotence.
+    pub fn with_validator(validator: &'a dyn RuleValidator<T>) -> Self {
+        ExecutionMonitor {
+            validator: Some(validator),
+            log_changes: true,
+            check_idempotence: true,
+            trace: Vec::new(),
+            health: RuleHealthReport::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Disable the per-change before/after rendering (cheaper when only
+    /// violations matter).
+    pub fn without_change_log(mut self) -> Self {
+        self.log_changes = false;
+        self
+    }
+
+    fn needs_before(&self) -> bool {
+        self.validator.is_some() || self.log_changes
+    }
 }
 
 /// Runs batches of rules in order.
@@ -108,12 +415,16 @@ impl<T> RuleExecutor<T> {
     }
 
     /// Run every batch; optionally record which rules fired into `trace`.
+    /// A `FixedPoint` batch that exhausts its cap while still changing
+    /// emits a [`TraceKind::NonConvergence`] event rather than failing
+    /// silently.
     pub fn execute(&self, mut tree: T, mut trace: Option<&mut Vec<TraceEvent>>) -> T {
         for batch in &self.batches {
             let max = match batch.strategy {
                 Strategy::Once => 1,
                 Strategy::FixedPoint { max_iterations } => max_iterations,
             };
+            let mut converged = false;
             for iteration in 0..max {
                 let mut any_change = false;
                 for rule in &batch.rules {
@@ -121,18 +432,105 @@ impl<T> RuleExecutor<T> {
                     if out.changed {
                         any_change = true;
                         if let Some(t) = trace.as_deref_mut() {
-                            t.push(TraceEvent {
-                                batch: batch.name.clone(),
-                                rule: rule.name().to_string(),
-                                iteration,
-                            });
+                            t.push(TraceEvent::fired(&batch.name, rule.name(), iteration, None));
                         }
                     }
                     tree = out.data;
                 }
                 if !any_change {
+                    converged = true;
                     break; // fixed point
                 }
+            }
+            if !converged && matches!(batch.strategy, Strategy::FixedPoint { .. }) {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::non_convergence(&batch.name, max));
+                }
+            }
+        }
+        tree
+    }
+}
+
+impl<T: Clone> RuleExecutor<T> {
+    /// Run every batch under a monitor: count applications and fires per
+    /// rule, probe idempotence, record the plan-change log, and — when the
+    /// monitor carries a [`RuleValidator`] — check every changed rewrite
+    /// as a post-condition. A rewrite that violates an invariant is
+    /// **rolled back** (the rule's output is discarded) and reported in
+    /// [`ExecutionMonitor::violations`], so a buggy rule cannot corrupt
+    /// the tree it hands downstream.
+    pub fn execute_monitored(&self, mut tree: T, monitor: &mut ExecutionMonitor<'_, T>) -> T {
+        for batch in &self.batches {
+            let max = match batch.strategy {
+                Strategy::Once => 1,
+                Strategy::FixedPoint { max_iterations } => max_iterations,
+            };
+            let mut converged = false;
+            for iteration in 0..max {
+                let mut any_change = false;
+                for rule in &batch.rules {
+                    let before = if monitor.needs_before() { Some(tree.clone()) } else { None };
+                    let out = rule.apply(tree);
+                    monitor.health.entry(&batch.name, rule.name()).applications += 1;
+                    if !out.changed {
+                        tree = out.data;
+                        continue;
+                    }
+                    if monitor.check_idempotence && rule.apply(out.data.clone()).changed {
+                        monitor.health.entry(&batch.name, rule.name()).reapply_changes += 1;
+                    }
+                    let rejected = match (monitor.validator, before.as_ref()) {
+                        (Some(v), Some(b)) => {
+                            let viols = v.validate(b, &out.data);
+                            if viols.is_empty() {
+                                false
+                            } else {
+                                let diff = v.diff(b, &out.data);
+                                for viol in viols {
+                                    monitor.violations.push(InvariantViolation {
+                                        batch: batch.name.clone(),
+                                        rule: rule.name().to_string(),
+                                        iteration,
+                                        invariant: viol.invariant,
+                                        message: viol.message,
+                                        diff: diff.clone(),
+                                    });
+                                }
+                                true
+                            }
+                        }
+                        _ => false,
+                    };
+                    if rejected {
+                        monitor.health.entry(&batch.name, rule.name()).rejected += 1;
+                        tree = before.expect("validator implies before snapshot");
+                        continue;
+                    }
+                    any_change = true;
+                    monitor.health.entry(&batch.name, rule.name()).fires += 1;
+                    let change = match (&before, monitor.log_changes, monitor.validator) {
+                        (Some(b), true, Some(v)) => Some(PlanChange {
+                            before: v.render(b),
+                            after: v.render(&out.data),
+                            diff: v.diff(b, &out.data),
+                        }),
+                        _ => None,
+                    };
+                    monitor.trace.push(TraceEvent::fired(&batch.name, rule.name(), iteration, change));
+                    tree = out.data;
+                }
+                if !any_change {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged && matches!(batch.strategy, Strategy::FixedPoint { .. }) {
+                monitor
+                    .health
+                    .non_converged
+                    .push(NonConvergence { batch: batch.name.clone(), max_iterations: max });
+                monitor.trace.push(TraceEvent::non_convergence(&batch.name, max));
             }
         }
         tree
@@ -198,6 +596,7 @@ mod tests {
         exec.execute(8, Some(&mut trace));
         assert_eq!(trace.len(), 3); // 8 -> 4 -> 2 -> 1
         assert!(trace.iter().all(|e| e.rule == "halve"));
+        assert!(trace.iter().all(|e| e.kind == TraceKind::RuleFired));
     }
 
     #[test]
@@ -208,5 +607,136 @@ mod tests {
             vec![Box::new(FnRule::new("plus-one", |n: i64| Transformed::yes(n + 1)))],
         ));
         assert_eq!(exec.execute(1, None), 2);
+    }
+
+    #[test]
+    fn oscillating_batch_reports_non_convergence() {
+        // An oscillating rule (n -> -n forever) must not fail silently:
+        // both the trace and the health report name the batch and its cap.
+        let flip = Box::new(FnRule::new("flip", |n: i64| Transformed::yes(-n)));
+        let exec = RuleExecutor::new(vec![Batch {
+            name: "osc".into(),
+            strategy: Strategy::FixedPoint { max_iterations: 7 },
+            rules: vec![flip],
+        }]);
+
+        let mut trace = Vec::new();
+        assert_eq!(exec.execute(5, Some(&mut trace)), -5);
+        let nc: Vec<_> = trace.iter().filter(|e| e.kind == TraceKind::NonConvergence).collect();
+        assert_eq!(nc.len(), 1);
+        assert_eq!(nc[0].batch, "osc");
+        assert_eq!(nc[0].iteration, 7);
+
+        let mut monitor = ExecutionMonitor::new();
+        assert_eq!(exec.execute_monitored(5, &mut monitor), -5);
+        assert_eq!(monitor.health.non_converged.len(), 1);
+        assert_eq!(monitor.health.non_converged[0].batch, "osc");
+        assert_eq!(monitor.health.non_converged[0].max_iterations, 7);
+        let report = monitor.health.render();
+        assert!(report.contains("non-converged batch: 'osc'"), "{report}");
+    }
+
+    #[test]
+    fn converging_batches_report_no_non_convergence() {
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("shrink", vec![halve(), dec_odd()])]);
+        let mut trace = Vec::new();
+        exec.execute(1000, Some(&mut trace));
+        assert!(trace.iter().all(|e| e.kind == TraceKind::RuleFired));
+    }
+
+    #[test]
+    fn monitor_counts_applications_fires_and_effectiveness() {
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("shrink", vec![halve(), dec_odd()])]);
+        let mut monitor = ExecutionMonitor::new();
+        assert_eq!(exec.execute_monitored(8, &mut monitor), 1);
+        // 8 -> 4 -> 2 -> 1, then one clean pass: halve applied 4x, fired 3x.
+        let h = monitor.health.health_for("shrink", "halve").unwrap();
+        assert_eq!(h.applications, 4);
+        assert_eq!(h.fires, 3);
+        assert!((h.effectiveness() - 0.75).abs() < 1e-9);
+        let d = monitor.health.health_for("shrink", "dec-odd").unwrap();
+        assert_eq!(d.fires, 0);
+        assert_eq!(d.effectiveness(), 0.0);
+        // Trace matches plain execution.
+        assert_eq!(monitor.trace.len(), 3);
+    }
+
+    struct NegativeForbidden;
+    impl RuleValidator<i64> for NegativeForbidden {
+        fn validate(&self, _before: &i64, after: &i64) -> Vec<RuleViolation> {
+            if *after < 0 {
+                vec![RuleViolation {
+                    invariant: "non-negative".into(),
+                    message: format!("tree became {after}"),
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+        fn render(&self, tree: &i64) -> String {
+            tree.to_string()
+        }
+    }
+
+    #[test]
+    fn validator_rejects_and_rolls_back_bad_rewrites() {
+        // "negate" breaks the invariant; "halve" is fine. The bad rewrite
+        // must be rolled back so the good rule still converges.
+        let negate = Box::new(FnRule::new("negate", |n: i64| {
+            if n > 2 { Transformed::yes(-n) } else { Transformed::no(n) }
+        }));
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("mix", vec![negate, halve()])]);
+        let validator = NegativeForbidden;
+        let mut monitor = ExecutionMonitor::with_validator(&validator);
+        assert_eq!(exec.execute_monitored(8, &mut monitor), 1);
+        assert!(!monitor.violations.is_empty());
+        let v = &monitor.violations[0];
+        assert_eq!(v.batch, "mix");
+        assert_eq!(v.rule, "negate");
+        assert_eq!(v.invariant, "non-negative");
+        assert!(v.diff.contains('8'), "diff should show the before tree: {}", v.diff);
+        let h = monitor.health.health_for("mix", "negate").unwrap();
+        assert!(h.rejected >= 1);
+        assert_eq!(h.fires, 0);
+    }
+
+    #[test]
+    fn monitor_probes_idempotence() {
+        // inc-to-10 changes its own output when re-applied (7 -> 8 then
+        // 8 -> 9): not idempotent. halve on 8 -> 4 also re-fires. Use a
+        // rule idempotent by construction for the negative case.
+        let snap = Box::new(FnRule::new("snap-to-zero", |n: i64| {
+            if n != 0 { Transformed::yes(0) } else { Transformed::no(n) }
+        }));
+        let inc = Box::new(FnRule::new("inc-to-10", |n: i64| {
+            if n < 10 { Transformed::yes(n + 1) } else { Transformed::no(n) }
+        }));
+        let validator = NegativeForbidden;
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("probe", vec![inc, snap])]);
+        let mut monitor = ExecutionMonitor::with_validator(&validator);
+        exec.execute_monitored(5, &mut monitor);
+        assert!(monitor.health.health_for("probe", "inc-to-10").unwrap().reapply_changes > 0);
+        assert_eq!(monitor.health.health_for("probe", "snap-to-zero").unwrap().reapply_changes, 0);
+    }
+
+    #[test]
+    fn change_log_records_before_after_and_diff() {
+        let validator = NegativeForbidden;
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("shrink", vec![halve()])]);
+        let mut monitor = ExecutionMonitor::with_validator(&validator);
+        exec.execute_monitored(4, &mut monitor);
+        let change = monitor.trace[0].change.as_ref().expect("change log populated");
+        assert_eq!(change.before, "4");
+        assert_eq!(change.after, "2");
+    }
+
+    #[test]
+    fn health_report_renders_table() {
+        let exec = RuleExecutor::new(vec![Batch::fixed_point("shrink", vec![halve()])]);
+        let mut monitor = ExecutionMonitor::new();
+        exec.execute_monitored(8, &mut monitor);
+        let report = monitor.health.render();
+        assert!(report.contains("halve"), "{report}");
+        assert!(report.contains("non-converged batches: none"), "{report}");
     }
 }

@@ -1,0 +1,95 @@
+//! Structural plan diffing for the plan-change log.
+//!
+//! Plans render as indented one-node-per-line trees, so a line-based
+//! longest-common-subsequence diff gives a readable structural delta:
+//! unchanged nodes keep their line, removed nodes get `-`, added nodes
+//! get `+`. This is what violation reports and `TraceEvent` plan changes
+//! embed.
+
+/// Line-based LCS diff of two renderings. Lines only in `before` are
+/// prefixed `- `, lines only in `after` are prefixed `+ `, common lines
+/// are prefixed two spaces.
+pub fn line_diff(before: &str, after: &str) -> String {
+    let a: Vec<&str> = before.lines().collect();
+    let b: Vec<&str> = after.lines().collect();
+    let n = a.len();
+    let m = b.len();
+    // lcs[i][j] = length of the LCS of a[i..] and b[j..].
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = String::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push_str("  ");
+            out.push_str(a[i]);
+            out.push('\n');
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push_str("- ");
+            out.push_str(a[i]);
+            out.push('\n');
+            i += 1;
+        } else {
+            out.push_str("+ ");
+            out.push_str(b[j]);
+            out.push('\n');
+            j += 1;
+        }
+    }
+    for line in &a[i..] {
+        out.push_str("- ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for line in &b[j..] {
+        out.push_str("+ ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_have_no_markers() {
+        let d = line_diff("a\nb", "a\nb");
+        assert_eq!(d, "  a\n  b\n");
+    }
+
+    #[test]
+    fn removed_and_added_lines_are_marked() {
+        let d = line_diff("Filter x\nScan t", "Scan t");
+        assert_eq!(d, "- Filter x\n  Scan t\n");
+        let d = line_diff("Scan t", "Limit 5\nScan t");
+        assert_eq!(d, "+ Limit 5\n  Scan t\n");
+    }
+
+    #[test]
+    fn replacement_shows_both_sides() {
+        let d = line_diff("A\nB\nC", "A\nX\nC");
+        assert!(d.contains("- B"), "{d}");
+        assert!(d.contains("+ X"), "{d}");
+        assert!(d.contains("  A"), "{d}");
+        assert!(d.contains("  C"), "{d}");
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert_eq!(line_diff("", ""), "");
+        assert_eq!(line_diff("a", ""), "- a\n");
+        assert_eq!(line_diff("", "b"), "+ b\n");
+    }
+}

@@ -1,0 +1,345 @@
+//! Physical-plan invariant checks (the `check_physical` half of
+//! [`super::PlanValidator`]): reference binding against the right child,
+//! shuffle-boundary expectations at hash joins, broadcast build-side
+//! legality, and union shape.
+
+use super::{hash_compatible, Invariant, Violation};
+use crate::expr::{ColumnRef, Expr};
+use crate::physical::{BuildSide, PhysicalPlan};
+use crate::plan::JoinType;
+use crate::types::DataType;
+
+/// Run every physical invariant over the plan tree.
+pub(super) fn check_plan(plan: &PhysicalPlan) -> Vec<Violation> {
+    let mut v = Vec::new();
+    walk(plan, &mut v);
+    v
+}
+
+fn walk(plan: &PhysicalPlan, v: &mut Vec<Violation>) {
+    check_node(plan, v);
+    for c in plan.children() {
+        walk(&c, v);
+    }
+}
+
+/// Every `Column` reference in `e` must be produced by `available`.
+fn refs_within(e: &Expr, available: &[ColumnRef], what: &str, v: &mut Vec<Violation>) {
+    for r in e.references() {
+        if !available.iter().any(|a| a.id == r.id) {
+            v.push(Violation::new(
+                Invariant::PhysicalReferences,
+                format!("{what} references '{}'#{} which its input does not produce", r.name, r.id),
+            ));
+        }
+    }
+}
+
+fn well_typed(e: &Expr, what: &str, v: &mut Vec<Violation>) {
+    if e.is_resolved() {
+        if let Err(err) = e.data_type() {
+            v.push(Violation::new(
+                Invariant::WellTypedExpressions,
+                format!("{what} '{e}' fails to type-check: {err}"),
+            ));
+        }
+    }
+}
+
+fn check_hash_join_keys(
+    op: &str,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    v: &mut Vec<Violation>,
+) {
+    if left_keys.is_empty() || right_keys.is_empty() {
+        v.push(Violation::new(
+            Invariant::JoinKeysAligned,
+            format!("{op} has no equi-join keys — nothing to hash-partition on"),
+        ));
+        return;
+    }
+    if left_keys.len() != right_keys.len() {
+        v.push(Violation::new(
+            Invariant::JoinKeysAligned,
+            format!(
+                "{op} has {} left keys but {} right keys",
+                left_keys.len(),
+                right_keys.len()
+            ),
+        ));
+        return;
+    }
+    let lout = left.output();
+    let rout = right.output();
+    for (i, (lk, rk)) in left_keys.iter().zip(right_keys.iter()).enumerate() {
+        refs_within(lk, &lout, &format!("{op} left key {i}"), v);
+        refs_within(rk, &rout, &format!("{op} right key {i}"), v);
+        well_typed(lk, &format!("{op} left key {i}"), v);
+        well_typed(rk, &format!("{op} right key {i}"), v);
+        if let (Ok(lt), Ok(rt)) = (lk.data_type(), rk.data_type()) {
+            if !hash_compatible(&lt, &rt) {
+                v.push(Violation::new(
+                    Invariant::JoinKeysAligned,
+                    format!(
+                        "{op} key pair {i} compares incomparable types {lt} and {rt} — \
+                         rows cannot co-partition"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_node(plan: &PhysicalPlan, v: &mut Vec<Violation>) {
+    match plan {
+        PhysicalPlan::Scan { residual, output, .. } => {
+            if let Some(r) = residual {
+                refs_within(r, output, "Scan residual", v);
+                well_typed(r, "Scan residual", v);
+            }
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let avail = input.output();
+            for e in exprs {
+                refs_within(e, &avail, "Project expression", v);
+                well_typed(e, "Project expression", v);
+                if e.is_resolved() && e.to_attribute().is_err() {
+                    v.push(Violation::new(
+                        Invariant::NamedOutputs,
+                        format!("physical Project output '{e}' has no stable name"),
+                    ));
+                }
+            }
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            refs_within(predicate, &input.output(), "Filter predicate", v);
+            well_typed(predicate, "Filter predicate", v);
+            if let Ok(t) = predicate.data_type() {
+                if !matches!(t, DataType::Boolean | DataType::Null) {
+                    v.push(Violation::new(
+                        Invariant::BooleanPredicates,
+                        format!("physical Filter predicate '{predicate}' has type {t}"),
+                    ));
+                }
+            }
+        }
+        PhysicalPlan::HashAggregate { input, groupings, output_exprs } => {
+            let avail = input.output();
+            for e in groupings {
+                refs_within(e, &avail, "HashAggregate grouping", v);
+                well_typed(e, "HashAggregate grouping", v);
+            }
+            for e in output_exprs {
+                refs_within(e, &avail, "HashAggregate output", v);
+                well_typed(e, "HashAggregate output", v);
+                if e.is_resolved() && e.to_attribute().is_err() {
+                    v.push(Violation::new(
+                        Invariant::NamedOutputs,
+                        format!("HashAggregate output '{e}' has no stable name"),
+                    ));
+                }
+            }
+        }
+        PhysicalPlan::Sort { input, orders } | PhysicalPlan::TakeOrdered { input, orders, .. } => {
+            let avail = input.output();
+            for o in orders {
+                refs_within(&o.expr, &avail, "sort key", v);
+                well_typed(&o.expr, "sort key", v);
+            }
+        }
+        PhysicalPlan::BroadcastHashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            build_side,
+            residual,
+        } => {
+            check_hash_join_keys("BroadcastHashJoin", left, right, left_keys, right_keys, v);
+            // Broadcasting the build side replicates it to every stream
+            // partition; if the build side is the null-producing side of
+            // an outer join, unmatched build rows cannot be emitted
+            // exactly once. Mirrors the planner's `can_build_*` logic.
+            let legal = match build_side {
+                BuildSide::Right => matches!(join_type, JoinType::Inner | JoinType::Left),
+                BuildSide::Left => matches!(join_type, JoinType::Inner | JoinType::Right),
+            };
+            if !legal {
+                v.push(Violation::new(
+                    Invariant::BuildSideLegal,
+                    format!(
+                        "BroadcastHashJoin builds {build_side:?} for a {} join — the \
+                         null-producing side must be streamed",
+                        join_type.keyword()
+                    ),
+                ));
+            }
+            if let Some(r) = residual {
+                let mut avail = left.output();
+                avail.extend(right.output());
+                refs_within(r, &avail, "join residual", v);
+                well_typed(r, "join residual", v);
+            }
+        }
+        PhysicalPlan::ShuffledHashJoin { left, right, left_keys, right_keys, residual, .. } => {
+            check_hash_join_keys("ShuffledHashJoin", left, right, left_keys, right_keys, v);
+            if let Some(r) = residual {
+                let mut avail = left.output();
+                avail.extend(right.output());
+                refs_within(r, &avail, "join residual", v);
+                well_typed(r, "join residual", v);
+            }
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, condition, .. } => {
+            if let Some(c) = condition {
+                let mut avail = left.output();
+                avail.extend(right.output());
+                refs_within(c, &avail, "NestedLoopJoin condition", v);
+                well_typed(c, "NestedLoopJoin condition", v);
+            }
+        }
+        PhysicalPlan::Union { inputs } => {
+            let Some(first) = inputs.first() else { return };
+            let head = first.output();
+            for (i, inp) in inputs.iter().enumerate().skip(1) {
+                let o = inp.output();
+                if o.len() != head.len() {
+                    v.push(Violation::new(
+                        Invariant::UnionShape,
+                        format!(
+                            "physical Union input {i} has {} columns, expected {}",
+                            o.len(),
+                            head.len()
+                        ),
+                    ));
+                    continue;
+                }
+                for (a, b) in head.iter().zip(o.iter()) {
+                    if !hash_compatible(&a.dtype, &b.dtype) {
+                        v.push(Violation::new(
+                            Invariant::UnionShape,
+                            format!(
+                                "physical Union input {i} column '{}' has type {} \
+                                 incompatible with {}",
+                                b.name, b.dtype, a.dtype
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        PhysicalPlan::ExternalScan { .. }
+        | PhysicalPlan::LocalData { .. }
+        | PhysicalPlan::Limit { .. }
+        | PhysicalPlan::Sample { .. }
+        | PhysicalPlan::Extension { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builders::lit;
+    use std::sync::Arc;
+
+    fn local(cols: Vec<ColumnRef>) -> PhysicalPlan {
+        PhysicalPlan::LocalData { rows: Arc::new(vec![]), output: cols }
+    }
+
+    fn attr(name: &str, dtype: DataType) -> ColumnRef {
+        ColumnRef::new(name, dtype, false)
+    }
+
+    #[test]
+    fn clean_physical_plan_passes() {
+        let a = attr("a", DataType::Long);
+        let p = PhysicalPlan::Filter {
+            input: Arc::new(local(vec![a.clone()])),
+            predicate: Expr::Column(a).gt(lit(1i64)),
+        };
+        assert!(check_plan(&p).is_empty(), "{:?}", check_plan(&p));
+    }
+
+    #[test]
+    fn unbound_reference_is_flagged() {
+        let a = attr("a", DataType::Long);
+        let ghost = attr("ghost", DataType::Long);
+        let p = PhysicalPlan::Filter {
+            input: Arc::new(local(vec![a])),
+            predicate: Expr::Column(ghost).gt(lit(1i64)),
+        };
+        let v = check_plan(&p);
+        assert!(v.iter().any(|x| x.invariant == Invariant::PhysicalReferences), "{v:?}");
+    }
+
+    #[test]
+    fn illegal_broadcast_build_side_is_flagged() {
+        let a = attr("a", DataType::Long);
+        let b = attr("b", DataType::Long);
+        // LEFT join building (broadcasting) the left side: the stream side
+        // cannot emit unmatched left rows — illegal.
+        let p = PhysicalPlan::BroadcastHashJoin {
+            left: Arc::new(local(vec![a.clone()])),
+            right: Arc::new(local(vec![b.clone()])),
+            left_keys: vec![Expr::Column(a)],
+            right_keys: vec![Expr::Column(b)],
+            join_type: JoinType::Left,
+            build_side: BuildSide::Left,
+            residual: None,
+        };
+        let v = check_plan(&p);
+        assert!(v.iter().any(|x| x.invariant == Invariant::BuildSideLegal), "{v:?}");
+    }
+
+    #[test]
+    fn misaligned_join_keys_are_flagged() {
+        let a = attr("a", DataType::Long);
+        let b = attr("b", DataType::Long);
+        let p = PhysicalPlan::ShuffledHashJoin {
+            left: Arc::new(local(vec![a.clone()])),
+            right: Arc::new(local(vec![b.clone()])),
+            left_keys: vec![Expr::Column(a.clone()), Expr::Column(a)],
+            right_keys: vec![Expr::Column(b)],
+            join_type: JoinType::Inner,
+            residual: None,
+        };
+        let v = check_plan(&p);
+        assert!(v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned), "{v:?}");
+    }
+
+    #[test]
+    fn empty_hash_join_keys_are_flagged() {
+        let a = attr("a", DataType::Long);
+        let b = attr("b", DataType::Long);
+        let p = PhysicalPlan::ShuffledHashJoin {
+            left: Arc::new(local(vec![a])),
+            right: Arc::new(local(vec![b])),
+            left_keys: vec![],
+            right_keys: vec![],
+            join_type: JoinType::Inner,
+            residual: None,
+        };
+        let v = check_plan(&p);
+        assert!(v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned), "{v:?}");
+    }
+
+    #[test]
+    fn incomparable_key_types_are_flagged() {
+        let a = attr("a", DataType::Boolean);
+        let b = attr("b", DataType::Long);
+        let p = PhysicalPlan::ShuffledHashJoin {
+            left: Arc::new(local(vec![a.clone()])),
+            right: Arc::new(local(vec![b.clone()])),
+            left_keys: vec![Expr::Column(a)],
+            right_keys: vec![Expr::Column(b)],
+            join_type: JoinType::Inner,
+            residual: None,
+        };
+        let v = check_plan(&p);
+        assert!(v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned), "{v:?}");
+    }
+}

@@ -16,7 +16,8 @@ use catalyst::expr::{ColumnRef, UdfImpl};
 use catalyst::physical::{Planner, PlannerConfig, PhysicalPlan, Strategy};
 use catalyst::plan::LogicalPlan;
 use catalyst::row::Row;
-use catalyst::rules::Batch;
+use catalyst::rules::{Batch, ExecutionMonitor, RuleHealthReport, TraceEvent};
+use catalyst::validation;
 use catalyst::schema::SchemaRef;
 use catalyst::source::BaseRelation;
 use catalyst::types::DataType;
@@ -119,7 +120,35 @@ impl SQLContext {
 
     /// Optimize + physically plan a query.
     pub fn plan_query(&self, analyzed: &LogicalPlan) -> Result<(LogicalPlan, PhysicalPlan)> {
-        let optimized = self.inner.optimizer.lock().optimize(analyzed.clone());
+        let planned = self.plan_query_monitored(analyzed)?;
+        Ok((planned.optimized, planned.physical))
+    }
+
+    /// Optimize + physically plan a query under monitoring: rule-health
+    /// counters are always collected, and — when plan validation is on
+    /// ([`catalyst::validation::enabled`]) — every optimizer rewrite is
+    /// checked as a post-condition and the physical plan is checked at
+    /// shuffle boundaries. A rule that breaks an invariant has its
+    /// rewrite rolled back and fails the query with a report naming the
+    /// batch, rule, iteration, invariant, and plan diff.
+    pub fn plan_query_monitored(&self, analyzed: &LogicalPlan) -> Result<PlannedQuery> {
+        let validate = validation::enabled();
+        let validator = validation::PlanValidator::new();
+        let mut monitor = if validate {
+            ExecutionMonitor::with_validator(&validator)
+        } else {
+            ExecutionMonitor::new()
+        };
+        let optimized =
+            self.inner.optimizer.lock().optimize_with(analyzed.clone(), &mut monitor);
+        if !monitor.violations.is_empty() {
+            let mut msg = String::from("optimizer rule broke a plan invariant:\n");
+            for v in &monitor.violations {
+                msg.push_str(&v.to_string());
+                msg.push('\n');
+            }
+            return Err(CatalystError::Internal(msg));
+        }
         let conf = self.conf();
         let mut planner = Planner::new(PlannerConfig {
             pushdown_enabled: conf.pushdown_enabled,
@@ -130,7 +159,21 @@ impl SQLContext {
             planner.add_strategy(s.clone());
         }
         let physical = planner.plan(&optimized)?;
-        Ok((optimized, physical))
+        if validate {
+            let violations = validator.check_physical(&physical);
+            if !violations.is_empty() {
+                return Err(CatalystError::Internal(format!(
+                    "physical plan failed integrity checks:\n{}",
+                    validation::render_violations(&violations)
+                )));
+            }
+        }
+        Ok(PlannedQuery {
+            optimized,
+            physical,
+            rule_health: monitor.health,
+            trace: monitor.trace,
+        })
     }
 
     /// Full pipeline: analyzed plan → engine RDD.
@@ -450,6 +493,22 @@ impl SQLContext {
             None => Err(CatalystError::analysis(format!("table '{name}' is not cached"))),
         }
     }
+}
+
+/// What [`SQLContext::plan_query_monitored`] produces: the optimized and
+/// physical plans plus everything the execution monitor observed.
+pub struct PlannedQuery {
+    /// The optimized logical plan.
+    pub optimized: LogicalPlan,
+    /// The physical plan.
+    pub physical: PhysicalPlan,
+    /// Per-rule health: applications, fires, effectiveness, idempotence
+    /// probes, and batches that hit their iteration cap while still
+    /// changing the plan.
+    pub rule_health: RuleHealthReport,
+    /// Plan-change log: one event per fired rule (with before/after diffs
+    /// when validation is on) plus non-convergence markers.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// Build a logical scan with fresh attribute ids for a relation.

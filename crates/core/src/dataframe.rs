@@ -268,6 +268,15 @@ impl DataFrame {
         self.query_execution()?.explain_analyze()
     }
 
+    /// Per-rule optimizer health for this query, rendered as a table:
+    /// applications vs. fires (effectiveness), idempotence probes,
+    /// validator-rejected rewrites, and non-converged batches. Pairs with
+    /// [`DataFrame::explain_analyze`] — one shows what execution did, the
+    /// other what optimization did.
+    pub fn rule_health_report(&self) -> Result<String> {
+        Ok(self.query_execution()?.rule_health_report())
+    }
+
     /// Names of the optimizer rules that fired for this plan, in order.
     pub fn optimizer_trace(&self) -> Vec<String> {
         self.ctx

@@ -16,6 +16,7 @@ use catalyst::physical::metrics::{format_ns, render_annotated, PlanMetrics};
 use catalyst::physical::PhysicalPlan;
 use catalyst::plan::LogicalPlan;
 use catalyst::row::Row;
+use catalyst::rules::RuleHealthReport;
 use catalyst::CatalystError;
 use engine::RddRef;
 use std::sync::Arc;
@@ -34,13 +35,36 @@ pub struct QueryExecution {
     optimized: LogicalPlan,
     physical: PhysicalPlan,
     metrics: Arc<PlanMetrics>,
+    rule_health: RuleHealthReport,
 }
 
 impl QueryExecution {
     pub(crate) fn new(ctx: SQLContext, analyzed: LogicalPlan) -> Result<QueryExecution> {
-        let (optimized, physical) = ctx.plan_query(&analyzed)?;
-        let metrics = PlanMetrics::for_plan(&physical);
-        Ok(QueryExecution { ctx, analyzed, optimized, physical, metrics })
+        let planned = ctx.plan_query_monitored(&analyzed)?;
+        let metrics = PlanMetrics::for_plan(&planned.physical);
+        Ok(QueryExecution {
+            ctx,
+            analyzed,
+            optimized: planned.optimized,
+            physical: planned.physical,
+            metrics,
+            rule_health: planned.rule_health,
+        })
+    }
+
+    /// Per-rule health for this query's optimizer run: how often each
+    /// rule was applied vs. actually fired, rules that change their own
+    /// output when re-applied (idempotence probes), rewrites the plan
+    /// validator rejected, and batches that hit `max_iterations` without
+    /// converging.
+    pub fn rule_health(&self) -> &RuleHealthReport {
+        &self.rule_health
+    }
+
+    /// The rule-health report rendered as an aligned table, suitable for
+    /// printing next to [`QueryExecution::explain_analyze`] output.
+    pub fn rule_health_report(&self) -> String {
+        self.rule_health.render()
     }
 
     /// The analyzed logical plan (names resolved, types checked).

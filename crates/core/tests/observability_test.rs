@@ -230,3 +230,36 @@ fn deprecated_save_helpers_still_work() {
     assert!(path.exists());
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn query_execution_exposes_rule_health() {
+    let ctx = SQLContext::new_local(2);
+    // A query with a foldable predicate so the optimizer demonstrably
+    // fires, stacked on the usual multi-stage shape.
+    let df = multi_stage(&ctx)
+        .where_(lit(1).lt(lit(2)))
+        .unwrap();
+    let qe = df.query_execution().unwrap();
+
+    let health = qe.rule_health();
+    assert!(!health.rules.is_empty());
+    let cf = health
+        .health_for("Operator Optimizations", "ConstantFolding")
+        .expect("ConstantFolding health missing");
+    assert!(cf.applications >= 1);
+    assert!(health.non_converged.is_empty(), "{:?}", health.non_converged);
+
+    // The rendered report pairs with explain_analyze() output.
+    let report = qe.rule_health_report();
+    assert!(report.contains("== Rule Health =="), "{report}");
+    assert!(report.contains("ConstantFolding"), "{report}");
+    assert!(report.contains("non-converged batches: none"), "{report}");
+
+    // The DataFrame-level shortcut renders the same table.
+    let via_df = df.rule_health_report().unwrap();
+    assert!(via_df.contains("== Rule Health =="), "{via_df}");
+
+    // And the query still executes correctly under full validation.
+    let rows = qe.collect().unwrap();
+    assert!(!rows.is_empty());
+}
