@@ -36,7 +36,7 @@ fn main() {
         })
         .collect();
 
-    let batches = batch_rows(schema, &rows, columnar::DEFAULT_BATCH_SIZE);
+    let batches = batch_rows(schema, rows.clone(), columnar::DEFAULT_BATCH_SIZE);
     let object_bytes = memory::object_cache_bytes(&rows);
     let columnar_bytes = memory::columnar_cache_bytes(&batches);
 

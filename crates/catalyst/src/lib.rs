@@ -46,6 +46,7 @@ pub mod types;
 pub mod udt;
 pub mod validation;
 pub mod value;
+pub mod vectorized;
 
 pub use error::{CatalystError, Result};
 pub use expr::{col, lit, Expr};

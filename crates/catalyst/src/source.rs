@@ -25,6 +25,9 @@ use std::sync::Arc;
 /// Boxed row iterator produced by one scan partition.
 pub type RowIter = Box<dyn Iterator<Item = Row> + Send>;
 
+/// Boxed batch iterator produced by one vectorized scan partition.
+pub type BatchIter = Box<dyn Iterator<Item = crate::vectorized::RowBatch> + Send>;
+
 /// How sophisticated a relation's scan interface is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanCapability {
@@ -151,6 +154,24 @@ pub trait BaseRelation: Send + Sync {
         _predicates: &[Expr],
     ) -> Result<RowIter> {
         self.scan_partition(partition, projection, &[])
+    }
+
+    /// Vectorized scan: yield [`crate::vectorized::RowBatch`]es directly
+    /// (columns restricted to `projection`, advisory `filters` applied as
+    /// a selection vector), skipping the row materialization round-trip.
+    ///
+    /// `Ok(None)` — the default — means the source has no native batch
+    /// path; the executor then chunks [`BaseRelation::scan_partition`]
+    /// rows into batches itself. Sources that return `Some` must apply
+    /// `projection` and `filters` with the same semantics as their row
+    /// scan.
+    fn scan_partition_vectors(
+        &self,
+        _partition: usize,
+        _projection: Option<&[usize]>,
+        _filters: &[Filter],
+    ) -> Result<Option<BatchIter>> {
+        Ok(None)
     }
 
     /// Which of `filters` this source evaluates *exactly* (no false

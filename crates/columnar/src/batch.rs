@@ -7,6 +7,9 @@ use catalyst::row::Row;
 use catalyst::schema::SchemaRef;
 use catalyst::source::Filter;
 use catalyst::value::Value;
+use catalyst::vectorized::{ColumnVector, RowBatch};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Default rows per batch for cached relations.
 pub const DEFAULT_BATCH_SIZE: usize = 4096;
@@ -20,18 +23,27 @@ pub struct ColumnarBatch {
 }
 
 impl ColumnarBatch {
-    /// Encode rows into a batch.
-    pub fn from_rows(schema: SchemaRef, rows: &[Row]) -> Self {
+    /// Encode rows into a batch. Takes the rows by value so each
+    /// [`Value`] is *moved* into its column (one transpose, no per-value
+    /// clone through a scratch vector — see the `vectorized` bench for
+    /// the before/after).
+    pub fn from_rows(schema: SchemaRef, rows: Vec<Row>) -> Self {
         let num_rows = rows.len();
-        let mut columns = Vec::with_capacity(schema.len());
-        let mut scratch: Vec<Value> = Vec::with_capacity(num_rows);
-        for (i, field) in schema.fields().iter().enumerate() {
-            scratch.clear();
-            for r in rows {
-                scratch.push(r.values().get(i).cloned().unwrap_or(Value::Null));
+        let mut cols: Vec<Vec<Value>> = (0..schema.len())
+            .map(|_| Vec::with_capacity(num_rows))
+            .collect();
+        for row in rows {
+            let mut vals = row.into_values().into_iter();
+            for col in cols.iter_mut() {
+                col.push(vals.next().unwrap_or(Value::Null));
             }
-            columns.push(EncodedColumn::encode(&field.dtype, &scratch));
         }
+        let columns = schema
+            .fields()
+            .iter()
+            .zip(&cols)
+            .map(|(field, vals)| EncodedColumn::encode(&field.dtype, vals))
+            .collect();
         ColumnarBatch { schema, columns, num_rows }
     }
 
@@ -84,6 +96,77 @@ impl ColumnarBatch {
         true
     }
 
+    /// Decode into an execution [`RowBatch`] of typed column vectors,
+    /// optionally projecting — the batch-path analogue of
+    /// [`ColumnarBatch::decode`], with no intermediate [`Row`]s.
+    pub fn to_row_batch(&self, projection: Option<&[usize]>) -> RowBatch {
+        let indices: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.columns.len()).collect(),
+        };
+        let columns = indices
+            .iter()
+            .map(|&i| Arc::new(self.columns[i].decode_vector()))
+            .collect();
+        RowBatch::new(columns, self.num_rows)
+    }
+
+    /// Vectorized scan of this batch: decode only the columns named by
+    /// `projection` ∪ `filters` (each once), evaluate the advisory
+    /// filters into a selection vector, and return the projected columns.
+    /// Filters on columns the schema doesn't know are kept conservative
+    /// (no selection), like the row-path scan.
+    pub fn scan_to_row_batch(&self, projection: Option<&[usize]>, filters: &[Filter]) -> RowBatch {
+        let out_indices: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.columns.len()).collect(),
+        };
+        let mut cache: BTreeMap<usize, Arc<ColumnVector>> = BTreeMap::new();
+        for &i in &out_indices {
+            cache
+                .entry(i)
+                .or_insert_with(|| Arc::new(self.columns[i].decode_vector()));
+        }
+        let mut filter_cols: Vec<(usize, &Filter)> = Vec::new();
+        for f in filters {
+            if let Ok(i) = self.schema.index_of(f.column()) {
+                cache
+                    .entry(i)
+                    .or_insert_with(|| Arc::new(self.columns[i].decode_vector()));
+                filter_cols.push((i, f));
+            }
+        }
+        let columns = out_indices.iter().map(|i| cache[i].clone()).collect();
+        let batch = RowBatch::new(columns, self.num_rows);
+        if filter_cols.is_empty() {
+            return batch;
+        }
+        let selection: Vec<u32> = (0..self.num_rows)
+            .filter(|&r| filter_cols.iter().all(|(i, f)| f.matches(&cache[i].get(r))))
+            .map(|r| r as u32)
+            .collect();
+        batch.with_selection(selection)
+    }
+
+    /// Re-encode an execution batch (compacting its selection vector) —
+    /// the inverse of [`ColumnarBatch::to_row_batch`]. Column order must
+    /// match `schema`.
+    pub fn from_row_batch(schema: SchemaRef, batch: &RowBatch) -> Self {
+        assert_eq!(schema.len(), batch.num_columns(), "column count mismatch");
+        let num_rows = batch.selected_count();
+        let columns = schema
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(j, field)| {
+                let mut vals = Vec::with_capacity(num_rows);
+                batch.for_each_selected(|i| vals.push(batch.column(j).get(i)));
+                EncodedColumn::encode(&field.dtype, &vals)
+            })
+            .collect();
+        ColumnarBatch { schema, columns, num_rows }
+    }
+
     /// Per-column stats.
     pub fn stats(&self, column: usize) -> &ColumnStats {
         &self.columns[column].stats
@@ -95,12 +178,19 @@ impl ColumnarBatch {
     }
 }
 
-/// Split rows into encoded batches of `batch_size`.
-pub fn batch_rows(schema: SchemaRef, rows: &[Row], batch_size: usize) -> Vec<ColumnarBatch> {
+/// Split rows into encoded batches of `batch_size`, consuming them.
+pub fn batch_rows(schema: SchemaRef, rows: Vec<Row>, batch_size: usize) -> Vec<ColumnarBatch> {
     let batch_size = batch_size.max(1);
-    rows.chunks(batch_size)
-        .map(|chunk| ColumnarBatch::from_rows(schema.clone(), chunk))
-        .collect()
+    let mut out = Vec::with_capacity(rows.len().div_ceil(batch_size));
+    let mut it = rows.into_iter();
+    loop {
+        let chunk: Vec<Row> = it.by_ref().take(batch_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(ColumnarBatch::from_rows(schema.clone(), chunk));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -126,7 +216,7 @@ mod tests {
     #[test]
     fn roundtrip_and_projection() {
         let rs = rows(100);
-        let b = ColumnarBatch::from_rows(schema(), &rs);
+        let b = ColumnarBatch::from_rows(schema(), rs.clone());
         assert_eq!(b.decode(None), rs);
         let projected = b.decode(Some(&[1]));
         assert_eq!(projected[0], Row::new(vec![Value::str("c0")]));
@@ -135,7 +225,7 @@ mod tests {
 
     #[test]
     fn batch_skipping_via_stats() {
-        let batches = batch_rows(schema(), &rows(100), 10);
+        let batches = batch_rows(schema(), rows(100), 10);
         assert_eq!(batches.len(), 10);
         // Batch 0 holds ids 0..10; a filter on id > 50 skips it.
         assert!(!batches[0].may_match(&[Filter::Gt("id".into(), Value::Long(50))]));
@@ -147,7 +237,7 @@ mod tests {
     #[test]
     fn compressed_batches_are_smaller_than_rows() {
         let rs = rows(4096);
-        let b = ColumnarBatch::from_rows(schema(), &rs);
+        let b = ColumnarBatch::from_rows(schema(), rs.clone());
         let row_bytes: u64 = rs.iter().map(Row::approx_bytes).sum();
         assert!(
             b.bytes() * 2 < row_bytes,

@@ -11,6 +11,7 @@ use crate::encoding;
 use crate::stats::ColumnStats;
 use catalyst::types::DataType;
 use catalyst::value::Value;
+use catalyst::vectorized::ColumnVector;
 use std::sync::Arc;
 
 /// Physical layout of one column.
@@ -282,6 +283,39 @@ impl EncodedColumn {
             }
             _ => (0..self.len).map(|i| self.get(i)).collect(),
         }
+    }
+
+    /// Decode into an execution [`ColumnVector`] without a boxed-`Value`
+    /// round-trip: plain numeric encodings copy (or widen) their lanes
+    /// directly, RLE expands runs, dictionaries gather, bit-packed
+    /// booleans unpack. Only complex types (struct, decimal, …) go
+    /// through boxed values.
+    pub fn decode_vector(&self) -> ColumnVector {
+        use catalyst::vectorized::VectorData;
+        let nulls = self.nulls.as_ref().map(|b| {
+            (0..self.len).map(|i| b.get(i)).collect::<Vec<bool>>()
+        });
+        let data = match &self.data {
+            ColumnData::Int(v) => VectorData::Long(v.iter().map(|&x| x as i64).collect()),
+            ColumnData::Long(v) => VectorData::Long(v.clone()),
+            ColumnData::RleInt(runs) => VectorData::Long(
+                encoding::rle_decode(runs).into_iter().map(|x| x as i64).collect(),
+            ),
+            ColumnData::RleLong(runs) => VectorData::Long(encoding::rle_decode(runs)),
+            ColumnData::Float(v) => VectorData::Double(v.iter().map(|&x| x as f64).collect()),
+            ColumnData::Double(v) => VectorData::Double(v.clone()),
+            ColumnData::Str(v) => VectorData::Str(v.clone()),
+            ColumnData::DictStr { dict, codes } => VectorData::Str(
+                codes.iter().map(|&c| dict[c as usize].clone()).collect(),
+            ),
+            ColumnData::Bool { words, .. } => VectorData::Bool(
+                (0..self.len).map(|i| encoding::bool_get(words, i)).collect(),
+            ),
+            ColumnData::StructCols(_) | ColumnData::Values(_) => {
+                return ColumnVector::from_boxed(self.dtype.clone(), self.decode_all());
+            }
+        };
+        ColumnVector::new(self.dtype.clone(), data, nulls)
     }
 
     fn zip_nulls(&self, values: impl Iterator<Item = Value>) -> Vec<Value> {

@@ -49,7 +49,7 @@ mod tests {
                 ])
             })
             .collect();
-        let batches = batch_rows(schema, &rows, 4096);
+        let batches = batch_rows(schema, rows.clone(), 4096);
         let ratio = compression_ratio(&rows, &batches);
         assert!(ratio > 10.0, "expected ≥10x compression, got {ratio:.1}x");
     }

@@ -123,7 +123,7 @@ fn stats_skipping_is_sound() {
         let threshold = rng.random_range(-120i64..120);
         let schema = Arc::new(Schema::new(vec![StructField::new("x", DataType::Long, false)]));
         let rows: Vec<Row> = values.iter().map(|&v| Row::new(vec![Value::Long(v)])).collect();
-        let batches = batch_rows(schema, &rows, 16);
+        let batches = batch_rows(schema, rows.clone(), 16);
         for (fi, filter) in [
             Filter::Gt("x".into(), Value::Long(threshold)),
             Filter::Lt("x".into(), Value::Long(threshold)),
@@ -172,7 +172,7 @@ fn batch_alignment() {
                 ])
             })
             .collect();
-        let batch = ColumnarBatch::from_rows(schema, &rows);
+        let batch = ColumnarBatch::from_rows(schema, rows.clone());
         assert_eq!(batch.decode(None), rows);
         // Projection keeps alignment too.
         let projected = batch.decode(Some(&[2, 0]));

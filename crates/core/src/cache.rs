@@ -11,14 +11,14 @@
 use catalyst::error::{CatalystError, Result};
 use catalyst::row::Row;
 use catalyst::schema::SchemaRef;
-use catalyst::source::{BaseRelation, Filter, RowIter, ScanCapability};
+use catalyst::source::{BaseRelation, BatchIter, Filter, RowIter, ScanCapability};
 use columnar::{batch_rows, ColumnarBatch};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Materialized form of one cached partition.
 enum CachedPartition {
-    Columnar(Vec<ColumnarBatch>),
+    Columnar(Arc<Vec<ColumnarBatch>>),
     Rows(Arc<Vec<Row>>),
 }
 
@@ -74,11 +74,11 @@ impl CachedRelation {
                     .into_iter()
                     .map(|rows| {
                         if self.columnar {
-                            CachedPartition::Columnar(batch_rows(
+                            CachedPartition::Columnar(Arc::new(batch_rows(
                                 self.schema.clone(),
-                                &rows,
+                                rows,
                                 self.batch_size,
-                            ))
+                            )))
                         } else {
                             CachedPartition::Rows(Arc::new(rows))
                         }
@@ -183,7 +183,7 @@ impl BaseRelation for CachedRelation {
                 let mut out: Vec<Row> = Vec::new();
                 let schema = self.schema.clone();
                 if filters.is_empty() {
-                    for b in batches {
+                    for b in batches.iter() {
                         out.extend(b.decode(projection));
                     }
                     return Ok(Box::new(out.into_iter()));
@@ -202,7 +202,7 @@ impl BaseRelation for CachedRelation {
                 needed.sort_unstable();
                 needed.dedup();
                 let pos_of = |col: usize| needed.binary_search(&col).expect("needed col");
-                for b in batches {
+                for b in batches.iter() {
                     if !b.may_match(filters) {
                         continue;
                     }
@@ -222,6 +222,38 @@ impl BaseRelation for CachedRelation {
                 Ok(Box::new(out.into_iter()))
             }
         }
+    }
+
+    fn scan_partition_vectors(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        filters: &[Filter],
+    ) -> Result<Option<BatchIter>> {
+        let parts = self.materialized()?;
+        let Some(CachedPartition::Columnar(batches)) = parts.get(partition) else {
+            // Row-cached partitions (or out-of-range) use the generic
+            // row→batch adapter in the executor.
+            return Ok(None);
+        };
+        // Stream batches straight out of the cache: statistics skip whole
+        // batches, then each survivor decodes only the needed columns into
+        // vectors with the filters applied as a selection vector.
+        let batches = batches.clone();
+        let projection: Option<Vec<usize>> = projection.map(<[usize]>::to_vec);
+        let filters = filters.to_vec();
+        let mut i = 0;
+        Ok(Some(Box::new(std::iter::from_fn(move || {
+            while i < batches.len() {
+                let b = &batches[i];
+                i += 1;
+                if !b.may_match(&filters) {
+                    continue;
+                }
+                return Some(b.scan_to_row_batch(projection.as_deref(), &filters));
+            }
+            None
+        }))))
     }
 
     fn handled_filters(&self, filters: &[Filter]) -> Vec<bool> {

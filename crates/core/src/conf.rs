@@ -1,6 +1,8 @@
 //! Session configuration — including the ablation switches the benchmark
 //! harness flips (codegen, columnar cache, pushdown, broadcast threshold).
 
+use std::sync::OnceLock;
+
 /// Tunable knobs of a [`crate::SQLContext`].
 #[derive(Debug, Clone)]
 pub struct SqlConf {
@@ -20,6 +22,13 @@ pub struct SqlConf {
     pub shuffle_partitions: usize,
     /// Rows per columnar cache batch.
     pub cache_batch_size: usize,
+    /// Execute Scan/Filter/Project over columnar `RowBatch`es with
+    /// vectorized expression kernels, falling back to rows for the rest
+    /// of the plan. `CATALYST_VECTORIZE=0` in the environment flips the
+    /// default off (the pure row path, for differential testing).
+    pub vectorize_enabled: bool,
+    /// Rows per execution batch on the vectorized path.
+    pub vectorize_batch_size: usize,
 }
 
 impl Default for SqlConf {
@@ -32,20 +41,38 @@ impl Default for SqlConf {
             broadcast_threshold: 10 * 1024 * 1024,
             shuffle_partitions: 8,
             cache_batch_size: columnar::DEFAULT_BATCH_SIZE,
+            vectorize_enabled: vectorize_default(),
+            vectorize_batch_size: columnar::DEFAULT_BATCH_SIZE,
         }
     }
 }
 
 impl SqlConf {
     /// A configuration approximating Shark (§6.1 baseline): no expression
-    /// compilation, no columnar cache, no source pushdown.
+    /// compilation, no columnar cache, no source pushdown, row-at-a-time
+    /// execution.
     pub fn shark_like() -> Self {
         SqlConf {
             codegen_enabled: false,
             columnar_cache_enabled: false,
             pushdown_enabled: false,
             column_pruning_enabled: false,
+            vectorize_enabled: false,
             ..Default::default()
         }
     }
+}
+
+/// Default for [`SqlConf::vectorize_enabled`]: on, unless the
+/// `CATALYST_VECTORIZE` environment variable disables it ("", "0",
+/// "false", "off", "no" — same grammar as `CATALYST_VALIDATE`).
+fn vectorize_default() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("CATALYST_VECTORIZE") {
+        Err(_) => true,
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !matches!(v.as_str(), "" | "0" | "false" | "off" | "no")
+        }
+    })
 }

@@ -17,9 +17,11 @@ use catalyst::physical::metrics::{subtree_size, OperatorMetrics, PlanMetrics};
 use catalyst::physical::{BuildSide, PhysicalPlan};
 use catalyst::plan::JoinType;
 use catalyst::row::Row;
+use catalyst::source::RowIter;
 use catalyst::tree::{Transformed, TreeNode};
 use catalyst::types::DataType;
 use catalyst::value::Value;
+use catalyst::vectorized::{self, RowBatch};
 use engine::{HashPartitioner, PairRdd, RddRef, SparkContext};
 use std::cmp::Ordering;
 use std::time::Instant;
@@ -367,6 +369,15 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RddRef<Row>> {
 /// enclosing window, so each shuffle lands on the operator that induced
 /// the exchange (sort, aggregate, shuffled join, distinct).
 fn execute_node(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row>> {
+    if ctx.conf.vectorize_enabled {
+        if let Some(batched) = try_execute_batched(plan, id, ctx) {
+            // Batch→row adapter: compact selected lanes into rows only at
+            // the boundary where a row operator (or the driver) consumes
+            // them. The batch subtree already metered itself, so the
+            // adapter is deliberately unmetered.
+            return Ok(batched?.flat_map(RowBatch::into_selected_rows));
+        }
+    }
     let shuffles_before = ctx.sc.current_shuffle_id();
     let rdd = lower(plan, id, ctx)?;
     match &ctx.metrics {
@@ -379,6 +390,185 @@ fn execute_node(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<Rdd
         }
         None => Ok(rdd),
     }
+}
+
+// ---- vectorized (batch) execution path ----
+
+/// Partition iterator chunking a row scan into [`RowBatch`]es — the
+/// generic row→batch adapter for sources without a native vector scan.
+struct IterChunks {
+    inner: RowIter,
+    dtypes: Arc<Vec<DataType>>,
+    batch_size: usize,
+}
+
+impl Iterator for IterChunks {
+    type Item = RowBatch;
+
+    fn next(&mut self) -> Option<RowBatch> {
+        let mut buf = Vec::with_capacity(self.batch_size);
+        while buf.len() < self.batch_size {
+            match self.inner.next() {
+                Some(row) => buf.push(row),
+                None => break,
+            }
+        }
+        if buf.is_empty() {
+            None
+        } else {
+            Some(RowBatch::from_rows(&self.dtypes, &buf))
+        }
+    }
+}
+
+/// Batch-path analogue of [`MeteredIter`]: `rows` counts *selected* rows
+/// (comparable with the row path), `batches` and `batch_rows_scanned`
+/// (physical lanes) expose batch counts and per-operator selectivity in
+/// `explain_analyze`.
+struct BatchMeteredIter {
+    inner: engine::BoxIter<RowBatch>,
+    node: Arc<OperatorMetrics>,
+    rows: u64,
+    lanes: u64,
+    batches: u64,
+    elapsed_ns: u64,
+}
+
+impl Iterator for BatchMeteredIter {
+    type Item = RowBatch;
+
+    fn next(&mut self) -> Option<RowBatch> {
+        let t0 = Instant::now();
+        let item = self.inner.next();
+        self.elapsed_ns += t0.elapsed().as_nanos() as u64;
+        if let Some(b) = &item {
+            self.batches += 1;
+            self.rows += b.selected_count() as u64;
+            self.lanes += b.num_rows() as u64;
+        }
+        item
+    }
+}
+
+impl Drop for BatchMeteredIter {
+    fn drop(&mut self) {
+        self.node.add_rows(self.rows);
+        self.node.add_elapsed_ns(self.elapsed_ns);
+        self.node.add_extra("batches", self.batches);
+        self.node.add_extra("batch_rows_scanned", self.lanes);
+    }
+}
+
+fn metered_batches(rdd: &RddRef<RowBatch>, node: Arc<OperatorMetrics>) -> RddRef<RowBatch> {
+    rdd.map_partitions(move |it| {
+        Box::new(BatchMeteredIter {
+            inner: it,
+            node: node.clone(),
+            rows: 0,
+            lanes: 0,
+            batches: 0,
+            elapsed_ns: 0,
+        })
+    })
+}
+
+/// Lower a plan subtree to batch operators, or `None` when this operator
+/// (or, for Filter/Project, its child chain down to a leaf) has no batch
+/// form — the caller then takes the row path for the whole subtree.
+/// Batch subtrees grow from batchable leaves (Scan, LocalData) upward
+/// through Filter and Project only; everything else adapts at the
+/// boundary via [`RowBatch::into_selected_rows`].
+fn try_execute_batched(
+    plan: &PhysicalPlan,
+    id: usize,
+    ctx: &ExecContext,
+) -> Option<Result<RddRef<RowBatch>>> {
+    let lowered = try_lower_batched(plan, id, ctx)?;
+    Some(lowered.map(|rdd| match &ctx.metrics {
+        Some(pm) => metered_batches(&rdd, pm.node(id)),
+        None => rdd,
+    }))
+}
+
+fn try_lower_batched(
+    plan: &PhysicalPlan,
+    id: usize,
+    ctx: &ExecContext,
+) -> Option<Result<RddRef<RowBatch>>> {
+    match plan {
+        PhysicalPlan::Scan { relation, projection, pushed_filters, residual, output } => {
+            let relation = relation.clone();
+            let n = relation.num_partitions().max(1);
+            let proj = projection.clone();
+            let filters = pushed_filters.clone();
+            let dtypes: Arc<Vec<DataType>> =
+                Arc::new(output.iter().map(|c| c.dtype.clone()).collect());
+            let batch_size = ctx.conf.vectorize_batch_size.max(1);
+            let rdd = ctx.sc.generate(n, move |p| -> engine::BoxIter<RowBatch> {
+                match relation.scan_partition_vectors(p, proj.as_deref(), &filters) {
+                    Ok(Some(batches)) => batches,
+                    Ok(None) => match relation.scan_partition(p, proj.as_deref(), &filters) {
+                        Ok(it) => Box::new(IterChunks {
+                            inner: it,
+                            dtypes: dtypes.clone(),
+                            batch_size,
+                        }),
+                        Err(e) => panic!("scan failed: {e}"),
+                    },
+                    Err(e) => panic!("scan failed: {e}"),
+                }
+            });
+            Some(match residual {
+                Some(r) => batch_filter(rdd, r, output, ctx),
+                None => Ok(rdd),
+            })
+        }
+
+        PhysicalPlan::LocalData { rows, output } => {
+            let rows = rows.clone();
+            let dtypes: Arc<Vec<DataType>> =
+                Arc::new(output.iter().map(|c| c.dtype.clone()).collect());
+            let batch_size = ctx.conf.vectorize_batch_size.max(1);
+            Some(Ok(ctx.sc.generate(1, move |_| -> engine::BoxIter<RowBatch> {
+                let rows = rows.clone();
+                let it: RowIter = Box::new((0..rows.len()).map(move |i| rows[i].clone()));
+                Box::new(IterChunks { inner: it, dtypes: dtypes.clone(), batch_size })
+            })))
+        }
+
+        PhysicalPlan::Filter { input, predicate } => {
+            let child = try_execute_batched(input, id + 1, ctx)?;
+            Some(child.and_then(|rdd| batch_filter(rdd, predicate, &input.output(), ctx)))
+        }
+
+        PhysicalPlan::Project { input, exprs } => {
+            let child = try_execute_batched(input, id + 1, ctx)?;
+            Some(child.and_then(|rdd| {
+                let bound = bind_all(exprs, &input.output())?;
+                let kernels = ctx.conf.codegen_enabled;
+                Ok(rdd.map(move |b| {
+                    vectorized::eval_projection_batch(&bound, &b, kernels)
+                        .expect("projection failed")
+                }))
+            }))
+        }
+
+        _ => None,
+    }
+}
+
+/// Apply a predicate batch-wise: refine each batch's selection vector.
+fn batch_filter(
+    rdd: RddRef<RowBatch>,
+    predicate: &Expr,
+    input: &[ColumnRef],
+    ctx: &ExecContext,
+) -> Result<RddRef<RowBatch>> {
+    let bound = bind_references(predicate.clone(), input)?;
+    let kernels = ctx.conf.codegen_enabled;
+    Ok(rdd.map(move |b| {
+        vectorized::filter_batch(&bound, &b, kernels).expect("predicate failed")
+    }))
 }
 
 fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row>> {

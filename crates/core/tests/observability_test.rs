@@ -263,3 +263,41 @@ fn query_execution_exposes_rule_health() {
     let rows = qe.collect().unwrap();
     assert!(!rows.is_empty());
 }
+
+#[test]
+fn explain_analyze_counts_batches_on_the_vectorized_path() {
+    let ctx = SQLContext::new_local(2);
+    if !ctx.conf().vectorize_enabled {
+        return; // CATALYST_VECTORIZE=0: the row path has no batch counters
+    }
+    // Scan→Filter→Project over a cached (columnar) relation runs fully
+    // batched: every one of those operators reports batches and physical
+    // lanes scanned, and the filter's selectivity is readable as
+    // rows / batch_rows_scanned.
+    let cached = users(&ctx).cache().unwrap();
+    let df = cached
+        .where_(col("age").gt(lit(30)))
+        .unwrap()
+        .select(vec![col("name"), col("age")])
+        .unwrap();
+    let text = df.explain_analyze().unwrap();
+    let plan_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.starts_with("==") && !l.starts_with("output rows") && !l.trim().is_empty())
+        .collect();
+    for line in &plan_lines {
+        assert!(line.contains("batches="), "missing batches= in: {line}\n{text}");
+        assert!(
+            line.contains("batch_rows_scanned="),
+            "missing batch_rows_scanned= in: {line}\n{text}"
+        );
+    }
+    // Row counts still mean *selected* rows, so they match the row path.
+    let expected = users(&ctx)
+        .where_(col("age").gt(lit(30)))
+        .unwrap()
+        .count()
+        .unwrap();
+    let rows = df.collect().unwrap();
+    assert_eq!(rows.len() as u64, expected);
+}

@@ -113,7 +113,7 @@ fn udt_caches_columnar_with_per_field_compression() {
     // Inspect the cache: struct column must be shredded per field; y has
     // only 7 distinct values so RLE-ish encodings can bite.
     let rows = df.collect().unwrap();
-    let batch = columnar::ColumnarBatch::from_rows(df.schema(), &rows);
+    let batch = columnar::ColumnarBatch::from_rows(df.schema(), rows.clone());
     assert_eq!(batch.columns()[1].encoding_name(), "struct-cols");
     let boxed: u64 = rows.iter().map(|r| r.get(1).approx_bytes()).sum();
     assert!(batch.columns()[1].bytes() < boxed);

@@ -1,0 +1,296 @@
+//! Differential property tests for vectorized execution: randomly
+//! generated tables and operator chains must produce *identical* results
+//! whether they run through the columnar batch path (`RowBatch` +
+//! vectorized kernels) or the row-at-a-time interpreter/codegen path.
+//!
+//! Same deterministic seeded-sweep style as
+//! `catalyst/tests/plan_validator_props.rs` (the build environment
+//! vendors only a minimal rand shim). Each iteration runs the same plan
+//! under vectorize × codegen on/off — four configurations — and asserts
+//! the sorted result multisets match.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spark_sql::prelude::*;
+use std::sync::Arc;
+
+use catalyst::expr::builders::{count_star, sum as sum_agg};
+
+const ITERS: u64 = 120;
+
+/// A visible column while generating: name + type, so every generated
+/// expression is well typed against the current plan output.
+#[derive(Clone)]
+struct GenCol {
+    name: String,
+    dtype: DataType,
+}
+
+fn arb_dtype(rng: &mut StdRng) -> DataType {
+    match rng.random_range(0u32..5) {
+        0 => DataType::Long,
+        1 => DataType::Int,
+        2 => DataType::Double,
+        3 => DataType::String,
+        _ => DataType::Boolean,
+    }
+}
+
+const STR_POOL: &[&str] = &["ab", "abc", "abq", "xyz", "", "zzz"];
+
+fn arb_value(rng: &mut StdRng, dtype: &DataType, nullable: bool) -> Value {
+    if nullable && rng.random_bool(0.2) {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Long => Value::Long(rng.random_range(0i64..80) - 40),
+        DataType::Int => Value::Int((rng.random_range(0i64..80) - 40) as i32),
+        DataType::Double => Value::Double(rng.random_range(0i64..400) as f64 / 4.0 - 50.0),
+        DataType::String => Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())]),
+        _ => Value::Boolean(rng.random_bool(0.5)),
+    }
+}
+
+/// A random base table: guaranteed non-null Long key `k` plus 1..4
+/// nullable columns of random type, with a healthy share of NULLs.
+fn arb_table(rng: &mut StdRng) -> (SchemaRef, Vec<Row>) {
+    let mut fields = vec![StructField::new("k", DataType::Long, false)];
+    for i in 0..rng.random_range(1usize..4) {
+        fields.push(StructField::new(format!("c{i}"), arb_dtype(rng), true));
+    }
+    let schema = Arc::new(Schema::new(fields));
+    let n = rng.random_range(0usize..400);
+    let rows = (0..n)
+        .map(|i| {
+            Row::new(
+                schema
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, f)| {
+                        if j == 0 {
+                            Value::Long(i as i64)
+                        } else {
+                            arb_value(rng, &f.dtype, true)
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// A well-typed boolean predicate over one visible column, occasionally
+/// wrapped in 3VL connectives so kernel And/Or/Not get exercised against
+/// NULL inputs.
+fn arb_predicate(rng: &mut StdRng, cols: &[GenCol]) -> Expr {
+    let c = &cols[rng.random_range(0..cols.len() as u32) as usize];
+    let base = match &c.dtype {
+        DataType::Long => match rng.random_range(0u32..3) {
+            0 => col(&c.name).gt(lit(rng.random_range(0i64..40) - 20)),
+            1 => col(&c.name).rem(lit(7i64)).eq(lit(rng.random_range(0i64..7))),
+            _ => col(&c.name).lt_eq(lit(rng.random_range(0i64..40))),
+        },
+        DataType::Int => col(&c.name).lt(lit((rng.random_range(0i64..40) - 20) as i32)),
+        DataType::Double => col(&c.name).gt_eq(lit(rng.random_range(0i64..100) as f64 - 50.0)),
+        DataType::String => {
+            if rng.random_bool(0.5) {
+                col(&c.name).eq(lit(STR_POOL[rng.random_range(0..STR_POOL.len())]))
+            } else {
+                col(&c.name).like(lit("ab%"))
+            }
+        }
+        _ => col(&c.name).eq(lit(rng.random_bool(0.5))),
+    };
+    match rng.random_range(0u32..5) {
+        0 => base.and(col(&cols[0].name).gt_eq(lit(0i64))),
+        1 => base.or(col(&c.name).is_null()),
+        2 => base.not(),
+        3 => base.and(col(&c.name).is_not_null()),
+        _ => base,
+    }
+}
+
+/// A projection: a non-empty subset of the visible columns, plus
+/// (sometimes) a computed expression — arithmetic with div/mod-by-zero
+/// hazards, string concat, boolean not — so both the typed kernels and
+/// the interpreter fallback see traffic. Returns the exprs and the
+/// resulting visible columns.
+fn arb_projection(
+    rng: &mut StdRng,
+    cols: &[GenCol],
+    next_id: &mut usize,
+) -> (Vec<Expr>, Vec<GenCol>) {
+    let mut keep: Vec<GenCol> = cols
+        .iter()
+        .filter(|_| rng.random_bool(0.6))
+        .cloned()
+        .collect();
+    if keep.is_empty() {
+        keep.push(cols[rng.random_range(0..cols.len() as u32) as usize].clone());
+    }
+    let mut exprs: Vec<Expr> = keep.iter().map(|c| col(&c.name)).collect();
+    let mut out = keep;
+    if rng.random_bool(0.7) {
+        let c = &cols[rng.random_range(0..cols.len() as u32) as usize];
+        let (e, dtype) = match &c.dtype {
+            DataType::Long | DataType::Int => match rng.random_range(0u32..4) {
+                0 => (col(&c.name).add(lit(3i64)), DataType::Long),
+                1 => (col(&c.name).mul(lit(-2i64)), DataType::Long),
+                // Divisor sweeps through 0 ⇒ NULL lanes on both paths.
+                2 => (
+                    col(&c.name).div(lit(rng.random_range(0i64..3))),
+                    DataType::Double,
+                ),
+                _ => (col(&c.name).rem(lit(rng.random_range(0i64..3))), c.dtype.clone()),
+            },
+            DataType::Double => (col(&c.name).mul(lit(0.5f64)), DataType::Double),
+            DataType::String => (col(&c.name).add(lit("!")), DataType::String),
+            _ => (col(&c.name).not(), DataType::Boolean),
+        };
+        let name = format!("e{next_id}");
+        *next_id += 1;
+        exprs.push(e.alias(name.clone()));
+        out.push(GenCol { name, dtype });
+    }
+    (exprs, out)
+}
+
+/// One randomly generated query: operator chain + optional aggregate.
+enum Op {
+    Filter(Expr),
+    Project(Vec<Expr>),
+}
+
+struct GenQuery {
+    schema: SchemaRef,
+    rows: Vec<Row>,
+    cache: bool,
+    ops: Vec<Op>,
+    aggregate: bool,
+}
+
+fn arb_query(rng: &mut StdRng) -> GenQuery {
+    let (schema, rows) = arb_table(rng);
+    let mut cols: Vec<GenCol> = schema
+        .fields()
+        .iter()
+        .map(|f| GenCol { name: f.name.to_string(), dtype: f.dtype.clone() })
+        .collect();
+    let mut ops = Vec::new();
+    let mut next_id = 0usize;
+    for _ in 0..rng.random_range(0u32..4) {
+        if rng.random_bool(0.5) {
+            ops.push(Op::Filter(arb_predicate(rng, &cols)));
+        } else {
+            let (exprs, out) = arb_projection(rng, &cols, &mut next_id);
+            ops.push(Op::Project(exprs));
+            cols = out;
+        }
+    }
+    // Aggregate only while the key survives (grouping needs it).
+    let aggregate = cols.iter().any(|c| c.name == "k") && rng.random_bool(0.4);
+    GenQuery { schema, rows, cache: rng.random_bool(0.5), ops, aggregate }
+}
+
+/// Execute the query under one configuration and return the result as a
+/// sorted multiset of row debug strings (Debug is exact for doubles).
+fn run(q: &GenQuery, vectorize: bool, codegen: bool) -> Vec<String> {
+    let ctx = SQLContext::new_local(2);
+    ctx.set_conf(|c| {
+        c.vectorize_enabled = vectorize;
+        c.codegen_enabled = codegen;
+    });
+    let mut df = ctx
+        .create_dataframe(q.schema.clone(), q.rows.clone())
+        .expect("create_dataframe");
+    if q.cache {
+        df = df.cache().expect("cache");
+    }
+    for op in &q.ops {
+        df = match op {
+            Op::Filter(p) => df.where_(p.clone()).expect("filter"),
+            Op::Project(exprs) => df.select(exprs.clone()).expect("project"),
+        };
+    }
+    if q.aggregate {
+        df = df
+            .group_by(vec![col("k").rem(lit(4i64)).alias("g")])
+            .agg(vec![count_star().alias("n"), sum_agg(col("k")).alias("s")])
+            .expect("aggregate");
+    }
+    let mut out: Vec<String> = df
+        .collect()
+        .expect("collect")
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn vectorized_and_row_paths_agree_on_random_plans() {
+    let mut nonempty = 0u32;
+    let mut cached = 0u32;
+    let mut aggregated = 0u32;
+    for seed in 0..ITERS {
+        let mut rng = StdRng::seed_from_u64(0xBA7C4 ^ (seed * 0x9E37_79B9));
+        let q = arb_query(&mut rng);
+        let baseline = run(&q, false, true);
+        for (vectorize, codegen) in [(true, true), (true, false), (false, false)] {
+            let got = run(&q, vectorize, codegen);
+            assert_eq!(
+                got, baseline,
+                "seed {seed}: vectorize={vectorize} codegen={codegen} diverged \
+                 (cache={}, ops={}, agg={})",
+                q.cache,
+                q.ops.len(),
+                q.aggregate
+            );
+        }
+        if !baseline.is_empty() {
+            nonempty += 1;
+        }
+        if q.cache {
+            cached += 1;
+        }
+        if q.aggregate {
+            aggregated += 1;
+        }
+    }
+    // Meaningfulness floors: the sweep must actually exercise the
+    // interesting paths, not vacuously compare empty results.
+    assert!(nonempty > ITERS as u32 / 2, "only {nonempty} non-empty results");
+    assert!(cached > ITERS as u32 / 4, "only {cached} cached runs");
+    assert!(aggregated > ITERS as u32 / 8, "only {aggregated} aggregated runs");
+}
+
+/// The batch path must also agree on whole-table scans with no operators
+/// at all (pure cached-scan decode) and on the `count()` fast path.
+#[test]
+fn vectorized_count_and_bare_scan_agree() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE ^ (seed * 0x85EB_CA6B));
+        let (schema, rows) = arb_table(&mut rng);
+        let mut counts = Vec::new();
+        for vectorize in [true, false] {
+            let ctx = SQLContext::new_local(2);
+            ctx.set_conf(|c| c.vectorize_enabled = vectorize);
+            let df = ctx
+                .create_dataframe(schema.clone(), rows.clone())
+                .unwrap()
+                .cache()
+                .unwrap();
+            let mut got: Vec<String> =
+                df.collect().unwrap().iter().map(|r| format!("{r:?}")).collect();
+            got.sort();
+            let mut expect: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+            expect.sort();
+            assert_eq!(got, expect, "seed {seed}: bare scan, vectorize={vectorize}");
+            counts.push(df.count().unwrap());
+        }
+        assert_eq!(counts[0], counts[1], "seed {seed}: count diverged");
+    }
+}

@@ -12,7 +12,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use catalyst::error::{CatalystError, Result};
 use catalyst::row::Row;
 use catalyst::schema::{Schema, SchemaRef};
-use catalyst::source::{BaseRelation, Filter, RowIter, ScanCapability};
+use catalyst::source::{BaseRelation, BatchIter, Filter, RowIter, ScanCapability};
 use catalyst::types::{DataType, StructField};
 use catalyst::value::Value;
 use columnar::{Bitmap, ColumnData, ColumnStats, ColumnarBatch, EncodedColumn};
@@ -452,7 +452,7 @@ pub fn write_colfile(schema: &SchemaRef, rows: &[Row], rows_per_group: usize) ->
     let groups: Vec<&[Row]> = rows.chunks(rows_per_group.max(1)).collect();
     buf.put_u32(groups.len() as u32);
     for g in groups {
-        let batch = ColumnarBatch::from_rows(schema.clone(), g);
+        let batch = ColumnarBatch::from_rows(schema.clone(), g.to_vec());
         buf.put_u64(g.len() as u64);
         for c in batch.columns() {
             put_column(&mut buf, c);
@@ -605,6 +605,27 @@ impl BaseRelation for ColFileRelation {
                 None => row,
             })
         })))
+    }
+
+    fn scan_partition_vectors(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        filters: &[Filter],
+    ) -> Result<Option<BatchIter>> {
+        let Some(group) = self.file.groups.get(partition) else {
+            return Ok(Some(Box::new(std::iter::empty())));
+        };
+        if !group.may_match(filters) {
+            self.groups_skipped.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(Box::new(std::iter::empty())));
+        }
+        self.groups_read.fetch_add(1, Ordering::Relaxed);
+        // One row group = one partition: decode the needed columns into
+        // vectors, filters become the batch's selection vector — no Row
+        // materialization on the way to the executor.
+        let batch = group.scan_to_row_batch(projection, filters);
+        Ok(Some(Box::new(std::iter::once(batch))))
     }
 
     fn handled_filters(&self, filters: &[Filter]) -> Vec<bool> {
