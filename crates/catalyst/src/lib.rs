@@ -30,6 +30,7 @@
 #[macro_use]
 pub mod row;
 
+pub mod adaptive;
 pub mod analysis;
 pub mod codegen;
 pub mod error;

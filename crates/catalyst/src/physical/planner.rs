@@ -238,10 +238,17 @@ impl Strategy for JoinSelection {
         let residual = conjunction(residual);
 
         // Cost-based choice (the only cost-based step; all else is
-        // rule-based, per §4.3.3).
-        let left_size = stats::estimate(left).size_in_bytes;
-        let right_size = stats::estimate(right).size_in_bytes;
+        // rule-based, per §4.3.3). A side with unknown statistics must be
+        // treated as arbitrarily large: it never qualifies for broadcast
+        // here, no matter what scaling the operators above it applied —
+        // adaptive execution may still demote the join later, from
+        // *measured* sizes.
+        let left_stats = stats::estimate(left);
+        let right_stats = stats::estimate(right);
+        let (left_size, right_size) = (left_stats.size_in_bytes, right_stats.size_in_bytes);
         let threshold = planner.config.broadcast_threshold;
+        let left_fits = !left_stats.is_unknown() && left_size <= threshold;
+        let right_fits = !right_stats.is_unknown() && right_size <= threshold;
         // A broadcast join must not need to emit unmatched *build* rows:
         // the build table is replicated per stream partition, so those
         // rows would duplicate.
@@ -249,9 +256,8 @@ impl Strategy for JoinSelection {
         let can_build_left = matches!(join_type, JoinType::Inner | JoinType::Right);
 
         // Prefer building the smaller side when both qualify.
-        let prefer_left = can_build_left
-            && left_size <= threshold
-            && (left_size < right_size || !can_build_right);
+        let prefer_left =
+            can_build_left && left_fits && (left_size < right_size || !can_build_right);
         let plan = if prefer_left {
             PhysicalPlan::BroadcastHashJoin {
                 left: left_phys,
@@ -262,7 +268,7 @@ impl Strategy for JoinSelection {
                 build_side: BuildSide::Left,
                 residual,
             }
-        } else if right_size <= threshold && can_build_right {
+        } else if right_fits && can_build_right {
             PhysicalPlan::BroadcastHashJoin {
                 left: left_phys,
                 right: right_phys,
@@ -272,7 +278,7 @@ impl Strategy for JoinSelection {
                 build_side: BuildSide::Right,
                 residual,
             }
-        } else if left_size <= threshold && can_build_left {
+        } else if left_fits && can_build_left {
             PhysicalPlan::BroadcastHashJoin {
                 left: left_phys,
                 right: right_phys,

@@ -5,6 +5,13 @@
 //! result of a subquery with a LIMIT". Those are exactly the cases with
 //! tight estimates here; everything else degrades gracefully with
 //! heuristic selectivities.
+//!
+//! Unknown-ness is tracked explicitly: an operator over an unknown-stats
+//! child stays unknown instead of scaling a sentinel toward zero, so the
+//! planner can never talk itself into broadcasting an arbitrarily large
+//! unknown-size relation. The only deliberate "unknown killers" are the
+//! footnote-5 cases — LIMIT bounds the size regardless of the input, and
+//! a global (no-groupings) aggregate produces exactly one row.
 
 use crate::plan::LogicalPlan;
 
@@ -17,11 +24,37 @@ pub struct Statistics {
     pub row_count: Option<u64>,
 }
 
+/// Sentinel size for relations with no estimate. Anything at or above
+/// [`UNKNOWN_FLOOR`] is treated as unknown; the gap keeps older callers
+/// doing arithmetic near the sentinel on the safe side.
+const UNKNOWN_SIZE: u64 = u64::MAX / 4;
+
+/// Threshold above which a size is considered unknown.
+const UNKNOWN_FLOOR: u64 = u64::MAX / 8;
+
 impl Statistics {
     /// A completely unknown relation: assume huge so we never broadcast
     /// something unbounded.
     pub fn unknown() -> Self {
-        Statistics { size_in_bytes: u64::MAX / 4, row_count: None }
+        Statistics { size_in_bytes: UNKNOWN_SIZE, row_count: None }
+    }
+
+    /// True when this estimate carries no real size information. The
+    /// planner must treat such relations as arbitrarily large — never
+    /// broadcast them, never prefer them as a build side.
+    pub fn is_unknown(&self) -> bool {
+        self.size_in_bytes >= UNKNOWN_FLOOR
+    }
+
+    /// Scale size and rows by a selectivity, preserving unknown-ness.
+    fn scaled(&self, f: f64) -> Statistics {
+        if self.is_unknown() {
+            return Statistics::unknown();
+        }
+        Statistics {
+            size_in_bytes: ((self.size_in_bytes as f64 * f) as u64).max(1),
+            row_count: self.row_count.map(|r| ((r as f64 * f) as u64).max(1)),
+        }
     }
 }
 
@@ -47,25 +80,26 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
             let bytes = plan.schema().approx_row_bytes() * rows.len() as u64;
             Statistics { size_in_bytes: bytes.max(1), row_count: Some(rows.len() as u64) }
         }
-        LogicalPlan::Filter { input, .. } => {
-            let s = estimate(input);
-            Statistics {
-                size_in_bytes: scale(s.size_in_bytes, FILTER_SELECTIVITY),
-                row_count: s.row_count.map(|r| scale(r, FILTER_SELECTIVITY)),
-            }
-        }
+        LogicalPlan::Filter { input, .. } => estimate(input).scaled(FILTER_SELECTIVITY),
         LogicalPlan::Project { input, .. } => {
             let s = estimate(input);
             let in_width = input.schema().approx_row_bytes();
             let out_width = plan.schema().approx_row_bytes();
             let ratio = (out_width as f64 / in_width.max(1) as f64).min(1.0);
-            Statistics { size_in_bytes: scale(s.size_in_bytes, ratio), row_count: s.row_count }
+            let scaled = s.scaled(ratio);
+            // Projection never changes the row count.
+            Statistics { size_in_bytes: scaled.size_in_bytes, row_count: s.row_count }
         }
         LogicalPlan::Join { left, right, .. } => {
             let l = estimate(left);
             let r = estimate(right);
+            if l.is_unknown() || r.is_unknown() {
+                // FK-style output tracks the bigger input, and an unknown
+                // input means an unknown (arbitrarily large) output.
+                return Statistics::unknown();
+            }
             // Assume FK-style join: output about the size of the bigger
-            // input (bounded to avoid overflow on unknowns).
+            // input.
             Statistics {
                 size_in_bytes: l.size_in_bytes.max(r.size_in_bytes),
                 row_count: match (l.row_count, r.row_count) {
@@ -75,29 +109,21 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
             }
         }
         LogicalPlan::Aggregate { input, groupings, .. } => {
-            let s = estimate(input);
             if groupings.is_empty() {
+                // Footnote-5-style unknown killer: a global aggregate is
+                // one row no matter how large (or unknown) the input.
                 Statistics {
                     size_in_bytes: plan.schema().approx_row_bytes(),
                     row_count: Some(1),
                 }
             } else {
-                Statistics {
-                    size_in_bytes: scale(s.size_in_bytes, AGGREGATE_RATIO),
-                    row_count: s.row_count.map(|r| scale(r, AGGREGATE_RATIO)),
-                }
+                estimate(input).scaled(AGGREGATE_RATIO)
             }
         }
         LogicalPlan::Sort { input, .. } | LogicalPlan::SubqueryAlias { input, .. } => {
             estimate(input)
         }
-        LogicalPlan::Distinct { input } => {
-            let s = estimate(input);
-            Statistics {
-                size_in_bytes: scale(s.size_in_bytes, 0.5),
-                row_count: s.row_count.map(|r| scale(r, 0.5)),
-            }
-        }
+        LogicalPlan::Distinct { input } => estimate(input).scaled(0.5),
         LogicalPlan::Limit { input, n } => {
             // Footnote 5: LIMIT makes the size known.
             let s = estimate(input);
@@ -114,31 +140,23 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
         LogicalPlan::Union { inputs } => {
             let mut size = 0u64;
             let mut rows = Some(0u64);
+            let mut any_unknown = false;
             for i in inputs {
                 let s = estimate(i);
+                any_unknown |= s.is_unknown();
                 size = size.saturating_add(s.size_in_bytes);
                 rows = match (rows, s.row_count) {
                     (Some(a), Some(b)) => Some(a + b),
                     _ => None,
                 };
             }
+            if any_unknown {
+                return Statistics::unknown();
+            }
             Statistics { size_in_bytes: size, row_count: rows }
         }
-        LogicalPlan::Sample { input, fraction, .. } => {
-            let s = estimate(input);
-            Statistics {
-                size_in_bytes: scale(s.size_in_bytes, *fraction),
-                row_count: s.row_count.map(|r| scale(r, *fraction)),
-            }
-        }
+        LogicalPlan::Sample { input, fraction, .. } => estimate(input).scaled(*fraction),
     }
-}
-
-fn scale(v: u64, f: f64) -> u64 {
-    if v >= u64::MAX / 8 {
-        return v; // keep "unknown" huge
-    }
-    ((v as f64 * f) as u64).max(1)
 }
 
 #[cfg(test)]
@@ -146,6 +164,7 @@ mod tests {
     use super::*;
     use crate::expr::builders::{col, lit};
     use crate::expr::ColumnRef;
+    use crate::plan::JoinType;
     use crate::row::Row;
     use crate::types::DataType;
     use crate::value::Value;
@@ -158,11 +177,16 @@ mod tests {
         }
     }
 
+    fn unknown_rel() -> LogicalPlan {
+        LogicalPlan::UnresolvedRelation { name: "t".into() }
+    }
+
     #[test]
     fn local_relation_size_is_exact() {
         let s = estimate(&local(100));
         assert_eq!(s.row_count, Some(100));
         assert_eq!(s.size_in_bytes, 800);
+        assert!(!s.is_unknown());
     }
 
     #[test]
@@ -182,12 +206,53 @@ mod tests {
 
     #[test]
     fn unknown_stays_huge() {
-        let s = estimate(&LogicalPlan::UnresolvedRelation { name: "t".into() });
-        assert!(s.size_in_bytes > u64::MAX / 8);
-        let filtered = estimate(
-            &LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(lit(true)),
-        );
-        assert!(filtered.size_in_bytes > u64::MAX / 8, "filters must not shrink unknowns");
+        let s = estimate(&unknown_rel());
+        assert!(s.is_unknown());
+        let filtered = estimate(&unknown_rel().filter(lit(true)));
+        assert!(filtered.is_unknown(), "filters must not shrink unknowns");
+    }
+
+    #[test]
+    fn unknown_survives_deep_operator_stacks() {
+        // Filter over Distinct over Sample over grouped Aggregate over an
+        // unknown relation: every scaling step must preserve unknown-ness
+        // (a chain of x0.5 steps on a sentinel would otherwise "shrink"
+        // the relation under any broadcast threshold).
+        let plan = unknown_rel()
+            .aggregate(vec![col("x")], vec![col("x")])
+            .distinct()
+            .sample(0.01, 42)
+            .filter(lit(true));
+        assert!(estimate(&plan).is_unknown());
+    }
+
+    #[test]
+    fn join_with_unknown_side_is_unknown() {
+        let plan = LogicalPlan::Join {
+            left: Arc::new(local(10)),
+            right: Arc::new(unknown_rel()),
+            join_type: JoinType::Inner,
+            condition: None,
+        };
+        assert!(estimate(&plan).is_unknown());
+    }
+
+    #[test]
+    fn union_with_unknown_input_is_unknown() {
+        let plan = LogicalPlan::Union { inputs: vec![Arc::new(local(10)), Arc::new(unknown_rel())] };
+        assert!(estimate(&plan).is_unknown());
+    }
+
+    #[test]
+    fn footnote5_unknown_killers_still_apply() {
+        // LIMIT over unknown: size becomes known and bounded.
+        let limited = estimate(&unknown_rel().limit(10));
+        assert!(!limited.is_unknown());
+        assert_eq!(limited.row_count, Some(10));
+        // Global aggregate over unknown: exactly one row.
+        let global = estimate(&unknown_rel().aggregate(vec![], vec![]));
+        assert!(!global.is_unknown());
+        assert_eq!(global.row_count, Some(1));
     }
 
     #[test]

@@ -29,6 +29,19 @@ pub struct SqlConf {
     pub vectorize_enabled: bool,
     /// Rows per execution batch on the vectorized path.
     pub vectorize_batch_size: usize,
+    /// Re-plan shuffled joins and aggregates at stage boundaries from
+    /// *measured* map-output sizes: coalesce small post-shuffle
+    /// partitions, demote shuffled hash joins to broadcast when the built
+    /// side turns out small, and split skewed reduce partitions.
+    /// `CATALYST_ADAPTIVE=0` in the environment flips the default off
+    /// (static plans only, for differential testing).
+    pub adaptive_enabled: bool,
+    /// Target bytes per post-shuffle partition when coalescing; also the
+    /// absolute floor below which a partition is never considered skewed.
+    pub adaptive_target_partition_bytes: u64,
+    /// A reduce partition is skewed when it exceeds this factor times the
+    /// median partition size (and the target above).
+    pub adaptive_skew_factor: f64,
 }
 
 impl Default for SqlConf {
@@ -43,6 +56,9 @@ impl Default for SqlConf {
             cache_batch_size: columnar::DEFAULT_BATCH_SIZE,
             vectorize_enabled: vectorize_default(),
             vectorize_batch_size: columnar::DEFAULT_BATCH_SIZE,
+            adaptive_enabled: adaptive_default(),
+            adaptive_target_partition_bytes: 1 << 20,
+            adaptive_skew_factor: 4.0,
         }
     }
 }
@@ -58,6 +74,7 @@ impl SqlConf {
             pushdown_enabled: false,
             column_pruning_enabled: false,
             vectorize_enabled: false,
+            adaptive_enabled: false,
             ..Default::default()
         }
     }
@@ -69,6 +86,20 @@ impl SqlConf {
 fn vectorize_default() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| match std::env::var("CATALYST_VECTORIZE") {
+        Err(_) => true,
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !matches!(v.as_str(), "" | "0" | "false" | "off" | "no")
+        }
+    })
+}
+
+/// Default for [`SqlConf::adaptive_enabled`]: on, unless the
+/// `CATALYST_ADAPTIVE` environment variable disables it (same grammar as
+/// `CATALYST_VECTORIZE`).
+fn adaptive_default() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("CATALYST_ADAPTIVE") {
         Err(_) => true,
         Ok(v) => {
             let v = v.trim().to_ascii_lowercase();

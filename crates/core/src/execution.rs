@@ -9,6 +9,7 @@
 
 use crate::conf::SqlConf;
 use crate::rdd_table::RddTable;
+use catalyst::adaptive::{rules as adaptive_rules, AdaptivePlanChange, AdaptiveRule};
 use catalyst::codegen;
 use catalyst::error::{CatalystError, Result};
 use catalyst::expr::{AggFunc, ColumnRef, Expr, SortOrder};
@@ -20,17 +21,43 @@ use catalyst::row::Row;
 use catalyst::source::RowIter;
 use catalyst::tree::{Transformed, TreeNode};
 use catalyst::types::DataType;
+use catalyst::validation::PlanValidator;
 use catalyst::value::Value;
 use catalyst::vectorized::{self, RowBatch};
-use engine::{HashPartitioner, PairRdd, RddRef, SparkContext};
+use engine::shuffle::SizeFn;
+use engine::{HashPartitioner, MaterializedShuffle, PairRdd, RddRef, ShuffleReadSpec, SparkContext};
 use std::cmp::Ordering;
+use std::hash::Hash;
 use std::time::Instant;
 
 fn engine_err(e: engine::EngineError) -> CatalystError {
     CatalystError::Internal(format!("execution failed: {e}"))
 }
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Shared recorder of adaptive plan changes for one execution. Cloned
+/// handles append to the same list; `QueryExecution` keeps one to render
+/// initial-vs-final plans in `explain_analyze`.
+#[derive(Clone, Default)]
+pub struct AdaptiveLog(Arc<Mutex<Vec<AdaptivePlanChange>>>);
+
+impl AdaptiveLog {
+    /// Append one adaptive decision.
+    pub fn record(&self, change: AdaptivePlanChange) {
+        self.0.lock().unwrap().push(change);
+    }
+
+    /// All changes recorded so far, in decision order.
+    pub fn snapshot(&self) -> Vec<AdaptivePlanChange> {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Drop recorded changes (start of a fresh execution).
+    pub fn clear(&self) {
+        self.0.lock().unwrap().clear();
+    }
+}
 
 /// Everything execution needs.
 pub struct ExecContext {
@@ -41,17 +68,20 @@ pub struct ExecContext {
     /// Per-operator metrics registry, indexed by pre-order node id.
     /// `None` runs uninstrumented (no metering wrappers at all).
     pub metrics: Option<Arc<PlanMetrics>>,
+    /// Adaptive decisions made while lowering (stage-by-stage execution
+    /// records coalescing, demotions, and skew splits here).
+    pub adaptive: AdaptiveLog,
 }
 
 impl ExecContext {
     /// An uninstrumented execution context.
     pub fn new(sc: SparkContext, conf: SqlConf) -> Self {
-        ExecContext { sc, conf, metrics: None }
+        ExecContext { sc, conf, metrics: None, adaptive: AdaptiveLog::default() }
     }
 
     /// An instrumented context recording into `metrics`.
     pub fn instrumented(sc: SparkContext, conf: SqlConf, metrics: Arc<PlanMetrics>) -> Self {
-        ExecContext { sc, conf, metrics: Some(metrics) }
+        ExecContext { sc, conf, metrics: Some(metrics), adaptive: AdaptiveLog::default() }
     }
 }
 
@@ -693,7 +723,15 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
         ),
 
         PhysicalPlan::ShuffledHashJoin { left, right, left_keys, right_keys, join_type, residual } => {
-            execute_shuffled_join(left, right, left_keys, right_keys, *join_type, residual, plan, id, ctx)
+            if ctx.conf.adaptive_enabled {
+                execute_adaptive_shuffled_join(
+                    left, right, left_keys, right_keys, *join_type, residual, plan, id, ctx,
+                )
+            } else {
+                execute_shuffled_join(
+                    left, right, left_keys, right_keys, *join_type, residual, plan, id, ctx,
+                )
+            }
         }
 
         PhysicalPlan::NestedLoopJoin { left, right, condition, join_type } => {
@@ -957,8 +995,9 @@ fn try_fast_aggregate(
     agg_exprs: &[Expr],
     input_attrs_len: usize,
     final_exprs: &[Expr],
+    id: usize,
     ctx: &ExecContext,
-) -> Option<RddRef<Row>> {
+) -> Option<Result<RddRef<Row>>> {
     let _ = input_attrs_len;
     if !ctx.conf.codegen_enabled || bound_groupings.len() != 1 {
         return None;
@@ -1014,6 +1053,7 @@ fn try_fast_aggregate(
                 }),
                 calls,
                 final_exprs,
+                id,
                 ctx,
             ))
         }
@@ -1023,6 +1063,7 @@ fn try_fast_aggregate(
             Arc::new(|key: Option<Arc<str>>| key.map_or(Value::Null, Value::Str)),
             calls,
             final_exprs,
+            id,
             ctx,
         )),
         _ => None,
@@ -1038,24 +1079,37 @@ fn run_fast_agg<K: engine::Data + std::hash::Hash + Eq>(
     key_to_value: Arc<dyn Fn(Option<K>) -> Value + Send + Sync>,
     calls: Vec<(TCall, DataType)>,
     final_exprs: &[Expr],
+    id: usize,
     ctx: &ExecContext,
-) -> RddRef<Row> {
+) -> Result<RddRef<Row>> {
     let calls_map = calls.clone();
-    let combined = child
-        .map_partitions(move |it| {
-            let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
-            for row in it {
-                let key = key_fn(&row);
-                let accs = groups.entry(key).or_insert_with(|| {
-                    calls_map.iter().map(|(c, _)| c.init()).collect()
-                });
-                for ((call, _), acc) in calls_map.iter().zip(accs.iter_mut()) {
-                    call.update(acc, &row);
-                }
+    let mapped = child.map_partitions(move |it| {
+        let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
+        for row in it {
+            let key = key_fn(&row);
+            let accs = groups.entry(key).or_insert_with(|| {
+                calls_map.iter().map(|(c, _)| c.init()).collect()
+            });
+            for ((call, _), acc) in calls_map.iter().zip(accs.iter_mut()) {
+                call.update(acc, &row);
             }
-            Box::new(groups.into_iter())
-        })
-        .partition_by(Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions)))
+        }
+        Box::new(groups.into_iter())
+    });
+    let partitioner = Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions.max(1)));
+    let shuffled = if ctx.conf.adaptive_enabled {
+        // The pairs here are already map-side combined groups shuffled
+        // raw, so coalescing reducers is safe (the reduce-side merge below
+        // handles cross-map duplicates); map-range splitting would not be.
+        let size_fn: SizeFn<Option<K>, Vec<TAcc>> =
+            Arc::new(|_k: &Option<K>, accs: &Vec<TAcc>| 16 + 24 * accs.len() as u64);
+        let mat = MaterializedShuffle::create(&mapped, partitioner, None, false, Some(size_fn))
+            .map_err(engine_err)?;
+        coalesced_read(&mat, "HashAggregate", id, ctx)
+    } else {
+        mapped.partition_by(partitioner)
+    };
+    let combined = shuffled
         .map_partitions(|it| {
             let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
             for (key, accs) in it {
@@ -1075,7 +1129,7 @@ fn run_fast_agg<K: engine::Data + std::hash::Hash + Eq>(
 
     // Final: typed accumulators → values → final projection.
     let final_exprs = final_exprs.to_vec();
-    combined.map(move |(key, accs)| {
+    Ok(combined.map(move |(key, accs)| {
         let mut values = Vec::with_capacity(1 + accs.len());
         values.push(key_to_value(key));
         for ((_, dtype), acc) in calls.iter().zip(accs) {
@@ -1088,7 +1142,7 @@ fn run_fast_agg<K: engine::Data + std::hash::Hash + Eq>(
                 .map(|e| interpreter::eval(e, &internal).expect("final aggregate failed"))
                 .collect(),
         )
-    })
+    }))
 }
 
 fn execute_aggregate(
@@ -1184,9 +1238,10 @@ fn execute_aggregate(
                 &bound_agg_exprs,
                 input_attrs.len(),
                 &final_exprs,
+                id,
                 ctx,
             ) {
-                return Ok(rdd);
+                return rdd;
             }
         }
     }
@@ -1260,11 +1315,19 @@ fn execute_aggregate(
         let key = Row::new(key_fns.iter().map(|f| f(&row)).collect());
         (key, row)
     });
-    let combined = keyed.combine_by_key(
-        aggregator,
-        Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions)),
-        true,
-    );
+    let partitioner = Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions.max(1)));
+    let combined = if ctx.conf.adaptive_enabled {
+        // Adaptive: materialize the (map-side combined) shuffle, then
+        // merge small reduce partitions before the final aggregation.
+        let size_fn: SizeFn<Row, Vec<Acc>> =
+            Arc::new(|k: &Row, accs: &Vec<Acc>| k.approx_bytes() + 16 + 24 * accs.len() as u64);
+        let mat =
+            MaterializedShuffle::create(&keyed, partitioner, Some(aggregator), true, Some(size_fn))
+                .map_err(engine_err)?;
+        coalesced_read(&mat, "HashAggregate", id, ctx)
+    } else {
+        keyed.combine_by_key(aggregator, partitioner, true)
+    };
     Ok(combined.map(move |(key, accs)| finish_rows(key, accs)))
 }
 
@@ -1333,11 +1396,33 @@ fn execute_broadcast_join(
     let build_rdd = execute_node(build_plan, build_id, ctx)?;
     let eager_start = Instant::now();
     let build_rows = build_rdd.try_collect().map_err(engine_err)?;
+    let pairs = build_rows
+        .into_iter()
+        .map(|row| (join_key(&build_keys, &row), row))
+        .collect();
+    let table = broadcast_build_table(pairs, id, ctx);
+    note_eager_ns(ctx, id, eager_start);
+
+    // Stream-side probe. The stream side is the outer-preserved side (the
+    // planner guarantees this).
+    let stream = execute_node(stream_plan, stream_id, ctx)?;
+    Ok(broadcast_probe(
+        stream, table, stream_keys, residual_pred, join_type, build_is_left, build_width,
+    ))
+}
+
+/// Build, broadcast, and meter a join hash table from keyed build rows
+/// (NULL keys join nothing and are dropped).
+fn broadcast_build_table(
+    pairs: Vec<(Option<Row>, Row)>,
+    id: usize,
+    ctx: &ExecContext,
+) -> Arc<HashMap<Row, Vec<Row>>> {
     let mut table: HashMap<Row, Vec<Row>> = HashMap::new();
     let mut bytes = 0u64;
     let mut build_count = 0u64;
-    for row in build_rows {
-        if let Some(k) = join_key(&build_keys, &row) {
+    for (k, row) in pairs {
+        if let Some(k) = k {
             bytes += row.approx_bytes();
             build_count += 1;
             table.entry(k).or_default().push(row);
@@ -1345,21 +1430,29 @@ fn execute_broadcast_join(
     }
     let broadcast = ctx.sc.broadcast(table, bytes as usize);
     let table = broadcast.value_arc();
-    note_eager_ns(ctx, id, eager_start);
     if let Some(pm) = &ctx.metrics {
         let node = pm.node(id);
         node.add_extra("build_rows", build_count);
         node.add_extra("build_bytes", bytes);
     }
+    table
+}
 
-    // Stream-side probe. The stream side is the outer-preserved side (the
-    // planner guarantees this).
-    let stream = execute_node(stream_plan, stream_id, ctx)?;
+/// Probe a broadcast hash table with the stream side.
+fn broadcast_probe(
+    stream: RddRef<Row>,
+    table: Arc<HashMap<Row, Vec<Row>>>,
+    stream_keys: Vec<ValueFn>,
+    residual_pred: Option<PredFn>,
+    join_type: JoinType,
+    build_is_left: bool,
+    build_width: usize,
+) -> RddRef<Row> {
     let preserve_unmatched = matches!(
         (join_type, build_is_left),
         (JoinType::Left, false) | (JoinType::Right, true)
     );
-    Ok(stream.flat_map(move |srow| {
+    stream.flat_map(move |srow| {
         let mut out = Vec::new();
         let key = join_key(&stream_keys, &srow);
         if let Some(key) = key {
@@ -1385,7 +1478,7 @@ fn execute_broadcast_join(
             });
         }
         out
-    }))
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1424,48 +1517,333 @@ fn execute_shuffled_join(
         .partition_by(Arc::new(HashPartitioner::new(partitions)));
 
     Ok(lkeyed.zip_partitions(&rkeyed, move |lit, rit| {
-        // Build from the right partition.
-        let mut table: HashMap<Row, Vec<(Row, bool)>> = HashMap::new();
-        let mut null_key_right: Vec<Row> = Vec::new();
-        for (k, row) in rit {
-            match k {
-                Some(k) => table.entry(k).or_default().push((row, false)),
-                None => null_key_right.push(row),
-            }
-        }
-        let mut out: Vec<Row> = Vec::new();
-        for (k, lrow) in lit {
-            let mut matched = false;
-            if let Some(k) = &k {
-                if let Some(entries) = table.get_mut(k) {
-                    for (rrow, rmatched) in entries.iter_mut() {
-                        let joined = lrow.concat(rrow);
-                        if residual_pred.as_ref().is_none_or(|p| p(&joined)) {
-                            *rmatched = true;
-                            matched = true;
-                            out.push(joined);
-                        }
-                    }
-                }
-            }
-            if !matched && matches!(join_type, JoinType::Left | JoinType::Full) {
-                out.push(lrow.concat(&null_row(right_width)));
-            }
-        }
-        if matches!(join_type, JoinType::Right | JoinType::Full) {
-            for entries in table.values() {
-                for (rrow, matched) in entries {
-                    if !matched {
-                        out.push(null_row(left_width).concat(rrow));
-                    }
-                }
-            }
-            for rrow in &null_key_right {
-                out.push(null_row(left_width).concat(rrow));
-            }
-        }
-        Box::new(out.into_iter())
+        Box::new(
+            hash_join_partition(lit, rit, join_type, &residual_pred, left_width, right_width)
+                .into_iter(),
+        )
     }))
+}
+
+/// Hash-join one co-partitioned pair of keyed row streams: build from the
+/// right, probe with the left, emit unmatched rows per `join_type`.
+fn hash_join_partition(
+    lit: engine::BoxIter<(Option<Row>, Row)>,
+    rit: engine::BoxIter<(Option<Row>, Row)>,
+    join_type: JoinType,
+    residual_pred: &Option<PredFn>,
+    left_width: usize,
+    right_width: usize,
+) -> Vec<Row> {
+    // Build from the right partition.
+    let mut table: HashMap<Row, Vec<(Row, bool)>> = HashMap::new();
+    let mut null_key_right: Vec<Row> = Vec::new();
+    for (k, row) in rit {
+        match k {
+            Some(k) => table.entry(k).or_default().push((row, false)),
+            None => null_key_right.push(row),
+        }
+    }
+    let mut out: Vec<Row> = Vec::new();
+    for (k, lrow) in lit {
+        let mut matched = false;
+        if let Some(k) = &k {
+            if let Some(entries) = table.get_mut(k) {
+                for (rrow, rmatched) in entries.iter_mut() {
+                    let joined = lrow.concat(rrow);
+                    if residual_pred.as_ref().is_none_or(|p| p(&joined)) {
+                        *rmatched = true;
+                        matched = true;
+                        out.push(joined);
+                    }
+                }
+            }
+        }
+        if !matched && matches!(join_type, JoinType::Left | JoinType::Full) {
+            out.push(lrow.concat(&null_row(right_width)));
+        }
+    }
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for entries in table.values() {
+            for (rrow, matched) in entries {
+                if !matched {
+                    out.push(null_row(left_width).concat(rrow));
+                }
+            }
+        }
+        for rrow in &null_key_right {
+            out.push(null_row(left_width).concat(rrow));
+        }
+    }
+    out
+}
+
+// ---- adaptive (stage-by-stage) execution ----
+
+/// Byte estimator for a shuffled `(key, row)` pair.
+fn pair_size_fn() -> SizeFn<Option<Row>, Row> {
+    Arc::new(|k: &Option<Row>, v: &Row| {
+        v.approx_bytes() + k.as_ref().map_or(8, |r| r.approx_bytes())
+    })
+}
+
+/// Materialize one join side's shuffle map stage: key the lowered child,
+/// hash-partition it, run the map tasks, measure the output.
+fn materialize_join_side(
+    child: &RddRef<Row>,
+    keys: &[ValueFn],
+    partitions: usize,
+) -> Result<MaterializedShuffle<Option<Row>, Row, Row>> {
+    let keys = keys.to_vec();
+    let keyed = child.map(move |row| (join_key(&keys, &row), row));
+    MaterializedShuffle::create(
+        &keyed,
+        Arc::new(HashPartitioner::new(partitions)),
+        None,
+        false,
+        Some(pair_size_fn()),
+    )
+    .map_err(engine_err)
+}
+
+/// Stage-by-stage shuffled join (the adaptive tentpole): materialize the
+/// candidate build side's shuffle first, and decide the rest of the plan
+/// from its *measured* size.
+///
+/// 1. **Dynamic demotion** — when a legal build side's measured bytes land
+///    at or under `broadcast_threshold`, re-plan as a broadcast join (the
+///    other side is then never shuffled at all). The candidate plan must
+///    pass [`PlanValidator`]; a rejected rewrite falls back to the
+///    shuffled plan instead of failing the query.
+/// 2. **Partition coalescing** — otherwise both sides materialize and
+///    small neighboring reduce partitions merge up to
+///    `adaptive_target_partition_bytes` per task.
+/// 3. **Skew splitting** — an un-coalesced reduce partition exceeding
+///    `adaptive_skew_factor` × the median splits into map-range
+///    sub-partitions on the legal side, replicating the other side's
+///    bucket against each.
+#[allow(clippy::too_many_arguments)]
+fn execute_adaptive_shuffled_join(
+    left: &Arc<PhysicalPlan>,
+    right: &Arc<PhysicalPlan>,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    join_type: JoinType,
+    residual: &Option<Expr>,
+    join_plan: &PhysicalPlan,
+    id: usize,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    let left_attrs = left.output();
+    let right_attrs = right.output();
+    let bound_left_keys = key_value_fns(left_keys, &left_attrs, ctx.conf.codegen_enabled)?;
+    let bound_right_keys = key_value_fns(right_keys, &right_attrs, ctx.conf.codegen_enabled)?;
+    let residual_pred: Option<PredFn> = match residual {
+        Some(r) => Some(predicate(r, &join_plan.output(), ctx.conf.codegen_enabled)?),
+        None => None,
+    };
+    let left_width = left_attrs.len();
+    let right_width = right_attrs.len();
+
+    let left_id = id + 1;
+    let right_id = left_id + subtree_size(left);
+    let partitions = ctx.conf.shuffle_partitions.max(1);
+    let threshold = ctx.conf.broadcast_threshold;
+    let target = ctx.conf.adaptive_target_partition_bytes.max(1);
+    let factor = ctx.conf.adaptive_skew_factor;
+
+    // Lower each child exactly once (lazy; materialization below runs the
+    // actual stages).
+    let lchild = execute_node(left, left_id, ctx)?;
+    let rchild = execute_node(right, right_id, ctx)?;
+
+    let mut lmat: Option<MaterializedShuffle<Option<Row>, Row, Row>> = None;
+    let mut rmat: Option<MaterializedShuffle<Option<Row>, Row, Row>> = None;
+
+    // Try demotion: materialize a legal build side and compare its
+    // measured bytes with the broadcast threshold. Building right is
+    // preferred (it streams the usual outer-preserved left side).
+    for build in [BuildSide::Right, BuildSide::Left] {
+        if !adaptive_rules::can_demote(join_type, build) {
+            continue;
+        }
+        let (mat_slot, child, keys) = match build {
+            BuildSide::Right => (&mut rmat, &rchild, &bound_right_keys),
+            BuildSide::Left => (&mut lmat, &lchild, &bound_left_keys),
+        };
+        if mat_slot.is_none() {
+            *mat_slot = Some(materialize_join_side(child, keys, partitions)?);
+        }
+        let mat = mat_slot.as_ref().unwrap();
+        let measured = mat.total_bytes();
+        if measured > threshold {
+            continue;
+        }
+        let Some(candidate) = adaptive_rules::broadcast_candidate(join_plan, build) else {
+            continue;
+        };
+        // The rewrite must uphold the same invariants the static planner's
+        // output does; a rejected candidate falls back to the shuffled plan.
+        if !PlanValidator::new().check_physical(&candidate).is_empty() {
+            continue;
+        }
+        ctx.adaptive.record(AdaptivePlanChange {
+            node_id: id,
+            rule: AdaptiveRule::BroadcastDemotion,
+            description: format!(
+                "build {:?} measured {measured} B <= broadcast threshold {threshold} B; \
+                 ShuffledHashJoin -> BroadcastHashJoin",
+                build
+            ),
+            replacement: Some(candidate),
+        });
+        let eager_start = Instant::now();
+        let pairs = mat.read_all().try_collect().map_err(engine_err)?;
+        let table = broadcast_build_table(pairs, id, ctx);
+        note_eager_ns(ctx, id, eager_start);
+        let build_is_left = build == BuildSide::Left;
+        let (stream, stream_keys, build_width) = if build_is_left {
+            (rchild.clone(), bound_right_keys.clone(), left_width)
+        } else {
+            (lchild.clone(), bound_left_keys.clone(), right_width)
+        };
+        return Ok(broadcast_probe(
+            stream, table, stream_keys, residual_pred, join_type, build_is_left, build_width,
+        ));
+    }
+
+    // Shuffled fallback: materialize whichever sides the demotion probe
+    // did not, then plan the reduce reads from the measured sizes.
+    let lmat = match lmat {
+        Some(m) => m,
+        None => materialize_join_side(&lchild, &bound_left_keys, partitions)?,
+    };
+    let rmat = match rmat {
+        Some(m) => m,
+        None => materialize_join_side(&rchild, &bound_right_keys, partitions)?,
+    };
+    let lsizes = lmat.reduce_sizes();
+    let rsizes = rmat.reduce_sizes();
+    let totals: Vec<u64> = lsizes.iter().zip(&rsizes).map(|(a, b)| a + b).collect();
+    let ranges = adaptive_rules::coalesce_partitions(&totals, target);
+    let lmed = adaptive_rules::median(&lsizes);
+    let rmed = adaptive_rules::median(&rsizes);
+
+    let mut lspecs: Vec<ShuffleReadSpec> = Vec::new();
+    let mut rspecs: Vec<ShuffleReadSpec> = Vec::new();
+    let mut skew_splits = 0usize;
+    for range in &ranges {
+        // Only a partition too big to coalesce with a neighbor can be
+        // skewed; multi-reducer ranges are by construction under target.
+        if range.len() == 1 {
+            let r = range.start;
+            // Split the side that is both skewed and legal to split (its
+            // rows land in exactly one sub-partition; the other side's
+            // bucket is replicated, so it must not drive unmatched rows).
+            let split_left = adaptive_rules::can_split_side(join_type, BuildSide::Left)
+                && adaptive_rules::is_skewed(lsizes[r], lmed, factor, target);
+            let split_right = !split_left
+                && adaptive_rules::can_split_side(join_type, BuildSide::Right)
+                && adaptive_rules::is_skewed(rsizes[r], rmed, factor, target);
+            let map_ranges = if split_left {
+                adaptive_rules::split_map_ranges(&lmat.map_sizes_for(r), target)
+            } else if split_right {
+                adaptive_rules::split_map_ranges(&rmat.map_sizes_for(r), target)
+            } else {
+                vec![]
+            };
+            if map_ranges.len() > 1 {
+                skew_splits += map_ranges.len();
+                for mr in map_ranges {
+                    if split_left {
+                        lspecs.push(ShuffleReadSpec::map_range(r, mr.start, mr.end));
+                        rspecs.push(ShuffleReadSpec::reducers(r, r + 1, rmat.num_maps()));
+                    } else {
+                        lspecs.push(ShuffleReadSpec::reducers(r, r + 1, lmat.num_maps()));
+                        rspecs.push(ShuffleReadSpec::map_range(r, mr.start, mr.end));
+                    }
+                }
+                continue;
+            }
+        }
+        lspecs.push(ShuffleReadSpec::reducers(range.start, range.end, lmat.num_maps()));
+        rspecs.push(ShuffleReadSpec::reducers(range.start, range.end, rmat.num_maps()));
+    }
+
+    if ranges.len() != partitions {
+        ctx.adaptive.record(AdaptivePlanChange {
+            node_id: id,
+            rule: AdaptiveRule::CoalescePartitions,
+            description: format!(
+                "{partitions} -> {} post-shuffle partitions (target {target} B, measured {} B)",
+                ranges.len(),
+                totals.iter().sum::<u64>(),
+            ),
+            replacement: None,
+        });
+    }
+    if skew_splits > 0 {
+        ctx.adaptive.record(AdaptivePlanChange {
+            node_id: id,
+            rule: AdaptiveRule::SkewSplit,
+            description: format!(
+                "split skewed reduce partition(s) into {skew_splits} map-range sub-partitions \
+                 (factor {factor}, median {lmed}/{rmed} B)",
+            ),
+            replacement: None,
+        });
+    }
+    if let Some(pm) = &ctx.metrics {
+        let node = pm.node(id);
+        node.set_extra("adaptive_partitions", lspecs.len() as u64);
+        node.set_extra("adaptive_skew_splits", skew_splits as u64);
+    }
+
+    Ok(lmat.read(lspecs).zip_partitions(&rmat.read(rspecs), move |lit, rit| {
+        Box::new(
+            hash_join_partition(lit, rit, join_type, &residual_pred, left_width, right_width)
+                .into_iter(),
+        )
+    }))
+}
+
+/// Read a materialized exchange back with small neighboring reduce
+/// partitions merged up to the coalescing target, recording the decision.
+/// Map-range splitting is never applied here: aggregated consumers need
+/// every map's contribution to a key in one partition.
+fn coalesced_read<K, V, C>(
+    mat: &MaterializedShuffle<K, V, C>,
+    what: &str,
+    id: usize,
+    ctx: &ExecContext,
+) -> RddRef<(K, C)>
+where
+    K: engine::Data + Hash + Eq,
+    V: engine::Data,
+    C: engine::Data,
+{
+    let sizes = mat.reduce_sizes();
+    let target = ctx.conf.adaptive_target_partition_bytes.max(1);
+    let ranges = adaptive_rules::coalesce_partitions(&sizes, target);
+    if ranges.len() != sizes.len() {
+        ctx.adaptive.record(AdaptivePlanChange {
+            node_id: id,
+            rule: AdaptiveRule::CoalescePartitions,
+            description: format!(
+                "{what}: {} -> {} post-shuffle partitions (target {target} B, measured {} B)",
+                sizes.len(),
+                ranges.len(),
+                mat.total_bytes(),
+            ),
+            replacement: None,
+        });
+    }
+    if let Some(pm) = &ctx.metrics {
+        pm.node(id).set_extra("adaptive_partitions", ranges.len() as u64);
+    }
+    let num_maps = mat.num_maps();
+    mat.read(
+        ranges.into_iter().map(|r| ShuffleReadSpec::reducers(r.start, r.end, num_maps)).collect(),
+    )
 }
 
 fn execute_nested_loop_join(

@@ -10,7 +10,8 @@
 //! to individual operators instead of whole queries.
 
 use crate::context::SQLContext;
-use crate::execution::{execute, ExecContext};
+use crate::execution::{execute, AdaptiveLog, ExecContext};
+use catalyst::adaptive::{self, AdaptivePlanChange};
 use catalyst::error::Result;
 use catalyst::physical::metrics::{format_ns, render_annotated, PlanMetrics};
 use catalyst::physical::PhysicalPlan;
@@ -36,6 +37,7 @@ pub struct QueryExecution {
     physical: PhysicalPlan,
     metrics: Arc<PlanMetrics>,
     rule_health: RuleHealthReport,
+    adaptive_log: AdaptiveLog,
 }
 
 impl QueryExecution {
@@ -49,6 +51,7 @@ impl QueryExecution {
             physical: planned.physical,
             metrics,
             rule_health: planned.rule_health,
+            adaptive_log: AdaptiveLog::default(),
         })
     }
 
@@ -92,12 +95,29 @@ impl QueryExecution {
     /// attached: every operator meters rows and time into
     /// [`QueryExecution::metrics`] when the RDD executes.
     pub fn to_rdd(&self) -> Result<RddRef<Row>> {
-        let ctx = ExecContext::instrumented(
+        let mut ctx = ExecContext::instrumented(
             self.ctx.spark_context().clone(),
             self.ctx.conf(),
             self.metrics.clone(),
         );
+        // Adaptive decisions are per-run: lowering materializes stages
+        // eagerly, so the log fills in during `execute`.
+        self.adaptive_log.clear();
+        ctx.adaptive = self.adaptive_log.clone();
         execute(&self.physical, &ctx)
+    }
+
+    /// Adaptive plan changes recorded by the most recent execution of
+    /// this handle (empty when adaptive execution is off, nothing fired,
+    /// or the query has not run yet).
+    pub fn adaptive_changes(&self) -> Vec<AdaptivePlanChange> {
+        self.adaptive_log.snapshot()
+    }
+
+    /// The plan that actually executed: the initial physical plan with
+    /// the most recent run's adaptive rewrites applied.
+    pub fn final_physical(&self) -> PhysicalPlan {
+        adaptive::final_plan(&self.physical, &self.adaptive_changes())
     }
 
     /// Execute, gather all rows, and record the run: operator metrics
@@ -119,8 +139,25 @@ impl QueryExecution {
     /// rows and times per operator — `EXPLAIN ANALYZE`.
     pub fn explain_analyze(&self) -> Result<String> {
         let rows = self.collect()?;
-        let mut out = String::from("== Physical Plan (executed) ==\n");
-        out.push_str(&render_annotated(&self.physical, &self.metrics));
+        let changes = self.adaptive_changes();
+        let mut out = String::new();
+        if changes.is_empty() {
+            out.push_str("== Physical Plan (executed) ==\n");
+            out.push_str(&render_annotated(&self.physical, &self.metrics));
+        } else {
+            // Adaptive execution re-planned mid-run: show what the static
+            // planner chose, each runtime decision, and what actually ran.
+            // Demotions keep the subtree shape, so the metrics registry's
+            // pre-order ids line up with the final plan.
+            out.push_str("== Initial Physical Plan ==\n");
+            out.push_str(&self.physical.to_string());
+            out.push_str("== Adaptive Plan Changes ==\n");
+            for c in &changes {
+                out.push_str(&format!("{c}\n"));
+            }
+            out.push_str("== Final Physical Plan (executed) ==\n");
+            out.push_str(&render_annotated(&adaptive::final_plan(&self.physical, &changes), &self.metrics));
+        }
         let entry = self.ctx.query_log().pop();
         let wall = entry.map(|e| e.wall_ns).unwrap_or(0);
         out.push_str(&format!(

@@ -88,9 +88,16 @@ fn explain_analyze_annotates_every_operator() {
     let n_ops = subtree_size(df.query_execution().unwrap().physical());
 
     let text = df.explain_analyze().unwrap();
-    let plan_lines: Vec<&str> = text
+    // Adaptive execution may prepend the initial plan and its change log;
+    // the annotated operator lines are the executed-plan section.
+    let executed = text
+        .split("Physical Plan (executed) ==\n")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no executed-plan section:\n{text}"));
+    let plan_lines: Vec<&str> = executed
         .lines()
-        .filter(|l| !l.starts_with("==") && !l.starts_with("output rows") && !l.trim().is_empty())
+        .take_while(|l| !l.starts_with("=="))
+        .filter(|l| !l.trim().is_empty())
         .collect();
     assert_eq!(plan_lines.len(), n_ops, "{text}");
     for line in &plan_lines {

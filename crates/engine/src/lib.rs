@@ -31,6 +31,7 @@ pub mod broadcast;
 pub mod cache;
 pub mod context;
 pub mod error;
+pub mod exchange;
 pub mod hdfs;
 pub mod metrics;
 pub mod ops;
@@ -44,6 +45,7 @@ pub mod shuffle;
 pub use broadcast::Broadcast;
 pub use context::{EngineConf, SparkContext};
 pub use error::{EngineError, Result};
+pub use exchange::{MaterializedShuffle, ShuffleReadSpec};
 pub use pair::PairRdd;
 pub use partitioner::{HashPartitioner, Partitioner, RangePartitioner};
 pub use rdd::{BoxIter, Data, Rdd, RddBase, RddRef};

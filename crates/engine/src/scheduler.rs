@@ -131,6 +131,32 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Materialize one shuffle's map output — and, recursively, every shuffle
+/// upstream of it — without running a result stage. Already-complete
+/// shuffles are skipped, so re-materializing is free. This is the
+/// primitive adaptive query execution uses: run a stage, observe its real
+/// output sizes via [`crate::shuffle::ShuffleManager::map_output_sizes`],
+/// then plan the next stage.
+pub fn materialize_shuffle(sc: &SparkContext, dep: Arc<dyn ShuffleDependencyBase>) -> Result<()> {
+    let mut stages = collect_shuffle_dependencies(dep.parent());
+    stages.push(dep);
+    for sd in stages {
+        let num_maps = sd.parent().num_partitions();
+        if sc.shuffle_manager().is_complete(sd.shuffle_id(), num_maps) {
+            continue; // stage skipping
+        }
+        let stage_id = sc.new_stage_id();
+        let sd2 = sd.clone();
+        run_tasks(
+            sc,
+            stage_id,
+            num_maps,
+            Arc::new(move |tc: &TaskContext| sd2.run_map_task(tc.partition, tc)),
+        )?;
+    }
+    Ok(())
+}
+
 /// Execute a job: ensure every upstream shuffle is materialized, then run
 /// `func` over each partition of `rdd` and return the per-partition
 /// results in partition order.

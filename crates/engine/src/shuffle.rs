@@ -35,16 +35,40 @@ pub struct ShuffleManager {
 struct ShuffleState {
     /// (shuffle_id, map_id) -> per-reducer buckets.
     outputs: HashMap<(usize, usize), Bucket>,
+    /// (shuffle_id, map_id) -> serialized bytes per reducer bucket,
+    /// recorded at write time so consumers (adaptive planning, EXPLAIN
+    /// ANALYZE) see measured sizes rather than row counts times a guess.
+    sizes: HashMap<(usize, usize), Vec<u64>>,
     /// shuffle_id -> completed map partitions.
     completed: HashMap<usize, HashSet<usize>>,
 }
 
 impl ShuffleManager {
-    /// Record the output of one map task.
-    pub fn put(&self, shuffle_id: usize, map_id: usize, bucket: Bucket) {
+    /// Record the output of one map task together with the byte size of
+    /// each per-reducer bucket (`bucket_bytes[r]` = bytes destined for
+    /// reduce partition `r`).
+    pub fn put(&self, shuffle_id: usize, map_id: usize, bucket: Bucket, bucket_bytes: Vec<u64>) {
         let mut st = self.state.lock();
         st.outputs.insert((shuffle_id, map_id), bucket);
+        st.sizes.insert((shuffle_id, map_id), bucket_bytes);
         st.completed.entry(shuffle_id).or_default().insert(map_id);
+    }
+
+    /// Measured byte sizes of one shuffle's map output, indexed
+    /// `[map][reduce]` with maps in ascending map-id order. Empty until
+    /// at least one map task of the shuffle has reported.
+    pub fn map_output_sizes(&self, shuffle_id: usize) -> Vec<Vec<u64>> {
+        let st = self.state.lock();
+        let mut map_ids: Vec<usize> = st
+            .completed
+            .get(&shuffle_id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        map_ids.sort_unstable();
+        map_ids
+            .iter()
+            .filter_map(|m| st.sizes.get(&(shuffle_id, *m)).cloned())
+            .collect()
     }
 
     /// Fetch the output of one map task, if present.
@@ -66,6 +90,7 @@ impl ShuffleManager {
     pub fn invalidate(&self, shuffle_id: usize) {
         let mut st = self.state.lock();
         st.outputs.retain(|(sid, _), _| *sid != shuffle_id);
+        st.sizes.retain(|(sid, _), _| *sid != shuffle_id);
         st.completed.remove(&shuffle_id);
     }
 
@@ -73,6 +98,7 @@ impl ShuffleManager {
     pub fn invalidate_all(&self) {
         let mut st = self.state.lock();
         st.outputs.clear();
+        st.sizes.clear();
         st.completed.clear();
     }
 
@@ -137,6 +163,12 @@ pub trait ShuffleDependencyBase: Send + Sync {
     fn run_map_task(&self, map_partition: usize, tc: &TaskContext);
 }
 
+/// Measures the byte footprint of one shuffled record. The engine cannot
+/// inspect `Data` values itself (the trait is a blanket impl), so callers
+/// that know their record layout — e.g. SQL rows — pass one of these to
+/// get real byte accounting instead of `size_of::<(K, C)>()` guesses.
+pub type SizeFn<K, C> = Arc<dyn Fn(&K, &C) -> u64 + Send + Sync>;
+
 /// Typed shuffle dependency from an RDD of `(K, V)` pairs to reduce-side
 /// combiners of type `C`.
 pub struct ShuffleDependency<K: Data, V: Data, C: Data> {
@@ -145,6 +177,7 @@ pub struct ShuffleDependency<K: Data, V: Data, C: Data> {
     partitioner: Arc<dyn Partitioner<K>>,
     aggregator: Option<Aggregator<K, V, C>>,
     map_side_combine: bool,
+    size_fn: Option<SizeFn<K, C>>,
     ctx: SparkContext,
 }
 
@@ -163,6 +196,18 @@ where
         aggregator: Option<Aggregator<K, V, C>>,
         map_side_combine: bool,
     ) -> Self {
+        Self::new_sized(parent, partitioner, aggregator, map_side_combine, None)
+    }
+
+    /// Like [`ShuffleDependency::new`], with a caller-supplied record size
+    /// measure used for per-bucket byte accounting.
+    pub fn new_sized(
+        parent: Arc<dyn Rdd<Item = (K, V)>>,
+        partitioner: Arc<dyn Partitioner<K>>,
+        aggregator: Option<Aggregator<K, V, C>>,
+        map_side_combine: bool,
+        size_fn: Option<SizeFn<K, C>>,
+    ) -> Self {
         let ctx = parent.context();
         ShuffleDependency {
             shuffle_id: ctx.new_shuffle_id(),
@@ -170,6 +215,7 @@ where
             partitioner,
             aggregator,
             map_side_combine,
+            size_fn,
             ctx,
         }
     }
@@ -253,16 +299,25 @@ where
             }
         }
 
+        // Per-bucket byte accounting: measured via the caller's size_fn
+        // when available, otherwise approximated from the in-memory record
+        // footprint (the store holds typed Vec<(K, C)> buckets, not
+        // serialized frames).
+        let mut bucket_bytes: Vec<u64> = Vec::with_capacity(n);
+        let mut bytes = 0u64;
         for bucket in &buckets {
             written += bucket.len() as u64;
+            let b = match &self.size_fn {
+                Some(f) => bucket.iter().map(|(k, c)| f(k, c)).sum(),
+                None => bucket.len() as u64 * std::mem::size_of::<(K, C)>() as u64,
+            };
+            bytes += b;
+            bucket_bytes.push(b);
         }
-        // Bytes are approximated from the in-memory record footprint: the
-        // store holds typed Vec<(K, C)> buckets, not serialized frames.
-        let bytes = written * std::mem::size_of::<(K, C)>() as u64;
         self.ctx.metrics().record_shuffle_write(self.shuffle_id, written, bytes);
         self.ctx
             .shuffle_manager()
-            .put(self.shuffle_id, map_partition, Self::erase(buckets));
+            .put(self.shuffle_id, map_partition, Self::erase(buckets), bucket_bytes);
     }
 }
 
@@ -274,22 +329,32 @@ mod tests {
     fn manager_roundtrip_and_invalidate() {
         let m = ShuffleManager::default();
         let buckets: Vec<Vec<(i64, i64)>> = vec![vec![(1, 2)], vec![]];
-        m.put(7, 0, Arc::new(buckets));
+        m.put(7, 0, Arc::new(buckets), vec![16, 0]);
         assert!(m.get(7, 0).is_some());
         assert!(m.is_complete(7, 1));
         assert!(!m.is_complete(7, 2));
+        assert_eq!(m.map_output_sizes(7), vec![vec![16, 0]]);
         m.invalidate(7);
         assert!(m.get(7, 0).is_none());
         assert!(!m.is_complete(7, 1));
+        assert!(m.map_output_sizes(7).is_empty());
     }
 
     #[test]
     fn invalidate_all_clears_everything() {
         let m = ShuffleManager::default();
-        m.put(1, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()));
-        m.put(2, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()));
+        m.put(1, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![]);
+        m.put(2, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![]);
         assert_eq!(m.known_shuffles(), vec![1, 2]);
         m.invalidate_all();
         assert!(m.known_shuffles().is_empty());
+    }
+
+    #[test]
+    fn map_output_sizes_ordered_by_map_id() {
+        let m = ShuffleManager::default();
+        m.put(3, 1, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![8, 24]);
+        m.put(3, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![0, 48]);
+        assert_eq!(m.map_output_sizes(3), vec![vec![0, 48], vec![8, 24]]);
     }
 }
