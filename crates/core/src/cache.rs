@@ -7,13 +7,24 @@
 //! via min/max statistics. With `columnar_cache_enabled = false` the rows
 //! are kept as plain objects — the "Spark native cache" baseline the
 //! paper compares against.
+//!
+//! Cached blocks live in the engine's [`engine::cache::CacheManager`],
+//! one block per source partition, with ownership spread across executor
+//! threads. That makes `CACHE TABLE` data subject to the same fault model
+//! as RDD caching: when `SparkContext::lose_executor` (or the chaos
+//! injector) drops an executor's blocks, the next scan re-runs the
+//! materializer from lineage and refills only the missing partitions,
+//! counting each refill in the engine's `cache_recomputes` metric.
 
 use catalyst::error::{CatalystError, Result};
 use catalyst::row::Row;
 use catalyst::schema::SchemaRef;
 use catalyst::source::{BaseRelation, BatchIter, Filter, RowIter, ScanCapability};
 use columnar::{batch_rows, ColumnarBatch};
-use parking_lot::Mutex;
+use engine::metrics::Metrics;
+use engine::rdd::RddId;
+use engine::SparkContext;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Materialized form of one cached partition.
@@ -22,19 +33,20 @@ enum CachedPartition {
     Rows(Arc<Vec<Row>>),
 }
 
-/// Materializer: produces the partitions on first access.
-pub type Materializer = Box<dyn FnOnce() -> Result<Vec<Vec<Row>>> + Send>;
-
-enum CacheState {
-    Pending(Option<Materializer>),
-    Ready(Arc<Vec<CachedPartition>>),
-}
+/// Materializer: produces all source partitions. Re-runnable — recovery
+/// calls it again when cached blocks are lost to an executor failure.
+pub type Materializer = Box<dyn Fn() -> Result<Vec<Vec<Row>>> + Send + Sync>;
 
 /// A cached (materialized-on-first-use) relation.
 pub struct CachedRelation {
     name: String,
     schema: SchemaRef,
-    state: Mutex<CacheState>,
+    sc: SparkContext,
+    /// Block-store key: blocks live at `(cache_id, partition)` in the
+    /// engine cache manager.
+    cache_id: RddId,
+    materializer: Materializer,
+    ever_filled: AtomicBool,
     columnar: bool,
     batch_size: usize,
     num_partitions: usize,
@@ -42,86 +54,148 @@ pub struct CachedRelation {
 
 impl CachedRelation {
     /// Create a lazily materialized cache over `num_partitions` source
-    /// partitions.
+    /// partitions, storing blocks in `sc`'s cache manager.
     pub fn new(
         name: impl Into<String>,
         schema: SchemaRef,
         num_partitions: usize,
         columnar: bool,
         batch_size: usize,
+        sc: SparkContext,
         materializer: Materializer,
     ) -> Self {
+        let cache_id = sc.new_rdd_id();
         CachedRelation {
             name: name.into(),
             schema,
-            state: Mutex::new(CacheState::Pending(Some(materializer))),
+            sc,
+            cache_id,
+            materializer,
+            ever_filled: AtomicBool::new(false),
             columnar,
             batch_size,
             num_partitions: num_partitions.max(1),
         }
     }
 
-    fn materialized(&self) -> Result<Arc<Vec<CachedPartition>>> {
-        let mut state = self.state.lock();
-        match &mut *state {
-            CacheState::Ready(parts) => Ok(parts.clone()),
-            CacheState::Pending(m) => {
-                let materializer = m
-                    .take()
-                    .ok_or_else(|| CatalystError::Internal("cache rematerialization race".into()))?;
-                let partitions = materializer()?;
-                let cached: Vec<CachedPartition> = partitions
-                    .into_iter()
-                    .map(|rows| {
-                        if self.columnar {
-                            CachedPartition::Columnar(Arc::new(batch_rows(
-                                self.schema.clone(),
-                                rows,
-                                self.batch_size,
-                            )))
-                        } else {
-                            CachedPartition::Rows(Arc::new(rows))
-                        }
-                    })
-                    .collect();
-                let cached = Arc::new(cached);
-                *state = CacheState::Ready(cached.clone());
-                Ok(cached)
-            }
+    /// The engine cache-manager id this relation's blocks are stored
+    /// under (for targeted eviction in tests).
+    pub fn cache_id(&self) -> RddId {
+        self.cache_id
+    }
+
+    /// How many of this relation's partitions are currently resident in
+    /// the block store.
+    pub fn resident_partitions(&self) -> usize {
+        let cm = self.sc.cache_manager();
+        (0..self.num_partitions).filter(|&p| cm.get(self.cache_id, p).is_some()).count()
+    }
+
+    fn encode(&self, rows: Vec<Row>) -> CachedPartition {
+        if self.columnar {
+            CachedPartition::Columnar(Arc::new(batch_rows(
+                self.schema.clone(),
+                rows,
+                self.batch_size,
+            )))
+        } else {
+            CachedPartition::Rows(Arc::new(rows))
         }
     }
 
-    /// True once the data has been materialized.
+    /// Ensure every partition is resident, re-running the materializer
+    /// for whatever is missing (everything on first use; only the lost
+    /// blocks' data is re-stored after a failure).
+    ///
+    /// Deliberately lock-free across the materializer call: scans run
+    /// inside scheduler tasks, and the materializer runs a nested engine
+    /// job, so a reader that blocked on a fill lock here could be the
+    /// very thread (via work stealing) the fill needs to make progress —
+    /// a deadlock. Concurrent first-touch scans may instead each run the
+    /// materializer; puts are idempotent and `take_lost` fires once per
+    /// lost partition, so results and recovery accounting stay exact.
+    fn ensure(&self) -> Result<()> {
+        let cm = self.sc.cache_manager();
+        let missing: Vec<usize> = (0..self.num_partitions)
+            .filter(|&p| cm.get(self.cache_id, p).is_none())
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let mut parts = (self.materializer)()?;
+        parts.resize_with(self.num_partitions.max(parts.len()), Vec::new);
+        // Spread ownership across executor slots so simulated executor
+        // loss drops a subset of this relation's blocks, not all or none.
+        let slots = self.sc.conf().executor_threads.max(1);
+        for p in missing {
+            if cm.take_lost(self.cache_id, p) {
+                Metrics::add(&self.sc.metrics().cache_recomputes, 1);
+            }
+            let block = Arc::new(self.encode(std::mem::take(&mut parts[p])));
+            cm.put_owned(self.cache_id, p, block, p % slots);
+        }
+        self.ever_filled.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Fetch one partition's block, materializing if it is missing.
+    fn partition(&self, partition: usize) -> Result<Option<Arc<CachedPartition>>> {
+        if partition >= self.num_partitions {
+            return Ok(None);
+        }
+        let cm = self.sc.cache_manager();
+        let block = match cm.get(self.cache_id, partition) {
+            Some(b) => b,
+            None => {
+                self.ensure()?;
+                cm.get(self.cache_id, partition).ok_or_else(|| {
+                    CatalystError::Internal(format!(
+                        "cache block {}:{partition} missing after materialization",
+                        self.name
+                    ))
+                })?
+            }
+        };
+        block
+            .downcast::<CachedPartition>()
+            .map(Some)
+            .map_err(|_| CatalystError::Internal("cache block type mismatch".into()))
+    }
+
+    /// True once the data has been materialized at least once (lost
+    /// blocks are refilled transparently on the next scan).
     pub fn is_materialized(&self) -> bool {
-        matches!(&*self.state.lock(), CacheState::Ready(_))
+        self.ever_filled.load(Ordering::SeqCst)
     }
 
     /// Total cached footprint in bytes (materializes if needed).
     pub fn cached_bytes(&self) -> Result<u64> {
-        let parts = self.materialized()?;
-        Ok(parts
-            .iter()
-            .map(|p| match p {
+        self.ensure()?;
+        let mut total = 0u64;
+        for p in 0..self.num_partitions {
+            total += match &*self.partition(p)?.expect("in range") {
                 CachedPartition::Columnar(batches) => {
                     batches.iter().map(ColumnarBatch::bytes).sum::<u64>()
                 }
                 CachedPartition::Rows(rows) => rows.iter().map(Row::approx_bytes).sum(),
-            })
-            .sum())
+            };
+        }
+        Ok(total)
     }
 
     /// Total row count (materializes if needed).
     pub fn cached_rows(&self) -> Result<u64> {
-        let parts = self.materialized()?;
-        Ok(parts
-            .iter()
-            .map(|p| match p {
+        self.ensure()?;
+        let mut total = 0u64;
+        for p in 0..self.num_partitions {
+            total += match &*self.partition(p)?.expect("in range") {
                 CachedPartition::Columnar(batches) => {
                     batches.iter().map(|b| b.num_rows() as u64).sum::<u64>()
                 }
                 CachedPartition::Rows(rows) => rows.len() as u64,
-            })
-            .sum())
+            };
+        }
+        Ok(total)
     }
 }
 
@@ -170,14 +244,15 @@ impl BaseRelation for CachedRelation {
         projection: Option<&[usize]>,
         filters: &[Filter],
     ) -> Result<RowIter> {
-        let parts = self.materialized()?;
-        match parts.get(partition) {
-            None => Ok(Box::new(std::iter::empty())),
-            Some(CachedPartition::Rows(rows)) => {
+        let Some(part) = self.partition(partition)? else {
+            return Ok(Box::new(std::iter::empty()));
+        };
+        match &*part {
+            CachedPartition::Rows(rows) => {
                 let rows = rows.clone();
                 Ok(Box::new((0..rows.len()).map(move |i| rows[i].clone())))
             }
-            Some(CachedPartition::Columnar(batches)) => {
+            CachedPartition::Columnar(batches) => {
                 // Batch skipping via statistics; then decode only the
                 // columns the projection and the filters actually touch.
                 let mut out: Vec<Row> = Vec::new();
@@ -230,10 +305,12 @@ impl BaseRelation for CachedRelation {
         projection: Option<&[usize]>,
         filters: &[Filter],
     ) -> Result<Option<BatchIter>> {
-        let parts = self.materialized()?;
-        let Some(CachedPartition::Columnar(batches)) = parts.get(partition) else {
-            // Row-cached partitions (or out-of-range) use the generic
-            // row→batch adapter in the executor.
+        let Some(part) = self.partition(partition)? else {
+            return Ok(None);
+        };
+        let CachedPartition::Columnar(batches) = &*part else {
+            // Row-cached partitions use the generic row→batch adapter in
+            // the executor.
             return Ok(None);
         };
         // Stream batches straight out of the cache: statistics skip whole
@@ -277,6 +354,7 @@ mod tests {
     use catalyst::schema::Schema;
     use catalyst::types::{DataType, StructField};
     use catalyst::value::Value;
+    use std::sync::atomic::AtomicUsize;
 
     fn schema() -> SchemaRef {
         Arc::new(Schema::new(vec![
@@ -292,6 +370,7 @@ mod tests {
             2,
             columnar,
             16,
+            SparkContext::new(2),
             Box::new(|| {
                 Ok((0..2)
                     .map(|p| {
@@ -343,5 +422,48 @@ mod tests {
             obj.handled_filters(&[Filter::IsNull("id".into())]),
             vec![false]
         );
+    }
+
+    #[test]
+    fn lost_blocks_refill_from_the_materializer() {
+        let sc = SparkContext::new(2);
+        sc.set_chaos(None);
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = runs.clone();
+        let rel = CachedRelation::new(
+            "t",
+            schema(),
+            2,
+            true,
+            16,
+            sc.clone(),
+            Box::new(move || {
+                runs2.fetch_add(1, Ordering::SeqCst);
+                Ok((0..2)
+                    .map(|p| {
+                        (0..10)
+                            .map(|i| Row::new(vec![Value::Long(p * 10 + i), Value::str("c")]))
+                            .collect()
+                    })
+                    .collect())
+            }),
+        );
+        assert_eq!(rel.cached_rows().unwrap(), 20);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(rel.resident_partitions(), 2);
+        // Repeated scans are served from the block store.
+        let _: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        // Drop one block (partition 0 is owned by executor slot 0): the
+        // next scan re-runs the materializer and refills only the loss.
+        let before = Metrics::get(&sc.metrics().cache_recomputes);
+        sc.lose_executor(0);
+        assert_eq!(rel.resident_partitions(), 1);
+        let rows: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        assert_eq!(rel.resident_partitions(), 2);
+        assert_eq!(Metrics::get(&sc.metrics().cache_recomputes), before + 1);
+        assert!(rel.is_materialized());
     }
 }

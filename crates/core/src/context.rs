@@ -459,6 +459,8 @@ impl SQLContext {
         let conf = self.conf();
         let rdd = df.to_rdd()?;
         let num_partitions = rdd.num_partitions();
+        // Re-runnable: recovery invokes it again from lineage when cached
+        // blocks are lost to an executor failure.
         let materializer = Box::new(move || {
             rdd.run_job(|_, it| it.collect::<Vec<Row>>())
                 .map_err(|e| CatalystError::Internal(format!("cache materialization: {e}")))
@@ -469,6 +471,7 @@ impl SQLContext {
             num_partitions,
             conf.columnar_cache_enabled,
             conf.cache_batch_size,
+            self.inner.sc.clone(),
             materializer,
         )))
     }

@@ -122,16 +122,19 @@ impl QueryExecution {
 
     /// Execute, gather all rows, and record the run: operator metrics
     /// fill in, engine shuffle volume is attributed to the operators
-    /// that induced each exchange, and a [`QueryLogEntry`] is appended
-    /// to the session query log.
+    /// that induced each exchange, fault-recovery activity is captured
+    /// as engine-counter deltas, and a [`QueryLogEntry`] is appended to
+    /// the session query log.
     pub fn collect(&self) -> Result<Vec<Row>> {
+        let before = self.ctx.spark_context().metrics().snapshot();
         let start = Instant::now();
         let rows = self.to_rdd()?.try_collect().map_err(|e| {
             CatalystError::Internal(format!("execution failed: {e}"))
         })?;
         let wall_ns = start.elapsed().as_nanos() as u64;
+        let recovery = RecoveryEvents::delta(&before, &self.ctx.spark_context().metrics().snapshot());
         self.attribute_shuffle_stats();
-        self.ctx.log_query(self.log_entry(wall_ns, rows.len() as u64));
+        self.ctx.log_query(self.log_entry(wall_ns, rows.len() as u64, recovery));
         Ok(rows)
     }
 
@@ -159,7 +162,13 @@ impl QueryExecution {
             out.push_str(&render_annotated(&adaptive::final_plan(&self.physical, &changes), &self.metrics));
         }
         let entry = self.ctx.query_log().pop();
-        let wall = entry.map(|e| e.wall_ns).unwrap_or(0);
+        let (wall, recovery) = entry
+            .map(|e| (e.wall_ns, e.recovery))
+            .unwrap_or((0, RecoveryEvents::default()));
+        if recovery.any() {
+            out.push_str("== Fault Recovery ==\n");
+            out.push_str(&recovery.render());
+        }
         out.push_str(&format!(
             "== Totals ==\noutput rows: {}, wall time: {}\n",
             rows.len(),
@@ -191,7 +200,7 @@ impl QueryExecution {
         }
     }
 
-    fn log_entry(&self, wall_ns: u64, output_rows: u64) -> QueryLogEntry {
+    fn log_entry(&self, wall_ns: u64, output_rows: u64, recovery: RecoveryEvents) -> QueryLogEntry {
         let mut names = Vec::new();
         preorder_descriptions(&self.physical, &mut names);
         let operators = names
@@ -213,7 +222,75 @@ impl QueryExecution {
             wall_ns,
             output_rows,
             operators,
+            recovery,
         }
+    }
+}
+
+/// Fault-recovery activity observed during one instrumented run: deltas
+/// of the engine's recovery counters between the start and end of
+/// [`QueryExecution::collect`]. All zero for a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryEvents {
+    /// Tasks retried in place after a (possibly injected) failure.
+    pub task_retries: u64,
+    /// Shuffle fetches that found their map output missing.
+    pub fetch_failures: u64,
+    /// Parent map stages resubmitted to regenerate lost shuffle output.
+    pub stage_resubmissions: u64,
+    /// Map tasks recomputed for previously complete shuffles.
+    pub map_tasks_recomputed: u64,
+    /// Executors lost (all their shuffle and cache blocks dropped).
+    pub executors_lost: u64,
+    /// Cached partitions rebuilt from lineage after their block was lost.
+    pub cache_recomputes: u64,
+}
+
+impl RecoveryEvents {
+    fn delta(before: &engine::metrics::MetricsSnapshot, after: &engine::metrics::MetricsSnapshot) -> RecoveryEvents {
+        RecoveryEvents {
+            task_retries: after.task_failures.saturating_sub(before.task_failures),
+            fetch_failures: after.fetch_failures.saturating_sub(before.fetch_failures),
+            stage_resubmissions: after.stage_resubmissions.saturating_sub(before.stage_resubmissions),
+            map_tasks_recomputed: after.map_tasks_recomputed.saturating_sub(before.map_tasks_recomputed),
+            executors_lost: after.executors_lost.saturating_sub(before.executors_lost),
+            cache_recomputes: after.cache_recomputes.saturating_sub(before.cache_recomputes),
+        }
+    }
+
+    /// True if any recovery machinery fired during the run.
+    pub fn any(&self) -> bool {
+        *self != RecoveryEvents::default()
+    }
+
+    /// One line per nonzero counter, for `explain_analyze` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in [
+            ("task retries", self.task_retries),
+            ("fetch failures", self.fetch_failures),
+            ("stage resubmissions", self.stage_resubmissions),
+            ("map tasks recomputed", self.map_tasks_recomputed),
+            ("executors lost", self.executors_lost),
+            ("cache recomputes", self.cache_recomputes),
+        ] {
+            if v > 0 {
+                out.push_str(&format!("{name}: {v}\n"));
+            }
+        }
+        out
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"task_retries\":{},\"fetch_failures\":{},\"stage_resubmissions\":{},\"map_tasks_recomputed\":{},\"executors_lost\":{},\"cache_recomputes\":{}}}",
+            self.task_retries,
+            self.fetch_failures,
+            self.stage_resubmissions,
+            self.map_tasks_recomputed,
+            self.executors_lost,
+            self.cache_recomputes,
+        )
     }
 }
 
@@ -235,6 +312,8 @@ pub struct QueryLogEntry {
     pub output_rows: u64,
     /// Per-operator actuals, in pre-order over the physical plan.
     pub operators: Vec<OperatorLogEntry>,
+    /// Fault-recovery counters for this run (all zero when fault-free).
+    pub recovery: RecoveryEvents,
 }
 
 /// Actuals of one physical operator within a [`QueryLogEntry`].
@@ -275,10 +354,11 @@ impl QueryLogEntry {
             })
             .collect();
         format!(
-            "{{\"query\":{},\"wall_ns\":{},\"output_rows\":{},\"operators\":[{}]}}",
+            "{{\"query\":{},\"wall_ns\":{},\"output_rows\":{},\"recovery\":{},\"operators\":[{}]}}",
             json_string(&self.query),
             self.wall_ns,
             self.output_rows,
+            self.recovery.to_json(),
             ops.join(",")
         )
     }
@@ -326,10 +406,26 @@ mod tests {
                 elapsed_ns: 400,
                 extras: vec![("shuffle_bytes_written".into(), 64)],
             }],
+            recovery: RecoveryEvents { fetch_failures: 2, ..RecoveryEvents::default() },
         };
         let json = entry.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"query\":\"Project [a]\""), "{json}");
         assert!(json.contains("\"extras\":{\"shuffle_bytes_written\":64}"), "{json}");
+        assert!(json.contains("\"recovery\":{\"task_retries\":0,\"fetch_failures\":2"), "{json}");
+    }
+
+    #[test]
+    fn recovery_events_render_only_nonzero_counters() {
+        let quiet = RecoveryEvents::default();
+        assert!(!quiet.any());
+        assert_eq!(quiet.render(), "");
+        let busy = RecoveryEvents {
+            stage_resubmissions: 1,
+            map_tasks_recomputed: 4,
+            ..RecoveryEvents::default()
+        };
+        assert!(busy.any());
+        assert_eq!(busy.render(), "stage resubmissions: 1\nmap tasks recomputed: 4\n");
     }
 }

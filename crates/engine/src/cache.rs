@@ -2,60 +2,127 @@
 //!
 //! `RddRef::cache()` wraps an RDD in a [`CachedRdd`]; the first job to
 //! touch a partition computes and stores it, later jobs read the stored
-//! block. Evicting blocks (or calling [`CacheManager::clear`]) forces
-//! lineage recomputation — the fault-tolerance path the paper's RDD model
-//! relies on (§2.1).
+//! block. Evicting blocks — explicitly, via [`CacheManager::clear`], or
+//! because the executor holding them died — forces lineage
+//! recomputation on next access: the fault-tolerance path the paper's
+//! RDD model relies on (§2.1). Blocks remember which executor produced
+//! them so [`crate::SparkContext::lose_executor`] can drop exactly that
+//! executor's blocks, and losses are tracked so recomputation after a
+//! failure is distinguishable (in metrics) from a first-time fill.
 
 use crate::context::SparkContext;
 use crate::metrics::Metrics;
 use crate::rdd::{BoxIter, Data, Dependency, Rdd, RddBase, RddId, TaskContext};
 use parking_lot::Mutex;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 type Block = Arc<dyn Any + Send + Sync>;
 
+/// Owner id recorded for blocks stored from the driver thread.
+pub const DRIVER_OWNER: usize = usize::MAX;
+
+#[derive(Default)]
+struct CacheState {
+    /// (rdd id, partition) -> (block, producing executor).
+    blocks: HashMap<(RddId, usize), (Block, usize)>,
+    /// Keys whose block was dropped after having been stored — consulted
+    /// (and consumed) by readers to count failure-driven recomputation.
+    lost: HashSet<(RddId, usize)>,
+}
+
 /// Stores computed partitions keyed by `(rdd id, partition)`.
 #[derive(Default)]
 pub struct CacheManager {
-    blocks: Mutex<HashMap<(RddId, usize), Block>>,
+    state: Mutex<CacheState>,
 }
 
 impl CacheManager {
     /// Fetch a cached partition.
     pub fn get(&self, rdd: RddId, partition: usize) -> Option<Block> {
-        self.blocks.lock().get(&(rdd, partition)).cloned()
+        self.state.lock().blocks.get(&(rdd, partition)).map(|(b, _)| b.clone())
     }
 
-    /// Store a computed partition.
+    /// Store a computed partition, owned by the calling thread's executor
+    /// (the driver when called outside the pool).
     pub fn put(&self, rdd: RddId, partition: usize, block: Block) {
-        self.blocks.lock().insert((rdd, partition), block);
+        let owner = crate::pool::current_executor().unwrap_or(DRIVER_OWNER);
+        self.put_owned(rdd, partition, block, owner);
+    }
+
+    /// Store a computed partition under an explicit owner. Callers that
+    /// materialize many partitions from one driver-side job use this to
+    /// spread ownership across executors, so simulated executor loss
+    /// exercises cached-block recovery.
+    pub fn put_owned(&self, rdd: RddId, partition: usize, block: Block, owner: usize) {
+        let mut st = self.state.lock();
+        st.blocks.insert((rdd, partition), (block, owner));
+        st.lost.remove(&(rdd, partition));
     }
 
     /// Drop a single partition (simulates losing an executor's block).
     pub fn evict(&self, rdd: RddId, partition: usize) -> bool {
-        self.blocks.lock().remove(&(rdd, partition)).is_some()
+        let mut st = self.state.lock();
+        let had = st.blocks.remove(&(rdd, partition)).is_some();
+        if had {
+            st.lost.insert((rdd, partition));
+        }
+        had
     }
 
     /// Drop every block of one RDD.
     pub fn evict_rdd(&self, rdd: RddId) {
-        self.blocks.lock().retain(|(id, _), _| *id != rdd);
+        let mut st = self.state.lock();
+        let keys: Vec<_> = st.blocks.keys().filter(|(id, _)| *id == rdd).copied().collect();
+        for k in keys {
+            st.blocks.remove(&k);
+            st.lost.insert(k);
+        }
     }
 
     /// Drop everything.
     pub fn clear(&self) {
-        self.blocks.lock().clear();
+        let mut st = self.state.lock();
+        let keys: Vec<_> = st.blocks.keys().copied().collect();
+        for k in keys {
+            st.blocks.remove(&k);
+            st.lost.insert(k);
+        }
+    }
+
+    /// Drop every block the given executor produced — the cache half of
+    /// losing an executor. Returns how many blocks were dropped.
+    pub fn drop_executor(&self, executor: usize) -> usize {
+        let mut st = self.state.lock();
+        let keys: Vec<_> = st
+            .blocks
+            .iter()
+            .filter(|(_, (_, owner))| *owner == executor)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            st.blocks.remove(k);
+            st.lost.insert(*k);
+        }
+        keys.len()
+    }
+
+    /// True (once) if this partition's block was lost after being cached.
+    /// Readers call this on a cache miss to tell recovery recomputation
+    /// apart from a cold first fill.
+    pub fn take_lost(&self, rdd: RddId, partition: usize) -> bool {
+        self.state.lock().lost.remove(&(rdd, partition))
     }
 
     /// Number of cached blocks.
     pub fn len(&self) -> usize {
-        self.blocks.lock().len()
+        self.state.lock().blocks.len()
     }
 
     /// True if no blocks are cached.
     pub fn is_empty(&self) -> bool {
-        self.blocks.lock().is_empty()
+        self.state.lock().blocks.is_empty()
     }
 }
 
@@ -107,8 +174,41 @@ impl<T: Data> Rdd for CachedRdd<T> {
             return Box::new(data.into_iter());
         }
         Metrics::add(&self.ctx.metrics().cache_misses, 1);
+        if cm.take_lost(self.id, split) {
+            Metrics::add(&self.ctx.metrics().cache_recomputes, 1);
+        }
         let data: Vec<T> = self.parent.compute(split, tc).collect();
         cm.put(self.id, split, Arc::new(data.clone()));
         Box::new(data.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_executor_removes_only_its_blocks() {
+        let cm = CacheManager::default();
+        cm.put_owned(1, 0, Arc::new(vec![1i64]), 0);
+        cm.put_owned(1, 1, Arc::new(vec![2i64]), 1);
+        cm.put_owned(2, 0, Arc::new(vec![3i64]), 0);
+        assert_eq!(cm.drop_executor(0), 2);
+        assert!(cm.get(1, 0).is_none());
+        assert!(cm.get(2, 0).is_none());
+        assert!(cm.get(1, 1).is_some());
+        // Lost markers fire once per partition.
+        assert!(cm.take_lost(1, 0));
+        assert!(!cm.take_lost(1, 0));
+        assert!(!cm.take_lost(1, 1));
+    }
+
+    #[test]
+    fn refill_clears_lost_marker() {
+        let cm = CacheManager::default();
+        cm.put_owned(7, 0, Arc::new(vec![1i64]), 0);
+        assert!(cm.evict(7, 0));
+        cm.put_owned(7, 0, Arc::new(vec![1i64]), 1);
+        assert!(!cm.take_lost(7, 0), "refilled block is no longer lost");
     }
 }

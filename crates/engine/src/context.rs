@@ -3,6 +3,7 @@
 
 use crate::broadcast::Broadcast;
 use crate::cache::CacheManager;
+use crate::chaos::{ChaosConf, ChaosPlan};
 use crate::metrics::Metrics;
 use crate::ops::{GeneratedRdd, ParallelCollection};
 use crate::pool::ThreadPool;
@@ -33,13 +34,21 @@ pub struct EngineConf {
     pub executor_threads: usize,
     /// Max retries per task before the job fails.
     pub max_task_retries: usize,
+    /// Max times one shuffle's map stage may be resubmitted after fetch
+    /// failures before the job fails.
+    pub max_stage_retries: usize,
     /// Default partition count for shuffles when callers pass 0.
     pub default_parallelism: usize,
 }
 
 impl Default for EngineConf {
     fn default() -> Self {
-        EngineConf { executor_threads: 4, max_task_retries: 3, default_parallelism: 4 }
+        EngineConf {
+            executor_threads: 4,
+            max_task_retries: 3,
+            max_stage_retries: 4,
+            default_parallelism: 4,
+        }
     }
 }
 
@@ -54,6 +63,7 @@ struct ContextInner {
     pool: ThreadPool,
     metrics: Metrics,
     failure_injector: parking_lot::RwLock<Option<FailureInjector>>,
+    chaos: parking_lot::RwLock<Option<Arc<ChaosPlan>>>,
 }
 
 /// Cheaply cloneable handle to the simulated cluster.
@@ -69,9 +79,13 @@ impl SparkContext {
         SparkContext::with_conf(EngineConf { executor_threads, ..Default::default() })
     }
 
-    /// Create a context from a full configuration.
+    /// Create a context from a full configuration. When
+    /// `ENGINE_CHAOS_SEED` is set in the environment a seeded
+    /// [`ChaosPlan`] is installed automatically, so an entire test suite
+    /// can run under fault injection without code changes.
     pub fn with_conf(conf: EngineConf) -> Self {
         let pool = ThreadPool::new(conf.executor_threads);
+        let chaos = ChaosConf::from_env().map(|c| Arc::new(ChaosPlan::new(c)));
         SparkContext {
             inner: Arc::new(ContextInner {
                 conf,
@@ -84,6 +98,7 @@ impl SparkContext {
                 pool,
                 metrics: Metrics::default(),
                 failure_injector: parking_lot::RwLock::new(None),
+                chaos: parking_lot::RwLock::new(chaos),
             }),
         }
     }
@@ -121,6 +136,29 @@ impl SparkContext {
     /// Current failure injector, if any.
     pub fn failure_injector(&self) -> Option<FailureInjector> {
         self.inner.failure_injector.read().clone()
+    }
+
+    /// Install (or clear) a chaos fault-injection plan. Passing `None`
+    /// also overrides a plan auto-installed from `ENGINE_CHAOS_SEED` —
+    /// tests that assert exact task/stage counters use this to opt out
+    /// of suite-wide chaos runs.
+    pub fn set_chaos(&self, plan: Option<Arc<ChaosPlan>>) {
+        *self.inner.chaos.write() = plan;
+    }
+
+    /// Current chaos plan, if any.
+    pub fn chaos(&self) -> Option<Arc<ChaosPlan>> {
+        self.inner.chaos.read().clone()
+    }
+
+    /// Kill executor `executor`: atomically drop every shuffle bucket and
+    /// cache block it produced. Lineage makes the loss recoverable — the
+    /// scheduler reruns the missing map partitions on next access and the
+    /// cache manager recomputes lost blocks from their parent RDDs.
+    pub fn lose_executor(&self, executor: usize) {
+        self.inner.shuffle.drop_executor(executor);
+        self.inner.cache.drop_executor(executor);
+        Metrics::add(&self.inner.metrics.executors_lost, 1);
     }
 
     /// The shuffle block store.

@@ -14,6 +14,16 @@ pub enum EngineError {
         /// Description of the last failure.
         reason: String,
     },
+    /// Fetch failures on one shuffle kept recurring after the map stage
+    /// was resubmitted `max_stage_retries` times.
+    StageRetriesExhausted {
+        /// Stage whose output could not be kept available.
+        stage: usize,
+        /// Shuffle whose map output kept going missing.
+        shuffle_id: usize,
+        /// How many resubmissions were attempted before giving up.
+        attempts: usize,
+    },
     /// An I/O problem in the simulated file store.
     Io(String),
     /// Anything else (mis-shapen job, missing shuffle output after retries).
@@ -26,6 +36,11 @@ impl fmt::Display for EngineError {
             EngineError::TaskFailed { stage, partition, reason } => {
                 write!(f, "task failed (stage {stage}, partition {partition}): {reason}")
             }
+            EngineError::StageRetriesExhausted { stage, shuffle_id, attempts } => write!(
+                f,
+                "stage {stage} aborted: fetch failures on shuffle {shuffle_id} persisted \
+                 after {attempts} map-stage resubmissions"
+            ),
             EngineError::Io(msg) => write!(f, "io error: {msg}"),
             EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }

@@ -205,15 +205,12 @@ where
 
     fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<(K, C)> {
         let spec = &self.specs[split];
-        let sm = self.ctx.shuffle_manager();
         let sid = self.dep.shuffle_id();
         let mut read = 0u64;
         let out: Vec<(K, C)> = if let Some(agg) = self.dep.aggregator_ref() {
             let mut merged: HashMap<K, Option<C>> = HashMap::new();
             for map_id in spec.map_start..spec.map_end {
-                let bucket = sm
-                    .get(sid, map_id)
-                    .unwrap_or_else(|| panic!("missing shuffle output {sid}/{map_id}"));
+                let bucket = crate::shuffle::fetch_bucket(&self.ctx, sid, map_id);
                 let typed = ShuffleDependency::<K, V, C>::unerase(&bucket);
                 for reduce in &typed[spec.reduce_start..spec.reduce_end] {
                     for (k, c) in reduce {
@@ -230,9 +227,7 @@ where
         } else {
             let mut all = Vec::new();
             for map_id in spec.map_start..spec.map_end {
-                let bucket = sm
-                    .get(sid, map_id)
-                    .unwrap_or_else(|| panic!("missing shuffle output {sid}/{map_id}"));
+                let bucket = crate::shuffle::fetch_bucket(&self.ctx, sid, map_id);
                 let typed = ShuffleDependency::<K, V, C>::unerase(&bucket);
                 for reduce in &typed[spec.reduce_start..spec.reduce_end] {
                     read += reduce.len() as u64;

@@ -181,6 +181,7 @@ mod tests {
     #[test]
     fn text_roundtrip_preserves_lines() {
         let sc = SparkContext::new(2);
+        sc.set_chaos(None); // exact fs byte counts below
         let fs = FileStore::temp("roundtrip").unwrap();
         let lines: Vec<String> = (0..50).map(|i| format!("line-{i}")).collect();
         let rdd = sc.parallelize(lines.clone(), 4);
@@ -199,6 +200,7 @@ mod tests {
     #[test]
     fn replication_one_writes_once() {
         let sc = SparkContext::new(1);
+        sc.set_chaos(None); // exact fs byte counts below
         let fs = FileStore::temp("r1").unwrap().with_replication(1);
         let rdd = sc.parallelize(vec!["abc".to_string()], 1);
         fs.save_text(&sc, &rdd, "d").unwrap();

@@ -10,9 +10,29 @@
 //! threads, the shuffle service is an in-memory block store, broadcast is
 //! an `Arc` handed to every task, and "HDFS" is a directory of part files
 //! (used by the Figure 10 pipeline experiment to model materialization
-//! between separate jobs). Fault tolerance is real in the sense that
-//! matters for the paper: tasks can be made to fail via an injector, and
-//! lost shuffle output or cached partitions are recomputed from lineage.
+//! between separate jobs).
+//!
+//! # Fault tolerance
+//!
+//! Recovery follows the RDD lineage protocol end to end:
+//!
+//! * **Task failure** — a panicking (or fault-injected) task is retried
+//!   in place up to `max_task_retries` times.
+//! * **Fetch failure** — a missing shuffle bucket raises a
+//!   [`shuffle::FetchFailedSignal`]; the scheduler unregisters the lost
+//!   map output and resubmits the parent map stage (only missing
+//!   partitions), bounded by `max_stage_retries` resubmissions per
+//!   shuffle ([`EngineError::StageRetriesExhausted`] beyond that).
+//! * **Executor loss** — [`SparkContext::lose_executor`] atomically
+//!   drops every shuffle bucket and cache block that executor produced;
+//!   shuffle output is recomputed on next access and cached partitions
+//!   are recomputed from their parent RDDs.
+//!
+//! Faults are driven either by the targeted
+//! [`context::FailureInjector`] hook or by a seeded, budgeted
+//! [`chaos::ChaosPlan`] (auto-installed when `ENGINE_CHAOS_SEED` is set)
+//! that deterministically schedules task panics, fetch failures, and
+//! executor deaths — the chaos test harness runs whole suites under it.
 //!
 //! # Example
 //!
@@ -29,6 +49,7 @@
 
 pub mod broadcast;
 pub mod cache;
+pub mod chaos;
 pub mod context;
 pub mod error;
 pub mod exchange;
@@ -43,6 +64,7 @@ pub mod scheduler;
 pub mod shuffle;
 
 pub use broadcast::Broadcast;
+pub use chaos::{ChaosConf, ChaosPlan, ChaosStats, FaultKind};
 pub use context::{EngineConf, SparkContext};
 pub use error::{EngineError, Result};
 pub use exchange::{MaterializedShuffle, ShuffleReadSpec};

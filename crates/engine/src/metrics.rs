@@ -48,6 +48,16 @@ pub struct Metrics {
     pub fs_bytes_read: AtomicU64,
     /// Wall time spent inside task bodies, summed across executor threads.
     pub task_time_ns: AtomicU64,
+    /// Shuffle fetches that failed (missing or chaos-faulted map output).
+    pub fetch_failures: AtomicU64,
+    /// Map stages resubmitted to regenerate lost shuffle output.
+    pub stage_resubmissions: AtomicU64,
+    /// Map tasks re-run for a shuffle that had previously completed.
+    pub map_tasks_recomputed: AtomicU64,
+    /// Executors lost (their shuffle buckets and cache blocks dropped).
+    pub executors_lost: AtomicU64,
+    /// Cached partitions recomputed from lineage after their block was lost.
+    pub cache_recomputes: AtomicU64,
     /// Per-shuffle I/O, keyed by shuffle id.
     per_shuffle: Mutex<HashMap<usize, ShuffleStats>>,
 }
@@ -99,6 +109,11 @@ impl Metrics {
         self.fs_bytes_written.store(0, Ordering::Relaxed);
         self.fs_bytes_read.store(0, Ordering::Relaxed);
         self.task_time_ns.store(0, Ordering::Relaxed);
+        self.fetch_failures.store(0, Ordering::Relaxed);
+        self.stage_resubmissions.store(0, Ordering::Relaxed);
+        self.map_tasks_recomputed.store(0, Ordering::Relaxed);
+        self.executors_lost.store(0, Ordering::Relaxed);
+        self.cache_recomputes.store(0, Ordering::Relaxed);
         self.per_shuffle.lock().unwrap().clear();
     }
 
@@ -116,6 +131,11 @@ impl Metrics {
             fs_bytes_written: Metrics::get(&self.fs_bytes_written),
             fs_bytes_read: Metrics::get(&self.fs_bytes_read),
             task_time_ns: Metrics::get(&self.task_time_ns),
+            fetch_failures: Metrics::get(&self.fetch_failures),
+            stage_resubmissions: Metrics::get(&self.stage_resubmissions),
+            map_tasks_recomputed: Metrics::get(&self.map_tasks_recomputed),
+            executors_lost: Metrics::get(&self.executors_lost),
+            cache_recomputes: Metrics::get(&self.cache_recomputes),
         }
     }
 }
@@ -134,6 +154,11 @@ pub struct MetricsSnapshot {
     pub fs_bytes_written: u64,
     pub fs_bytes_read: u64,
     pub task_time_ns: u64,
+    pub fetch_failures: u64,
+    pub stage_resubmissions: u64,
+    pub map_tasks_recomputed: u64,
+    pub executors_lost: u64,
+    pub cache_recomputes: u64,
 }
 
 #[cfg(test)]

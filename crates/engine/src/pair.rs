@@ -48,16 +48,13 @@ where
 
     /// Internal: fetch and merge all buckets for reduce partition `split`.
     fn fetch(&self, split: usize) -> Vec<(K, C)> {
-        let sm = self.ctx.shuffle_manager();
         let sid = self.dep.shuffle_id();
         let mut read = 0u64;
         let out = if self.aggregated {
             let agg = self.dep_aggregator();
             let mut merged: HashMap<K, Option<C>> = HashMap::new();
             for map_id in 0..self.num_maps {
-                let bucket = sm
-                    .get(sid, map_id)
-                    .unwrap_or_else(|| panic!("missing shuffle output {sid}/{map_id}"));
+                let bucket = crate::shuffle::fetch_bucket(&self.ctx, sid, map_id);
                 let typed = ShuffleDependency::<K, V, C>::unerase(&bucket);
                 for (k, c) in &typed[split] {
                     read += 1;
@@ -75,9 +72,7 @@ where
         } else {
             let mut all = Vec::new();
             for map_id in 0..self.num_maps {
-                let bucket = sm
-                    .get(sid, map_id)
-                    .unwrap_or_else(|| panic!("missing shuffle output {sid}/{map_id}"));
+                let bucket = crate::shuffle::fetch_bucket(&self.ctx, sid, map_id);
                 let typed = ShuffleDependency::<K, V, C>::unerase(&bucket);
                 read += typed[split].len() as u64;
                 all.extend(typed[split].iter().cloned());
@@ -207,13 +202,10 @@ where
     type Item = (K, (Vec<V>, Vec<W>));
 
     fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<(K, (Vec<V>, Vec<W>))> {
-        let sm = self.ctx.shuffle_manager();
         let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
         let mut left_read = 0u64;
         for map_id in 0..self.left_maps {
-            let bucket = sm
-                .get(self.left.shuffle_id(), map_id)
-                .expect("missing left shuffle output");
+            let bucket = crate::shuffle::fetch_bucket(&self.ctx, self.left.shuffle_id(), map_id);
             let typed = ShuffleDependency::<K, V, V>::unerase(&bucket);
             for (k, v) in &typed[split] {
                 left_read += 1;
@@ -222,9 +214,7 @@ where
         }
         let mut right_read = 0u64;
         for map_id in 0..self.right_maps {
-            let bucket = sm
-                .get(self.right.shuffle_id(), map_id)
-                .expect("missing right shuffle output");
+            let bucket = crate::shuffle::fetch_bucket(&self.ctx, self.right.shuffle_id(), map_id);
             let typed = ShuffleDependency::<K, W, W>::unerase(&bucket);
             for (k, w) in &typed[split] {
                 right_read += 1;

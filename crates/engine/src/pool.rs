@@ -1,17 +1,40 @@
 //! Fixed-size executor thread pool.
 //!
-//! Each worker thread stands in for one executor core of the simulated
-//! cluster. Tasks are `FnOnce` closures delivered over a crossbeam
-//! channel; the pool lives as long as the [`crate::SparkContext`].
+//! Each worker thread stands in for one executor of the simulated
+//! cluster: tasks observe which executor they run on via
+//! [`current_executor`], which is what lets fault injection model
+//! executor death as "drop everything executor N produced". Tasks are
+//! `FnOnce` closures delivered over a crossbeam channel; the pool lives
+//! as long as the [`crate::SparkContext`].
+//!
+//! The driver can also pull queued tasks with [`ThreadPool::try_steal`]
+//! and run them on its own thread. The scheduler does this while waiting
+//! for stage results so that nested jobs (a task that itself calls
+//! `run_job`, e.g. a cache materializer) cannot deadlock a fully blocked
+//! pool.
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::Cell;
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+thread_local! {
+    static EXECUTOR_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The executor index of the current thread, or `None` on the driver
+/// (or any thread outside the pool).
+pub fn current_executor() -> Option<usize> {
+    EXECUTOR_ID.with(|id| id.get())
+}
+
 /// A fixed pool of worker threads executing submitted closures.
 pub struct ThreadPool {
     sender: Option<Sender<Task>>,
+    /// Extra handle on the task queue so non-worker threads can steal
+    /// queued tasks while they wait.
+    stealer: Receiver<Task>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -26,6 +49,7 @@ impl ThreadPool {
             let handle = std::thread::Builder::new()
                 .name(format!("executor-{i}"))
                 .spawn(move || {
+                    EXECUTOR_ID.with(|id| id.set(Some(i)));
                     while let Ok(task) = rx.recv() {
                         task();
                     }
@@ -33,7 +57,7 @@ impl ThreadPool {
                 .expect("failed to spawn executor thread");
             workers.push(handle);
         }
-        ThreadPool { sender: Some(sender), workers }
+        ThreadPool { sender: Some(sender), stealer: receiver, workers }
     }
 
     /// Number of worker threads.
@@ -48,6 +72,11 @@ impl ThreadPool {
             .expect("pool shut down")
             .send(Box::new(f))
             .expect("executor pool disconnected");
+    }
+
+    /// Take one queued task, if any, to run on the calling thread.
+    pub fn try_steal(&self) -> Option<Task> {
+        self.stealer.try_recv()
     }
 }
 
@@ -113,5 +142,53 @@ mod tests {
     fn zero_size_is_clamped_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn workers_know_their_executor_id_and_driver_does_not() {
+        assert_eq!(current_executor(), None);
+        let pool = ThreadPool::new(3);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for _ in 0..16 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                tx.send(current_executor()).unwrap();
+            });
+        }
+        for _ in 0..16 {
+            let id = rx.recv().unwrap().expect("worker must have an executor id");
+            assert!(id < 3);
+        }
+    }
+
+    #[test]
+    fn stolen_tasks_run_on_the_calling_thread() {
+        let pool = ThreadPool::new(1);
+        // Park the only worker so the next submission stays queued.
+        let (hold_tx, hold_rx) = crossbeam::channel::unbounded::<()>();
+        let (started_tx, started_rx) = crossbeam::channel::unbounded::<()>();
+        pool.execute(move || {
+            started_tx.send(()).unwrap();
+            let _ = hold_rx.recv();
+        });
+        started_rx.recv().unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let c = ran.clone();
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        // Steal and run it here; the worker is still parked.
+        let mut stole = false;
+        for _ in 0..1000 {
+            if let Some(task) = pool.try_steal() {
+                task();
+                stole = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(stole);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        hold_tx.send(()).unwrap();
     }
 }

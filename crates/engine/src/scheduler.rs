@@ -1,21 +1,39 @@
 //! DAG scheduler: splits the lineage graph into stages at shuffle
-//! boundaries, runs map stages in dependency order, then the result stage,
-//! retrying failed tasks up to `max_task_retries`.
+//! boundaries, runs map stages in dependency order, then the result
+//! stage, retrying failed tasks up to `max_task_retries`.
 //!
-//! Stage skipping works like Spark's: if a shuffle's map output is already
-//! complete in the [`crate::shuffle::ShuffleManager`] (e.g. an earlier job
-//! computed it), the map stage is not rerun. Invalidated shuffle output is
-//! recomputed from lineage on the next job — the engine's fault-tolerance
-//! story, exercised by the failure-injection tests.
+//! Stage skipping works like Spark's: if a shuffle's map output is
+//! already complete in the [`crate::shuffle::ShuffleManager`] (e.g. an
+//! earlier job computed it), the map stage is not rerun.
+//!
+//! Fault recovery follows the lineage protocol:
+//!
+//! * A task that fails outright (panic or injected fault) is retried in
+//!   place, up to `max_task_retries` attempts.
+//! * A task that raises [`FetchFailedSignal`] is *not* retried in place —
+//!   the input it needs is gone. The scheduler unregisters the lost map
+//!   output, resubmits the parent map stage (only its missing
+//!   partitions), and reruns the failed stage. Resubmissions are bounded
+//!   by `max_stage_retries` per shuffle; exhausting them aborts the job
+//!   with [`EngineError::StageRetriesExhausted`].
+//! * Executor loss (`SparkContext::lose_executor`) drops every bucket
+//!   the executor produced; map stages re-check completeness after
+//!   running so mid-stage losses are recomputed before dependents run.
+//!
+//! While a stage is in flight the driver thread steals queued pool tasks
+//! and runs them itself ([`crate::pool::ThreadPool::try_steal`]), so jobs
+//! nested inside tasks (e.g. a cache materializer) make progress even
+//! when every worker is blocked.
 
 use crate::context::{FailureSite, SparkContext};
 use crate::error::{EngineError, Result};
 use crate::metrics::Metrics;
 use crate::rdd::{BoxIter, Data, Dependency, Rdd, RddBase, TaskContext};
-use crate::shuffle::ShuffleDependencyBase;
-use std::collections::HashSet;
+use crate::shuffle::{FetchFailedSignal, ShuffleDependencyBase};
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Walk the lineage graph and return every shuffle dependency reachable
 /// from `root`, parents before children (topological order).
@@ -50,69 +68,142 @@ pub fn collect_shuffle_dependencies(root: Arc<dyn RddBase>) -> Vec<Arc<dyn Shuff
     out
 }
 
-/// Run `task` for `num_tasks` partitions on the executor pool, retrying
-/// failures (injected or panicking) up to the configured limit.
+/// How one stage attempt ended.
+enum StageError {
+    /// A task observed missing shuffle output; the parent map stage must
+    /// be resubmitted.
+    Fetch { shuffle_id: usize, map_id: usize },
+    /// A terminal error (task retries exhausted, pool gone, ...).
+    Err(EngineError),
+}
+
+enum TaskOutcome<R> {
+    Ok(R),
+    FetchFailed { shuffle_id: usize, map_id: usize },
+    Failed(String),
+}
+
+/// Run `task` for the given partitions on the executor pool, retrying
+/// plain failures up to the configured limit. Returns results in the
+/// order of `partitions`. A fetch failure aborts the attempt immediately
+/// (it can never be fixed by an in-place retry) and is reported to the
+/// caller for map-stage resubmission.
 fn run_tasks<R: Send + 'static>(
     sc: &SparkContext,
     stage_id: usize,
-    num_tasks: usize,
+    partitions: Vec<usize>,
     task: Arc<dyn Fn(&TaskContext) -> R + Send + Sync>,
-) -> Result<Vec<R>> {
+) -> std::result::Result<Vec<R>, StageError> {
     Metrics::add(&sc.metrics().stages_run, 1);
-    if num_tasks == 0 {
+    if partitions.is_empty() {
         return Ok(vec![]);
     }
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, usize, std::result::Result<R, String>)>();
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, usize, TaskOutcome<R>)>();
 
     let submit = |partition: usize, attempt: usize| {
         let tx = tx.clone();
         let task = task.clone();
         let injector = sc.failure_injector();
-        let metrics_tasks = Metrics::get(&sc.metrics().tasks_launched); // touch to keep handle simple
-        let _ = metrics_tasks;
         let sc2 = sc.clone();
         sc.pool().execute(move || {
             Metrics::add(&sc2.metrics().tasks_launched, 1);
             let tc = TaskContext { stage_id, partition, attempt };
             if let Some(inj) = &injector {
                 if inj(FailureSite { stage_id, partition, attempt }) {
-                    let _ = tx.send((partition, attempt, Err("injected task failure".into())));
+                    let _ =
+                        tx.send((partition, attempt, TaskOutcome::Failed("injected task failure".into())));
+                    return;
+                }
+            }
+            if let Some(chaos) = sc2.chaos() {
+                if let Some(kind) = chaos.task_fault(stage_id, partition, attempt) {
+                    use crate::chaos::FaultKind;
+                    let reason = match kind {
+                        FaultKind::ExecutorDeath => {
+                            // Stolen tasks run on the driver; its blocks
+                            // live under the DRIVER_OWNER slot, so "the
+                            // node running this task" is always killable.
+                            let ex = crate::pool::current_executor()
+                                .unwrap_or(crate::cache::DRIVER_OWNER);
+                            sc2.lose_executor(ex);
+                            format!("chaos: executor {ex} died running stage {stage_id}")
+                        }
+                        _ => "chaos: injected task panic".to_string(),
+                    };
+                    let _ = tx.send((partition, attempt, TaskOutcome::Failed(reason)));
                     return;
                 }
             }
             let start = std::time::Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| task(&tc)));
             Metrics::add(&sc2.metrics().task_time_ns, start.elapsed().as_nanos() as u64);
-            let msg = match result {
-                Ok(r) => Ok(r),
-                Err(p) => Err(panic_message(p)),
+            let outcome = match result {
+                Ok(r) => TaskOutcome::Ok(r),
+                Err(p) => match p.downcast_ref::<FetchFailedSignal>() {
+                    Some(sig) => TaskOutcome::FetchFailed {
+                        shuffle_id: sig.shuffle_id,
+                        map_id: sig.map_id,
+                    },
+                    None => TaskOutcome::Failed(panic_message(p)),
+                },
             };
-            let _ = tx.send((partition, attempt, msg));
+            let _ = tx.send((partition, attempt, outcome));
         });
     };
 
-    for p in 0..num_tasks {
+    let index: HashMap<usize, usize> =
+        partitions.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    for &p in &partitions {
         submit(p, 0);
     }
 
     let max_retries = sc.conf().max_task_retries;
-    let mut results: Vec<Option<R>> = (0..num_tasks).map(|_| None).collect();
-    let mut remaining = num_tasks;
+    let mut results: Vec<Option<R>> = partitions.iter().map(|_| None).collect();
+    let mut remaining = partitions.len();
     while remaining > 0 {
-        let (partition, attempt, res) = rx
-            .recv()
-            .map_err(|_| EngineError::Internal("executor pool disconnected".into()))?;
-        match res {
-            Ok(r) => {
-                if results[partition].is_none() {
-                    results[partition] = Some(r);
+        // Wait for a result, but keep the pool moving: run queued tasks
+        // on this thread so a nested job can't starve a blocked pool.
+        let (partition, attempt, outcome) = loop {
+            if let Some(msg) = rx.try_recv() {
+                break msg;
+            }
+            if let Some(stolen) = sc.pool().try_steal() {
+                stolen();
+                continue;
+            }
+            use crossbeam::channel::RecvTimeoutError;
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(msg) => break msg,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(StageError::Err(EngineError::Internal(
+                        "executor pool disconnected".into(),
+                    )));
+                }
+            }
+        };
+        let slot = index[&partition];
+        match outcome {
+            TaskOutcome::Ok(r) => {
+                if results[slot].is_none() {
+                    results[slot] = Some(r);
                     remaining -= 1;
                 }
             }
-            Err(reason) => {
+            TaskOutcome::FetchFailed { shuffle_id, map_id } => {
+                // Not a task-level failure: the input is gone. Hand the
+                // stage back for map-stage resubmission; straggler sends
+                // into the dropped channel are harmless.
+                return Err(StageError::Fetch { shuffle_id, map_id });
+            }
+            TaskOutcome::Failed(reason) => {
                 Metrics::add(&sc.metrics().task_failures, 1);
                 if attempt + 1 > max_retries {
-                    return Err(EngineError::TaskFailed { stage: stage_id, partition, reason });
+                    return Err(StageError::Err(EngineError::TaskFailed {
+                        stage: stage_id,
+                        partition,
+                        reason,
+                    }));
                 }
                 submit(partition, attempt + 1);
             }
@@ -131,35 +222,108 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Per-job bookkeeping of map-stage resubmissions, bounding recovery.
+#[derive(Default)]
+struct RecoveryState {
+    /// shuffle_id -> resubmissions so far.
+    resubmissions: HashMap<usize, usize>,
+}
+
+impl RecoveryState {
+    /// React to an observed fetch failure: unregister the lost output and
+    /// charge one resubmission against the shuffle, failing the job once
+    /// `max_stage_retries` is exceeded.
+    fn note_fetch_failure(
+        &mut self,
+        sc: &SparkContext,
+        stage_id: usize,
+        shuffle_id: usize,
+        map_id: usize,
+    ) -> Result<()> {
+        Metrics::add(&sc.metrics().fetch_failures, 1);
+        sc.shuffle_manager().remove_output(shuffle_id, map_id);
+        let count = self.resubmissions.entry(shuffle_id).or_insert(0);
+        *count += 1;
+        let max = sc.conf().max_stage_retries;
+        if *count > max {
+            return Err(EngineError::StageRetriesExhausted {
+                stage: stage_id,
+                shuffle_id,
+                attempts: max,
+            });
+        }
+        Metrics::add(&sc.metrics().stage_resubmissions, 1);
+        Ok(())
+    }
+}
+
+/// Bring every shuffle in `shuffles` (parents before children) to a
+/// complete state, running only missing map partitions. Fetch failures
+/// inside a map task restart the sweep from the first shuffle so lost
+/// parent output is regenerated before its dependents rerun.
+fn ensure_shuffles(
+    sc: &SparkContext,
+    shuffles: &[Arc<dyn ShuffleDependencyBase>],
+    rec: &mut RecoveryState,
+) -> Result<()> {
+    'restart: loop {
+        for sd in shuffles {
+            let sid = sd.shuffle_id();
+            let num_maps = sd.parent().num_partitions();
+            loop {
+                let missing = sc.shuffle_manager().missing_maps(sid, num_maps);
+                if missing.is_empty() {
+                    // Record completion (feeds ever_complete).
+                    sc.shuffle_manager().is_complete(sid, num_maps);
+                    break;
+                }
+                if sc.shuffle_manager().ever_complete(sid) {
+                    // This shuffle was whole before: we are recomputing
+                    // lost output from lineage, not running a fresh stage.
+                    Metrics::add(&sc.metrics().map_tasks_recomputed, missing.len() as u64);
+                }
+                let stage_id = sc.new_stage_id();
+                let sd2 = sd.clone();
+                match run_tasks(
+                    sc,
+                    stage_id,
+                    missing,
+                    Arc::new(move |tc: &TaskContext| sd2.run_map_task(tc.partition, tc)),
+                ) {
+                    // Re-check completeness: an executor death during the
+                    // stage can drop buckets that had already reported.
+                    Ok(_) => continue,
+                    Err(StageError::Fetch { shuffle_id, map_id }) => {
+                        rec.note_fetch_failure(sc, stage_id, shuffle_id, map_id)?;
+                        continue 'restart;
+                    }
+                    Err(StageError::Err(e)) => return Err(e),
+                }
+            }
+        }
+        return Ok(());
+    }
+}
+
 /// Materialize one shuffle's map output — and, recursively, every shuffle
 /// upstream of it — without running a result stage. Already-complete
 /// shuffles are skipped, so re-materializing is free. This is the
 /// primitive adaptive query execution uses: run a stage, observe its real
 /// output sizes via [`crate::shuffle::ShuffleManager::map_output_sizes`],
-/// then plan the next stage.
+/// then plan the next stage. Lost output is recomputed from lineage under
+/// the same bounded-resubmission rules as a full job.
 pub fn materialize_shuffle(sc: &SparkContext, dep: Arc<dyn ShuffleDependencyBase>) -> Result<()> {
     let mut stages = collect_shuffle_dependencies(dep.parent());
     stages.push(dep);
-    for sd in stages {
-        let num_maps = sd.parent().num_partitions();
-        if sc.shuffle_manager().is_complete(sd.shuffle_id(), num_maps) {
-            continue; // stage skipping
-        }
-        let stage_id = sc.new_stage_id();
-        let sd2 = sd.clone();
-        run_tasks(
-            sc,
-            stage_id,
-            num_maps,
-            Arc::new(move |tc: &TaskContext| sd2.run_map_task(tc.partition, tc)),
-        )?;
-    }
-    Ok(())
+    let mut rec = RecoveryState::default();
+    ensure_shuffles(sc, &stages, &mut rec)
 }
 
 /// Execute a job: ensure every upstream shuffle is materialized, then run
 /// `func` over each partition of `rdd` and return the per-partition
-/// results in partition order.
+/// results in partition order. Fetch failures in the result stage
+/// resubmit the owning map stage from lineage and rerun the result stage,
+/// bounded by `max_stage_retries` resubmissions per shuffle.
 pub fn run_job<T: Data, U: Send + 'static>(
     sc: &SparkContext,
     rdd: Arc<dyn Rdd<Item = T>>,
@@ -167,30 +331,28 @@ pub fn run_job<T: Data, U: Send + 'static>(
 ) -> Result<Vec<U>> {
     Metrics::add(&sc.metrics().jobs_run, 1);
 
-    // Map stages, parents first.
     let shuffles = collect_shuffle_dependencies(crate::shuffle::as_base(rdd.clone()));
-    for sd in shuffles {
-        let num_maps = sd.parent().num_partitions();
-        if sc.shuffle_manager().is_complete(sd.shuffle_id(), num_maps) {
-            continue; // stage skipping
-        }
+    let mut rec = RecoveryState::default();
+    loop {
+        // Map stages, parents first.
+        ensure_shuffles(sc, &shuffles, &mut rec)?;
+
+        // Result stage.
         let stage_id = sc.new_stage_id();
-        let sd2 = sd.clone();
-        run_tasks(
+        let n = rdd.num_partitions();
+        let rdd2 = rdd.clone();
+        let func2 = func.clone();
+        match run_tasks(
             sc,
             stage_id,
-            num_maps,
-            Arc::new(move |tc: &TaskContext| sd2.run_map_task(tc.partition, tc)),
-        )?;
+            (0..n).collect(),
+            Arc::new(move |tc: &TaskContext| func2(tc.partition, rdd2.compute(tc.partition, tc))),
+        ) {
+            Ok(results) => return Ok(results),
+            Err(StageError::Fetch { shuffle_id, map_id }) => {
+                rec.note_fetch_failure(sc, stage_id, shuffle_id, map_id)?;
+            }
+            Err(StageError::Err(e)) => return Err(e),
+        }
     }
-
-    // Result stage.
-    let stage_id = sc.new_stage_id();
-    let n = rdd.num_partitions();
-    run_tasks(
-        sc,
-        stage_id,
-        n,
-        Arc::new(move |tc: &TaskContext| func(tc.partition, rdd.compute(tc.partition, tc))),
-    )
 }

@@ -7,6 +7,13 @@
 //! those buckets. Buckets are stored type-erased (`Arc<dyn Any>`) since
 //! all "executors" share one address space — the in-process analogue of
 //! Spark's shuffle files.
+//!
+//! Reads go through [`fetch_bucket`]. A missing bucket (dropped by
+//! [`ShuffleManager::remove_output`], an executor loss, or an injected
+//! chaos fault) raises a [`FetchFailedSignal`] panic that the scheduler
+//! catches and answers by unregistering the lost map output and
+//! resubmitting the parent map stage from lineage — the RDD recovery
+//! protocol, bounded by `max_stage_retries` resubmissions per shuffle.
 
 use crate::context::SparkContext;
 use crate::partitioner::Partitioner;
@@ -23,7 +30,53 @@ pub fn as_base<T: Data>(rdd: Arc<dyn Rdd<Item = T>>) -> Arc<dyn RddBase> {
     rdd
 }
 
-type Bucket = Arc<dyn Any + Send + Sync>;
+/// Type-erased map-task output: one `Vec<(K, C)>` per reduce partition.
+pub type Bucket = Arc<dyn Any + Send + Sync>;
+
+/// Raised (via `panic_any`) when a shuffle fetch fails — the bucket is
+/// gone or a chaos plan faulted the read. The scheduler downcasts panics
+/// to this type and resubmits the parent map stage instead of retrying
+/// the reading task in place.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchFailedSignal {
+    /// Shuffle whose output could not be fetched.
+    pub shuffle_id: usize,
+    /// Map partition whose bucket is missing.
+    pub map_id: usize,
+}
+
+/// Fetch one map task's bucket, or raise [`FetchFailedSignal`] if it is
+/// missing or the context's chaos plan faults the read. Every shuffle
+/// read path in the engine funnels through here so that lost output is
+/// always recoverable, never a hard panic.
+pub fn fetch_bucket(ctx: &SparkContext, shuffle_id: usize, map_id: usize) -> Bucket {
+    install_quiet_fetch_panic_hook();
+    if let Some(chaos) = ctx.chaos() {
+        if chaos.fetch_fault(shuffle_id, map_id) {
+            std::panic::panic_any(FetchFailedSignal { shuffle_id, map_id });
+        }
+    }
+    match ctx.shuffle_manager().get(shuffle_id, map_id) {
+        Some(b) => b,
+        None => std::panic::panic_any(FetchFailedSignal { shuffle_id, map_id }),
+    }
+}
+
+/// Fetch failures travel as panics, which the default hook would spray
+/// onto stderr even though the scheduler catches and handles them.
+/// Install (once per process) a filtering hook that stays silent for
+/// [`FetchFailedSignal`] payloads and delegates everything else.
+fn install_quiet_fetch_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FetchFailedSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// Stores map-task output buckets, keyed by `(shuffle, map partition)`.
 #[derive(Default)]
@@ -41,17 +94,83 @@ struct ShuffleState {
     sizes: HashMap<(usize, usize), Vec<u64>>,
     /// shuffle_id -> completed map partitions.
     completed: HashMap<usize, HashSet<usize>>,
+    /// (shuffle_id, map_id) -> executor that produced the bucket
+    /// (`usize::MAX` for the driver), so losing an executor can drop
+    /// exactly the outputs it held.
+    owners: HashMap<(usize, usize), usize>,
+    /// Shuffles that were complete at least once — distinguishes
+    /// first-time map stages from recovery recomputation in metrics.
+    ever_completed: HashSet<usize>,
 }
 
 impl ShuffleManager {
     /// Record the output of one map task together with the byte size of
     /// each per-reducer bucket (`bucket_bytes[r]` = bytes destined for
-    /// reduce partition `r`).
-    pub fn put(&self, shuffle_id: usize, map_id: usize, bucket: Bucket, bucket_bytes: Vec<u64>) {
+    /// reduce partition `r`). Returns true when this `(shuffle, map)`
+    /// output was newly registered, false when it overwrote an existing
+    /// one (a speculative or retried task) — callers use this to avoid
+    /// double-counting shuffle-write metrics.
+    pub fn put(&self, shuffle_id: usize, map_id: usize, bucket: Bucket, bucket_bytes: Vec<u64>) -> bool {
+        let owner = crate::pool::current_executor().unwrap_or(usize::MAX);
         let mut st = self.state.lock();
-        st.outputs.insert((shuffle_id, map_id), bucket);
+        let fresh = st.outputs.insert((shuffle_id, map_id), bucket).is_none();
         st.sizes.insert((shuffle_id, map_id), bucket_bytes);
+        st.owners.insert((shuffle_id, map_id), owner);
         st.completed.entry(shuffle_id).or_default().insert(map_id);
+        fresh
+    }
+
+    /// Unregister one map task's output (a fetch failure was observed);
+    /// the scheduler then resubmits just the missing map partitions.
+    pub fn remove_output(&self, shuffle_id: usize, map_id: usize) {
+        let mut st = self.state.lock();
+        st.outputs.remove(&(shuffle_id, map_id));
+        st.sizes.remove(&(shuffle_id, map_id));
+        st.owners.remove(&(shuffle_id, map_id));
+        if let Some(done) = st.completed.get_mut(&shuffle_id) {
+            done.remove(&map_id);
+        }
+    }
+
+    /// Drop every shuffle bucket the given executor produced — the
+    /// shuffle half of losing an executor. Returns the ids of shuffles
+    /// that lost output.
+    pub fn drop_executor(&self, executor: usize) -> Vec<usize> {
+        let mut st = self.state.lock();
+        let lost: Vec<(usize, usize)> = st
+            .owners
+            .iter()
+            .filter(|(_, owner)| **owner == executor)
+            .map(|(key, _)| *key)
+            .collect();
+        for key in &lost {
+            st.outputs.remove(key);
+            st.sizes.remove(key);
+            st.owners.remove(key);
+            if let Some(done) = st.completed.get_mut(&key.0) {
+                done.remove(&key.1);
+            }
+        }
+        let mut shuffles: Vec<usize> = lost.into_iter().map(|(sid, _)| sid).collect();
+        shuffles.sort_unstable();
+        shuffles.dedup();
+        shuffles
+    }
+
+    /// Map partitions of `shuffle_id` with no registered output, out of
+    /// `num_maps` total.
+    pub fn missing_maps(&self, shuffle_id: usize, num_maps: usize) -> Vec<usize> {
+        let st = self.state.lock();
+        let done = st.completed.get(&shuffle_id);
+        (0..num_maps)
+            .filter(|m| !done.is_some_and(|s| s.contains(m)))
+            .collect()
+    }
+
+    /// True when `shuffle_id` was observed complete at some point, even
+    /// if output has since been lost.
+    pub fn ever_complete(&self, shuffle_id: usize) -> bool {
+        self.state.lock().ever_completed.contains(&shuffle_id)
     }
 
     /// Measured byte sizes of one shuffle's map output, indexed
@@ -77,20 +196,25 @@ impl ShuffleManager {
     }
 
     /// True when every one of `num_maps` map partitions has reported.
+    /// Also remembers completion (see [`ShuffleManager::ever_complete`]).
     pub fn is_complete(&self, shuffle_id: usize, num_maps: usize) -> bool {
-        self.state
-            .lock()
-            .completed
-            .get(&shuffle_id)
-            .is_some_and(|s| s.len() >= num_maps)
+        let mut st = self.state.lock();
+        let complete = st.completed.get(&shuffle_id).is_some_and(|s| s.len() >= num_maps);
+        if complete {
+            st.ever_completed.insert(shuffle_id);
+        }
+        complete
     }
 
-    /// Drop all output of one shuffle — simulates losing an executor's
-    /// shuffle files; the scheduler must recompute the map stage.
+    /// Drop all output of one shuffle. The next job that needs it finds
+    /// the shuffle incomplete and reruns its map stage from lineage
+    /// (`scheduler::ensure_shuffles`); a concurrent reader instead hits a
+    /// [`FetchFailedSignal`] and the scheduler resubmits the map stage.
     pub fn invalidate(&self, shuffle_id: usize) {
         let mut st = self.state.lock();
         st.outputs.retain(|(sid, _), _| *sid != shuffle_id);
         st.sizes.retain(|(sid, _), _| *sid != shuffle_id);
+        st.owners.retain(|(sid, _), _| *sid != shuffle_id);
         st.completed.remove(&shuffle_id);
     }
 
@@ -99,6 +223,7 @@ impl ShuffleManager {
         let mut st = self.state.lock();
         st.outputs.clear();
         st.sizes.clear();
+        st.owners.clear();
         st.completed.clear();
     }
 
@@ -314,10 +439,15 @@ where
             bytes += b;
             bucket_bytes.push(b);
         }
-        self.ctx.metrics().record_shuffle_write(self.shuffle_id, written, bytes);
-        self.ctx
+        let fresh = self
+            .ctx
             .shuffle_manager()
             .put(self.shuffle_id, map_partition, Self::erase(buckets), bucket_bytes);
+        // Only count output the store newly registered; a retried map task
+        // overwriting its own bucket must not inflate shuffle volume.
+        if fresh {
+            self.ctx.metrics().record_shuffle_write(self.shuffle_id, written, bytes);
+        }
     }
 }
 
@@ -356,5 +486,29 @@ mod tests {
         m.put(3, 1, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![8, 24]);
         m.put(3, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![0, 48]);
         assert_eq!(m.map_output_sizes(3), vec![vec![0, 48], vec![8, 24]]);
+    }
+
+    #[test]
+    fn put_reports_whether_output_is_new() {
+        let m = ShuffleManager::default();
+        assert!(m.put(1, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![]));
+        assert!(!m.put(1, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![]));
+        m.remove_output(1, 0);
+        assert!(m.put(1, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![]));
+    }
+
+    #[test]
+    fn remove_output_leaves_shuffle_partially_complete() {
+        let m = ShuffleManager::default();
+        m.put(5, 0, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![]);
+        m.put(5, 1, Arc::new(Vec::<Vec<(i64, i64)>>::new()), vec![]);
+        assert!(m.is_complete(5, 2));
+        m.remove_output(5, 1);
+        assert!(!m.is_complete(5, 2));
+        assert_eq!(m.missing_maps(5, 2), vec![1]);
+        assert!(m.get(5, 0).is_some());
+        assert!(m.get(5, 1).is_none());
+        // Completion is remembered even after loss.
+        assert!(m.ever_complete(5));
     }
 }

@@ -144,6 +144,7 @@ fn take_and_first_respect_partition_order() {
 #[test]
 fn caching_avoids_recomputation() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None); // exact recomputation counts below
     let computed = Arc::new(AtomicUsize::new(0));
     let c = computed.clone();
     let rdd = sc
@@ -165,6 +166,7 @@ fn caching_avoids_recomputation() {
 #[test]
 fn evicted_cache_recomputes_from_lineage() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None); // exact recomputation counts below
     let computed = Arc::new(AtomicUsize::new(0));
     let c = computed.clone();
     let rdd = sc
@@ -219,6 +221,7 @@ fn panicking_task_is_retried_and_recovers() {
 #[test]
 fn shuffle_reuse_skips_map_stage() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None); // exact shuffle-write counts below
     let rdd = sc
         .parallelize((0..100i64).map(|i| (i % 4, i)).collect(), 4)
         .reduce_by_key(|a, b| a + b, 2);

@@ -1,13 +1,20 @@
 //! DAG scheduler structure tests: stage construction, topological
-//! ordering of shuffle dependencies, stage skipping, and metrics.
+//! ordering of shuffle dependencies, stage skipping, fault recovery,
+//! and metrics.
+//!
+//! Tests asserting exact task/stage counters call `sc.set_chaos(None)`
+//! so they stay deterministic when the suite runs under
+//! `ENGINE_CHAOS_SEED` (the chaos CI job).
 
 use engine::metrics::Metrics;
 use engine::scheduler::collect_shuffle_dependencies;
-use engine::{PairRdd, SparkContext};
+use engine::{ChaosConf, ChaosPlan, EngineError, HashPartitioner, MaterializedShuffle, PairRdd, SparkContext};
+use std::sync::Arc;
 
 #[test]
 fn narrow_only_jobs_have_no_shuffle_stages() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None);
     let rdd = sc.parallelize((0..100i64).collect(), 4).map(|x| x + 1).filter(|x| x % 2 == 0);
     let deps = collect_shuffle_dependencies(rdd.as_inner());
     assert!(deps.is_empty());
@@ -39,6 +46,7 @@ fn chained_shuffles_order_parents_first() {
 #[test]
 fn diamond_lineage_runs_each_shuffle_once() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None);
     let base = sc
         .parallelize((0..100i64).map(|i| (i % 5, i)).collect(), 4)
         .reduce_by_key(|a, b| a + b, 4);
@@ -56,6 +64,7 @@ fn diamond_lineage_runs_each_shuffle_once() {
 #[test]
 fn stage_skipping_across_jobs_counts_stages() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None);
     let rdd = sc
         .parallelize((0..100i64).map(|i| (i % 4, i)).collect(), 4)
         .reduce_by_key(|a, b| a + b, 2);
@@ -73,6 +82,7 @@ fn stage_skipping_across_jobs_counts_stages() {
 #[test]
 fn task_counts_include_retries() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None);
     sc.set_failure_injector(Some(std::sync::Arc::new(|site| {
         site.attempt == 0 && site.partition == 0
     })));
@@ -87,6 +97,7 @@ fn task_counts_include_retries() {
 #[test]
 fn shuffle_metrics_reflect_combining() {
     let sc = SparkContext::new(2);
+    sc.set_chaos(None);
     // 1000 records, 10 keys, 4 map partitions: map-side combine should
     // write at most 10 combiners per map task (40), not 1000 records.
     let rdd = sc
@@ -97,4 +108,126 @@ fn shuffle_metrics_reflect_combining() {
     let written = Metrics::get(&sc.metrics().shuffle_records_written);
     assert!(written <= 40, "map-side combine failed: {written} records written");
     assert_eq!(Metrics::get(&sc.metrics().shuffle_records_read), written);
+}
+
+#[test]
+fn fetch_failure_resubmits_map_stage_and_recovers() {
+    let sc = SparkContext::new(2);
+    sc.set_chaos(None);
+    let rdd = sc
+        .parallelize((0..100i64).map(|i| (i % 10, i)).collect(), 4)
+        .reduce_by_key(|a, b| a + b, 2);
+    let baseline = {
+        let mut v = rdd.collect();
+        v.sort();
+        v
+    };
+    // Fresh fault-free state, then exactly one injected fetch failure.
+    sc.shuffle_manager().invalidate_all();
+    sc.metrics().reset();
+    sc.set_chaos(Some(Arc::new(ChaosPlan::new(ChaosConf {
+        task_fault_prob: 0.0,
+        fetch_fault_prob: 1.0,
+        max_fetch_failures: 1,
+        ..ChaosConf::seeded(11)
+    }))));
+    let mut got = rdd.collect();
+    got.sort();
+    assert_eq!(got, baseline, "recovered run must match the fault-free result");
+    let m = sc.metrics().snapshot();
+    assert!(m.fetch_failures >= 1, "the injected fetch failure must be observed");
+    assert!(m.stage_resubmissions >= 1, "the map stage must be resubmitted");
+    assert!(m.map_tasks_recomputed >= 1, "the lost map output must be recomputed");
+    // A fetch failure is not a task failure: no in-place retry happened.
+    assert_eq!(m.task_failures, 0);
+}
+
+#[test]
+fn stage_retry_exhaustion_names_stage_and_attempts() {
+    let sc = SparkContext::new(2);
+    // Every fetch of this shuffle fails, forever: recovery must give up
+    // after max_stage_retries resubmissions with a descriptive error.
+    sc.set_chaos(Some(Arc::new(ChaosPlan::new(ChaosConf {
+        task_fault_prob: 0.0,
+        fetch_fault_prob: 1.0,
+        max_fetch_failures: u64::MAX,
+        repeat_fetch_faults: true,
+        ..ChaosConf::seeded(5)
+    }))));
+    let rdd = sc
+        .parallelize((0..40i64).map(|i| (i % 4, i)).collect(), 2)
+        .reduce_by_key(|a, b| a + b, 2);
+    let err = rdd.try_collect().expect_err("unrecoverable fetch failures must fail the job");
+    let max = sc.conf().max_stage_retries;
+    match &err {
+        EngineError::StageRetriesExhausted { attempts, .. } => assert_eq!(*attempts, max),
+        other => panic!("expected StageRetriesExhausted, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("aborted"), "error must name the aborted stage: {msg}");
+    assert!(
+        msg.contains(&format!("{max} map-stage resubmissions")),
+        "error must state the resubmission count: {msg}"
+    );
+    assert_eq!(Metrics::get(&sc.metrics().stage_resubmissions), max as u64);
+}
+
+#[test]
+fn executor_death_mid_materialize_is_retried_not_deadlocked() {
+    let sc = SparkContext::new(2);
+    // Kill an executor on the first faulted task of the map stage; the
+    // materialization must re-check completeness, rerun the dropped
+    // buckets, and finish (no task panics, exactly one death allowed).
+    sc.set_chaos(Some(Arc::new(ChaosPlan::new(ChaosConf {
+        task_fault_prob: 1.0,
+        fetch_fault_prob: 0.0,
+        max_task_panics: 0,
+        max_executor_deaths: 1,
+        ..ChaosConf::seeded(7)
+    }))));
+    let parent = sc.parallelize((0..200i64).map(|i| (i % 8, 1i64)).collect(), 4);
+    let mat: MaterializedShuffle<i64, i64, i64> = MaterializedShuffle::create(
+        &parent,
+        Arc::new(HashPartitioner::new(4)),
+        None,
+        false,
+        None,
+    )
+    .expect("materialization must survive executor death");
+    let mut got = mat.read_all().collect();
+    got.sort();
+    let mut want: Vec<(i64, i64)> = (0..200i64).map(|i| (i % 8, 1i64)).collect();
+    want.sort();
+    assert_eq!(got, want);
+    assert_eq!(Metrics::get(&sc.metrics().executors_lost), 1);
+    // Sizes stay consistent after recovery: every map reported again.
+    assert_eq!(mat.map_output_sizes().len(), 4);
+}
+
+#[test]
+fn lost_executor_shuffle_and_cache_recompute_from_lineage() {
+    let sc = SparkContext::new(2);
+    sc.set_chaos(None);
+    let cached = sc.parallelize((0..60i64).collect(), 4).map(|x| x * 3).cache();
+    let summed = cached.map(|x| (x % 5, x)).reduce_by_key(|a, b| a + b, 2);
+    let baseline = {
+        let mut v = summed.collect();
+        v.sort();
+        v
+    };
+    assert!(sc.cache_manager().len() >= 4);
+    // Kill both executors, plus the driver-owner slot (the driver can run
+    // stolen tasks, so some blocks may be registered to it): every
+    // shuffle bucket and cache block vanishes.
+    sc.lose_executor(0);
+    sc.lose_executor(1);
+    sc.lose_executor(usize::MAX);
+    assert!(sc.cache_manager().is_empty());
+    let mut got = summed.collect();
+    got.sort();
+    assert_eq!(got, baseline);
+    let m = sc.metrics().snapshot();
+    assert_eq!(m.executors_lost, 3);
+    assert!(m.map_tasks_recomputed >= 1, "lost map output must be recomputed");
+    assert!(m.cache_recomputes >= 1, "lost cache blocks must be recomputed");
 }
