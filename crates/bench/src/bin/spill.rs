@@ -1,0 +1,212 @@
+//! Memory-governed execution benchmark: the three spilling operators
+//! (external sort, grace hash join, spillable aggregation) run against
+//! the unbounded in-memory path on inputs roughly 4× the byte budget.
+//!
+//! Each workload executes twice on fresh contexts — budget 0 (unbounded)
+//! and a budget the buffered working set clearly exceeds — with identical
+//! row counts asserted, plus the pool invariants: spills actually
+//! happened, the peak reservation stayed under the budget, and every
+//! spill file was deleted by the end of the run.
+//!
+//! Writes `BENCH_spill.json` to the working directory.
+//!
+//! Run with: `cargo run --release -p bench --bin spill`
+
+use spark_sql::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Byte budget for the bounded runs; each workload buffers ~4× this.
+const BUDGET: u64 = 2 << 20;
+
+fn splitmix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fact_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        StructField::new("k", DataType::Long, false),
+        StructField::new("v", DataType::Long, false),
+        StructField::new("s", DataType::String, false),
+    ]))
+}
+
+fn dim_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        StructField::new("dk", DataType::Long, false),
+        StructField::new("w", DataType::String, false),
+    ]))
+}
+
+/// ~40 B of buffered row (two longs plus a short string payload): 200k
+/// rows ≈ 8 MiB resident in a build table or sort buffer, 4× `BUDGET`.
+fn fact_rows(n: usize, key_domain: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            let z = splitmix(i as u64);
+            Row::new(vec![
+                Value::Long((z as i64).rem_euclid(key_domain)),
+                Value::Long(i as i64),
+                Value::str(format!("payload-{:06}", z % 1_000_000)),
+            ])
+        })
+        .collect()
+}
+
+struct Workload {
+    name: &'static str,
+    unbounded_ns: u128,
+    spilled_ns: u128,
+    rows_out: usize,
+    peak: u64,
+    spill_count: u64,
+    spill_bytes: u64,
+}
+
+impl Workload {
+    fn slowdown(&self) -> f64 {
+        self.spilled_ns as f64 / self.unbounded_ns as f64
+    }
+    fn print(&self) {
+        println!("{:<18} ({} rows out)", self.name, self.rows_out);
+        println!("  unbounded {:>10.2} ms", self.unbounded_ns as f64 / 1e6);
+        println!(
+            "  spilled   {:>10.2} ms   ({:.2}x, peak {} KiB of {} KiB budget, \
+             {} spills, {:.1} MiB to disk)",
+            self.spilled_ns as f64 / 1e6,
+            self.slowdown(),
+            self.peak >> 10,
+            BUDGET >> 10,
+            self.spill_count,
+            self.spill_bytes as f64 / (1 << 20) as f64,
+        );
+    }
+    fn json(&self) -> String {
+        format!(
+            "\"{}\": {{ \"unbounded_ns\": {}, \"spilled_ns\": {}, \"slowdown\": {:.3}, \
+             \"budget\": {}, \"peak\": {}, \"spill_count\": {}, \"spill_bytes\": {} }}",
+            self.name,
+            self.unbounded_ns,
+            self.spilled_ns,
+            self.slowdown(),
+            BUDGET,
+            self.peak,
+            self.spill_count,
+            self.spill_bytes
+        )
+    }
+}
+
+/// Warmup once, then min-of-3 wall clock.
+fn time_min3(mut f: impl FnMut() -> usize) -> (u128, usize) {
+    let n = f();
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let got = f();
+        assert_eq!(got, n, "non-deterministic result");
+        best = best.min(t.elapsed().as_nanos());
+    }
+    (best, n)
+}
+
+fn run_pair(name: &'static str, query: impl Fn(&SQLContext) -> DataFrame) -> Workload {
+    let mk = |budget: u64| {
+        let ctx = SQLContext::new_local(4);
+        ctx.set_conf(|c| {
+            c.memory_budget_bytes = budget;
+            // Keep joins on the shuffled (governed) path; broadcast
+            // builds are bounded by the planner, not the pool.
+            c.broadcast_threshold = 0;
+        });
+        ctx
+    };
+    // One context per mode (a live context retains every iteration's
+    // map outputs, penalizing whichever mode runs second).
+    let (unbounded_ns, n1) = {
+        let ctx = mk(0);
+        time_min3(|| query(&ctx).collect().expect("collect").len())
+    };
+    let (spilled_ns, n2, stats) = {
+        let ctx = mk(BUDGET);
+        let (ns, n) = time_min3(|| query(&ctx).collect().expect("collect").len());
+        // One instrumented run for the pool counters.
+        let qe = query(&ctx).query_execution().expect("query_execution");
+        qe.collect().expect("collect");
+        (ns, n, qe.memory_stats().expect("bounded run must report pool stats"))
+    };
+    assert_eq!(n1, n2, "{name}: unbounded and spilled row counts disagree");
+    assert!(stats.spill_count > 0, "{name}: never spilled under a {BUDGET}-byte budget");
+    assert!(
+        stats.peak <= BUDGET,
+        "{name}: peak {} exceeded the {BUDGET}-byte budget",
+        stats.peak
+    );
+    assert_eq!(
+        stats.spill_files_created, stats.spill_files_deleted,
+        "{name}: leaked spill files"
+    );
+    Workload {
+        name,
+        unbounded_ns,
+        spilled_ns,
+        rows_out: n1,
+        peak: stats.peak,
+        spill_count: stats.spill_count,
+        spill_bytes: stats.spill_bytes,
+    }
+}
+
+fn main() {
+    println!(
+        "spill bench: {} KiB budget, working sets ~4x (min of 3, after warmup)\n",
+        BUDGET >> 10
+    );
+
+    // -- 1. external sort: 200k rows through the run-merge path ---------
+    let sort_input = fact_rows(200_000, 4_000);
+    let sort = run_pair("external_sort", |ctx| {
+        let rdd = ctx.spark_context().parallelize(sort_input.clone(), 4);
+        ctx.dataframe_from_rdd("fact", fact_schema(), rdd)
+            .expect("fact")
+            .order_by(vec![col("s").asc(), col("v").desc()])
+            .expect("sort")
+    });
+    sort.print();
+
+    // -- 2. grace hash join: 200k-row build side, 1k-row probe ----------
+    let join_fact = fact_rows(200_000, 1_000);
+    let dim: Vec<Row> = (0..1_000)
+        .map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))]))
+        .collect();
+    let join = run_pair("grace_hash_join", |ctx| {
+        // Dim joins fact: hash joins build the right stream, so the big
+        // table is the one under memory pressure.
+        let f = ctx.spark_context().parallelize(join_fact.clone(), 4);
+        let fact = ctx.dataframe_from_rdd("fact", fact_schema(), f).expect("fact");
+        let d = ctx.spark_context().parallelize(dim.clone(), 2);
+        let dim = ctx.dataframe_from_rdd("dim", dim_schema(), d).expect("dim");
+        dim.join(&fact, JoinType::Inner, Some(col("dk").eq(col("k")))).expect("join")
+    });
+    join.print();
+
+    // -- 3. spillable aggregation: 200k rows into 150k groups -----------
+    let agg_input = fact_rows(200_000, 150_000);
+    let agg = run_pair("spill_aggregate", |ctx| {
+        let rdd = ctx.spark_context().parallelize(agg_input.clone(), 4);
+        ctx.dataframe_from_rdd("fact", fact_schema(), rdd)
+            .expect("fact")
+            .group_by_cols(&["k"])
+            .agg(vec![count_star().alias("n"), sum(col("v")).alias("sv"), min(col("s")).alias("ms")])
+            .expect("agg")
+    });
+    agg.print();
+
+    let json =
+        format!("{{\n  {},\n  {},\n  {}\n}}\n", sort.json(), join.json(), agg.json());
+    std::fs::write("BENCH_spill.json", &json).expect("write BENCH_spill.json");
+    println!("\nwrote BENCH_spill.json");
+}

@@ -14,9 +14,12 @@ pub mod bitmap;
 pub mod column;
 pub mod encoding;
 pub mod memory;
+pub mod serde;
+pub mod spill;
 pub mod stats;
 
 pub use batch::{batch_rows, ColumnarBatch, DEFAULT_BATCH_SIZE};
 pub use bitmap::Bitmap;
 pub use column::{ColumnData, EncodedColumn};
+pub use spill::SpillCodec;
 pub use stats::ColumnStats;

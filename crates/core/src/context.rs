@@ -90,6 +90,38 @@ impl SQLContext {
         f(&mut self.inner.conf.write());
     }
 
+    /// Set a runtime config by registry key, e.g.
+    /// `ctx.set("spark.sql.vectorize.enabled", "false")`. Unknown keys
+    /// error with the list of valid keys. The same registry backs `SET`
+    /// statements and startup environment variables.
+    pub fn set(&self, key: &str, value: &str) -> Result<()> {
+        self.inner.conf.write().set(key, value)?;
+        if key.to_ascii_lowercase().starts_with("spark.sql.chaos.") {
+            self.apply_chaos_conf();
+        }
+        Ok(())
+    }
+
+    /// Current value of a runtime config key, rendered as a string.
+    pub fn get(&self, key: &str) -> Result<String> {
+        self.inner.conf.read().get(key)
+    }
+
+    /// Install (or clear) the engine chaos plan described by the session
+    /// configuration.
+    fn apply_chaos_conf(&self) {
+        let conf = self.conf();
+        let plan = conf.chaos_seed.map(|seed| {
+            let mut cc = engine::ChaosConf::seeded(seed);
+            if let Some(p) = conf.chaos_prob {
+                cc.task_fault_prob = p;
+                cc.fetch_fault_prob = p;
+            }
+            Arc::new(engine::ChaosPlan::new(cc))
+        });
+        self.inner.sc.set_chaos(plan);
+    }
+
     /// The user-defined-type registry (§4.4.2).
     pub fn udts(&self) -> &UdtRegistry {
         &self.inner.udts
@@ -132,7 +164,8 @@ impl SQLContext {
     /// rewrite rolled back and fails the query with a report naming the
     /// batch, rule, iteration, invariant, and plan diff.
     pub fn plan_query_monitored(&self, analyzed: &LogicalPlan) -> Result<PlannedQuery> {
-        let validate = validation::enabled();
+        let conf = self.conf();
+        let validate = conf.plan_validation.unwrap_or_else(validation::enabled);
         let validator = validation::PlanValidator::new();
         let mut monitor = if validate {
             ExecutionMonitor::with_validator(&validator)
@@ -149,7 +182,6 @@ impl SQLContext {
             }
             return Err(CatalystError::Internal(msg));
         }
-        let conf = self.conf();
         let mut planner = Planner::new(PlannerConfig {
             pushdown_enabled: conf.pushdown_enabled,
             column_pruning_enabled: conf.column_pruning_enabled,
@@ -247,6 +279,25 @@ impl SQLContext {
                     text.lines().map(|l| Row::new(vec![Value::str(l)])).collect();
                 let schema = Arc::new(catalyst::schema::Schema::new(vec![
                     catalyst::types::StructField::new("plan", DataType::String, false),
+                ]));
+                self.create_dataframe(schema, rows)
+            }
+            sql::Statement::Set { key, value } => {
+                let pairs: Vec<(String, String)> = match (&key, &value) {
+                    (Some(k), Some(v)) => {
+                        self.set(k, v)?;
+                        vec![(k.clone(), self.get(k)?)]
+                    }
+                    (Some(k), None) => vec![(k.clone(), self.get(k)?)],
+                    _ => self.conf().entries(),
+                };
+                let rows: Vec<Row> = pairs
+                    .into_iter()
+                    .map(|(k, v)| Row::new(vec![Value::str(k), Value::str(v)]))
+                    .collect();
+                let schema = Arc::new(catalyst::schema::Schema::new(vec![
+                    catalyst::types::StructField::new("key", DataType::String, false),
+                    catalyst::types::StructField::new("value", DataType::String, false),
                 ]));
                 self.create_dataframe(schema, rows)
             }

@@ -291,21 +291,6 @@ impl DataFrame {
     pub fn write(&self) -> crate::io::DataFrameWriter {
         crate::io::DataFrameWriter::new(self.clone())
     }
-
-    /// Write the result as a colfile (Parquet stand-in).
-    #[deprecated(note = "use df.write().option(\"rows_per_group\", n).save(path)")]
-    pub fn save_as_colfile(&self, path: &str, rows_per_group: usize) -> Result<()> {
-        self.write()
-            .option("rows_per_group", rows_per_group)
-            .mode(crate::io::SaveMode::Overwrite)
-            .save(path)
-    }
-
-    /// Write the result as CSV.
-    #[deprecated(note = "use df.write().format(\"csv\").save(path)")]
-    pub fn save_as_csv(&self, path: &str) -> Result<()> {
-        self.write().format("csv").mode(crate::io::SaveMode::Overwrite).save(path)
-    }
 }
 
 fn engine_err(e: engine::EngineError) -> catalyst::CatalystError {

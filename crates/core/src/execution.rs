@@ -9,6 +9,7 @@
 
 use crate::conf::SqlConf;
 use crate::rdd_table::RddTable;
+use crate::spill::{self, SpillCtx};
 use catalyst::adaptive::{rules as adaptive_rules, AdaptivePlanChange, AdaptiveRule};
 use catalyst::codegen;
 use catalyst::error::{CatalystError, Result};
@@ -25,7 +26,10 @@ use catalyst::validation::PlanValidator;
 use catalyst::value::Value;
 use catalyst::vectorized::{self, RowBatch};
 use engine::shuffle::SizeFn;
-use engine::{HashPartitioner, MaterializedShuffle, PairRdd, RddRef, ShuffleReadSpec, SparkContext};
+use engine::{
+    HashPartitioner, MaterializedShuffle, MemoryPool, PairRdd, RangePartitioner, RddRef,
+    ShuffleReadSpec, SparkContext,
+};
 use std::cmp::Ordering;
 use std::hash::Hash;
 use std::time::Instant;
@@ -71,17 +75,36 @@ pub struct ExecContext {
     /// Adaptive decisions made while lowering (stage-by-stage execution
     /// records coalescing, demotions, and skew splits here).
     pub adaptive: AdaptiveLog,
+    /// Memory pool governing the buffering operators of this execution.
+    /// Bounded when `spark.sql.memory.budgetBytes` is set (and spilling
+    /// is not disabled); unbounded pools never deny and never spill.
+    pub mem: Arc<MemoryPool>,
+}
+
+/// Build the execution's memory pool from session configuration.
+fn pool_from_conf(conf: &SqlConf) -> Arc<MemoryPool> {
+    match conf.effective_memory_budget() {
+        Some(budget) => MemoryPool::bounded(budget, conf.spill_path()),
+        None => MemoryPool::unbounded(),
+    }
 }
 
 impl ExecContext {
     /// An uninstrumented execution context.
     pub fn new(sc: SparkContext, conf: SqlConf) -> Self {
-        ExecContext { sc, conf, metrics: None, adaptive: AdaptiveLog::default() }
+        let mem = pool_from_conf(&conf);
+        ExecContext { sc, conf, metrics: None, adaptive: AdaptiveLog::default(), mem }
     }
 
     /// An instrumented context recording into `metrics`.
     pub fn instrumented(sc: SparkContext, conf: SqlConf, metrics: Arc<PlanMetrics>) -> Self {
-        ExecContext { sc, conf, metrics: Some(metrics), adaptive: AdaptiveLog::default() }
+        let mem = pool_from_conf(&conf);
+        ExecContext { sc, conf, metrics: Some(metrics), adaptive: AdaptiveLog::default(), mem }
+    }
+
+    /// Spill context for the operator with pre-order id `id`.
+    fn spill_ctx(&self, id: usize) -> SpillCtx {
+        SpillCtx { pool: self.mem.clone(), node: self.metrics.as_ref().map(|pm| pm.node(id)) }
     }
 }
 
@@ -198,6 +221,11 @@ impl SortKey {
             }
         }
         SortKey { values, descending_mask: mask }
+    }
+
+    /// The key column values (for flattening into a spillable row).
+    pub(crate) fn into_values(self) -> Vec<Value> {
+        self.values
     }
 }
 
@@ -316,7 +344,85 @@ impl AggCall {
     }
 }
 
-fn merge_acc(a: Acc, b: Acc) -> Acc {
+impl Acc {
+    /// Encode for spilling as a self-describing tagged array. Inverse of
+    /// [`Acc::from_value`]; round-trips exactly through the spill codec.
+    pub(crate) fn to_value(&self) -> Value {
+        let items: Vec<Value> = match self {
+            Acc::Count(n) => vec![Value::Long(0), Value::Long(*n)],
+            Acc::Sum(s) => vec![Value::Long(1), s.clone().unwrap_or(Value::Null)],
+            Acc::Min(m) => vec![Value::Long(2), m.clone().unwrap_or(Value::Null)],
+            Acc::Max(m) => vec![Value::Long(3), m.clone().unwrap_or(Value::Null)],
+            Acc::Avg(s, n) => {
+                vec![Value::Long(4), s.clone().unwrap_or(Value::Null), Value::Long(*n)]
+            }
+            Acc::Distinct(set, f) => {
+                let mut items = vec![Value::Long(5), Value::Long(agg_func_tag(*f))];
+                items.extend(set.iter().cloned());
+                items
+            }
+        };
+        Value::Array(Arc::new(items))
+    }
+
+    /// Decode a spilled accumulator. Panics on malformed input — spill
+    /// files are written and read by the same process.
+    pub(crate) fn from_value(v: &Value) -> Acc {
+        let Value::Array(items) = v else { panic!("corrupt spilled accumulator") };
+        let opt = |v: &Value| if v.is_null() { None } else { Some(v.clone()) };
+        match (items.first(), items.get(1)) {
+            (Some(Value::Long(0)), Some(Value::Long(n))) => Acc::Count(*n),
+            (Some(Value::Long(1)), Some(s)) => Acc::Sum(opt(s)),
+            (Some(Value::Long(2)), Some(m)) => Acc::Min(opt(m)),
+            (Some(Value::Long(3)), Some(m)) => Acc::Max(opt(m)),
+            (Some(Value::Long(4)), Some(s)) => match items.get(2) {
+                Some(Value::Long(n)) => Acc::Avg(opt(s), *n),
+                _ => panic!("corrupt spilled AVG accumulator"),
+            },
+            (Some(Value::Long(5)), Some(Value::Long(tag))) => {
+                Acc::Distinct(items[2..].iter().cloned().collect(), agg_func_from_tag(*tag))
+            }
+            _ => panic!("corrupt spilled accumulator"),
+        }
+    }
+
+    /// Rough in-memory footprint, for reservation accounting.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        match self {
+            Acc::Count(_) => 16,
+            Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => {
+                16 + v.as_ref().map_or(0, Value::approx_bytes)
+            }
+            Acc::Avg(v, _) => 24 + v.as_ref().map_or(0, Value::approx_bytes),
+            Acc::Distinct(set, _) => {
+                32 + set.iter().map(|v| 16 + v.approx_bytes()).sum::<u64>()
+            }
+        }
+    }
+}
+
+fn agg_func_tag(f: AggFunc) -> i64 {
+    match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Avg => 4,
+    }
+}
+
+fn agg_func_from_tag(t: i64) -> AggFunc {
+    match t {
+        0 => AggFunc::Count,
+        1 => AggFunc::Sum,
+        2 => AggFunc::Min,
+        3 => AggFunc::Max,
+        4 => AggFunc::Avg,
+        _ => panic!("corrupt spilled aggregate function tag {t}"),
+    }
+}
+
+pub(crate) fn merge_acc(a: Acc, b: Acc) -> Acc {
     match (a, b) {
         (Acc::Count(x), Acc::Count(y)) => Acc::Count(x + y),
         (Acc::Sum(x), Acc::Sum(y)) => Acc::Sum(merge_opt_add(x, y)),
@@ -659,6 +765,8 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
                 &orders.iter().map(|o| o.expr.clone()).collect::<Vec<_>>(),
                 &input.output(),
             )?;
+            let key_dtypes: Vec<DataType> =
+                bound.iter().map(|e| e.data_type().unwrap_or(DataType::String)).collect();
             let orders_meta = orders.clone();
             let keyed = child.map(move |row| {
                 let values: Vec<Value> = bound
@@ -667,6 +775,10 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
                     .collect();
                 (SortKey::new(values, &orders_meta), row)
             });
+            if ctx.mem.is_bounded() {
+                let row_dtypes = input.output().iter().map(|c| c.dtype.clone()).collect();
+                return execute_external_sort(keyed, orders, key_dtypes, row_dtypes, id, ctx);
+            }
             use engine::pair::SortedPairRdd;
             Ok(keyed.sort_by_key(true, ctx.conf.shuffle_partitions).values())
         }
@@ -1212,8 +1324,9 @@ fn execute_aggregate(
         })
         .collect::<Result<_>>()?;
 
-    // Compiled fast path (unboxed keys and accumulators).
-    {
+    // Compiled fast path (unboxed keys and accumulators). Skipped under a
+    // bounded pool: its hash tables grow without reservations.
+    if !ctx.mem.is_bounded() {
         let bound_agg_exprs: Result<Vec<Expr>> = agg_exprs
             .iter()
             .map(|e| match e {
@@ -1286,6 +1399,19 @@ fn execute_aggregate(
         return Ok(ctx.sc.parallelize(vec![row], 1));
     }
 
+    // Grouped under a bounded pool: the spillable Partial/Final split.
+    if ctx.mem.is_bounded() {
+        let key_fns: Vec<ValueFn> = bound_groupings
+            .into_iter()
+            .map(|e| value_fn(e, ctx.conf.codegen_enabled))
+            .collect();
+        let key_dtypes: Vec<DataType> = groupings
+            .iter()
+            .map(|g| g.data_type().unwrap_or(DataType::String))
+            .collect();
+        return execute_spillable_aggregate(child, key_fns, calls, finish_rows, key_dtypes, id, ctx);
+    }
+
     // Grouped: map-side partial aggregation + shuffle + final merge (the
     // engine's combine-by-key is the Partial/Final split).
     let calls_create = calls.clone();
@@ -1329,6 +1455,136 @@ fn execute_aggregate(
         keyed.combine_by_key(aggregator, partitioner, true)
     };
     Ok(combined.map(move |(key, accs)| finish_rows(key, accs)))
+}
+
+/// Memory-governed sort lowering: the same sampled range partitioning as
+/// the engine's `sort_by_key`, but each output partition sorts through
+/// [`spill::external_sort`] — buffered rows spill as sorted runs when the
+/// pool denies growth, and runs k-way merge back in key order. The merge
+/// breaks ties by run index, so output is row-for-row identical to the
+/// in-memory stable sort.
+fn execute_external_sort(
+    keyed: RddRef<(SortKey, Row)>,
+    orders: &[SortOrder],
+    key_dtypes: Vec<DataType>,
+    row_dtypes: Vec<DataType>,
+    id: usize,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    let num_partitions = ctx.conf.shuffle_partitions.max(1);
+    // Range boundaries from a key sample — the same fraction and seed as
+    // the engine's sort, so partition boundaries match exactly.
+    let total = (num_partitions * 20).max(20);
+    let keys = keyed.keys();
+    let approx = keys.count();
+    if approx == 0 {
+        return Ok(keyed.values());
+    }
+    let fraction = (total as f64 / approx as f64).min(1.0);
+    let sample: Vec<SortKey> = keys.sample(fraction, 0xC0FFEE).collect();
+    let bounds = RangePartitioner::bounds_from_sample(sample, num_partitions);
+    let partitioned = keyed.partition_by(Arc::new(RangePartitioner::new(bounds, true)));
+
+    let nk = key_dtypes.len();
+    let mut dtypes = key_dtypes;
+    dtypes.extend(row_dtypes);
+    let codec = columnar::SpillCodec::new(dtypes);
+    let mut descending_mask = 0u64;
+    for (i, o) in orders.iter().enumerate() {
+        if !o.ascending {
+            descending_mask |= 1 << i;
+        }
+    }
+    let cmp: spill::RowCmp = Arc::new(move |a: &Row, b: &Row| {
+        for i in 0..nk {
+            let mut o = a.get(i).total_cmp(b.get(i));
+            if descending_mask & (1 << i) != 0 {
+                o = o.reverse();
+            }
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
+    let sctx = ctx.spill_ctx(id);
+    Ok(partitioned.map_partitions(move |it| {
+        let flat = it.map(|(k, row)| {
+            let mut values = k.into_values();
+            values.extend(row.into_values());
+            Row::new(values)
+        });
+        let sorted = spill::external_sort(Box::new(flat), &codec, cmp.clone(), &sctx);
+        Box::new(sorted.map(move |r| {
+            let mut values = r.into_values();
+            Row::new(values.split_off(nk))
+        }))
+    }))
+}
+
+/// Memory-governed grouped aggregation: map-side partial aggregation with
+/// early emission (a denied grow flushes partials into the shuffle), then
+/// a reduce-side merge that spills its hash table recursively under
+/// pressure ([`spill::merge_agg_partition`]). Replaces the engine
+/// combine-by-key path when the pool is bounded.
+fn execute_spillable_aggregate(
+    child: RddRef<Row>,
+    key_fns: Vec<ValueFn>,
+    calls: Vec<AggCall>,
+    finish_rows: impl Fn(Row, Vec<Acc>) -> Row + Send + Sync + 'static,
+    key_dtypes: Vec<DataType>,
+    id: usize,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    let sctx = ctx.spill_ctx(id);
+    let layout = spill::AggLayout::new(key_dtypes);
+    let map_sctx = sctx.clone();
+    let partials = child.map_partitions(move |it| {
+        Box::new(partial_agg_partition(it, &key_fns, &calls, &map_sctx).into_iter())
+    });
+    let shuffled = partials
+        .partition_by(Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions.max(1))));
+    let merged = shuffled.map_partitions(move |it| {
+        Box::new(spill::merge_agg_partition(it, &layout, &sctx, 0).into_iter())
+    });
+    Ok(merged.map(move |(key, accs)| finish_rows(key, accs)))
+}
+
+/// Partially aggregate one input partition under the pool's budget. When
+/// the reservation is denied, the partial table flushes downstream — the
+/// shuffle is the spill destination — and aggregation restarts with an
+/// empty table. Duplicate keys across flushes merge on the reduce side.
+fn partial_agg_partition(
+    it: engine::BoxIter<Row>,
+    key_fns: &[ValueFn],
+    calls: &[AggCall],
+    sctx: &SpillCtx,
+) -> Vec<(Row, Vec<Acc>)> {
+    let mut reservation = sctx.pool.register();
+    let mut table: HashMap<Row, Vec<Acc>> = HashMap::new();
+    let mut out: Vec<(Row, Vec<Acc>)> = Vec::new();
+    for row in it {
+        let key = Row::new(key_fns.iter().map(|f| f(&row)).collect());
+        if let Some(accs) = table.get_mut(&key) {
+            for (call, acc) in calls.iter().zip(accs.iter_mut()) {
+                call.update(acc, &row);
+            }
+            continue;
+        }
+        let mut accs: Vec<Acc> = calls.iter().map(AggCall::init).collect();
+        for (call, acc) in calls.iter().zip(accs.iter_mut()) {
+            call.update(acc, &row);
+        }
+        let bytes = key.approx_bytes() + 16 + 24 * accs.len() as u64;
+        if !reservation.try_grow(bytes) && !table.is_empty() {
+            out.extend(table.drain());
+            reservation.free();
+            reservation.try_grow(bytes);
+        }
+        table.insert(key, accs);
+    }
+    out.extend(table.drain());
+    out
 }
 
 /// Null-safe key evaluation: returns None when any key is NULL (SQL
@@ -1516,12 +1772,45 @@ fn execute_shuffled_join(
         .map(move |row| (join_key(&bound_right_keys, &row), row))
         .partition_by(Arc::new(HashPartitioner::new(partitions)));
 
+    if ctx.mem.is_bounded() {
+        let (llayout, rlayout) = join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
+        let sctx = ctx.spill_ctx(id);
+        return Ok(lkeyed.zip_partitions(&rkeyed, move |lit, rit| {
+            Box::new(
+                spill::grace_hash_join_partition(
+                    lit, rit, join_type, &residual_pred, &llayout, &rlayout, left_width,
+                    right_width, &sctx, 0,
+                )
+                .into_iter(),
+            )
+        }));
+    }
+
     Ok(lkeyed.zip_partitions(&rkeyed, move |lit, rit| {
         Box::new(
             hash_join_partition(lit, rit, join_type, &residual_pred, left_width, right_width)
                 .into_iter(),
         )
     }))
+}
+
+/// Spill layouts (key + output column types) for both sides of an
+/// equi-join, used by the grace hash join's disk re-partitioning.
+fn join_spill_layouts(
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    left_attrs: &[ColumnRef],
+    right_attrs: &[ColumnRef],
+) -> (spill::SideLayout, spill::SideLayout) {
+    let dtypes_of = |keys: &[Expr], attrs: &[ColumnRef]| {
+        (
+            keys.iter().map(|e| e.data_type().unwrap_or(DataType::String)).collect::<Vec<_>>(),
+            attrs.iter().map(|c| c.dtype.clone()).collect::<Vec<_>>(),
+        )
+    };
+    let (lk, lr) = dtypes_of(left_keys, left_attrs);
+    let (rk, rr) = dtypes_of(right_keys, right_attrs);
+    (spill::SideLayout::new(lk, lr), spill::SideLayout::new(rk, rr))
 }
 
 /// Hash-join one co-partitioned pair of keyed row streams: build from the
@@ -1796,6 +2085,20 @@ fn execute_adaptive_shuffled_join(
         let node = pm.node(id);
         node.set_extra("adaptive_partitions", lspecs.len() as u64);
         node.set_extra("adaptive_skew_splits", skew_splits as u64);
+    }
+
+    if ctx.mem.is_bounded() {
+        let (llayout, rlayout) = join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
+        let sctx = ctx.spill_ctx(id);
+        return Ok(lmat.read(lspecs).zip_partitions(&rmat.read(rspecs), move |lit, rit| {
+            Box::new(
+                spill::grace_hash_join_partition(
+                    lit, rit, join_type, &residual_pred, &llayout, &rlayout, left_width,
+                    right_width, &sctx, 0,
+                )
+                .into_iter(),
+            )
+        }));
     }
 
     Ok(lmat.read(lspecs).zip_partitions(&rmat.read(rspecs), move |lit, rit| {

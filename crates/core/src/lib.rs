@@ -44,6 +44,7 @@ pub mod io;
 pub mod query_execution;
 pub mod rdd_table;
 pub mod record;
+pub mod spill;
 
 pub use conf::SqlConf;
 pub use context::SQLContext;

@@ -19,8 +19,8 @@ use catalyst::plan::LogicalPlan;
 use catalyst::row::Row;
 use catalyst::rules::RuleHealthReport;
 use catalyst::CatalystError;
-use engine::RddRef;
-use std::sync::Arc;
+use engine::{MemoryPool, MemoryStats, RddRef};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One query's compilation pipeline plus its execution metrics.
@@ -38,6 +38,8 @@ pub struct QueryExecution {
     metrics: Arc<PlanMetrics>,
     rule_health: RuleHealthReport,
     adaptive_log: AdaptiveLog,
+    /// Memory pool of the most recent run (set by [`QueryExecution::to_rdd`]).
+    mem_pool: Mutex<Option<Arc<MemoryPool>>>,
 }
 
 impl QueryExecution {
@@ -52,6 +54,7 @@ impl QueryExecution {
             metrics,
             rule_health: planned.rule_health,
             adaptive_log: AdaptiveLog::default(),
+            mem_pool: Mutex::new(None),
         })
     }
 
@@ -104,7 +107,21 @@ impl QueryExecution {
         // eagerly, so the log fills in during `execute`.
         self.adaptive_log.clear();
         ctx.adaptive = self.adaptive_log.clone();
+        *self.mem_pool.lock().unwrap() = Some(ctx.mem.clone());
         execute(&self.physical, &ctx)
+    }
+
+    /// Memory-pool counters of the most recent run: `Some` only when the
+    /// run executed under a bounded budget
+    /// (`spark.sql.memory.budgetBytes`), `None` for unbounded runs or
+    /// before any run.
+    pub fn memory_stats(&self) -> Option<MemoryStats> {
+        self.mem_pool
+            .lock()
+            .unwrap()
+            .as_ref()
+            .filter(|p| p.is_bounded())
+            .map(|p| p.stats())
     }
 
     /// Adaptive plan changes recorded by the most recent execution of
@@ -134,7 +151,8 @@ impl QueryExecution {
         let wall_ns = start.elapsed().as_nanos() as u64;
         let recovery = RecoveryEvents::delta(&before, &self.ctx.spark_context().metrics().snapshot());
         self.attribute_shuffle_stats();
-        self.ctx.log_query(self.log_entry(wall_ns, rows.len() as u64, recovery));
+        let memory = self.memory_stats();
+        self.ctx.log_query(self.log_entry(wall_ns, rows.len() as u64, recovery, memory));
         Ok(rows)
     }
 
@@ -162,12 +180,16 @@ impl QueryExecution {
             out.push_str(&render_annotated(&adaptive::final_plan(&self.physical, &changes), &self.metrics));
         }
         let entry = self.ctx.query_log().pop();
-        let (wall, recovery) = entry
-            .map(|e| (e.wall_ns, e.recovery))
-            .unwrap_or((0, RecoveryEvents::default()));
+        let (wall, recovery, memory) = entry
+            .map(|e| (e.wall_ns, e.recovery, e.memory))
+            .unwrap_or((0, RecoveryEvents::default(), None));
         if recovery.any() {
             out.push_str("== Fault Recovery ==\n");
             out.push_str(&recovery.render());
+        }
+        if let Some(m) = memory {
+            out.push_str("== Memory ==\n");
+            out.push_str(&render_memory(&m));
         }
         out.push_str(&format!(
             "== Totals ==\noutput rows: {}, wall time: {}\n",
@@ -200,7 +222,13 @@ impl QueryExecution {
         }
     }
 
-    fn log_entry(&self, wall_ns: u64, output_rows: u64, recovery: RecoveryEvents) -> QueryLogEntry {
+    fn log_entry(
+        &self,
+        wall_ns: u64,
+        output_rows: u64,
+        recovery: RecoveryEvents,
+        memory: Option<MemoryStats>,
+    ) -> QueryLogEntry {
         let mut names = Vec::new();
         preorder_descriptions(&self.physical, &mut names);
         let operators = names
@@ -223,8 +251,19 @@ impl QueryExecution {
             output_rows,
             operators,
             recovery,
+            memory,
         }
     }
+}
+
+/// Render a bounded run's memory counters for `explain_analyze`.
+fn render_memory(m: &MemoryStats) -> String {
+    format!(
+        "budget: {} B, peak reserved: {} B\n\
+         spilled buffers: {}, spill bytes: {}\n\
+         spill files created/deleted: {}/{}\n",
+        m.budget, m.peak, m.spill_count, m.spill_bytes, m.spill_files_created, m.spill_files_deleted,
+    )
 }
 
 /// Fault-recovery activity observed during one instrumented run: deltas
@@ -314,6 +353,9 @@ pub struct QueryLogEntry {
     pub operators: Vec<OperatorLogEntry>,
     /// Fault-recovery counters for this run (all zero when fault-free).
     pub recovery: RecoveryEvents,
+    /// Memory-pool counters when the run executed under a bounded budget
+    /// (`None` for unbounded runs).
+    pub memory: Option<MemoryStats>,
 }
 
 /// Actuals of one physical operator within a [`QueryLogEntry`].
@@ -353,12 +395,20 @@ impl QueryLogEntry {
                 )
             })
             .collect();
+        let memory = match &self.memory {
+            None => "null".to_string(),
+            Some(m) => format!(
+                "{{\"budget\":{},\"peak\":{},\"spill_count\":{},\"spill_bytes\":{},\"spill_files_created\":{},\"spill_files_deleted\":{}}}",
+                m.budget, m.peak, m.spill_count, m.spill_bytes, m.spill_files_created, m.spill_files_deleted,
+            ),
+        };
         format!(
-            "{{\"query\":{},\"wall_ns\":{},\"output_rows\":{},\"recovery\":{},\"operators\":[{}]}}",
+            "{{\"query\":{},\"wall_ns\":{},\"output_rows\":{},\"recovery\":{},\"memory\":{},\"operators\":[{}]}}",
             json_string(&self.query),
             self.wall_ns,
             self.output_rows,
             self.recovery.to_json(),
+            memory,
             ops.join(",")
         )
     }
@@ -407,12 +457,32 @@ mod tests {
                 extras: vec![("shuffle_bytes_written".into(), 64)],
             }],
             recovery: RecoveryEvents { fetch_failures: 2, ..RecoveryEvents::default() },
+            memory: None,
         };
         let json = entry.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"query\":\"Project [a]\""), "{json}");
         assert!(json.contains("\"extras\":{\"shuffle_bytes_written\":64}"), "{json}");
         assert!(json.contains("\"recovery\":{\"task_retries\":0,\"fetch_failures\":2"), "{json}");
+        assert!(json.contains("\"memory\":null"), "{json}");
+
+        let bounded = QueryLogEntry {
+            memory: Some(MemoryStats {
+                budget: 4096,
+                peak: 4000,
+                spill_count: 3,
+                spill_bytes: 9000,
+                spill_files_created: 3,
+                spill_files_deleted: 3,
+                ..MemoryStats::default()
+            }),
+            ..entry
+        };
+        let json = bounded.to_json();
+        assert!(
+            json.contains("\"memory\":{\"budget\":4096,\"peak\":4000,\"spill_count\":3"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -1,0 +1,561 @@
+//! Disk-backed ("external") operator algorithms for memory-governed
+//! execution.
+//!
+//! Each buffering operator registers an [`engine::MemoryReservation`]
+//! against the execution's [`engine::MemoryPool`] and grows it as its
+//! buffer fills. A denied grow is the spill signal:
+//!
+//! * [`external_sort`] sorts what it has, writes the run to a
+//!   [`SpillFile`], and k-way merges all runs (plus the final in-memory
+//!   buffer) at the end. Ties merge by run index, which reproduces the
+//!   stable in-memory sort exactly.
+//! * [`grace_hash_join_partition`] falls back to a grace hash join:
+//!   both sides re-partition to disk by a depth-salted key hash and each
+//!   sub-partition joins recursively.
+//! * [`merge_agg_partition`] spills its partial-aggregate hash table the
+//!   same way, re-partitioning `(key, accumulators)` pairs and merging
+//!   each bucket recursively.
+//!
+//! Rows cross the disk boundary through [`SpillCodec`] — the colfile
+//! column codec with an exact-roundtrip guarantee — so spilled execution
+//! is byte-identical to in-memory execution. Spill files delete
+//! themselves on drop; a panicking task unwinds through the operator
+//! state holding them, so injected faults cannot leak disk.
+
+use crate::execution::Acc;
+use catalyst::physical::metrics::OperatorMetrics;
+use catalyst::plan::JoinType;
+use catalyst::row::Row;
+use catalyst::types::DataType;
+use catalyst::value::Value;
+use columnar::SpillCodec;
+use engine::{BoxIter, MemoryPool, SpillFile};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Rows per encoded spill block.
+const BLOCK_ROWS: usize = 256;
+/// Sub-partitions per spill round (grace join / aggregate re-partition).
+const FANOUT: usize = 8;
+/// Past this re-partitioning depth, buffers build un-reserved rather
+/// than recursing forever on pathological key distributions.
+const MAX_DEPTH: usize = 6;
+
+/// Row comparator (a bound sort order).
+pub type RowCmp = Arc<dyn Fn(&Row, &Row) -> Ordering + Send + Sync>;
+/// Row predicate (a bound residual join condition).
+pub type PredFn = Arc<dyn Fn(&Row) -> bool + Send + Sync>;
+
+/// Shared spill context for one operator: the execution's pool plus the
+/// operator's metrics slot (spills show up as `spill_count` /
+/// `spill_bytes` extras in `EXPLAIN ANALYZE`).
+#[derive(Clone)]
+pub struct SpillCtx {
+    /// The execution-wide memory pool.
+    pub pool: Arc<MemoryPool>,
+    /// The operator's metrics node, when instrumented.
+    pub node: Option<Arc<OperatorMetrics>>,
+}
+
+impl SpillCtx {
+    fn note_spill(&self, bytes: u64) {
+        self.pool.record_spill(bytes);
+        if let Some(n) = &self.node {
+            n.add_extra("spill_count", 1);
+            n.add_extra("spill_bytes", bytes);
+        }
+    }
+}
+
+/// Depth-salted hash bucket for recursive re-partitioning. Using a
+/// different seed per depth breaks up collisions the previous round's
+/// partitioning created.
+fn bucket(key: &Row, depth: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    0x9E37_79B9_7F4A_7C15u64
+        .wrapping_mul(depth as u64 + 1)
+        .hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() as usize) % FANOUT
+}
+
+// ---- external sort ----
+
+/// A spilled sorted run being merged: decodes one block at a time.
+struct RunCursor {
+    /// Keeps the backing file alive (and deleted when merging finishes).
+    _file: SpillFile,
+    blocks: engine::memory::SpillBlockIter,
+    codec: SpillCodec,
+    buf: std::vec::IntoIter<Row>,
+}
+
+impl RunCursor {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(row) = self.buf.next() {
+                return Some(row);
+            }
+            let block = self.blocks.next()?.expect("spill read failed");
+            self.buf = self
+                .codec
+                .decode_block(&block)
+                .expect("spill decode failed")
+                .into_iter();
+        }
+    }
+}
+
+/// K-way merge over spilled runs plus the final in-memory run (always the
+/// highest run index). Equal keys pop lowest-run-first, which is arrival
+/// order — the same order a single stable in-memory sort produces.
+struct MergeIter {
+    runs: Vec<(Option<Row>, RunCursor)>,
+    tail: std::vec::IntoIter<Row>,
+    tail_head: Option<Row>,
+    cmp: RowCmp,
+    /// Frees the tail buffer's reservation when merging finishes.
+    _reservation: engine::MemoryReservation,
+}
+
+impl Iterator for MergeIter {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        if self.tail_head.is_none() {
+            self.tail_head = self.tail.next();
+        }
+        let mut best: Option<usize> = None; // None = tail, Some(i) = run i
+        let mut best_row: Option<&Row> = self.tail_head.as_ref();
+        for (i, (head, _)) in self.runs.iter().enumerate().rev() {
+            if let Some(h) = head {
+                if best_row.is_none_or(|b| (self.cmp)(h, b) != Ordering::Greater) {
+                    best = Some(i);
+                    best_row = Some(h);
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                let (head, cursor) = &mut self.runs[i];
+                let row = head.take();
+                *head = cursor.next();
+                row
+            }
+            None => self.tail_head.take(),
+        }
+    }
+}
+
+/// Sort `input` by `cmp` under the pool's budget. Rows buffer in memory
+/// while the reservation grows; when it is denied, the buffer is sorted
+/// and spilled as one run, and all runs k-way merge at the end. With an
+/// unbounded pool this is exactly an in-memory stable sort.
+pub fn external_sort(
+    input: BoxIter<Row>,
+    codec: &SpillCodec,
+    cmp: RowCmp,
+    ctx: &SpillCtx,
+) -> BoxIter<Row> {
+    let mut reservation = ctx.pool.register();
+    let mut runs: Vec<SpillFile> = Vec::new();
+    let mut buf: Vec<Row> = Vec::new();
+    for row in input {
+        let bytes = row.approx_bytes();
+        if !reservation.try_grow(bytes) && !buf.is_empty() {
+            buf.sort_by(|a, b| cmp(a, b));
+            let mut file = ctx.pool.spill_file().expect("spill create failed");
+            for chunk in buf.chunks(BLOCK_ROWS) {
+                file.append(&codec.encode_block(chunk)).expect("spill write failed");
+            }
+            ctx.note_spill(file.bytes_written());
+            runs.push(file);
+            buf.clear();
+            reservation.free();
+            // Re-reserve for the row that overflowed; a single row larger
+            // than the fair share proceeds unreserved (it must go somewhere).
+            reservation.try_grow(bytes);
+        }
+        buf.push(row);
+    }
+    buf.sort_by(|a, b| cmp(a, b));
+    if runs.is_empty() {
+        return Box::new(MergeIter {
+            runs: Vec::new(),
+            tail: buf.into_iter(),
+            tail_head: None,
+            cmp,
+            _reservation: reservation,
+        });
+    }
+    let runs = runs
+        .into_iter()
+        .map(|mut file| {
+            let blocks = file.blocks().expect("spill reopen failed");
+            let mut cursor =
+                RunCursor { _file: file, blocks, codec: codec.clone(), buf: Vec::new().into_iter() };
+            (cursor.next(), cursor)
+        })
+        .collect();
+    Box::new(MergeIter {
+        runs,
+        tail: buf.into_iter(),
+        tail_head: None,
+        cmp,
+        _reservation: reservation,
+    })
+}
+
+// ---- grace hash join ----
+
+/// Spill layout of one join side: `[present flag] ++ key ++ row`, so a
+/// keyed pair — including the NULL-key sentinel outer joins rely on —
+/// round-trips through the colfile codec.
+#[derive(Clone)]
+pub struct SideLayout {
+    codec: SpillCodec,
+    key_width: usize,
+}
+
+impl SideLayout {
+    /// Layout for a side whose join keys and output columns have the
+    /// given types.
+    pub fn new(key_dtypes: Vec<DataType>, row_dtypes: Vec<DataType>) -> SideLayout {
+        let key_width = key_dtypes.len();
+        let mut dtypes = vec![DataType::Boolean];
+        dtypes.extend(key_dtypes);
+        dtypes.extend(row_dtypes);
+        SideLayout { codec: SpillCodec::new(dtypes), key_width }
+    }
+
+    fn encode_pair(&self, key: &Option<Row>, row: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.codec.width());
+        match key {
+            Some(k) => {
+                values.push(Value::Boolean(true));
+                values.extend(k.values().iter().cloned());
+            }
+            None => {
+                values.push(Value::Boolean(false));
+                values.extend(std::iter::repeat_n(Value::Null, self.key_width));
+            }
+        }
+        values.extend(row.values().iter().cloned());
+        Row::new(values)
+    }
+
+    fn decode_pair(&self, flat: Row) -> (Option<Row>, Row) {
+        let mut values = flat.into_values();
+        let row = Row::new(values.split_off(1 + self.key_width));
+        let present = matches!(values[0], Value::Boolean(true));
+        let key = if present { Some(Row::new(values.split_off(1))) } else { None };
+        (key, row)
+    }
+}
+
+/// One side's spill buckets: rows partitioned by depth-salted key hash
+/// (NULL keys to bucket 0 — they never match, but outer joins must still
+/// see them exactly once).
+struct SpillBuckets {
+    files: Vec<Option<SpillFile>>,
+    bufs: Vec<Vec<Row>>,
+    layout: SideLayout,
+    depth: usize,
+}
+
+impl SpillBuckets {
+    fn new(layout: SideLayout, depth: usize) -> SpillBuckets {
+        SpillBuckets {
+            files: (0..FANOUT).map(|_| None).collect(),
+            bufs: vec![Vec::new(); FANOUT],
+            layout,
+            depth,
+        }
+    }
+
+    fn push(&mut self, ctx: &SpillCtx, key: &Option<Row>, row: &Row) {
+        let b = match key {
+            Some(k) => bucket(k, self.depth),
+            None => 0,
+        };
+        self.bufs[b].push(self.layout.encode_pair(key, row));
+        if self.bufs[b].len() >= BLOCK_ROWS {
+            self.flush(ctx, b);
+        }
+    }
+
+    fn flush(&mut self, ctx: &SpillCtx, b: usize) {
+        if self.bufs[b].is_empty() {
+            return;
+        }
+        let file = self.files[b]
+            .get_or_insert_with(|| ctx.pool.spill_file().expect("spill create failed"));
+        file.append(&self.layout.codec.encode_block(&self.bufs[b])).expect("spill write failed");
+        self.bufs[b].clear();
+    }
+
+    /// Seal all buckets, recording one spill per written file, and return
+    /// per-bucket pair iterators (empty buckets yield empty iterators).
+    fn finish(mut self, ctx: &SpillCtx) -> Vec<BoxIter<(Option<Row>, Row)>> {
+        for b in 0..FANOUT {
+            self.flush(ctx, b);
+        }
+        self.files
+            .into_iter()
+            .map(|file| -> BoxIter<(Option<Row>, Row)> {
+                match file {
+                    None => Box::new(std::iter::empty()),
+                    Some(mut file) => {
+                        ctx.note_spill(file.bytes_written());
+                        let blocks = file.blocks().expect("spill reopen failed");
+                        let layout = self.layout.clone();
+                        let codec = layout.codec.clone();
+                        Box::new(
+                            BlockRows { _file: file, blocks, codec, buf: Vec::new().into_iter() }
+                                .map(move |flat| layout.decode_pair(flat)),
+                        )
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Streaming row reader over a sealed spill file.
+struct BlockRows {
+    _file: SpillFile,
+    blocks: engine::memory::SpillBlockIter,
+    codec: SpillCodec,
+    buf: std::vec::IntoIter<Row>,
+}
+
+impl Iterator for BlockRows {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(row) = self.buf.next() {
+                return Some(row);
+            }
+            let block = self.blocks.next()?.expect("spill read failed");
+            self.buf = self
+                .codec
+                .decode_block(&block)
+                .expect("spill decode failed")
+                .into_iter();
+        }
+    }
+}
+
+/// Hash-join one co-partitioned pair of keyed row streams under the
+/// pool's budget: build from the right under a reservation; if the build
+/// side does not fit, re-partition **both** sides to disk by key hash and
+/// join each sub-partition recursively (the grace hash join). Semantics
+/// (matching, residual filtering, outer-row emission) are identical to
+/// the in-memory join.
+#[allow(clippy::too_many_arguments)]
+pub fn grace_hash_join_partition(
+    lit: BoxIter<(Option<Row>, Row)>,
+    mut rit: BoxIter<(Option<Row>, Row)>,
+    join_type: JoinType,
+    residual_pred: &Option<PredFn>,
+    left_layout: &SideLayout,
+    right_layout: &SideLayout,
+    left_width: usize,
+    right_width: usize,
+    ctx: &SpillCtx,
+    depth: usize,
+) -> Vec<Row> {
+    // Build from the right partition, growing a reservation as it fills.
+    let mut reservation = ctx.pool.register();
+    let mut table: HashMap<Row, Vec<(Row, bool)>> = HashMap::new();
+    let mut null_key_right: Vec<Row> = Vec::new();
+    let reserve = depth < MAX_DEPTH;
+    let mut overflow: Option<(Option<Row>, Row)> = None;
+    for (k, row) in rit.by_ref() {
+        let bytes = row.approx_bytes() + k.as_ref().map_or(8, Row::approx_bytes);
+        if reserve && !reservation.try_grow(bytes) {
+            overflow = Some((k, row));
+            break;
+        }
+        match k {
+            Some(k) => table.entry(k).or_default().push((row, false)),
+            None => null_key_right.push(row),
+        }
+    }
+
+    if let Some(first) = overflow {
+        // Build side exceeds its share: go grace. Everything buffered so
+        // far, plus the rest of both streams, re-partitions to disk.
+        let mut rbuckets = SpillBuckets::new(right_layout.clone(), depth);
+        for (k, rows) in table.drain() {
+            for (row, _) in rows {
+                rbuckets.push(ctx, &Some(k.clone()), &row);
+            }
+        }
+        for row in null_key_right.drain(..) {
+            rbuckets.push(ctx, &None, &row);
+        }
+        reservation.free();
+        for (k, row) in std::iter::once(first).chain(rit) {
+            rbuckets.push(ctx, &k, &row);
+        }
+        let mut lbuckets = SpillBuckets::new(left_layout.clone(), depth);
+        for (k, row) in lit {
+            lbuckets.push(ctx, &k, &row);
+        }
+        let mut out = Vec::new();
+        for (lsub, rsub) in lbuckets.finish(ctx).into_iter().zip(rbuckets.finish(ctx)) {
+            out.extend(grace_hash_join_partition(
+                lsub,
+                rsub,
+                join_type,
+                residual_pred,
+                left_layout,
+                right_layout,
+                left_width,
+                right_width,
+                ctx,
+                depth + 1,
+            ));
+        }
+        return out;
+    }
+
+    // Build fit: probe with the streaming left side.
+    let mut out: Vec<Row> = Vec::new();
+    for (k, lrow) in lit {
+        let mut matched = false;
+        if let Some(k) = &k {
+            if let Some(entries) = table.get_mut(k) {
+                for (rrow, rmatched) in entries.iter_mut() {
+                    let joined = lrow.concat(rrow);
+                    if residual_pred.as_ref().is_none_or(|p| p(&joined)) {
+                        *rmatched = true;
+                        matched = true;
+                        out.push(joined);
+                    }
+                }
+            }
+        }
+        if !matched && matches!(join_type, JoinType::Left | JoinType::Full) {
+            out.push(lrow.concat(&null_row(right_width)));
+        }
+    }
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for entries in table.values() {
+            for (rrow, matched) in entries {
+                if !matched {
+                    out.push(null_row(left_width).concat(rrow));
+                }
+            }
+        }
+        for rrow in &null_key_right {
+            out.push(null_row(left_width).concat(rrow));
+        }
+    }
+    out
+}
+
+fn null_row(width: usize) -> Row {
+    Row::new(vec![Value::Null; width])
+}
+
+// ---- spillable aggregation ----
+
+/// Spill layout for `(group key, accumulators)` pairs: the key columns
+/// plus one Array column holding the tagged accumulator encodings
+/// (`Acc::to_value`), stored through the same bucket writer the grace
+/// join uses.
+#[derive(Clone)]
+pub struct AggLayout {
+    side: SideLayout,
+}
+
+impl AggLayout {
+    /// Layout for group keys with the given column types.
+    pub fn new(key_dtypes: Vec<DataType>) -> AggLayout {
+        AggLayout {
+            side: SideLayout::new(
+                key_dtypes,
+                vec![DataType::Array(Box::new(DataType::String))],
+            ),
+        }
+    }
+}
+
+fn accs_row(accs: &[Acc]) -> Row {
+    Row::new(vec![Value::Array(Arc::new(accs.iter().map(Acc::to_value).collect()))])
+}
+
+fn accs_from_row(row: Row) -> Vec<Acc> {
+    match row.into_values().pop() {
+        Some(Value::Array(items)) => items.iter().map(Acc::from_value).collect(),
+        _ => panic!("corrupt aggregate spill entry"),
+    }
+}
+
+/// Rough reservation size of one aggregation-table entry.
+fn entry_bytes(key: &Row, accs: &[Acc]) -> u64 {
+    key.approx_bytes() + 16 + accs.iter().map(Acc::approx_bytes).sum::<u64>()
+}
+
+/// Merge a stream of `(key, accumulators)` partials into one set of final
+/// accumulators per key, spilling the hash table under memory pressure:
+/// a denied grow dumps the table to disk partitioned by depth-salted key
+/// hash, and each bucket merges recursively. Output order is
+/// unspecified (hash order), like the in-memory combine.
+pub fn merge_agg_partition(
+    input: BoxIter<(Row, Vec<Acc>)>,
+    layout: &AggLayout,
+    ctx: &SpillCtx,
+    depth: usize,
+) -> Vec<(Row, Vec<Acc>)> {
+    let mut reservation = ctx.pool.register();
+    let reserve = depth < MAX_DEPTH;
+    let mut table: HashMap<Row, Vec<Acc>> = HashMap::new();
+    let mut buckets: Option<SpillBuckets> = None;
+    for (key, accs) in input {
+        let bytes = entry_bytes(&key, &accs);
+        if reserve && !reservation.try_grow(bytes) && !table.is_empty() {
+            let dump =
+                buckets.get_or_insert_with(|| SpillBuckets::new(layout.side.clone(), depth));
+            for (k, a) in table.drain() {
+                dump.push(ctx, &Some(k), &accs_row(&a));
+            }
+            reservation.free();
+            reservation.try_grow(bytes);
+        }
+        match table.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let merged: Vec<Acc> = std::mem::take(e.get_mut())
+                    .into_iter()
+                    .zip(accs)
+                    .map(|(a, b)| crate::execution::merge_acc(a, b))
+                    .collect();
+                *e.get_mut() = merged;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(accs);
+            }
+        }
+    }
+    let Some(mut dump) = buckets else {
+        return table.into_iter().collect();
+    };
+    // Dump the final table too, then merge each bucket recursively.
+    for (k, a) in table.drain() {
+        dump.push(ctx, &Some(k), &accs_row(&a));
+    }
+    reservation.free();
+    let mut out = Vec::new();
+    for sub in dump.finish(ctx) {
+        let decoded: BoxIter<(Row, Vec<Acc>)> = Box::new(sub.map(move |(k, acc_row)| {
+            (k.expect("aggregate spill entry lost its key"), accs_from_row(acc_row))
+        }));
+        out.extend(merge_agg_partition(decoded, layout, ctx, depth + 1));
+    }
+    out
+}

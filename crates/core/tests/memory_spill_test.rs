@@ -1,0 +1,180 @@
+//! End-to-end tests for memory-governed execution: the acceptance
+//! scenario (join + aggregate + sort over an input larger than the
+//! budget, spilling to disk, byte-identical results), the `SET`-statement
+//! surface over the memory confs, and spill-directory routing + cleanup.
+
+use spark_sql::prelude::*;
+use std::sync::Arc;
+
+fn fact_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        StructField::new("k", DataType::Long, true),
+        StructField::new("v", DataType::Long, true),
+        StructField::new("s", DataType::String, true),
+    ]))
+}
+
+fn dim_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        StructField::new("dk", DataType::Long, true),
+        StructField::new("w", DataType::String, true),
+    ]))
+}
+
+fn fact_rows(n: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                if i % 11 == 0 { Value::Null } else { Value::Long(i % 32) },
+                Value::Long(i),
+                Value::str(format!("payload-{:04}", i % 997)),
+            ])
+        })
+        .collect()
+}
+
+fn dim_rows() -> Vec<Row> {
+    (0..32).map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))])).collect()
+}
+
+/// Join + aggregate + sort with `budget` bytes (0 = unbounded); returns
+/// the result rows in final (sorted) order plus the query handle.
+fn run_pipeline(budget: u64) -> (Vec<String>, QueryExecution, SQLContext) {
+    let ctx = SQLContext::new_local(2);
+    ctx.set_conf(|c| {
+        c.memory_budget_bytes = budget;
+        // Pin the shuffled-join path: broadcast builds are bounded by the
+        // planner's size threshold, not the memory pool.
+        c.broadcast_threshold = 0;
+        c.shuffle_partitions = 4;
+    });
+    let fact_rdd = ctx.spark_context().parallelize(fact_rows(4000), 3);
+    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), fact_rdd).unwrap();
+    let dim = ctx.create_dataframe(dim_schema(), dim_rows()).unwrap();
+    // Dim joins fact (hash joins build the right stream: the big side).
+    let df = dim
+        .join(&fact, JoinType::Inner, Some(col("dk").eq(col("k"))))
+        .unwrap()
+        .group_by(vec![col("v").rem(lit(509i64)).alias("g")])
+        .agg(vec![count_star().alias("n"), sum(col("v")).alias("sv"), min(col("s")).alias("ms")])
+        .unwrap()
+        .order_by(vec![col("sv").desc(), col("g").asc()])
+        .unwrap();
+    let qe = df.query_execution().unwrap();
+    let rows = qe.collect().unwrap().iter().map(|r| format!("{r:?}")).collect();
+    (rows, qe, ctx)
+}
+
+#[test]
+fn join_aggregate_sort_spills_and_matches_unbounded() {
+    let budget = 16 << 10;
+    let (expect, unbounded_qe, _ctx) = run_pipeline(0);
+    assert!(unbounded_qe.memory_stats().is_none(), "unbounded run reported pool stats");
+    assert!(!expect.is_empty());
+
+    let (got, qe, ctx) = run_pipeline(budget);
+    // Byte-identical results, in the same (sorted) output order.
+    assert_eq!(got, expect, "bounded run diverged from unbounded results");
+
+    let stats = qe.memory_stats().expect("bounded run must expose pool stats");
+    assert_eq!(stats.budget, budget);
+    assert!(stats.spill_count > 0, "input 4000 rows never spilled under a 16 KiB budget");
+    assert!(stats.spill_bytes > 0);
+    assert!(
+        stats.peak <= budget,
+        "peak reservation {} exceeded the {budget}-byte budget",
+        stats.peak
+    );
+    assert_eq!(
+        stats.spill_files_created, stats.spill_files_deleted,
+        "spill files leaked past query completion"
+    );
+    assert!(stats.spill_files_created > 0);
+
+    // EXPLAIN ANALYZE carries the pool summary and per-operator spill
+    // annotations on the operators that actually spilled.
+    let text = qe.explain_analyze().unwrap();
+    assert!(text.contains("== Memory =="), "{text}");
+    assert!(text.contains("peak reserved:"), "{text}");
+    assert!(text.contains("spilled buffers:"), "{text}");
+    assert!(text.contains("spill_count="), "{text}");
+    assert!(text.contains("spill_bytes="), "{text}");
+
+    // The session query log serializes the same counters.
+    let json = ctx.query_log_json();
+    assert!(json.contains("\"memory\":{\"budget\":16384"), "{json}");
+    assert!(json.contains("\"spill_count\":"), "{json}");
+}
+
+#[test]
+fn set_statement_controls_memory_confs_end_to_end() {
+    let ctx = SQLContext::new_local(2);
+    // SET key=value parses byte suffixes and echoes the stored value.
+    let rows = ctx.sql("SET spark.sql.memory.budgetBytes=8k").unwrap().collect().unwrap();
+    assert_eq!(format!("{rows:?}"), format!("{:?}", vec![Row::new(vec![
+        Value::str("spark.sql.memory.budgetBytes"),
+        Value::str("8192"),
+    ])]));
+    assert_eq!(ctx.conf().memory_budget_bytes, 8192);
+
+    // SET key reads it back; bare SET lists every registry key.
+    let rows = ctx.sql("SET spark.sql.memory.budgetBytes").unwrap().collect().unwrap();
+    assert_eq!(rows[0].values()[1], Value::str("8192"));
+    let all = ctx.sql("SET").unwrap().collect().unwrap();
+    assert_eq!(all.len(), SqlConf::valid_keys().len());
+    assert!(all
+        .iter()
+        .any(|r| r.values()[0] == Value::str("spark.sql.memory.spillEnabled")));
+
+    // Unknown keys error through SQL exactly like ctx.set.
+    let err = ctx.sql("SET spark.sql.memory.budget=1").unwrap_err().to_string();
+    assert!(err.contains("unknown config key"), "{err}");
+
+    // The budget set via SQL governs subsequent executions.
+    let rdd = ctx.spark_context().parallelize(fact_rows(3000), 3);
+    let df = ctx
+        .dataframe_from_rdd("fact", fact_schema(), rdd)
+        .unwrap()
+        .order_by(vec![col("s").asc(), col("v").asc()])
+        .unwrap();
+    let qe = df.query_execution().unwrap();
+    let n = qe.collect().unwrap().len();
+    assert_eq!(n, 3000);
+    let stats = qe.memory_stats().expect("SET budget must reach the executor pool");
+    assert_eq!(stats.budget, 8192);
+    assert!(stats.spill_count > 0, "3000 rows under 8 KiB never spilled");
+
+    // The escape hatch: spillEnabled=false ignores the budget entirely.
+    ctx.sql("SET spark.sql.memory.spillEnabled=false").unwrap().collect().unwrap();
+    let qe2 = df.query_execution().unwrap();
+    assert_eq!(qe2.collect().unwrap().len(), 3000);
+    assert!(qe2.memory_stats().is_none(), "escape hatch did not disable the pool");
+}
+
+#[test]
+fn spill_dir_conf_routes_files_and_cleans_up() {
+    let dir = std::env::temp_dir().join(format!("spill-conf-{}", std::process::id()));
+    let ctx = SQLContext::new_local(2);
+    ctx.set("spark.sql.memory.budgetBytes", "8k").unwrap();
+    ctx.set("spark.sql.memory.spillDir", dir.to_str().unwrap()).unwrap();
+    assert_eq!(ctx.conf().spill_path(), dir);
+
+    let rdd = ctx.spark_context().parallelize(fact_rows(3000), 3);
+    let df = ctx
+        .dataframe_from_rdd("fact", fact_schema(), rdd)
+        .unwrap()
+        .order_by(vec![col("v").desc()])
+        .unwrap();
+    let qe = df.query_execution().unwrap();
+    assert_eq!(qe.collect().unwrap().len(), 3000);
+    let stats = qe.memory_stats().unwrap();
+    assert!(stats.spill_files_created > 0, "sort never wrote a spill file");
+
+    // The configured directory was used — and is empty again: every
+    // spill file was deleted when its buffer was consumed.
+    assert!(dir.is_dir(), "spill dir was not created at {}", dir.display());
+    let leftover: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(leftover.is_empty(), "leftover spill files: {leftover:?}");
+    assert_eq!(stats.spill_files_created, stats.spill_files_deleted);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -224,16 +224,22 @@ fn reader_writer_colfile_roundtrip_default_format() {
 }
 
 #[test]
-fn deprecated_save_helpers_still_work() {
+fn writer_overwrites_csv_in_place() {
     let ctx = SQLContext::new_local(2);
     let dir = std::env::temp_dir().join(format!("obs-dep-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("old.csv");
-    #[allow(deprecated)]
-    users(&ctx).save_as_csv(path.to_str().unwrap()).unwrap();
-    // The old helpers keep their overwrite-in-place behavior.
-    #[allow(deprecated)]
-    users(&ctx).save_as_csv(path.to_str().unwrap()).unwrap();
+    let save = |ctx: &SQLContext| {
+        users(ctx)
+            .write()
+            .format("csv")
+            .mode(SaveMode::Overwrite)
+            .save(path.to_str().unwrap())
+            .unwrap()
+    };
+    save(&ctx);
+    // Overwrite mode replaces the file in place.
+    save(&ctx);
     assert!(path.exists());
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -288,9 +294,16 @@ fn explain_analyze_counts_batches_on_the_vectorized_path() {
         .select(vec![col("name"), col("age")])
         .unwrap();
     let text = df.explain_analyze().unwrap();
-    let plan_lines: Vec<&str> = text
+    // Only the executed-plan section holds operator lines; later sections
+    // (totals, and under a budget "== Memory ==") are not operators.
+    let executed = text
+        .split("Physical Plan (executed) ==\n")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no executed-plan section:\n{text}"));
+    let plan_lines: Vec<&str> = executed
         .lines()
-        .filter(|l| !l.starts_with("==") && !l.starts_with("output rows") && !l.trim().is_empty())
+        .take_while(|l| !l.starts_with("=="))
+        .filter(|l| !l.trim().is_empty())
         .collect();
     for line in &plan_lines {
         assert!(line.contains("batches="), "missing batches= in: {line}\n{text}");

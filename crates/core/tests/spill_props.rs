@@ -1,0 +1,356 @@
+//! Differential property tests for memory-governed execution: randomly
+//! generated join/aggregate/sort plans executed under a byte budget small
+//! enough to force spilling must produce results byte-identical to the
+//! unbounded all-in-memory path — across vectorize × adaptive on/off —
+//! while the pool's high-water mark never exceeds the budget and every
+//! spill file written is deleted by the end of the run, including runs
+//! with chaos-injected task failures.
+//!
+//! Same deterministic seeded-sweep style as `adaptive_diff_props.rs` and
+//! `chaos_props.rs` (the build vendors only a minimal rand shim).
+//! Meaningfulness floors prove the sweep actually spilled — in all three
+//! governed operators — instead of vacuously comparing in-memory runs.
+
+use engine::{ChaosConf, ChaosPlan, MemoryStats};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spark_sql::prelude::*;
+use std::sync::Arc;
+
+const ITERS: u64 = 48;
+
+fn fact_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        StructField::new("k", DataType::Long, true),
+        StructField::new("v", DataType::Long, true),
+        StructField::new("s", DataType::String, true),
+    ]))
+}
+
+fn dim_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        StructField::new("dk", DataType::Long, true),
+        StructField::new("w", DataType::String, true),
+    ]))
+}
+
+const STR_POOL: &[&str] = &["engineering", "sales", "", "operations", "человек", "hr"];
+
+/// Fact rows with a string payload so buffered bytes grow fast enough to
+/// overrun small budgets; ~10% NULL keys exercise the null-bucket and
+/// null-sentinel paths through spilling joins and aggregates.
+fn arb_fact_rows(rng: &mut StdRng) -> Vec<Row> {
+    let n = rng.random_range(100usize..700);
+    (0..n)
+        .map(|i| {
+            let k = if rng.random_bool(0.1) {
+                Value::Null
+            } else {
+                Value::Long(rng.random_range(0i64..24))
+            };
+            let s = if rng.random_bool(0.05) {
+                Value::Null
+            } else {
+                Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())])
+            };
+            Row::new(vec![k, Value::Long(i as i64), s])
+        })
+        .collect()
+}
+
+fn arb_dim_rows(rng: &mut StdRng) -> Vec<Row> {
+    let m = rng.random_range(1usize..48);
+    (0..m)
+        .map(|_| {
+            let dk = if rng.random_bool(0.1) {
+                Value::Null
+            } else {
+                Value::Long(rng.random_range(0i64..24))
+            };
+            Row::new(vec![dk, Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())])])
+        })
+        .collect()
+}
+
+struct GenQuery {
+    fact_rows: Vec<Row>,
+    dim_rows: Vec<Row>,
+    join: Option<JoinType>,
+    aggregate: bool,
+    sort: bool,
+    vectorize: bool,
+    adaptive: bool,
+    budget: u64,
+}
+
+fn arb_query(rng: &mut StdRng) -> GenQuery {
+    let join = match rng.random_range(0u32..10) {
+        0 | 1 => None,
+        2..=5 => Some(JoinType::Inner),
+        6 | 7 => Some(JoinType::Left),
+        8 => Some(JoinType::Right),
+        _ => Some(JoinType::Full),
+    };
+    let aggregate = rng.random_bool(0.5);
+    let mut sort = rng.random_bool(0.5);
+    if join.is_none() && !aggregate {
+        sort = true; // always at least one governed operator
+    }
+    GenQuery {
+        fact_rows: arb_fact_rows(rng),
+        dim_rows: arb_dim_rows(rng),
+        join,
+        aggregate,
+        sort,
+        vectorize: rng.random_bool(0.5),
+        adaptive: rng.random_bool(0.5),
+        budget: [4u64 << 10, 8 << 10, 16 << 10][rng.random_range(0usize..3)],
+    }
+}
+
+struct Outcome {
+    rows: Vec<String>,
+    stats: Option<MemoryStats>,
+    /// Physical-operator names that recorded a nonzero `spill_count`.
+    spilled_ops: Vec<String>,
+}
+
+/// Execute `q` on a fresh context under `budget` bytes (0 = unbounded).
+fn run(q: &GenQuery, budget: u64, chaos: Option<Arc<ChaosPlan>>) -> Outcome {
+    let ctx = SQLContext::new_local(2);
+    ctx.spark_context().set_chaos(chaos);
+    ctx.set_conf(|c| {
+        c.vectorize_enabled = q.vectorize;
+        c.adaptive_enabled = q.adaptive;
+        // Broadcast joins are bounded by the planner's threshold, not the
+        // pool; pin the shuffled (governed) path so the sweep means something.
+        c.broadcast_threshold = 0;
+        c.memory_budget_bytes = budget;
+        c.shuffle_partitions = 4;
+    });
+    // Fact over a bare RDD: unknown statistics keep the planner honest.
+    let fact_rdd = ctx.spark_context().parallelize(q.fact_rows.clone(), 3);
+    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), fact_rdd).expect("fact");
+    let mut df = match q.join {
+        // Dim on the left: hash joins build from the right stream, so the
+        // *large* fact table is the side under memory pressure.
+        Some(jt) => {
+            let dim = ctx.create_dataframe(dim_schema(), q.dim_rows.clone()).expect("dim");
+            dim.join(&fact, jt, Some(col("dk").eq(col("k")))).expect("join")
+        }
+        None => fact,
+    };
+    if q.aggregate {
+        df = df
+            // High-cardinality grouping (hundreds of groups) so the
+            // aggregation hash table actually outgrows small budgets.
+            .group_by(vec![col("v").rem(lit(257i64)).alias("g"), col("k")])
+            .agg(vec![
+                count_star().alias("n"),
+                sum(col("v")).alias("sv"),
+                min(col("s")).alias("ms"),
+            ])
+            .expect("aggregate");
+    }
+    if q.sort {
+        let orders = if q.aggregate {
+            vec![col("n").desc(), col("g").asc()]
+        } else {
+            vec![col("s").asc(), col("v").desc()]
+        };
+        df = df.order_by(orders).expect("sort");
+    }
+    let qe = df.query_execution().expect("query_execution");
+    let mut rows: Vec<String> =
+        qe.collect().expect("collect").iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    let spilled_ops = ctx
+        .query_log()
+        .last()
+        .map(|e| {
+            e.operators
+                .iter()
+                .filter(|op| {
+                    op.extras.iter().any(|(k, v)| k == "spill_count" && *v > 0)
+                })
+                .map(|op| op.operator.clone())
+                .collect()
+        })
+        .unwrap_or_default();
+    Outcome { rows, stats: qe.memory_stats(), spilled_ops }
+}
+
+#[test]
+fn spilling_plans_match_unbounded_results() {
+    let mut nonempty = 0u32;
+    let mut spilled_runs = 0u32;
+    let mut join_spills = 0u32;
+    let mut agg_spills = 0u32;
+    let mut sort_spills = 0u32;
+    let mut total_spill_count = 0u64;
+
+    for seed in 0..ITERS {
+        let mut rng = StdRng::seed_from_u64(0x5B11 ^ seed.wrapping_mul(0x9E37_79B9));
+        let q = arb_query(&mut rng);
+
+        let baseline = run(&q, 0, None);
+        assert!(baseline.stats.is_none(), "seed {seed}: unbounded run reported pool stats");
+        assert!(baseline.spilled_ops.is_empty(), "seed {seed}: unbounded run spilled");
+
+        let bounded = run(&q, q.budget, None);
+        assert_eq!(
+            bounded.rows, baseline.rows,
+            "seed {seed}: bounded run diverged (join={:?}, agg={}, sort={}, vec={}, \
+             adaptive={}, budget={})",
+            q.join, q.aggregate, q.sort, q.vectorize, q.adaptive, q.budget
+        );
+        let stats = bounded.stats.expect("bounded run must report pool stats");
+        assert_eq!(stats.budget, q.budget, "seed {seed}");
+        assert!(
+            stats.peak <= stats.budget,
+            "seed {seed}: peak {} exceeded budget {}",
+            stats.peak,
+            stats.budget
+        );
+        assert_eq!(
+            stats.spill_files_created, stats.spill_files_deleted,
+            "seed {seed}: leaked {} spill files",
+            stats.spill_files_created - stats.spill_files_deleted
+        );
+
+        if !baseline.rows.is_empty() {
+            nonempty += 1;
+        }
+        if stats.spill_count > 0 {
+            spilled_runs += 1;
+        }
+        total_spill_count += stats.spill_count;
+        for op in &bounded.spilled_ops {
+            if op.contains("Join") {
+                join_spills += 1;
+            }
+            if op.contains("Aggregate") {
+                agg_spills += 1;
+            }
+            if op.contains("Sort") {
+                sort_spills += 1;
+            }
+        }
+    }
+
+    eprintln!(
+        "spill sweep: spilled_runs={spilled_runs}/{ITERS} total_spills={total_spill_count} \
+         join={join_spills} agg={agg_spills} sort={sort_spills}"
+    );
+    // Meaningfulness floors: the budgets must actually force disk spills,
+    // and all three governed operators must have taken their spill path.
+    assert!(nonempty > ITERS as u32 / 2, "only {nonempty} non-empty results");
+    assert!(spilled_runs > ITERS as u32 / 3, "only {spilled_runs} runs spilled");
+    assert!(join_spills >= 3, "hash join spilled in only {join_spills} runs");
+    assert!(agg_spills >= 3, "hash aggregate spilled in only {agg_spills} runs");
+    assert!(sort_spills >= 3, "sort spilled in only {sort_spills} runs");
+}
+
+/// External sort must reproduce the in-memory sort *exactly* — including
+/// the order of rows with equal keys (stable, arrival order) — when sort
+/// is the only operator, so both paths see the same input sequence.
+#[test]
+fn external_sort_reproduces_in_memory_order_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x50FA);
+    let q = GenQuery {
+        // Heavy key duplication: the string pool has 6 values over ~600
+        // rows, so ties dominate and any instability would reorder them.
+        fact_rows: (0..600)
+            .map(|_| {
+                Row::new(vec![
+                    Value::Long(rng.random_range(0i64..4)),
+                    Value::Long(rng.random_range(0i64..3)),
+                    Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())]),
+                ])
+            })
+            .chain((0..600).map(|i| {
+                Row::new(vec![Value::Null, Value::Long(i % 2), Value::Null])
+            }))
+            .collect(),
+        dim_rows: vec![],
+        join: None,
+        aggregate: false,
+        sort: false, // ordered below, un-sorted comparison
+        vectorize: false,
+        adaptive: false,
+        budget: 4 << 10,
+    };
+    let order = |budget: u64| {
+        let ctx = SQLContext::new_local(2);
+        ctx.set_conf(|c| {
+            c.memory_budget_bytes = budget;
+            c.vectorize_enabled = false;
+        });
+        let rdd = ctx.spark_context().parallelize(q.fact_rows.clone(), 3);
+        let df = ctx
+            .dataframe_from_rdd("fact", fact_schema(), rdd)
+            .unwrap()
+            .order_by(vec![col("s").asc(), col("k").desc()])
+            .unwrap();
+        let qe = df.query_execution().unwrap();
+        let rows: Vec<String> =
+            qe.collect().unwrap().iter().map(|r| format!("{r:?}")).collect();
+        (rows, qe.memory_stats())
+    };
+    let (expect, none) = order(0);
+    assert!(none.is_none());
+    let (got, stats) = order(q.budget);
+    let stats = stats.unwrap();
+    assert!(stats.spill_count > 0, "external sort never spilled");
+    assert!(stats.peak <= stats.budget);
+    // Exact sequence equality — not a sorted multiset.
+    assert_eq!(got, expect, "external sort reordered equal-key rows");
+}
+
+/// Spilling under chaos-injected task panics, fetch failures, and
+/// executor deaths: results still match a fault-free unbounded run, and
+/// no spill file outlives the query even when tasks die mid-spill (the
+/// files are dropped during unwind and re-created by the retry).
+#[test]
+fn chaotic_spilling_runs_leak_nothing_and_match() {
+    const CHAOS_ITERS: u64 = 24;
+    let mut faulted = 0u32;
+    let mut spilled = 0u32;
+    for seed in 0..CHAOS_ITERS {
+        let mut rng = StdRng::seed_from_u64(0xC506 ^ seed.wrapping_mul(0x85EB_CA6B));
+        let mut q = arb_query(&mut rng);
+        q.budget = 6 << 10;
+        let baseline = run(&q, 0, None);
+
+        let plan = Arc::new(ChaosPlan::new(ChaosConf {
+            task_fault_prob: 0.08,
+            fetch_fault_prob: 0.08,
+            max_task_panics: 2,
+            max_executor_deaths: 1,
+            max_fetch_failures: 2,
+            ..ChaosConf::seeded(0xFA11 ^ seed.wrapping_mul(0x9E37_79B9))
+        }));
+        let chaotic = run(&q, q.budget, Some(plan.clone()));
+        assert_eq!(
+            chaotic.rows, baseline.rows,
+            "seed {seed}: chaotic spilling run diverged (join={:?}, agg={}, sort={})",
+            q.join, q.aggregate, q.sort
+        );
+        let stats = chaotic.stats.expect("bounded run must report pool stats");
+        assert!(stats.peak <= stats.budget, "seed {seed}: peak above budget");
+        assert_eq!(
+            stats.spill_files_created, stats.spill_files_deleted,
+            "seed {seed}: chaos run leaked spill files"
+        );
+        let s = plan.stats();
+        if s.task_panics + s.executor_deaths + s.fetch_failures > 0 {
+            faulted += 1;
+        }
+        if stats.spill_count > 0 {
+            spilled += 1;
+        }
+    }
+    eprintln!("chaos spill sweep: faulted={faulted}/{CHAOS_ITERS} spilled={spilled}/{CHAOS_ITERS}");
+    assert!(faulted >= CHAOS_ITERS as u32 / 3, "only {faulted} runs saw a fault");
+    assert!(spilled >= CHAOS_ITERS as u32 / 3, "only {spilled} runs spilled");
+}

@@ -54,6 +54,7 @@ pub mod context;
 pub mod error;
 pub mod exchange;
 pub mod hdfs;
+pub mod memory;
 pub mod metrics;
 pub mod ops;
 pub mod pair;
@@ -68,6 +69,7 @@ pub use chaos::{ChaosConf, ChaosPlan, ChaosStats, FaultKind};
 pub use context::{EngineConf, SparkContext};
 pub use error::{EngineError, Result};
 pub use exchange::{MaterializedShuffle, ShuffleReadSpec};
+pub use memory::{MemoryPool, MemoryReservation, MemoryStats, SpillFile};
 pub use pair::PairRdd;
 pub use partitioner::{HashPartitioner, Partitioner, RangePartitioner};
 pub use rdd::{BoxIter, Data, Rdd, RddBase, RddRef};

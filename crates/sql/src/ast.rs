@@ -45,4 +45,12 @@ pub enum Statement {
         /// Table to describe.
         name: String,
     },
+    /// `SET` / `SET key` / `SET key=value` — inspect or change session
+    /// runtime configuration through the conf registry.
+    Set {
+        /// Config key (`None` for bare `SET`, which lists everything).
+        key: Option<String>,
+        /// New value (`None` just reads the key).
+        value: Option<String>,
+    },
 }

@@ -127,7 +127,63 @@ impl Parser {
             self.next();
             return Ok(Statement::Describe { name: self.ident()? });
         }
+        if self.at_keyword("SET") {
+            self.next();
+            return self.set_statement();
+        }
         Ok(Statement::Query(self.query()?))
+    }
+
+    /// `SET` | `SET key` | `SET key = value`. Keys are dotted identifiers
+    /// (`spark.sql.shuffle.partitions`); values are a string literal or a
+    /// bare token run (`false`, `8`, `64k`, `2.5`).
+    fn set_statement(&mut self) -> Result<Statement> {
+        if matches!(self.peek(), Token::Eof) {
+            return Ok(Statement::Set { key: None, value: None });
+        }
+        let mut key = self.ident()?;
+        while self.eat(&Token::Dot) {
+            key.push('.');
+            key.push_str(&self.ident()?);
+        }
+        if !self.eat(&Token::Eq) {
+            return Ok(Statement::Set { key: Some(key), value: None });
+        }
+        let value = match self.peek().clone() {
+            Token::StringLit(s) => {
+                self.next();
+                s
+            }
+            _ => {
+                // Unquoted values: join the remaining token texts with no
+                // separator, so `64k` (lexed as `64`, `k`) and `1.5` come
+                // back out intact.
+                let mut out = String::new();
+                loop {
+                    match self.next() {
+                        Token::Ident(s) | Token::QuotedIdent(s) => out.push_str(&s),
+                        Token::Number(n) => out.push_str(&n.to_string()),
+                        Token::Float(f) => out.push_str(&f.to_string()),
+                        Token::Minus => out.push('-'),
+                        Token::Dot => out.push('.'),
+                        Token::Eof => break,
+                        other => {
+                            return Err(CatalystError::Parse(format!(
+                                "unexpected '{other}' in SET value (quote it?)"
+                            )))
+                        }
+                    }
+                    if matches!(self.peek(), Token::Eof) {
+                        break;
+                    }
+                }
+                if out.is_empty() {
+                    return Err(CatalystError::Parse("SET is missing a value after '='".into()));
+                }
+                out
+            }
+        };
+        Ok(Statement::Set { key: Some(key), value: Some(value) })
     }
 
     fn create_temp_table(&mut self) -> Result<Statement> {
