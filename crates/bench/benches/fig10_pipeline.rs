@@ -16,7 +16,11 @@ const PARTITIONS: usize = 8;
 
 fn corpus(ctx: &SQLContext) -> DataFrame {
     let msgs = Arc::new(textgen::messages(MESSAGES, 0.9, 0xF16));
-    let schema = Arc::new(Schema::new(vec![StructField::new("text", DataType::String, false)]));
+    let schema = Arc::new(Schema::new(vec![StructField::new(
+        "text",
+        DataType::String,
+        false,
+    )]));
     let sc = ctx.spark_context().clone();
     let per = MESSAGES.div_ceil(PARTITIONS);
     let rdd = sc.generate(PARTITIONS, move |p| {
@@ -31,7 +35,9 @@ fn corpus(ctx: &SQLContext) -> DataFrame {
 fn word_count(lines: &engine::RddRef<String>) -> u64 {
     lines
         .flat_map(|line: String| {
-            line.split_whitespace().map(|w| (w.to_string(), 1u64)).collect::<Vec<_>>()
+            line.split_whitespace()
+                .map(|w| (w.to_string(), 1u64))
+                .collect::<Vec<_>>()
         })
         .reduce_by_key(|a, b| a + b, PARTITIONS)
         .count()

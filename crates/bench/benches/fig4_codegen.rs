@@ -11,7 +11,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn x() -> Expr {
-    Expr::BoundRef { index: 0, dtype: DataType::Long, nullable: false, name: "x".into() }
+    Expr::BoundRef {
+        index: 0,
+        dtype: DataType::Long,
+        nullable: false,
+        name: "x".into(),
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -24,7 +29,9 @@ fn bench(c: &mut Criterion) {
     });
 
     let compiled = codegen::compile(&expr);
-    let codegen::Compiled::Long(f) = &compiled else { panic!() };
+    let codegen::Compiled::Long(f) = &compiled else {
+        panic!()
+    };
     group.bench_function("generated", |b| b.iter(|| f(black_box(&row))));
 
     group.bench_function("hand_written", |b| {

@@ -6,7 +6,11 @@ use bench::amplab::{self, native, AmplabScale};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let scale = AmplabScale { pages: 20_000, visits: 50_000, documents: 5_000 };
+    let scale = AmplabScale {
+        pages: 20_000,
+        visits: 50_000,
+        documents: 5_000,
+    };
     let data = amplab::generate(scale);
     let shark = amplab::make_context(&data, spark_sql::SqlConf::shark_like(), 4);
     let sparksql = amplab::make_context(&data, spark_sql::SqlConf::default(), 4);

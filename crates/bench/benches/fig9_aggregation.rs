@@ -38,7 +38,10 @@ fn bench(c: &mut Criterion) {
                 }))
             });
             data.map(|x| {
-                (x.attr("a"), DynValue::tuple(vec![x.attr("b"), DynValue::Int(1)]))
+                (
+                    x.attr("a"),
+                    DynValue::tuple(vec![x.attr("b"), DynValue::Int(1)]),
+                )
             })
             .reduce_by_key(
                 |x, y| DynValue::tuple(vec![x.item(0).add(&y.item(0)), x.item(1).add(&y.item(1))]),
@@ -72,7 +75,9 @@ fn bench(c: &mut Criterion) {
                     Row::new(vec![Value::Long(a), Value::Double(bb)])
                 }))
             });
-            let df = ctx.dataframe_from_rdd("pairs", schema.clone(), rdd).unwrap();
+            let df = ctx
+                .dataframe_from_rdd("pairs", schema.clone(), rdd)
+                .unwrap();
             df.group_by_cols(&["a"]).avg("b").unwrap().count().unwrap()
         })
     });

@@ -36,7 +36,11 @@ pub struct AmplabScale {
 
 impl Default for AmplabScale {
     fn default() -> Self {
-        AmplabScale { pages: 100_000, visits: 300_000, documents: 20_000 }
+        AmplabScale {
+            pages: 100_000,
+            visits: 300_000,
+            documents: 20_000,
+        }
     }
 }
 
@@ -69,7 +73,9 @@ pub fn generate(scale: AmplabScale) -> AmplabData {
             )
         })
         .collect();
-    let words = ["the", "quick", "brown", "fox", "data", "spark", "query", "web"];
+    let words = [
+        "the", "quick", "brown", "fox", "data", "spark", "query", "web",
+    ];
     let documents: Vec<String> = (0..scale.documents)
         .map(|i| {
             let mut doc = String::new();
@@ -81,7 +87,11 @@ pub fn generate(scale: AmplabScale) -> AmplabData {
             doc
         })
         .collect();
-    AmplabData { rankings, uservisits, documents }
+    AmplabData {
+        rankings,
+        uservisits,
+        documents,
+    }
 }
 
 /// Register the dataset as tables in a context configured per `conf`.
@@ -99,7 +109,8 @@ pub fn make_context(data: &AmplabData, conf: SqlConf, threads: usize) -> SQLCont
         .iter()
         .map(|(u, r, d)| Row::new(vec![Value::str(u), Value::Int(*r), Value::Int(*d)]))
         .collect();
-    ctx.register_rows("rankings", rankings_schema, rankings_rows).unwrap();
+    ctx.register_rows("rankings", rankings_schema, rankings_rows)
+        .unwrap();
 
     let visits_schema = Arc::new(Schema::new(vec![
         StructField::new("sourceIP", DataType::String, false),
@@ -119,13 +130,21 @@ pub fn make_context(data: &AmplabData, conf: SqlConf, threads: usize) -> SQLCont
             ])
         })
         .collect();
-    ctx.register_rows("uservisits", visits_schema, visits_rows).unwrap();
+    ctx.register_rows("uservisits", visits_schema, visits_rows)
+        .unwrap();
 
-    let docs_schema =
-        Arc::new(Schema::new(vec![StructField::new("text", DataType::String, false)]));
-    let docs_rows: Vec<Row> =
-        data.documents.iter().map(|d| Row::new(vec![Value::str(d)])).collect();
-    ctx.register_rows("documents", docs_schema, docs_rows).unwrap();
+    let docs_schema = Arc::new(Schema::new(vec![StructField::new(
+        "text",
+        DataType::String,
+        false,
+    )]));
+    let docs_rows: Vec<Row> = data
+        .documents
+        .iter()
+        .map(|d| Row::new(vec![Value::str(d)]))
+        .collect();
+    ctx.register_rows("documents", docs_schema, docs_rows)
+        .unwrap();
     ctx
 }
 
@@ -252,8 +271,11 @@ pub mod native {
         let hi = parse_date(hi_date).unwrap();
         let lo = parse_date("1980-01-01").unwrap();
         // Build phase (like the hash join build side).
-        let ranks: HashMap<&str, i32> =
-            data.rankings.iter().map(|(u, r, _)| (u.as_str(), *r)).collect();
+        let ranks: HashMap<&str, i32> = data
+            .rankings
+            .iter()
+            .map(|(u, r, _)| (u.as_str(), *r))
+            .collect();
         let partials = chunked(&data.uservisits, threads, |chunk| {
             let mut m: HashMap<&str, (f64, i64, i64)> = HashMap::new();
             for (ip, url, date, rev) in chunk {
@@ -315,7 +337,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> AmplabData {
-        generate(AmplabScale { pages: 2000, visits: 5000, documents: 500 })
+        generate(AmplabScale {
+            pages: 2000,
+            visits: 5000,
+            documents: 500,
+        })
     }
 
     #[test]

@@ -27,13 +27,28 @@ fn main() {
 
 fn codegen_ablation() {
     println!("== codegen on/off (AMPLab q1c + q2a) ==");
-    let data = amplab::generate(AmplabScale { pages: 100_000, visits: 200_000, documents: 0 });
+    let data = amplab::generate(AmplabScale {
+        pages: 100_000,
+        visits: 200_000,
+        documents: 0,
+    });
     for (label, codegen) in [("codegen on", true), ("codegen off", false)] {
-        let conf = SqlConf { codegen_enabled: codegen, ..SqlConf::default() };
+        let conf = SqlConf {
+            codegen_enabled: codegen,
+            ..SqlConf::default()
+        };
         let ctx = amplab::make_context(&data, conf, 4);
-        let t1 = median_time(3, || ctx.sql(&amplab::query("1c")).unwrap().count().unwrap());
-        let t2 = median_time(3, || ctx.sql(&amplab::query("2a")).unwrap().count().unwrap());
-        println!("  {label:<12} q1c {:>7.1}ms   q2a {:>7.1}ms", ms(t1), ms(t2));
+        let t1 = median_time(3, || {
+            ctx.sql(&amplab::query("1c")).unwrap().count().unwrap()
+        });
+        let t2 = median_time(3, || {
+            ctx.sql(&amplab::query("2a")).unwrap().count().unwrap()
+        });
+        println!(
+            "  {label:<12} q1c {:>7.1}ms   q2a {:>7.1}ms",
+            ms(t1),
+            ms(t2)
+        );
     }
     println!();
 }
@@ -48,7 +63,11 @@ fn pushdown_ablation() {
     ]));
     let rows: Vec<Row> = (0..50_000)
         .map(|i| {
-            Row::new(vec![Value::Long(i), Value::Long(i % 100), Value::str("x".repeat(64))])
+            Row::new(vec![
+                Value::Long(i),
+                Value::Long(i % 100),
+                Value::str("x".repeat(64)),
+            ])
         })
         .collect();
     db.create_table("events", schema, rows);
@@ -60,9 +79,11 @@ fn pushdown_ablation() {
             c.pushdown_enabled = pushdown;
             c.column_pruning_enabled = pushdown;
         });
-        ctx.sql("CREATE TEMPORARY TABLE events USING jdbc \
-                 OPTIONS(url 'jdbc:sim://events', table 'events')")
-            .unwrap();
+        ctx.sql(
+            "CREATE TEMPORARY TABLE events USING jdbc \
+                 OPTIONS(url 'jdbc:sim://events', table 'events')",
+        )
+        .unwrap();
         db.reset_meters();
         let n = ctx
             .sql("SELECT id FROM events WHERE grp = 7")
@@ -80,9 +101,16 @@ fn pushdown_ablation() {
 
 fn cache_ablation() {
     println!("== columnar vs object cache (1M-row cached table) ==");
-    let data = amplab::generate(AmplabScale { pages: 300_000, visits: 0, documents: 0 });
+    let data = amplab::generate(AmplabScale {
+        pages: 300_000,
+        visits: 0,
+        documents: 0,
+    });
     for (label, columnar) in [("columnar cache", true), ("object cache", false)] {
-        let conf = SqlConf { columnar_cache_enabled: columnar, ..SqlConf::default() };
+        let conf = SqlConf {
+            columnar_cache_enabled: columnar,
+            ..SqlConf::default()
+        };
         let ctx = amplab::make_context(&data, conf, 4);
         ctx.sql("CACHE TABLE rankings").unwrap();
         // Materialize + query.
@@ -126,8 +154,10 @@ fn broadcast_crossover() {
         let mut times = Vec::new();
         for threshold in [u64::MAX / 8, 0] {
             let ctx = ctx_for(threshold);
-            ctx.register_rows("dim", dim_schema.clone(), dims.clone()).unwrap();
-            ctx.register_rows("fact", fact_schema.clone(), facts.clone()).unwrap();
+            ctx.register_rows("dim", dim_schema.clone(), dims.clone())
+                .unwrap();
+            ctx.register_rows("fact", fact_schema.clone(), facts.clone())
+                .unwrap();
             let t = median_time(3, || {
                 ctx.sql("SELECT count(*) FROM fact JOIN dim ON fact.fk = dim.k")
                     .unwrap()

@@ -50,24 +50,33 @@ fn fact_rows(n: usize, hot_pct: u64, domain: i64) -> Vec<Row> {
     (0..n)
         .map(|i| {
             let z = splitmix(i as u64);
-            let k = if z % 100 < hot_pct { 3 } else { (z >> 8) as i64 % domain };
+            let k = if z % 100 < hot_pct {
+                3
+            } else {
+                (z >> 8) as i64 % domain
+            };
             Row::new(vec![Value::Long(k), Value::Long(i as i64)])
         })
         .collect()
 }
 
 fn dim_rows(n: i64) -> Vec<Row> {
-    (0..n).map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))])).collect()
+    (0..n)
+        .map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))]))
+        .collect()
 }
 
 /// A fact⋈dim DataFrame whose inputs are bare RDDs: statistics unknown,
 /// so the static planner cannot broadcast either side.
 fn join_df(ctx: &SQLContext, fact: &[Row], dim: &[Row]) -> DataFrame {
     let f = ctx.spark_context().parallelize(fact.to_vec(), 8);
-    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), f).expect("fact");
+    let fact = ctx
+        .dataframe_from_rdd("fact", fact_schema(), f)
+        .expect("fact");
     let d = ctx.spark_context().parallelize(dim.to_vec(), 2);
     let dim = ctx.dataframe_from_rdd("dim", dim_schema(), d).expect("dim");
-    fact.join(&dim, JoinType::Inner, Some(col("k").eq(col("dk")))).expect("join")
+    fact.join(&dim, JoinType::Inner, Some(col("k").eq(col("dk"))))
+        .expect("join")
 }
 
 /// Warmup once, then min-of-3 wall clock of `collect().len()`.
@@ -150,7 +159,12 @@ fn run_pair(
         time_min3(|| query(&ctx).collect().expect("collect").len())
     };
     assert_eq!(n1, n2, "{name}: static and adaptive row counts disagree");
-    Workload { name, static_ns, adaptive_ns, rows_out: n1 }
+    Workload {
+        name,
+        static_ns,
+        adaptive_ns,
+        rows_out: n1,
+    }
 }
 
 fn main() {
@@ -163,7 +177,11 @@ fn main() {
     // fact side streams straight into a broadcast probe.
     let fact = fact_rows(600_000, 80, 1_000);
     let dim = dim_rows(2_000);
-    let demotion = run_pair("broadcast_demotion", |_| {}, |ctx| join_df(ctx, &fact, &dim));
+    let demotion = run_pair(
+        "broadcast_demotion",
+        |_| {},
+        |ctx| join_df(ctx, &fact, &dim),
+    );
     {
         let ctx = SQLContext::new_local(4);
         ctx.set_conf(|c| c.adaptive_enabled = true);
@@ -178,14 +196,19 @@ fn main() {
     let skew_fact = fact_rows(800_000, 95, 16);
     let skew_dim = dim_rows(16);
     let skew_conf = |c: &mut spark_sql::SqlConf| c.broadcast_threshold = 0;
-    let skew = run_pair("skew_split", skew_conf, |ctx| join_df(ctx, &skew_fact, &skew_dim));
+    let skew = run_pair("skew_split", skew_conf, |ctx| {
+        join_df(ctx, &skew_fact, &skew_dim)
+    });
     {
         let ctx = SQLContext::new_local(4);
         ctx.set_conf(|c| {
             skew_conf(c);
             c.adaptive_enabled = true;
         });
-        assert_fires(&join_df(&ctx, &skew_fact, &skew_dim), AdaptiveRule::SkewSplit);
+        assert_fires(
+            &join_df(&ctx, &skew_fact, &skew_dim),
+            AdaptiveRule::SkewSplit,
+        );
     }
     skew.print();
 

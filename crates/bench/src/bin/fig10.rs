@@ -28,8 +28,11 @@ const PARTITIONS: usize = 8;
 
 fn corpus(ctx: &SQLContext) -> DataFrame {
     let msgs = textgen::messages(MESSAGES, 0.9, 0xF16);
-    let schema =
-        Arc::new(Schema::new(vec![StructField::new("text", DataType::String, false)]));
+    let schema = Arc::new(Schema::new(vec![StructField::new(
+        "text",
+        DataType::String,
+        false,
+    )]));
     let sc = ctx.spark_context().clone();
     let msgs = Arc::new(msgs);
     let per = MESSAGES.div_ceil(PARTITIONS);
@@ -45,16 +48,16 @@ fn corpus(ctx: &SQLContext) -> DataFrame {
 fn word_count(lines: &engine::RddRef<String>) -> usize {
     lines
         .flat_map(|line: String| {
-            line.split_whitespace().map(|w| (w.to_string(), 1u64)).collect::<Vec<_>>()
+            line.split_whitespace()
+                .map(|w| (w.to_string(), 1u64))
+                .collect::<Vec<_>>()
         })
         .reduce_by_key(|a, b| a + b, PARTITIONS)
         .count() as usize
 }
 
 fn main() {
-    println!(
-        "Figure 10: filter (keeps ~90%) + word count over {MESSAGES} messages\n"
-    );
+    println!("Figure 10: filter (keeps ~90%) + word count over {MESSAGES} messages\n");
     let ctx = SQLContext::new_local(4);
     ctx.set_conf(|c| c.shuffle_partitions = PARTITIONS);
     let df = corpus(&ctx);
@@ -92,7 +95,11 @@ fn main() {
     let m = sc.metrics().snapshot();
     println!("{:<28} {:>12}", "variant", "time (ms)");
     println!("{:<28} {:>12.0}", "separate SQL + Spark jobs", ms(separate));
-    println!("{:<28} {:>12.0}", "integrated DataFrame job", ms(integrated));
+    println!(
+        "{:<28} {:>12.0}",
+        "integrated DataFrame job",
+        ms(integrated)
+    );
     println!(
         "\nspeedup: {:.1}x (paper: ≈2x); distinct words: {words_b}",
         separate.as_secs_f64() / integrated.as_secs_f64()

@@ -21,7 +21,12 @@ use catalyst::value::Value;
 const N: usize = 20_000_000;
 
 fn x() -> Expr {
-    Expr::BoundRef { index: 0, dtype: DataType::Long, nullable: false, name: "x".into() }
+    Expr::BoundRef {
+        index: 0,
+        dtype: DataType::Long,
+        nullable: false,
+        name: "x".into(),
+    }
 }
 
 fn main() {
@@ -74,8 +79,15 @@ fn main() {
 
     let per = |d: std::time::Duration| d.as_secs_f64() * 1e9 / N as f64;
     let billion = |d: std::time::Duration| d.as_secs_f64() * (1e9 / N as f64);
-    println!("{:<14} {:>12} {:>16} {:>18}", "variant", "ns/eval", "total (this N)", "projected 1e9 (s)");
-    for (name, d) in [("interpreted", interpreted), ("hand-written", hand), ("generated", generated)] {
+    println!(
+        "{:<14} {:>12} {:>16} {:>18}",
+        "variant", "ns/eval", "total (this N)", "projected 1e9 (s)"
+    );
+    for (name, d) in [
+        ("interpreted", interpreted),
+        ("hand-written", hand),
+        ("generated", generated),
+    ] {
         println!(
             "{:<14} {:>12.2} {:>14.0}ms {:>18.2}",
             name,

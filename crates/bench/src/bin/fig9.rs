@@ -65,9 +65,7 @@ fn run_python(sc: &SparkContext) -> usize {
             (key, value)
         })
         .reduce_by_key(
-            |x, y| {
-                DynValue::tuple(vec![x.item(0).add(&y.item(0)), x.item(1).add(&y.item(1))])
-            },
+            |x, y| DynValue::tuple(vec![x.item(0).add(&y.item(0)), x.item(1).add(&y.item(1))]),
             PARTITIONS,
         )
         .collect();
@@ -145,7 +143,10 @@ fn main() {
     ctx.set_conf(|c| c.shuffle_partitions = PARTITIONS);
     let t_df = median_time(REPS, || assert_eq!(run_dataframe(&ctx), groups));
 
-    println!("{:<22} {:>12} {:>12}", "variant", "time (ms)", "vs DataFrame");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "variant", "time (ms)", "vs DataFrame"
+    );
     for (name, t) in [
         ("RDD, dynamic (Python)", t_python),
         ("RDD, boxed (Scala)", t_scala_boxed),

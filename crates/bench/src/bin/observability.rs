@@ -67,10 +67,11 @@ fn main() {
     // A second instrumented run through the programmatic handle.
     let qe = query.query_execution().expect("query execution");
     let rows = qe.collect().expect("collect");
-    println!("programmatic run: {} rows, root operator saw {}", rows.len(), qe
-        .metrics()
-        .node(0)
-        .output_rows());
+    println!(
+        "programmatic run: {} rows, root operator saw {}",
+        rows.len(),
+        qe.metrics().node(0).output_rows()
+    );
 
     println!("\n== Query log (JSON) ==\n{}", ctx.query_log_json());
 }

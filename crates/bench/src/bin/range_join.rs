@@ -19,7 +19,10 @@ fn regions(n: usize, seed: u64) -> Vec<Row> {
     (0..n)
         .map(|_| {
             let start = rng.random_range(0..1_000_000i64);
-            Row::new(vec![Value::Long(start), Value::Long(start + rng.random_range(1..300))])
+            Row::new(vec![
+                Value::Long(start),
+                Value::Long(start + rng.random_range(1..300)),
+            ])
         })
         .collect()
 }

@@ -136,10 +136,18 @@ fn run_pair(name: &'static str, query: impl Fn(&SQLContext) -> DataFrame) -> Wor
         // One instrumented run for the pool counters.
         let qe = query(&ctx).query_execution().expect("query_execution");
         qe.collect().expect("collect");
-        (ns, n, qe.memory_stats().expect("bounded run must report pool stats"))
+        (
+            ns,
+            n,
+            qe.memory_stats()
+                .expect("bounded run must report pool stats"),
+        )
     };
     assert_eq!(n1, n2, "{name}: unbounded and spilled row counts disagree");
-    assert!(stats.spill_count > 0, "{name}: never spilled under a {BUDGET}-byte budget");
+    assert!(
+        stats.spill_count > 0,
+        "{name}: never spilled under a {BUDGET}-byte budget"
+    );
     assert!(
         stats.peak <= BUDGET,
         "{name}: peak {} exceeded the {BUDGET}-byte budget",
@@ -186,10 +194,13 @@ fn main() {
         // Dim joins fact: hash joins build the right stream, so the big
         // table is the one under memory pressure.
         let f = ctx.spark_context().parallelize(join_fact.clone(), 4);
-        let fact = ctx.dataframe_from_rdd("fact", fact_schema(), f).expect("fact");
+        let fact = ctx
+            .dataframe_from_rdd("fact", fact_schema(), f)
+            .expect("fact");
         let d = ctx.spark_context().parallelize(dim.clone(), 2);
         let dim = ctx.dataframe_from_rdd("dim", dim_schema(), d).expect("dim");
-        dim.join(&fact, JoinType::Inner, Some(col("dk").eq(col("k")))).expect("join")
+        dim.join(&fact, JoinType::Inner, Some(col("dk").eq(col("k"))))
+            .expect("join")
     });
     join.print();
 
@@ -200,13 +211,21 @@ fn main() {
         ctx.dataframe_from_rdd("fact", fact_schema(), rdd)
             .expect("fact")
             .group_by_cols(&["k"])
-            .agg(vec![count_star().alias("n"), sum(col("v")).alias("sv"), min(col("s")).alias("ms")])
+            .agg(vec![
+                count_star().alias("n"),
+                sum(col("v")).alias("sv"),
+                min(col("s")).alias("ms"),
+            ])
             .expect("agg")
     });
     agg.print();
 
-    let json =
-        format!("{{\n  {},\n  {},\n  {}\n}}\n", sort.json(), join.json(), agg.json());
+    let json = format!(
+        "{{\n  {},\n  {},\n  {}\n}}\n",
+        sort.json(),
+        join.json(),
+        agg.json()
+    );
     std::fs::write("BENCH_spill.json", &json).expect("write BENCH_spill.json");
     println!("\nwrote BENCH_spill.json");
 }

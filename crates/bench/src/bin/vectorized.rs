@@ -138,7 +138,10 @@ fn main() {
     let sfp_speedup = sfp_row as f64 / sfp_vec as f64;
     println!("scan+filter+project   ({n1} rows out)");
     println!("  row path   {:>10.2} ms", sfp_row as f64 / 1e6);
-    println!("  batch path {:>10.2} ms   ({sfp_speedup:.2}x)", sfp_vec as f64 / 1e6);
+    println!(
+        "  batch path {:>10.2} ms   ({sfp_speedup:.2}x)",
+        sfp_vec as f64 / 1e6
+    );
 
     let (agg_row, m1) = time_min3(|| scan_filter_project_agg(&df_row));
     let (agg_vec, m2) = time_min3(|| scan_filter_project_agg(&df_vec));
@@ -146,7 +149,10 @@ fn main() {
     let agg_speedup = agg_row as f64 / agg_vec as f64;
     println!("…+aggregate           ({m1} groups)");
     println!("  row path   {:>10.2} ms", agg_row as f64 / 1e6);
-    println!("  batch path {:>10.2} ms   ({agg_speedup:.2}x)", agg_vec as f64 / 1e6);
+    println!(
+        "  batch path {:>10.2} ms   ({agg_speedup:.2}x)",
+        agg_vec as f64 / 1e6
+    );
 
     // -- from_rows before/after -----------------------------------------
     // Fair end-to-end accounting: the old `&[Row]` API left the caller

@@ -32,7 +32,10 @@ impl DynValue {
     /// Build an "object" with named fields.
     pub fn record(fields: Vec<(&str, DynValue)>) -> DynValue {
         DynValue::Dict(Arc::new(
-            fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
         ))
     }
 
@@ -134,12 +137,18 @@ mod tests {
     #[test]
     fn dynamic_arithmetic_dispatches_by_type() {
         assert_eq!(DynValue::Int(2).add(&DynValue::Int(3)), DynValue::Int(5));
-        assert_eq!(DynValue::Int(2).add(&DynValue::Float(0.5)), DynValue::Float(2.5));
+        assert_eq!(
+            DynValue::Int(2).add(&DynValue::Float(0.5)),
+            DynValue::Float(2.5)
+        );
         assert_eq!(
             DynValue::Str(Arc::from("a")).add(&DynValue::Str(Arc::from("b"))),
             DynValue::Str(Arc::from("ab"))
         );
         assert_eq!(DynValue::Int(1).add(&DynValue::None), DynValue::None);
-        assert_eq!(DynValue::Int(7).div(&DynValue::Int(2)), DynValue::Float(3.5));
+        assert_eq!(
+            DynValue::Int(7).div(&DynValue::Int(2)),
+            DynValue::Float(3.5)
+        );
     }
 }

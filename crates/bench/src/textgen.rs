@@ -6,10 +6,10 @@ use rand::{RngExt, SeedableRng};
 
 /// A small English dictionary (enough for realistic word-count keys).
 pub const DICTIONARY: &[&str] = &[
-    "the", "of", "and", "to", "in", "for", "is", "on", "that", "by", "this", "with", "you",
-    "it", "not", "or", "be", "are", "from", "at", "as", "your", "all", "have", "new", "more",
-    "an", "was", "we", "will", "can", "about", "data", "query", "engine", "cluster", "node",
-    "shuffle", "memory", "columnar", "stream", "batch", "table", "index", "join", "filter",
+    "the", "of", "and", "to", "in", "for", "is", "on", "that", "by", "this", "with", "you", "it",
+    "not", "or", "be", "are", "from", "at", "as", "your", "all", "have", "new", "more", "an",
+    "was", "we", "will", "can", "about", "data", "query", "engine", "cluster", "node", "shuffle",
+    "memory", "columnar", "stream", "batch", "table", "index", "join", "filter",
 ];
 
 /// Generate `n` messages; a fraction `keep` of them contain the marker

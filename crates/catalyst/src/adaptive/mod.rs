@@ -66,7 +66,10 @@ impl RuntimeStatistics {
                 reduce_bytes[r] += b;
             }
         }
-        RuntimeStatistics { reduce_bytes, total_rows: 0 }
+        RuntimeStatistics {
+            reduce_bytes,
+            total_rows: 0,
+        }
     }
 
     /// Total measured bytes across the exchange.
@@ -120,7 +123,11 @@ pub struct AdaptivePlanChange {
 
 impl fmt::Display for AdaptivePlanChange {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AdaptivePlanChange[node {}] {}: {}", self.node_id, self.rule, self.description)
+        write!(
+            f,
+            "AdaptivePlanChange[node {}] {}: {}",
+            self.node_id, self.rule, self.description
+        )
     }
 }
 
@@ -158,34 +165,53 @@ pub fn exchange_operators(plan: &PhysicalPlan) -> Vec<(usize, String)> {
 /// arity does not match — callers only pass children obtained from
 /// [`PhysicalPlan::children`] on the same node.
 fn with_children(plan: &PhysicalPlan, mut children: Vec<Arc<PhysicalPlan>>) -> PhysicalPlan {
-    assert_eq!(children.len(), plan.children().len(), "with_children arity mismatch");
+    assert_eq!(
+        children.len(),
+        plan.children().len(),
+        "with_children arity mismatch"
+    );
     let mut next = || children.remove(0);
     match plan {
         PhysicalPlan::Scan { .. }
         | PhysicalPlan::ExternalScan { .. }
         | PhysicalPlan::LocalData { .. } => plan.clone(),
-        PhysicalPlan::Project { exprs, .. } => {
-            PhysicalPlan::Project { input: next(), exprs: exprs.clone() }
-        }
-        PhysicalPlan::Filter { predicate, .. } => {
-            PhysicalPlan::Filter { input: next(), predicate: predicate.clone() }
-        }
-        PhysicalPlan::HashAggregate { groupings, output_exprs, .. } => {
-            PhysicalPlan::HashAggregate {
-                input: next(),
-                groupings: groupings.clone(),
-                output_exprs: output_exprs.clone(),
-            }
-        }
-        PhysicalPlan::Sort { orders, .. } => {
-            PhysicalPlan::Sort { input: next(), orders: orders.clone() }
-        }
-        PhysicalPlan::TakeOrdered { orders, n, .. } => {
-            PhysicalPlan::TakeOrdered { input: next(), orders: orders.clone(), n: *n }
-        }
-        PhysicalPlan::Limit { n, .. } => PhysicalPlan::Limit { input: next(), n: *n },
+        PhysicalPlan::Project { exprs, .. } => PhysicalPlan::Project {
+            input: next(),
+            exprs: exprs.clone(),
+        },
+        PhysicalPlan::Filter { predicate, .. } => PhysicalPlan::Filter {
+            input: next(),
+            predicate: predicate.clone(),
+        },
+        PhysicalPlan::HashAggregate {
+            groupings,
+            output_exprs,
+            ..
+        } => PhysicalPlan::HashAggregate {
+            input: next(),
+            groupings: groupings.clone(),
+            output_exprs: output_exprs.clone(),
+        },
+        PhysicalPlan::Sort { orders, .. } => PhysicalPlan::Sort {
+            input: next(),
+            orders: orders.clone(),
+        },
+        PhysicalPlan::TakeOrdered { orders, n, .. } => PhysicalPlan::TakeOrdered {
+            input: next(),
+            orders: orders.clone(),
+            n: *n,
+        },
+        PhysicalPlan::Limit { n, .. } => PhysicalPlan::Limit {
+            input: next(),
+            n: *n,
+        },
         PhysicalPlan::BroadcastHashJoin {
-            left_keys, right_keys, join_type, build_side, residual, ..
+            left_keys,
+            right_keys,
+            join_type,
+            build_side,
+            residual,
+            ..
         } => PhysicalPlan::BroadcastHashJoin {
             left: next(),
             right: next(),
@@ -195,33 +221,42 @@ fn with_children(plan: &PhysicalPlan, mut children: Vec<Arc<PhysicalPlan>>) -> P
             build_side: *build_side,
             residual: residual.clone(),
         },
-        PhysicalPlan::ShuffledHashJoin { left_keys, right_keys, join_type, residual, .. } => {
-            PhysicalPlan::ShuffledHashJoin {
-                left: next(),
-                right: next(),
-                left_keys: left_keys.clone(),
-                right_keys: right_keys.clone(),
-                join_type: *join_type,
-                residual: residual.clone(),
-            }
-        }
-        PhysicalPlan::NestedLoopJoin { condition, join_type, .. } => {
-            PhysicalPlan::NestedLoopJoin {
-                left: next(),
-                right: next(),
-                condition: condition.clone(),
-                join_type: *join_type,
-            }
-        }
-        PhysicalPlan::Union { .. } => {
-            PhysicalPlan::Union { inputs: std::mem::take(&mut children) }
-        }
-        PhysicalPlan::Sample { fraction, seed, .. } => {
-            PhysicalPlan::Sample { input: next(), fraction: *fraction, seed: *seed }
-        }
-        PhysicalPlan::Extension { exec, .. } => {
-            PhysicalPlan::Extension { exec: exec.clone(), children: std::mem::take(&mut children) }
-        }
+        PhysicalPlan::ShuffledHashJoin {
+            left_keys,
+            right_keys,
+            join_type,
+            residual,
+            ..
+        } => PhysicalPlan::ShuffledHashJoin {
+            left: next(),
+            right: next(),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            join_type: *join_type,
+            residual: residual.clone(),
+        },
+        PhysicalPlan::NestedLoopJoin {
+            condition,
+            join_type,
+            ..
+        } => PhysicalPlan::NestedLoopJoin {
+            left: next(),
+            right: next(),
+            condition: condition.clone(),
+            join_type: *join_type,
+        },
+        PhysicalPlan::Union { .. } => PhysicalPlan::Union {
+            inputs: std::mem::take(&mut children),
+        },
+        PhysicalPlan::Sample { fraction, seed, .. } => PhysicalPlan::Sample {
+            input: next(),
+            fraction: *fraction,
+            seed: *seed,
+        },
+        PhysicalPlan::Extension { exec, .. } => PhysicalPlan::Extension {
+            exec: exec.clone(),
+            children: std::mem::take(&mut children),
+        },
     }
 }
 

@@ -106,19 +106,22 @@ pub fn can_split_side(join_type: JoinType, side: BuildSide) -> bool {
 /// shuffled hash join or the demotion is illegal for its join type.
 pub fn broadcast_candidate(shj: &PhysicalPlan, build: BuildSide) -> Option<PhysicalPlan> {
     match shj {
-        PhysicalPlan::ShuffledHashJoin { left, right, left_keys, right_keys, join_type, residual }
-            if can_demote(*join_type, build) =>
-        {
-            Some(PhysicalPlan::BroadcastHashJoin {
-                left: left.clone(),
-                right: right.clone(),
-                left_keys: left_keys.clone(),
-                right_keys: right_keys.clone(),
-                join_type: *join_type,
-                build_side: build,
-                residual: residual.clone(),
-            })
-        }
+        PhysicalPlan::ShuffledHashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            residual,
+        } if can_demote(*join_type, build) => Some(PhysicalPlan::BroadcastHashJoin {
+            left: left.clone(),
+            right: right.clone(),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            join_type: *join_type,
+            build_side: build,
+            residual: residual.clone(),
+        }),
         _ => None,
     }
 }
@@ -170,7 +173,10 @@ mod tests {
         // One dominant map: no useful split.
         assert_eq!(split_map_ranges(&[0, 500, 0], 100), vec![0..3]);
         // Even spread splits.
-        assert_eq!(split_map_ranges(&[60, 60, 60, 60], 100), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(
+            split_map_ranges(&[60, 60, 60, 60], 100),
+            vec![0..1, 1..2, 2..3, 3..4]
+        );
     }
 
     #[test]

@@ -28,12 +28,17 @@ pub struct SimpleCatalog {
 impl SimpleCatalog {
     /// Register (or replace) a table.
     pub fn register(&self, name: impl Into<String>, plan: LogicalPlan) {
-        self.tables.write().insert(name.into().to_ascii_lowercase(), plan);
+        self.tables
+            .write()
+            .insert(name.into().to_ascii_lowercase(), plan);
     }
 
     /// Remove a table; true if it existed.
     pub fn unregister(&self, name: &str) -> bool {
-        self.tables.write().remove(&name.to_ascii_lowercase()).is_some()
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .is_some()
     }
 }
 

@@ -130,7 +130,13 @@ fn resolve_references(
                         other => out_exprs.push(other),
                     }
                 }
-                (LogicalPlan::Project { input, exprs: out_exprs }, true)
+                (
+                    LogicalPlan::Project {
+                        input,
+                        exprs: out_exprs,
+                    },
+                    true,
+                )
             }
             other => (other, false),
         };
@@ -140,7 +146,10 @@ fn resolve_references(
             e.transform_up(&mut |e| resolve_expr(e, &attrs, functions, &mut err))
         });
         ch |= resolved.changed;
-        Transformed { data: resolved.data, changed: ch }
+        Transformed {
+            data: resolved.data,
+            changed: ch,
+        }
     });
     if let Some(e) = err {
         return Err(e);
@@ -192,7 +201,11 @@ fn resolve_expr(
                 }
             }
         }
-        Expr::UnresolvedFunction { name, args, distinct } => {
+        Expr::UnresolvedFunction {
+            name,
+            args,
+            distinct,
+        } => {
             let is_star = args.len() == 1 && matches!(args[0], Expr::Wildcard { .. });
             if let Some(func) = AggFunc::from_name(&name) {
                 let arg = if is_star || args.is_empty() {
@@ -206,7 +219,11 @@ fn resolve_expr(
                     )));
                     return Transformed::no(Expr::Literal(crate::value::Value::Null));
                 }
-                return Transformed::yes(Expr::Agg { func, arg, distinct });
+                return Transformed::yes(Expr::Agg {
+                    func,
+                    arg,
+                    distinct,
+                });
             }
             if let Some(func) = ScalarFunc::from_name(&name) {
                 return Transformed::yes(Expr::ScalarFn { func, args });
@@ -228,7 +245,10 @@ fn resolve_expr(
 /// attribute has a stable name and id.
 fn alias_unnamed(plan: LogicalPlan, changed: &mut bool) -> LogicalPlan {
     fn needs_alias(e: &Expr) -> bool {
-        !matches!(e, Expr::Column(_) | Expr::Alias { .. } | Expr::Wildcard { .. })
+        !matches!(
+            e,
+            Expr::Column(_) | Expr::Alias { .. } | Expr::Wildcard { .. }
+        )
     }
     fn alias_all(exprs: Vec<Expr>, ch: &mut bool) -> Vec<Expr> {
         exprs
@@ -255,10 +275,18 @@ fn alias_unnamed(plan: LogicalPlan, changed: &mut bool) -> LogicalPlan {
                 Transformed::no(node)
             }
         }
-        LogicalPlan::Aggregate { input, groupings, aggregates } => {
+        LogicalPlan::Aggregate {
+            input,
+            groupings,
+            aggregates,
+        } => {
             let mut ch = false;
             let aggregates = alias_all(aggregates, &mut ch);
-            let node = LogicalPlan::Aggregate { input, groupings, aggregates };
+            let node = LogicalPlan::Aggregate {
+                input,
+                groupings,
+                aggregates,
+            };
             if ch {
                 Transformed::yes(node)
             } else {
@@ -304,8 +332,16 @@ fn coerce_expr(e: Expr) -> Transformed<Expr> {
             if op == BinaryOperator::Div {
                 let (l, lc) = cast_if_needed(*left, &DataType::Double);
                 let (r, rc) = cast_if_needed(*right, &DataType::Double);
-                let node = Expr::BinaryOp { left: Box::new(l), op, right: Box::new(r) };
-                return if lc || rc { Transformed::yes(node) } else { Transformed::no(node) };
+                let node = Expr::BinaryOp {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r),
+                };
+                return if lc || rc {
+                    Transformed::yes(node)
+                } else {
+                    Transformed::no(node)
+                };
             }
             if lt == rt || lt == DataType::Null || rt == DataType::Null {
                 return Transformed::no(Expr::BinaryOp { left, op, right });
@@ -335,7 +371,11 @@ fn coerce_expr(e: Expr) -> Transformed<Expr> {
                 Some(common) => {
                     let (l, lc) = cast_if_needed(*left, &common);
                     let (r, rc) = cast_if_needed(*right, &common);
-                    let node = Expr::BinaryOp { left: Box::new(l), op, right: Box::new(r) };
+                    let node = Expr::BinaryOp {
+                        left: Box::new(l),
+                        op,
+                        right: Box::new(r),
+                    };
                     if lc || rc {
                         Transformed::yes(node)
                     } else {
@@ -345,10 +385,20 @@ fn coerce_expr(e: Expr) -> Transformed<Expr> {
                 None => Transformed::no(Expr::BinaryOp { left, op, right }),
             }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let base = match expr.data_type() {
                 Ok(t) => t,
-                Err(_) => return Transformed::no(Expr::InList { expr, list, negated }),
+                Err(_) => {
+                    return Transformed::no(Expr::InList {
+                        expr,
+                        list,
+                        negated,
+                    })
+                }
             };
             let mut common = base.clone();
             for item in &list {
@@ -367,7 +417,11 @@ fn coerce_expr(e: Expr) -> Transformed<Expr> {
                     i2
                 })
                 .collect();
-            let node = Expr::InList { expr: Box::new(e2), list: list2, negated };
+            let node = Expr::InList {
+                expr: Box::new(e2),
+                list: list2,
+                negated,
+            };
             if ch {
                 Transformed::yes(node)
             } else {
@@ -386,7 +440,9 @@ pub fn check_analysis(plan: &LogicalPlan) -> Result<()> {
             return;
         }
         if let LogicalPlan::UnresolvedRelation { name } = p {
-            problem = Some(CatalystError::analysis(format!("unresolved table '{name}'")));
+            problem = Some(CatalystError::analysis(format!(
+                "unresolved table '{name}'"
+            )));
             return;
         }
         let child_cols: Vec<String> = p
@@ -415,8 +471,9 @@ pub fn check_analysis(plan: &LogicalPlan) -> Result<()> {
                         )));
                     }
                     Expr::UnresolvedFunction { name, .. } => {
-                        problem =
-                            Some(CatalystError::analysis(format!("unresolved function '{name}'")));
+                        problem = Some(CatalystError::analysis(format!(
+                            "unresolved function '{name}'"
+                        )));
                     }
                     Expr::Wildcard { .. } => {
                         problem = Some(CatalystError::analysis(
@@ -440,7 +497,9 @@ pub fn check_analysis(plan: &LogicalPlan) -> Result<()> {
                     }
                 }
             }
-            LogicalPlan::Join { condition: Some(c), .. } => {
+            LogicalPlan::Join {
+                condition: Some(c), ..
+            } => {
                 if let Ok(t) = c.data_type() {
                     if t != DataType::Boolean {
                         problem = Some(CatalystError::analysis(format!(
@@ -449,7 +508,11 @@ pub fn check_analysis(plan: &LogicalPlan) -> Result<()> {
                     }
                 }
             }
-            LogicalPlan::Aggregate { groupings, aggregates, .. } => {
+            LogicalPlan::Aggregate {
+                groupings,
+                aggregates,
+                ..
+            } => {
                 for agg in aggregates {
                     if let Some(e) = invalid_aggregate_expr(agg, groupings) {
                         problem = Some(CatalystError::analysis(format!(
@@ -536,7 +599,11 @@ fn visit_direct_children(e: &Expr, f: &mut dyn FnMut(&Expr)) {
             f(expr);
             list.iter().for_each(f);
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(o) = operand {
                 f(o);
             }
@@ -614,9 +681,11 @@ mod tests {
     #[test]
     fn resolves_table_and_columns() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }
-            .filter(col("age").lt(lit(21)))
-            .project(vec![col("name")]);
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .filter(col("age").lt(lit(21)))
+        .project(vec![col("name")]);
         let analyzed = a.analyze(plan).unwrap();
         assert!(analyzed.is_resolved());
         assert_eq!(analyzed.schema().field(0).name.as_ref(), "name");
@@ -625,7 +694,9 @@ mod tests {
     #[test]
     fn unknown_table_errors_eagerly_with_candidates() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "missing".into() };
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "missing".into(),
+        };
         let err = a.analyze(plan).unwrap_err().to_string();
         assert!(err.contains("missing"));
         assert!(err.contains("users"));
@@ -634,8 +705,10 @@ mod tests {
     #[test]
     fn unknown_column_errors_with_available_columns() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }
-            .filter(col("aage").lt(lit(21)));
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .filter(col("aage").lt(lit(21)));
         let err = a.analyze(plan).unwrap_err().to_string();
         assert!(err.contains("aage"), "{err}");
         assert!(err.contains("age"), "{err}");
@@ -644,8 +717,10 @@ mod tests {
     #[test]
     fn wildcard_expands_to_all_columns() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }
-            .project(vec![Expr::Wildcard { qualifier: None }]);
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .project(vec![Expr::Wildcard { qualifier: None }]);
         let analyzed = a.analyze(plan).unwrap();
         assert_eq!(analyzed.schema().len(), 2);
     }
@@ -654,8 +729,10 @@ mod tests {
     fn type_coercion_inserts_casts() {
         let (a, _) = analyzer();
         // age (Int) + 1.5 (Double) → cast(age as Double) + 1.5.
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }
-            .project(vec![col("age").add(lit(1.5f64)).alias("x")]);
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .project(vec![col("age").add(lit(1.5f64)).alias("x")]);
         let analyzed = a.analyze(plan).unwrap();
         let mut saw_cast = false;
         analyzed.for_each(&mut |p| {
@@ -675,10 +752,10 @@ mod tests {
     fn aggregate_validation_catches_ungrouped_column() {
         let (a, _) = analyzer();
         // SELECT name, count(*) FROM users GROUP BY age — name is invalid.
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }.aggregate(
-            vec![col("age")],
-            vec![col("name"), count_star().alias("n")],
-        );
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .aggregate(vec![col("age")], vec![col("name"), count_star().alias("n")]);
         let err = a.analyze(plan).unwrap_err().to_string();
         assert!(err.contains("GROUP BY"), "{err}");
     }
@@ -686,9 +763,16 @@ mod tests {
     #[test]
     fn valid_aggregate_passes() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }.aggregate(
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .aggregate(
             vec![col("name")],
-            vec![col("name"), count(col("age")).alias("c"), sum(col("age")).alias("s")],
+            vec![
+                col("name"),
+                count(col("age")).alias("c"),
+                sum(col("age")).alias("s"),
+            ],
         );
         let analyzed = a.analyze(plan).unwrap();
         assert_eq!(analyzed.schema().len(), 3);
@@ -699,12 +783,17 @@ mod tests {
     #[test]
     fn count_star_resolves() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }
-            .aggregate(vec![], vec![Expr::UnresolvedFunction {
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .aggregate(
+            vec![],
+            vec![Expr::UnresolvedFunction {
                 name: "count".into(),
                 args: vec![Expr::Wildcard { qualifier: None }],
                 distinct: false,
-            }]);
+            }],
+        );
         let analyzed = a.analyze(plan).unwrap();
         assert_eq!(analyzed.schema().field(0).dtype, DataType::Long);
     }
@@ -717,18 +806,17 @@ mod tests {
         functions.register(crate::expr::UdfImpl {
             name: "shout".into(),
             return_type: DataType::String,
-            func: Box::new(|args| {
-                Ok(Value::str(format!("{}!", args[0].as_str().unwrap_or(""))))
-            }),
+            func: Box::new(|args| Ok(Value::str(format!("{}!", args[0].as_str().unwrap_or(""))))),
         });
         let a = Analyzer::new(catalog, functions);
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }.project(vec![
-            Expr::UnresolvedFunction {
-                name: "shout".into(),
-                args: vec![col("name")],
-                distinct: false,
-            },
-        ]);
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .project(vec![Expr::UnresolvedFunction {
+            name: "shout".into(),
+            args: vec![col("name")],
+            distinct: false,
+        }]);
         let analyzed = a.analyze(plan).unwrap();
         assert_eq!(analyzed.schema().field(0).dtype, DataType::String);
     }
@@ -736,9 +824,14 @@ mod tests {
     #[test]
     fn undefined_function_errors() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }.project(vec![
-            Expr::UnresolvedFunction { name: "nope".into(), args: vec![], distinct: false },
-        ]);
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .project(vec![Expr::UnresolvedFunction {
+            name: "nope".into(),
+            args: vec![],
+            distinct: false,
+        }]);
         let err = a.analyze(plan).unwrap_err().to_string();
         assert!(err.contains("nope"));
     }
@@ -746,8 +839,10 @@ mod tests {
     #[test]
     fn filter_must_be_boolean() {
         let (a, _) = analyzer();
-        let plan =
-            LogicalPlan::UnresolvedRelation { name: "users".into() }.filter(col("age").add(lit(1)));
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .filter(col("age").add(lit(1)));
         let err = a.analyze(plan).unwrap_err().to_string();
         assert!(err.contains("BOOLEAN"), "{err}");
     }
@@ -755,10 +850,12 @@ mod tests {
     #[test]
     fn qualified_references_through_alias() {
         let (a, _) = analyzer();
-        let plan = LogicalPlan::UnresolvedRelation { name: "users".into() }
-            .subquery_alias("u")
-            .filter(col("u.age").gt(lit(18)))
-            .project(vec![col("u.name")]);
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "users".into(),
+        }
+        .subquery_alias("u")
+        .filter(col("u.age").gt(lit(18)))
+        .project(vec![col("u.name")]);
         let analyzed = a.analyze(plan).unwrap();
         assert!(analyzed.is_resolved());
     }
@@ -779,8 +876,10 @@ mod tests {
             },
         );
         let a = Analyzer::new(catalog, Arc::new(FunctionRegistry::default()));
-        let plan = LogicalPlan::UnresolvedRelation { name: "tweets".into() }
-            .project(vec![col("loc.lat")]);
+        let plan = LogicalPlan::UnresolvedRelation {
+            name: "tweets".into(),
+        }
+        .project(vec![col("loc.lat")]);
         let analyzed = a.analyze(plan).unwrap();
         assert_eq!(analyzed.schema().field(0).dtype, DataType::Double);
     }

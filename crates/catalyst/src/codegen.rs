@@ -147,9 +147,9 @@ fn try_compile(expr: &Expr) -> Option<Compiled> {
             match dtype {
                 DataType::Long | DataType::Int => match inner {
                     Compiled::Long(f) => Some(Compiled::Long(f)),
-                    Compiled::Double(f) => {
-                        Some(Compiled::Long(Arc::new(move |row| f(row).map(|v| v as i64))))
-                    }
+                    Compiled::Double(f) => Some(Compiled::Long(Arc::new(move |row| {
+                        f(row).map(|v| v as i64)
+                    }))),
                     _ => None,
                 },
                 DataType::Double | DataType::Float => as_double(&inner).map(Compiled::Double),
@@ -158,9 +158,7 @@ fn try_compile(expr: &Expr) -> Option<Compiled> {
         }
         Expr::Negate(e) => match compile(e) {
             Compiled::Long(f) => Some(Compiled::Long(Arc::new(move |row| f(row).map(|v| -v)))),
-            Compiled::Double(f) => {
-                Some(Compiled::Double(Arc::new(move |row| f(row).map(|v| -v))))
-            }
+            Compiled::Double(f) => Some(Compiled::Double(Arc::new(move |row| f(row).map(|v| -v)))),
             _ => None,
         },
         Expr::Not(e) => {
@@ -181,7 +179,11 @@ fn try_compile(expr: &Expr) -> Option<Compiled> {
         // three-valued semantics: NULL input → NULL; a NULL in the list
         // only matters for non-matches, which the fallback handles, so we
         // only take lists with no NULLs here.)
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let negated = *negated;
             match compile(expr) {
                 Compiled::Long(f) => {
@@ -209,7 +211,9 @@ fn try_compile(expr: &Expr) -> Option<Compiled> {
                     values.sort();
                     Some(Compiled::Bool(Arc::new(move |row| {
                         f(row).map(|v| {
-                            values.binary_search_by(|p| p.as_ref().cmp(v.as_ref())).is_ok()
+                            values
+                                .binary_search_by(|p| p.as_ref().cmp(v.as_ref()))
+                                .is_ok()
                                 != negated
                         })
                     })))
@@ -217,7 +221,11 @@ fn try_compile(expr: &Expr) -> Option<Compiled> {
                 _ => None,
             }
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             // Pattern must be a literal for the compiled path.
             let s = as_str_fn(&compile(expr))?;
             if let Expr::Literal(Value::Str(p)) = pattern.as_ref() {
@@ -246,9 +254,7 @@ fn is_null_fn(c: Compiled, want_null: bool) -> RowFn<bool> {
         Compiled::Double(f) => arm!(f),
         Compiled::Bool(f) => arm!(f),
         Compiled::Str(f) => arm!(f),
-        Compiled::Fallback(f) => Arc::new(move |row| {
-            f(row).ok().map(|v| v.is_null() == want_null)
-        }),
+        Compiled::Fallback(f) => Arc::new(move |row| f(row).ok().map(|v| v.is_null() == want_null)),
     }
 }
 
@@ -261,15 +267,17 @@ fn compile_bound_ref(index: usize, dtype: &DataType) -> Option<Compiled> {
                 _ => None,
             }
         }))),
-        DataType::Float | DataType::Double => Some(Compiled::Double(Arc::new(move |row| {
-            match row.values().get(index) {
-                Some(Value::Double(v)) => Some(*v),
-                Some(Value::Float(v)) => Some(*v as f64),
-                Some(Value::Long(v)) => Some(*v as f64),
-                Some(Value::Int(v)) => Some(*v as f64),
-                _ => None,
-            }
-        }))),
+        DataType::Float | DataType::Double => {
+            Some(Compiled::Double(Arc::new(move |row| {
+                match row.values().get(index) {
+                    Some(Value::Double(v)) => Some(*v),
+                    Some(Value::Float(v)) => Some(*v as f64),
+                    Some(Value::Long(v)) => Some(*v as f64),
+                    Some(Value::Int(v)) => Some(*v as f64),
+                    _ => None,
+                }
+            })))
+        }
         DataType::Boolean => Some(Compiled::Bool(Arc::new(move |row| {
             match row.values().get(index) {
                 Some(Value::Boolean(b)) => Some(*b),
@@ -466,9 +474,7 @@ fn compile_scalar_fn(func: ScalarFunc, args: &[Expr]) -> Option<Compiled> {
             })))
         }
         Abs => match try_compile(&args[0])? {
-            Compiled::Long(f) => {
-                Some(Compiled::Long(Arc::new(move |row| f(row).map(i64::abs))))
-            }
+            Compiled::Long(f) => Some(Compiled::Long(Arc::new(move |row| f(row).map(i64::abs)))),
             Compiled::Double(f) => {
                 Some(Compiled::Double(Arc::new(move |row| f(row).map(f64::abs))))
             }
@@ -488,9 +494,7 @@ pub fn compile_predicate(expr: &Expr) -> Arc<dyn Fn(&Row) -> bool + Send + Sync>
         Compiled::Bool(f) => Arc::new(move |row| f(row).unwrap_or(false)),
         other => {
             let dtype = expr.data_type().unwrap_or(DataType::Boolean);
-            Arc::new(move |row| {
-                matches!(other.eval_value(row, &dtype), Ok(Value::Boolean(true)))
-            })
+            Arc::new(move |row| matches!(other.eval_value(row, &dtype), Ok(Value::Boolean(true))))
         }
     }
 }
@@ -516,7 +520,12 @@ mod tests {
     use crate::expr::builders::lit;
 
     fn bound_long(index: usize) -> Expr {
-        Expr::BoundRef { index, dtype: DataType::Long, nullable: true, name: "x".into() }
+        Expr::BoundRef {
+            index,
+            dtype: DataType::Long,
+            nullable: true,
+            name: "x".into(),
+        }
     }
 
     #[test]
@@ -527,7 +536,10 @@ mod tests {
         let c = compile(&e);
         assert!(matches!(c, Compiled::Long(_)));
         let row = Row::new(vec![Value::Long(7)]);
-        assert_eq!(c.eval_value(&row, &DataType::Long).unwrap(), Value::Long(21));
+        assert_eq!(
+            c.eval_value(&row, &DataType::Long).unwrap(),
+            Value::Long(21)
+        );
         // Agrees with the interpreter.
         let x = bound_long(0);
         let e = x.clone().add(x.clone()).add(x);
@@ -552,7 +564,12 @@ mod tests {
 
     #[test]
     fn string_ops_compile() {
-        let s = Expr::BoundRef { index: 0, dtype: DataType::String, nullable: true, name: "s".into() };
+        let s = Expr::BoundRef {
+            index: 0,
+            dtype: DataType::String,
+            nullable: true,
+            name: "s".into(),
+        };
         let e = Expr::ScalarFn {
             func: ScalarFunc::StartsWith,
             args: vec![s, lit("he")],
@@ -560,7 +577,10 @@ mod tests {
         let c = compile(&e);
         assert!(matches!(c, Compiled::Bool(_)));
         let row = Row::new(vec![Value::str("hello")]);
-        assert_eq!(c.eval_value(&row, &DataType::Boolean).unwrap(), Value::Boolean(true));
+        assert_eq!(
+            c.eval_value(&row, &DataType::Boolean).unwrap(),
+            Value::Boolean(true)
+        );
     }
 
     #[test]
@@ -585,7 +605,12 @@ mod tests {
 
     #[test]
     fn projection_emits_declared_int_type() {
-        let e = Expr::BoundRef { index: 0, dtype: DataType::Int, nullable: false, name: "i".into() };
+        let e = Expr::BoundRef {
+            index: 0,
+            dtype: DataType::Int,
+            nullable: false,
+            name: "i".into(),
+        };
         let proj = compile_projection(&[e.add(lit(1))]);
         let out = proj(&Row::new(vec![Value::Int(41)])).unwrap();
         assert_eq!(out.get(0), &Value::Int(42));
@@ -622,8 +647,14 @@ mod tests {
         let c = compile(&e);
         let hit = Row::new(vec![Value::Long(2)]);
         let miss = Row::new(vec![Value::Long(3)]);
-        assert_eq!(c.eval_value(&hit, &DataType::Boolean).unwrap(), Value::Boolean(false));
-        assert_eq!(c.eval_value(&miss, &DataType::Boolean).unwrap(), Value::Boolean(true));
+        assert_eq!(
+            c.eval_value(&hit, &DataType::Boolean).unwrap(),
+            Value::Boolean(false)
+        );
+        assert_eq!(
+            c.eval_value(&miss, &DataType::Boolean).unwrap(),
+            Value::Boolean(true)
+        );
     }
 
     #[test]
@@ -632,6 +663,9 @@ mod tests {
         let c = compile(&e);
         assert!(matches!(c, Compiled::Double(_)));
         let row = Row::new(vec![Value::Long(1)]);
-        assert_eq!(c.eval_value(&row, &DataType::Double).unwrap(), Value::Double(1.5));
+        assert_eq!(
+            c.eval_value(&row, &DataType::Double).unwrap(),
+            Value::Double(1.5)
+        );
     }
 }

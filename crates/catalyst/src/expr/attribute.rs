@@ -39,7 +39,13 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// New column with a fresh id.
     pub fn new(name: impl Into<Arc<str>>, dtype: DataType, nullable: bool) -> Self {
-        ColumnRef { id: new_expr_id(), name: name.into(), dtype, nullable, qualifier: None }
+        ColumnRef {
+            id: new_expr_id(),
+            name: name.into(),
+            dtype,
+            nullable,
+            qualifier: None,
+        }
     }
 
     /// Attach a qualifier (used by `SubqueryAlias` / FROM aliases).
@@ -51,7 +57,11 @@ impl ColumnRef {
     /// Does this column answer to `name` (and `qualifier`, if given)?
     pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
         if let Some(q) = qualifier {
-            if !self.qualifier.as_deref().is_some_and(|mine| mine.eq_ignore_ascii_case(q)) {
+            if !self
+                .qualifier
+                .as_deref()
+                .is_some_and(|mine| mine.eq_ignore_ascii_case(q))
+            {
                 return false;
             }
         }

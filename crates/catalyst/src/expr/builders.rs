@@ -19,15 +19,24 @@ pub fn col(name: impl Into<String>) -> Expr {
     let name = name.into();
     match name.split_once('.') {
         Some((q, n)) if !q.is_empty() && !n.is_empty() && !n.contains('.') => {
-            Expr::UnresolvedAttribute { qualifier: Some(q.to_string()), name: n.to_string() }
+            Expr::UnresolvedAttribute {
+                qualifier: Some(q.to_string()),
+                name: n.to_string(),
+            }
         }
-        _ => Expr::UnresolvedAttribute { qualifier: None, name },
+        _ => Expr::UnresolvedAttribute {
+            qualifier: None,
+            name,
+        },
     }
 }
 
 /// Reference a column with an explicit relation qualifier.
 pub fn qualified_col(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
-    Expr::UnresolvedAttribute { qualifier: Some(qualifier.into()), name: name.into() }
+    Expr::UnresolvedAttribute {
+        qualifier: Some(qualifier.into()),
+        name: name.into(),
+    }
 }
 
 /// Literal value.
@@ -37,7 +46,11 @@ pub fn lit(v: impl Into<Value>) -> Expr {
 
 /// Start a searched CASE expression: `when(cond, value).otherwise(dflt)`.
 pub fn when(condition: Expr, value: Expr) -> Expr {
-    Expr::Case { operand: None, branches: vec![(condition, value)], else_expr: None }
+    Expr::Case {
+        operand: None,
+        branches: vec![(condition, value)],
+        else_expr: None,
+    }
 }
 
 impl From<i32> for Value {
@@ -77,7 +90,11 @@ impl From<String> for Value {
 }
 
 fn bin(left: Expr, op: BinaryOperator, right: Expr) -> Expr {
-    Expr::BinaryOp { left: Box::new(left), op, right: Box::new(right) }
+    Expr::BinaryOp {
+        left: Box::new(left),
+        op,
+        right: Box::new(right),
+    }
 }
 
 #[allow(clippy::should_implement_trait)] // deliberate DSL names (§3.3)
@@ -152,11 +169,19 @@ impl Expr {
     }
     /// `self LIKE pattern`.
     pub fn like(self, pattern: Expr) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: Box::new(pattern), negated: false }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: Box::new(pattern),
+            negated: false,
+        }
     }
     /// `self IN (list…)`.
     pub fn in_list(self, list: Vec<Expr>) -> Expr {
-        Expr::InList { expr: Box::new(self), list, negated: false }
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
     }
     /// `self BETWEEN low AND high` (sugar for two comparisons).
     pub fn between(self, low: Expr, high: Expr) -> Expr {
@@ -164,34 +189,61 @@ impl Expr {
     }
     /// `CAST(self AS dtype)`.
     pub fn cast(self, dtype: DataType) -> Expr {
-        Expr::Cast { expr: Box::new(self), dtype }
+        Expr::Cast {
+            expr: Box::new(self),
+            dtype,
+        }
     }
     /// `self AS name`.
     pub fn alias(self, name: impl Into<Arc<str>>) -> Expr {
-        Expr::Alias { child: Box::new(self), name: name.into(), id: new_expr_id() }
+        Expr::Alias {
+            child: Box::new(self),
+            name: name.into(),
+            id: new_expr_id(),
+        }
     }
     /// Struct field access.
     pub fn get_field(self, name: impl Into<Arc<str>>) -> Expr {
-        Expr::GetField { expr: Box::new(self), name: name.into() }
+        Expr::GetField {
+            expr: Box::new(self),
+            name: name.into(),
+        }
     }
     /// Array element access.
     pub fn get_item(self, index: Expr) -> Expr {
-        Expr::GetItem { expr: Box::new(self), index: Box::new(index) }
+        Expr::GetItem {
+            expr: Box::new(self),
+            index: Box::new(index),
+        }
     }
     /// Ascending sort key.
     pub fn asc(self) -> super::SortOrder {
-        super::SortOrder { expr: self, ascending: true }
+        super::SortOrder {
+            expr: self,
+            ascending: true,
+        }
     }
     /// Descending sort key.
     pub fn desc(self) -> super::SortOrder {
-        super::SortOrder { expr: self, ascending: false }
+        super::SortOrder {
+            expr: self,
+            ascending: false,
+        }
     }
     /// Add a WHEN branch to a CASE expression.
     pub fn when(self, condition: Expr, value: Expr) -> Expr {
         match self {
-            Expr::Case { operand, mut branches, else_expr } => {
+            Expr::Case {
+                operand,
+                mut branches,
+                else_expr,
+            } => {
                 branches.push((condition, value));
-                Expr::Case { operand, branches, else_expr }
+                Expr::Case {
+                    operand,
+                    branches,
+                    else_expr,
+                }
             }
             other => Expr::Case {
                 operand: Some(Box::new(other)),
@@ -203,9 +255,13 @@ impl Expr {
     /// Set the ELSE branch of a CASE expression.
     pub fn otherwise(self, value: Expr) -> Expr {
         match self {
-            Expr::Case { operand, branches, .. } => {
-                Expr::Case { operand, branches, else_expr: Some(Box::new(value)) }
-            }
+            Expr::Case {
+                operand, branches, ..
+            } => Expr::Case {
+                operand,
+                branches,
+                else_expr: Some(Box::new(value)),
+            },
             other => other,
         }
     }
@@ -215,64 +271,107 @@ impl Expr {
 
 /// `COUNT(expr)` or `COUNT(*)` via [`count_star`].
 pub fn count(e: Expr) -> Expr {
-    Expr::Agg { func: AggFunc::Count, arg: Some(Box::new(e)), distinct: false }
+    Expr::Agg {
+        func: AggFunc::Count,
+        arg: Some(Box::new(e)),
+        distinct: false,
+    }
 }
 
 /// `COUNT(*)`.
 pub fn count_star() -> Expr {
-    Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+    Expr::Agg {
+        func: AggFunc::Count,
+        arg: None,
+        distinct: false,
+    }
 }
 
 /// `COUNT(DISTINCT expr)`.
 pub fn count_distinct(e: Expr) -> Expr {
-    Expr::Agg { func: AggFunc::Count, arg: Some(Box::new(e)), distinct: true }
+    Expr::Agg {
+        func: AggFunc::Count,
+        arg: Some(Box::new(e)),
+        distinct: true,
+    }
 }
 
 /// `SUM(expr)`.
 pub fn sum(e: Expr) -> Expr {
-    Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(e)), distinct: false }
+    Expr::Agg {
+        func: AggFunc::Sum,
+        arg: Some(Box::new(e)),
+        distinct: false,
+    }
 }
 
 /// `AVG(expr)`.
 pub fn avg(e: Expr) -> Expr {
-    Expr::Agg { func: AggFunc::Avg, arg: Some(Box::new(e)), distinct: false }
+    Expr::Agg {
+        func: AggFunc::Avg,
+        arg: Some(Box::new(e)),
+        distinct: false,
+    }
 }
 
 /// `MIN(expr)`.
 pub fn min(e: Expr) -> Expr {
-    Expr::Agg { func: AggFunc::Min, arg: Some(Box::new(e)), distinct: false }
+    Expr::Agg {
+        func: AggFunc::Min,
+        arg: Some(Box::new(e)),
+        distinct: false,
+    }
 }
 
 /// `MAX(expr)`.
 pub fn max(e: Expr) -> Expr {
-    Expr::Agg { func: AggFunc::Max, arg: Some(Box::new(e)), distinct: false }
+    Expr::Agg {
+        func: AggFunc::Max,
+        arg: Some(Box::new(e)),
+        distinct: false,
+    }
 }
 
 // ---- scalar function builders ----
 
 /// `SUBSTR(s, pos, len)` — 1-based position, like SQL.
 pub fn substr(s: Expr, pos: Expr, len: Expr) -> Expr {
-    Expr::ScalarFn { func: ScalarFunc::Substr, args: vec![s, pos, len] }
+    Expr::ScalarFn {
+        func: ScalarFunc::Substr,
+        args: vec![s, pos, len],
+    }
 }
 
 /// `CONCAT(args…)`.
 pub fn concat(args: Vec<Expr>) -> Expr {
-    Expr::ScalarFn { func: ScalarFunc::Concat, args }
+    Expr::ScalarFn {
+        func: ScalarFunc::Concat,
+        args,
+    }
 }
 
 /// `LENGTH(s)`.
 pub fn length(s: Expr) -> Expr {
-    Expr::ScalarFn { func: ScalarFunc::Length, args: vec![s] }
+    Expr::ScalarFn {
+        func: ScalarFunc::Length,
+        args: vec![s],
+    }
 }
 
 /// `COALESCE(args…)`.
 pub fn coalesce(args: Vec<Expr>) -> Expr {
-    Expr::ScalarFn { func: ScalarFunc::Coalesce, args }
+    Expr::ScalarFn {
+        func: ScalarFunc::Coalesce,
+        args,
+    }
 }
 
 /// `YEAR(date)`.
 pub fn year(d: Expr) -> Expr {
-    Expr::ScalarFn { func: ScalarFunc::Year, args: vec![d] }
+    Expr::ScalarFn {
+        func: ScalarFunc::Year,
+        args: vec![d],
+    }
 }
 
 #[cfg(test)]
@@ -283,9 +382,18 @@ mod tests {
     fn col_splits_qualifier() {
         assert_eq!(
             col("users.age"),
-            Expr::UnresolvedAttribute { qualifier: Some("users".into()), name: "age".into() }
+            Expr::UnresolvedAttribute {
+                qualifier: Some("users".into()),
+                name: "age".into()
+            }
         );
-        assert_eq!(col("age"), Expr::UnresolvedAttribute { qualifier: None, name: "age".into() });
+        assert_eq!(
+            col("age"),
+            Expr::UnresolvedAttribute {
+                qualifier: None,
+                name: "age".into()
+            }
+        );
     }
 
     #[test]
@@ -293,7 +401,10 @@ mod tests {
         // employees("deptId") === dept("id")
         let e = qualified_col("employees", "deptId").eq(qualified_col("dept", "id"));
         match e {
-            Expr::BinaryOp { op: BinaryOperator::Eq, .. } => {}
+            Expr::BinaryOp {
+                op: BinaryOperator::Eq,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -301,7 +412,13 @@ mod tests {
     #[test]
     fn between_desugars_to_range() {
         let e = col("x").between(lit(1), lit(10));
-        assert!(matches!(e, Expr::BinaryOp { op: BinaryOperator::And, .. }));
+        assert!(matches!(
+            e,
+            Expr::BinaryOp {
+                op: BinaryOperator::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -309,7 +426,12 @@ mod tests {
         let e = when(col("x").gt(lit(0)), lit("pos"))
             .when(col("x").lt(lit(0)), lit("neg"))
             .otherwise(lit("zero"));
-        if let Expr::Case { branches, else_expr, .. } = e {
+        if let Expr::Case {
+            branches,
+            else_expr,
+            ..
+        } = e
+        {
             assert_eq!(branches.len(), 2);
             assert!(else_expr.is_some());
         } else {

@@ -11,9 +11,19 @@ impl fmt::Display for Expr {
                 crate::value::Value::Str(s) => write!(f, "'{s}'"),
                 other => write!(f, "{other}"),
             },
-            Expr::UnresolvedAttribute { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::UnresolvedAttribute { qualifier: None, name } => write!(f, "{name}"),
-            Expr::UnresolvedFunction { name, args, distinct } => {
+            Expr::UnresolvedAttribute {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::UnresolvedAttribute {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
+            Expr::UnresolvedFunction {
+                name,
+                args,
+                distinct,
+            } => {
                 write!(f, "{name}(")?;
                 if *distinct {
                     write!(f, "DISTINCT ")?;
@@ -36,15 +46,31 @@ impl fmt::Display for Expr {
             Expr::Negate(e) => write!(f, "(- {e})"),
             Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
             Expr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}LIKE {pattern})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 fmt_args(f, list)?;
                 write!(f, "))")
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 write!(f, "CASE")?;
                 if let Some(o) = operand {
                     write!(f, " {o}")?;
@@ -68,7 +94,11 @@ impl fmt::Display for Expr {
                 fmt_args(f, args)?;
                 write!(f, ")")
             }
-            Expr::Agg { func, arg, distinct } => {
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 write!(f, "{}(", func.name())?;
                 if *distinct {
                     write!(f, "DISTINCT ")?;
@@ -82,7 +112,11 @@ impl fmt::Display for Expr {
             Expr::GetField { expr, name } => write!(f, "{expr}.{name}"),
             Expr::GetItem { expr, index } => write!(f, "{expr}[{index}]"),
             Expr::UnscaledValue(e) => write!(f, "unscaled({e})"),
-            Expr::MakeDecimal { expr, precision, scale } => {
+            Expr::MakeDecimal {
+                expr,
+                precision,
+                scale,
+            } => {
                 write!(f, "make_decimal({expr}, {precision}, {scale})")
             }
         }

@@ -416,9 +416,7 @@ impl Expr {
                         DataType::Double
                     }),
                     _ => DataType::tightest_common_type(&lt, &rt).ok_or_else(|| {
-                        CatalystError::analysis(format!(
-                            "incompatible operand types {lt} and {rt}"
-                        ))
+                        CatalystError::analysis(format!("incompatible operand types {lt} and {rt}"))
                     }),
                 }
             }
@@ -428,7 +426,11 @@ impl Expr {
             | Expr::Like { .. }
             | Expr::InList { .. } => Ok(DataType::Boolean),
             Expr::Negate(e) => e.data_type(),
-            Expr::Case { branches, else_expr, .. } => {
+            Expr::Case {
+                branches,
+                else_expr,
+                ..
+            } => {
                 let mut t = DataType::Null;
                 for (_, r) in branches {
                     t = DataType::tightest_common_type(&t, &r.data_type()?)
@@ -470,9 +472,7 @@ impl Expr {
                     .iter()
                     .find(|f| f.name.eq_ignore_ascii_case(name))
                     .map(|f| f.dtype.clone())
-                    .ok_or_else(|| {
-                        CatalystError::analysis(format!("no field '{name}' in struct"))
-                    }),
+                    .ok_or_else(|| CatalystError::analysis(format!("no field '{name}' in struct"))),
                 other => Err(CatalystError::analysis(format!(
                     "cannot access field '{name}' of non-struct type {other}"
                 ))),
@@ -484,9 +484,9 @@ impl Expr {
                 ))),
             },
             Expr::UnscaledValue(_) => Ok(DataType::Long),
-            Expr::MakeDecimal { precision, scale, .. } => {
-                Ok(DataType::Decimal(*precision, *scale))
-            }
+            Expr::MakeDecimal {
+                precision, scale, ..
+            } => Ok(DataType::Decimal(*precision, *scale)),
             Expr::UnresolvedAttribute { name, .. } => Err(CatalystError::analysis(format!(
                 "unresolved attribute '{name}'"
             ))),
@@ -505,7 +505,10 @@ impl Expr {
             Expr::BoundRef { nullable, .. } => *nullable,
             Expr::Alias { child, .. } => child.nullable(),
             Expr::IsNull(_) | Expr::IsNotNull(_) => false,
-            Expr::Agg { func: AggFunc::Count, .. } => false,
+            Expr::Agg {
+                func: AggFunc::Count,
+                ..
+            } => false,
             _ => true,
         }
     }
@@ -618,8 +621,7 @@ fn scalar_fn_type(func: ScalarFunc, args: &[Expr]) -> Result<DataType> {
         ScalarFunc::Coalesce => {
             let mut t = DataType::Null;
             for a in args {
-                t = DataType::tightest_common_type(&t, &a.data_type()?)
-                    .unwrap_or(DataType::String);
+                t = DataType::tightest_common_type(&t, &a.data_type()?).unwrap_or(DataType::String);
             }
             t
         }

@@ -39,14 +39,20 @@ impl TreeNode for Expr {
             | Expr::Wildcard { .. }
             | Expr::Column(_)
             | Expr::BoundRef { .. }) => e,
-            Expr::UnresolvedFunction { name, args, distinct } => Expr::UnresolvedFunction {
+            Expr::UnresolvedFunction {
+                name,
+                args,
+                distinct,
+            } => Expr::UnresolvedFunction {
                 name,
                 args: map_vec(args, f, &mut ch),
                 distinct,
             },
-            Expr::Alias { child, name, id } => {
-                Expr::Alias { child: map_box(child, f, &mut ch), name, id }
-            }
+            Expr::Alias { child, name, id } => Expr::Alias {
+                child: map_box(child, f, &mut ch),
+                name,
+                id,
+            },
             Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
                 left: map_box(left, f, &mut ch),
                 op,
@@ -56,17 +62,29 @@ impl TreeNode for Expr {
             Expr::Negate(e) => Expr::Negate(map_box(e, f, &mut ch)),
             Expr::IsNull(e) => Expr::IsNull(map_box(e, f, &mut ch)),
             Expr::IsNotNull(e) => Expr::IsNotNull(map_box(e, f, &mut ch)),
-            Expr::Like { expr, pattern, negated } => Expr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
                 expr: map_box(expr, f, &mut ch),
                 pattern: map_box(pattern, f, &mut ch),
                 negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: map_box(expr, f, &mut ch),
                 list: map_vec(list, f, &mut ch),
                 negated,
             },
-            Expr::Case { operand, branches, else_expr } => Expr::Case {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => Expr::Case {
                 operand: operand.map(|o| map_box(o, f, &mut ch)),
                 branches: branches
                     .into_iter()
@@ -79,31 +97,50 @@ impl TreeNode for Expr {
                     .collect(),
                 else_expr: else_expr.map(|e| map_box(e, f, &mut ch)),
             },
-            Expr::Cast { expr, dtype } => Expr::Cast { expr: map_box(expr, f, &mut ch), dtype },
-            Expr::ScalarFn { func, args } => {
-                Expr::ScalarFn { func, args: map_vec(args, f, &mut ch) }
-            }
-            Expr::Udf { udf, args } => Expr::Udf { udf, args: map_vec(args, f, &mut ch) },
-            Expr::Agg { func, arg, distinct } => Expr::Agg {
+            Expr::Cast { expr, dtype } => Expr::Cast {
+                expr: map_box(expr, f, &mut ch),
+                dtype,
+            },
+            Expr::ScalarFn { func, args } => Expr::ScalarFn {
+                func,
+                args: map_vec(args, f, &mut ch),
+            },
+            Expr::Udf { udf, args } => Expr::Udf {
+                udf,
+                args: map_vec(args, f, &mut ch),
+            },
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => Expr::Agg {
                 func,
                 arg: arg.map(|a| map_box(a, f, &mut ch)),
                 distinct,
             },
-            Expr::GetField { expr, name } => {
-                Expr::GetField { expr: map_box(expr, f, &mut ch), name }
-            }
+            Expr::GetField { expr, name } => Expr::GetField {
+                expr: map_box(expr, f, &mut ch),
+                name,
+            },
             Expr::GetItem { expr, index } => Expr::GetItem {
                 expr: map_box(expr, f, &mut ch),
                 index: map_box(index, f, &mut ch),
             },
             Expr::UnscaledValue(e) => Expr::UnscaledValue(map_box(e, f, &mut ch)),
-            Expr::MakeDecimal { expr, precision, scale } => Expr::MakeDecimal {
+            Expr::MakeDecimal {
+                expr,
+                precision,
+                scale,
+            } => Expr::MakeDecimal {
                 expr: map_box(expr, f, &mut ch),
                 precision,
                 scale,
             },
         };
-        Transformed { data: out, changed: ch }
+        Transformed {
+            data: out,
+            changed: ch,
+        }
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Expr)) {
@@ -141,7 +178,11 @@ impl TreeNode for Expr {
                     e.for_each(f);
                 }
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     o.for_each(f);
                 }

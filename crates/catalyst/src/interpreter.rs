@@ -65,7 +65,11 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
         Expr::Negate(e) => eval(e, row)?.neg(),
         Expr::IsNull(e) => Ok(Value::Boolean(eval(e, row)?.is_null())),
         Expr::IsNotNull(e) => Ok(Value::Boolean(!eval(e, row)?.is_null())),
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             let p = eval(pattern, row)?;
             if v.is_null() || p.is_null() {
@@ -79,7 +83,11 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
                 _ => Err(CatalystError::eval("LIKE requires string operands")),
             }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -99,7 +107,11 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
                 Ok(Value::Boolean(*negated))
             }
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             let op_val = operand.as_ref().map(|o| eval(o, row)).transpose()?;
             for (cond, result) in branches {
                 let fire = match &op_val {
@@ -143,7 +155,10 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
             match (v, dtype) {
                 (Value::Null, _) => Ok(Value::Null),
                 (Value::Struct(vals), DataType::Struct(fields)) => {
-                    match fields.iter().position(|f| f.name.eq_ignore_ascii_case(name)) {
+                    match fields
+                        .iter()
+                        .position(|f| f.name.eq_ignore_ascii_case(name))
+                    {
                         Some(i) => Ok(vals.get(i).cloned().unwrap_or(Value::Null)),
                         None => Err(CatalystError::eval(format!("no struct field '{name}'"))),
                     }
@@ -172,9 +187,16 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
         Expr::UnscaledValue(e) => match eval(e, row)? {
             Value::Null => Ok(Value::Null),
             Value::Decimal(u, _, _) => Ok(Value::Long(u as i64)),
-            v => Err(CatalystError::eval(format!("unscaled of non-decimal {}", v.dtype()))),
+            v => Err(CatalystError::eval(format!(
+                "unscaled of non-decimal {}",
+                v.dtype()
+            ))),
         },
-        Expr::MakeDecimal { expr, precision, scale } => match eval(expr, row)? {
+        Expr::MakeDecimal {
+            expr,
+            precision,
+            scale,
+        } => match eval(expr, row)? {
             Value::Null => Ok(Value::Null),
             v => match v.as_i64() {
                 Some(u) => Ok(Value::Decimal(u as i128, *precision, *scale)),
@@ -187,9 +209,9 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
         Expr::UnresolvedFunction { name, .. } => Err(CatalystError::Internal(format!(
             "unresolved function '{name}' at evaluation time"
         ))),
-        Expr::Wildcard { .. } => {
-            Err(CatalystError::Internal("wildcard at evaluation time".into()))
-        }
+        Expr::Wildcard { .. } => Err(CatalystError::Internal(
+            "wildcard at evaluation time".into(),
+        )),
     }
 }
 
@@ -290,9 +312,15 @@ pub fn apply_scalar_fn(func: ScalarFunc, vals: &[Value]) -> Result<Value> {
         Upper => Ok(Value::str(req_str(&vals[0])?.to_uppercase())),
         Lower => Ok(Value::str(req_str(&vals[0])?.to_lowercase())),
         Trim => Ok(Value::str(req_str(&vals[0])?.trim())),
-        StartsWith => Ok(Value::Boolean(req_str(&vals[0])?.starts_with(req_str(&vals[1])?))),
-        EndsWith => Ok(Value::Boolean(req_str(&vals[0])?.ends_with(req_str(&vals[1])?))),
-        Contains => Ok(Value::Boolean(req_str(&vals[0])?.contains(req_str(&vals[1])?))),
+        StartsWith => Ok(Value::Boolean(
+            req_str(&vals[0])?.starts_with(req_str(&vals[1])?),
+        )),
+        EndsWith => Ok(Value::Boolean(
+            req_str(&vals[0])?.ends_with(req_str(&vals[1])?),
+        )),
+        Contains => Ok(Value::Boolean(
+            req_str(&vals[0])?.contains(req_str(&vals[1])?),
+        )),
         Abs => match &vals[0] {
             Value::Int(v) => Ok(Value::Int(v.abs())),
             Value::Long(v) => Ok(Value::Long(v.abs())),
@@ -445,21 +473,30 @@ mod tests {
         let e = bound(&input, col("x").in_list(vec![lit(1i64), lit(10i64)]));
         assert_eq!(eval(&e, &test_row()).unwrap(), Value::Boolean(true));
         // x IN (1, NULL) where x=10 → NULL (unknown).
-        let e = bound(&input, col("x").in_list(vec![lit(1i64), Expr::Literal(Value::Null)]));
+        let e = bound(
+            &input,
+            col("x").in_list(vec![lit(1i64), Expr::Literal(Value::Null)]),
+        );
         assert_eq!(eval(&e, &test_row()).unwrap(), Value::Null);
     }
 
     #[test]
     fn case_expression() {
         let input = test_input();
-        let e = bound(&input, when(col("x").gt(lit(5i64)), lit("big")).otherwise(lit("small")));
+        let e = bound(
+            &input,
+            when(col("x").gt(lit(5i64)), lit("big")).otherwise(lit("small")),
+        );
         assert_eq!(eval(&e, &test_row()).unwrap(), Value::str("big"));
     }
 
     #[test]
     fn string_functions() {
         let input = test_input();
-        let e = bound(&input, crate::expr::builders::substr(col("s"), lit(1), lit(4)));
+        let e = bound(
+            &input,
+            crate::expr::builders::substr(col("s"), lit(1), lit(4)),
+        );
         assert_eq!(eval(&e, &test_row()).unwrap(), Value::str("hell"));
         let e = bound(&input, crate::expr::builders::length(col("s")));
         assert_eq!(eval(&e, &test_row()).unwrap(), Value::Int(5));
@@ -475,7 +512,10 @@ mod tests {
         });
         let input = test_input();
         let arg = bound(&input, col("x"));
-        let e = Expr::Udf { udf, args: vec![arg] };
+        let e = Expr::Udf {
+            udf,
+            args: vec![arg],
+        };
         assert_eq!(eval(&e, &test_row()).unwrap(), Value::Long(20));
     }
 
@@ -484,13 +524,23 @@ mod tests {
         let d = Expr::Literal(Value::Decimal(12345, 10, 2));
         let unscaled = Expr::UnscaledValue(Box::new(d));
         assert_eq!(eval(&unscaled, &Row::empty()).unwrap(), Value::Long(12345));
-        let back = Expr::MakeDecimal { expr: Box::new(unscaled), precision: 12, scale: 2 };
-        assert_eq!(eval(&back, &Row::empty()).unwrap(), Value::Decimal(12345, 12, 2));
+        let back = Expr::MakeDecimal {
+            expr: Box::new(unscaled),
+            precision: 12,
+            scale: 2,
+        };
+        assert_eq!(
+            eval(&back, &Row::empty()).unwrap(),
+            Value::Decimal(12345, 12, 2)
+        );
     }
 
     #[test]
     fn cast_evaluation() {
-        let e = Expr::Cast { expr: Box::new(lit("42")), dtype: DataType::Long };
+        let e = Expr::Cast {
+            expr: Box::new(lit("42")),
+            dtype: DataType::Long,
+        };
         assert_eq!(eval(&e, &Row::empty()).unwrap(), Value::Long(42));
     }
 

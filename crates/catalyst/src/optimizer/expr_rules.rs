@@ -26,7 +26,9 @@ impl Rule<LogicalPlan> for ConstantFolding {
             // literal silently drops the column from `output()`. The
             // alias's child has already been folded by the bottom-up
             // traversal.
-            if matches!(e, Expr::Literal(_) | Expr::Alias { .. }) || !e.is_resolved() || !e.foldable()
+            if matches!(e, Expr::Literal(_) | Expr::Alias { .. })
+                || !e.is_resolved()
+                || !e.foldable()
             {
                 return Transformed::no(e);
             }
@@ -86,29 +88,39 @@ impl Rule<LogicalPlan> for BooleanSimplification {
 
     fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
         plan.transform_all_expressions(&mut |e| match e {
-            Expr::BinaryOp { left, op: BinaryOperator::And, right } => {
-                match (&*left, &*right) {
-                    (Expr::Literal(Value::Boolean(true)), _) => Transformed::yes(*right),
-                    (_, Expr::Literal(Value::Boolean(true))) => Transformed::yes(*left),
-                    (Expr::Literal(Value::Boolean(false)), _)
-                    | (_, Expr::Literal(Value::Boolean(false))) => {
-                        Transformed::yes(Expr::Literal(Value::Boolean(false)))
-                    }
-                    _ => Transformed::no(Expr::BinaryOp {
-                        left,
-                        op: BinaryOperator::And,
-                        right,
-                    }),
+            Expr::BinaryOp {
+                left,
+                op: BinaryOperator::And,
+                right,
+            } => match (&*left, &*right) {
+                (Expr::Literal(Value::Boolean(true)), _) => Transformed::yes(*right),
+                (_, Expr::Literal(Value::Boolean(true))) => Transformed::yes(*left),
+                (Expr::Literal(Value::Boolean(false)), _)
+                | (_, Expr::Literal(Value::Boolean(false))) => {
+                    Transformed::yes(Expr::Literal(Value::Boolean(false)))
                 }
-            }
-            Expr::BinaryOp { left, op: BinaryOperator::Or, right } => match (&*left, &*right) {
+                _ => Transformed::no(Expr::BinaryOp {
+                    left,
+                    op: BinaryOperator::And,
+                    right,
+                }),
+            },
+            Expr::BinaryOp {
+                left,
+                op: BinaryOperator::Or,
+                right,
+            } => match (&*left, &*right) {
                 (Expr::Literal(Value::Boolean(false)), _) => Transformed::yes(*right),
                 (_, Expr::Literal(Value::Boolean(false))) => Transformed::yes(*left),
                 (Expr::Literal(Value::Boolean(true)), _)
                 | (_, Expr::Literal(Value::Boolean(true))) => {
                     Transformed::yes(Expr::Literal(Value::Boolean(true)))
                 }
-                _ => Transformed::no(Expr::BinaryOp { left, op: BinaryOperator::Or, right }),
+                _ => Transformed::no(Expr::BinaryOp {
+                    left,
+                    op: BinaryOperator::Or,
+                    right,
+                }),
             },
             Expr::Not(inner) => match *inner {
                 Expr::Literal(Value::Boolean(b)) => {
@@ -119,11 +131,19 @@ impl Rule<LogicalPlan> for BooleanSimplification {
             },
             // col = col is true for non-nullable columns; the unique-ID
             // analysis step (§4.3.1) is what makes this sound.
-            Expr::BinaryOp { left, op: BinaryOperator::Eq, right } => match (&*left, &*right) {
+            Expr::BinaryOp {
+                left,
+                op: BinaryOperator::Eq,
+                right,
+            } => match (&*left, &*right) {
                 (Expr::Column(a), Expr::Column(b)) if a.id == b.id && !a.nullable => {
                     Transformed::yes(Expr::Literal(Value::Boolean(true)))
                 }
-                _ => Transformed::no(Expr::BinaryOp { left, op: BinaryOperator::Eq, right }),
+                _ => Transformed::no(Expr::BinaryOp {
+                    left,
+                    op: BinaryOperator::Eq,
+                    right,
+                }),
             },
             other => Transformed::no(other),
         })
@@ -160,23 +180,35 @@ impl Rule<LogicalPlan> for SimplifyLike {
 
     fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
         plan.transform_all_expressions(&mut |e| match e {
-            Expr::Like { expr, pattern, negated: false } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated: false,
+            } => {
                 let pat = match &*pattern {
                     Expr::Literal(Value::Str(s)) => s.clone(),
-                    _ => return Transformed::no(Expr::Like { expr, pattern, negated: false }),
+                    _ => {
+                        return Transformed::no(Expr::Like {
+                            expr,
+                            pattern,
+                            negated: false,
+                        })
+                    }
                 };
                 let inner = pat.trim_matches('%');
                 // Only simplify when the inner text has no wildcards.
                 if inner.contains('%') || inner.contains('_') {
-                    return Transformed::no(Expr::Like { expr, pattern, negated: false });
+                    return Transformed::no(Expr::Like {
+                        expr,
+                        pattern,
+                        negated: false,
+                    });
                 }
                 let starts = pat.starts_with('%');
                 let ends = pat.ends_with('%');
-                let make = |func| {
-                    Expr::ScalarFn {
-                        func,
-                        args: vec![(*expr).clone(), Expr::Literal(Value::str(inner))],
-                    }
+                let make = |func| Expr::ScalarFn {
+                    func,
+                    args: vec![(*expr).clone(), Expr::Literal(Value::str(inner))],
                 };
                 match (starts, ends) {
                     (false, false) => {
@@ -206,7 +238,11 @@ impl Rule<LogicalPlan> for DecimalAggregates {
 
     fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
         plan.transform_all_expressions(&mut |e| match e {
-            Expr::Agg { func: crate::expr::AggFunc::Sum, arg: Some(arg), distinct: false } => {
+            Expr::Agg {
+                func: crate::expr::AggFunc::Sum,
+                arg: Some(arg),
+                distinct: false,
+            } => {
                 // Skip if already rewritten (argument is UnscaledValue).
                 if matches!(*arg, Expr::UnscaledValue(_)) {
                     return Transformed::no(Expr::Agg {

@@ -37,23 +37,23 @@ impl Optimizer {
         let executor = RuleExecutor::new(vec![
             Batch::once("Finish Analysis", vec![Box::new(EliminateSubqueryAliases)]),
             Batch::fixed_point(
-            "Operator Optimizations",
-            vec![
-                Box::new(ConstantFolding),
-                Box::new(NullPropagation),
-                Box::new(BooleanSimplification),
-                Box::new(SimplifyCasts),
-                Box::new(SimplifyLike),
-                Box::new(CombineFilters),
-                Box::new(PushDownPredicate),
-                Box::new(PruneFilters),
-                Box::new(CollapseProjects),
-                Box::new(ColumnPruning),
-                Box::new(CombineLimits),
-                Box::new(PushDownLimit),
-                Box::new(DecimalAggregates),
-            ],
-        ),
+                "Operator Optimizations",
+                vec![
+                    Box::new(ConstantFolding),
+                    Box::new(NullPropagation),
+                    Box::new(BooleanSimplification),
+                    Box::new(SimplifyCasts),
+                    Box::new(SimplifyLike),
+                    Box::new(CombineFilters),
+                    Box::new(PushDownPredicate),
+                    Box::new(PruneFilters),
+                    Box::new(CollapseProjects),
+                    Box::new(ColumnPruning),
+                    Box::new(CombineLimits),
+                    Box::new(PushDownLimit),
+                    Box::new(DecimalAggregates),
+                ],
+            ),
         ]);
         Optimizer { executor }
     }
@@ -213,7 +213,10 @@ mod tests {
             vec![("t", t.clone())],
         );
         let opt = Optimizer::new().optimize(plan);
-        assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 0);
+        assert_eq!(
+            count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+            0
+        );
 
         let plan = analyze(
             LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(lit(1i64).gt(lit(2i64))),
@@ -221,7 +224,10 @@ mod tests {
         );
         let opt = Optimizer::new().optimize(plan);
         assert_eq!(
-            count_nodes(&opt, |p| matches!(p, LogicalPlan::LocalRelation { rows, .. } if rows.is_empty())),
+            count_nodes(
+                &opt,
+                |p| matches!(p, LogicalPlan::LocalRelation { rows, .. } if rows.is_empty())
+            ),
             1,
             "{opt}"
         );
@@ -231,8 +237,7 @@ mod tests {
     fn like_prefix_becomes_starts_with() {
         let t = table(&[("s", DataType::String)]);
         let plan = analyze(
-            LogicalPlan::UnresolvedRelation { name: "t".into() }
-                .filter(col("s").like(lit("abc%"))),
+            LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(col("s").like(lit("abc%"))),
             vec![("t", t)],
         );
         let opt = Optimizer::new().optimize(plan);
@@ -240,7 +245,13 @@ mod tests {
         opt.for_each(&mut |p| {
             for e in p.expressions() {
                 e.for_each_node(&mut |e| {
-                    if matches!(e, Expr::ScalarFn { func: ScalarFunc::StartsWith, .. }) {
+                    if matches!(
+                        e,
+                        Expr::ScalarFn {
+                            func: ScalarFunc::StartsWith,
+                            ..
+                        }
+                    ) {
                         saw = true;
                     }
                 });
@@ -262,8 +273,14 @@ mod tests {
         opt.for_each(&mut |p| {
             for e in p.expressions() {
                 e.for_each_node(&mut |e| match e {
-                    Expr::ScalarFn { func: ScalarFunc::Contains, .. } => contains = true,
-                    Expr::BinaryOp { op: crate::expr::BinaryOperator::Eq, .. } => eq = true,
+                    Expr::ScalarFn {
+                        func: ScalarFunc::Contains,
+                        ..
+                    } => contains = true,
+                    Expr::BinaryOp {
+                        op: crate::expr::BinaryOperator::Eq,
+                        ..
+                    } => eq = true,
                     _ => {}
                 });
             }
@@ -297,7 +314,10 @@ mod tests {
         let filter_depth = depth_of(&opt, &|p| matches!(p, LogicalPlan::Filter { .. }), 0);
         match (proj_depth, filter_depth) {
             (Some(pd), Some(fd)) => {
-                assert!(fd > pd, "filter ({fd}) should be below project ({pd}) in\n{opt}")
+                assert!(
+                    fd > pd,
+                    "filter ({fd}) should be below project ({pd}) in\n{opt}"
+                )
             }
             _ => panic!("missing nodes in\n{opt}"),
         }
@@ -324,7 +344,11 @@ mod tests {
             }
         }
         assert_eq!(count_nodes(&opt, top_filter), 0, "{opt}");
-        assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 2, "{opt}");
+        assert_eq!(
+            count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+            2,
+            "{opt}"
+        );
     }
 
     #[test]
@@ -365,7 +389,11 @@ mod tests {
         opt.for_each(&mut |p| {
             for e in p.expressions() {
                 e.for_each_node(&mut |e| match e {
-                    Expr::MakeDecimal { precision: 16, scale: 2, .. } => saw_make_decimal = true,
+                    Expr::MakeDecimal {
+                        precision: 16,
+                        scale: 2,
+                        ..
+                    } => saw_make_decimal = true,
                     Expr::UnscaledValue(_) => saw_unscaled = true,
                     _ => {}
                 });

@@ -12,7 +12,11 @@ use std::sync::Arc;
 /// Split a predicate on AND into conjuncts.
 pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
     match e {
-        Expr::BinaryOp { left, op: BinaryOperator::And, right } => {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOperator::And,
+            right,
+        } => {
             let mut out = split_conjuncts(left);
             out.extend(split_conjuncts(right));
             out
@@ -33,7 +37,9 @@ pub fn conjunction(mut conjuncts: Vec<Expr>) -> Option<Expr> {
 
 /// True when every column `e` references appears in `attrs`.
 fn references_subset(e: &Expr, attrs: &[ColumnRef]) -> bool {
-    e.references().iter().all(|r| attrs.iter().any(|a| a.id == r.id))
+    e.references()
+        .iter()
+        .all(|r| attrs.iter().any(|a| a.id == r.id))
 }
 
 /// Replace `Column(id)` with `map[id]` throughout an expression.
@@ -97,12 +103,13 @@ impl Rule<LogicalPlan> for CombineFilters {
     fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
         plan.transform_up(&mut |p| match p {
             LogicalPlan::Filter { input, predicate } => match &*input {
-                LogicalPlan::Filter { input: inner, predicate: inner_pred } => {
-                    Transformed::yes(LogicalPlan::Filter {
-                        input: inner.clone(),
-                        predicate: inner_pred.clone().and(predicate),
-                    })
-                }
+                LogicalPlan::Filter {
+                    input: inner,
+                    predicate: inner_pred,
+                } => Transformed::yes(LogicalPlan::Filter {
+                    input: inner.clone(),
+                    predicate: inner_pred.clone().and(predicate),
+                }),
                 _ => Transformed::no(LogicalPlan::Filter { input, predicate }),
             },
             other => Transformed::no(other),
@@ -144,21 +151,22 @@ impl Rule<LogicalPlan> for CollapseProjects {
     fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
         plan.transform_up(&mut |p| match p {
             LogicalPlan::Project { input, exprs } => match &*input {
-                LogicalPlan::Project { input: inner, exprs: inner_exprs } => {
-                    match projection_map(inner_exprs) {
-                        Some(map) => {
-                            let merged: Vec<Expr> = exprs
-                                .iter()
-                                .map(|e| substitute(e.clone(), &map).data)
-                                .collect();
-                            Transformed::yes(LogicalPlan::Project {
-                                input: inner.clone(),
-                                exprs: merged,
-                            })
-                        }
-                        None => Transformed::no(LogicalPlan::Project { input, exprs }),
+                LogicalPlan::Project {
+                    input: inner,
+                    exprs: inner_exprs,
+                } => match projection_map(inner_exprs) {
+                    Some(map) => {
+                        let merged: Vec<Expr> = exprs
+                            .iter()
+                            .map(|e| substitute(e.clone(), &map).data)
+                            .collect();
+                        Transformed::yes(LogicalPlan::Project {
+                            input: inner.clone(),
+                            exprs: merged,
+                        })
                     }
-                }
+                    None => Transformed::no(LogicalPlan::Project { input, exprs }),
+                },
                 _ => Transformed::no(LogicalPlan::Project { input, exprs }),
             },
             other => Transformed::no(other),
@@ -181,7 +189,10 @@ impl Rule<LogicalPlan> for PushDownPredicate {
             };
             match (*input).clone() {
                 // Below a projection: substitute aliases, move under.
-                LogicalPlan::Project { input: child, exprs } => {
+                LogicalPlan::Project {
+                    input: child,
+                    exprs,
+                } => {
                     // Don't push through aggregate-producing projections
                     // (can't happen post-analysis, but be safe) or UDFs in
                     // substituted positions.
@@ -197,33 +208,41 @@ impl Rule<LogicalPlan> for PushDownPredicate {
                             })
                         }
                         None => Transformed::no(LogicalPlan::Filter {
-                            input: Arc::new(LogicalPlan::Project { input: child, exprs }),
+                            input: Arc::new(LogicalPlan::Project {
+                                input: child,
+                                exprs,
+                            }),
                             predicate,
                         }),
                     }
                 }
                 // Below an alias: ids are stable, just swap.
-                LogicalPlan::SubqueryAlias { input: child, alias } => {
-                    Transformed::yes(LogicalPlan::SubqueryAlias {
-                        input: Arc::new(LogicalPlan::Filter { input: child, predicate }),
-                        alias,
-                    })
-                }
+                LogicalPlan::SubqueryAlias {
+                    input: child,
+                    alias,
+                } => Transformed::yes(LogicalPlan::SubqueryAlias {
+                    input: Arc::new(LogicalPlan::Filter {
+                        input: child,
+                        predicate,
+                    }),
+                    alias,
+                }),
                 // Below a sort (order unaffected by filtering).
-                LogicalPlan::Sort { input: child, orders } => {
-                    Transformed::yes(LogicalPlan::Sort {
-                        input: Arc::new(LogicalPlan::Filter { input: child, predicate }),
-                        orders,
-                    })
-                }
+                LogicalPlan::Sort {
+                    input: child,
+                    orders,
+                } => Transformed::yes(LogicalPlan::Sort {
+                    input: Arc::new(LogicalPlan::Filter {
+                        input: child,
+                        predicate,
+                    }),
+                    orders,
+                }),
                 // Into both sides of a union.
                 LogicalPlan::Union { inputs } => {
                     // Union inputs share the first input's output ids only
                     // if built from the same plan; remap by position.
-                    let first_out = inputs
-                        .first()
-                        .map(|i| i.output())
-                        .unwrap_or_default();
+                    let first_out = inputs.first().map(|i| i.output()).unwrap_or_default();
                     let pushed: Vec<Arc<LogicalPlan>> = inputs
                         .iter()
                         .map(|i| {
@@ -243,7 +262,12 @@ impl Rule<LogicalPlan> for PushDownPredicate {
                     Transformed::yes(LogicalPlan::Union { inputs: pushed })
                 }
                 // Split across a join.
-                LogicalPlan::Join { left, right, join_type, condition } => {
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    join_type,
+                    condition,
+                } => {
                     let left_out = left.output();
                     let right_out = right.output();
                     let mut to_left = Vec::new();
@@ -288,11 +312,17 @@ impl Rule<LogicalPlan> for PushDownPredicate {
                         });
                     }
                     let new_left = match conjunction(to_left) {
-                        Some(p) => Arc::new(LogicalPlan::Filter { input: left, predicate: p }),
+                        Some(p) => Arc::new(LogicalPlan::Filter {
+                            input: left,
+                            predicate: p,
+                        }),
                         None => left,
                     };
                     let new_right = match conjunction(to_right) {
-                        Some(p) => Arc::new(LogicalPlan::Filter { input: right, predicate: p }),
+                        Some(p) => Arc::new(LogicalPlan::Filter {
+                            input: right,
+                            predicate: p,
+                        }),
                         None => right,
                     };
                     let (condition, kept, join_type) = if kept_in_condition {
@@ -317,7 +347,11 @@ impl Rule<LogicalPlan> for PushDownPredicate {
                     }
                 }
                 // Below an aggregate, for conjuncts over grouping columns.
-                LogicalPlan::Aggregate { input: child, groupings, aggregates } => {
+                LogicalPlan::Aggregate {
+                    input: child,
+                    groupings,
+                    aggregates,
+                } => {
                     let agg_out = LogicalPlan::Aggregate {
                         input: child.clone(),
                         groupings: groupings.clone(),
@@ -330,9 +364,9 @@ impl Rule<LogicalPlan> for PushDownPredicate {
                             Expr::Column(c) if groupings.contains(a) => {
                                 group_map.insert(c.id, a.clone());
                             }
-                            Expr::Alias { child: inner, id, .. }
-                                if groupings.contains(inner) =>
-                            {
+                            Expr::Alias {
+                                child: inner, id, ..
+                            } if groupings.contains(inner) => {
                                 group_map.insert(*id, (**inner).clone());
                             }
                             _ => {}
@@ -361,8 +395,11 @@ impl Rule<LogicalPlan> for PushDownPredicate {
                         input: child,
                         predicate: conjunction(pushable).unwrap(),
                     });
-                    let new_agg =
-                        LogicalPlan::Aggregate { input: filtered_child, groupings, aggregates };
+                    let new_agg = LogicalPlan::Aggregate {
+                        input: filtered_child,
+                        groupings,
+                        aggregates,
+                    };
                     match conjunction(kept) {
                         Some(p) => Transformed::yes(LogicalPlan::Filter {
                             input: Arc::new(new_agg),
@@ -385,20 +422,17 @@ impl Rule<LogicalPlan> for PushDownPredicate {
 pub struct ColumnPruning;
 
 impl ColumnPruning {
-    fn prune_side(
-        side: Arc<LogicalPlan>,
-        required: &[ColumnRef],
-    ) -> (Arc<LogicalPlan>, bool) {
+    fn prune_side(side: Arc<LogicalPlan>, required: &[ColumnRef]) -> (Arc<LogicalPlan>, bool) {
         let out = side.output();
-        let mut keep: Vec<ColumnRef> =
-            out.iter().filter(|c| required.iter().any(|r| r.id == c.id)).cloned().collect();
+        let mut keep: Vec<ColumnRef> = out
+            .iter()
+            .filter(|c| required.iter().any(|r| r.id == c.id))
+            .cloned()
+            .collect();
         // Nothing required (e.g. COUNT(*)): keep the narrowest column so
         // downstream scans still decode as little as possible.
         if keep.is_empty() {
-            match out
-                .iter()
-                .min_by_key(|c| c.dtype.approx_value_bytes())
-            {
+            match out.iter().min_by_key(|c| c.dtype.approx_value_bytes()) {
                 Some(cheapest) => keep.push(cheapest.clone()),
                 None => return (side, false),
             }
@@ -420,7 +454,12 @@ impl Rule<LogicalPlan> for ColumnPruning {
         plan.transform_down(&mut |p| match p {
             // Project over Join: push the required set into both sides.
             LogicalPlan::Project { input, exprs } => match (*input).clone() {
-                LogicalPlan::Join { left, right, join_type, condition } => {
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    join_type,
+                    condition,
+                } => {
                     let mut required: Vec<ColumnRef> =
                         exprs.iter().flat_map(|e| e.references()).collect();
                     if let Some(c) = &condition {
@@ -449,15 +488,22 @@ impl Rule<LogicalPlan> for ColumnPruning {
                 }),
             },
             // Aggregate: its input only needs grouping/aggregate refs.
-            LogicalPlan::Aggregate { input, groupings, aggregates } => {
+            LogicalPlan::Aggregate {
+                input,
+                groupings,
+                aggregates,
+            } => {
                 let required: Vec<ColumnRef> = groupings
                     .iter()
                     .chain(aggregates.iter())
                     .flat_map(|e| e.references())
                     .collect();
                 let (new_input, ch) = Self::prune_side(input, &required);
-                let node =
-                    LogicalPlan::Aggregate { input: new_input, groupings, aggregates };
+                let node = LogicalPlan::Aggregate {
+                    input: new_input,
+                    groupings,
+                    aggregates,
+                };
                 if ch {
                     Transformed::yes(node)
                 } else {
@@ -502,12 +548,13 @@ impl Rule<LogicalPlan> for PushDownLimit {
     fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
         plan.transform_up(&mut |p| match p {
             LogicalPlan::Limit { input, n } => match (*input).clone() {
-                LogicalPlan::Project { input: child, exprs } => {
-                    Transformed::yes(LogicalPlan::Project {
-                        input: Arc::new(LogicalPlan::Limit { input: child, n }),
-                        exprs,
-                    })
-                }
+                LogicalPlan::Project {
+                    input: child,
+                    exprs,
+                } => Transformed::yes(LogicalPlan::Project {
+                    input: Arc::new(LogicalPlan::Limit { input: child, n }),
+                    exprs,
+                }),
                 LogicalPlan::Union { inputs } => {
                     // Cap each branch, keep the outer limit.
                     let already_capped = inputs
@@ -528,7 +575,10 @@ impl Rule<LogicalPlan> for PushDownLimit {
                         n,
                     })
                 }
-                other => Transformed::no(LogicalPlan::Limit { input: Arc::new(other), n }),
+                other => Transformed::no(LogicalPlan::Limit {
+                    input: Arc::new(other),
+                    n,
+                }),
             },
             other => Transformed::no(other),
         })

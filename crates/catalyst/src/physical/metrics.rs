@@ -62,7 +62,12 @@ impl OperatorMetrics {
 
     /// Add `n` to a named side metric (created at 0 if absent).
     pub fn add_extra(&self, name: &str, n: u64) {
-        *self.extras.lock().unwrap().entry(name.to_string()).or_insert(0) += n;
+        *self
+            .extras
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert(0) += n;
     }
 
     /// Overwrite a named side metric.
@@ -101,7 +106,9 @@ impl PlanMetrics {
     pub fn for_plan(plan: &PhysicalPlan) -> Arc<PlanMetrics> {
         let n = subtree_size(plan);
         Arc::new(PlanMetrics {
-            nodes: (0..n).map(|_| Arc::new(OperatorMetrics::default())).collect(),
+            nodes: (0..n)
+                .map(|_| Arc::new(OperatorMetrics::default()))
+                .collect(),
             claimed_shuffles: Mutex::new(HashSet::new()),
         })
     }
@@ -137,7 +144,11 @@ impl PlanMetrics {
 
 /// Number of nodes in the plan tree (the node itself plus descendants).
 pub fn subtree_size(plan: &PhysicalPlan) -> usize {
-    1 + plan.children().iter().map(|c| subtree_size(c)).sum::<usize>()
+    1 + plan
+        .children()
+        .iter()
+        .map(|c| subtree_size(c))
+        .sum::<usize>()
 }
 
 /// Pre-order ids of `plan`'s direct children, given the plan's own id.
@@ -223,7 +234,9 @@ mod tests {
     #[test]
     fn preorder_ids_cover_tree() {
         // Union(Limit(leaf), leaf): ids 0=union 1=limit 2=leaf 3=leaf.
-        let plan = PhysicalPlan::Union { inputs: vec![limit(leaf("a"), 1), leaf("b")] };
+        let plan = PhysicalPlan::Union {
+            inputs: vec![limit(leaf("a"), 1), leaf("b")],
+        };
         assert_eq!(subtree_size(&plan), 4);
         assert_eq!(child_ids(&plan, 0), vec![1, 3]);
         let limit_node = &plan.children()[0];
@@ -245,7 +258,9 @@ mod tests {
 
     #[test]
     fn claim_shuffles_is_exclusive() {
-        let plan = PhysicalPlan::Union { inputs: vec![leaf("a")] };
+        let plan = PhysicalPlan::Union {
+            inputs: vec![leaf("a")],
+        };
         let pm = PlanMetrics::for_plan(&plan);
         assert_eq!(pm.claim_shuffles(0..3), vec![0, 1, 2]);
         // Overlapping window only yields the fresh ids.
@@ -254,7 +269,10 @@ mod tests {
 
     #[test]
     fn annotated_render_includes_actuals() {
-        let plan = PhysicalPlan::Limit { input: leaf("a"), n: 7 };
+        let plan = PhysicalPlan::Limit {
+            input: leaf("a"),
+            n: 7,
+        };
         let pm = PlanMetrics::for_plan(&plan);
         pm.node(0).add_rows(7);
         pm.node(1).add_rows(100);

@@ -7,10 +7,10 @@
 
 use crate::error::Result;
 use crate::expr::{ColumnRef, Expr, SortOrder};
+use crate::plan::JoinType;
 use crate::row::Row;
 use crate::schema::{Schema, SchemaRef};
 use crate::source::{BaseRelation, ExternalData, Filter};
-use crate::plan::JoinType;
 use std::fmt;
 use std::sync::Arc;
 
@@ -196,16 +196,28 @@ impl PhysicalPlan {
             | PhysicalPlan::TakeOrdered { input, .. }
             | PhysicalPlan::Limit { input, .. }
             | PhysicalPlan::Sample { input, .. } => input.output(),
-            PhysicalPlan::HashAggregate { output_exprs, .. } => {
-                output_exprs.iter().filter_map(|e| e.to_attribute().ok()).collect()
+            PhysicalPlan::HashAggregate { output_exprs, .. } => output_exprs
+                .iter()
+                .filter_map(|e| e.to_attribute().ok())
+                .collect(),
+            PhysicalPlan::BroadcastHashJoin {
+                left,
+                right,
+                join_type,
+                ..
             }
-            PhysicalPlan::BroadcastHashJoin { left, right, join_type, .. }
-            | PhysicalPlan::ShuffledHashJoin { left, right, join_type, .. } => {
-                join_output(left, right, *join_type)
-            }
-            PhysicalPlan::NestedLoopJoin { left, right, join_type, .. } => {
-                join_output(left, right, *join_type)
-            }
+            | PhysicalPlan::ShuffledHashJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => join_output(left, right, *join_type),
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => join_output(left, right, *join_type),
             PhysicalPlan::Union { inputs } => {
                 inputs.first().map(|i| i.output()).unwrap_or_default()
             }
@@ -249,7 +261,13 @@ impl PhysicalPlan {
     /// One-line description for EXPLAIN.
     pub fn node_description(&self) -> String {
         match self {
-            PhysicalPlan::Scan { relation, projection, pushed_filters, residual, .. } => {
+            PhysicalPlan::Scan {
+                relation,
+                projection,
+                pushed_filters,
+                residual,
+                ..
+            } => {
                 let mut s = format!("Scan {}", relation.name());
                 if let Some(p) = projection {
                     let schema = relation.schema();
@@ -272,7 +290,11 @@ impl PhysicalPlan {
                 format!("Project [{}]", es.join(", "))
             }
             PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
-            PhysicalPlan::HashAggregate { groupings, output_exprs, .. } => {
+            PhysicalPlan::HashAggregate {
+                groupings,
+                output_exprs,
+                ..
+            } => {
                 let gs: Vec<String> = groupings.iter().map(|e| e.to_string()).collect();
                 let os: Vec<String> = output_exprs.iter().map(|e| e.to_string()).collect();
                 format!("HashAggregate [{}] [{}]", gs.join(", "), os.join(", "))
@@ -282,7 +304,13 @@ impl PhysicalPlan {
                 format!("TakeOrdered {n} [{}]", fmt_orders(orders))
             }
             PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
-            PhysicalPlan::BroadcastHashJoin { join_type, build_side, left_keys, right_keys, .. } => {
+            PhysicalPlan::BroadcastHashJoin {
+                join_type,
+                build_side,
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 format!(
                     "BroadcastHashJoin {} build={build_side:?} keys=({} = {})",
                     join_type.keyword(),
@@ -290,7 +318,12 @@ impl PhysicalPlan {
                     fmt_exprs(right_keys)
                 )
             }
-            PhysicalPlan::ShuffledHashJoin { join_type, left_keys, right_keys, .. } => {
+            PhysicalPlan::ShuffledHashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 format!(
                     "ShuffledHashJoin {} keys=({} = {})",
                     join_type.keyword(),
@@ -298,7 +331,11 @@ impl PhysicalPlan {
                     fmt_exprs(right_keys)
                 )
             }
-            PhysicalPlan::NestedLoopJoin { join_type, condition, .. } => match condition {
+            PhysicalPlan::NestedLoopJoin {
+                join_type,
+                condition,
+                ..
+            } => match condition {
                 Some(c) => format!("NestedLoopJoin {} ON {c}", join_type.keyword()),
                 None => format!("CartesianProduct {}", join_type.keyword()),
             },
@@ -345,7 +382,11 @@ fn fmt_orders(orders: &[SortOrder]) -> String {
 }
 
 fn fmt_exprs(exprs: &[Expr]) -> String {
-    exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+    exprs
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 impl fmt::Display for PhysicalPlan {

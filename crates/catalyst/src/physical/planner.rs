@@ -106,24 +106,29 @@ impl Strategy for SpecialLimits {
             return Ok(None);
         };
         match &**input {
-            LogicalPlan::Sort { input: sorted, orders } => {
-                Ok(Some(PhysicalPlan::TakeOrdered {
-                    input: Arc::new(planner.plan(sorted)?),
-                    orders: orders.clone(),
-                    n: *n,
-                }))
-            }
-            LogicalPlan::Project { input: proj_in, exprs } => match &**proj_in {
-                LogicalPlan::Sort { input: sorted, orders } => {
-                    Ok(Some(PhysicalPlan::Project {
-                        input: Arc::new(PhysicalPlan::TakeOrdered {
-                            input: Arc::new(planner.plan(sorted)?),
-                            orders: orders.clone(),
-                            n: *n,
-                        }),
-                        exprs: exprs.clone(),
-                    }))
-                }
+            LogicalPlan::Sort {
+                input: sorted,
+                orders,
+            } => Ok(Some(PhysicalPlan::TakeOrdered {
+                input: Arc::new(planner.plan(sorted)?),
+                orders: orders.clone(),
+                n: *n,
+            })),
+            LogicalPlan::Project {
+                input: proj_in,
+                exprs,
+            } => match &**proj_in {
+                LogicalPlan::Sort {
+                    input: sorted,
+                    orders,
+                } => Ok(Some(PhysicalPlan::Project {
+                    input: Arc::new(PhysicalPlan::TakeOrdered {
+                        input: Arc::new(planner.plan(sorted)?),
+                        orders: orders.clone(),
+                        n: *n,
+                    }),
+                    exprs: exprs.clone(),
+                })),
                 _ => Ok(None),
             },
             _ => Ok(None),
@@ -142,16 +147,17 @@ impl Strategy for Aggregation {
 
     fn apply(&self, plan: &LogicalPlan, planner: &Planner) -> Result<Option<PhysicalPlan>> {
         match plan {
-            LogicalPlan::Aggregate { input, groupings, aggregates } => {
-                Ok(Some(PhysicalPlan::HashAggregate {
-                    input: Arc::new(planner.plan(input)?),
-                    groupings: groupings.clone(),
-                    output_exprs: aggregates.clone(),
-                }))
-            }
+            LogicalPlan::Aggregate {
+                input,
+                groupings,
+                aggregates,
+            } => Ok(Some(PhysicalPlan::HashAggregate {
+                input: Arc::new(planner.plan(input)?),
+                groupings: groupings.clone(),
+                output_exprs: aggregates.clone(),
+            })),
             LogicalPlan::Distinct { input } => {
-                let cols: Vec<Expr> =
-                    input.output().into_iter().map(Expr::Column).collect();
+                let cols: Vec<Expr> = input.output().into_iter().map(Expr::Column).collect();
                 Ok(Some(PhysicalPlan::HashAggregate {
                     input: Arc::new(planner.plan(input)?),
                     groupings: cols.clone(),
@@ -190,7 +196,12 @@ pub fn extract_equi_keys(
         }
     };
     for c in split_conjuncts(condition) {
-        if let Expr::BinaryOp { left, op: BinaryOperator::Eq, right } = &c {
+        if let Expr::BinaryOp {
+            left,
+            op: BinaryOperator::Eq,
+            right,
+        } = &c
+        {
             match (side_of(left), side_of(right)) {
                 (Some(BuildSide::Left), Some(BuildSide::Right)) => {
                     keys.push(((**left).clone(), (**right).clone()));
@@ -214,7 +225,13 @@ impl Strategy for JoinSelection {
     }
 
     fn apply(&self, plan: &LogicalPlan, planner: &Planner) -> Result<Option<PhysicalPlan>> {
-        let LogicalPlan::Join { left, right, join_type, condition } = plan else {
+        let LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            condition,
+        } = plan
+        else {
             return Ok(None);
         };
         let left_phys = Arc::new(planner.plan(left)?);
@@ -315,26 +332,29 @@ impl Strategy for BasicOperators {
         let out = match plan {
             // Scan pipelines: recognize Project/Filter directly over a
             // Scan so pruning and pushdown reach the source.
-            LogicalPlan::Scan { relation, output, .. } => {
-                plan_scan(planner, relation, output, None, None)?
-            }
+            LogicalPlan::Scan {
+                relation, output, ..
+            } => plan_scan(planner, relation, output, None, None)?,
             LogicalPlan::Filter { input, predicate } => match &**input {
-                LogicalPlan::Scan { relation, output, .. } => {
-                    plan_scan(planner, relation, output, None, Some(predicate))?
-                }
+                LogicalPlan::Scan {
+                    relation, output, ..
+                } => plan_scan(planner, relation, output, None, Some(predicate))?,
                 _ => PhysicalPlan::Filter {
                     input: Arc::new(planner.plan(input)?),
                     predicate: predicate.clone(),
                 },
             },
             LogicalPlan::Project { input, exprs } => match &**input {
-                LogicalPlan::Scan { relation, output, .. } => {
-                    plan_scan(planner, relation, output, Some(exprs), None)?
-                }
-                LogicalPlan::Filter { input: finput, predicate } => match &**finput {
-                    LogicalPlan::Scan { relation, output, .. } => {
-                        plan_scan(planner, relation, output, Some(exprs), Some(predicate))?
-                    }
+                LogicalPlan::Scan {
+                    relation, output, ..
+                } => plan_scan(planner, relation, output, Some(exprs), None)?,
+                LogicalPlan::Filter {
+                    input: finput,
+                    predicate,
+                } => match &**finput {
+                    LogicalPlan::Scan {
+                        relation, output, ..
+                    } => plan_scan(planner, relation, output, Some(exprs), Some(predicate))?,
                     _ => PhysicalPlan::Project {
                         input: Arc::new(planner.plan(input)?),
                         exprs: exprs.clone(),
@@ -345,19 +365,22 @@ impl Strategy for BasicOperators {
                     exprs: exprs.clone(),
                 },
             },
-            LogicalPlan::External { data, output } => {
-                PhysicalPlan::ExternalScan { data: data.clone(), output: output.clone() }
-            }
-            LogicalPlan::LocalRelation { output, rows } => {
-                PhysicalPlan::LocalData { rows: rows.clone(), output: output.clone() }
-            }
+            LogicalPlan::External { data, output } => PhysicalPlan::ExternalScan {
+                data: data.clone(),
+                output: output.clone(),
+            },
+            LogicalPlan::LocalRelation { output, rows } => PhysicalPlan::LocalData {
+                rows: rows.clone(),
+                output: output.clone(),
+            },
             LogicalPlan::Sort { input, orders } => PhysicalPlan::Sort {
                 input: Arc::new(planner.plan(input)?),
                 orders: orders.clone(),
             },
-            LogicalPlan::Limit { input, n } => {
-                PhysicalPlan::Limit { input: Arc::new(planner.plan(input)?), n: *n }
-            }
+            LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+                input: Arc::new(planner.plan(input)?),
+                n: *n,
+            },
             LogicalPlan::Union { inputs } => {
                 let mut phys = Vec::with_capacity(inputs.len());
                 for i in inputs {
@@ -366,7 +389,11 @@ impl Strategy for BasicOperators {
                 PhysicalPlan::Union { inputs: phys }
             }
             LogicalPlan::SubqueryAlias { input, .. } => planner.plan(input)?,
-            LogicalPlan::Sample { input, fraction, seed } => PhysicalPlan::Sample {
+            LogicalPlan::Sample {
+                input,
+                fraction,
+                seed,
+            } => PhysicalPlan::Sample {
                 input: Arc::new(planner.plan(input)?),
                 fraction: *fraction,
                 seed: *seed,
@@ -480,7 +507,10 @@ fn plan_scan(
             if identity {
                 Ok(scan)
             } else {
-                Ok(PhysicalPlan::Project { input: Arc::new(scan), exprs: exprs.clone() })
+                Ok(PhysicalPlan::Project {
+                    input: Arc::new(scan),
+                    exprs: exprs.clone(),
+                })
             }
         }
         None => Ok(scan),
@@ -537,21 +567,31 @@ pub fn expr_to_filter(e: &Expr) -> Option<Filter> {
                 _ => return None, // NotEq is not in the advisory language
             })
         }
-        Expr::InList { expr, list, negated: false } => {
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
             let name = column_name(expr)?;
             let values: Option<Vec<Value>> = list.iter().map(literal).collect();
             Some(Filter::In(name, values?))
         }
         Expr::IsNotNull(inner) => Some(Filter::IsNotNull(column_name(inner)?)),
         Expr::IsNull(inner) => Some(Filter::IsNull(column_name(inner)?)),
-        Expr::ScalarFn { func: ScalarFunc::StartsWith, args } if args.len() == 2 => {
+        Expr::ScalarFn {
+            func: ScalarFunc::StartsWith,
+            args,
+        } if args.len() == 2 => {
             let name = column_name(&args[0])?;
             match literal(&args[1])? {
                 Value::Str(s) => Some(Filter::StringStartsWith(name, s.to_string())),
                 _ => None,
             }
         }
-        Expr::ScalarFn { func: ScalarFunc::Contains, args } if args.len() == 2 => {
+        Expr::ScalarFn {
+            func: ScalarFunc::Contains,
+            args,
+        } if args.len() == 2 => {
             let name = column_name(&args[0])?;
             match literal(&args[1])? {
                 Value::Str(s) => Some(Filter::StringContains(name, s.to_string())),

@@ -36,7 +36,10 @@ impl Statistics {
     /// A completely unknown relation: assume huge so we never broadcast
     /// something unbounded.
     pub fn unknown() -> Self {
-        Statistics { size_in_bytes: UNKNOWN_SIZE, row_count: None }
+        Statistics {
+            size_in_bytes: UNKNOWN_SIZE,
+            row_count: None,
+        }
     }
 
     /// True when this estimate carries no real size information. The
@@ -69,16 +72,25 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
     match plan {
         LogicalPlan::UnresolvedRelation { .. } => Statistics::unknown(),
         LogicalPlan::Scan { relation, .. } => match relation.size_in_bytes() {
-            Some(b) => Statistics { size_in_bytes: b, row_count: relation.row_count() },
+            Some(b) => Statistics {
+                size_in_bytes: b,
+                row_count: relation.row_count(),
+            },
             None => Statistics::unknown(),
         },
         LogicalPlan::External { data, .. } => match data.size_in_bytes() {
-            Some(b) => Statistics { size_in_bytes: b, row_count: None },
+            Some(b) => Statistics {
+                size_in_bytes: b,
+                row_count: None,
+            },
             None => Statistics::unknown(),
         },
         LogicalPlan::LocalRelation { rows, .. } => {
             let bytes = plan.schema().approx_row_bytes() * rows.len() as u64;
-            Statistics { size_in_bytes: bytes.max(1), row_count: Some(rows.len() as u64) }
+            Statistics {
+                size_in_bytes: bytes.max(1),
+                row_count: Some(rows.len() as u64),
+            }
         }
         LogicalPlan::Filter { input, .. } => estimate(input).scaled(FILTER_SELECTIVITY),
         LogicalPlan::Project { input, .. } => {
@@ -88,7 +100,10 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
             let ratio = (out_width as f64 / in_width.max(1) as f64).min(1.0);
             let scaled = s.scaled(ratio);
             // Projection never changes the row count.
-            Statistics { size_in_bytes: scaled.size_in_bytes, row_count: s.row_count }
+            Statistics {
+                size_in_bytes: scaled.size_in_bytes,
+                row_count: s.row_count,
+            }
         }
         LogicalPlan::Join { left, right, .. } => {
             let l = estimate(left);
@@ -108,7 +123,9 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
                 },
             }
         }
-        LogicalPlan::Aggregate { input, groupings, .. } => {
+        LogicalPlan::Aggregate {
+            input, groupings, ..
+        } => {
             if groupings.is_empty() {
                 // Footnote-5-style unknown killer: a global aggregate is
                 // one row no matter how large (or unknown) the input.
@@ -153,9 +170,14 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
             if any_unknown {
                 return Statistics::unknown();
             }
-            Statistics { size_in_bytes: size, row_count: rows }
+            Statistics {
+                size_in_bytes: size,
+                row_count: rows,
+            }
         }
-        LogicalPlan::Sample { input, fraction, .. } => estimate(input).scaled(*fraction),
+        LogicalPlan::Sample {
+            input, fraction, ..
+        } => estimate(input).scaled(*fraction),
     }
 }
 
@@ -173,7 +195,11 @@ mod tests {
     fn local(n: usize) -> LogicalPlan {
         LogicalPlan::LocalRelation {
             output: vec![ColumnRef::new("x", DataType::Long, false)],
-            rows: Arc::new((0..n).map(|i| Row::new(vec![Value::Long(i as i64)])).collect()),
+            rows: Arc::new(
+                (0..n)
+                    .map(|i| Row::new(vec![Value::Long(i as i64)]))
+                    .collect(),
+            ),
         }
     }
 
@@ -239,7 +265,9 @@ mod tests {
 
     #[test]
     fn union_with_unknown_input_is_unknown() {
-        let plan = LogicalPlan::Union { inputs: vec![Arc::new(local(10)), Arc::new(unknown_rel())] };
+        let plan = LogicalPlan::Union {
+            inputs: vec![Arc::new(local(10)), Arc::new(unknown_rel())],
+        };
         assert!(estimate(&plan).is_unknown());
     }
 

@@ -8,7 +8,9 @@ impl LogicalPlan {
     pub fn node_description(&self) -> String {
         match self {
             LogicalPlan::UnresolvedRelation { name } => format!("UnresolvedRelation [{name}]"),
-            LogicalPlan::Scan { relation, filters, .. } => {
+            LogicalPlan::Scan {
+                relation, filters, ..
+            } => {
                 if filters.is_empty() {
                     format!("Scan {}", relation.name())
                 } else {
@@ -26,11 +28,19 @@ impl LogicalPlan {
                 format!("Project [{}]", es.join(", "))
             }
             LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
-            LogicalPlan::Join { join_type, condition, .. } => match condition {
+            LogicalPlan::Join {
+                join_type,
+                condition,
+                ..
+            } => match condition {
                 Some(c) => format!("Join {} ON {c}", join_type.keyword()),
                 None => format!("Join {}", join_type.keyword()),
             },
-            LogicalPlan::Aggregate { groupings, aggregates, .. } => {
+            LogicalPlan::Aggregate {
+                groupings,
+                aggregates,
+                ..
+            } => {
                 let gs: Vec<String> = groupings.iter().map(|e| e.to_string()).collect();
                 let as_: Vec<String> = aggregates.iter().map(|e| e.to_string()).collect();
                 format!("Aggregate [{}] [{}]", gs.join(", "), as_.join(", "))
@@ -38,9 +48,7 @@ impl LogicalPlan {
             LogicalPlan::Sort { orders, .. } => {
                 let os: Vec<String> = orders
                     .iter()
-                    .map(|o| {
-                        format!("{} {}", o.expr, if o.ascending { "ASC" } else { "DESC" })
-                    })
+                    .map(|o| format!("{} {}", o.expr, if o.ascending { "ASC" } else { "DESC" }))
                     .collect();
                 format!("Sort [{}]", os.join(", "))
             }

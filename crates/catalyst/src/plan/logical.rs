@@ -154,16 +154,20 @@ impl LogicalPlan {
             LogicalPlan::Scan { output, .. }
             | LogicalPlan::External { output, .. }
             | LogicalPlan::LocalRelation { output, .. } => output.clone(),
-            LogicalPlan::Project { exprs, .. } => exprs
-                .iter()
-                .filter_map(|e| e.to_attribute().ok())
-                .collect(),
+            LogicalPlan::Project { exprs, .. } => {
+                exprs.iter().filter_map(|e| e.to_attribute().ok()).collect()
+            }
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Distinct { input }
             | LogicalPlan::Sample { input, .. } => input.output(),
-            LogicalPlan::Join { left, right, join_type, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
                 let mut out = left.output();
                 let mut r = right.output();
                 // Outer sides become nullable.
@@ -183,9 +187,7 @@ impl LogicalPlan {
                 .iter()
                 .filter_map(|e| e.to_attribute().ok())
                 .collect(),
-            LogicalPlan::Union { inputs } => {
-                inputs.first().map(|i| i.output()).unwrap_or_default()
-            }
+            LogicalPlan::Union { inputs } => inputs.first().map(|i| i.output()).unwrap_or_default(),
             LogicalPlan::SubqueryAlias { input, alias } => input
                 .output()
                 .into_iter()
@@ -234,9 +236,11 @@ impl LogicalPlan {
             LogicalPlan::Filter { predicate, .. } => vec![predicate.clone()],
             LogicalPlan::Scan { filters, .. } => filters.clone(),
             LogicalPlan::Join { condition, .. } => condition.iter().cloned().collect(),
-            LogicalPlan::Aggregate { groupings, aggregates, .. } => {
-                groupings.iter().chain(aggregates.iter()).cloned().collect()
-            }
+            LogicalPlan::Aggregate {
+                groupings,
+                aggregates,
+                ..
+            } => groupings.iter().chain(aggregates.iter()).cloned().collect(),
             LogicalPlan::Sort { orders, .. } => orders.iter().map(|o| o.expr.clone()).collect(),
             _ => vec![],
         }
@@ -258,21 +262,35 @@ impl LogicalPlan {
                 input,
                 exprs: exprs.into_iter().map(&mut apply).collect(),
             },
-            LogicalPlan::Filter { input, predicate } => {
-                LogicalPlan::Filter { input, predicate: apply(predicate) }
-            }
-            LogicalPlan::Scan { relation, output, filters } => LogicalPlan::Scan {
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input,
+                predicate: apply(predicate),
+            },
+            LogicalPlan::Scan {
+                relation,
+                output,
+                filters,
+            } => LogicalPlan::Scan {
                 relation,
                 output,
                 filters: filters.into_iter().map(&mut apply).collect(),
             },
-            LogicalPlan::Join { left, right, join_type, condition } => LogicalPlan::Join {
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                condition,
+            } => LogicalPlan::Join {
                 left,
                 right,
                 join_type,
                 condition: condition.map(&mut apply),
             },
-            LogicalPlan::Aggregate { input, groupings, aggregates } => LogicalPlan::Aggregate {
+            LogicalPlan::Aggregate {
+                input,
+                groupings,
+                aggregates,
+            } => LogicalPlan::Aggregate {
                 input,
                 groupings: groupings.into_iter().map(&mut apply).collect(),
                 aggregates: aggregates.into_iter().map(&mut apply).collect(),
@@ -281,12 +299,18 @@ impl LogicalPlan {
                 input,
                 orders: orders
                     .into_iter()
-                    .map(|o| SortOrder { expr: apply(o.expr), ascending: o.ascending })
+                    .map(|o| SortOrder {
+                        expr: apply(o.expr),
+                        ascending: o.ascending,
+                    })
                     .collect(),
             },
             other => other,
         };
-        Transformed { data: out, changed: ch }
+        Transformed {
+            data: out,
+            changed: ch,
+        }
     }
 
     /// The paper's `transformAllExpressions`: rewrite every expression in
@@ -319,16 +343,27 @@ impl LogicalPlan {
 
     /// Wrap in a projection.
     pub fn project(self, exprs: Vec<Expr>) -> LogicalPlan {
-        LogicalPlan::Project { input: Arc::new(self), exprs }
+        LogicalPlan::Project {
+            input: Arc::new(self),
+            exprs,
+        }
     }
 
     /// Wrap in a filter.
     pub fn filter(self, predicate: Expr) -> LogicalPlan {
-        LogicalPlan::Filter { input: Arc::new(self), predicate }
+        LogicalPlan::Filter {
+            input: Arc::new(self),
+            predicate,
+        }
     }
 
     /// Join with another plan.
-    pub fn join(self, right: LogicalPlan, join_type: JoinType, condition: Option<Expr>) -> LogicalPlan {
+    pub fn join(
+        self,
+        right: LogicalPlan,
+        join_type: JoinType,
+        condition: Option<Expr>,
+    ) -> LogicalPlan {
         LogicalPlan::Join {
             left: Arc::new(self),
             right: Arc::new(right),
@@ -339,32 +374,51 @@ impl LogicalPlan {
 
     /// Group and aggregate.
     pub fn aggregate(self, groupings: Vec<Expr>, aggregates: Vec<Expr>) -> LogicalPlan {
-        LogicalPlan::Aggregate { input: Arc::new(self), groupings, aggregates }
+        LogicalPlan::Aggregate {
+            input: Arc::new(self),
+            groupings,
+            aggregates,
+        }
     }
 
     /// Sort.
     pub fn sort(self, orders: Vec<SortOrder>) -> LogicalPlan {
-        LogicalPlan::Sort { input: Arc::new(self), orders }
+        LogicalPlan::Sort {
+            input: Arc::new(self),
+            orders,
+        }
     }
 
     /// Limit.
     pub fn limit(self, n: usize) -> LogicalPlan {
-        LogicalPlan::Limit { input: Arc::new(self), n }
+        LogicalPlan::Limit {
+            input: Arc::new(self),
+            n,
+        }
     }
 
     /// Distinct.
     pub fn distinct(self) -> LogicalPlan {
-        LogicalPlan::Distinct { input: Arc::new(self) }
+        LogicalPlan::Distinct {
+            input: Arc::new(self),
+        }
     }
 
     /// Alias the relation.
     pub fn subquery_alias(self, alias: impl Into<Arc<str>>) -> LogicalPlan {
-        LogicalPlan::SubqueryAlias { input: Arc::new(self), alias: alias.into() }
+        LogicalPlan::SubqueryAlias {
+            input: Arc::new(self),
+            alias: alias.into(),
+        }
     }
 
     /// Bernoulli sample.
     pub fn sample(self, fraction: f64, seed: u64) -> LogicalPlan {
-        LogicalPlan::Sample { input: Arc::new(self), fraction, seed }
+        LogicalPlan::Sample {
+            input: Arc::new(self),
+            fraction,
+            seed,
+        }
     }
 
     /// Union with other plans.
@@ -377,7 +431,10 @@ impl LogicalPlan {
     /// An empty relation with the given output attributes (what
     /// `Filter(false)` simplifies to).
     pub fn empty(output: Vec<ColumnRef>) -> LogicalPlan {
-        LogicalPlan::LocalRelation { output, rows: Arc::new(vec![]) }
+        LogicalPlan::LocalRelation {
+            output,
+            rows: Arc::new(vec![]),
+        }
     }
 }
 
@@ -397,37 +454,66 @@ impl TreeNode for LogicalPlan {
             | LogicalPlan::Scan { .. }
             | LogicalPlan::External { .. }
             | LogicalPlan::LocalRelation { .. }) => leaf,
-            LogicalPlan::Project { input, exprs } => {
-                LogicalPlan::Project { input: apply(input), exprs }
-            }
-            LogicalPlan::Filter { input, predicate } => {
-                LogicalPlan::Filter { input: apply(input), predicate }
-            }
-            LogicalPlan::Join { left, right, join_type, condition } => LogicalPlan::Join {
+            LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+                input: apply(input),
+                exprs,
+            },
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input: apply(input),
+                predicate,
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                condition,
+            } => LogicalPlan::Join {
                 left: apply(left),
                 right: apply(right),
                 join_type,
                 condition,
             },
-            LogicalPlan::Aggregate { input, groupings, aggregates } => {
-                LogicalPlan::Aggregate { input: apply(input), groupings, aggregates }
-            }
-            LogicalPlan::Sort { input, orders } => {
-                LogicalPlan::Sort { input: apply(input), orders }
-            }
-            LogicalPlan::Limit { input, n } => LogicalPlan::Limit { input: apply(input), n },
-            LogicalPlan::Union { inputs } => {
-                LogicalPlan::Union { inputs: inputs.into_iter().map(&mut apply).collect() }
-            }
-            LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: apply(input) },
-            LogicalPlan::SubqueryAlias { input, alias } => {
-                LogicalPlan::SubqueryAlias { input: apply(input), alias }
-            }
-            LogicalPlan::Sample { input, fraction, seed } => {
-                LogicalPlan::Sample { input: apply(input), fraction, seed }
-            }
+            LogicalPlan::Aggregate {
+                input,
+                groupings,
+                aggregates,
+            } => LogicalPlan::Aggregate {
+                input: apply(input),
+                groupings,
+                aggregates,
+            },
+            LogicalPlan::Sort { input, orders } => LogicalPlan::Sort {
+                input: apply(input),
+                orders,
+            },
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: apply(input),
+                n,
+            },
+            LogicalPlan::Union { inputs } => LogicalPlan::Union {
+                inputs: inputs.into_iter().map(&mut apply).collect(),
+            },
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+                input: apply(input),
+            },
+            LogicalPlan::SubqueryAlias { input, alias } => LogicalPlan::SubqueryAlias {
+                input: apply(input),
+                alias,
+            },
+            LogicalPlan::Sample {
+                input,
+                fraction,
+                seed,
+            } => LogicalPlan::Sample {
+                input: apply(input),
+                fraction,
+                seed,
+            },
         };
-        Transformed { data: out, changed: ch }
+        Transformed {
+            data: out,
+            changed: ch,
+        }
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&LogicalPlan)) {
@@ -470,7 +556,10 @@ mod tests {
         let out = j.output();
         assert_eq!(out.len(), 4);
         assert!(!out[0].nullable);
-        assert!(out[2].nullable, "right side of a left join becomes nullable");
+        assert!(
+            out[2].nullable,
+            "right side of a left join becomes nullable"
+        );
     }
 
     #[test]

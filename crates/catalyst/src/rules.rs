@@ -34,8 +34,14 @@ pub struct FnRule<T> {
 
 impl<T> FnRule<T> {
     /// Create a rule from a closure.
-    pub fn new(name: impl Into<String>, f: impl Fn(T) -> Transformed<T> + Send + Sync + 'static) -> Self {
-        FnRule { name: name.into(), f: Box::new(f) }
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(T) -> Transformed<T> + Send + Sync + 'static,
+    ) -> Self {
+        FnRule {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -73,12 +79,22 @@ pub struct Batch<T> {
 impl<T> Batch<T> {
     /// A fixed-point batch with the default cap of 100 iterations.
     pub fn fixed_point(name: impl Into<String>, rules: Vec<Box<dyn Rule<T>>>) -> Self {
-        Batch { name: name.into(), strategy: Strategy::FixedPoint { max_iterations: 100 }, rules }
+        Batch {
+            name: name.into(),
+            strategy: Strategy::FixedPoint {
+                max_iterations: 100,
+            },
+            rules,
+        }
     }
 
     /// A once batch.
     pub fn once(name: impl Into<String>, rules: Vec<Box<dyn Rule<T>>>) -> Self {
-        Batch { name: name.into(), strategy: Strategy::Once, rules }
+        Batch {
+            name: name.into(),
+            strategy: Strategy::Once,
+            rules,
+        }
     }
 }
 
@@ -195,7 +211,11 @@ pub trait RuleValidator<T>: Send + Sync {
     fn render(&self, tree: &T) -> String;
     /// Line diff between two renderings (`-` removed, `+` added).
     fn diff(&self, before: &T, after: &T) -> String {
-        format!("--- before\n{}\n+++ after\n{}", self.render(before), self.render(after))
+        format!(
+            "--- before\n{}\n+++ after\n{}",
+            self.render(before),
+            self.render(after)
+        )
     }
 }
 
@@ -255,7 +275,11 @@ pub struct RuleHealthReport {
 
 impl RuleHealthReport {
     fn entry(&mut self, batch: &str, rule: &str) -> &mut RuleHealth {
-        if let Some(i) = self.rules.iter().position(|h| h.batch == batch && h.rule == rule) {
+        if let Some(i) = self
+            .rules
+            .iter()
+            .position(|h| h.batch == batch && h.rule == rule)
+        {
             return &mut self.rules[i];
         }
         self.rules.push(RuleHealth {
@@ -271,7 +295,9 @@ impl RuleHealthReport {
 
     /// Look up the counters for a rule, if it ever ran.
     pub fn health_for(&self, batch: &str, rule: &str) -> Option<&RuleHealth> {
-        self.rules.iter().find(|h| h.batch == batch && h.rule == rule)
+        self.rules
+            .iter()
+            .find(|h| h.batch == batch && h.rule == rule)
     }
 
     /// Merge another report into this one (used when several executor runs
@@ -284,7 +310,8 @@ impl RuleHealthReport {
             e.reapply_changes += h.reapply_changes;
             e.rejected += h.rejected;
         }
-        self.non_converged.extend(other.non_converged.iter().cloned());
+        self.non_converged
+            .extend(other.non_converged.iter().cloned());
     }
 
     /// Render the report as an aligned text table (the form surfaced next
@@ -294,8 +321,20 @@ impl RuleHealthReport {
         if self.rules.is_empty() {
             out.push_str("(no rules ran)\n");
         } else {
-            let bw = self.rules.iter().map(|h| h.batch.len()).max().unwrap().max(5);
-            let rw = self.rules.iter().map(|h| h.rule.len()).max().unwrap().max(4);
+            let bw = self
+                .rules
+                .iter()
+                .map(|h| h.batch.len())
+                .max()
+                .unwrap()
+                .max(5);
+            let rw = self
+                .rules
+                .iter()
+                .map(|h| h.rule.len())
+                .max()
+                .unwrap()
+                .max(4);
             out.push_str(&format!(
                 "{:bw$}  {:rw$}  {:>7}  {:>5}  {:>6}  {:>8}  {:>8}\n",
                 "batch", "rule", "applied", "fired", "effect", "reapply", "rejected"
@@ -470,7 +509,11 @@ impl<T: Clone> RuleExecutor<T> {
             for iteration in 0..max {
                 let mut any_change = false;
                 for rule in &batch.rules {
-                    let before = if monitor.needs_before() { Some(tree.clone()) } else { None };
+                    let before = if monitor.needs_before() {
+                        Some(tree.clone())
+                    } else {
+                        None
+                    };
                     let out = rule.apply(tree);
                     monitor.health.entry(&batch.name, rule.name()).applications += 1;
                     if !out.changed {
@@ -478,7 +521,10 @@ impl<T: Clone> RuleExecutor<T> {
                         continue;
                     }
                     if monitor.check_idempotence && rule.apply(out.data.clone()).changed {
-                        monitor.health.entry(&batch.name, rule.name()).reapply_changes += 1;
+                        monitor
+                            .health
+                            .entry(&batch.name, rule.name())
+                            .reapply_changes += 1;
                     }
                     let rejected = match (monitor.validator, before.as_ref()) {
                         (Some(v), Some(b)) => {
@@ -517,7 +563,12 @@ impl<T: Clone> RuleExecutor<T> {
                         }),
                         _ => None,
                     };
-                    monitor.trace.push(TraceEvent::fired(&batch.name, rule.name(), iteration, change));
+                    monitor.trace.push(TraceEvent::fired(
+                        &batch.name,
+                        rule.name(),
+                        iteration,
+                        change,
+                    ));
                     tree = out.data;
                 }
                 if !any_change {
@@ -526,11 +577,13 @@ impl<T: Clone> RuleExecutor<T> {
                 }
             }
             if !converged && matches!(batch.strategy, Strategy::FixedPoint { .. }) {
+                monitor.health.non_converged.push(NonConvergence {
+                    batch: batch.name.clone(),
+                    max_iterations: max,
+                });
                 monitor
-                    .health
-                    .non_converged
-                    .push(NonConvergence { batch: batch.name.clone(), max_iterations: max });
-                monitor.trace.push(TraceEvent::non_convergence(&batch.name, max));
+                    .trace
+                    .push(TraceEvent::non_convergence(&batch.name, max));
             }
         }
         tree
@@ -604,7 +657,9 @@ mod tests {
         let mut exec = RuleExecutor::new(vec![Batch::once("noop", vec![])]);
         exec.add_batch(Batch::once(
             "user",
-            vec![Box::new(FnRule::new("plus-one", |n: i64| Transformed::yes(n + 1)))],
+            vec![Box::new(FnRule::new("plus-one", |n: i64| {
+                Transformed::yes(n + 1)
+            }))],
         ));
         assert_eq!(exec.execute(1, None), 2);
     }
@@ -622,7 +677,10 @@ mod tests {
 
         let mut trace = Vec::new();
         assert_eq!(exec.execute(5, Some(&mut trace)), -5);
-        let nc: Vec<_> = trace.iter().filter(|e| e.kind == TraceKind::NonConvergence).collect();
+        let nc: Vec<_> = trace
+            .iter()
+            .filter(|e| e.kind == TraceKind::NonConvergence)
+            .collect();
         assert_eq!(nc.len(), 1);
         assert_eq!(nc[0].batch, "osc");
         assert_eq!(nc[0].iteration, 7);
@@ -683,7 +741,11 @@ mod tests {
         // "negate" breaks the invariant; "halve" is fine. The bad rewrite
         // must be rolled back so the good rule still converges.
         let negate = Box::new(FnRule::new("negate", |n: i64| {
-            if n > 2 { Transformed::yes(-n) } else { Transformed::no(n) }
+            if n > 2 {
+                Transformed::yes(-n)
+            } else {
+                Transformed::no(n)
+            }
         }));
         let exec = RuleExecutor::new(vec![Batch::fixed_point("mix", vec![negate, halve()])]);
         let validator = NegativeForbidden;
@@ -694,7 +756,11 @@ mod tests {
         assert_eq!(v.batch, "mix");
         assert_eq!(v.rule, "negate");
         assert_eq!(v.invariant, "non-negative");
-        assert!(v.diff.contains('8'), "diff should show the before tree: {}", v.diff);
+        assert!(
+            v.diff.contains('8'),
+            "diff should show the before tree: {}",
+            v.diff
+        );
         let h = monitor.health.health_for("mix", "negate").unwrap();
         assert!(h.rejected >= 1);
         assert_eq!(h.fires, 0);
@@ -706,17 +772,39 @@ mod tests {
         // 8 -> 9): not idempotent. halve on 8 -> 4 also re-fires. Use a
         // rule idempotent by construction for the negative case.
         let snap = Box::new(FnRule::new("snap-to-zero", |n: i64| {
-            if n != 0 { Transformed::yes(0) } else { Transformed::no(n) }
+            if n != 0 {
+                Transformed::yes(0)
+            } else {
+                Transformed::no(n)
+            }
         }));
         let inc = Box::new(FnRule::new("inc-to-10", |n: i64| {
-            if n < 10 { Transformed::yes(n + 1) } else { Transformed::no(n) }
+            if n < 10 {
+                Transformed::yes(n + 1)
+            } else {
+                Transformed::no(n)
+            }
         }));
         let validator = NegativeForbidden;
         let exec = RuleExecutor::new(vec![Batch::fixed_point("probe", vec![inc, snap])]);
         let mut monitor = ExecutionMonitor::with_validator(&validator);
         exec.execute_monitored(5, &mut monitor);
-        assert!(monitor.health.health_for("probe", "inc-to-10").unwrap().reapply_changes > 0);
-        assert_eq!(monitor.health.health_for("probe", "snap-to-zero").unwrap().reapply_changes, 0);
+        assert!(
+            monitor
+                .health
+                .health_for("probe", "inc-to-10")
+                .unwrap()
+                .reapply_changes
+                > 0
+        );
+        assert_eq!(
+            monitor
+                .health
+                .health_for("probe", "snap-to-zero")
+                .unwrap()
+                .reapply_changes,
+            0
+        );
     }
 
     #[test]
@@ -725,7 +813,10 @@ mod tests {
         let exec = RuleExecutor::new(vec![Batch::fixed_point("shrink", vec![halve()])]);
         let mut monitor = ExecutionMonitor::with_validator(&validator);
         exec.execute_monitored(4, &mut monitor);
-        let change = monitor.trace[0].change.as_ref().expect("change log populated");
+        let change = monitor.trace[0]
+            .change
+            .as_ref()
+            .expect("change log populated");
         assert_eq!(change.before, "4");
         assert_eq!(change.after, "2");
     }

@@ -81,7 +81,11 @@ impl Schema {
 
     /// Rough serialized size of one row with this schema (cost model).
     pub fn approx_row_bytes(&self) -> u64 {
-        self.fields.iter().map(|f| f.dtype.approx_value_bytes()).sum::<u64>().max(1)
+        self.fields
+            .iter()
+            .map(|f| f.dtype.approx_value_bytes())
+            .sum::<u64>()
+            .max(1)
     }
 
     /// Equivalent struct data type.

@@ -234,7 +234,11 @@ impl MemoryTable {
             let len = base + usize::from(i < extra);
             partitions.push(Arc::new(it.by_ref().take(len).collect::<Vec<Row>>()));
         }
-        MemoryTable { name: name.into(), schema, partitions }
+        MemoryTable {
+            name: name.into(),
+            schema,
+            partitions,
+        }
     }
 
     /// Total row count.
@@ -306,7 +310,11 @@ mod tests {
 
     #[test]
     fn memory_table_partitions_and_scans() {
-        let schema = Arc::new(Schema::new(vec![StructField::new("x", DataType::Int, false)]));
+        let schema = Arc::new(Schema::new(vec![StructField::new(
+            "x",
+            DataType::Int,
+            false,
+        )]));
         let rows: Vec<Row> = (0..10).map(|i| Row::new(vec![Value::Int(i)])).collect();
         let t = MemoryTable::new("t", schema, rows, 3);
         assert_eq!(t.num_partitions(), 3);

@@ -20,17 +20,26 @@ pub struct Transformed<T> {
 impl<T> Transformed<T> {
     /// A rewritten node.
     pub fn yes(data: T) -> Self {
-        Transformed { data, changed: true }
+        Transformed {
+            data,
+            changed: true,
+        }
     }
 
     /// An unchanged node.
     pub fn no(data: T) -> Self {
-        Transformed { data, changed: false }
+        Transformed {
+            data,
+            changed: false,
+        }
     }
 
     /// Map the payload, preserving the flag.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Transformed<U> {
-        Transformed { data: f(self.data), changed: self.changed }
+        Transformed {
+            data: f(self.data),
+            changed: self.changed,
+        }
     }
 
     /// Combine with another flag.
@@ -130,7 +139,10 @@ mod tests {
         // Add(Attribute(x), Add(Literal(1), Literal(2))) => Add(x, 3)
         let tree = Toy::Add(
             Box::new(Toy::Attribute("x")),
-            Box::new(Toy::Add(Box::new(Toy::Literal(1)), Box::new(Toy::Literal(2)))),
+            Box::new(Toy::Add(
+                Box::new(Toy::Literal(1)),
+                Box::new(Toy::Literal(2)),
+            )),
         );
         let out = tree.transform_up(&mut fold_constants);
         assert!(out.changed);
@@ -145,8 +157,14 @@ mod tests {
         // (x+0)+(3+3): one bottom-up pass folds both sub-adds; a second
         // pass confirms no further change (fixed point).
         let tree = Toy::Add(
-            Box::new(Toy::Add(Box::new(Toy::Attribute("x")), Box::new(Toy::Literal(0)))),
-            Box::new(Toy::Add(Box::new(Toy::Literal(3)), Box::new(Toy::Literal(3)))),
+            Box::new(Toy::Add(
+                Box::new(Toy::Attribute("x")),
+                Box::new(Toy::Literal(0)),
+            )),
+            Box::new(Toy::Add(
+                Box::new(Toy::Literal(3)),
+                Box::new(Toy::Literal(3)),
+            )),
         );
         let pass1 = tree.transform_up(&mut fold_constants);
         assert!(pass1.changed);

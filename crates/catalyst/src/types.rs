@@ -19,7 +19,11 @@ pub struct StructField {
 impl StructField {
     /// Create a field.
     pub fn new(name: impl Into<Arc<str>>, dtype: DataType, nullable: bool) -> Self {
-        StructField { name: name.into(), dtype, nullable }
+        StructField {
+            name: name.into(),
+            dtype,
+            nullable,
+        }
     }
 }
 
@@ -135,7 +139,9 @@ impl DataType {
                                 f.nullable || g.nullable,
                             ));
                         }
-                        None => fields.push(StructField::new(f.name.clone(), f.dtype.clone(), true)),
+                        None => {
+                            fields.push(StructField::new(f.name.clone(), f.dtype.clone(), true))
+                        }
                     }
                 }
                 for g in fb.iter() {
@@ -210,7 +216,10 @@ mod tests {
         use DataType::*;
         assert_eq!(DataType::tightest_common_type(&Int, &Long), Some(Long));
         assert_eq!(DataType::tightest_common_type(&Int, &Double), Some(Double));
-        assert_eq!(DataType::tightest_common_type(&Float, &Double), Some(Double));
+        assert_eq!(
+            DataType::tightest_common_type(&Float, &Double),
+            Some(Double)
+        );
         assert_eq!(DataType::tightest_common_type(&Long, &Float), Some(Float));
         assert_eq!(DataType::tightest_common_type(&Null, &Int), Some(Int));
     }
@@ -236,7 +245,10 @@ mod tests {
             assert_eq!(fields.len(), 2);
             assert_eq!(fields[0].dtype, DataType::Double);
             assert!(!fields[0].nullable);
-            assert!(fields[1].nullable, "field missing on one side becomes nullable");
+            assert!(
+                fields[1].nullable,
+                "field missing on one side becomes nullable"
+            );
         } else {
             panic!("expected struct");
         }
@@ -258,13 +270,19 @@ mod tests {
             StructField::new("lat", DataType::Float, false),
             StructField::new("long", DataType::Float, false),
         ]);
-        assert_eq!(t.to_string(), "STRUCT<lat FLOAT NOT NULL, long FLOAT NOT NULL>");
+        assert_eq!(
+            t.to_string(),
+            "STRUCT<lat FLOAT NOT NULL, long FLOAT NOT NULL>"
+        );
     }
 
     #[test]
     fn decimal_merge_widens_precision() {
         let a = DataType::Decimal(10, 2);
         let b = DataType::Decimal(8, 4);
-        assert_eq!(DataType::tightest_common_type(&a, &b), Some(DataType::Decimal(12, 4)));
+        assert_eq!(
+            DataType::tightest_common_type(&a, &b),
+            Some(DataType::Decimal(12, 4))
+        );
     }
 }

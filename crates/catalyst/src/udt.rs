@@ -43,7 +43,10 @@ impl UdtRegistry {
     /// Register a UDT by name.
     pub fn register(&self, name: impl Into<String>, sql_type: DataType) {
         let name = name.into();
-        let info = UdtInfo { name: Arc::from(name.as_str()), sql_type };
+        let info = UdtInfo {
+            name: Arc::from(name.as_str()),
+            sql_type,
+        };
         self.types.write().insert(name.to_ascii_lowercase(), info);
     }
 
@@ -58,8 +61,12 @@ impl UdtRegistry {
 
     /// Names of all registered UDTs.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.types.read().values().map(|i| i.name.to_string()).collect();
+        let mut names: Vec<String> = self
+            .types
+            .read()
+            .values()
+            .map(|i| i.name.to_string())
+            .collect();
         names.sort();
         names
     }
@@ -93,7 +100,10 @@ mod tests {
         }
 
         fn deserialize(&self, row: &Row) -> Result<Point> {
-            Ok(Point { x: row.get_double(0), y: row.get_double(1) })
+            Ok(Point {
+                x: row.get_double(0),
+                y: row.get_double(1),
+            })
         }
 
         fn name(&self) -> &str {

@@ -51,7 +51,11 @@ pub(super) fn check_schema_preserved(before: &LogicalPlan, after: &LogicalPlan) 
     if b.len() != a.len() {
         return vec![Violation::new(
             Invariant::SchemaPreserved,
-            format!("rewrite changed output width from {} to {} columns", b.len(), a.len()),
+            format!(
+                "rewrite changed output width from {} to {} columns",
+                b.len(),
+                a.len()
+            ),
         )];
     }
     let mut v = Vec::new();
@@ -221,14 +225,19 @@ fn check_types(plan: &LogicalPlan, v: &mut Vec<Violation>) {
                 if let Err(err) = e.data_type() {
                     v.push(Violation::new(
                         Invariant::WellTypedExpressions,
-                        format!("expression '{e}' in {} fails to type-check: {err}", node_name(p)),
+                        format!(
+                            "expression '{e}' in {} fails to type-check: {err}",
+                            node_name(p)
+                        ),
                     ));
                 }
             }
         }
         match p {
             LogicalPlan::Filter { predicate, .. } => check_bool(predicate, "Filter predicate", v),
-            LogicalPlan::Join { condition: Some(c), .. } => check_bool(c, "Join condition", v),
+            LogicalPlan::Join {
+                condition: Some(c), ..
+            } => check_bool(c, "Join condition", v),
             LogicalPlan::Scan { filters, .. } => {
                 for f in filters {
                     check_bool(f, "pushed scan filter", v);
@@ -313,7 +322,9 @@ mod tests {
     fn clean_plan_has_no_violations() {
         let base = rel();
         let a = base.output()[0].clone();
-        let p = base.filter(Expr::Column(a.clone()).gt(lit(1i64))).project(vec![Expr::Column(a)]);
+        let p = base
+            .filter(Expr::Column(a.clone()).gt(lit(1i64)))
+            .project(vec![Expr::Column(a)]);
         assert!(check_plan(&p).is_empty(), "{:?}", check_plan(&p));
     }
 
@@ -321,7 +332,11 @@ mod tests {
     fn unresolved_attribute_is_flagged() {
         let p = rel().filter(col("missing").gt(lit(1i64)));
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::NoUnresolvedPlaceholders), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == Invariant::NoUnresolvedPlaceholders),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -329,7 +344,11 @@ mod tests {
         let phantom = ColumnRef::new("ghost", DataType::Int, true);
         let p = rel().filter(Expr::Column(phantom).gt(lit(1i64)));
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::ReachableReferences), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == Invariant::ReachableReferences),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -337,7 +356,11 @@ mod tests {
         let base = rel();
         let a = base.output()[0].clone();
         // Same id, different name and type.
-        let impostor = ColumnRef { name: "zzz".into(), dtype: DataType::String, ..a.clone() };
+        let impostor = ColumnRef {
+            name: "zzz".into(),
+            dtype: DataType::String,
+            ..a.clone()
+        };
         let p = LogicalPlan::Join {
             left: Arc::new(base),
             right: Arc::new(LogicalPlan::LocalRelation {
@@ -348,8 +371,16 @@ mod tests {
             condition: None,
         };
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::UniqueAttributeIds), "{v:?}");
-        assert!(v.iter().any(|x| x.invariant == Invariant::DistinctJoinChildren), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == Invariant::UniqueAttributeIds),
+            "{v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == Invariant::DistinctJoinChildren),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -359,7 +390,10 @@ mod tests {
         // a + 1 with no alias: to_attribute() fails, output silently shrinks.
         let p = base.project(vec![Expr::Column(a).add(lit(1i64))]);
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::NamedOutputs), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::NamedOutputs),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -368,7 +402,11 @@ mod tests {
         let a = base.output()[0].clone();
         let p = base.filter(Expr::Column(a).add(lit(1i64)));
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::BooleanPredicates), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == Invariant::BooleanPredicates),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -380,7 +418,10 @@ mod tests {
         };
         let p = wide.union(vec![narrow]);
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::UnionShape), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::UnionShape),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -389,12 +430,18 @@ mod tests {
         let out = base.output();
         let narrowed = LogicalPlan::empty(vec![out[0].clone()]);
         let v = check_schema_preserved(&base, &narrowed);
-        assert!(v.iter().any(|x| x.invariant == Invariant::SchemaPreserved), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::SchemaPreserved),
+            "{v:?}"
+        );
 
         let mut retyped = out.clone();
         retyped[0].dtype = DataType::String;
         let v = check_schema_preserved(&base, &LogicalPlan::empty(retyped));
-        assert!(v.iter().any(|x| x.invariant == Invariant::SchemaPreserved), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::SchemaPreserved),
+            "{v:?}"
+        );
 
         // Identity rewrite is fine.
         assert!(check_schema_preserved(&base, &LogicalPlan::empty(out)).is_empty());
@@ -405,6 +452,10 @@ mod tests {
         // PruneFilters handles NULL-literal predicates; they type as Null.
         let p = rel().filter(Expr::Literal(Value::Null));
         let v = check_plan(&p);
-        assert!(!v.iter().any(|x| x.invariant == Invariant::BooleanPredicates), "{v:?}");
+        assert!(
+            !v.iter()
+                .any(|x| x.invariant == Invariant::BooleanPredicates),
+            "{v:?}"
+        );
     }
 }

@@ -37,8 +37,8 @@ pub mod diff;
 mod logical;
 mod physical;
 
-use crate::plan::LogicalPlan;
 use crate::physical::PhysicalPlan;
+use crate::plan::LogicalPlan;
 use crate::rules::{RuleValidator, RuleViolation};
 use std::fmt;
 use std::sync::OnceLock;
@@ -124,7 +124,10 @@ pub struct Violation {
 
 impl Violation {
     pub(crate) fn new(invariant: Invariant, message: impl Into<String>) -> Self {
-        Violation { invariant, message: message.into() }
+        Violation {
+            invariant,
+            message: message.into(),
+        }
     }
 }
 
@@ -176,7 +179,10 @@ impl RuleValidator<LogicalPlan> for PlanValidator {
     fn validate(&self, before: &LogicalPlan, after: &LogicalPlan) -> Vec<RuleViolation> {
         self.check_rewrite(before, after)
             .into_iter()
-            .map(|v| RuleViolation { invariant: v.invariant.name().to_string(), message: v.message })
+            .map(|v| RuleViolation {
+                invariant: v.invariant.name().to_string(),
+                message: v.message,
+            })
             .collect()
     }
 

@@ -29,7 +29,10 @@ fn refs_within(e: &Expr, available: &[ColumnRef], what: &str, v: &mut Vec<Violat
         if !available.iter().any(|a| a.id == r.id) {
             v.push(Violation::new(
                 Invariant::PhysicalReferences,
-                format!("{what} references '{}'#{} which its input does not produce", r.name, r.id),
+                format!(
+                    "{what} references '{}'#{} which its input does not produce",
+                    r.name, r.id
+                ),
             ));
         }
     }
@@ -95,7 +98,9 @@ fn check_hash_join_keys(
 
 fn check_node(plan: &PhysicalPlan, v: &mut Vec<Violation>) {
     match plan {
-        PhysicalPlan::Scan { residual, output, .. } => {
+        PhysicalPlan::Scan {
+            residual, output, ..
+        } => {
             if let Some(r) = residual {
                 refs_within(r, output, "Scan residual", v);
                 well_typed(r, "Scan residual", v);
@@ -126,7 +131,11 @@ fn check_node(plan: &PhysicalPlan, v: &mut Vec<Violation>) {
                 }
             }
         }
-        PhysicalPlan::HashAggregate { input, groupings, output_exprs } => {
+        PhysicalPlan::HashAggregate {
+            input,
+            groupings,
+            output_exprs,
+        } => {
             let avail = input.output();
             for e in groupings {
                 refs_within(e, &avail, "HashAggregate grouping", v);
@@ -185,7 +194,14 @@ fn check_node(plan: &PhysicalPlan, v: &mut Vec<Violation>) {
                 well_typed(r, "join residual", v);
             }
         }
-        PhysicalPlan::ShuffledHashJoin { left, right, left_keys, right_keys, residual, .. } => {
+        PhysicalPlan::ShuffledHashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            ..
+        } => {
             check_hash_join_keys("ShuffledHashJoin", left, right, left_keys, right_keys, v);
             if let Some(r) = residual {
                 let mut avail = left.output();
@@ -194,7 +210,12 @@ fn check_node(plan: &PhysicalPlan, v: &mut Vec<Violation>) {
                 well_typed(r, "join residual", v);
             }
         }
-        PhysicalPlan::NestedLoopJoin { left, right, condition, .. } => {
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            condition,
+            ..
+        } => {
             if let Some(c) = condition {
                 let mut avail = left.output();
                 avail.extend(right.output());
@@ -247,7 +268,10 @@ mod tests {
     use std::sync::Arc;
 
     fn local(cols: Vec<ColumnRef>) -> PhysicalPlan {
-        PhysicalPlan::LocalData { rows: Arc::new(vec![]), output: cols }
+        PhysicalPlan::LocalData {
+            rows: Arc::new(vec![]),
+            output: cols,
+        }
     }
 
     fn attr(name: &str, dtype: DataType) -> ColumnRef {
@@ -273,7 +297,11 @@ mod tests {
             predicate: Expr::Column(ghost).gt(lit(1i64)),
         };
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::PhysicalReferences), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == Invariant::PhysicalReferences),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -292,7 +320,10 @@ mod tests {
             residual: None,
         };
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::BuildSideLegal), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::BuildSideLegal),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -308,7 +339,10 @@ mod tests {
             residual: None,
         };
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -324,7 +358,10 @@ mod tests {
             residual: None,
         };
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -340,6 +377,9 @@ mod tests {
             residual: None,
         };
         let v = check_plan(&p);
-        assert!(v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.invariant == Invariant::JoinKeysAligned),
+            "{v:?}"
+        );
     }
 }

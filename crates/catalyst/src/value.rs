@@ -77,7 +77,9 @@ impl Value {
                 let elem = items
                     .iter()
                     .map(Value::dtype)
-                    .reduce(|a, b| DataType::tightest_common_type(&a, &b).unwrap_or(DataType::String))
+                    .reduce(|a, b| {
+                        DataType::tightest_common_type(&a, &b).unwrap_or(DataType::String)
+                    })
                     .unwrap_or(DataType::Null);
                 DataType::Array(Box::new(elem))
             }
@@ -177,9 +179,11 @@ impl Value {
             return Ok(Value::Null);
         }
         match (self.as_f64(), other.as_f64()) {
-            (Some(a), Some(b)) => {
-                Ok(if b == 0.0 { Value::Null } else { Value::Double(a / b) })
-            }
+            (Some(a), Some(b)) => Ok(if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Double(a / b)
+            }),
             _ => Err(type_err("/", self, other)),
         }
     }
@@ -287,10 +291,12 @@ impl Value {
                 Value::Float(v) => Value::Int(*v as i32),
                 Value::Double(v) => Value::Int(*v as i32),
                 Value::Boolean(b) => Value::Int(i32::from(*b)),
-                Value::Decimal(u, _, s) => {
-                    Value::Int((u / 10i128.pow(*s as u32)) as i32)
-                }
-                Value::Str(s) => s.trim().parse::<i32>().map(Value::Int).unwrap_or(Value::Null),
+                Value::Decimal(u, _, s) => Value::Int((u / 10i128.pow(*s as u32)) as i32),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i32>()
+                    .map(Value::Int)
+                    .unwrap_or(Value::Null),
                 Value::Date(d) => Value::Int(*d),
                 _ => return Err(cast_err(self, target)),
             },
@@ -300,7 +306,11 @@ impl Value {
                 Value::Double(v) => Value::Long(*v as i64),
                 Value::Boolean(b) => Value::Long(i64::from(*b)),
                 Value::Decimal(u, _, s) => Value::Long((u / 10i128.pow(*s as u32)) as i64),
-                Value::Str(s) => s.trim().parse::<i64>().map(Value::Long).unwrap_or(Value::Null),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Long)
+                    .unwrap_or(Value::Null),
                 Value::Timestamp(t) => Value::Long(*t),
                 Value::Date(d) => Value::Long(*d as i64),
                 _ => return Err(cast_err(self, target)),
@@ -308,18 +318,22 @@ impl Value {
             T::Float => match self.as_f64() {
                 Some(v) => Value::Float(v as f32),
                 None => match self {
-                    Value::Str(s) => {
-                        s.trim().parse::<f32>().map(Value::Float).unwrap_or(Value::Null)
-                    }
+                    Value::Str(s) => s
+                        .trim()
+                        .parse::<f32>()
+                        .map(Value::Float)
+                        .unwrap_or(Value::Null),
                     _ => return Err(cast_err(self, target)),
                 },
             },
             T::Double => match self.as_f64() {
                 Some(v) => Value::Double(v),
                 None => match self {
-                    Value::Str(s) => {
-                        s.trim().parse::<f64>().map(Value::Double).unwrap_or(Value::Null)
-                    }
+                    Value::Str(s) => s
+                        .trim()
+                        .parse::<f64>()
+                        .map(Value::Double)
+                        .unwrap_or(Value::Null),
                     _ => return Err(cast_err(self, target)),
                 },
             },
@@ -384,7 +398,11 @@ fn type_rank(v: &Value) -> u8 {
 }
 
 fn type_err(op: &str, a: &Value, b: &Value) -> CatalystError {
-    CatalystError::eval(format!("cannot apply '{op}' to {} and {}", a.dtype(), b.dtype()))
+    CatalystError::eval(format!(
+        "cannot apply '{op}' to {} and {}",
+        a.dtype(),
+        b.dtype()
+    ))
 }
 
 fn cast_err(v: &Value, t: &DataType) -> CatalystError {
@@ -397,7 +415,12 @@ pub fn parse_date(s: &str) -> Option<i32> {
     let mut parts = s.splitn(3, '-');
     let year: i64 = parts.next()?.parse().ok()?;
     let month: u32 = parts.next()?.parse().ok()?;
-    let day: u32 = parts.next()?.split(|c: char| !c.is_ascii_digit()).next()?.parse().ok()?;
+    let day: u32 = parts
+        .next()?
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()?;
     if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
         return None;
     }
@@ -555,7 +578,13 @@ fn hash_num<H: Hasher>(f: f64, i: Option<i64>, state: &mut H) {
         Some(i) => i.hash(state),
         None => {
             // Canonicalize NaN and -0.0.
-            let f = if f.is_nan() { f64::NAN } else if f == 0.0 { 0.0 } else { f };
+            let f = if f.is_nan() {
+                f64::NAN
+            } else if f == 0.0 {
+                0.0
+            } else {
+                f
+            };
             f.to_bits().hash(state);
         }
     }
@@ -577,13 +606,23 @@ impl fmt::Display for Value {
                     let pow = 10i128.pow(*s as u32);
                     let sign = if *u < 0 { "-" } else { "" };
                     let abs = u.abs();
-                    write!(f, "{sign}{}.{:0width$}", abs / pow, abs % pow, width = *s as usize)
+                    write!(
+                        f,
+                        "{sign}{}.{:0width$}",
+                        abs / pow,
+                        abs % pow,
+                        width = *s as usize
+                    )
                 }
             }
             Value::Str(s) => write!(f, "{s}"),
             Value::Date(d) => write!(f, "{}", format_date(*d)),
             Value::Timestamp(t) => write!(f, "{t}us"),
-            Value::Binary(b) => write!(f, "0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Value::Binary(b) => write!(
+                f,
+                "0x{}",
+                b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+            ),
             Value::Array(items) => {
                 write!(f, "[")?;
                 for (i, v) in items.iter().enumerate() {
@@ -621,7 +660,10 @@ mod tests {
     #[test]
     fn integer_arithmetic_widens_on_overflow() {
         let big = Value::Int(i32::MAX);
-        assert_eq!(big.add(&Value::Int(1)).unwrap(), Value::Long(i32::MAX as i64 + 1));
+        assert_eq!(
+            big.add(&Value::Int(1)).unwrap(),
+            Value::Long(i32::MAX as i64 + 1)
+        );
     }
 
     #[test]
@@ -632,7 +674,10 @@ mod tests {
 
     #[test]
     fn division_promotes_to_double() {
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Double(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Double(3.5)
+        );
     }
 
     #[test]
@@ -651,8 +696,14 @@ mod tests {
 
     #[test]
     fn cross_numeric_compare() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Long(3).sql_cmp(&Value::Float(2.5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Long(3).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -671,13 +722,19 @@ mod tests {
 
     #[test]
     fn cast_string_to_numbers() {
-        assert_eq!(Value::str("42").cast_to(&DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            Value::str("42").cast_to(&DataType::Int).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             Value::str("4.5").cast_to(&DataType::Double).unwrap(),
             Value::Double(4.5)
         );
         // Unparseable strings become NULL, not an error.
-        assert_eq!(Value::str("abc").cast_to(&DataType::Int).unwrap(), Value::Null);
+        assert_eq!(
+            Value::str("abc").cast_to(&DataType::Int).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]

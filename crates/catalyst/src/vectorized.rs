@@ -106,7 +106,11 @@ impl ColumnVector {
 
     /// Build a boxed-values vector (the fallback representation).
     pub fn from_boxed(dtype: DataType, values: Vec<Value>) -> ColumnVector {
-        ColumnVector { dtype, data: VectorData::Values(values), nulls: None }
+        ColumnVector {
+            dtype,
+            data: VectorData::Values(values),
+            nulls: None,
+        }
     }
 
     /// Build a typed vector from boxed values, falling back to boxed
@@ -334,7 +338,11 @@ impl RowBatch {
     /// Build a batch from column vectors (each `num_rows` lanes long).
     pub fn new(columns: Vec<Arc<ColumnVector>>, num_rows: usize) -> RowBatch {
         debug_assert!(columns.iter().all(|c| c.len() == num_rows));
-        RowBatch { columns, num_rows, selection: None }
+        RowBatch {
+            columns,
+            num_rows,
+            selection: None,
+        }
     }
 
     /// Transpose rows into a typed batch (the generic row→batch adapter
@@ -351,7 +359,11 @@ impl RowBatch {
                 Arc::new(ColumnVector::from_values(dt, vals))
             })
             .collect();
-        RowBatch { columns, num_rows: rows.len(), selection: None }
+        RowBatch {
+            columns,
+            num_rows: rows.len(),
+            selection: None,
+        }
     }
 
     /// Physical lane count (selected or not).
@@ -501,11 +513,15 @@ fn eval_kernel(expr: &Expr, batch: &RowBatch) -> Result<Option<Arc<ColumnVector>
         Expr::BoundRef { index, .. } => Ok(batch.columns.get(*index).cloned()),
         Expr::Alias { child, .. } => eval_kernel(child, batch),
         Expr::Cast { expr, dtype } => {
-            let Some(c) = eval_kernel(expr, batch)? else { return Ok(None) };
+            let Some(c) = eval_kernel(expr, batch)? else {
+                return Ok(None);
+            };
             Ok(cast_kernel(&c, dtype))
         }
         Expr::Negate(e) => {
-            let Some(c) = eval_kernel(e, batch)? else { return Ok(None) };
+            let Some(c) = eval_kernel(e, batch)? else {
+                return Ok(None);
+            };
             Ok(match c.num_lanes() {
                 Some(NumLanes::I(v)) => Some(Arc::new(ColumnVector::new(
                     DataType::Long,
@@ -521,7 +537,9 @@ fn eval_kernel(expr: &Expr, batch: &RowBatch) -> Result<Option<Arc<ColumnVector>
             })
         }
         Expr::Not(e) => {
-            let Some(c) = eval_kernel(e, batch)? else { return Ok(None) };
+            let Some(c) = eval_kernel(e, batch)? else {
+                return Ok(None);
+            };
             Ok(c.bool_lanes().map(|v| {
                 Arc::new(ColumnVector::new(
                     DataType::Boolean,
@@ -531,16 +549,24 @@ fn eval_kernel(expr: &Expr, batch: &RowBatch) -> Result<Option<Arc<ColumnVector>
             }))
         }
         Expr::IsNull(e) => {
-            let Some(c) = eval_kernel(e, batch)? else { return Ok(None) };
+            let Some(c) = eval_kernel(e, batch)? else {
+                return Ok(None);
+            };
             Ok(Some(null_test(&c, batch.num_rows, true)))
         }
         Expr::IsNotNull(e) => {
-            let Some(c) = eval_kernel(e, batch)? else { return Ok(None) };
+            let Some(c) = eval_kernel(e, batch)? else {
+                return Ok(None);
+            };
             Ok(Some(null_test(&c, batch.num_rows, false)))
         }
         Expr::BinaryOp { left, op, right } => {
-            let Some(l) = eval_kernel(left, batch)? else { return Ok(None) };
-            let Some(r) = eval_kernel(right, batch)? else { return Ok(None) };
+            let Some(l) = eval_kernel(left, batch)? else {
+                return Ok(None);
+            };
+            let Some(r) = eval_kernel(right, batch)? else {
+                return Ok(None);
+            };
             Ok(binary_kernel(&l, *op, &r))
         }
         _ => Ok(None),
@@ -589,7 +615,11 @@ fn cast_kernel(c: &Arc<ColumnVector>, target: &DataType) -> Option<Arc<ColumnVec
 /// `IS [NOT] NULL` as a lane test (never NULL itself).
 fn null_test(c: &ColumnVector, n: usize, want_null: bool) -> Arc<ColumnVector> {
     let lanes = (0..n).map(|i| c.is_null(i) == want_null).collect();
-    Arc::new(ColumnVector::new(DataType::Boolean, VectorData::Bool(lanes), None))
+    Arc::new(ColumnVector::new(
+        DataType::Boolean,
+        VectorData::Bool(lanes),
+        None,
+    ))
 }
 
 fn union_nulls(a: Option<&[bool]>, b: Option<&[bool]>, n: usize) -> Option<Vec<bool>> {
@@ -665,7 +695,11 @@ fn binary_kernel(
                         lanes[i] = lv[i].wrapping_rem(rv[i]);
                     }
                 }
-                Arc::new(ColumnVector::new(DataType::Long, VectorData::Long(lanes), Some(nulls)))
+                Arc::new(ColumnVector::new(
+                    DataType::Long,
+                    VectorData::Long(lanes),
+                    Some(nulls),
+                ))
             }
             Div => {
                 let mut nulls = nulls.unwrap_or_else(|| vec![false; n]);
@@ -677,7 +711,11 @@ fn binary_kernel(
                         lanes[i] = lv[i] as f64 / rv[i] as f64;
                     }
                 }
-                Arc::new(ColumnVector::new(DataType::Double, VectorData::Double(lanes), Some(nulls)))
+                Arc::new(ColumnVector::new(
+                    DataType::Double,
+                    VectorData::Double(lanes),
+                    Some(nulls),
+                ))
             }
             Eq => long_cmp(lv, rv, nulls, |o| o == std::cmp::Ordering::Equal),
             NotEq => long_cmp(lv, rv, nulls, |o| o != std::cmp::Ordering::Equal),
@@ -777,7 +815,11 @@ fn long_arith(
     f: impl Fn(i64, i64) -> i64,
 ) -> Arc<ColumnVector> {
     let lanes = lv.iter().zip(rv).map(|(a, b)| f(*a, *b)).collect();
-    Arc::new(ColumnVector::new(DataType::Long, VectorData::Long(lanes), nulls))
+    Arc::new(ColumnVector::new(
+        DataType::Long,
+        VectorData::Long(lanes),
+        nulls,
+    ))
 }
 
 fn long_cmp(
@@ -787,7 +829,11 @@ fn long_cmp(
     f: impl Fn(std::cmp::Ordering) -> bool,
 ) -> Arc<ColumnVector> {
     let lanes = lv.iter().zip(rv).map(|(a, b)| f(a.cmp(b))).collect();
-    Arc::new(ColumnVector::new(DataType::Boolean, VectorData::Bool(lanes), nulls))
+    Arc::new(ColumnVector::new(
+        DataType::Boolean,
+        VectorData::Bool(lanes),
+        nulls,
+    ))
 }
 
 #[cfg(test)]

@@ -53,7 +53,11 @@ fn subquery_aliases_are_eliminated() {
         vec![("t", t)],
     );
     let opt = Optimizer::new().optimize(plan);
-    assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::SubqueryAlias { .. })), 0, "{opt}");
+    assert_eq!(
+        count_nodes(&opt, |p| matches!(p, LogicalPlan::SubqueryAlias { .. })),
+        0,
+        "{opt}"
+    );
 }
 
 #[test]
@@ -77,7 +81,12 @@ fn cross_side_equality_moves_into_join_condition() {
     let mut join_conditions = 0;
     let mut join_type = None;
     opt.for_each(&mut |p| {
-        if let LogicalPlan::Join { condition, join_type: jt, .. } = p {
+        if let LogicalPlan::Join {
+            condition,
+            join_type: jt,
+            ..
+        } = p
+        {
             join_type = Some(*jt);
             if condition.is_some() {
                 join_conditions += 1;
@@ -87,7 +96,11 @@ fn cross_side_equality_moves_into_join_condition() {
     assert_eq!(join_conditions, 1, "{opt}");
     assert_eq!(join_type, Some(JoinType::Inner), "{opt}");
     // x > 1 pushed below the join.
-    assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 1, "{opt}");
+    assert_eq!(
+        count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+        1,
+        "{opt}"
+    );
 }
 
 #[test]
@@ -102,7 +115,11 @@ fn col_eq_col_on_nonnullable_folds_to_true() {
     let plan = resolved.filter(Expr::Column(x.clone()).eq(Expr::Column(x)));
     let opt = Optimizer::new().optimize(plan);
     // Filter(true) pruned entirely.
-    assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 0, "{opt}");
+    assert_eq!(
+        count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+        0,
+        "{opt}"
+    );
 }
 
 #[test]
@@ -116,12 +133,19 @@ fn col_eq_col_on_nullable_is_kept() {
     let x = resolved.output()[0].clone();
     let plan = resolved.filter(Expr::Column(x.clone()).eq(Expr::Column(x)));
     let opt = Optimizer::new().optimize(plan);
-    assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 1, "{opt}");
+    assert_eq!(
+        count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+        1,
+        "{opt}"
+    );
 }
 
 #[test]
 fn null_propagation_and_boolean_simplification() {
-    let t = table(&[("x", DataType::Long, false), ("b", DataType::Boolean, false)]);
+    let t = table(&[
+        ("x", DataType::Long, false),
+        ("b", DataType::Boolean, false),
+    ]);
     // (x + NULL > 0) OR true  →  true  →  filter removed.
     let plan = analyze(
         LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(
@@ -133,7 +157,11 @@ fn null_propagation_and_boolean_simplification() {
         vec![("t", t.clone())],
     );
     let opt = Optimizer::new().optimize(plan);
-    assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 0, "{opt}");
+    assert_eq!(
+        count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+        0,
+        "{opt}"
+    );
 
     // NOT(NOT(b)) AND true → b.
     let plan = analyze(
@@ -164,7 +192,10 @@ fn is_null_on_nonnullable_column_folds() {
     let opt = Optimizer::new().optimize(plan);
     // IS NULL(non-nullable) → false → empty relation.
     assert_eq!(
-        count_nodes(&opt, |p| matches!(p, LogicalPlan::LocalRelation { rows, .. } if rows.is_empty())),
+        count_nodes(
+            &opt,
+            |p| matches!(p, LogicalPlan::LocalRelation { rows, .. } if rows.is_empty())
+        ),
         1,
         "{opt}"
     );
@@ -180,7 +211,11 @@ fn between_sugar_folds_with_constants() {
         vec![("t", t)],
     );
     let opt = Optimizer::new().optimize(plan);
-    assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 0, "{opt}");
+    assert_eq!(
+        count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+        0,
+        "{opt}"
+    );
 }
 
 #[test]
@@ -194,7 +229,11 @@ fn trace_names_every_fired_rule() {
                 JoinType::Cross,
                 None,
             )
-            .filter(col("x").eq(col("y")).and(col("x").like(lit("1%")).or(lit(true)))),
+            .filter(
+                col("x")
+                    .eq(col("y"))
+                    .and(col("x").like(lit("1%")).or(lit(true))),
+            ),
         vec![("a", a), ("b", b)],
     );
     let (_, trace) = Optimizer::new().optimize_traced(plan);
@@ -259,12 +298,19 @@ fn pushdown_respects_outer_join_null_side() {
 fn in_list_with_literals_folds() {
     let t = table(&[("x", DataType::Long, false)]);
     let plan = analyze(
-        LogicalPlan::UnresolvedRelation { name: "t".into() }
-            .filter(lit(2i64).in_list(vec![lit(1i64), lit(2i64), lit(3i64)])),
+        LogicalPlan::UnresolvedRelation { name: "t".into() }.filter(lit(2i64).in_list(vec![
+            lit(1i64),
+            lit(2i64),
+            lit(3i64),
+        ])),
         vec![("t", t)],
     );
     let opt = Optimizer::new().optimize(plan);
-    assert_eq!(count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })), 0, "{opt}");
+    assert_eq!(
+        count_nodes(&opt, |p| matches!(p, LogicalPlan::Filter { .. })),
+        0,
+        "{opt}"
+    );
 }
 
 #[test]

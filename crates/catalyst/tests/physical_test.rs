@@ -35,7 +35,9 @@ impl SmartTable {
                 ])
             })
             .collect();
-        SmartTable { inner: MemoryTable::new("smart", schema, rows, 2) }
+        SmartTable {
+            inner: MemoryTable::new("smart", schema, rows, 2),
+        }
     }
 }
 
@@ -96,7 +98,11 @@ fn scan_of(relation: Arc<dyn BaseRelation>) -> LogicalPlan {
         .iter()
         .map(|f| ColumnRef::new(f.name.clone(), f.dtype.clone(), f.nullable))
         .collect();
-    LogicalPlan::Scan { relation, output, filters: vec![] }
+    LogicalPlan::Scan {
+        relation,
+        output,
+        filters: vec![],
+    }
 }
 
 fn prepare(plan: LogicalPlan) -> LogicalPlan {
@@ -117,8 +123,18 @@ fn local(name: &str, n: i64) -> (LogicalPlan, ColumnRef) {
 }
 
 fn find_scan(p: &PhysicalPlan) -> Option<(Option<Vec<usize>>, Vec<Filter>, bool)> {
-    if let PhysicalPlan::Scan { projection, pushed_filters, residual, .. } = p {
-        return Some((projection.clone(), pushed_filters.clone(), residual.is_some()));
+    if let PhysicalPlan::Scan {
+        projection,
+        pushed_filters,
+        residual,
+        ..
+    } = p
+    {
+        return Some((
+            projection.clone(),
+            pushed_filters.clone(),
+            residual.is_some(),
+        ));
     }
     p.children().iter().find_map(|c| find_scan(c))
 }
@@ -138,7 +154,10 @@ fn scan_pushdown_prunes_columns_and_pushes_filters() {
     let phys = Planner::default().plan(&plan).unwrap();
     let (projection, pushed, has_residual) = find_scan(&phys).expect("scan node");
     assert!(!pushed.is_empty(), "{phys}");
-    assert!(!has_residual, "exactly-handled filters need no residual: {phys}");
+    assert!(
+        !has_residual,
+        "exactly-handled filters need no residual: {phys}"
+    );
     assert_eq!(projection.as_deref(), Some(&[1usize, 2][..]), "{phys}");
     assert!(!has_filter_node(&phys), "{phys}");
 }
@@ -147,10 +166,17 @@ fn scan_pushdown_prunes_columns_and_pushes_filters() {
 fn pushdown_disabled_keeps_residual_filter() {
     let rel: Arc<dyn BaseRelation> = Arc::new(SmartTable::new(100));
     let plan = prepare(scan_of(rel).filter(col("rank").gt(lit(50))));
-    let planner = Planner::new(PlannerConfig { pushdown_enabled: false, ..Default::default() });
+    let planner = Planner::new(PlannerConfig {
+        pushdown_enabled: false,
+        ..Default::default()
+    });
     let phys = planner.plan(&plan).unwrap();
     match &phys {
-        PhysicalPlan::Scan { pushed_filters, residual, .. } => {
+        PhysicalPlan::Scan {
+            pushed_filters,
+            residual,
+            ..
+        } => {
             assert!(pushed_filters.is_empty());
             assert!(residual.is_some());
         }
@@ -162,10 +188,20 @@ fn pushdown_disabled_keeps_residual_filter() {
 fn small_table_gets_broadcast_join() {
     let (l, la) = local("a", 100_000);
     let (r, rb) = local("b", 5);
-    let join = l.join(r, JoinType::Inner, Some(Expr::Column(la).eq(Expr::Column(rb))));
+    let join = l.join(
+        r,
+        JoinType::Inner,
+        Some(Expr::Column(la).eq(Expr::Column(rb))),
+    );
     let phys = Planner::default().plan(&join).unwrap();
     assert!(
-        matches!(phys, PhysicalPlan::BroadcastHashJoin { build_side: BuildSide::Right, .. }),
+        matches!(
+            phys,
+            PhysicalPlan::BroadcastHashJoin {
+                build_side: BuildSide::Right,
+                ..
+            }
+        ),
         "{phys}"
     );
 }
@@ -174,10 +210,20 @@ fn small_table_gets_broadcast_join() {
 fn low_threshold_forces_shuffled_join() {
     let (l, la) = local("a", 1000);
     let (r, rb) = local("b", 1000);
-    let join = l.join(r, JoinType::Inner, Some(Expr::Column(la).eq(Expr::Column(rb))));
-    let planner = Planner::new(PlannerConfig { broadcast_threshold: 16, ..Default::default() });
+    let join = l.join(
+        r,
+        JoinType::Inner,
+        Some(Expr::Column(la).eq(Expr::Column(rb))),
+    );
+    let planner = Planner::new(PlannerConfig {
+        broadcast_threshold: 16,
+        ..Default::default()
+    });
     let phys = planner.plan(&join).unwrap();
-    assert!(matches!(phys, PhysicalPlan::ShuffledHashJoin { .. }), "{phys}");
+    assert!(
+        matches!(phys, PhysicalPlan::ShuffledHashJoin { .. }),
+        "{phys}"
+    );
 }
 
 #[test]
@@ -186,23 +232,37 @@ fn left_join_cannot_broadcast_left_build_side() {
     // table would drop its unmatched rows, so the planner must refuse.
     let (l, la) = local("a", 5);
     let (r, rb) = local("b", 1000);
-    let join = l.join(r, JoinType::Left, Some(Expr::Column(la).eq(Expr::Column(rb))));
+    let join = l.join(
+        r,
+        JoinType::Left,
+        Some(Expr::Column(la).eq(Expr::Column(rb))),
+    );
     let planner = Planner::new(PlannerConfig {
         // Make only the left side broadcastable.
         broadcast_threshold: 100,
         ..Default::default()
     });
     let phys = planner.plan(&join).unwrap();
-    assert!(matches!(phys, PhysicalPlan::ShuffledHashJoin { .. }), "{phys}");
+    assert!(
+        matches!(phys, PhysicalPlan::ShuffledHashJoin { .. }),
+        "{phys}"
+    );
 }
 
 #[test]
 fn non_equi_join_gets_nested_loop() {
     let (l, la) = local("a", 10);
     let (r, rb) = local("b", 10);
-    let join = l.join(r, JoinType::Inner, Some(Expr::Column(la).lt(Expr::Column(rb))));
+    let join = l.join(
+        r,
+        JoinType::Inner,
+        Some(Expr::Column(la).lt(Expr::Column(rb))),
+    );
     let phys = Planner::default().plan(&join).unwrap();
-    assert!(matches!(phys, PhysicalPlan::NestedLoopJoin { .. }), "{phys}");
+    assert!(
+        matches!(phys, PhysicalPlan::NestedLoopJoin { .. }),
+        "{phys}"
+    );
 }
 
 #[test]
@@ -210,7 +270,10 @@ fn limit_over_sort_becomes_take_ordered() {
     let (t, x) = local("x", 10);
     let plan = t.sort(vec![Expr::Column(x).desc()]).limit(1);
     let phys = Planner::default().plan(&plan).unwrap();
-    assert!(matches!(phys, PhysicalPlan::TakeOrdered { n: 1, .. }), "{phys}");
+    assert!(
+        matches!(phys, PhysicalPlan::TakeOrdered { n: 1, .. }),
+        "{phys}"
+    );
 }
 
 #[test]
@@ -243,13 +306,24 @@ fn distinct_plans_to_hash_aggregate() {
 fn expr_to_filter_conversions() {
     let c = ColumnRef::new("x", DataType::Int, false);
     let e = Expr::Column(c.clone()).gt(lit(5));
-    assert_eq!(expr_to_filter(&e), Some(Filter::Gt("x".into(), Value::Int(5))));
+    assert_eq!(
+        expr_to_filter(&e),
+        Some(Filter::Gt("x".into(), Value::Int(5)))
+    );
     // Flipped comparison: 5 < x ⇔ x > 5.
     let e = lit(5).lt(Expr::Column(c.clone()));
-    assert_eq!(expr_to_filter(&e), Some(Filter::Gt("x".into(), Value::Int(5))));
+    assert_eq!(
+        expr_to_filter(&e),
+        Some(Filter::Gt("x".into(), Value::Int(5)))
+    );
     // Numeric cast around the column is transparent.
-    let e = Expr::Column(c.clone()).cast(DataType::Long).lt_eq(lit(9i64));
-    assert_eq!(expr_to_filter(&e), Some(Filter::LtEq("x".into(), Value::Long(9))));
+    let e = Expr::Column(c.clone())
+        .cast(DataType::Long)
+        .lt_eq(lit(9i64));
+    assert_eq!(
+        expr_to_filter(&e),
+        Some(Filter::LtEq("x".into(), Value::Long(9)))
+    );
     // IN list.
     let e = Expr::Column(c.clone()).in_list(vec![lit(1), lit(2)]);
     assert_eq!(

@@ -44,15 +44,24 @@ fn arb_dtype(rng: &mut StdRng) -> DataType {
 /// A base table: a guaranteed Long key column (so joins always have a
 /// usable equi-key) plus 1..4 random columns.
 fn arb_table(rng: &mut StdRng, prefix: &str) -> (Vec<GenCol>, LogicalPlan) {
-    let mut cols = vec![GenCol { name: format!("{prefix}_k"), dtype: DataType::Long }];
+    let mut cols = vec![GenCol {
+        name: format!("{prefix}_k"),
+        dtype: DataType::Long,
+    }];
     for i in 0..rng.random_range(1usize..4) {
-        cols.push(GenCol { name: format!("{prefix}_c{i}"), dtype: arb_dtype(rng) });
+        cols.push(GenCol {
+            name: format!("{prefix}_c{i}"),
+            dtype: arb_dtype(rng),
+        });
     }
     let output = cols
         .iter()
         .map(|c| ColumnRef::new(c.name.as_str(), c.dtype.clone(), rng.random_bool(0.5)))
         .collect();
-    let plan = LogicalPlan::LocalRelation { output, rows: Arc::new(vec![Row::new(vec![])]) };
+    let plan = LogicalPlan::LocalRelation {
+        output,
+        rows: Arc::new(vec![Row::new(vec![])]),
+    };
     (cols, plan)
 }
 
@@ -90,14 +99,10 @@ fn grow(rng: &mut StdRng, mut plan: LogicalPlan, mut cols: Vec<GenCol>) -> Logic
             1 => {
                 // Random nonempty column subset, sometimes plus a
                 // computed alias over a Long column.
-                let keep: Vec<usize> = (0..cols.len())
-                    .filter(|_| rng.random_bool(0.6))
-                    .collect();
+                let keep: Vec<usize> = (0..cols.len()).filter(|_| rng.random_bool(0.6)).collect();
                 let keep = if keep.is_empty() { vec![0] } else { keep };
-                let mut exprs: Vec<Expr> =
-                    keep.iter().map(|&i| col(&cols[i].name)).collect();
-                let mut new_cols: Vec<GenCol> =
-                    keep.iter().map(|&i| cols[i].clone()).collect();
+                let mut exprs: Vec<Expr> = keep.iter().map(|&i| col(&cols[i].name)).collect();
+                let mut new_cols: Vec<GenCol> = keep.iter().map(|&i| cols[i].clone()).collect();
                 if let Some(l) = cols.iter().find(|c| c.dtype == DataType::Long) {
                     if rng.random_bool(0.5) {
                         let name = format!("e{computed}");
@@ -107,7 +112,10 @@ fn grow(rng: &mut StdRng, mut plan: LogicalPlan, mut cols: Vec<GenCol>) -> Logic
                                 .add(lit(rng.random_range(1i64..10)))
                                 .alias(name.as_str()),
                         );
-                        new_cols.push(GenCol { name, dtype: DataType::Long });
+                        new_cols.push(GenCol {
+                            name,
+                            dtype: DataType::Long,
+                        });
                     }
                 }
                 plan = plan.project(exprs);
@@ -137,7 +145,10 @@ fn grow(rng: &mut StdRng, mut plan: LogicalPlan, mut cols: Vec<GenCol>) -> Logic
                     // Aggregate result types are rule-irrelevant here;
                     // mark them String-typed-unknown by never reusing
                     // them in later typed expressions.
-                    new_cols.push(GenCol { name, dtype: DataType::Null });
+                    new_cols.push(GenCol {
+                        name,
+                        dtype: DataType::Null,
+                    });
                 }
                 plan = plan.aggregate(vec![col(&g.name)], aggs);
                 cols = new_cols;
@@ -182,7 +193,11 @@ fn arb_analyzed_plan(rng: &mut StdRng) -> LogicalPlan {
             catalog.register("r", rt);
             let join = LogicalPlan::UnresolvedRelation { name: "l".into() }.join(
                 LogicalPlan::UnresolvedRelation { name: "r".into() },
-                if rng.random_bool(0.7) { JoinType::Inner } else { JoinType::Left },
+                if rng.random_bool(0.7) {
+                    JoinType::Inner
+                } else {
+                    JoinType::Left
+                },
                 Some(col("l_k").eq(col("r_k"))),
             );
             let mut cols = lcols;
@@ -247,7 +262,10 @@ fn generated_analyzed_plans_pass_all_invariants() {
     for i in 0..256 {
         let plan = arb_analyzed_plan(&mut rng);
         let violations = validator.check_logical(&plan);
-        assert!(violations.is_empty(), "iteration {i}: {violations:?}\n{plan}");
+        assert!(
+            violations.is_empty(),
+            "iteration {i}: {violations:?}\n{plan}"
+        );
     }
 }
 
@@ -274,11 +292,18 @@ fn every_rule_preserves_schema_and_resolution() {
                 "iteration {i}, rule {}: {violations:?}\nbefore:\n{before}\nafter:\n{after}",
                 rule.name(),
             );
-            assert!(after.is_resolved(), "iteration {i}, rule {} unresolved:\n{after}", rule.name());
+            assert!(
+                after.is_resolved(),
+                "iteration {i}, rule {} unresolved:\n{after}",
+                rule.name()
+            );
         }
     }
     // The sweep is only meaningful if rules actually rewrote plans.
-    assert!(rewrites > 100, "sweep barely exercised the rules: {rewrites} rewrites");
+    assert!(
+        rewrites > 100,
+        "sweep barely exercised the rules: {rewrites} rewrites"
+    );
 }
 
 /// The full optimizer pipeline, monitored end to end: zero invariant
@@ -294,18 +319,39 @@ fn full_pipeline_is_violation_free_on_random_plans() {
         let analyzed = arb_analyzed_plan(&mut rng);
         let schema = analyzed.output();
         let out = optimizer.optimize_monitored(analyzed);
-        assert!(out.violations.is_empty(), "iteration {i}: {:?}\n{}", out.violations, out.plan);
-        assert!(out.health.non_converged.is_empty(), "iteration {i}: {:?}", out.health.non_converged);
+        assert!(
+            out.violations.is_empty(),
+            "iteration {i}: {:?}\n{}",
+            out.violations,
+            out.plan
+        );
+        assert!(
+            out.health.non_converged.is_empty(),
+            "iteration {i}: {:?}",
+            out.health.non_converged
+        );
         let final_schema = out.plan.output();
-        assert_eq!(final_schema.len(), schema.len(), "iteration {i}:\n{}", out.plan);
+        assert_eq!(
+            final_schema.len(),
+            schema.len(),
+            "iteration {i}:\n{}",
+            out.plan
+        );
         for (b, a) in schema.iter().zip(&final_schema) {
             assert_eq!(b.id, a.id, "iteration {i}:\n{}", out.plan);
             assert_eq!(b.name, a.name, "iteration {i}:\n{}", out.plan);
             assert_eq!(b.dtype, a.dtype, "iteration {i}:\n{}", out.plan);
         }
         let end_violations = validator.check_logical(&out.plan);
-        assert!(end_violations.is_empty(), "iteration {i}: {end_violations:?}\n{}", out.plan);
+        assert!(
+            end_violations.is_empty(),
+            "iteration {i}: {end_violations:?}\n{}",
+            out.plan
+        );
         total_fires += out.health.rules.iter().map(|h| h.fires).sum::<usize>();
     }
-    assert!(total_fires > 256, "optimizer barely fired on the sweep: {total_fires}");
+    assert!(
+        total_fires > 256,
+        "optimizer barely fired on the sweep: {total_fires}"
+    );
 }

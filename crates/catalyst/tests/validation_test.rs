@@ -42,7 +42,10 @@ fn analyze(plan: LogicalPlan, tables: Vec<(&str, LogicalPlan)>) -> LogicalPlan {
 fn drop_first_column_rule() -> Box<dyn catalyst::rules::Rule<LogicalPlan>> {
     Box::new(FnRule::new("DropFirstColumn", |p: LogicalPlan| match p {
         LogicalPlan::Project { input, exprs } if exprs.len() > 1 => {
-            Transformed::yes(LogicalPlan::Project { input, exprs: exprs[1..].to_vec() })
+            Transformed::yes(LogicalPlan::Project {
+                input,
+                exprs: exprs[1..].to_vec(),
+            })
         }
         other => Transformed::no(other),
     }))
@@ -72,7 +75,12 @@ fn constant_folding_keeps_aliased_literal_outputs() {
     let out = Optimizer::new().optimize_monitored(plan);
     assert!(out.violations.is_empty(), "{:?}", out.violations);
     let after = out.plan.output();
-    assert_eq!(after.len(), 1, "aliased literal column vanished:\n{}", out.plan);
+    assert_eq!(
+        after.len(),
+        1,
+        "aliased literal column vanished:\n{}",
+        out.plan
+    );
     assert_eq!(after[0].name, before[0].name);
     assert_eq!(after[0].id, before[0].id);
     // The fold itself must still happen under the alias.
@@ -104,18 +112,37 @@ fn schema_breaking_rule_is_rejected_with_full_report() {
     assert_eq!(v.iteration, 0);
     assert!(v.message.contains("width"), "{}", v.message);
     // ... and carries a structural before/after plan diff.
-    assert!(v.diff.lines().any(|l| l.starts_with("- ")), "diff:\n{}", v.diff);
-    assert!(v.diff.lines().any(|l| l.starts_with("+ ")), "diff:\n{}", v.diff);
+    assert!(
+        v.diff.lines().any(|l| l.starts_with("- ")),
+        "diff:\n{}",
+        v.diff
+    );
+    assert!(
+        v.diff.lines().any(|l| l.starts_with("+ ")),
+        "diff:\n{}",
+        v.diff
+    );
     let rendered = v.to_string();
-    for needle in ["schema-preserved", "DropFirstColumn", "user-bad", "plan diff:"] {
-        assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+    for needle in [
+        "schema-preserved",
+        "DropFirstColumn",
+        "user-bad",
+        "plan diff:",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
     }
 
     // The violating rewrite was rolled back: the plan keeps its schema.
     assert_eq!(out.plan.output(), expected_output, "{}", out.plan);
 
     // And the health report counts the rejection, not a fire.
-    let h = out.health.health_for("user-bad", "DropFirstColumn").unwrap();
+    let h = out
+        .health
+        .health_for("user-bad", "DropFirstColumn")
+        .unwrap();
     assert_eq!(h.rejected, 1);
     assert_eq!(h.fires, 0);
 }
@@ -142,20 +169,26 @@ fn oscillating_user_batch_is_reported_non_converged() {
     // Toggles LIMIT 7 <-> LIMIT 8 forever: schema-safe but oscillating.
     opt.add_batch(Batch::fixed_point(
         "user-oscillating",
-        vec![Box::new(FnRule::new("ToggleLimit", |p: LogicalPlan| match p {
-            LogicalPlan::Limit { input, n: 7 } => {
-                Transformed::yes(LogicalPlan::Limit { input, n: 8 })
-            }
-            LogicalPlan::Limit { input, n: 8 } => {
-                Transformed::yes(LogicalPlan::Limit { input, n: 7 })
-            }
-            other => Transformed::no(other),
-        }))],
+        vec![Box::new(FnRule::new(
+            "ToggleLimit",
+            |p: LogicalPlan| match p {
+                LogicalPlan::Limit { input, n: 7 } => {
+                    Transformed::yes(LogicalPlan::Limit { input, n: 8 })
+                }
+                LogicalPlan::Limit { input, n: 8 } => {
+                    Transformed::yes(LogicalPlan::Limit { input, n: 7 })
+                }
+                other => Transformed::no(other),
+            },
+        ))],
     ));
     let out = opt.optimize_monitored(plan);
     assert!(out.violations.is_empty(), "{:?}", out.violations);
     assert!(
-        out.health.non_converged.iter().any(|nc| nc.batch == "user-oscillating"),
+        out.health
+            .non_converged
+            .iter()
+            .any(|nc| nc.batch == "user-oscillating"),
         "non-convergence not recorded: {:?}",
         out.health.non_converged
     );
@@ -194,8 +227,16 @@ fn rule_health_counts_fires_and_renders() {
     assert!(pf.fires >= 1, "{pf:?}");
 
     let rendered = out.health.render();
-    for needle in ["== Rule Health ==", "ConstantFolding", "PruneFilters", "non-converged"] {
-        assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+    for needle in [
+        "== Rule Health ==",
+        "ConstantFolding",
+        "PruneFilters",
+        "non-converged",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
     }
 
     // Every fired rule left a before/after entry in the plan-change log.

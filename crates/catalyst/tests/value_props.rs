@@ -31,11 +31,7 @@ fn arb_value(rng: &mut StdRng) -> Value {
         6 => Value::str(arb_string(rng)),
         7 => Value::Date(rng.random_range(-100_000i32..100_000)),
         8 => Value::Timestamp(rng.next_u64() as i64),
-        _ => Value::Decimal(
-            rng.next_u64() as i64 as i128,
-            18,
-            rng.random_range(0u8..6),
-        ),
+        _ => Value::Decimal(rng.next_u64() as i64 as i128, 18, rng.random_range(0u8..6)),
     }
 }
 
@@ -135,7 +131,11 @@ fn date_roundtrip() {
     for _ in 0..256 {
         let d = rng.random_range(-200_000i32..200_000);
         let text = catalyst::value::format_date(d);
-        assert_eq!(catalyst::value::parse_date(&text), Some(d), "date {d} via {text}");
+        assert_eq!(
+            catalyst::value::parse_date(&text),
+            Some(d),
+            "date {d} via {text}"
+        );
     }
 }
 
@@ -172,5 +172,8 @@ fn nan_is_orderable_and_hashable() {
     assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
     assert_eq!(h(&nan), h(&Value::Double(f64::NAN)));
     // NaN sorts after all finite doubles under total order.
-    assert_eq!(nan.total_cmp(&Value::Double(f64::INFINITY)), Ordering::Greater);
+    assert_eq!(
+        nan.total_cmp(&Value::Double(f64::INFINITY)),
+        Ordering::Greater
+    );
 }

@@ -44,14 +44,22 @@ impl ColumnarBatch {
             .zip(&cols)
             .map(|(field, vals)| EncodedColumn::encode(&field.dtype, vals))
             .collect();
-        ColumnarBatch { schema, columns, num_rows }
+        ColumnarBatch {
+            schema,
+            columns,
+            num_rows,
+        }
     }
 
     /// Reassemble a batch from already-encoded columns (file format
     /// deserialization). Column order must match the schema.
     pub fn from_columns(schema: SchemaRef, columns: Vec<EncodedColumn>, num_rows: usize) -> Self {
         assert_eq!(schema.len(), columns.len(), "column count mismatch");
-        ColumnarBatch { schema, columns, num_rows }
+        ColumnarBatch {
+            schema,
+            columns,
+            num_rows,
+        }
     }
 
     /// Schema of the batch.
@@ -76,8 +84,10 @@ impl ColumnarBatch {
             Some(p) => p.to_vec(),
             None => (0..self.columns.len()).collect(),
         };
-        let decoded: Vec<Vec<Value>> =
-            indices.iter().map(|&i| self.columns[i].decode_all()).collect();
+        let decoded: Vec<Vec<Value>> = indices
+            .iter()
+            .map(|&i| self.columns[i].decode_all())
+            .collect();
         (0..self.num_rows)
             .map(|r| Row::new(decoded.iter().map(|c| c[r].clone()).collect()))
             .collect()
@@ -164,7 +174,11 @@ impl ColumnarBatch {
                 EncodedColumn::encode(&field.dtype, &vals)
             })
             .collect();
-        ColumnarBatch { schema, columns, num_rows }
+        ColumnarBatch {
+            schema,
+            columns,
+            num_rows,
+        }
     }
 
     /// Per-column stats.
@@ -209,7 +223,12 @@ mod tests {
 
     fn rows(n: usize) -> Vec<Row> {
         (0..n)
-            .map(|i| Row::new(vec![Value::Long(i as i64), Value::str(format!("c{}", i % 3))]))
+            .map(|i| {
+                Row::new(vec![
+                    Value::Long(i as i64),
+                    Value::str(format!("c{}", i % 3)),
+                ])
+            })
             .collect()
     }
 

@@ -10,7 +10,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-clear bitmap of `len` bits.
     pub fn new(len: usize) -> Self {
-        Bitmap { words: vec![0; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of bits.

@@ -155,7 +155,10 @@ impl EncodedColumn {
                     .iter()
                     .map(|v| matches!(v, Value::Boolean(true)))
                     .collect();
-                ColumnData::Bool { words: encoding::bool_pack(&raw), len }
+                ColumnData::Bool {
+                    words: encoding::bool_pack(&raw),
+                    len,
+                }
             }
             DataType::Struct(fields) => {
                 // Shred the struct: one sub-column per field; struct-level
@@ -182,7 +185,13 @@ impl EncodedColumn {
             _ => ColumnData::Values(values.to_vec()),
         };
 
-        EncodedColumn { dtype: dtype.clone(), nulls, stats, data, len }
+        EncodedColumn {
+            dtype: dtype.clone(),
+            nulls,
+            stats,
+            data,
+            len,
+        }
     }
 
     /// Reassemble a column from parts (file-format deserialization).
@@ -193,7 +202,13 @@ impl EncodedColumn {
         data: ColumnData,
         len: usize,
     ) -> Self {
-        EncodedColumn { dtype, nulls, stats, data, len }
+        EncodedColumn {
+            dtype,
+            nulls,
+            stats,
+            data,
+            len,
+        }
     }
 
     /// Logical length.
@@ -227,14 +242,14 @@ impl EncodedColumn {
                 return Value::Null;
             }
         }
-        let typed = |raw_i32: Option<i32>, raw_i64: Option<i64>| match (&self.dtype, raw_i32, raw_i64)
-        {
-            (DataType::Date, Some(x), _) => Value::Date(x),
-            (_, Some(x), _) => Value::Int(x),
-            (DataType::Timestamp, _, Some(x)) => Value::Timestamp(x),
-            (_, _, Some(x)) => Value::Long(x),
-            _ => Value::Null,
-        };
+        let typed =
+            |raw_i32: Option<i32>, raw_i64: Option<i64>| match (&self.dtype, raw_i32, raw_i64) {
+                (DataType::Date, Some(x), _) => Value::Date(x),
+                (_, Some(x), _) => Value::Int(x),
+                (DataType::Timestamp, _, Some(x)) => Value::Timestamp(x),
+                (_, _, Some(x)) => Value::Long(x),
+                _ => Value::Null,
+            };
         match &self.data {
             ColumnData::Int(v) => typed(Some(v[i]), None),
             ColumnData::RleInt(runs) => typed(encoding::rle_get(runs, i), None),
@@ -292,24 +307,30 @@ impl EncodedColumn {
     /// through boxed values.
     pub fn decode_vector(&self) -> ColumnVector {
         use catalyst::vectorized::VectorData;
-        let nulls = self.nulls.as_ref().map(|b| {
-            (0..self.len).map(|i| b.get(i)).collect::<Vec<bool>>()
-        });
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|b| (0..self.len).map(|i| b.get(i)).collect::<Vec<bool>>());
         let data = match &self.data {
             ColumnData::Int(v) => VectorData::Long(v.iter().map(|&x| x as i64).collect()),
             ColumnData::Long(v) => VectorData::Long(v.clone()),
             ColumnData::RleInt(runs) => VectorData::Long(
-                encoding::rle_decode(runs).into_iter().map(|x| x as i64).collect(),
+                encoding::rle_decode(runs)
+                    .into_iter()
+                    .map(|x| x as i64)
+                    .collect(),
             ),
             ColumnData::RleLong(runs) => VectorData::Long(encoding::rle_decode(runs)),
             ColumnData::Float(v) => VectorData::Double(v.iter().map(|&x| x as f64).collect()),
             ColumnData::Double(v) => VectorData::Double(v.clone()),
             ColumnData::Str(v) => VectorData::Str(v.clone()),
-            ColumnData::DictStr { dict, codes } => VectorData::Str(
-                codes.iter().map(|&c| dict[c as usize].clone()).collect(),
-            ),
+            ColumnData::DictStr { dict, codes } => {
+                VectorData::Str(codes.iter().map(|&c| dict[c as usize].clone()).collect())
+            }
             ColumnData::Bool { words, .. } => VectorData::Bool(
-                (0..self.len).map(|i| encoding::bool_get(words, i)).collect(),
+                (0..self.len)
+                    .map(|i| encoding::bool_get(words, i))
+                    .collect(),
             ),
             ColumnData::StructCols(_) | ColumnData::Values(_) => {
                 return ColumnVector::from_boxed(self.dtype.clone(), self.decode_all());
@@ -372,7 +393,9 @@ mod tests {
 
     #[test]
     fn low_cardinality_strings_use_dictionary() {
-        let values: Vec<Value> = (0..1000).map(|i| Value::str(format!("cat{}", i % 4))).collect();
+        let values: Vec<Value> = (0..1000)
+            .map(|i| Value::str(format!("cat{}", i % 4)))
+            .collect();
         let c = EncodedColumn::encode(&DataType::String, &values);
         assert_eq!(c.encoding_name(), "dict");
         assert_eq!(c.decode_all(), values);
@@ -400,7 +423,13 @@ mod tests {
     #[test]
     fn nulls_roundtrip() {
         let values: Vec<Value> = (0..10)
-            .map(|i| if i % 3 == 0 { Value::Null } else { Value::Int(i) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i)
+                }
+            })
             .collect();
         let c = EncodedColumn::encode(&DataType::Int, &values);
         assert_eq!(c.decode_all(), values);

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn dict_roundtrip() {
-        let vals: Vec<Arc<str>> = ["a", "b", "a", "c", "b"].iter().map(|s| Arc::from(*s)).collect();
+        let vals: Vec<Arc<str>> = ["a", "b", "a", "c", "b"]
+            .iter()
+            .map(|s| Arc::from(*s))
+            .collect();
         let (dict, codes) = dict_encode(&vals);
         assert_eq!(dict.len(), 3);
         let decoded: Vec<Arc<str>> = codes.iter().map(|&c| dict[c as usize].clone()).collect();

@@ -70,8 +70,10 @@ fn encode_exact(dtype: &DataType, values: &[Value]) -> EncodedColumn {
     if values.iter().all(|v| variant_matches(dtype, v)) {
         EncodedColumn::encode(dtype, values)
     } else {
-        let stats =
-            ColumnStats { row_count: values.len() as u64, ..ColumnStats::default() };
+        let stats = ColumnStats {
+            row_count: values.len() as u64,
+            ..ColumnStats::default()
+        };
         EncodedColumn::from_parts(
             dtype.clone(),
             None,

@@ -21,7 +21,10 @@ pub struct ColumnStats {
 impl ColumnStats {
     /// Compute stats over a value slice.
     pub fn from_values(values: &[Value]) -> Self {
-        let mut s = ColumnStats { row_count: values.len() as u64, ..Default::default() };
+        let mut s = ColumnStats {
+            row_count: values.len() as u64,
+            ..Default::default()
+        };
         for v in values {
             s.update(v);
         }
@@ -122,7 +125,10 @@ mod tests {
         assert!(s.may_match(&Filter::LtEq("x".into(), Value::Long(10))));
         assert!(!s.may_match(&Filter::Eq("x".into(), Value::Long(5))));
         assert!(s.may_match(&Filter::Eq("x".into(), Value::Long(25))));
-        assert!(!s.may_match(&Filter::In("x".into(), vec![Value::Long(1), Value::Long(2)])));
+        assert!(!s.may_match(&Filter::In(
+            "x".into(),
+            vec![Value::Long(1), Value::Long(2)]
+        )));
     }
 
     #[test]

@@ -99,14 +99,20 @@ fn decode_vector_matches_source_and_row_decode() {
         let dtype = arb_dtype(&mut rng);
         let null_p = arb_null_p(&mut rng);
         let len = rng.random_range(0usize..300);
-        let vals: Vec<Value> = (0..len).map(|_| arb_value(&mut rng, &dtype, null_p)).collect();
+        let vals: Vec<Value> = (0..len)
+            .map(|_| arb_value(&mut rng, &dtype, null_p))
+            .collect();
         let encoded = EncodedColumn::encode(&dtype, &vals);
         let vector = encoded.decode_vector();
         assert_eq!(vector.len(), vals.len(), "seed {seed}: length");
         let row_decoded = encoded.decode_all();
         for (i, v) in vals.iter().enumerate() {
             assert_eq!(&vector.get(i), v, "seed {seed}: lane {i} vs source");
-            assert_eq!(vector.get(i), row_decoded[i], "seed {seed}: lane {i} vs decode_all");
+            assert_eq!(
+                vector.get(i),
+                row_decoded[i],
+                "seed {seed}: lane {i} vs decode_all"
+            );
             assert_eq!(vector.is_null(i), v.is_null(), "seed {seed}: null flag {i}");
         }
     }
@@ -120,7 +126,11 @@ fn to_row_batch_matches_row_decode_under_projection() {
     for seed in 0..120u64 {
         let mut rng = StdRng::seed_from_u64(0xBA7C ^ (seed * 0x85EB_CA6B));
         let schema = arb_schema(&mut rng);
-        let len = if rng.random_bool(0.1) { 0 } else { rng.random_range(1usize..300) };
+        let len = if rng.random_bool(0.1) {
+            0
+        } else {
+            rng.random_range(1usize..300)
+        };
         let rows = arb_rows(&mut rng, &schema, len);
         let batch = ColumnarBatch::from_rows(schema.clone(), rows.clone());
         assert_eq!(batch.num_rows(), rows.len(), "seed {seed}");
@@ -132,7 +142,10 @@ fn to_row_batch_matches_row_decode_under_projection() {
         };
         let rb = batch.to_row_batch(projection.as_deref());
         assert_eq!(rb.num_rows(), rows.len(), "seed {seed}: batch length");
-        assert!(rb.selection().is_none(), "seed {seed}: plain decode has no selection");
+        assert!(
+            rb.selection().is_none(),
+            "seed {seed}: plain decode has no selection"
+        );
         let expect = batch.decode(projection.as_deref());
         let got: Vec<Row> = (0..rb.num_rows()).map(|i| rb.row(i)).collect();
         assert_eq!(got, expect, "seed {seed}: projection {projection:?}");
@@ -147,7 +160,11 @@ fn from_row_batch_reencodes_with_and_without_selection() {
     for seed in 0..120u64 {
         let mut rng = StdRng::seed_from_u64(0x5EED ^ (seed * 0xC2B2_AE35));
         let schema = arb_schema(&mut rng);
-        let len = if rng.random_bool(0.1) { 0 } else { rng.random_range(1usize..300) };
+        let len = if rng.random_bool(0.1) {
+            0
+        } else {
+            rng.random_range(1usize..300)
+        };
         let rows = arb_rows(&mut rng, &schema, len);
         let batch = ColumnarBatch::from_rows(schema.clone(), rows.clone());
         let rb = batch.to_row_batch(None);
@@ -158,10 +175,14 @@ fn from_row_batch_reencodes_with_and_without_selection() {
         assert_eq!(re.decode(None), rows, "seed {seed}: full re-encode");
 
         // Selected round-trip: only the selected rows survive, in order.
-        let selection: Vec<u32> =
-            (0..len).filter(|_| rng.random_bool(0.4)).map(|i| i as u32).collect();
-        let expect: Vec<Row> =
-            selection.iter().map(|&i| rows[i as usize].clone()).collect();
+        let selection: Vec<u32> = (0..len)
+            .filter(|_| rng.random_bool(0.4))
+            .map(|i| i as u32)
+            .collect();
+        let expect: Vec<Row> = selection
+            .iter()
+            .map(|&i| rows[i as usize].clone())
+            .collect();
         let selected = rb.clone().with_selection(selection);
         let re = ColumnarBatch::from_row_batch(schema.clone(), &selected);
         assert_eq!(re.num_rows(), expect.len(), "seed {seed}: selected count");

@@ -23,7 +23,9 @@ fn arb_long_col(rng: &mut StdRng) -> Vec<Value> {
         0 => (0..len)
             .map(|_| Value::Long(rng.random_range(-3i64..3)))
             .collect(),
-        1 => (0..len).map(|_| Value::Long(rng.next_u64() as i64)).collect(),
+        1 => (0..len)
+            .map(|_| Value::Long(rng.next_u64() as i64))
+            .collect(),
         _ => (0..len)
             .map(|_| {
                 if rng.random_bool(0.3) {
@@ -121,8 +123,15 @@ fn stats_skipping_is_sound() {
         let len = rng.random_range(1usize..200);
         let values: Vec<i64> = (0..len).map(|_| rng.random_range(-100i64..100)).collect();
         let threshold = rng.random_range(-120i64..120);
-        let schema = Arc::new(Schema::new(vec![StructField::new("x", DataType::Long, false)]));
-        let rows: Vec<Row> = values.iter().map(|&v| Row::new(vec![Value::Long(v)])).collect();
+        let schema = Arc::new(Schema::new(vec![StructField::new(
+            "x",
+            DataType::Long,
+            false,
+        )]));
+        let rows: Vec<Row> = values
+            .iter()
+            .map(|&v| Row::new(vec![Value::Long(v)]))
+            .collect();
         let batches = batch_rows(schema, rows.clone(), 16);
         for (fi, filter) in [
             Filter::Gt("x".into(), Value::Long(threshold)),
@@ -144,7 +153,10 @@ fn stats_skipping_is_sound() {
                     }
                 }
             }
-            assert_eq!(matched_in_skipped, 0, "filter #{fi} skipped a matching batch");
+            assert_eq!(
+                matched_in_skipped, 0,
+                "filter #{fi} skipped a matching batch"
+            );
         }
     }
 }

@@ -88,7 +88,9 @@ impl CachedRelation {
     /// the block store.
     pub fn resident_partitions(&self) -> usize {
         let cm = self.sc.cache_manager();
-        (0..self.num_partitions).filter(|&p| cm.get(self.cache_id, p).is_some()).count()
+        (0..self.num_partitions)
+            .filter(|&p| cm.get(self.cache_id, p).is_some())
+            .count()
     }
 
     fn encode(&self, rows: Vec<Row>) -> CachedPartition {
@@ -287,9 +289,7 @@ impl BaseRelation for CachedRelation {
                             .all(|(i, f)| f.matches(row.get(pos_of(*i))));
                         if ok {
                             out.push(Row::new(
-                                proj.iter()
-                                    .map(|&c| row.get(pos_of(c)).clone())
-                                    .collect(),
+                                proj.iter().map(|&c| row.get(pos_of(c)).clone()).collect(),
                             ));
                         }
                     }
@@ -404,9 +404,15 @@ mod tests {
     fn filters_and_projection_on_cached_batches() {
         let rel = make(true);
         let filters = [Filter::Gt("id".into(), Value::Long(150))];
-        let p0: Vec<Row> = rel.scan_partition(0, Some(&[0]), &filters).unwrap().collect();
+        let p0: Vec<Row> = rel
+            .scan_partition(0, Some(&[0]), &filters)
+            .unwrap()
+            .collect();
         assert!(p0.is_empty(), "partition 0 has ids 0..100");
-        let p1: Vec<Row> = rel.scan_partition(1, Some(&[0]), &filters).unwrap().collect();
+        let p1: Vec<Row> = rel
+            .scan_partition(1, Some(&[0]), &filters)
+            .unwrap()
+            .collect();
         assert_eq!(p1.len(), 49);
         assert_eq!(p1[0].len(), 1);
     }

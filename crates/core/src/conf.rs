@@ -128,7 +128,11 @@ impl SqlConf {
                     raw.trim().to_ascii_lowercase().as_str(),
                     "" | "0" | "false" | "off" | "no"
                 );
-                if off { "false".to_string() } else { "true".to_string() }
+                if off {
+                    "false".to_string()
+                } else {
+                    "true".to_string()
+                }
             } else {
                 raw
             };
@@ -173,8 +177,10 @@ impl SqlConf {
 
     /// Every `(key, value)` pair, sorted by key — what bare `SET` shows.
     pub fn entries(&self) -> Vec<(String, String)> {
-        let mut out: Vec<(String, String)> =
-            entries().iter().map(|e| (e.key.to_string(), (e.get)(self))).collect();
+        let mut out: Vec<(String, String)> = entries()
+            .iter()
+            .map(|e| (e.key.to_string(), (e.get)(self)))
+            .collect();
         out.sort();
         out
     }
@@ -282,15 +288,13 @@ fn parse_bytes(key: &str, v: &str) -> Result<u64> {
 }
 
 fn parse_count(key: &str, v: &str) -> Result<usize> {
-    v.parse::<usize>().map_err(|_| {
-        CatalystError::analysis(format!("invalid count '{v}' for {key}"))
-    })
+    v.parse::<usize>()
+        .map_err(|_| CatalystError::analysis(format!("invalid count '{v}' for {key}")))
 }
 
 fn parse_float(key: &str, v: &str) -> Result<f64> {
-    v.parse::<f64>().map_err(|_| {
-        CatalystError::analysis(format!("invalid number '{v}' for {key}"))
-    })
+    v.parse::<f64>()
+        .map_err(|_| CatalystError::analysis(format!("invalid number '{v}' for {key}")))
 }
 
 macro_rules! bool_entry {
@@ -313,9 +317,17 @@ fn entries() -> &'static [ConfEntry] {
     ENTRIES.get_or_init(|| {
         vec![
             bool_entry!("spark.sql.codegen.enabled", None, codegen_enabled),
-            bool_entry!("spark.sql.cache.columnar.enabled", None, columnar_cache_enabled),
+            bool_entry!(
+                "spark.sql.cache.columnar.enabled",
+                None,
+                columnar_cache_enabled
+            ),
             bool_entry!("spark.sql.pushdown.enabled", None, pushdown_enabled),
-            bool_entry!("spark.sql.columnPruning.enabled", None, column_pruning_enabled),
+            bool_entry!(
+                "spark.sql.columnPruning.enabled",
+                None,
+                column_pruning_enabled
+            ),
             bool_entry!(
                 "spark.sql.vectorize.enabled",
                 Some("CATALYST_VECTORIZE"),
@@ -326,15 +338,18 @@ fn entries() -> &'static [ConfEntry] {
                 Some("CATALYST_ADAPTIVE"),
                 adaptive_enabled
             ),
-            bool_entry!("spark.sql.memory.spillEnabled", Some("SPARK_SQL_SPILL"), spill_enabled),
+            bool_entry!(
+                "spark.sql.memory.spillEnabled",
+                Some("SPARK_SQL_SPILL"),
+                spill_enabled
+            ),
             ConfEntry {
                 key: "spark.sql.autoBroadcastJoinThreshold",
                 env: None,
                 kind: Kind::Bytes,
                 get: |c| c.broadcast_threshold.to_string(),
                 set: |c, v| {
-                    c.broadcast_threshold =
-                        parse_bytes("spark.sql.autoBroadcastJoinThreshold", v)?;
+                    c.broadcast_threshold = parse_bytes("spark.sql.autoBroadcastJoinThreshold", v)?;
                     Ok(())
                 },
             },
@@ -420,7 +435,9 @@ fn entries() -> &'static [ConfEntry] {
                 env: Some("CATALYST_VALIDATE"),
                 kind: Kind::Bool,
                 get: |c| {
-                    c.plan_validation.unwrap_or_else(catalyst::validation::enabled).to_string()
+                    c.plan_validation
+                        .unwrap_or_else(catalyst::validation::enabled)
+                        .to_string()
                 },
                 set: |c, v| {
                     c.plan_validation = Some(parse_bool("spark.sql.planValidation.enabled", v)?);
@@ -455,8 +472,7 @@ fn entries() -> &'static [ConfEntry] {
                         c.chaos_prob = None;
                         return Ok(());
                     }
-                    c.chaos_prob =
-                        Some(parse_float("spark.sql.chaos.prob", v)?);
+                    c.chaos_prob = Some(parse_float("spark.sql.chaos.prob", v)?);
                     Ok(())
                 },
             },
@@ -476,7 +492,8 @@ mod tests {
         assert_eq!(c.get("spark.sql.vectorize.enabled").unwrap(), "false");
         c.set("spark.sql.memory.budgetBytes", "64k").unwrap();
         assert_eq!(c.memory_budget_bytes, 64 * 1024);
-        c.set("spark.sql.autoBroadcastJoinThreshold", "16m").unwrap();
+        c.set("spark.sql.autoBroadcastJoinThreshold", "16m")
+            .unwrap();
         assert_eq!(c.broadcast_threshold, 16 << 20);
         c.set("spark.sql.shuffle.partitions", "3").unwrap();
         assert_eq!(c.shuffle_partitions, 3);
@@ -490,7 +507,10 @@ mod tests {
     #[test]
     fn unknown_key_lists_valid_keys() {
         let mut c = SqlConf::base();
-        let err = c.set("spark.sql.vectorise.enabled", "true").unwrap_err().to_string();
+        let err = c
+            .set("spark.sql.vectorise.enabled", "true")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("unknown config key"), "{err}");
         assert!(err.contains("spark.sql.vectorize.enabled"), "{err}");
         let err = c.get("nope").unwrap_err().to_string();
@@ -543,7 +563,9 @@ mod tests {
         let mut sorted = entries.clone();
         sorted.sort();
         assert_eq!(entries, sorted);
-        assert!(entries.iter().any(|(k, v)| k == "spark.sql.memory.spillEnabled" && v == "true"));
+        assert!(entries
+            .iter()
+            .any(|(k, v)| k == "spark.sql.memory.spillEnabled" && v == "true"));
     }
 
     #[test]

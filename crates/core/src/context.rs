@@ -13,17 +13,17 @@ use crate::record::Record;
 use catalyst::analysis::{Analyzer, Catalog, FunctionRegistry, SimpleCatalog};
 use catalyst::error::{CatalystError, Result};
 use catalyst::expr::{ColumnRef, UdfImpl};
-use catalyst::physical::{Planner, PlannerConfig, PhysicalPlan, Strategy};
+use catalyst::optimizer::Optimizer;
+use catalyst::physical::{PhysicalPlan, Planner, PlannerConfig, Strategy};
 use catalyst::plan::LogicalPlan;
 use catalyst::row::Row;
 use catalyst::rules::{Batch, ExecutionMonitor, RuleHealthReport, TraceEvent};
-use catalyst::validation;
 use catalyst::schema::SchemaRef;
 use catalyst::source::BaseRelation;
 use catalyst::types::DataType;
 use catalyst::udt::UdtRegistry;
+use catalyst::validation;
 use catalyst::value::Value;
-use catalyst::optimizer::Optimizer;
 use datasources::{CsvOptions, DataSourceRegistry, JsonRelation, Options};
 use engine::{RddRef, SparkContext};
 use parking_lot::{Mutex, RwLock};
@@ -147,7 +147,11 @@ impl SQLContext {
     /// Which optimizer rules fired for a plan (observability for the
     /// §4.2 fixed-point machinery).
     pub fn optimizer_trace(&self, analyzed: &LogicalPlan) -> Vec<catalyst::rules::TraceEvent> {
-        self.inner.optimizer.lock().optimize_traced(analyzed.clone()).1
+        self.inner
+            .optimizer
+            .lock()
+            .optimize_traced(analyzed.clone())
+            .1
     }
 
     /// Optimize + physically plan a query.
@@ -172,8 +176,11 @@ impl SQLContext {
         } else {
             ExecutionMonitor::new()
         };
-        let optimized =
-            self.inner.optimizer.lock().optimize_with(analyzed.clone(), &mut monitor);
+        let optimized = self
+            .inner
+            .optimizer
+            .lock()
+            .optimize_with(analyzed.clone(), &mut monitor);
         if !monitor.violations.is_empty() {
             let mut msg = String::from("optimizer rule broke a plan invariant:\n");
             for v in &monitor.violations {
@@ -236,8 +243,13 @@ impl SQLContext {
     /// The query log rendered as a JSON array, for dumping from
     /// benchmark harnesses.
     pub fn query_log_json(&self) -> String {
-        let entries: Vec<String> =
-            self.inner.query_log.lock().iter().map(QueryLogEntry::to_json).collect();
+        let entries: Vec<String> = self
+            .inner
+            .query_log
+            .lock()
+            .iter()
+            .map(QueryLogEntry::to_json)
+            .collect();
         format!("[{}]", entries.join(","))
     }
 
@@ -248,7 +260,12 @@ impl SQLContext {
     pub fn sql(&self, text: &str) -> Result<DataFrame> {
         match sql::parse(text)? {
             sql::Statement::Query(plan) => self.dataframe(plan),
-            sql::Statement::CreateTempTable { name, provider, options, query } => {
+            sql::Statement::CreateTempTable {
+                name,
+                provider,
+                options,
+                query,
+            } => {
                 match query {
                     Some(q) => {
                         // CREATE TABLE … AS SELECT: materialize through
@@ -275,8 +292,10 @@ impl SQLContext {
             sql::Statement::Explain(plan) => {
                 let df = self.dataframe(plan)?;
                 let text = df.explain()?;
-                let rows: Vec<Row> =
-                    text.lines().map(|l| Row::new(vec![Value::str(l)])).collect();
+                let rows: Vec<Row> = text
+                    .lines()
+                    .map(|l| Row::new(vec![Value::str(l)]))
+                    .collect();
                 let schema = Arc::new(catalyst::schema::Schema::new(vec![
                     catalyst::types::StructField::new("plan", DataType::String, false),
                 ]));
@@ -371,7 +390,9 @@ impl SQLContext {
 
     /// Look up a table as a DataFrame.
     pub fn table(&self, name: &str) -> Result<DataFrame> {
-        self.dataframe(LogicalPlan::UnresolvedRelation { name: name.to_string() })
+        self.dataframe(LogicalPlan::UnresolvedRelation {
+            name: name.to_string(),
+        })
     }
 
     // ---- DataFrame construction ----
@@ -379,7 +400,10 @@ impl SQLContext {
     /// DataFrame over literal rows.
     pub fn create_dataframe(&self, schema: SchemaRef, rows: Vec<Row>) -> Result<DataFrame> {
         let output = fresh_output(&schema);
-        self.dataframe(LogicalPlan::LocalRelation { output, rows: Arc::new(rows) })
+        self.dataframe(LogicalPlan::LocalRelation {
+            output,
+            rows: Arc::new(rows),
+        })
     }
 
     /// DataFrame over an existing RDD of rows (§3.5's "querying native
@@ -392,7 +416,10 @@ impl SQLContext {
     ) -> Result<DataFrame> {
         let output = fresh_output(&schema);
         let table = RddTable::new(name, schema, rdd);
-        self.dataframe(LogicalPlan::External { data: Arc::new(table), output })
+        self.dataframe(LogicalPlan::External {
+            data: Arc::new(table),
+            output,
+        })
     }
 
     /// DataFrame over a collection of native objects: schema comes from
@@ -532,19 +559,29 @@ impl SQLContext {
         let df = self.table(name)?;
         let plan = df.logical_plan().clone();
         let rel = self.cached_relation_for(&df, name)?;
-        self.inner.uncached_plans.lock().insert(name.to_ascii_lowercase(), plan);
+        self.inner
+            .uncached_plans
+            .lock()
+            .insert(name.to_ascii_lowercase(), plan);
         self.register_relation(name, rel);
         Ok(())
     }
 
     /// `UNCACHE TABLE name`: restore the original plan.
     pub fn uncache_table(&self, name: &str) -> Result<()> {
-        match self.inner.uncached_plans.lock().remove(&name.to_ascii_lowercase()) {
+        match self
+            .inner
+            .uncached_plans
+            .lock()
+            .remove(&name.to_ascii_lowercase())
+        {
             Some(plan) => {
                 self.register_plan(name, plan);
                 Ok(())
             }
-            None => Err(CatalystError::analysis(format!("table '{name}' is not cached"))),
+            None => Err(CatalystError::analysis(format!(
+                "table '{name}' is not cached"
+            ))),
         }
     }
 }
@@ -573,7 +610,11 @@ pub fn scan_plan(relation: Arc<dyn BaseRelation>) -> LogicalPlan {
         .iter()
         .map(|f| ColumnRef::new(f.name.clone(), f.dtype.clone(), f.nullable))
         .collect();
-    LogicalPlan::Scan { relation, output, filters: vec![] }
+    LogicalPlan::Scan {
+        relation,
+        output,
+        filters: vec![],
+    }
 }
 
 fn fresh_output(schema: &SchemaRef) -> Vec<ColumnRef> {

@@ -52,13 +52,20 @@ impl DataFrame {
 
     /// Output column names.
     pub fn columns(&self) -> Vec<String> {
-        self.plan.output().iter().map(|c| c.name.to_string()).collect()
+        self.plan
+            .output()
+            .iter()
+            .map(|c| c.name.to_string())
+            .collect()
     }
 
     fn derive(&self, plan: LogicalPlan) -> Result<DataFrame> {
         // Eager analysis (§3.4).
         let analyzed = self.ctx.analyze(plan)?;
-        Ok(DataFrame { ctx: self.ctx.clone(), plan: analyzed })
+        Ok(DataFrame {
+            ctx: self.ctx.clone(),
+            plan: analyzed,
+        })
     }
 
     // ---- relational transformations (§3.3) ----
@@ -90,7 +97,11 @@ impl DataFrame {
         join_type: JoinType,
         condition: Option<Expr>,
     ) -> Result<DataFrame> {
-        self.derive(self.plan.clone().join(other.plan.clone(), join_type, condition))
+        self.derive(
+            self.plan
+                .clone()
+                .join(other.plan.clone(), join_type, condition),
+        )
     }
 
     /// Inner equi-join convenience.
@@ -100,7 +111,10 @@ impl DataFrame {
 
     /// Start a grouped aggregation: `df.group_by(vec![col("a")])?.avg("b")`.
     pub fn group_by(&self, groupings: Vec<Expr>) -> GroupedData {
-        GroupedData { df: self.clone(), groupings }
+        GroupedData {
+            df: self.clone(),
+            groupings,
+        }
     }
 
     /// Grouping by column names.
@@ -145,8 +159,7 @@ impl DataFrame {
 
     /// Append a computed column.
     pub fn with_column(&self, name: &str, expr: Expr) -> Result<DataFrame> {
-        let mut exprs: Vec<Expr> =
-            self.plan.output().into_iter().map(Expr::Column).collect();
+        let mut exprs: Vec<Expr> = self.plan.output().into_iter().map(Expr::Column).collect();
         exprs.push(expr.alias(name));
         self.select(exprs)
     }
@@ -174,7 +187,11 @@ impl DataFrame {
     /// Execute and count rows.
     pub fn count(&self) -> Result<u64> {
         let rdd = self.to_rdd()?;
-        Ok(rdd.run_job(|_, it| it.count() as u64).map_err(engine_err)?.into_iter().sum())
+        Ok(rdd
+            .run_job(|_, it| it.count() as u64)
+            .map_err(engine_err)?
+            .into_iter()
+            .sum())
     }
 
     /// First `n` rows.
@@ -198,8 +215,7 @@ impl DataFrame {
     pub fn show(&self, n: usize) -> Result<String> {
         let rows = self.take(n)?;
         let schema = self.schema();
-        let headers: Vec<String> =
-            schema.fields().iter().map(|f| f.name.to_string()).collect();
+        let headers: Vec<String> = schema.fields().iter().map(|f| f.name.to_string()).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let rendered: Vec<Vec<String>> = rows
             .iter()
@@ -310,18 +326,26 @@ impl GroupedData {
     pub fn agg(&self, aggregates: Vec<Expr>) -> Result<DataFrame> {
         let mut outputs = self.groupings.clone();
         outputs.extend(aggregates);
-        self.df
-            .derive(self.df.plan.clone().aggregate(self.groupings.clone(), outputs))
+        self.df.derive(
+            self.df
+                .plan
+                .clone()
+                .aggregate(self.groupings.clone(), outputs),
+        )
     }
 
     /// `df.group_by(…).avg("b")` — the Figure 9 one-liner.
     pub fn avg(&self, column: &str) -> Result<DataFrame> {
-        self.agg(vec![builders::avg(builders::col(column)).alias(format!("avg({column})"))])
+        self.agg(vec![
+            builders::avg(builders::col(column)).alias(format!("avg({column})"))
+        ])
     }
 
     /// Sum of a column per group.
     pub fn sum(&self, column: &str) -> Result<DataFrame> {
-        self.agg(vec![builders::sum(builders::col(column)).alias(format!("sum({column})"))])
+        self.agg(vec![
+            builders::sum(builders::col(column)).alias(format!("sum({column})"))
+        ])
     }
 
     /// Row count per group.
@@ -331,11 +355,15 @@ impl GroupedData {
 
     /// Min of a column per group.
     pub fn min(&self, column: &str) -> Result<DataFrame> {
-        self.agg(vec![builders::min(builders::col(column)).alias(format!("min({column})"))])
+        self.agg(vec![
+            builders::min(builders::col(column)).alias(format!("min({column})"))
+        ])
     }
 
     /// Max of a column per group.
     pub fn max(&self, column: &str) -> Result<DataFrame> {
-        self.agg(vec![builders::max(builders::col(column)).alias(format!("max({column})"))])
+        self.agg(vec![
+            builders::max(builders::col(column)).alias(format!("max({column})"))
+        ])
     }
 }

@@ -93,18 +93,33 @@ impl ExecContext {
     /// An uninstrumented execution context.
     pub fn new(sc: SparkContext, conf: SqlConf) -> Self {
         let mem = pool_from_conf(&conf);
-        ExecContext { sc, conf, metrics: None, adaptive: AdaptiveLog::default(), mem }
+        ExecContext {
+            sc,
+            conf,
+            metrics: None,
+            adaptive: AdaptiveLog::default(),
+            mem,
+        }
     }
 
     /// An instrumented context recording into `metrics`.
     pub fn instrumented(sc: SparkContext, conf: SqlConf, metrics: Arc<PlanMetrics>) -> Self {
         let mem = pool_from_conf(&conf);
-        ExecContext { sc, conf, metrics: Some(metrics), adaptive: AdaptiveLog::default(), mem }
+        ExecContext {
+            sc,
+            conf,
+            metrics: Some(metrics),
+            adaptive: AdaptiveLog::default(),
+            mem,
+        }
     }
 
     /// Spill context for the operator with pre-order id `id`.
     fn spill_ctx(&self, id: usize) -> SpillCtx {
-        SpillCtx { pool: self.mem.clone(), node: self.metrics.as_ref().map(|pm| pm.node(id)) }
+        SpillCtx {
+            pool: self.mem.clone(),
+            node: self.metrics.as_ref().map(|pm| pm.node(id)),
+        }
     }
 }
 
@@ -144,14 +159,20 @@ impl Drop for MeteredIter {
 /// Wrap an operator's output RDD so every partition records rows/time.
 fn metered(rdd: &RddRef<Row>, node: Arc<OperatorMetrics>) -> RddRef<Row> {
     rdd.map_partitions(move |it| {
-        Box::new(MeteredIter { inner: it, node: node.clone(), rows: 0, elapsed_ns: 0 })
+        Box::new(MeteredIter {
+            inner: it,
+            node: node.clone(),
+            rows: 0,
+            elapsed_ns: 0,
+        })
     })
 }
 
 /// Credit driver-side (eager) work to a node's elapsed time.
 fn note_eager_ns(ctx: &ExecContext, id: usize, start: Instant) {
     if let Some(pm) = &ctx.metrics {
-        pm.node(id).add_elapsed_ns(start.elapsed().as_nanos() as u64);
+        pm.node(id)
+            .add_elapsed_ns(start.elapsed().as_nanos() as u64);
     }
 }
 
@@ -159,7 +180,10 @@ type RowFn = Arc<dyn Fn(&Row) -> Row + Send + Sync>;
 type PredFn = Arc<dyn Fn(&Row) -> bool + Send + Sync>;
 
 fn bind_all(exprs: &[Expr], input: &[ColumnRef]) -> Result<Vec<Expr>> {
-    exprs.iter().map(|e| bind_references(e.clone(), input)).collect()
+    exprs
+        .iter()
+        .map(|e| bind_references(e.clone(), input))
+        .collect()
 }
 
 /// Build a row→row projector, compiled or interpreted per config.
@@ -167,7 +191,9 @@ fn projector(exprs: &[Expr], input: &[ColumnRef], codegen_on: bool) -> Result<Ro
     let bound = bind_all(exprs, input)?;
     if codegen_on {
         let compiled = codegen::compile_projection(&bound);
-        Ok(Arc::new(move |row| compiled(row).expect("projection failed")))
+        Ok(Arc::new(move |row| {
+            compiled(row).expect("projection failed")
+        }))
     } else {
         Ok(Arc::new(move |row| {
             Row::new(
@@ -220,7 +246,10 @@ impl SortKey {
                 mask |= 1 << i;
             }
         }
-        SortKey { values, descending_mask: mask }
+        SortKey {
+            values,
+            descending_mask: mask,
+        }
     }
 
     /// The key column values (for flattening into a spillable row).
@@ -354,7 +383,11 @@ impl Acc {
             Acc::Min(m) => vec![Value::Long(2), m.clone().unwrap_or(Value::Null)],
             Acc::Max(m) => vec![Value::Long(3), m.clone().unwrap_or(Value::Null)],
             Acc::Avg(s, n) => {
-                vec![Value::Long(4), s.clone().unwrap_or(Value::Null), Value::Long(*n)]
+                vec![
+                    Value::Long(4),
+                    s.clone().unwrap_or(Value::Null),
+                    Value::Long(*n),
+                ]
             }
             Acc::Distinct(set, f) => {
                 let mut items = vec![Value::Long(5), Value::Long(agg_func_tag(*f))];
@@ -368,7 +401,9 @@ impl Acc {
     /// Decode a spilled accumulator. Panics on malformed input — spill
     /// files are written and read by the same process.
     pub(crate) fn from_value(v: &Value) -> Acc {
-        let Value::Array(items) = v else { panic!("corrupt spilled accumulator") };
+        let Value::Array(items) = v else {
+            panic!("corrupt spilled accumulator")
+        };
         let opt = |v: &Value| if v.is_null() { None } else { Some(v.clone()) };
         match (items.first(), items.get(1)) {
             (Some(Value::Long(0)), Some(Value::Long(n))) => Acc::Count(*n),
@@ -379,9 +414,10 @@ impl Acc {
                 Some(Value::Long(n)) => Acc::Avg(opt(s), *n),
                 _ => panic!("corrupt spilled AVG accumulator"),
             },
-            (Some(Value::Long(5)), Some(Value::Long(tag))) => {
-                Acc::Distinct(items[2..].iter().cloned().collect(), agg_func_from_tag(*tag))
-            }
+            (Some(Value::Long(5)), Some(Value::Long(tag))) => Acc::Distinct(
+                items[2..].iter().cloned().collect(),
+                agg_func_from_tag(*tag),
+            ),
             _ => panic!("corrupt spilled accumulator"),
         }
     }
@@ -394,9 +430,7 @@ impl Acc {
                 16 + v.as_ref().map_or(0, Value::approx_bytes)
             }
             Acc::Avg(v, _) => 24 + v.as_ref().map_or(0, Value::approx_bytes),
-            Acc::Distinct(set, _) => {
-                32 + set.iter().map(|v| 16 + v.approx_bytes()).sum::<u64>()
-            }
+            Acc::Distinct(set, _) => 32 + set.iter().map(|v| 16 + v.approx_bytes()).sum::<u64>(),
         }
     }
 }
@@ -445,7 +479,11 @@ fn merge_opt_add(a: Option<Value>, b: Option<Value>) -> Option<Value> {
     }
 }
 
-fn merge_opt_by(a: Option<Value>, b: Option<Value>, keep_left: fn(&Value, &Value) -> bool) -> Option<Value> {
+fn merge_opt_by(
+    a: Option<Value>,
+    b: Option<Value>,
+    keep_left: fn(&Value, &Value) -> bool,
+) -> Option<Value> {
     match (a, b) {
         (Some(x), Some(y)) => Some(if keep_left(&x, &y) { x } else { y }),
         (x, None) => x,
@@ -632,7 +670,13 @@ fn try_lower_batched(
     ctx: &ExecContext,
 ) -> Option<Result<RddRef<RowBatch>>> {
     match plan {
-        PhysicalPlan::Scan { relation, projection, pushed_filters, residual, output } => {
+        PhysicalPlan::Scan {
+            relation,
+            projection,
+            pushed_filters,
+            residual,
+            output,
+        } => {
             let relation = relation.clone();
             let n = relation.num_partitions().max(1);
             let proj = projection.clone();
@@ -665,11 +709,18 @@ fn try_lower_batched(
             let dtypes: Arc<Vec<DataType>> =
                 Arc::new(output.iter().map(|c| c.dtype.clone()).collect());
             let batch_size = ctx.conf.vectorize_batch_size.max(1);
-            Some(Ok(ctx.sc.generate(1, move |_| -> engine::BoxIter<RowBatch> {
-                let rows = rows.clone();
-                let it: RowIter = Box::new((0..rows.len()).map(move |i| rows[i].clone()));
-                Box::new(IterChunks { inner: it, dtypes: dtypes.clone(), batch_size })
-            })))
+            Some(Ok(ctx.sc.generate(
+                1,
+                move |_| -> engine::BoxIter<RowBatch> {
+                    let rows = rows.clone();
+                    let it: RowIter = Box::new((0..rows.len()).map(move |i| rows[i].clone()));
+                    Box::new(IterChunks {
+                        inner: it,
+                        dtypes: dtypes.clone(),
+                        batch_size,
+                    })
+                },
+            )))
         }
 
         PhysicalPlan::Filter { input, predicate } => {
@@ -702,14 +753,18 @@ fn batch_filter(
 ) -> Result<RddRef<RowBatch>> {
     let bound = bind_references(predicate.clone(), input)?;
     let kernels = ctx.conf.codegen_enabled;
-    Ok(rdd.map(move |b| {
-        vectorized::filter_batch(&bound, &b, kernels).expect("predicate failed")
-    }))
+    Ok(rdd.map(move |b| vectorized::filter_batch(&bound, &b, kernels).expect("predicate failed")))
 }
 
 fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row>> {
     match plan {
-        PhysicalPlan::Scan { relation, projection, pushed_filters, residual, output } => {
+        PhysicalPlan::Scan {
+            relation,
+            projection,
+            pushed_filters,
+            residual,
+            output,
+        } => {
             let relation = relation.clone();
             let n = relation.num_partitions().max(1);
             let proj = projection.clone();
@@ -729,19 +784,15 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             }
         }
 
-        PhysicalPlan::ExternalScan { data, .. } => {
-            match data.as_any().downcast_ref::<RddTable>() {
-                Some(t) => Ok(t.rdd().clone()),
-                None => Err(CatalystError::Internal(format!(
-                    "unknown external data source '{}'",
-                    data.name()
-                ))),
-            }
-        }
+        PhysicalPlan::ExternalScan { data, .. } => match data.as_any().downcast_ref::<RddTable>() {
+            Some(t) => Ok(t.rdd().clone()),
+            None => Err(CatalystError::Internal(format!(
+                "unknown external data source '{}'",
+                data.name()
+            ))),
+        },
 
-        PhysicalPlan::LocalData { rows, .. } => {
-            Ok(ctx.sc.parallelize(rows.as_ref().clone(), 1))
-        }
+        PhysicalPlan::LocalData { rows, .. } => Ok(ctx.sc.parallelize(rows.as_ref().clone(), 1)),
 
         PhysicalPlan::Project { input, exprs } => {
             let child = execute_node(input, id + 1, ctx)?;
@@ -749,15 +800,20 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             Ok(child.map(move |row| f(&row)))
         }
 
-        PhysicalPlan::Filter { input, predicate: pred_expr } => {
+        PhysicalPlan::Filter {
+            input,
+            predicate: pred_expr,
+        } => {
             let child = execute_node(input, id + 1, ctx)?;
             let pred = predicate(pred_expr, &input.output(), ctx.conf.codegen_enabled)?;
             Ok(child.filter(move |row| pred(row)))
         }
 
-        PhysicalPlan::HashAggregate { input, groupings, output_exprs } => {
-            execute_aggregate(input, groupings, output_exprs, id, ctx)
-        }
+        PhysicalPlan::HashAggregate {
+            input,
+            groupings,
+            output_exprs,
+        } => execute_aggregate(input, groupings, output_exprs, id, ctx),
 
         PhysicalPlan::Sort { input, orders } => {
             let child = execute_node(input, id + 1, ctx)?;
@@ -765,8 +821,10 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
                 &orders.iter().map(|o| o.expr.clone()).collect::<Vec<_>>(),
                 &input.output(),
             )?;
-            let key_dtypes: Vec<DataType> =
-                bound.iter().map(|e| e.data_type().unwrap_or(DataType::String)).collect();
+            let key_dtypes: Vec<DataType> = bound
+                .iter()
+                .map(|e| e.data_type().unwrap_or(DataType::String))
+                .collect();
             let orders_meta = orders.clone();
             let keyed = child.map(move |row| {
                 let values: Vec<Value> = bound
@@ -780,7 +838,9 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
                 return execute_external_sort(keyed, orders, key_dtypes, row_dtypes, id, ctx);
             }
             use engine::pair::SortedPairRdd;
-            Ok(keyed.sort_by_key(true, ctx.conf.shuffle_partitions).values())
+            Ok(keyed
+                .sort_by_key(true, ctx.conf.shuffle_partitions)
+                .values())
         }
 
         PhysicalPlan::TakeOrdered { input, orders, n } => {
@@ -793,25 +853,29 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             let orders_meta = orders.clone();
             let n = *n;
             // Per-partition top-k, then a driver-side merge.
-            let tops = child.run_job(move |_, it| {
-                let mut rows: Vec<(SortKey, Row)> = it
-                    .map(|row| {
-                        let values: Vec<Value> = bound
-                            .iter()
-                            .map(|e| interpreter::eval(e, &row).expect("sort key failed"))
-                            .collect();
-                        (SortKey::new(values, &orders_meta), row)
-                    })
-                    .collect();
-                rows.sort_by(|a, b| a.0.cmp(&b.0));
-                rows.truncate(n);
-                rows
-            }).map_err(engine_err)?;
+            let tops = child
+                .run_job(move |_, it| {
+                    let mut rows: Vec<(SortKey, Row)> = it
+                        .map(|row| {
+                            let values: Vec<Value> = bound
+                                .iter()
+                                .map(|e| interpreter::eval(e, &row).expect("sort key failed"))
+                                .collect();
+                            (SortKey::new(values, &orders_meta), row)
+                        })
+                        .collect();
+                    rows.sort_by(|a, b| a.0.cmp(&b.0));
+                    rows.truncate(n);
+                    rows
+                })
+                .map_err(engine_err)?;
             let mut all: Vec<(SortKey, Row)> = tops.into_iter().flatten().collect();
             all.sort_by(|a, b| a.0.cmp(&b.0));
             all.truncate(n);
             note_eager_ns(ctx, id, eager_start);
-            Ok(ctx.sc.parallelize(all.into_iter().map(|(_, r)| r).collect(), 1))
+            Ok(ctx
+                .sc
+                .parallelize(all.into_iter().map(|(_, r)| r).collect(), 1))
         }
 
         PhysicalPlan::Limit { input, n } => {
@@ -831,10 +895,26 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             build_side,
             residual,
         } => execute_broadcast_join(
-            left, right, left_keys, right_keys, *join_type, *build_side, residual, plan, id, ctx,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            *join_type,
+            *build_side,
+            residual,
+            plan,
+            id,
+            ctx,
         ),
 
-        PhysicalPlan::ShuffledHashJoin { left, right, left_keys, right_keys, join_type, residual } => {
+        PhysicalPlan::ShuffledHashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            residual,
+        } => {
             if ctx.conf.adaptive_enabled {
                 execute_adaptive_shuffled_join(
                     left, right, left_keys, right_keys, *join_type, residual, plan, id, ctx,
@@ -846,9 +926,12 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             }
         }
 
-        PhysicalPlan::NestedLoopJoin { left, right, condition, join_type } => {
-            execute_nested_loop_join(left, right, condition, *join_type, plan, id, ctx)
-        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            condition,
+            join_type,
+        } => execute_nested_loop_join(left, right, condition, *join_type, plan, id, ctx),
 
         PhysicalPlan::Union { inputs } => {
             let mut it = inputs.iter();
@@ -865,9 +948,11 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             Ok(rdd)
         }
 
-        PhysicalPlan::Sample { input, fraction, seed } => {
-            Ok(execute_node(input, id + 1, ctx)?.sample(*fraction, *seed))
-        }
+        PhysicalPlan::Sample {
+            input,
+            fraction,
+            seed,
+        } => Ok(execute_node(input, id + 1, ctx)?.sample(*fraction, *seed)),
 
         PhysicalPlan::Extension { exec, children } => {
             let mut child_data = Vec::with_capacity(children.len());
@@ -1118,7 +1203,14 @@ fn try_fast_aggregate(
 
     let mut calls: Vec<(TCall, DataType)> = Vec::with_capacity(agg_exprs.len());
     for e in agg_exprs {
-        let Expr::Agg { func, arg, distinct: false } = e else { return None };
+        let Expr::Agg {
+            func,
+            arg,
+            distinct: false,
+        } = e
+        else {
+            return None;
+        };
         let out_type = e.data_type().ok()?;
         let call = match (func, arg) {
             (AggFunc::Count, None) => TCall::CountAll,
@@ -1199,9 +1291,9 @@ fn run_fast_agg<K: engine::Data + std::hash::Hash + Eq>(
         let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
         for row in it {
             let key = key_fn(&row);
-            let accs = groups.entry(key).or_insert_with(|| {
-                calls_map.iter().map(|(c, _)| c.init()).collect()
-            });
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| calls_map.iter().map(|(c, _)| c.init()).collect());
             for ((call, _), acc) in calls_map.iter().zip(accs.iter_mut()) {
                 call.update(acc, &row);
             }
@@ -1221,23 +1313,22 @@ fn run_fast_agg<K: engine::Data + std::hash::Hash + Eq>(
     } else {
         mapped.partition_by(partitioner)
     };
-    let combined = shuffled
-        .map_partitions(|it| {
-            let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
-            for (key, accs) in it {
-                match groups.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        for (x, y) in e.get_mut().iter_mut().zip(&accs) {
-                            x.merge(y);
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(accs);
+    let combined = shuffled.map_partitions(|it| {
+        let mut groups: IntHashMap<Option<K>, Vec<TAcc>> = IntHashMap::default();
+        for (key, accs) in it {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (x, y) in e.get_mut().iter_mut().zip(&accs) {
+                        x.merge(y);
                     }
                 }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
             }
-            Box::new(groups.into_iter())
-        });
+        }
+        Box::new(groups.into_iter())
+    });
 
     // Final: typed accumulators → values → final projection.
     let final_exprs = final_exprs.to_vec();
@@ -1310,7 +1401,11 @@ fn execute_aggregate(
     let calls: Vec<AggCall> = agg_exprs
         .iter()
         .map(|e| match e {
-            Expr::Agg { func, arg, distinct } => {
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 let arg = match arg {
                     Some(a) => {
                         let bound = bind_references((**a).clone(), &input_attrs)?;
@@ -1318,7 +1413,11 @@ fn execute_aggregate(
                     }
                     None => None,
                 };
-                Ok(AggCall { func: *func, distinct: *distinct, arg })
+                Ok(AggCall {
+                    func: *func,
+                    distinct: *distinct,
+                    arg,
+                })
             }
             _ => unreachable!(),
         })
@@ -1330,12 +1429,14 @@ fn execute_aggregate(
         let bound_agg_exprs: Result<Vec<Expr>> = agg_exprs
             .iter()
             .map(|e| match e {
-                Expr::Agg { func, arg, distinct } => Ok(Expr::Agg {
+                Expr::Agg {
+                    func,
+                    arg,
+                    distinct,
+                } => Ok(Expr::Agg {
                     func: *func,
                     arg: match arg {
-                        Some(a) => {
-                            Some(Box::new(bind_references((**a).clone(), &input_attrs)?))
-                        }
+                        Some(a) => Some(Box::new(bind_references((**a).clone(), &input_attrs)?)),
                         None => None,
                     },
                     distinct: *distinct,
@@ -1379,20 +1480,20 @@ fn execute_aggregate(
         // correct even over an empty input (COUNT(*) = 0).
         let eager_start = Instant::now();
         let calls_for_job = calls.clone();
-        let partials = child.run_job(move |_, it| {
-            let mut accs: Vec<Acc> = calls_for_job.iter().map(AggCall::init).collect();
-            for row in it {
-                for (call, acc) in calls_for_job.iter().zip(accs.iter_mut()) {
-                    call.update(acc, &row);
+        let partials = child
+            .run_job(move |_, it| {
+                let mut accs: Vec<Acc> = calls_for_job.iter().map(AggCall::init).collect();
+                for row in it {
+                    for (call, acc) in calls_for_job.iter().zip(accs.iter_mut()) {
+                        call.update(acc, &row);
+                    }
                 }
-            }
-            accs
-        }).map_err(engine_err)?;
+                accs
+            })
+            .map_err(engine_err)?;
         let merged = partials
             .into_iter()
-            .reduce(|a, b| {
-                a.into_iter().zip(b).map(|(x, y)| merge_acc(x, y)).collect()
-            })
+            .reduce(|a, b| a.into_iter().zip(b).map(|(x, y)| merge_acc(x, y)).collect())
             .unwrap_or_else(|| calls.iter().map(AggCall::init).collect());
         let row = finish_rows(Row::empty(), merged);
         note_eager_ns(ctx, id, eager_start);
@@ -1409,7 +1510,15 @@ fn execute_aggregate(
             .iter()
             .map(|g| g.data_type().unwrap_or(DataType::String))
             .collect();
-        return execute_spillable_aggregate(child, key_fns, calls, finish_rows, key_dtypes, id, ctx);
+        return execute_spillable_aggregate(
+            child,
+            key_fns,
+            calls,
+            finish_rows,
+            key_dtypes,
+            id,
+            ctx,
+        );
     }
 
     // Grouped: map-side partial aggregation + shuffle + final merge (the
@@ -1542,8 +1651,9 @@ fn execute_spillable_aggregate(
     let partials = child.map_partitions(move |it| {
         Box::new(partial_agg_partition(it, &key_fns, &calls, &map_sctx).into_iter())
     });
-    let shuffled = partials
-        .partition_by(Arc::new(HashPartitioner::new(ctx.conf.shuffle_partitions.max(1))));
+    let shuffled = partials.partition_by(Arc::new(HashPartitioner::new(
+        ctx.conf.shuffle_partitions.max(1),
+    )));
     let merged = shuffled.map_partitions(move |it| {
         Box::new(spill::merge_agg_partition(it, &layout, &sctx, 0).into_iter())
     });
@@ -1603,9 +1713,7 @@ fn join_key(fns: &[ValueFn], row: &Row) -> Option<Row> {
 
 /// Compile join-key expressions to value evaluators.
 fn key_value_fns(exprs: &[Expr], input: &[ColumnRef], codegen_on: bool) -> Result<Vec<ValueFn>> {
-    bind_all(exprs, input).map(|bound| {
-        bound.into_iter().map(|e| value_fn(e, codegen_on)).collect()
-    })
+    bind_all(exprs, input).map(|bound| bound.into_iter().map(|e| value_fn(e, codegen_on)).collect())
 }
 
 fn null_row(width: usize) -> Row {
@@ -1638,12 +1746,24 @@ fn execute_broadcast_join(
     let right_id = left_id + subtree_size(left);
     let (build_plan, build_keys, build_id, stream_plan, stream_keys, stream_id, build_is_left) =
         match build_side {
-            BuildSide::Right => {
-                (right, bound_right_keys, right_id, left, bound_left_keys, left_id, false)
-            }
-            BuildSide::Left => {
-                (left, bound_left_keys, left_id, right, bound_right_keys, right_id, true)
-            }
+            BuildSide::Right => (
+                right,
+                bound_right_keys,
+                right_id,
+                left,
+                bound_left_keys,
+                left_id,
+                false,
+            ),
+            BuildSide::Left => (
+                left,
+                bound_left_keys,
+                left_id,
+                right,
+                bound_right_keys,
+                right_id,
+                true,
+            ),
         };
     let build_width = build_plan.output().len();
 
@@ -1663,7 +1783,13 @@ fn execute_broadcast_join(
     // planner guarantees this).
     let stream = execute_node(stream_plan, stream_id, ctx)?;
     Ok(broadcast_probe(
-        stream, table, stream_keys, residual_pred, join_type, build_is_left, build_width,
+        stream,
+        table,
+        stream_keys,
+        residual_pred,
+        join_type,
+        build_is_left,
+        build_width,
     ))
 }
 
@@ -1773,13 +1899,22 @@ fn execute_shuffled_join(
         .partition_by(Arc::new(HashPartitioner::new(partitions)));
 
     if ctx.mem.is_bounded() {
-        let (llayout, rlayout) = join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
+        let (llayout, rlayout) =
+            join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
         let sctx = ctx.spill_ctx(id);
         return Ok(lkeyed.zip_partitions(&rkeyed, move |lit, rit| {
             Box::new(
                 spill::grace_hash_join_partition(
-                    lit, rit, join_type, &residual_pred, &llayout, &rlayout, left_width,
-                    right_width, &sctx, 0,
+                    lit,
+                    rit,
+                    join_type,
+                    &residual_pred,
+                    &llayout,
+                    &rlayout,
+                    left_width,
+                    right_width,
+                    &sctx,
+                    0,
                 )
                 .into_iter(),
             )
@@ -1804,13 +1939,18 @@ fn join_spill_layouts(
 ) -> (spill::SideLayout, spill::SideLayout) {
     let dtypes_of = |keys: &[Expr], attrs: &[ColumnRef]| {
         (
-            keys.iter().map(|e| e.data_type().unwrap_or(DataType::String)).collect::<Vec<_>>(),
+            keys.iter()
+                .map(|e| e.data_type().unwrap_or(DataType::String))
+                .collect::<Vec<_>>(),
             attrs.iter().map(|c| c.dtype.clone()).collect::<Vec<_>>(),
         )
     };
     let (lk, lr) = dtypes_of(left_keys, left_attrs);
     let (rk, rr) = dtypes_of(right_keys, right_attrs);
-    (spill::SideLayout::new(lk, lr), spill::SideLayout::new(rk, rr))
+    (
+        spill::SideLayout::new(lk, lr),
+        spill::SideLayout::new(rk, rr),
+    )
 }
 
 /// Hash-join one co-partitioned pair of keyed row streams: build from the
@@ -1996,7 +2136,13 @@ fn execute_adaptive_shuffled_join(
             (lchild.clone(), bound_left_keys.clone(), right_width)
         };
         return Ok(broadcast_probe(
-            stream, table, stream_keys, residual_pred, join_type, build_is_left, build_width,
+            stream,
+            table,
+            stream_keys,
+            residual_pred,
+            join_type,
+            build_is_left,
+            build_width,
         ));
     }
 
@@ -2054,8 +2200,16 @@ fn execute_adaptive_shuffled_join(
                 continue;
             }
         }
-        lspecs.push(ShuffleReadSpec::reducers(range.start, range.end, lmat.num_maps()));
-        rspecs.push(ShuffleReadSpec::reducers(range.start, range.end, rmat.num_maps()));
+        lspecs.push(ShuffleReadSpec::reducers(
+            range.start,
+            range.end,
+            lmat.num_maps(),
+        ));
+        rspecs.push(ShuffleReadSpec::reducers(
+            range.start,
+            range.end,
+            rmat.num_maps(),
+        ));
     }
 
     if ranges.len() != partitions {
@@ -2088,25 +2242,38 @@ fn execute_adaptive_shuffled_join(
     }
 
     if ctx.mem.is_bounded() {
-        let (llayout, rlayout) = join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
+        let (llayout, rlayout) =
+            join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
         let sctx = ctx.spill_ctx(id);
-        return Ok(lmat.read(lspecs).zip_partitions(&rmat.read(rspecs), move |lit, rit| {
-            Box::new(
-                spill::grace_hash_join_partition(
-                    lit, rit, join_type, &residual_pred, &llayout, &rlayout, left_width,
-                    right_width, &sctx, 0,
+        return Ok(lmat
+            .read(lspecs)
+            .zip_partitions(&rmat.read(rspecs), move |lit, rit| {
+                Box::new(
+                    spill::grace_hash_join_partition(
+                        lit,
+                        rit,
+                        join_type,
+                        &residual_pred,
+                        &llayout,
+                        &rlayout,
+                        left_width,
+                        right_width,
+                        &sctx,
+                        0,
+                    )
+                    .into_iter(),
                 )
-                .into_iter(),
-            )
-        }));
+            }));
     }
 
-    Ok(lmat.read(lspecs).zip_partitions(&rmat.read(rspecs), move |lit, rit| {
-        Box::new(
-            hash_join_partition(lit, rit, join_type, &residual_pred, left_width, right_width)
-                .into_iter(),
-        )
-    }))
+    Ok(lmat
+        .read(lspecs)
+        .zip_partitions(&rmat.read(rspecs), move |lit, rit| {
+            Box::new(
+                hash_join_partition(lit, rit, join_type, &residual_pred, left_width, right_width)
+                    .into_iter(),
+            )
+        }))
 }
 
 /// Read a materialized exchange back with small neighboring reduce
@@ -2141,11 +2308,15 @@ where
         });
     }
     if let Some(pm) = &ctx.metrics {
-        pm.node(id).set_extra("adaptive_partitions", ranges.len() as u64);
+        pm.node(id)
+            .set_extra("adaptive_partitions", ranges.len() as u64);
     }
     let num_maps = mat.num_maps();
     mat.read(
-        ranges.into_iter().map(|r| ShuffleReadSpec::reducers(r.start, r.end, num_maps)).collect(),
+        ranges
+            .into_iter()
+            .map(|r| ShuffleReadSpec::reducers(r.start, r.end, num_maps))
+            .collect(),
     )
 }
 
@@ -2172,7 +2343,11 @@ fn execute_nested_loop_join(
     let right_id = left_id + subtree_size(left);
     let right_width = right.output().len();
     let eager_start = Instant::now();
-    let right_rows = Arc::new(execute_node(right, right_id, ctx)?.try_collect().map_err(engine_err)?);
+    let right_rows = Arc::new(
+        execute_node(right, right_id, ctx)?
+            .try_collect()
+            .map_err(engine_err)?,
+    );
     note_eager_ns(ctx, id, eager_start);
     let stream = execute_node(left, left_id, ctx)?;
     Ok(stream.flat_map(move |lrow| {

@@ -29,7 +29,11 @@ pub struct DataFrameReader {
 
 impl DataFrameReader {
     pub(crate) fn new(ctx: SQLContext) -> DataFrameReader {
-        DataFrameReader { ctx, format: "colfile".into(), options: Options::new() }
+        DataFrameReader {
+            ctx,
+            format: "colfile".into(),
+            options: Options::new(),
+        }
     }
 
     /// Select the provider, by registry name (`csv`, `json`, `colfile`,
@@ -141,9 +145,8 @@ impl DataFrameWriter {
                     .and_then(|d| d.chars().next())
                     .unwrap_or(',');
                 let text = datasources::csv::rows_to_csv(&schema, &rows, delimiter);
-                std::fs::write(path, text).map_err(|e| {
-                    CatalystError::DataSource(format!("write '{path}': {e}"))
-                })
+                std::fs::write(path, text)
+                    .map_err(|e| CatalystError::DataSource(format!("write '{path}': {e}")))
             }
             "colfile" | "parquet" => {
                 let rows_per_group = self

@@ -145,14 +145,17 @@ impl QueryExecution {
     pub fn collect(&self) -> Result<Vec<Row>> {
         let before = self.ctx.spark_context().metrics().snapshot();
         let start = Instant::now();
-        let rows = self.to_rdd()?.try_collect().map_err(|e| {
-            CatalystError::Internal(format!("execution failed: {e}"))
-        })?;
+        let rows = self
+            .to_rdd()?
+            .try_collect()
+            .map_err(|e| CatalystError::Internal(format!("execution failed: {e}")))?;
         let wall_ns = start.elapsed().as_nanos() as u64;
-        let recovery = RecoveryEvents::delta(&before, &self.ctx.spark_context().metrics().snapshot());
+        let recovery =
+            RecoveryEvents::delta(&before, &self.ctx.spark_context().metrics().snapshot());
         self.attribute_shuffle_stats();
         let memory = self.memory_stats();
-        self.ctx.log_query(self.log_entry(wall_ns, rows.len() as u64, recovery, memory));
+        self.ctx
+            .log_query(self.log_entry(wall_ns, rows.len() as u64, recovery, memory));
         Ok(rows)
     }
 
@@ -177,7 +180,10 @@ impl QueryExecution {
                 out.push_str(&format!("{c}\n"));
             }
             out.push_str("== Final Physical Plan (executed) ==\n");
-            out.push_str(&render_annotated(&adaptive::final_plan(&self.physical, &changes), &self.metrics));
+            out.push_str(&render_annotated(
+                &adaptive::final_plan(&self.physical, &changes),
+                &self.metrics,
+            ));
         }
         let entry = self.ctx.query_log().pop();
         let (wall, recovery, memory) = entry
@@ -262,7 +268,12 @@ fn render_memory(m: &MemoryStats) -> String {
         "budget: {} B, peak reserved: {} B\n\
          spilled buffers: {}, spill bytes: {}\n\
          spill files created/deleted: {}/{}\n",
-        m.budget, m.peak, m.spill_count, m.spill_bytes, m.spill_files_created, m.spill_files_deleted,
+        m.budget,
+        m.peak,
+        m.spill_count,
+        m.spill_bytes,
+        m.spill_files_created,
+        m.spill_files_deleted,
     )
 }
 
@@ -286,14 +297,23 @@ pub struct RecoveryEvents {
 }
 
 impl RecoveryEvents {
-    fn delta(before: &engine::metrics::MetricsSnapshot, after: &engine::metrics::MetricsSnapshot) -> RecoveryEvents {
+    fn delta(
+        before: &engine::metrics::MetricsSnapshot,
+        after: &engine::metrics::MetricsSnapshot,
+    ) -> RecoveryEvents {
         RecoveryEvents {
             task_retries: after.task_failures.saturating_sub(before.task_failures),
             fetch_failures: after.fetch_failures.saturating_sub(before.fetch_failures),
-            stage_resubmissions: after.stage_resubmissions.saturating_sub(before.stage_resubmissions),
-            map_tasks_recomputed: after.map_tasks_recomputed.saturating_sub(before.map_tasks_recomputed),
+            stage_resubmissions: after
+                .stage_resubmissions
+                .saturating_sub(before.stage_resubmissions),
+            map_tasks_recomputed: after
+                .map_tasks_recomputed
+                .saturating_sub(before.map_tasks_recomputed),
             executors_lost: after.executors_lost.saturating_sub(before.executors_lost),
-            cache_recomputes: after.cache_recomputes.saturating_sub(before.cache_recomputes),
+            cache_recomputes: after
+                .cache_recomputes
+                .saturating_sub(before.cache_recomputes),
         }
     }
 
@@ -456,14 +476,23 @@ mod tests {
                 elapsed_ns: 400,
                 extras: vec![("shuffle_bytes_written".into(), 64)],
             }],
-            recovery: RecoveryEvents { fetch_failures: 2, ..RecoveryEvents::default() },
+            recovery: RecoveryEvents {
+                fetch_failures: 2,
+                ..RecoveryEvents::default()
+            },
             memory: None,
         };
         let json = entry.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"query\":\"Project [a]\""), "{json}");
-        assert!(json.contains("\"extras\":{\"shuffle_bytes_written\":64}"), "{json}");
-        assert!(json.contains("\"recovery\":{\"task_retries\":0,\"fetch_failures\":2"), "{json}");
+        assert!(
+            json.contains("\"extras\":{\"shuffle_bytes_written\":64}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"recovery\":{\"task_retries\":0,\"fetch_failures\":2"),
+            "{json}"
+        );
         assert!(json.contains("\"memory\":null"), "{json}");
 
         let bounded = QueryLogEntry {
@@ -496,6 +525,9 @@ mod tests {
             ..RecoveryEvents::default()
         };
         assert!(busy.any());
-        assert_eq!(busy.render(), "stage resubmissions: 1\nmap tasks recomputed: 4\n");
+        assert_eq!(
+            busy.render(),
+            "stage resubmissions: 1\nmap tasks recomputed: 4\n"
+        );
     }
 }

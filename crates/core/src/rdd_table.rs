@@ -20,7 +20,12 @@ pub struct RddTable {
 impl RddTable {
     /// Wrap an RDD with its schema.
     pub fn new(name: impl Into<String>, schema: SchemaRef, rdd: RddRef<Row>) -> Self {
-        RddTable { name: name.into(), schema, rdd, size_hint: None }
+        RddTable {
+            name: name.into(),
+            schema,
+            rdd,
+            size_hint: None,
+        }
     }
 
     /// Attach a size estimate (lets the cost model consider broadcasting

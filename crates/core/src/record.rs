@@ -81,8 +81,16 @@ mod tests {
     #[test]
     fn paper_user_example() {
         // case class User(name: String, age: Int) from §3.5.
-        let users =
-            [User { name: "Alice".into(), age: 22 }, User { name: "Bob".into(), age: 19 }];
+        let users = [
+            User {
+                name: "Alice".into(),
+                age: 22,
+            },
+            User {
+                name: "Bob".into(),
+                age: 19,
+            },
+        ];
         let schema = User::schema();
         assert_eq!(schema.field(0).name.as_ref(), "name");
         assert_eq!(schema.field(1).dtype, DataType::Int);

@@ -168,7 +168,8 @@ pub fn external_sort(
             buf.sort_by(|a, b| cmp(a, b));
             let mut file = ctx.pool.spill_file().expect("spill create failed");
             for chunk in buf.chunks(BLOCK_ROWS) {
-                file.append(&codec.encode_block(chunk)).expect("spill write failed");
+                file.append(&codec.encode_block(chunk))
+                    .expect("spill write failed");
             }
             ctx.note_spill(file.bytes_written());
             runs.push(file);
@@ -194,8 +195,12 @@ pub fn external_sort(
         .into_iter()
         .map(|mut file| {
             let blocks = file.blocks().expect("spill reopen failed");
-            let mut cursor =
-                RunCursor { _file: file, blocks, codec: codec.clone(), buf: Vec::new().into_iter() };
+            let mut cursor = RunCursor {
+                _file: file,
+                blocks,
+                codec: codec.clone(),
+                buf: Vec::new().into_iter(),
+            };
             (cursor.next(), cursor)
         })
         .collect();
@@ -227,7 +232,10 @@ impl SideLayout {
         let mut dtypes = vec![DataType::Boolean];
         dtypes.extend(key_dtypes);
         dtypes.extend(row_dtypes);
-        SideLayout { codec: SpillCodec::new(dtypes), key_width }
+        SideLayout {
+            codec: SpillCodec::new(dtypes),
+            key_width,
+        }
     }
 
     fn encode_pair(&self, key: &Option<Row>, row: &Row) -> Row {
@@ -250,7 +258,11 @@ impl SideLayout {
         let mut values = flat.into_values();
         let row = Row::new(values.split_off(1 + self.key_width));
         let present = matches!(values[0], Value::Boolean(true));
-        let key = if present { Some(Row::new(values.split_off(1))) } else { None };
+        let key = if present {
+            Some(Row::new(values.split_off(1)))
+        } else {
+            None
+        };
         (key, row)
     }
 }
@@ -292,7 +304,8 @@ impl SpillBuckets {
         }
         let file = self.files[b]
             .get_or_insert_with(|| ctx.pool.spill_file().expect("spill create failed"));
-        file.append(&self.layout.codec.encode_block(&self.bufs[b])).expect("spill write failed");
+        file.append(&self.layout.codec.encode_block(&self.bufs[b]))
+            .expect("spill write failed");
         self.bufs[b].clear();
     }
 
@@ -313,8 +326,13 @@ impl SpillBuckets {
                         let layout = self.layout.clone();
                         let codec = layout.codec.clone();
                         Box::new(
-                            BlockRows { _file: file, blocks, codec, buf: Vec::new().into_iter() }
-                                .map(move |flat| layout.decode_pair(flat)),
+                            BlockRows {
+                                _file: file,
+                                blocks,
+                                codec,
+                                buf: Vec::new().into_iter(),
+                            }
+                            .map(move |flat| layout.decode_pair(flat)),
                         )
                     }
                 }
@@ -487,7 +505,9 @@ impl AggLayout {
 }
 
 fn accs_row(accs: &[Acc]) -> Row {
-    Row::new(vec![Value::Array(Arc::new(accs.iter().map(Acc::to_value).collect()))])
+    Row::new(vec![Value::Array(Arc::new(
+        accs.iter().map(Acc::to_value).collect(),
+    ))])
 }
 
 fn accs_from_row(row: Row) -> Vec<Acc> {
@@ -520,8 +540,7 @@ pub fn merge_agg_partition(
     for (key, accs) in input {
         let bytes = entry_bytes(&key, &accs);
         if reserve && !reservation.try_grow(bytes) && !table.is_empty() {
-            let dump =
-                buckets.get_or_insert_with(|| SpillBuckets::new(layout.side.clone(), depth));
+            let dump = buckets.get_or_insert_with(|| SpillBuckets::new(layout.side.clone(), depth));
             for (k, a) in table.drain() {
                 dump.push(ctx, &Some(k), &accs_row(&a));
             }
@@ -553,7 +572,10 @@ pub fn merge_agg_partition(
     let mut out = Vec::new();
     for sub in dump.finish(ctx) {
         let decoded: BoxIter<(Row, Vec<Acc>)> = Box::new(sub.map(move |(k, acc_row)| {
-            (k.expect("aggregate spill entry lost its key"), accs_from_row(acc_row))
+            (
+                k.expect("aggregate spill entry lost its key"),
+                accs_from_row(acc_row),
+            )
         }));
         out.extend(merge_agg_partition(decoded, layout, ctx, depth + 1));
     }

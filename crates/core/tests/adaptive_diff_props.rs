@@ -64,7 +64,10 @@ fn arb_dim_rows(rng: &mut StdRng) -> Vec<Row> {
             } else {
                 Value::Long(rng.random_range(0i64..20))
             };
-            Row::new(vec![dk, Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())])])
+            Row::new(vec![
+                dk,
+                Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())]),
+            ])
         })
         .collect()
 }
@@ -97,7 +100,11 @@ fn arb_query(rng: &mut StdRng) -> GenQuery {
         aggregate: rng.random_bool(0.4),
         // Tiny threshold forces the shuffled path (coalesce/skew
         // territory); the default-sized one lets demotion fire.
-        broadcast_threshold: if rng.random_bool(0.5) { 64 } else { 10 * 1024 * 1024 },
+        broadcast_threshold: if rng.random_bool(0.5) {
+            64
+        } else {
+            10 * 1024 * 1024
+        },
         // Target of 1 B disables coalescing; 1 MiB merges everything.
         target_partition_bytes: if rng.random_bool(0.5) { 1 } else { 1 << 20 },
     }
@@ -121,12 +128,16 @@ fn run(
     // the static planner honest (it must not broadcast it), so shuffled
     // joins actually occur and adaptive execution has decisions to make.
     let fact_rdd = ctx.spark_context().parallelize(q.fact_rows.clone(), 4);
-    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), fact_rdd).expect("fact");
+    let fact = ctx
+        .dataframe_from_rdd("fact", fact_schema(), fact_rdd)
+        .expect("fact");
     let dim = if q.dim_unknown_stats {
         let rdd = ctx.spark_context().parallelize(q.dim_rows.clone(), 2);
-        ctx.dataframe_from_rdd("dim", dim_schema(), rdd).expect("dim")
+        ctx.dataframe_from_rdd("dim", dim_schema(), rdd)
+            .expect("dim")
     } else {
-        ctx.create_dataframe(dim_schema(), q.dim_rows.clone()).expect("dim")
+        ctx.create_dataframe(dim_schema(), q.dim_rows.clone())
+            .expect("dim")
     };
     let mut df = fact
         .join(&dim, q.join_type, Some(col("k").eq(col("dk"))))
@@ -159,7 +170,10 @@ fn adaptive_and_static_plans_agree_on_random_joins() {
         let mut rng = StdRng::seed_from_u64(0xADA9 ^ (seed * 0x9E37_79B9));
         let q = arb_query(&mut rng);
         let (baseline, static_changes) = run(&q, false, false);
-        assert!(static_changes.is_empty(), "seed {seed}: static run recorded changes");
+        assert!(
+            static_changes.is_empty(),
+            "seed {seed}: static run recorded changes"
+        );
         let (adaptive_rows, changes) = run(&q, true, false);
         assert_eq!(
             adaptive_rows, baseline,
@@ -168,7 +182,10 @@ fn adaptive_and_static_plans_agree_on_random_joins() {
         );
         for vectorize in [true, false] {
             let (got, _) = run(&q, true, vectorize);
-            assert_eq!(got, baseline, "seed {seed}: adaptive+vectorize={vectorize} diverged");
+            assert_eq!(
+                got, baseline,
+                "seed {seed}: adaptive+vectorize={vectorize} diverged"
+            );
         }
         let (got, _) = run(&q, false, true);
         assert_eq!(got, baseline, "seed {seed}: static+vectorized diverged");
@@ -189,13 +206,22 @@ fn adaptive_and_static_plans_agree_on_random_joins() {
     }
     // Meaningfulness floors: the sweep must actually exercise adaptive
     // decisions, not just compare static plans with themselves.
-    assert!(nonempty > ITERS as u32 / 2, "only {nonempty} non-empty results");
+    assert!(
+        nonempty > ITERS as u32 / 2,
+        "only {nonempty} non-empty results"
+    );
     assert!(
         with_changes > ITERS as u32 / 4,
         "only {with_changes} runs recorded adaptive changes"
     );
-    assert!(demotions > ITERS as u32 / 8, "only {demotions} broadcast demotions");
-    assert!(coalesces > ITERS as u32 / 8, "only {coalesces} partition coalescings");
+    assert!(
+        demotions > ITERS as u32 / 8,
+        "only {demotions} broadcast demotions"
+    );
+    assert!(
+        coalesces > ITERS as u32 / 8,
+        "only {coalesces} partition coalescings"
+    );
     let _ = skew_splits; // covered deterministically below
 
     // Every adaptive change event renders with its marker string.
@@ -227,7 +253,7 @@ fn skewed_join_splits_and_matches_static_results() {
         join_type: JoinType::Inner,
         dim_unknown_stats: true,
         aggregate: false,
-        broadcast_threshold: 0, // never demote: stay on the shuffled path
+        broadcast_threshold: 0,     // never demote: stay on the shuffled path
         target_partition_bytes: 64, // tiny target: the hot partition is "skewed"
     };
     let (baseline, _) = run(&q, false, false);
@@ -253,15 +279,22 @@ fn explain_analyze_shows_initial_and_final_plans() {
             Row::new(vec![Value::Long(k), Value::Long(i)])
         })
         .collect();
-    let dim_rows: Vec<Row> =
-        (0..16).map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))])).collect();
+    let dim_rows: Vec<Row> = (0..16)
+        .map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))]))
+        .collect();
     // Both sides over bare RDDs: statistics unknown, so the static
     // planner must pick a shuffled hash join.
     let fact_rdd = ctx.spark_context().parallelize(fact_rows, 4);
-    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), fact_rdd).unwrap();
+    let fact = ctx
+        .dataframe_from_rdd("fact", fact_schema(), fact_rdd)
+        .unwrap();
     let dim_rdd = ctx.spark_context().parallelize(dim_rows, 2);
-    let dim = ctx.dataframe_from_rdd("dim", dim_schema(), dim_rdd).unwrap();
-    let df = fact.join(&dim, JoinType::Inner, Some(col("k").eq(col("dk")))).unwrap();
+    let dim = ctx
+        .dataframe_from_rdd("dim", dim_schema(), dim_rdd)
+        .unwrap();
+    let df = fact
+        .join(&dim, JoinType::Inner, Some(col("k").eq(col("dk"))))
+        .unwrap();
 
     let qe = df.query_execution().unwrap();
     assert!(format!("{}", qe.physical()).contains("ShuffledHashJoin"));
@@ -269,9 +302,15 @@ fn explain_analyze_shows_initial_and_final_plans() {
     assert!(text.contains("== Initial Physical Plan =="), "{text}");
     assert!(text.contains("AdaptivePlanChange"), "{text}");
     assert!(text.contains("broadcast-demotion"), "{text}");
-    assert!(text.contains("== Final Physical Plan (executed) =="), "{text}");
+    assert!(
+        text.contains("== Final Physical Plan (executed) =="),
+        "{text}"
+    );
     let initial = text.split("== Adaptive Plan Changes ==").next().unwrap();
-    let fin = text.split("== Final Physical Plan (executed) ==").nth(1).unwrap();
+    let fin = text
+        .split("== Final Physical Plan (executed) ==")
+        .nth(1)
+        .unwrap();
     assert!(initial.contains("ShuffledHashJoin"), "{text}");
     assert!(fin.contains("BroadcastHashJoin"), "{text}");
     assert!(!fin.contains("ShuffledHashJoin"), "{text}");
@@ -312,11 +351,18 @@ fn explain_analyze_shows_initial_and_final_plans() {
             ),
         )
         .unwrap();
-    let df2 = fact2.join(&dim2, JoinType::Inner, Some(col("k").eq(col("dk")))).unwrap();
+    let df2 = fact2
+        .join(&dim2, JoinType::Inner, Some(col("k").eq(col("dk"))))
+        .unwrap();
     let qe2 = df2.query_execution().unwrap();
     let static_rows = qe2.collect().unwrap();
     assert!(qe2.adaptive_changes().is_empty());
-    let mut a: Vec<String> = qe.collect().unwrap().iter().map(|r| format!("{r:?}")).collect();
+    let mut a: Vec<String> = qe
+        .collect()
+        .unwrap()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
     let mut b: Vec<String> = static_rows.iter().map(|r| format!("{r:?}")).collect();
     a.sort();
     b.sort();

@@ -63,7 +63,10 @@ fn arb_dim_rows(rng: &mut StdRng) -> Vec<Row> {
             } else {
                 Value::Long(rng.random_range(0i64..16))
             };
-            Row::new(vec![dk, Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())])])
+            Row::new(vec![
+                dk,
+                Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())]),
+            ])
         })
         .collect()
 }
@@ -100,7 +103,11 @@ fn arb_query(rng: &mut StdRng) -> GenQuery {
         vectorize: rng.random_bool(0.5),
         cache_dim,
         kill_slot: (cache_dim && rng.random_bool(0.6)).then(|| rng.random_range(0usize..2)),
-        broadcast_threshold: if rng.random_bool(0.5) { 64 } else { 10 * 1024 * 1024 },
+        broadcast_threshold: if rng.random_bool(0.5) {
+            64
+        } else {
+            10 * 1024 * 1024
+        },
     }
 }
 
@@ -128,9 +135,13 @@ fn run(q: &GenQuery, chaos: Option<Arc<ChaosPlan>>) -> Outcome {
     // Fact over a bare RDD: unknown statistics force shuffled joins, so
     // the fault schedule has map stages to hit.
     let fact_rdd = sc.parallelize(q.fact_rows.clone(), 4);
-    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), fact_rdd).expect("fact");
+    let fact = ctx
+        .dataframe_from_rdd("fact", fact_schema(), fact_rdd)
+        .expect("fact");
     let dim_rdd = sc.parallelize(q.dim_rows.clone(), 2);
-    let dim = ctx.dataframe_from_rdd("dim", dim_schema(), dim_rdd).expect("dim");
+    let dim = ctx
+        .dataframe_from_rdd("dim", dim_schema(), dim_rdd)
+        .expect("dim");
     let dim = if q.cache_dim {
         dim.register_temp_table("dim");
         ctx.cache_table("dim").expect("cache dim");
@@ -156,12 +167,23 @@ fn run(q: &GenQuery, chaos: Option<Arc<ChaosPlan>>) -> Outcome {
             .expect("aggregate");
     }
     let qe = df.query_execution().expect("query_execution");
-    let mut rows: Vec<String> =
-        qe.collect().expect("collect").iter().map(|r| format!("{r:?}")).collect();
+    let mut rows: Vec<String> = qe
+        .collect()
+        .expect("collect")
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
     rows.sort();
-    let recovery_logged =
-        ctx.query_log().last().map(|e| e.recovery.any()).unwrap_or(false);
-    Outcome { rows, metrics: sc.metrics().snapshot(), recovery_logged }
+    let recovery_logged = ctx
+        .query_log()
+        .last()
+        .map(|e| e.recovery.any())
+        .unwrap_or(false);
+    Outcome {
+        rows,
+        metrics: sc.metrics().snapshot(),
+        recovery_logged,
+    }
 }
 
 #[test]
@@ -232,12 +254,27 @@ fn chaotic_runs_match_fault_free_results() {
     );
     // Meaningfulness floors: the sweep must actually inject every fault
     // kind and drive every recovery path, not compare quiet runs.
-    assert!(nonempty > ITERS as u32 / 2, "only {nonempty} non-empty results");
-    assert!(faulted_runs > ITERS as u32 / 2, "only {faulted_runs} runs saw any fault");
+    assert!(
+        nonempty > ITERS as u32 / 2,
+        "only {nonempty} non-empty results"
+    );
+    assert!(
+        faulted_runs > ITERS as u32 / 2,
+        "only {faulted_runs} runs saw any fault"
+    );
     assert!(task_panics >= 5, "only {task_panics} task panics injected");
-    assert!(executor_deaths >= 5, "only {executor_deaths} executor deaths injected");
-    assert!(fetch_failures >= 5, "only {fetch_failures} fetch failures injected");
-    assert!(task_retries >= 5, "in-place task retry path fired only {task_retries} times");
+    assert!(
+        executor_deaths >= 5,
+        "only {executor_deaths} executor deaths injected"
+    );
+    assert!(
+        fetch_failures >= 5,
+        "only {fetch_failures} fetch failures injected"
+    );
+    assert!(
+        task_retries >= 5,
+        "in-place task retry path fired only {task_retries} times"
+    );
     assert!(
         stage_resubmissions >= 5,
         "map-stage resubmission path fired only {stage_resubmissions} times"

@@ -102,7 +102,10 @@ fn self_join_via_aliased_copies() {
     let left = people(&ctx).alias("l").unwrap();
     let right = people(&ctx).alias("r").unwrap();
     let pairs = left
-        .join_on(&right, qualified_col("l", "dept").eq(qualified_col("r", "dept")))
+        .join_on(
+            &right,
+            qualified_col("l", "dept").eq(qualified_col("r", "dept")),
+        )
         .unwrap()
         .filter(qualified_col("l", "name").not_eq(qualified_col("r", "name")))
         .unwrap();
@@ -116,7 +119,16 @@ fn union_and_distinct_and_sample() {
     let df = people(&ctx);
     let doubled = df.union(&df).unwrap();
     assert_eq!(doubled.count().unwrap(), 10);
-    assert_eq!(doubled.select_cols(&["name"]).unwrap().distinct().unwrap().count().unwrap(), 5);
+    assert_eq!(
+        doubled
+            .select_cols(&["name"])
+            .unwrap()
+            .distinct()
+            .unwrap()
+            .count()
+            .unwrap(),
+        5
+    );
     let sampled = df.sample(0.5, 7).unwrap();
     assert!(sampled.count().unwrap() <= 5);
 }
@@ -140,7 +152,10 @@ fn explain_mentions_all_phases_and_chosen_join() {
     let df = people(&ctx).alias("big").unwrap();
     let small = people(&ctx).alias("small").unwrap().limit(2).unwrap();
     let joined = df
-        .join_on(&small, qualified_col("big", "age").eq(qualified_col("small", "age")))
+        .join_on(
+            &small,
+            qualified_col("big", "age").eq(qualified_col("small", "age")),
+        )
         .unwrap();
     let text = joined.explain().unwrap();
     assert!(text.contains("Analyzed Logical Plan"), "{text}");
@@ -156,7 +171,10 @@ fn ambiguous_join_columns_error_eagerly() {
     let a = people(&ctx);
     let b = people(&ctx);
     let err = a.join_on(&b, col("age").eq(col("age")));
-    assert!(err.is_err(), "duplicate names across both sides must be ambiguous");
+    assert!(
+        err.is_err(),
+        "duplicate names across both sides must be ambiguous"
+    );
     let msg = match err {
         Err(e) => e.to_string(),
         Ok(_) => unreachable!(),
@@ -172,7 +190,10 @@ fn save_and_reload_colfile_and_csv() {
     let df = people(&ctx);
 
     let colfile = dir.join("people.rcf");
-    df.write().option("rows_per_group", 2).save(colfile.to_str().unwrap()).unwrap();
+    df.write()
+        .option("rows_per_group", 2)
+        .save(colfile.to_str().unwrap())
+        .unwrap();
     let reloaded = ctx.read_colfile(colfile.to_str().unwrap()).unwrap();
     assert_eq!(reloaded.count().unwrap(), 5);
     assert_eq!(reloaded.schema().len(), 3);
@@ -181,7 +202,10 @@ fn save_and_reload_colfile_and_csv() {
     assert_eq!(filtered.count().unwrap(), 2);
 
     let csv = dir.join("people.csv");
-    df.write().format("csv").save(csv.to_str().unwrap()).unwrap();
+    df.write()
+        .format("csv")
+        .save(csv.to_str().unwrap())
+        .unwrap();
     let csv_df = ctx
         .read_csv(csv.to_str().unwrap(), &datasources::CsvOptions::default())
         .unwrap();
@@ -233,8 +257,18 @@ fn dataframe_cache_roundtrip() {
     let ctx = SQLContext::new_local(2);
     let df = people(&ctx);
     let cached = df.cache().unwrap();
-    let a = cached.group_by_cols(&["dept"]).count().unwrap().count().unwrap();
-    let b = df.group_by_cols(&["dept"]).count().unwrap().count().unwrap();
+    let a = cached
+        .group_by_cols(&["dept"])
+        .count()
+        .unwrap()
+        .count()
+        .unwrap();
+    let b = df
+        .group_by_cols(&["dept"])
+        .count()
+        .unwrap()
+        .count()
+        .unwrap();
     assert_eq!(a, b);
 }
 

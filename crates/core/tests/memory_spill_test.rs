@@ -25,7 +25,11 @@ fn fact_rows(n: i64) -> Vec<Row> {
     (0..n)
         .map(|i| {
             Row::new(vec![
-                if i % 11 == 0 { Value::Null } else { Value::Long(i % 32) },
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Long(i % 32)
+                },
                 Value::Long(i),
                 Value::str(format!("payload-{:04}", i % 997)),
             ])
@@ -34,7 +38,9 @@ fn fact_rows(n: i64) -> Vec<Row> {
 }
 
 fn dim_rows() -> Vec<Row> {
-    (0..32).map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))])).collect()
+    (0..32)
+        .map(|i| Row::new(vec![Value::Long(i), Value::str(format!("d{i}"))]))
+        .collect()
 }
 
 /// Join + aggregate + sort with `budget` bytes (0 = unbounded); returns
@@ -49,19 +55,30 @@ fn run_pipeline(budget: u64) -> (Vec<String>, QueryExecution, SQLContext) {
         c.shuffle_partitions = 4;
     });
     let fact_rdd = ctx.spark_context().parallelize(fact_rows(4000), 3);
-    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), fact_rdd).unwrap();
+    let fact = ctx
+        .dataframe_from_rdd("fact", fact_schema(), fact_rdd)
+        .unwrap();
     let dim = ctx.create_dataframe(dim_schema(), dim_rows()).unwrap();
     // Dim joins fact (hash joins build the right stream: the big side).
     let df = dim
         .join(&fact, JoinType::Inner, Some(col("dk").eq(col("k"))))
         .unwrap()
         .group_by(vec![col("v").rem(lit(509i64)).alias("g")])
-        .agg(vec![count_star().alias("n"), sum(col("v")).alias("sv"), min(col("s")).alias("ms")])
+        .agg(vec![
+            count_star().alias("n"),
+            sum(col("v")).alias("sv"),
+            min(col("s")).alias("ms"),
+        ])
         .unwrap()
         .order_by(vec![col("sv").desc(), col("g").asc()])
         .unwrap();
     let qe = df.query_execution().unwrap();
-    let rows = qe.collect().unwrap().iter().map(|r| format!("{r:?}")).collect();
+    let rows = qe
+        .collect()
+        .unwrap()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
     (rows, qe, ctx)
 }
 
@@ -69,16 +86,24 @@ fn run_pipeline(budget: u64) -> (Vec<String>, QueryExecution, SQLContext) {
 fn join_aggregate_sort_spills_and_matches_unbounded() {
     let budget = 16 << 10;
     let (expect, unbounded_qe, _ctx) = run_pipeline(0);
-    assert!(unbounded_qe.memory_stats().is_none(), "unbounded run reported pool stats");
+    assert!(
+        unbounded_qe.memory_stats().is_none(),
+        "unbounded run reported pool stats"
+    );
     assert!(!expect.is_empty());
 
     let (got, qe, ctx) = run_pipeline(budget);
     // Byte-identical results, in the same (sorted) output order.
     assert_eq!(got, expect, "bounded run diverged from unbounded results");
 
-    let stats = qe.memory_stats().expect("bounded run must expose pool stats");
+    let stats = qe
+        .memory_stats()
+        .expect("bounded run must expose pool stats");
     assert_eq!(stats.budget, budget);
-    assert!(stats.spill_count > 0, "input 4000 rows never spilled under a 16 KiB budget");
+    assert!(
+        stats.spill_count > 0,
+        "input 4000 rows never spilled under a 16 KiB budget"
+    );
     assert!(stats.spill_bytes > 0);
     assert!(
         stats.peak <= budget,
@@ -110,15 +135,29 @@ fn join_aggregate_sort_spills_and_matches_unbounded() {
 fn set_statement_controls_memory_confs_end_to_end() {
     let ctx = SQLContext::new_local(2);
     // SET key=value parses byte suffixes and echoes the stored value.
-    let rows = ctx.sql("SET spark.sql.memory.budgetBytes=8k").unwrap().collect().unwrap();
-    assert_eq!(format!("{rows:?}"), format!("{:?}", vec![Row::new(vec![
-        Value::str("spark.sql.memory.budgetBytes"),
-        Value::str("8192"),
-    ])]));
+    let rows = ctx
+        .sql("SET spark.sql.memory.budgetBytes=8k")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(
+        format!("{rows:?}"),
+        format!(
+            "{:?}",
+            vec![Row::new(vec![
+                Value::str("spark.sql.memory.budgetBytes"),
+                Value::str("8192"),
+            ])]
+        )
+    );
     assert_eq!(ctx.conf().memory_budget_bytes, 8192);
 
     // SET key reads it back; bare SET lists every registry key.
-    let rows = ctx.sql("SET spark.sql.memory.budgetBytes").unwrap().collect().unwrap();
+    let rows = ctx
+        .sql("SET spark.sql.memory.budgetBytes")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(rows[0].values()[1], Value::str("8192"));
     let all = ctx.sql("SET").unwrap().collect().unwrap();
     assert_eq!(all.len(), SqlConf::valid_keys().len());
@@ -127,7 +166,10 @@ fn set_statement_controls_memory_confs_end_to_end() {
         .any(|r| r.values()[0] == Value::str("spark.sql.memory.spillEnabled")));
 
     // Unknown keys error through SQL exactly like ctx.set.
-    let err = ctx.sql("SET spark.sql.memory.budget=1").unwrap_err().to_string();
+    let err = ctx
+        .sql("SET spark.sql.memory.budget=1")
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("unknown config key"), "{err}");
 
     // The budget set via SQL governs subsequent executions.
@@ -140,15 +182,23 @@ fn set_statement_controls_memory_confs_end_to_end() {
     let qe = df.query_execution().unwrap();
     let n = qe.collect().unwrap().len();
     assert_eq!(n, 3000);
-    let stats = qe.memory_stats().expect("SET budget must reach the executor pool");
+    let stats = qe
+        .memory_stats()
+        .expect("SET budget must reach the executor pool");
     assert_eq!(stats.budget, 8192);
     assert!(stats.spill_count > 0, "3000 rows under 8 KiB never spilled");
 
     // The escape hatch: spillEnabled=false ignores the budget entirely.
-    ctx.sql("SET spark.sql.memory.spillEnabled=false").unwrap().collect().unwrap();
+    ctx.sql("SET spark.sql.memory.spillEnabled=false")
+        .unwrap()
+        .collect()
+        .unwrap();
     let qe2 = df.query_execution().unwrap();
     assert_eq!(qe2.collect().unwrap().len(), 3000);
-    assert!(qe2.memory_stats().is_none(), "escape hatch did not disable the pool");
+    assert!(
+        qe2.memory_stats().is_none(),
+        "escape hatch did not disable the pool"
+    );
 }
 
 #[test]
@@ -156,7 +206,8 @@ fn spill_dir_conf_routes_files_and_cleans_up() {
     let dir = std::env::temp_dir().join(format!("spill-conf-{}", std::process::id()));
     let ctx = SQLContext::new_local(2);
     ctx.set("spark.sql.memory.budgetBytes", "8k").unwrap();
-    ctx.set("spark.sql.memory.spillDir", dir.to_str().unwrap()).unwrap();
+    ctx.set("spark.sql.memory.spillDir", dir.to_str().unwrap())
+        .unwrap();
     assert_eq!(ctx.conf().spill_path(), dir);
 
     let rdd = ctx.spark_context().parallelize(fact_rows(3000), 3);
@@ -168,11 +219,18 @@ fn spill_dir_conf_routes_files_and_cleans_up() {
     let qe = df.query_execution().unwrap();
     assert_eq!(qe.collect().unwrap().len(), 3000);
     let stats = qe.memory_stats().unwrap();
-    assert!(stats.spill_files_created > 0, "sort never wrote a spill file");
+    assert!(
+        stats.spill_files_created > 0,
+        "sort never wrote a spill file"
+    );
 
     // The configured directory was used — and is empty again: every
     // spill file was deleted when its buffer was consumed.
-    assert!(dir.is_dir(), "spill dir was not created at {}", dir.display());
+    assert!(
+        dir.is_dir(),
+        "spill dir was not created at {}",
+        dir.display()
+    );
     let leftover: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
     assert!(leftover.is_empty(), "leftover spill files: {leftover:?}");
     assert_eq!(stats.spill_files_created, stats.spill_files_deleted);

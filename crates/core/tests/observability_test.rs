@@ -77,7 +77,10 @@ fn query_execution_metrics_match_collect() {
     assert_eq!(qe.metrics().node(0).output_rows(), rows.len() as u64);
     // Every operator produced rows (nothing in this plan filters to zero).
     for id in 0..qe.metrics().len() {
-        assert!(qe.metrics().node(id).output_rows() > 0, "operator {id} reported no rows");
+        assert!(
+            qe.metrics().node(id).output_rows() > 0,
+            "operator {id} reported no rows"
+        );
     }
 }
 
@@ -208,13 +211,24 @@ fn reader_writer_colfile_roundtrip_default_format() {
     let path = path.to_str().unwrap();
 
     // colfile is the default format on both sides.
-    users(&ctx).write().option("rows_per_group", 8).save(path).unwrap();
+    users(&ctx)
+        .write()
+        .option("rows_per_group", 8)
+        .save(path)
+        .unwrap();
     let back = ctx.read().load(path).unwrap();
     assert_eq!(back.count().unwrap(), 40);
     assert_eq!(back.schema().len(), 3);
     // Predicate pushdown works against the reloaded file.
     let older = back.where_(col("age").gt(lit(40))).unwrap();
-    assert_eq!(older.count().unwrap(), users(&ctx).where_(col("age").gt(lit(40))).unwrap().count().unwrap());
+    assert_eq!(
+        older.count().unwrap(),
+        users(&ctx)
+            .where_(col("age").gt(lit(40)))
+            .unwrap()
+            .count()
+            .unwrap()
+    );
 
     // `parquet` is an alias for the same format.
     let via_alias = ctx.read().format("parquet").load(path).unwrap();
@@ -249,9 +263,7 @@ fn query_execution_exposes_rule_health() {
     let ctx = SQLContext::new_local(2);
     // A query with a foldable predicate so the optimizer demonstrably
     // fires, stacked on the usual multi-stage shape.
-    let df = multi_stage(&ctx)
-        .where_(lit(1).lt(lit(2)))
-        .unwrap();
+    let df = multi_stage(&ctx).where_(lit(1).lt(lit(2))).unwrap();
     let qe = df.query_execution().unwrap();
 
     let health = qe.rule_health();
@@ -260,7 +272,11 @@ fn query_execution_exposes_rule_health() {
         .health_for("Operator Optimizations", "ConstantFolding")
         .expect("ConstantFolding health missing");
     assert!(cf.applications >= 1);
-    assert!(health.non_converged.is_empty(), "{:?}", health.non_converged);
+    assert!(
+        health.non_converged.is_empty(),
+        "{:?}",
+        health.non_converged
+    );
 
     // The rendered report pairs with explain_analyze() output.
     let report = qe.rule_health_report();
@@ -306,7 +322,10 @@ fn explain_analyze_counts_batches_on_the_vectorized_path() {
         .filter(|l| !l.trim().is_empty())
         .collect();
     for line in &plan_lines {
-        assert!(line.contains("batches="), "missing batches= in: {line}\n{text}");
+        assert!(
+            line.contains("batches="),
+            "missing batches= in: {line}\n{text}"
+        );
         assert!(
             line.contains("batch_rows_scanned="),
             "missing batch_rows_scanned= in: {line}\n{text}"

@@ -67,7 +67,10 @@ fn arb_dim_rows(rng: &mut StdRng) -> Vec<Row> {
             } else {
                 Value::Long(rng.random_range(0i64..24))
             };
-            Row::new(vec![dk, Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())])])
+            Row::new(vec![
+                dk,
+                Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())]),
+            ])
         })
         .collect()
 }
@@ -130,13 +133,18 @@ fn run(q: &GenQuery, budget: u64, chaos: Option<Arc<ChaosPlan>>) -> Outcome {
     });
     // Fact over a bare RDD: unknown statistics keep the planner honest.
     let fact_rdd = ctx.spark_context().parallelize(q.fact_rows.clone(), 3);
-    let fact = ctx.dataframe_from_rdd("fact", fact_schema(), fact_rdd).expect("fact");
+    let fact = ctx
+        .dataframe_from_rdd("fact", fact_schema(), fact_rdd)
+        .expect("fact");
     let mut df = match q.join {
         // Dim on the left: hash joins build from the right stream, so the
         // *large* fact table is the side under memory pressure.
         Some(jt) => {
-            let dim = ctx.create_dataframe(dim_schema(), q.dim_rows.clone()).expect("dim");
-            dim.join(&fact, jt, Some(col("dk").eq(col("k")))).expect("join")
+            let dim = ctx
+                .create_dataframe(dim_schema(), q.dim_rows.clone())
+                .expect("dim");
+            dim.join(&fact, jt, Some(col("dk").eq(col("k"))))
+                .expect("join")
         }
         None => fact,
     };
@@ -161,8 +169,12 @@ fn run(q: &GenQuery, budget: u64, chaos: Option<Arc<ChaosPlan>>) -> Outcome {
         df = df.order_by(orders).expect("sort");
     }
     let qe = df.query_execution().expect("query_execution");
-    let mut rows: Vec<String> =
-        qe.collect().expect("collect").iter().map(|r| format!("{r:?}")).collect();
+    let mut rows: Vec<String> = qe
+        .collect()
+        .expect("collect")
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
     rows.sort();
     let spilled_ops = ctx
         .query_log()
@@ -170,14 +182,16 @@ fn run(q: &GenQuery, budget: u64, chaos: Option<Arc<ChaosPlan>>) -> Outcome {
         .map(|e| {
             e.operators
                 .iter()
-                .filter(|op| {
-                    op.extras.iter().any(|(k, v)| k == "spill_count" && *v > 0)
-                })
+                .filter(|op| op.extras.iter().any(|(k, v)| k == "spill_count" && *v > 0))
                 .map(|op| op.operator.clone())
                 .collect()
         })
         .unwrap_or_default();
-    Outcome { rows, stats: qe.memory_stats(), spilled_ops }
+    Outcome {
+        rows,
+        stats: qe.memory_stats(),
+        spilled_ops,
+    }
 }
 
 #[test]
@@ -194,8 +208,14 @@ fn spilling_plans_match_unbounded_results() {
         let q = arb_query(&mut rng);
 
         let baseline = run(&q, 0, None);
-        assert!(baseline.stats.is_none(), "seed {seed}: unbounded run reported pool stats");
-        assert!(baseline.spilled_ops.is_empty(), "seed {seed}: unbounded run spilled");
+        assert!(
+            baseline.stats.is_none(),
+            "seed {seed}: unbounded run reported pool stats"
+        );
+        assert!(
+            baseline.spilled_ops.is_empty(),
+            "seed {seed}: unbounded run spilled"
+        );
 
         let bounded = run(&q, q.budget, None);
         assert_eq!(
@@ -213,7 +233,8 @@ fn spilling_plans_match_unbounded_results() {
             stats.budget
         );
         assert_eq!(
-            stats.spill_files_created, stats.spill_files_deleted,
+            stats.spill_files_created,
+            stats.spill_files_deleted,
             "seed {seed}: leaked {} spill files",
             stats.spill_files_created - stats.spill_files_deleted
         );
@@ -244,10 +265,22 @@ fn spilling_plans_match_unbounded_results() {
     );
     // Meaningfulness floors: the budgets must actually force disk spills,
     // and all three governed operators must have taken their spill path.
-    assert!(nonempty > ITERS as u32 / 2, "only {nonempty} non-empty results");
-    assert!(spilled_runs > ITERS as u32 / 3, "only {spilled_runs} runs spilled");
-    assert!(join_spills >= 3, "hash join spilled in only {join_spills} runs");
-    assert!(agg_spills >= 3, "hash aggregate spilled in only {agg_spills} runs");
+    assert!(
+        nonempty > ITERS as u32 / 2,
+        "only {nonempty} non-empty results"
+    );
+    assert!(
+        spilled_runs > ITERS as u32 / 3,
+        "only {spilled_runs} runs spilled"
+    );
+    assert!(
+        join_spills >= 3,
+        "hash join spilled in only {join_spills} runs"
+    );
+    assert!(
+        agg_spills >= 3,
+        "hash aggregate spilled in only {agg_spills} runs"
+    );
     assert!(sort_spills >= 3, "sort spilled in only {sort_spills} runs");
 }
 
@@ -268,9 +301,7 @@ fn external_sort_reproduces_in_memory_order_exactly() {
                     Value::str(STR_POOL[rng.random_range(0..STR_POOL.len())]),
                 ])
             })
-            .chain((0..600).map(|i| {
-                Row::new(vec![Value::Null, Value::Long(i % 2), Value::Null])
-            }))
+            .chain((0..600).map(|i| Row::new(vec![Value::Null, Value::Long(i % 2), Value::Null])))
             .collect(),
         dim_rows: vec![],
         join: None,
@@ -293,8 +324,12 @@ fn external_sort_reproduces_in_memory_order_exactly() {
             .order_by(vec![col("s").asc(), col("k").desc()])
             .unwrap();
         let qe = df.query_execution().unwrap();
-        let rows: Vec<String> =
-            qe.collect().unwrap().iter().map(|r| format!("{r:?}")).collect();
+        let rows: Vec<String> = qe
+            .collect()
+            .unwrap()
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
         (rows, qe.memory_stats())
     };
     let (expect, none) = order(0);
@@ -351,6 +386,12 @@ fn chaotic_spilling_runs_leak_nothing_and_match() {
         }
     }
     eprintln!("chaos spill sweep: faulted={faulted}/{CHAOS_ITERS} spilled={spilled}/{CHAOS_ITERS}");
-    assert!(faulted >= CHAOS_ITERS as u32 / 3, "only {faulted} runs saw a fault");
-    assert!(spilled >= CHAOS_ITERS as u32 / 3, "only {spilled} runs spilled");
+    assert!(
+        faulted >= CHAOS_ITERS as u32 / 3,
+        "only {faulted} runs saw a fault"
+    );
+    assert!(
+        spilled >= CHAOS_ITERS as u32 / 3,
+        "only {spilled} runs spilled"
+    );
 }

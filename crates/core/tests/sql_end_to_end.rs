@@ -34,7 +34,8 @@ fn ctx_with_tables() -> SQLContext {
         ])
     })
     .collect();
-    ctx.register_rows("employees", emp_schema, employees).unwrap();
+    ctx.register_rows("employees", emp_schema, employees)
+        .unwrap();
 
     // dept(id, name)
     let dept_schema = Arc::new(Schema::new(vec![
@@ -86,9 +87,17 @@ fn global_aggregates() {
 #[test]
 fn count_on_empty_table_is_zero() {
     let ctx = SQLContext::new_local(2);
-    let schema = Arc::new(Schema::new(vec![StructField::new("x", DataType::Long, false)]));
+    let schema = Arc::new(Schema::new(vec![StructField::new(
+        "x",
+        DataType::Long,
+        false,
+    )]));
     ctx.register_rows("empty", schema, vec![]).unwrap();
-    let rows = ctx.sql("SELECT count(*) FROM empty").unwrap().collect().unwrap();
+    let rows = ctx
+        .sql("SELECT count(*) FROM empty")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(rows[0].get(0), &Value::Long(0));
 }
 
@@ -171,13 +180,23 @@ fn join_types() {
     assert_eq!(inner[0].get_str(1), "l2");
 
     let left = rows_sorted(
-        ctx.sql("SELECT * FROM l LEFT JOIN r ON l.k = r.k2").unwrap().collect().unwrap(),
+        ctx.sql("SELECT * FROM l LEFT JOIN r ON l.k = r.k2")
+            .unwrap()
+            .collect()
+            .unwrap(),
     );
     assert_eq!(left.len(), 2);
-    assert!(left[0].is_null(2), "unmatched left row null-extended: {:?}", left[0]);
+    assert!(
+        left[0].is_null(2),
+        "unmatched left row null-extended: {:?}",
+        left[0]
+    );
 
     let right = rows_sorted(
-        ctx.sql("SELECT * FROM l RIGHT JOIN r ON l.k = r.k2").unwrap().collect().unwrap(),
+        ctx.sql("SELECT * FROM l RIGHT JOIN r ON l.k = r.k2")
+            .unwrap()
+            .collect()
+            .unwrap(),
     );
     assert_eq!(right.len(), 2);
     assert!(right[0].is_null(0), "{right:?}");
@@ -189,7 +208,11 @@ fn join_types() {
         .unwrap();
     assert_eq!(full.len(), 3);
 
-    let cross = ctx.sql("SELECT * FROM l CROSS JOIN r").unwrap().collect().unwrap();
+    let cross = ctx
+        .sql("SELECT * FROM l CROSS JOIN r")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(cross.len(), 4);
 }
 
@@ -220,7 +243,11 @@ fn union_all_distinct_limit() {
         .collect()
         .unwrap();
     assert_eq!(d.len(), 2);
-    let l = ctx.sql("SELECT * FROM employees LIMIT 3").unwrap().count().unwrap();
+    let l = ctx
+        .sql("SELECT * FROM employees LIMIT 3")
+        .unwrap()
+        .count()
+        .unwrap();
     assert_eq!(l, 3);
 }
 
@@ -250,7 +277,10 @@ fn expressions_case_like_in_between() {
         .collect()
         .unwrap();
     let got: Vec<(&str, &str)> = rows.iter().map(|r| (r.get_str(0), r.get_str(1))).collect();
-    assert_eq!(got, vec![("alice", "high"), ("carol", "high"), ("dan", "low")]);
+    assert_eq!(
+        got,
+        vec![("alice", "high"), ("carol", "high"), ("dan", "low")]
+    );
 }
 
 #[test]
@@ -316,9 +346,15 @@ fn count_distinct() {
 #[test]
 fn analysis_errors_are_eager_and_helpful() {
     let ctx = ctx_with_tables();
-    let err = ctx.sql("SELECT nope FROM employees").unwrap_err().to_string();
+    let err = ctx
+        .sql("SELECT nope FROM employees")
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("nope"), "{err}");
-    assert!(err.contains("salary"), "should list available columns: {err}");
+    assert!(
+        err.contains("salary"),
+        "should list available columns: {err}"
+    );
 
     let err = ctx.sql("SELECT * FROM ghosts").unwrap_err().to_string();
     assert!(err.contains("ghosts"), "{err}");
@@ -335,9 +371,14 @@ fn analysis_errors_are_eager_and_helpful() {
 #[test]
 fn explain_shows_three_plans() {
     let ctx = ctx_with_tables();
-    let df = ctx.sql("EXPLAIN SELECT name FROM employees WHERE salary > 100").unwrap();
+    let df = ctx
+        .sql("EXPLAIN SELECT name FROM employees WHERE salary > 100")
+        .unwrap();
     let text: Vec<Row> = df.collect().unwrap();
-    let all: String = text.iter().map(|r| r.get_str(0).to_string() + "\n").collect();
+    let all: String = text
+        .iter()
+        .map(|r| r.get_str(0).to_string() + "\n")
+        .collect();
     assert!(all.contains("Analyzed Logical Plan"), "{all}");
     assert!(all.contains("Optimized Logical Plan"), "{all}");
     assert!(all.contains("Physical Plan"), "{all}");
@@ -347,7 +388,11 @@ fn explain_shows_three_plans() {
 fn cache_table_roundtrip() {
     let ctx = ctx_with_tables();
     ctx.sql("CACHE TABLE employees").unwrap();
-    let n = ctx.sql("SELECT count(*) FROM employees").unwrap().collect().unwrap();
+    let n = ctx
+        .sql("SELECT count(*) FROM employees")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(n[0].get(0), &Value::Long(6));
     // Cached results identical after another query.
     let rows = ctx
@@ -357,8 +402,14 @@ fn cache_table_roundtrip() {
         .unwrap();
     assert_eq!(rows.len(), 3);
     ctx.sql("UNCACHE TABLE employees").unwrap();
-    assert_eq!(ctx.sql("SELECT count(*) FROM employees").unwrap().collect().unwrap()[0]
-        .get(0), &Value::Long(6));
+    assert_eq!(
+        ctx.sql("SELECT count(*) FROM employees")
+            .unwrap()
+            .collect()
+            .unwrap()[0]
+            .get(0),
+        &Value::Long(6)
+    );
 }
 
 /// Losing the executors holding a `CACHE TABLE`'d relation's blocks must
@@ -426,7 +477,11 @@ fn create_temp_table_using_json() {
     let dir = std::env::temp_dir().join(format!("sqltest-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("logs.json");
-    std::fs::write(&path, "{\"userId\": 1, \"message\": \"hello\"}\n{\"userId\": 2, \"message\": \"bye\"}\n").unwrap();
+    std::fs::write(
+        &path,
+        "{\"userId\": 1, \"message\": \"hello\"}\n{\"userId\": 2, \"message\": \"bye\"}\n",
+    )
+    .unwrap();
     let ctx = SQLContext::new_local(2);
     ctx.sql(&format!(
         "CREATE TEMPORARY TABLE logs USING json OPTIONS (path '{}')",
@@ -467,7 +522,11 @@ fn decimal_sum_via_decimal_aggregates_rule() {
         .map(|i| Row::new(vec![Value::Decimal(i * 100, 6, 2)])) // i.00
         .collect();
     ctx.register_rows("sales", schema, rows).unwrap();
-    let out = ctx.sql("SELECT sum(price) FROM sales").unwrap().collect().unwrap();
+    let out = ctx
+        .sql("SELECT sum(price) FROM sales")
+        .unwrap()
+        .collect()
+        .unwrap();
     // sum(1..=100) = 5050.00 with precision 6+10.
     assert_eq!(out[0].get(0), &Value::Decimal(505_000, 16, 2));
 }
@@ -528,8 +587,16 @@ fn nulls_flow_through_correctly() {
     assert_eq!(rows[0].get(1), &Value::Long(1));
     assert_eq!(rows[0].get(2), &Value::Long(2));
     assert_eq!(rows[0].get(3), &Value::Long(1));
-    let filtered = ctx.sql("SELECT * FROM t WHERE x > 0").unwrap().count().unwrap();
+    let filtered = ctx
+        .sql("SELECT * FROM t WHERE x > 0")
+        .unwrap()
+        .count()
+        .unwrap();
     assert_eq!(filtered, 2);
-    let is_null = ctx.sql("SELECT * FROM t WHERE x IS NULL").unwrap().count().unwrap();
+    let is_null = ctx
+        .sql("SELECT * FROM t WHERE x IS NULL")
+        .unwrap()
+        .count()
+        .unwrap();
     assert_eq!(is_null, 1);
 }

@@ -29,7 +29,10 @@ impl UserDefinedType<Point> for PointUdt {
         Row::new(vec![Value::Double(p.x), Value::Double(p.y)])
     }
     fn deserialize(&self, r: &Row) -> catalyst::Result<Point> {
-        Ok(Point { x: r.get_double(0), y: r.get_double(1) })
+        Ok(Point {
+            x: r.get_double(0),
+            y: r.get_double(1),
+        })
     }
     fn name(&self) -> &str {
         "point"
@@ -44,7 +47,10 @@ fn points_df(ctx: &SQLContext, n: usize) -> DataFrame {
     ]));
     let rows: Vec<Row> = (0..n)
         .map(|i| {
-            let p = Point { x: i as f64, y: (i % 7) as f64 };
+            let p = Point {
+                x: i as f64,
+                y: (i % 7) as f64,
+            };
             let serialized = udt.serialize(&p);
             Row::new(vec![
                 Value::Long(i as i64),

@@ -89,7 +89,9 @@ fn arb_predicate(rng: &mut StdRng, cols: &[GenCol]) -> Expr {
     let base = match &c.dtype {
         DataType::Long => match rng.random_range(0u32..3) {
             0 => col(&c.name).gt(lit(rng.random_range(0i64..40) - 20)),
-            1 => col(&c.name).rem(lit(7i64)).eq(lit(rng.random_range(0i64..7))),
+            1 => col(&c.name)
+                .rem(lit(7i64))
+                .eq(lit(rng.random_range(0i64..7))),
             _ => col(&c.name).lt_eq(lit(rng.random_range(0i64..40))),
         },
         DataType::Int => col(&c.name).lt(lit((rng.random_range(0i64..40) - 20) as i32)),
@@ -143,7 +145,10 @@ fn arb_projection(
                     col(&c.name).div(lit(rng.random_range(0i64..3))),
                     DataType::Double,
                 ),
-                _ => (col(&c.name).rem(lit(rng.random_range(0i64..3))), c.dtype.clone()),
+                _ => (
+                    col(&c.name).rem(lit(rng.random_range(0i64..3))),
+                    c.dtype.clone(),
+                ),
             },
             DataType::Double => (col(&c.name).mul(lit(0.5f64)), DataType::Double),
             DataType::String => (col(&c.name).add(lit("!")), DataType::String),
@@ -176,7 +181,10 @@ fn arb_query(rng: &mut StdRng) -> GenQuery {
     let mut cols: Vec<GenCol> = schema
         .fields()
         .iter()
-        .map(|f| GenCol { name: f.name.to_string(), dtype: f.dtype.clone() })
+        .map(|f| GenCol {
+            name: f.name.to_string(),
+            dtype: f.dtype.clone(),
+        })
         .collect();
     let mut ops = Vec::new();
     let mut next_id = 0usize;
@@ -191,7 +199,13 @@ fn arb_query(rng: &mut StdRng) -> GenQuery {
     }
     // Aggregate only while the key survives (grouping needs it).
     let aggregate = cols.iter().any(|c| c.name == "k") && rng.random_bool(0.4);
-    GenQuery { schema, rows, cache: rng.random_bool(0.5), ops, aggregate }
+    GenQuery {
+        schema,
+        rows,
+        cache: rng.random_bool(0.5),
+        ops,
+        aggregate,
+    }
 }
 
 /// Execute the query under one configuration and return the result as a
@@ -242,7 +256,8 @@ fn vectorized_and_row_paths_agree_on_random_plans() {
         for (vectorize, codegen) in [(true, true), (true, false), (false, false)] {
             let got = run(&q, vectorize, codegen);
             assert_eq!(
-                got, baseline,
+                got,
+                baseline,
                 "seed {seed}: vectorize={vectorize} codegen={codegen} diverged \
                  (cache={}, ops={}, agg={})",
                 q.cache,
@@ -262,9 +277,15 @@ fn vectorized_and_row_paths_agree_on_random_plans() {
     }
     // Meaningfulness floors: the sweep must actually exercise the
     // interesting paths, not vacuously compare empty results.
-    assert!(nonempty > ITERS as u32 / 2, "only {nonempty} non-empty results");
+    assert!(
+        nonempty > ITERS as u32 / 2,
+        "only {nonempty} non-empty results"
+    );
     assert!(cached > ITERS as u32 / 4, "only {cached} cached runs");
-    assert!(aggregated > ITERS as u32 / 8, "only {aggregated} aggregated runs");
+    assert!(
+        aggregated > ITERS as u32 / 8,
+        "only {aggregated} aggregated runs"
+    );
 }
 
 /// The batch path must also agree on whole-table scans with no operators
@@ -283,8 +304,12 @@ fn vectorized_count_and_bare_scan_agree() {
                 .unwrap()
                 .cache()
                 .unwrap();
-            let mut got: Vec<String> =
-                df.collect().unwrap().iter().map(|r| format!("{r:?}")).collect();
+            let mut got: Vec<String> = df
+                .collect()
+                .unwrap()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
             got.sort();
             let mut expect: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
             expect.sort();

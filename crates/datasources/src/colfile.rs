@@ -114,7 +114,12 @@ impl ColFileRelation {
     }
 
     /// Write rows to a colfile on disk.
-    pub fn write_path(path: &str, schema: &SchemaRef, rows: &[Row], rows_per_group: usize) -> Result<()> {
+    pub fn write_path(
+        path: &str,
+        schema: &SchemaRef,
+        rows: &[Row],
+        rows_per_group: usize,
+    ) -> Result<()> {
         let data = write_colfile(schema, rows, rows_per_group);
         std::fs::write(path, &data)
             .map_err(|e| CatalystError::DataSource(format!("cannot write '{path}': {e}")))
@@ -248,7 +253,11 @@ mod tests {
                 Row::new(vec![
                     Value::Long(i as i64),
                     Value::str(format!("c{}", i % 3)),
-                    if i % 10 == 0 { Value::Null } else { Value::Double(i as f64 / 2.0) },
+                    if i % 10 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(i as f64 / 2.0)
+                    },
                 ])
             })
             .collect()
@@ -269,8 +278,7 @@ mod tests {
     fn relation_scans_with_projection_and_filters() {
         let schema = sample_schema();
         let rows = sample_rows(1000);
-        let rel =
-            ColFileRelation::from_bytes("t", write_colfile(&schema, &rows, 100)).unwrap();
+        let rel = ColFileRelation::from_bytes("t", write_colfile(&schema, &rows, 100)).unwrap();
         assert_eq!(rel.num_partitions(), 10);
         let filters = [Filter::Gt("id".into(), Value::Long(950))];
         let mut out = Vec::new();
@@ -279,7 +287,7 @@ mod tests {
         }
         assert_eq!(out.len(), 49);
         assert_eq!(out[0].len(), 1); // projected
-        // 9 of 10 groups skipped by min/max stats.
+                                     // 9 of 10 groups skipped by min/max stats.
         assert_eq!(rel.groups_skipped(), 9);
         assert_eq!(rel.groups_read(), 1);
     }
@@ -287,11 +295,8 @@ mod tests {
     #[test]
     fn filters_are_exact_for_known_columns() {
         let schema = sample_schema();
-        let rel = ColFileRelation::from_bytes(
-            "t",
-            write_colfile(&schema, &sample_rows(10), 10),
-        )
-        .unwrap();
+        let rel =
+            ColFileRelation::from_bytes("t", write_colfile(&schema, &sample_rows(10), 10)).unwrap();
         let fs = [
             Filter::Gt("id".into(), Value::Long(1)),
             Filter::Eq("missing".into(), Value::Long(1)),

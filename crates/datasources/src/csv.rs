@@ -86,7 +86,9 @@ fn parse_field(text: &str, dtype: &DataType) -> Value {
             "false" | "0" => Value::Boolean(false),
             _ => Value::Null,
         },
-        DataType::Date => catalyst::value::parse_date(t).map(Value::Date).unwrap_or(Value::Null),
+        DataType::Date => catalyst::value::parse_date(t)
+            .map(Value::Date)
+            .unwrap_or(Value::Null),
         _ => Value::str(text),
     }
 }
@@ -114,7 +116,12 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { delimiter: ',', header: true, schema: None, num_partitions: 2 }
+        CsvOptions {
+            delimiter: ',',
+            header: true,
+            schema: None,
+            num_partitions: 2,
+        }
     }
 }
 
@@ -141,9 +148,11 @@ impl CsvRelation {
                 raw.push(fields);
             }
         }
-        let width = raw.iter().map(Vec::len).max().unwrap_or_else(|| {
-            header.as_ref().map(Vec::len).unwrap_or(0)
-        });
+        let width = raw
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or_else(|| header.as_ref().map(Vec::len).unwrap_or(0));
 
         let schema = match &options.schema {
             Some(s) => s.clone(),
@@ -203,7 +212,12 @@ impl CsvRelation {
             let len = base + usize::from(i < extra);
             partitions.push(Arc::new(it.by_ref().take(len).collect::<Vec<Row>>()));
         }
-        Ok(CsvRelation { name: name.into(), schema, partitions, bytes })
+        Ok(CsvRelation {
+            name: name.into(),
+            schema,
+            partitions,
+            bytes,
+        })
     }
 
     /// Build from a file path.
@@ -275,7 +289,11 @@ pub fn rows_to_csv(schema: &Schema, rows: &[Row], delimiter: char) -> String {
             .values()
             .iter()
             .map(|v| {
-                let s = if v.is_null() { String::new() } else { v.to_string() };
+                let s = if v.is_null() {
+                    String::new()
+                } else {
+                    v.to_string()
+                };
                 if s.contains(delimiter) || s.contains('"') || s.contains('\n') {
                     format!("\"{}\"", s.replace('"', "\"\""))
                 } else {
@@ -297,7 +315,10 @@ mod tests {
     fn quoted_field_splitting() {
         assert_eq!(split_csv_line("a,b,c", ','), vec!["a", "b", "c"]);
         assert_eq!(split_csv_line(r#""a,b",c"#, ','), vec!["a,b", "c"]);
-        assert_eq!(split_csv_line(r#""he said ""hi""",x"#, ','), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(
+            split_csv_line(r#""he said ""hi""",x"#, ','),
+            vec![r#"he said "hi""#, "x"]
+        );
         assert_eq!(split_csv_line("a,,c", ','), vec!["a", "", "c"]);
     }
 
@@ -305,7 +326,11 @@ mod tests {
     fn header_and_type_inference() {
         let rel = CsvRelation::from_lines(
             "t",
-            ["id,name,score,ok,day", "1,alice,9.5,true,2015-01-01", "2,bob,7.25,false,2015-06-30"],
+            [
+                "id,name,score,ok,day",
+                "1,alice,9.5,true,2015-01-01",
+                "2,bob,7.25,false,2015-06-30",
+            ],
             &CsvOptions::default(),
         )
         .unwrap();
@@ -327,7 +352,11 @@ mod tests {
         let rel = CsvRelation::from_lines(
             "t",
             ["1,hello", "2,world"],
-            &CsvOptions { header: false, schema: Some(schema), ..Default::default() },
+            &CsvOptions {
+                header: false,
+                schema: Some(schema),
+                ..Default::default()
+            },
         )
         .unwrap();
         let rows: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
@@ -339,7 +368,10 @@ mod tests {
         let rel = CsvRelation::from_lines(
             "t",
             ["a,b", "1,", ",2"],
-            &CsvOptions { num_partitions: 1, ..Default::default() },
+            &CsvOptions {
+                num_partitions: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let rows: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();
@@ -361,7 +393,10 @@ mod tests {
         let rel = CsvRelation::from_lines(
             "t",
             text.lines(),
-            &CsvOptions { num_partitions: 1, ..Default::default() },
+            &CsvOptions {
+                num_partitions: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let back: Vec<Row> = rel.scan_partition(0, None, &[]).unwrap().collect();

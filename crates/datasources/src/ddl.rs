@@ -57,13 +57,16 @@ fn parse_field(text: &str) -> Result<StructField> {
         nullable = false;
         type_text = stripped.trim_end();
     }
-    Ok(StructField::new(name, parse_data_type(type_text)?, nullable))
+    Ok(StructField::new(
+        name,
+        parse_data_type(type_text)?,
+        nullable,
+    ))
 }
 
 fn strip_suffix_ci<'a>(text: &'a str, suffix: &str) -> Option<&'a str> {
     let cut = text.len().checked_sub(suffix.len())?;
-    (text.is_char_boundary(cut) && text[cut..].eq_ignore_ascii_case(suffix))
-        .then(|| &text[..cut])
+    (text.is_char_boundary(cut) && text[cut..].eq_ignore_ascii_case(suffix)).then(|| &text[..cut])
 }
 
 /// Parse one type in `DataType` display syntax.
@@ -91,9 +94,9 @@ pub fn parse_data_type(text: &str) -> Result<DataType> {
             CatalystError::DataSource(format!("DECIMAL needs (precision,scale): '{text}'"))
         })?;
         let parse = |v: &str| {
-            v.trim().parse::<u8>().map_err(|_| {
-                CatalystError::DataSource(format!("bad DECIMAL argument in '{text}'"))
-            })
+            v.trim()
+                .parse::<u8>()
+                .map_err(|_| CatalystError::DataSource(format!("bad DECIMAL argument in '{text}'")))
         };
         return Ok(DataType::Decimal(parse(p)?, parse(s)?));
     }
@@ -115,7 +118,9 @@ pub fn parse_data_type(text: &str) -> Result<DataType> {
     if let Some(inner) = delimited(&upper, text, "STRUCT", '<', '>') {
         return Ok(DataType::struct_type(parse_field_list(inner)?));
     }
-    Err(CatalystError::DataSource(format!("unknown data type '{text}' in schema DDL")))
+    Err(CatalystError::DataSource(format!(
+        "unknown data type '{text}' in schema DDL"
+    )))
 }
 
 /// If `text` is `NAME<open>…<close>` (name matched case-insensitively via
@@ -202,7 +207,10 @@ mod tests {
         assert_eq!(parsed.fields()[0].dtype, DataType::Int);
         assert_eq!(parsed.fields()[1].dtype, DataType::Long);
         assert!(!parsed.fields()[1].nullable);
-        assert_eq!(parsed.fields()[2].dtype, DataType::Array(Box::new(DataType::String)));
+        assert_eq!(
+            parsed.fields()[2].dtype,
+            DataType::Array(Box::new(DataType::String))
+        );
     }
 
     #[test]

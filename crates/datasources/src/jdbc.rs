@@ -43,9 +43,10 @@ impl RemoteDb {
 
     /// Create or replace a table.
     pub fn create_table(&self, name: impl Into<String>, schema: SchemaRef, rows: Vec<Row>) {
-        self.tables
-            .write()
-            .insert(name.into().to_ascii_lowercase(), Arc::new(RemoteTable { schema, rows }));
+        self.tables.write().insert(
+            name.into().to_ascii_lowercase(),
+            Arc::new(RemoteTable { schema, rows }),
+        );
     }
 
     /// Bytes that crossed the simulated wire so far.
@@ -88,7 +89,9 @@ impl RemoteDb {
         shard: Option<(String, Value, Value)>, // column, lo (incl), hi (excl)
     ) -> Result<Vec<Row>> {
         let t = self.table(table)?;
-        self.query_log.lock().push(render_query(table, &t.schema, projection, filters, &shard));
+        self.query_log
+            .lock()
+            .push(render_query(table, &t.schema, projection, filters, &shard));
 
         let mut out = Vec::new();
         'rows: for row in &t.rows {
@@ -144,7 +147,10 @@ fn render_query(
             Filter::LtEq(c, v) => format!("{c} <= {v}"),
             Filter::In(c, vs) => format!(
                 "{c} IN ({})",
-                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                vs.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             Filter::IsNull(c) => format!("{c} IS NULL"),
             Filter::IsNotNull(c) => format!("{c} IS NOT NULL"),
@@ -168,7 +174,10 @@ static GLOBAL_DBS: Mutex<Option<HashMap<String, Arc<RemoteDb>>>> = Mutex::new(No
 
 /// Register a database under a connection URL.
 pub fn register_database(url: impl Into<String>, db: Arc<RemoteDb>) {
-    GLOBAL_DBS.lock().get_or_insert_with(HashMap::new).insert(url.into(), db);
+    GLOBAL_DBS
+        .lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(url.into(), db);
 }
 
 /// Resolve a registered database.
@@ -234,7 +243,12 @@ impl JdbcRelation {
                 }
             }
         };
-        Ok(JdbcRelation { db, table, schema, shards })
+        Ok(JdbcRelation {
+            db,
+            table,
+            schema,
+            shards,
+        })
     }
 
     /// The backing database handle.
@@ -275,9 +289,12 @@ impl BaseRelation for JdbcRelation {
         projection: Option<&[usize]>,
         filters: &[Filter],
     ) -> Result<RowIter> {
-        let rows =
-            self.db
-                .query(&self.table, projection, filters, self.shards[partition].clone())?;
+        let rows = self.db.query(
+            &self.table,
+            projection,
+            filters,
+            self.shards[partition].clone(),
+        )?;
         Ok(Box::new(rows.into_iter()))
     }
 
@@ -334,8 +351,10 @@ mod tests {
 
         // Filtered + projected scan (the §5.3 query shape).
         let filters = [Filter::Gt("registrationDate".into(), Value::Date(16800))];
-        let some: Vec<Row> =
-            rel.scan_partition(0, Some(&[0, 1]), &filters).unwrap().collect();
+        let some: Vec<Row> = rel
+            .scan_partition(0, Some(&[0, 1]), &filters)
+            .unwrap()
+            .collect();
         assert!(some.len() < 30);
         assert!(
             db.bytes_transferred() < full_bytes / 3,
@@ -349,7 +368,10 @@ mod tests {
         let db = users_db();
         let rel = JdbcRelation::connect(db.clone(), "users", None, 1).unwrap();
         let filters = [Filter::Gt("registrationDate".into(), Value::Date(16436))];
-        let _: Vec<Row> = rel.scan_partition(0, Some(&[0, 1]), &filters).unwrap().collect();
+        let _: Vec<Row> = rel
+            .scan_partition(0, Some(&[0, 1]), &filters)
+            .unwrap()
+            .collect();
         let log = db.query_log();
         let q = log.last().unwrap();
         // Mirrors the paper's: SELECT users.id, users.name FROM users

@@ -160,10 +160,17 @@ mod tests {
         let b = parse_json(r#"{"u": {"addr": {"city": "NYC"}, "age": 3}}"#).unwrap();
         let schema = infer_schema([&a, &b]);
         let u = &schema.fields()[0];
-        let DataType::Struct(u_fields) = &u.dtype else { panic!() };
+        let DataType::Struct(u_fields) = &u.dtype else {
+            panic!()
+        };
         let addr = u_fields.iter().find(|f| f.name.as_ref() == "addr").unwrap();
-        let DataType::Struct(addr_fields) = &addr.dtype else { panic!() };
-        let zip = addr_fields.iter().find(|f| f.name.as_ref() == "zip").unwrap();
+        let DataType::Struct(addr_fields) = &addr.dtype else {
+            panic!()
+        };
+        let zip = addr_fields
+            .iter()
+            .find(|f| f.name.as_ref() == "zip")
+            .unwrap();
         assert!(zip.nullable, "zip missing in one record");
         let age = u_fields.iter().find(|f| f.name.as_ref() == "age").unwrap();
         assert!(age.nullable);

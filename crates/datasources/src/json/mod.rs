@@ -31,9 +31,9 @@ pub fn json_to_value(v: &Json, target: &DataType) -> Value {
         (Json::Float(f), DataType::Long) => Value::Long(*f as i64),
         (Json::Float(f), DataType::Int) => Value::Int(*f as i32),
         (Json::Str(s), DataType::String) => Value::str(s),
-        (Json::Array(items), DataType::Array(elem)) => {
-            Value::Array(Arc::new(items.iter().map(|i| json_to_value(i, elem)).collect()))
-        }
+        (Json::Array(items), DataType::Array(elem)) => Value::Array(Arc::new(
+            items.iter().map(|i| json_to_value(i, elem)).collect(),
+        )),
         (Json::Object(_), DataType::Struct(fields)) => {
             let values: Vec<Value> = fields
                 .iter()
@@ -62,8 +62,10 @@ fn render_json(v: &Json) -> String {
             format!("[{}]", inner.join(","))
         }
         Json::Object(fields) => {
-            let inner: Vec<String> =
-                fields.iter().map(|(k, v)| format!("\"{k}\":{}", render_json(v))).collect();
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":{}", render_json(v)))
+                .collect();
             format!("{{{}}}", inner.join(","))
         }
     }
@@ -162,7 +164,12 @@ impl JsonRelation {
             let len = base + usize::from(i < extra);
             partitions.push(Arc::new(it.by_ref().take(len).collect::<Vec<Row>>()));
         }
-        Ok(JsonRelation { name: name.into(), schema, partitions, bytes })
+        Ok(JsonRelation {
+            name: name.into(),
+            schema,
+            partitions,
+            bytes,
+        })
     }
 
     /// Total record count.
@@ -249,7 +256,10 @@ mod tests {
         let lines = [r#"{"a": 1, "b": "x"}"#];
         let rel = JsonRelation::from_lines("t", lines, 1, None).unwrap();
         let b_idx = rel.schema().index_of("b").unwrap();
-        let rows: Vec<Row> = rel.scan_partition(0, Some(&[b_idx]), &[]).unwrap().collect();
+        let rows: Vec<Row> = rel
+            .scan_partition(0, Some(&[b_idx]), &[])
+            .unwrap()
+            .collect();
         assert_eq!(rows[0], Row::new(vec![Value::str("x")]));
     }
 

@@ -195,9 +195,7 @@ impl JsonParser {
                         s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
                     other => {
-                        return Err(CatalystError::DataSource(format!(
-                            "bad escape \\{other:?}"
-                        )))
+                        return Err(CatalystError::DataSource(format!("bad escape \\{other:?}")))
                     }
                 },
                 Some(c) => s.push(c),
@@ -253,7 +251,10 @@ mod tests {
                 "loc": {"lat": 45.1, "long": 90}}"##,
         )
         .unwrap();
-        assert_eq!(j.get("text"), Some(&Json::Str("This is a tweet about #Spark".into())));
+        assert_eq!(
+            j.get("text"),
+            Some(&Json::Str("This is a tweet about #Spark".into()))
+        );
         assert_eq!(j.get("loc").unwrap().get("lat"), Some(&Json::Float(45.1)));
         assert_eq!(j.get("loc").unwrap().get("long"), Some(&Json::Int(90)));
     }

@@ -16,8 +16,7 @@ use std::sync::Arc;
 pub type Options = BTreeMap<String, String>;
 
 /// A provider factory.
-pub type RelationFactory =
-    Arc<dyn Fn(&Options) -> Result<Arc<dyn BaseRelation>> + Send + Sync>;
+pub type RelationFactory = Arc<dyn Fn(&Options) -> Result<Arc<dyn BaseRelation>> + Send + Sync>;
 
 /// Registry of named data source providers.
 pub struct DataSourceRegistry {
@@ -33,7 +32,9 @@ impl Default for DataSourceRegistry {
 impl DataSourceRegistry {
     /// Registry with no providers.
     pub fn empty() -> Self {
-        DataSourceRegistry { providers: RwLock::new(HashMap::new()) }
+        DataSourceRegistry {
+            providers: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Registry preloaded with the built-in providers: `csv`, `json`,
@@ -59,8 +60,10 @@ impl DataSourceRegistry {
         });
         reg.register("json", |opts: &Options| {
             let path = require(opts, "path")?;
-            let partitions =
-                opts.get("partitions").and_then(|p| p.parse().ok()).unwrap_or(2);
+            let partitions = opts
+                .get("partitions")
+                .and_then(|p| p.parse().ok())
+                .unwrap_or(2);
             Ok(Arc::new(JsonRelation::from_path(path, partitions)?) as Arc<dyn BaseRelation>)
         });
         let colfile = |opts: &Options| {
@@ -75,10 +78,15 @@ impl DataSourceRegistry {
             let db = lookup_database(url).ok_or_else(|| {
                 CatalystError::DataSource(format!("no database registered at '{url}'"))
             })?;
-            let shards = opts.get("numshards").and_then(|s| s.parse().ok()).unwrap_or(1);
+            let shards = opts
+                .get("numshards")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
             let shard_col = opts.get("shardcolumn").map(String::as_str);
-            Ok(Arc::new(JdbcRelation::connect(db, table.clone(), shard_col, shards)?)
-                as Arc<dyn BaseRelation>)
+            Ok(
+                Arc::new(JdbcRelation::connect(db, table.clone(), shard_col, shards)?)
+                    as Arc<dyn BaseRelation>,
+            )
         });
         reg
     }
@@ -95,7 +103,11 @@ impl DataSourceRegistry {
     }
 
     /// Create a relation via a named provider.
-    pub fn create_relation(&self, provider: &str, options: &Options) -> Result<Arc<dyn BaseRelation>> {
+    pub fn create_relation(
+        &self,
+        provider: &str,
+        options: &Options,
+    ) -> Result<Arc<dyn BaseRelation>> {
         let factory = self
             .providers
             .read()
@@ -119,9 +131,8 @@ impl DataSourceRegistry {
 }
 
 fn require<'a>(opts: &'a Options, key: &str) -> Result<&'a String> {
-    opts.get(key).ok_or_else(|| {
-        CatalystError::DataSource(format!("data source requires option '{key}'"))
-    })
+    opts.get(key)
+        .ok_or_else(|| CatalystError::DataSource(format!("data source requires option '{key}'")))
 }
 
 #[cfg(test)]
@@ -165,8 +176,10 @@ mod tests {
         use catalyst::source::MemoryTable;
         let reg = DataSourceRegistry::default();
         reg.register("empty", |_opts| {
-            Ok(Arc::new(MemoryTable::new("empty", Schema::empty(), vec![], 1))
-                as Arc<dyn BaseRelation>)
+            Ok(
+                Arc::new(MemoryTable::new("empty", Schema::empty(), vec![], 1))
+                    as Arc<dyn BaseRelation>,
+            )
         });
         let rel = reg.create_relation("EMPTY", &Options::new()).unwrap();
         assert_eq!(rel.capability(), ScanCapability::TableScan);

@@ -17,7 +17,11 @@ pub struct Broadcast<T: Send + Sync> {
 
 impl<T: Send + Sync> Broadcast<T> {
     pub(crate) fn new(id: usize, value: T, approx_bytes: usize) -> Self {
-        Broadcast { id, value: Arc::new(value), approx_bytes }
+        Broadcast {
+            id,
+            value: Arc::new(value),
+            approx_bytes,
+        }
     }
 
     /// Broadcast id within the context.
@@ -43,6 +47,10 @@ impl<T: Send + Sync> Broadcast<T> {
 
 impl<T: Send + Sync> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
-        Broadcast { id: self.id, value: self.value.clone(), approx_bytes: self.approx_bytes }
+        Broadcast {
+            id: self.id,
+            value: self.value.clone(),
+            approx_bytes: self.approx_bytes,
+        }
     }
 }

@@ -41,7 +41,11 @@ pub struct CacheManager {
 impl CacheManager {
     /// Fetch a cached partition.
     pub fn get(&self, rdd: RddId, partition: usize) -> Option<Block> {
-        self.state.lock().blocks.get(&(rdd, partition)).map(|(b, _)| b.clone())
+        self.state
+            .lock()
+            .blocks
+            .get(&(rdd, partition))
+            .map(|(b, _)| b.clone())
     }
 
     /// Store a computed partition, owned by the calling thread's executor
@@ -74,7 +78,12 @@ impl CacheManager {
     /// Drop every block of one RDD.
     pub fn evict_rdd(&self, rdd: RddId) {
         let mut st = self.state.lock();
-        let keys: Vec<_> = st.blocks.keys().filter(|(id, _)| *id == rdd).copied().collect();
+        let keys: Vec<_> = st
+            .blocks
+            .keys()
+            .filter(|(id, _)| *id == rdd)
+            .copied()
+            .collect();
         for k in keys {
             st.blocks.remove(&k);
             st.lost.insert(k);
@@ -136,7 +145,11 @@ pub struct CachedRdd<T: Data> {
 impl<T: Data> CachedRdd<T> {
     pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>) -> Self {
         let ctx = parent.context();
-        CachedRdd { id: ctx.new_rdd_id(), parent, ctx }
+        CachedRdd {
+            id: ctx.new_rdd_id(),
+            parent,
+            ctx,
+        }
     }
 
     /// The id under which blocks are stored (for eviction in tests).
@@ -153,7 +166,9 @@ impl<T: Data> RddBase for CachedRdd<T> {
         self.parent.num_partitions()
     }
     fn dependencies(&self) -> Vec<Dependency> {
-        vec![Dependency::Narrow(crate::shuffle::as_base(self.parent.clone()))]
+        vec![Dependency::Narrow(crate::shuffle::as_base(
+            self.parent.clone(),
+        ))]
     }
     fn context(&self) -> SparkContext {
         self.ctx.clone()
@@ -170,7 +185,10 @@ impl<T: Data> Rdd for CachedRdd<T> {
         let cm = self.ctx.cache_manager();
         if let Some(block) = cm.get(self.id, split) {
             Metrics::add(&self.ctx.metrics().cache_hits, 1);
-            let data = block.downcast_ref::<Vec<T>>().expect("cache block type").clone();
+            let data = block
+                .downcast_ref::<Vec<T>>()
+                .expect("cache block type")
+                .clone();
             return Box::new(data.into_iter());
         }
         Metrics::add(&self.ctx.metrics().cache_misses, 1);

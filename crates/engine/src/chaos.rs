@@ -80,14 +80,21 @@ impl Default for ChaosConf {
 impl ChaosConf {
     /// Default configuration with the given seed.
     pub fn seeded(seed: u64) -> Self {
-        ChaosConf { seed, ..Default::default() }
+        ChaosConf {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Configuration from the environment: `Some` when
     /// `ENGINE_CHAOS_SEED` holds a u64, with `ENGINE_CHAOS_PROB`
     /// optionally overriding both fault probabilities.
     pub fn from_env() -> Option<Self> {
-        let seed = std::env::var("ENGINE_CHAOS_SEED").ok()?.trim().parse::<u64>().ok()?;
+        let seed = std::env::var("ENGINE_CHAOS_SEED")
+            .ok()?
+            .trim()
+            .parse::<u64>()
+            .ok()?;
         let mut conf = ChaosConf::seeded(seed);
         if let Ok(p) = std::env::var("ENGINE_CHAOS_PROB") {
             if let Ok(p) = p.trim().parse::<f64>() {
@@ -147,18 +154,33 @@ impl ChaosPlan {
 
     /// Decide a launch-time fault for a task. Only attempt 0 is ever
     /// faulted, so in-place retries always make progress.
-    pub fn task_fault(&self, stage_id: usize, partition: usize, attempt: usize) -> Option<FaultKind> {
+    pub fn task_fault(
+        &self,
+        stage_id: usize,
+        partition: usize,
+        attempt: usize,
+    ) -> Option<FaultKind> {
         if attempt != 0 {
             return None;
         }
-        let h = hash3(self.conf.seed, 0x7A5C_u64, stage_id as u64, partition as u64);
+        let h = hash3(
+            self.conf.seed,
+            0x7A5C_u64,
+            stage_id as u64,
+            partition as u64,
+        );
         if !below(h, self.conf.task_fault_prob) {
             return None;
         }
         // A second hash picks the kind; fall back to the other when its
         // budget is spent (deaths are the rarer, more disruptive fault).
-        let kinds = if hash3(self.conf.seed, 0xDEAD_u64, stage_id as u64, partition as u64)
-            .is_multiple_of(4)
+        let kinds = if hash3(
+            self.conf.seed,
+            0xDEAD_u64,
+            stage_id as u64,
+            partition as u64,
+        )
+        .is_multiple_of(4)
         {
             [FaultKind::ExecutorDeath, FaultKind::TaskPanic]
         } else {
@@ -205,7 +227,9 @@ impl ChaosPlan {
 /// Atomically claim one unit of a budget; false once exhausted.
 fn claim(counter: &AtomicU64, max: u64) -> bool {
     counter
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < max).then_some(n + 1))
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < max).then_some(n + 1)
+        })
         .is_ok()
 }
 
@@ -260,7 +284,10 @@ mod tests {
 
     #[test]
     fn retries_are_never_faulted() {
-        let plan = ChaosPlan::new(ChaosConf { task_fault_prob: 1.0, ..ChaosConf::seeded(1) });
+        let plan = ChaosPlan::new(ChaosConf {
+            task_fault_prob: 1.0,
+            ..ChaosConf::seeded(1)
+        });
         assert!(plan.task_fault(0, 0, 1).is_none());
         assert!(plan.task_fault(0, 0, 2).is_none());
     }
@@ -273,7 +300,10 @@ mod tests {
             ..ChaosConf::seeded(5)
         });
         assert!(plan.fetch_fault(1, 0));
-        assert!(!plan.fetch_fault(1, 0), "second fetch of the same output must succeed");
+        assert!(
+            !plan.fetch_fault(1, 0),
+            "second fetch of the same output must succeed"
+        );
         assert!(plan.fetch_fault(1, 1));
     }
 

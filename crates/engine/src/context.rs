@@ -76,7 +76,10 @@ impl SparkContext {
     /// Create a context with `executor_threads` workers and defaults
     /// otherwise.
     pub fn new(executor_threads: usize) -> Self {
-        SparkContext::with_conf(EngineConf { executor_threads, ..Default::default() })
+        SparkContext::with_conf(EngineConf {
+            executor_threads,
+            ..Default::default()
+        })
     }
 
     /// Create a context from a full configuration. When
@@ -110,7 +113,11 @@ impl SparkContext {
 
     /// Distribute an in-memory collection over `num_partitions` partitions.
     pub fn parallelize<T: Data>(&self, data: Vec<T>, num_partitions: usize) -> RddRef<T> {
-        RddRef::new(Arc::new(ParallelCollection::new(self.clone(), data, num_partitions)))
+        RddRef::new(Arc::new(ParallelCollection::new(
+            self.clone(),
+            data,
+            num_partitions,
+        )))
     }
 
     /// Create a source RDD whose partitions are produced lazily by `gen`
@@ -120,7 +127,11 @@ impl SparkContext {
         num_partitions: usize,
         gen: impl Fn(usize) -> BoxIter<T> + Send + Sync + 'static,
     ) -> RddRef<T> {
-        RddRef::new(Arc::new(GeneratedRdd::new(self.clone(), num_partitions, Arc::new(gen))))
+        RddRef::new(Arc::new(GeneratedRdd::new(
+            self.clone(),
+            num_partitions,
+            Arc::new(gen),
+        )))
     }
 
     /// Ship a read-only value to every task.

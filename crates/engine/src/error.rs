@@ -33,10 +33,21 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::TaskFailed { stage, partition, reason } => {
-                write!(f, "task failed (stage {stage}, partition {partition}): {reason}")
+            EngineError::TaskFailed {
+                stage,
+                partition,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "task failed (stage {stage}, partition {partition}): {reason}"
+                )
             }
-            EngineError::StageRetriesExhausted { stage, shuffle_id, attempts } => write!(
+            EngineError::StageRetriesExhausted {
+                stage,
+                shuffle_id,
+                attempts,
+            } => write!(
                 f,
                 "stage {stage} aborted: fetch failures on shuffle {shuffle_id} persisted \
                  after {attempts} map-stage resubmissions"

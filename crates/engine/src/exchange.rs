@@ -51,13 +51,23 @@ impl ShuffleReadSpec {
     /// A spec covering reduce buckets `[reduce_start, reduce_end)` across
     /// all `num_maps` map outputs.
     pub fn reducers(reduce_start: usize, reduce_end: usize, num_maps: usize) -> Self {
-        ShuffleReadSpec { reduce_start, reduce_end, map_start: 0, map_end: num_maps }
+        ShuffleReadSpec {
+            reduce_start,
+            reduce_end,
+            map_start: 0,
+            map_end: num_maps,
+        }
     }
 
     /// A spec for one reduce bucket restricted to map outputs
     /// `[map_start, map_end)` — a skew sub-partition.
     pub fn map_range(reduce: usize, map_start: usize, map_end: usize) -> Self {
-        ShuffleReadSpec { reduce_start: reduce, reduce_end: reduce + 1, map_start, map_end }
+        ShuffleReadSpec {
+            reduce_start: reduce,
+            reduce_end: reduce + 1,
+            map_start,
+            map_end,
+        }
     }
 }
 
@@ -96,7 +106,12 @@ where
             size_fn,
         ));
         scheduler::materialize_shuffle(&ctx, dep.clone() as Arc<dyn ShuffleDependencyBase>)?;
-        Ok(MaterializedShuffle { dep, ctx, num_maps, num_reduce })
+        Ok(MaterializedShuffle {
+            dep,
+            ctx,
+            num_maps,
+            num_reduce,
+        })
     }
 
     /// The shuffle id assigned by the context.
@@ -116,7 +131,9 @@ where
 
     /// Measured bytes per bucket, indexed `[map][reduce]`.
     pub fn map_output_sizes(&self) -> Vec<Vec<u64>> {
-        self.ctx.shuffle_manager().map_output_sizes(self.dep.shuffle_id())
+        self.ctx
+            .shuffle_manager()
+            .map_output_sizes(self.dep.shuffle_id())
     }
 
     /// Measured bytes per reduce partition (summed over map outputs).
@@ -185,7 +202,9 @@ where
         self.specs.len()
     }
     fn dependencies(&self) -> Vec<Dependency> {
-        vec![Dependency::Shuffle(self.dep.clone() as Arc<dyn ShuffleDependencyBase>)]
+        vec![Dependency::Shuffle(
+            self.dep.clone() as Arc<dyn ShuffleDependencyBase>
+        )]
     }
     fn context(&self) -> SparkContext {
         self.ctx.clone()
@@ -223,7 +242,10 @@ where
                     }
                 }
             }
-            merged.into_iter().map(|(k, c)| (k, c.expect("combiner"))).collect()
+            merged
+                .into_iter()
+                .map(|(k, c)| (k, c.expect("combiner")))
+                .collect()
         } else {
             let mut all = Vec::new();
             for map_id in spec.map_start..spec.map_end {

@@ -49,7 +49,11 @@ impl FileStore {
     pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(FileStore { root, replication: 3, checksums: true })
+        Ok(FileStore {
+            root,
+            replication: 3,
+            checksums: true,
+        })
     }
 
     /// Create a store under the OS temp directory with a unique suffix.
@@ -127,13 +131,14 @@ impl FileStore {
         let mut parts: Vec<PathBuf> = fs::read_dir(&dir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
-            .filter(|p| {
-                p.is_file() && p.extension().is_some_and(|e| e == "r0")
-            })
+            .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "r0"))
             .collect();
         parts.sort();
         if parts.is_empty() {
-            return Err(EngineError::Io(format!("no part files under {}", dir.display())));
+            return Err(EngineError::Io(format!(
+                "no part files under {}",
+                dir.display()
+            )));
         }
         let sc2 = sc.clone();
         let checksums = self.checksums;

@@ -105,7 +105,10 @@ impl MemoryPool {
     /// frees itself (and deregisters) on drop.
     pub fn register(self: &Arc<MemoryPool>) -> MemoryReservation {
         self.state.lock().consumers += 1;
-        MemoryReservation { pool: self.clone(), size: 0 }
+        MemoryReservation {
+            pool: self.clone(),
+            size: 0,
+        }
     }
 
     /// Grant `delta` more bytes to a consumer currently holding
@@ -116,9 +119,7 @@ impl MemoryPool {
         }
         let mut st = self.state.lock();
         let share = self.budget / st.consumers.max(1);
-        if st.used.saturating_add(delta) > self.budget
-            || current.saturating_add(delta) > share
-        {
+        if st.used.saturating_add(delta) > self.budget || current.saturating_add(delta) > share {
             return false;
         }
         st.used += delta;
@@ -163,7 +164,12 @@ impl MemoryPool {
         ));
         let file = File::create(&path)?;
         self.files_created.fetch_add(1, Ordering::Relaxed);
-        Ok(SpillFile { path, file: Some(file), bytes: 0, pool: self.clone() })
+        Ok(SpillFile {
+            path,
+            file: Some(file),
+            bytes: 0,
+            pool: self.clone(),
+        })
     }
 
     /// Snapshot of the pool's counters.
@@ -261,7 +267,9 @@ impl SpillFile {
         if let Some(f) = self.file.take() {
             f.sync_all().ok();
         }
-        Ok(SpillBlockIter { reader: BufReader::new(File::open(&self.path)?) })
+        Ok(SpillBlockIter {
+            reader: BufReader::new(File::open(&self.path)?),
+        })
     }
 }
 

@@ -87,13 +87,22 @@ impl Metrics {
     /// Record one reduce task's shuffle fetch (global counter + per-shuffle).
     pub fn record_shuffle_read(&self, shuffle_id: usize, records: u64) {
         Metrics::add(&self.shuffle_records_read, records);
-        self.per_shuffle.lock().unwrap().entry(shuffle_id).or_default().records_read +=
-            records;
+        self.per_shuffle
+            .lock()
+            .unwrap()
+            .entry(shuffle_id)
+            .or_default()
+            .records_read += records;
     }
 
     /// I/O stats of one shuffle (zeroes if it never ran).
     pub fn shuffle_stats(&self, shuffle_id: usize) -> ShuffleStats {
-        self.per_shuffle.lock().unwrap().get(&shuffle_id).copied().unwrap_or_default()
+        self.per_shuffle
+            .lock()
+            .unwrap()
+            .get(&shuffle_id)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Reset every counter to zero (useful between benchmark phases).
@@ -184,7 +193,11 @@ mod tests {
         m.record_shuffle_write(4, 1, 16);
         assert_eq!(
             m.shuffle_stats(3),
-            ShuffleStats { records_written: 15, bytes_written: 240, records_read: 15 }
+            ShuffleStats {
+                records_written: 15,
+                bytes_written: 240,
+                records_read: 15
+            }
         );
         assert_eq!(m.shuffle_stats(4).records_written, 1);
         assert_eq!(m.shuffle_stats(99), ShuffleStats::default());

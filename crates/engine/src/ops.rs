@@ -43,7 +43,11 @@ impl<T: Data> ParallelCollection<T> {
             let len = base + usize::from(i < extra);
             slices.push(it.by_ref().take(len).collect());
         }
-        ParallelCollection { id: ctx.new_rdd_id(), ctx, slices: Arc::new(slices) }
+        ParallelCollection {
+            id: ctx.new_rdd_id(),
+            ctx,
+            slices: Arc::new(slices),
+        }
     }
 }
 
@@ -89,7 +93,12 @@ impl<T: Data> GeneratedRdd<T> {
         num_partitions: usize,
         gen: Arc<dyn Fn(usize) -> BoxIter<T> + Send + Sync>,
     ) -> Self {
-        GeneratedRdd { id: ctx.new_rdd_id(), ctx, num_partitions: num_partitions.max(1), gen }
+        GeneratedRdd {
+            id: ctx.new_rdd_id(),
+            ctx,
+            num_partitions: num_partitions.max(1),
+            gen,
+        }
     }
 }
 
@@ -127,7 +136,9 @@ macro_rules! narrow_base {
             self.parent.num_partitions()
         }
         fn dependencies(&self) -> Vec<Dependency> {
-            vec![Dependency::Narrow(crate::shuffle::as_base(self.parent.clone()))]
+            vec![Dependency::Narrow(crate::shuffle::as_base(
+                self.parent.clone(),
+            ))]
         }
         fn context(&self) -> SparkContext {
             self.parent.context()
@@ -146,8 +157,15 @@ pub struct MapRdd<T: Data, U: Data> {
 }
 
 impl<T: Data, U: Data> MapRdd<T, U> {
-    pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>, f: Arc<dyn Fn(T) -> U + Send + Sync>) -> Self {
-        MapRdd { id: parent.context().new_rdd_id(), parent, f }
+    pub(crate) fn new(
+        parent: Arc<dyn Rdd<Item = T>>,
+        f: Arc<dyn Fn(T) -> U + Send + Sync>,
+    ) -> Self {
+        MapRdd {
+            id: parent.context().new_rdd_id(),
+            parent,
+            f,
+        }
     }
 }
 
@@ -175,7 +193,11 @@ impl<T: Data> FilterRdd<T> {
         parent: Arc<dyn Rdd<Item = T>>,
         f: Arc<dyn Fn(&T) -> bool + Send + Sync>,
     ) -> Self {
-        FilterRdd { id: parent.context().new_rdd_id(), parent, f }
+        FilterRdd {
+            id: parent.context().new_rdd_id(),
+            parent,
+            f,
+        }
     }
 }
 
@@ -203,7 +225,11 @@ impl<T: Data, U: Data> FlatMapRdd<T, U> {
         parent: Arc<dyn Rdd<Item = T>>,
         f: Arc<dyn Fn(T) -> BoxIter<U> + Send + Sync>,
     ) -> Self {
-        FlatMapRdd { id: parent.context().new_rdd_id(), parent, f }
+        FlatMapRdd {
+            id: parent.context().new_rdd_id(),
+            parent,
+            f,
+        }
     }
 }
 
@@ -231,7 +257,11 @@ impl<T: Data, U: Data> MapPartitionsRdd<T, U> {
         parent: Arc<dyn Rdd<Item = T>>,
         f: Arc<dyn Fn(usize, BoxIter<T>) -> BoxIter<U> + Send + Sync>,
     ) -> Self {
-        MapPartitionsRdd { id: parent.context().new_rdd_id(), parent, f }
+        MapPartitionsRdd {
+            id: parent.context().new_rdd_id(),
+            parent,
+            f,
+        }
     }
 }
 
@@ -255,7 +285,10 @@ pub struct UnionRdd<T: Data> {
 impl<T: Data> UnionRdd<T> {
     pub(crate) fn new(parents: Vec<Arc<dyn Rdd<Item = T>>>) -> Self {
         assert!(!parents.is_empty());
-        UnionRdd { id: parents[0].context().new_rdd_id(), parents }
+        UnionRdd {
+            id: parents[0].context().new_rdd_id(),
+            parents,
+        }
     }
 
     fn locate(&self, split: usize) -> (usize, usize) {
@@ -313,7 +346,12 @@ impl<A: Data, B: Data, U: Data> ZippedPartitionsRdd<A, B, U> {
         right: Arc<dyn Rdd<Item = B>>,
         f: Arc<dyn Fn(BoxIter<A>, BoxIter<B>) -> BoxIter<U> + Send + Sync>,
     ) -> Self {
-        ZippedPartitionsRdd { id: left.context().new_rdd_id(), left, right, f }
+        ZippedPartitionsRdd {
+            id: left.context().new_rdd_id(),
+            left,
+            right,
+            f,
+        }
     }
 }
 
@@ -355,7 +393,12 @@ pub struct SampleRdd<T: Data> {
 
 impl<T: Data> SampleRdd<T> {
     pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>, fraction: f64, seed: u64) -> Self {
-        SampleRdd { id: parent.context().new_rdd_id(), parent, fraction, seed }
+        SampleRdd {
+            id: parent.context().new_rdd_id(),
+            parent,
+            fraction,
+            seed,
+        }
     }
 }
 
@@ -387,7 +430,11 @@ pub struct CoalescedRdd<T: Data> {
 impl<T: Data> CoalescedRdd<T> {
     pub(crate) fn new(parent: Arc<dyn Rdd<Item = T>>, num_partitions: usize) -> Self {
         let num_partitions = num_partitions.min(parent.num_partitions()).max(1);
-        CoalescedRdd { id: parent.context().new_rdd_id(), parent, num_partitions }
+        CoalescedRdd {
+            id: parent.context().new_rdd_id(),
+            parent,
+            num_partitions,
+        }
     }
 
     /// Parent partition range feeding output partition `split`.
@@ -408,7 +455,9 @@ impl<T: Data> RddBase for CoalescedRdd<T> {
         self.num_partitions
     }
     fn dependencies(&self) -> Vec<Dependency> {
-        vec![Dependency::Narrow(crate::shuffle::as_base(self.parent.clone()))]
+        vec![Dependency::Narrow(crate::shuffle::as_base(
+            self.parent.clone(),
+        ))]
     }
     fn context(&self) -> SparkContext {
         self.parent.context()

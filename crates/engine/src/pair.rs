@@ -43,7 +43,14 @@ where
             aggregator,
             map_side_combine,
         ));
-        ShuffledRdd { id: ctx.new_rdd_id(), dep, ctx, num_reduce, num_maps, aggregated }
+        ShuffledRdd {
+            id: ctx.new_rdd_id(),
+            dep,
+            ctx,
+            num_reduce,
+            num_maps,
+            aggregated,
+        }
     }
 
     /// Internal: fetch and merge all buckets for reduce partition `split`.
@@ -104,7 +111,9 @@ where
         self.num_reduce
     }
     fn dependencies(&self) -> Vec<Dependency> {
-        vec![Dependency::Shuffle(self.dep.clone() as Arc<dyn ShuffleDependencyBase>)]
+        vec![Dependency::Shuffle(
+            self.dep.clone() as Arc<dyn ShuffleDependencyBase>
+        )]
     }
     fn context(&self) -> SparkContext {
         self.ctx.clone()
@@ -221,8 +230,12 @@ where
                 groups.entry(k.clone()).or_default().1.push(w.clone());
             }
         }
-        self.ctx.metrics().record_shuffle_read(self.left.shuffle_id(), left_read);
-        self.ctx.metrics().record_shuffle_read(self.right.shuffle_id(), right_read);
+        self.ctx
+            .metrics()
+            .record_shuffle_read(self.left.shuffle_id(), left_read);
+        self.ctx
+            .metrics()
+            .record_shuffle_read(self.right.shuffle_id(), right_read);
         Box::new(groups.into_iter())
     }
 }
@@ -261,8 +274,7 @@ pub trait PairRdd<K: Data + Hash + Eq, V: Data> {
     fn partition_by(&self, partitioner: Arc<dyn Partitioner<K>>) -> RddRef<(K, V)>;
 
     /// Inner join on key.
-    fn join<W: Data>(&self, other: &RddRef<(K, W)>, num_partitions: usize)
-        -> RddRef<(K, (V, W))>;
+    fn join<W: Data>(&self, other: &RddRef<(K, W)>, num_partitions: usize) -> RddRef<(K, (V, W))>;
 
     /// Full co-group on key.
     fn cogroup<W: Data>(
@@ -306,11 +318,7 @@ impl<K: Data + Hash + Eq, V: Data> PairRdd<K, V> for RddRef<(K, V)> {
     ) -> RddRef<(K, V)> {
         let f = Arc::new(f);
         let f2 = f.clone();
-        let agg = Aggregator::new(
-            |v| v,
-            move |c, v| f(c, v),
-            move |a, b| f2(a, b),
-        );
+        let agg = Aggregator::new(|v| v, move |c, v| f(c, v), move |a, b| f2(a, b));
         self.combine_by_key(agg, Arc::new(HashPartitioner::new(num_partitions)), true)
     }
 
@@ -338,11 +346,7 @@ impl<K: Data + Hash + Eq, V: Data> PairRdd<K, V> for RddRef<(K, V)> {
     ) -> RddRef<(K, C)> {
         let seq = Arc::new(seq);
         let seq2 = seq.clone();
-        let agg = Aggregator::new(
-            move |v| seq(zero.clone(), v),
-            move |c, v| seq2(c, v),
-            comb,
-        );
+        let agg = Aggregator::new(move |v| seq(zero.clone(), v), move |c, v| seq2(c, v), comb);
         self.combine_by_key(agg, Arc::new(HashPartitioner::new(num_partitions)), true)
     }
 
@@ -355,20 +359,17 @@ impl<K: Data + Hash + Eq, V: Data> PairRdd<K, V> for RddRef<(K, V)> {
         )))
     }
 
-    fn join<W: Data>(
-        &self,
-        other: &RddRef<(K, W)>,
-        num_partitions: usize,
-    ) -> RddRef<(K, (V, W))> {
-        self.cogroup(other, num_partitions).flat_map(|(k, (vs, ws))| {
-            let mut out = Vec::with_capacity(vs.len() * ws.len());
-            for v in &vs {
-                for w in &ws {
-                    out.push((k.clone(), (v.clone(), w.clone())));
+    fn join<W: Data>(&self, other: &RddRef<(K, W)>, num_partitions: usize) -> RddRef<(K, (V, W))> {
+        self.cogroup(other, num_partitions)
+            .flat_map(|(k, (vs, ws))| {
+                let mut out = Vec::with_capacity(vs.len() * ws.len());
+                for v in &vs {
+                    for w in &ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
                 }
-            }
-            out
-        })
+                out
+            })
     }
 
     fn cogroup<W: Data>(

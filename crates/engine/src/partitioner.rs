@@ -21,7 +21,10 @@ pub struct HashPartitioner<K> {
 impl<K> HashPartitioner<K> {
     /// Create a hash partitioner with `partitions` buckets (at least 1).
     pub fn new(partitions: usize) -> Self {
-        HashPartitioner { partitions: partitions.max(1), _k: PhantomData }
+        HashPartitioner {
+            partitions: partitions.max(1),
+            _k: PhantomData,
+        }
     }
 }
 

@@ -57,7 +57,11 @@ impl ThreadPool {
                 .expect("failed to spawn executor thread");
             workers.push(handle);
         }
-        ThreadPool { sender: Some(sender), stealer: receiver, workers }
+        ThreadPool {
+            sender: Some(sender),
+            stealer: receiver,
+            workers,
+        }
     }
 
     /// Number of worker threads.

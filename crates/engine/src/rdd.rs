@@ -44,7 +44,11 @@ pub struct TaskContext {
 impl TaskContext {
     /// Context for driver-local evaluation (tests, single-partition reads).
     pub fn driver() -> Self {
-        TaskContext { stage_id: usize::MAX, partition: 0, attempt: 0 }
+        TaskContext {
+            stage_id: usize::MAX,
+            partition: 0,
+            attempt: 0,
+        }
     }
 }
 
@@ -91,7 +95,9 @@ pub struct RddRef<T: Data> {
 
 impl<T: Data> Clone for RddRef<T> {
     fn clone(&self) -> Self {
-        RddRef { inner: self.inner.clone() }
+        RddRef {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -145,7 +151,10 @@ impl<T: Data> RddRef<T> {
         f: impl Fn(BoxIter<T>) -> BoxIter<U> + Send + Sync + 'static,
     ) -> RddRef<U> {
         let g = move |_idx: usize, it: BoxIter<T>| f(it);
-        RddRef::new(Arc::new(MapPartitionsRdd::new(self.inner.clone(), Arc::new(g))))
+        RddRef::new(Arc::new(MapPartitionsRdd::new(
+            self.inner.clone(),
+            Arc::new(g),
+        )))
     }
 
     /// Like [`RddRef::map_partitions`] but also passes the partition index.
@@ -153,12 +162,18 @@ impl<T: Data> RddRef<T> {
         &self,
         f: impl Fn(usize, BoxIter<T>) -> BoxIter<U> + Send + Sync + 'static,
     ) -> RddRef<U> {
-        RddRef::new(Arc::new(MapPartitionsRdd::new(self.inner.clone(), Arc::new(f))))
+        RddRef::new(Arc::new(MapPartitionsRdd::new(
+            self.inner.clone(),
+            Arc::new(f),
+        )))
     }
 
     /// Concatenate two RDDs (partitions of both, in order).
     pub fn union(&self, other: &RddRef<T>) -> RddRef<T> {
-        RddRef::new(Arc::new(UnionRdd::new(vec![self.inner.clone(), other.inner.clone()])))
+        RddRef::new(Arc::new(UnionRdd::new(vec![
+            self.inner.clone(),
+            other.inner.clone(),
+        ])))
     }
 
     /// Pairwise combine equal-numbered partitions of two RDDs.
@@ -190,7 +205,10 @@ impl<T: Data> RddRef<T> {
     /// Reduce the number of partitions without a shuffle by grouping
     /// consecutive parent partitions.
     pub fn coalesce(&self, num_partitions: usize) -> RddRef<T> {
-        RddRef::new(Arc::new(CoalescedRdd::new(self.inner.clone(), num_partitions.max(1))))
+        RddRef::new(Arc::new(CoalescedRdd::new(
+            self.inner.clone(),
+            num_partitions.max(1),
+        )))
     }
 
     /// Persist computed partitions in the cache manager; later jobs read
@@ -280,7 +298,8 @@ impl<T: Data> RddRef<T> {
 
     /// Run `f` for its side effects on every element.
     pub fn for_each(&self, f: impl Fn(T) + Send + Sync + 'static) {
-        self.run_job(move |_, it| it.for_each(&f)).expect("job failed");
+        self.run_job(move |_, it| it.for_each(&f))
+            .expect("job failed");
     }
 }
 

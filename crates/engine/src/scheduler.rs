@@ -107,11 +107,22 @@ fn run_tasks<R: Send + 'static>(
         let sc2 = sc.clone();
         sc.pool().execute(move || {
             Metrics::add(&sc2.metrics().tasks_launched, 1);
-            let tc = TaskContext { stage_id, partition, attempt };
+            let tc = TaskContext {
+                stage_id,
+                partition,
+                attempt,
+            };
             if let Some(inj) = &injector {
-                if inj(FailureSite { stage_id, partition, attempt }) {
-                    let _ =
-                        tx.send((partition, attempt, TaskOutcome::Failed("injected task failure".into())));
+                if inj(FailureSite {
+                    stage_id,
+                    partition,
+                    attempt,
+                }) {
+                    let _ = tx.send((
+                        partition,
+                        attempt,
+                        TaskOutcome::Failed("injected task failure".into()),
+                    ));
                     return;
                 }
             }
@@ -136,7 +147,10 @@ fn run_tasks<R: Send + 'static>(
             }
             let start = std::time::Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| task(&tc)));
-            Metrics::add(&sc2.metrics().task_time_ns, start.elapsed().as_nanos() as u64);
+            Metrics::add(
+                &sc2.metrics().task_time_ns,
+                start.elapsed().as_nanos() as u64,
+            );
             let outcome = match result {
                 Ok(r) => TaskOutcome::Ok(r),
                 Err(p) => match p.downcast_ref::<FetchFailedSignal>() {
@@ -151,8 +165,11 @@ fn run_tasks<R: Send + 'static>(
         });
     };
 
-    let index: HashMap<usize, usize> =
-        partitions.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let index: HashMap<usize, usize> = partitions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i))
+        .collect();
     for &p in &partitions {
         submit(p, 0);
     }
@@ -209,7 +226,10 @@ fn run_tasks<R: Send + 'static>(
             }
         }
     }
-    Ok(results.into_iter().map(|r| r.expect("task result")).collect())
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("task result"))
+        .collect())
 }
 
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {

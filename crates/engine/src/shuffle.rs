@@ -110,7 +110,13 @@ impl ShuffleManager {
     /// output was newly registered, false when it overwrote an existing
     /// one (a speculative or retried task) — callers use this to avoid
     /// double-counting shuffle-write metrics.
-    pub fn put(&self, shuffle_id: usize, map_id: usize, bucket: Bucket, bucket_bytes: Vec<u64>) -> bool {
+    pub fn put(
+        &self,
+        shuffle_id: usize,
+        map_id: usize,
+        bucket: Bucket,
+        bucket_bytes: Vec<u64>,
+    ) -> bool {
         let owner = crate::pool::current_executor().unwrap_or(usize::MAX);
         let mut st = self.state.lock();
         let fresh = st.outputs.insert((shuffle_id, map_id), bucket).is_none();
@@ -192,14 +198,21 @@ impl ShuffleManager {
 
     /// Fetch the output of one map task, if present.
     pub fn get(&self, shuffle_id: usize, map_id: usize) -> Option<Bucket> {
-        self.state.lock().outputs.get(&(shuffle_id, map_id)).cloned()
+        self.state
+            .lock()
+            .outputs
+            .get(&(shuffle_id, map_id))
+            .cloned()
     }
 
     /// True when every one of `num_maps` map partitions has reported.
     /// Also remembers completion (see [`ShuffleManager::ever_complete`]).
     pub fn is_complete(&self, shuffle_id: usize, num_maps: usize) -> bool {
         let mut st = self.state.lock();
-        let complete = st.completed.get(&shuffle_id).is_some_and(|s| s.len() >= num_maps);
+        let complete = st
+            .completed
+            .get(&shuffle_id)
+            .is_some_and(|s| s.len() >= num_maps);
         if complete {
             st.ever_completed.insert(shuffle_id);
         }
@@ -439,14 +452,18 @@ where
             bytes += b;
             bucket_bytes.push(b);
         }
-        let fresh = self
-            .ctx
-            .shuffle_manager()
-            .put(self.shuffle_id, map_partition, Self::erase(buckets), bucket_bytes);
+        let fresh = self.ctx.shuffle_manager().put(
+            self.shuffle_id,
+            map_partition,
+            Self::erase(buckets),
+            bucket_bytes,
+        );
         // Only count output the store newly registered; a retried map task
         // overwriting its own bucket must not inflate shuffle volume.
         if fresh {
-            self.ctx.metrics().record_shuffle_write(self.shuffle_id, written, bytes);
+            self.ctx
+                .metrics()
+                .record_shuffle_write(self.shuffle_id, written, bytes);
         }
     }
 }

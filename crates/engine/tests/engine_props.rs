@@ -29,8 +29,11 @@ fn map_filter_matches_iterator() {
             .map(|x| x as i64 * 3)
             .filter(|x| x % 2 == 0)
             .collect();
-        let want: Vec<i64> =
-            data.iter().map(|&x| x as i64 * 3).filter(|x| x % 2 == 0).collect();
+        let want: Vec<i64> = data
+            .iter()
+            .map(|&x| x as i64 * 3)
+            .filter(|x| x % 2 == 0)
+            .collect();
         assert_eq!(got, want);
     }
 }
@@ -94,8 +97,11 @@ fn distinct_equals_set() {
         let data: Vec<i32> = (0..len).map(|_| rng.random_range(0i32..40)).collect();
         let mut got = sc.parallelize(data.clone(), 4).distinct(3).collect();
         got.sort_unstable();
-        let mut want: Vec<i32> = data.into_iter().collect::<std::collections::BTreeSet<_>>()
-            .into_iter().collect();
+        let mut want: Vec<i32> = data
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
@@ -143,7 +149,10 @@ fn union_preserves_multiplicity() {
         };
         let a = shorts(&mut rng);
         let b = shorts(&mut rng);
-        let got = sc.parallelize(a.clone(), 3).union(&sc.parallelize(b.clone(), 2)).collect();
+        let got = sc
+            .parallelize(a.clone(), 3)
+            .union(&sc.parallelize(b.clone(), 2))
+            .collect();
         let mut want = a;
         want.extend(b);
         assert_eq!(got, want);

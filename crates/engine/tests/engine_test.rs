@@ -12,15 +12,18 @@ fn map_filter_pipeline() {
     let sc = SparkContext::new(4);
     let rdd = sc.parallelize((0..1000i64).collect(), 8);
     let out = rdd.map(|x| x * 2).filter(|x| x % 3 == 0).count();
-    assert_eq!(out, (0..1000i64).filter(|x| (x * 2) % 3 == 0).count() as u64);
+    assert_eq!(
+        out,
+        (0..1000i64).filter(|x| (x * 2) % 3 == 0).count() as u64
+    );
 }
 
 #[test]
 fn flat_map_and_union() {
     let sc = SparkContext::new(2);
-    let a = sc.parallelize(vec!["a b", "c"], 2).flat_map(|s: &str| {
-        s.split(' ').map(|w| w.to_string()).collect::<Vec<_>>()
-    });
+    let a = sc
+        .parallelize(vec!["a b", "c"], 2)
+        .flat_map(|s: &str| s.split(' ').map(|w| w.to_string()).collect::<Vec<_>>());
     let b = sc.parallelize(vec!["d".to_string()], 1);
     let mut out = a.union(&b).collect();
     out.sort();
@@ -76,7 +79,11 @@ fn aggregate_by_key_computes_averages() {
         .into_iter()
         .collect();
     for k in 0..10i64 {
-        let vals: Vec<f64> = pairs.iter().filter(|(kk, _)| *kk == k).map(|(_, v)| *v).collect();
+        let vals: Vec<f64> = pairs
+            .iter()
+            .filter(|(kk, _)| *kk == k)
+            .map(|(_, v)| *v)
+            .collect();
         let want = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!((avgs[&k] - want).abs() < 1e-9);
     }
@@ -229,7 +236,10 @@ fn shuffle_reuse_skips_map_stage() {
     let written_once = Metrics::get(&sc.metrics().shuffle_records_written);
     rdd.count();
     // Second job reuses the shuffle output (stage skipping).
-    assert_eq!(Metrics::get(&sc.metrics().shuffle_records_written), written_once);
+    assert_eq!(
+        Metrics::get(&sc.metrics().shuffle_records_written),
+        written_once
+    );
 }
 
 #[test]

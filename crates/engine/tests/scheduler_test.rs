@@ -8,14 +8,19 @@
 
 use engine::metrics::Metrics;
 use engine::scheduler::collect_shuffle_dependencies;
-use engine::{ChaosConf, ChaosPlan, EngineError, HashPartitioner, MaterializedShuffle, PairRdd, SparkContext};
+use engine::{
+    ChaosConf, ChaosPlan, EngineError, HashPartitioner, MaterializedShuffle, PairRdd, SparkContext,
+};
 use std::sync::Arc;
 
 #[test]
 fn narrow_only_jobs_have_no_shuffle_stages() {
     let sc = SparkContext::new(2);
     sc.set_chaos(None);
-    let rdd = sc.parallelize((0..100i64).collect(), 4).map(|x| x + 1).filter(|x| x % 2 == 0);
+    let rdd = sc
+        .parallelize((0..100i64).collect(), 4)
+        .map(|x| x + 1)
+        .filter(|x| x % 2 == 0);
     let deps = collect_shuffle_dependencies(rdd.as_inner());
     assert!(deps.is_empty());
     rdd.count();
@@ -31,7 +36,9 @@ fn chained_shuffles_order_parents_first() {
     let stage1 = sc
         .parallelize((0..100i64).map(|i| (i % 10, i)).collect(), 4)
         .reduce_by_key(|a, b| a + b, 4);
-    let stage2 = stage1.map(|(k, v)| (k % 2, v)).reduce_by_key(|a, b| a + b, 2);
+    let stage2 = stage1
+        .map(|(k, v)| (k % 2, v))
+        .reduce_by_key(|a, b| a + b, 2);
     let deps = collect_shuffle_dependencies(stage2.as_inner());
     assert_eq!(deps.len(), 2);
     // Parent (first shuffle) must come before the dependent one, and the
@@ -55,7 +62,11 @@ fn diamond_lineage_runs_each_shuffle_once() {
     let b = base.map(|(k, v)| (k, v - 1));
     let merged = a.union(&b);
     let deps = collect_shuffle_dependencies(merged.as_inner());
-    assert_eq!(deps.len(), 1, "shared shuffle dependency must be deduplicated");
+    assert_eq!(
+        deps.len(),
+        1,
+        "shared shuffle dependency must be deduplicated"
+    );
     assert_eq!(merged.count(), 10);
     // Map stage ran exactly once: 4 map tasks (+ 2×4 narrow result reads).
     assert_eq!(Metrics::get(&sc.metrics().stages_run), 2);
@@ -106,7 +117,10 @@ fn shuffle_metrics_reflect_combining() {
     let out = rdd.collect();
     assert_eq!(out.len(), 10);
     let written = Metrics::get(&sc.metrics().shuffle_records_written);
-    assert!(written <= 40, "map-side combine failed: {written} records written");
+    assert!(
+        written <= 40,
+        "map-side combine failed: {written} records written"
+    );
     assert_eq!(Metrics::get(&sc.metrics().shuffle_records_read), written);
 }
 
@@ -133,11 +147,23 @@ fn fetch_failure_resubmits_map_stage_and_recovers() {
     }))));
     let mut got = rdd.collect();
     got.sort();
-    assert_eq!(got, baseline, "recovered run must match the fault-free result");
+    assert_eq!(
+        got, baseline,
+        "recovered run must match the fault-free result"
+    );
     let m = sc.metrics().snapshot();
-    assert!(m.fetch_failures >= 1, "the injected fetch failure must be observed");
-    assert!(m.stage_resubmissions >= 1, "the map stage must be resubmitted");
-    assert!(m.map_tasks_recomputed >= 1, "the lost map output must be recomputed");
+    assert!(
+        m.fetch_failures >= 1,
+        "the injected fetch failure must be observed"
+    );
+    assert!(
+        m.stage_resubmissions >= 1,
+        "the map stage must be resubmitted"
+    );
+    assert!(
+        m.map_tasks_recomputed >= 1,
+        "the lost map output must be recomputed"
+    );
     // A fetch failure is not a task failure: no in-place retry happened.
     assert_eq!(m.task_failures, 0);
 }
@@ -157,14 +183,19 @@ fn stage_retry_exhaustion_names_stage_and_attempts() {
     let rdd = sc
         .parallelize((0..40i64).map(|i| (i % 4, i)).collect(), 2)
         .reduce_by_key(|a, b| a + b, 2);
-    let err = rdd.try_collect().expect_err("unrecoverable fetch failures must fail the job");
+    let err = rdd
+        .try_collect()
+        .expect_err("unrecoverable fetch failures must fail the job");
     let max = sc.conf().max_stage_retries;
     match &err {
         EngineError::StageRetriesExhausted { attempts, .. } => assert_eq!(*attempts, max),
         other => panic!("expected StageRetriesExhausted, got {other:?}"),
     }
     let msg = err.to_string();
-    assert!(msg.contains("aborted"), "error must name the aborted stage: {msg}");
+    assert!(
+        msg.contains("aborted"),
+        "error must name the aborted stage: {msg}"
+    );
     assert!(
         msg.contains(&format!("{max} map-stage resubmissions")),
         "error must state the resubmission count: {msg}"
@@ -208,7 +239,10 @@ fn executor_death_mid_materialize_is_retried_not_deadlocked() {
 fn lost_executor_shuffle_and_cache_recompute_from_lineage() {
     let sc = SparkContext::new(2);
     sc.set_chaos(None);
-    let cached = sc.parallelize((0..60i64).collect(), 4).map(|x| x * 3).cache();
+    let cached = sc
+        .parallelize((0..60i64).collect(), 4)
+        .map(|x| x * 3)
+        .cache();
     let summed = cached.map(|x| (x % 5, x)).reduce_by_key(|a, b| a + b, 2);
     let baseline = {
         let mut v = summed.collect();
@@ -228,6 +262,12 @@ fn lost_executor_shuffle_and_cache_recompute_from_lineage() {
     assert_eq!(got, baseline);
     let m = sc.metrics().snapshot();
     assert_eq!(m.executors_lost, 3);
-    assert!(m.map_tasks_recomputed >= 1, "lost map output must be recomputed");
-    assert!(m.cache_recomputes >= 1, "lost cache blocks must be recomputed");
+    assert!(
+        m.map_tasks_recomputed >= 1,
+        "lost map output must be recomputed"
+    );
+    assert!(
+        m.cache_recomputes >= 1,
+        "lost cache blocks must be recomputed"
+    );
 }

@@ -77,10 +77,16 @@ impl Transformer for HashingTF {
                         )))
                     }
                 };
-                Ok(VectorUdt::to_value(&HashingTF::featurize(&words, num_features)))
+                Ok(VectorUdt::to_value(&HashingTF::featurize(
+                    &words,
+                    num_features,
+                )))
             }),
         });
-        let expr = Expr::Udf { udf, args: vec![col(self.input_col.as_str())] };
+        let expr = Expr::Udf {
+            udf,
+            args: vec![col(self.input_col.as_str())],
+        };
         df.with_column(&self.output_col, expr)
     }
 }
@@ -101,12 +107,22 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Same term always lands in the same bucket.
-        assert_eq!(HashingTF::bucket("spark", 100), HashingTF::bucket("spark", 100));
+        assert_eq!(
+            HashingTF::bucket("spark", 100),
+            HashingTF::bucket("spark", 100)
+        );
     }
 
     #[test]
     fn empty_input_gives_empty_vector() {
         let v = HashingTF::featurize(&[], 8);
-        assert_eq!(v, Vector::Sparse { size: 8, indices: vec![], values: vec![] });
+        assert_eq!(
+            v,
+            Vector::Sparse {
+                size: 8,
+                indices: vec![],
+                values: vec![]
+            }
+        );
     }
 }

@@ -67,11 +67,13 @@ impl Estimator for LogisticRegression {
         // Project to (features, label) and keep the RDD cached across
         // gradient iterations — the iterative workload §3.6 calls out.
         let pairs = df
-            .select(vec![col(self.features_col.as_str()), col(self.label_col.as_str())])?
+            .select(vec![
+                col(self.features_col.as_str()),
+                col(self.label_col.as_str()),
+            ])?
             .to_rdd()?
             .map(|row| {
-                let features =
-                    VectorUdt::from_value(row.get(0)).expect("features must be vectors");
+                let features = VectorUdt::from_value(row.get(0)).expect("features must be vectors");
                 let label = row.get(1).as_f64().unwrap_or(0.0);
                 (features, label)
             })
@@ -167,7 +169,10 @@ impl LogisticRegressionModel {
                 Ok(Value::Double(model.predict(&v)))
             }),
         });
-        Expr::Udf { udf, args: vec![input] }
+        Expr::Udf {
+            udf,
+            args: vec![input],
+        }
     }
 }
 
@@ -184,7 +189,9 @@ impl Transformer for LogisticRegressionModel {
 
 /// Fraction of rows where `prediction_col == label_col`.
 pub fn accuracy(df: &DataFrame, prediction_col: &str, label_col: &str) -> Result<f64> {
-    let rows = df.select(vec![col(prediction_col), col(label_col)])?.collect()?;
+    let rows = df
+        .select(vec![col(prediction_col), col(label_col)])?
+        .collect()?;
     if rows.is_empty() {
         return Ok(0.0);
     }

@@ -16,7 +16,10 @@ pub struct Tokenizer {
 impl Tokenizer {
     /// Create with input/output column names.
     pub fn new(input_col: impl Into<String>, output_col: impl Into<String>) -> Self {
-        Tokenizer { input_col: input_col.into(), output_col: output_col.into() }
+        Tokenizer {
+            input_col: input_col.into(),
+            output_col: output_col.into(),
+        }
     }
 }
 
@@ -30,7 +33,10 @@ impl Transformer for Tokenizer {
             func: ScalarFunc::Lower,
             args: vec![col(self.input_col.as_str())],
         };
-        let words = Expr::ScalarFn { func: ScalarFunc::SplitWords, args: vec![lowered] };
+        let words = Expr::ScalarFn {
+            func: ScalarFunc::SplitWords,
+            args: vec![lowered],
+        };
         df.with_column(&self.output_col, words)
     }
 }

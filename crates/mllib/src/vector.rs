@@ -41,7 +41,9 @@ impl Vector {
     pub fn get(&self, i: usize) -> f64 {
         match self {
             Vector::Dense(v) => v.get(i).copied().unwrap_or(0.0),
-            Vector::Sparse { indices, values, .. } => indices
+            Vector::Sparse {
+                indices, values, ..
+            } => indices
                 .binary_search(&i)
                 .map(|pos| values[pos])
                 .unwrap_or(0.0),
@@ -52,7 +54,9 @@ impl Vector {
     pub fn dot(&self, weights: &[f64]) -> f64 {
         match self {
             Vector::Dense(v) => v.iter().zip(weights).map(|(a, b)| a * b).sum(),
-            Vector::Sparse { indices, values, .. } => indices
+            Vector::Sparse {
+                indices, values, ..
+            } => indices
                 .iter()
                 .zip(values)
                 .map(|(&i, &v)| v * weights.get(i).copied().unwrap_or(0.0))
@@ -68,7 +72,9 @@ impl Vector {
                     *o += scale * x;
                 }
             }
-            Vector::Sparse { indices, values, .. } => {
+            Vector::Sparse {
+                indices, values, ..
+            } => {
                 for (&i, &v) in indices.iter().zip(values) {
                     if let Some(o) = out.get_mut(i) {
                         *o += scale * v;
@@ -82,7 +88,11 @@ impl Vector {
     pub fn to_dense(&self) -> Vec<f64> {
         match self {
             Vector::Dense(v) => v.clone(),
-            Vector::Sparse { size, indices, values } => {
+            Vector::Sparse {
+                size,
+                indices,
+                values,
+            } => {
                 let mut out = vec![0.0; *size];
                 for (&i, &v) in indices.iter().zip(values) {
                     out[i] = v;
@@ -134,10 +144,16 @@ impl UserDefinedType<Vector> for VectorUdt {
                 Value::Array(Arc::new(vec![])),
                 Value::Array(Arc::new(values.iter().map(|&x| Value::Double(x)).collect())),
             ]),
-            Vector::Sparse { size, indices, values } => Row::new(vec![
+            Vector::Sparse {
+                size,
+                indices,
+                values,
+            } => Row::new(vec![
                 Value::Boolean(false),
                 Value::Int(*size as i32),
-                Value::Array(Arc::new(indices.iter().map(|&i| Value::Int(i as i32)).collect())),
+                Value::Array(Arc::new(
+                    indices.iter().map(|&i| Value::Int(i as i32)).collect(),
+                )),
                 Value::Array(Arc::new(values.iter().map(|&x| Value::Double(x)).collect())),
             ]),
         }
@@ -160,7 +176,11 @@ impl UserDefinedType<Vector> for VectorUdt {
                     .collect(),
                 _ => return Err(CatalystError::eval("bad vector indices")),
             };
-            Ok(Vector::Sparse { size, indices, values })
+            Ok(Vector::Sparse {
+                size,
+                indices,
+                values,
+            })
         }
     }
 
@@ -182,7 +202,11 @@ mod tests {
 
     #[test]
     fn sparse_roundtrip_and_access() {
-        let v = Vector::Sparse { size: 10, indices: vec![1, 7], values: vec![0.5, -2.0] };
+        let v = Vector::Sparse {
+            size: 10,
+            indices: vec![1, 7],
+            values: vec![0.5, -2.0],
+        };
         let value = VectorUdt::to_value(&v);
         let back = VectorUdt::from_value(&value).unwrap();
         assert_eq!(back, v);
@@ -194,7 +218,11 @@ mod tests {
     #[test]
     fn dot_products_agree_between_representations() {
         let d = Vector::Dense(vec![0.0, 0.5, 0.0, -2.0]);
-        let s = Vector::Sparse { size: 4, indices: vec![1, 3], values: vec![0.5, -2.0] };
+        let s = Vector::Sparse {
+            size: 4,
+            indices: vec![1, 3],
+            values: vec![0.5, -2.0],
+        };
         let w = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(d.dot(&w), s.dot(&w));
         assert_eq!(d.to_dense(), s.to_dense());
@@ -202,7 +230,11 @@ mod tests {
 
     #[test]
     fn add_scaled() {
-        let s = Vector::Sparse { size: 3, indices: vec![0, 2], values: vec![1.0, 2.0] };
+        let s = Vector::Sparse {
+            size: 3,
+            indices: vec![0, 2],
+            values: vec![1.0, 2.0],
+        };
         let mut buf = vec![0.0; 3];
         s.add_scaled_into(2.0, &mut buf);
         assert_eq!(buf, vec![2.0, 0.0, 4.0]);

@@ -34,9 +34,7 @@ fn figure7_pipeline_learns_to_separate() {
     let pipeline = Pipeline::new()
         .add_transformer(Tokenizer::new("text", "words"))
         .add_transformer(HashingTF::new("words", "features", 256))
-        .add_estimator(
-            LogisticRegression::new("features", "label").with_iterations(60),
-        );
+        .add_estimator(LogisticRegression::new("features", "label").with_iterations(60));
     assert_eq!(
         pipeline.stage_names(),
         vec!["tokenizer", "hashing_tf", "logistic_regression"]
@@ -108,7 +106,10 @@ fn predictions_on_fresh_data() {
         .create_dataframe(
             schema,
             vec![
-                Row::new(vec![Value::str("distributed spark engine"), Value::Double(1.0)]),
+                Row::new(vec![
+                    Value::str("distributed spark engine"),
+                    Value::Double(1.0),
+                ]),
                 Row::new(vec![Value::str("tasty soup dinner"), Value::Double(0.0)]),
             ],
         )
@@ -123,9 +124,15 @@ fn predictions_on_fresh_data() {
 fn empty_training_set_errors() {
     let ctx = SQLContext::new_local(1);
     let schema = Arc::new(Schema::new(vec![
-        StructField::new("features", catalyst::udt::UserDefinedType::data_type(&mllib::VectorUdt), false),
+        StructField::new(
+            "features",
+            catalyst::udt::UserDefinedType::data_type(&mllib::VectorUdt),
+            false,
+        ),
         StructField::new("label", DataType::Double, false),
     ]));
     let df = ctx.create_dataframe(schema, vec![]).unwrap();
-    assert!(LogisticRegression::new("features", "label").fit(&df).is_err());
+    assert!(LogisticRegression::new("features", "label")
+        .fit(&df)
+        .is_err());
 }

@@ -124,7 +124,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 if i >= n {
-                    return Err(CatalystError::Parse("unterminated quoted identifier".into()));
+                    return Err(CatalystError::Parse(
+                        "unterminated quoted identifier".into(),
+                    ));
                 }
                 tokens.push(Token::QuotedIdent(chars[start..i].iter().collect()));
                 i += 1;
@@ -234,7 +236,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             ';' => i += 1, // trailing semicolons are harmless
             other => {
-                return Err(CatalystError::Parse(format!("unexpected character '{other}'")));
+                return Err(CatalystError::Parse(format!(
+                    "unexpected character '{other}'"
+                )));
             }
         }
     }
@@ -273,7 +277,9 @@ mod tests {
     fn comments_are_skipped() {
         let t = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
         assert!(t.contains(&Token::Number(2)));
-        assert!(!t.iter().any(|t| matches!(t, Token::Ident(s) if s == "trailing")));
+        assert!(!t
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "trailing")));
     }
 
     #[test]

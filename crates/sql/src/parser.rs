@@ -23,7 +23,9 @@ pub fn parse(sql: &str) -> Result<Statement> {
 pub fn parse_query(sql: &str) -> Result<LogicalPlan> {
     match parse(sql)? {
         Statement::Query(p) => Ok(p),
-        other => Err(CatalystError::Parse(format!("expected a query, got {other:?}"))),
+        other => Err(CatalystError::Parse(format!(
+            "expected a query, got {other:?}"
+        ))),
     }
 }
 
@@ -62,7 +64,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(CatalystError::Parse(format!("expected {kw}, found '{}'", self.peek())))
+            Err(CatalystError::Parse(format!(
+                "expected {kw}, found '{}'",
+                self.peek()
+            )))
         }
     }
 
@@ -79,14 +84,19 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(CatalystError::Parse(format!("expected '{t}', found '{}'", self.peek())))
+            Err(CatalystError::Parse(format!(
+                "expected '{t}', found '{}'",
+                self.peek()
+            )))
         }
     }
 
     fn expect_eof(&mut self) -> Result<()> {
         match self.peek() {
             Token::Eof => Ok(()),
-            other => Err(CatalystError::Parse(format!("unexpected trailing input at '{other}'"))),
+            other => Err(CatalystError::Parse(format!(
+                "unexpected trailing input at '{other}'"
+            ))),
         }
     }
 
@@ -94,7 +104,9 @@ impl Parser {
         match self.next() {
             Token::Ident(s) => Ok(s),
             Token::QuotedIdent(s) => Ok(s),
-            other => Err(CatalystError::Parse(format!("expected identifier, found '{other}'"))),
+            other => Err(CatalystError::Parse(format!(
+                "expected identifier, found '{other}'"
+            ))),
         }
     }
 
@@ -111,12 +123,16 @@ impl Parser {
         if self.at_keyword("CACHE") {
             self.next();
             self.expect_keyword("TABLE")?;
-            return Ok(Statement::CacheTable { name: self.ident()? });
+            return Ok(Statement::CacheTable {
+                name: self.ident()?,
+            });
         }
         if self.at_keyword("UNCACHE") {
             self.next();
             self.expect_keyword("TABLE")?;
-            return Ok(Statement::UncacheTable { name: self.ident()? });
+            return Ok(Statement::UncacheTable {
+                name: self.ident()?,
+            });
         }
         if self.at_keyword("SHOW") {
             self.next();
@@ -125,7 +141,9 @@ impl Parser {
         }
         if self.at_keyword("DESCRIBE") || self.at_keyword("DESC") {
             self.next();
-            return Ok(Statement::Describe { name: self.ident()? });
+            return Ok(Statement::Describe {
+                name: self.ident()?,
+            });
         }
         if self.at_keyword("SET") {
             self.next();
@@ -139,7 +157,10 @@ impl Parser {
     /// bare token run (`false`, `8`, `64k`, `2.5`).
     fn set_statement(&mut self) -> Result<Statement> {
         if matches!(self.peek(), Token::Eof) {
-            return Ok(Statement::Set { key: None, value: None });
+            return Ok(Statement::Set {
+                key: None,
+                value: None,
+            });
         }
         let mut key = self.ident()?;
         while self.eat(&Token::Dot) {
@@ -147,7 +168,10 @@ impl Parser {
             key.push_str(&self.ident()?);
         }
         if !self.eat(&Token::Eq) {
-            return Ok(Statement::Set { key: Some(key), value: None });
+            return Ok(Statement::Set {
+                key: Some(key),
+                value: None,
+            });
         }
         let value = match self.peek().clone() {
             Token::StringLit(s) => {
@@ -178,12 +202,17 @@ impl Parser {
                     }
                 }
                 if out.is_empty() {
-                    return Err(CatalystError::Parse("SET is missing a value after '='".into()));
+                    return Err(CatalystError::Parse(
+                        "SET is missing a value after '='".into(),
+                    ));
                 }
                 out
             }
         };
-        Ok(Statement::Set { key: Some(key), value: Some(value) })
+        Ok(Statement::Set {
+            key: Some(key),
+            value: Some(value),
+        })
     }
 
     fn create_temp_table(&mut self) -> Result<Statement> {
@@ -218,8 +247,17 @@ impl Parser {
             }
             self.expect(&Token::RParen)?;
         }
-        let query = if self.eat_keyword("AS") { Some(self.query()?) } else { None };
-        Ok(Statement::CreateTempTable { name, provider, options, query })
+        let query = if self.eat_keyword("AS") {
+            Some(self.query()?)
+        } else {
+            None
+        };
+        Ok(Statement::CreateTempTable {
+            name,
+            provider,
+            options,
+            query,
+        })
     }
 
     // ---- queries ----
@@ -301,7 +339,11 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let is_aggregate = !group_by.is_empty()
             || items.iter().any(|(e, _)| contains_agg_call(e))
@@ -319,9 +361,7 @@ impl Parser {
                         let name = e.auto_name();
                         let needs = !matches!(
                             e,
-                            Expr::UnresolvedAttribute { .. }
-                                | Expr::Column(_)
-                                | Expr::Alias { .. }
+                            Expr::UnresolvedAttribute { .. } | Expr::Column(_) | Expr::Alias { .. }
                         );
                         (e, name, needs)
                     }
@@ -450,7 +490,11 @@ impl Parser {
                 break;
             };
             let right = self.table_ref()?;
-            let condition = if self.eat_keyword("ON") { Some(self.expr()?) } else { None };
+            let condition = if self.eat_keyword("ON") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             let jt = if condition.is_none() && join_type == JoinType::Inner {
                 JoinType::Cross
             } else {
@@ -534,11 +578,19 @@ impl Parser {
                 self.next();
                 let negated = self.eat_keyword("NOT");
                 self.expect_keyword("NULL")?;
-                e = if negated { e.is_not_null() } else { e.is_null() };
+                e = if negated {
+                    e.is_not_null()
+                } else {
+                    e.is_null()
+                };
             } else if self.at_keyword("LIKE") {
                 self.next();
                 let pattern = self.additive()?;
-                e = Expr::Like { expr: Box::new(e), pattern: Box::new(pattern), negated: false };
+                e = Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(pattern),
+                    negated: false,
+                };
             } else if self.at_keyword("IN") {
                 self.next();
                 self.expect(&Token::LParen)?;
@@ -550,7 +602,11 @@ impl Parser {
                     }
                 }
                 self.expect(&Token::RParen)?;
-                e = Expr::InList { expr: Box::new(e), list, negated: false };
+                e = Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: false,
+                };
             } else if self.at_keyword("BETWEEN") {
                 self.next();
                 let low = self.additive()?;
@@ -580,7 +636,11 @@ impl Parser {
                         }
                     }
                     self.expect(&Token::RParen)?;
-                    e = Expr::InList { expr: Box::new(e), list, negated: true };
+                    e = Expr::InList {
+                        expr: Box::new(e),
+                        list,
+                        negated: true,
+                    };
                 } else if self.at_keyword("BETWEEN") {
                     self.next();
                     let low = self.additive()?;
@@ -637,11 +697,13 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr> {
         match self.next() {
-            Token::Number(n) => Ok(Expr::Literal(if n >= i32::MIN as i64 && n <= i32::MAX as i64 {
-                Value::Int(n as i32)
-            } else {
-                Value::Long(n)
-            })),
+            Token::Number(n) => Ok(Expr::Literal(
+                if n >= i32::MIN as i64 && n <= i32::MAX as i64 {
+                    Value::Int(n as i32)
+                } else {
+                    Value::Long(n)
+                },
+            )),
             Token::Float(v) => Ok(Expr::Literal(Value::Double(v))),
             Token::StringLit(s) => Ok(Expr::Literal(Value::str(s))),
             Token::Star => Ok(Expr::Wildcard { qualifier: None }),
@@ -710,7 +772,11 @@ impl Parser {
                 }
             }
             self.expect(&Token::RParen)?;
-            return Ok(Expr::UnresolvedFunction { name: word, args, distinct });
+            return Ok(Expr::UnresolvedFunction {
+                name: word,
+                args,
+                distinct,
+            });
         }
 
         self.dotted_reference(word)
@@ -719,13 +785,21 @@ impl Parser {
     /// `a`, `a.b`, `a.b.c`, `a.*`.
     fn dotted_reference(&mut self, first: String) -> Result<Expr> {
         if !self.eat(&Token::Dot) {
-            return Ok(Expr::UnresolvedAttribute { qualifier: None, name: first });
+            return Ok(Expr::UnresolvedAttribute {
+                qualifier: None,
+                name: first,
+            });
         }
         if self.eat(&Token::Star) {
-            return Ok(Expr::Wildcard { qualifier: Some(first) });
+            return Ok(Expr::Wildcard {
+                qualifier: Some(first),
+            });
         }
         let second = self.ident()?;
-        let mut e = Expr::UnresolvedAttribute { qualifier: Some(first), name: second };
+        let mut e = Expr::UnresolvedAttribute {
+            qualifier: Some(first),
+            name: second,
+        };
         // Deeper paths are struct-field accesses.
         while self.eat(&Token::Dot) {
             let field = self.ident()?;
@@ -748,7 +822,9 @@ impl Parser {
             branches.push((cond, result));
         }
         if branches.is_empty() {
-            return Err(CatalystError::Parse("CASE requires at least one WHEN".into()));
+            return Err(CatalystError::Parse(
+                "CASE requires at least one WHEN".into(),
+            ));
         }
         let else_expr = if self.eat_keyword("ELSE") {
             Some(Box::new(self.expr()?))
@@ -756,7 +832,11 @@ impl Parser {
             None
         };
         self.expect_keyword("END")?;
-        Ok(Expr::Case { operand, branches, else_expr })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
     }
 
     fn type_name(&mut self) -> Result<DataType> {
@@ -821,11 +901,49 @@ fn contains_agg_call(e: &Expr) -> bool {
 /// Keywords that terminate a bare alias position.
 fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
-        "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "AS", "UNION",
-        "ALL", "DISTINCT", "CASE", "WHEN", "THEN", "ELSE", "END", "LIKE", "IN", "IS", "NULL",
-        "BETWEEN", "ASC", "DESC", "USING", "OPTIONS", "CREATE", "TEMPORARY", "TABLE", "CACHE",
-        "UNCACHE", "EXPLAIN",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "CROSS",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "AS",
+        "UNION",
+        "ALL",
+        "DISTINCT",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "LIKE",
+        "IN",
+        "IS",
+        "NULL",
+        "BETWEEN",
+        "ASC",
+        "DESC",
+        "USING",
+        "OPTIONS",
+        "CREATE",
+        "TEMPORARY",
+        "TABLE",
+        "CACHE",
+        "UNCACHE",
+        "EXPLAIN",
     ];
     RESERVED.iter().any(|k| k.eq_ignore_ascii_case(word))
 }

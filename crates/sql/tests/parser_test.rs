@@ -19,10 +19,19 @@ fn count_nodes(plan: &LogicalPlan, pred: impl Fn(&LogicalPlan) -> bool) -> usize
 #[test]
 fn simple_select() {
     let p = parse_query("SELECT a, b FROM t WHERE a > 1").unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 1);
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })), 1);
     assert_eq!(
-        count_nodes(&p, |p| matches!(p, LogicalPlan::UnresolvedRelation { name } if name == "t")),
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })),
+        1
+    );
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })),
+        1
+    );
+    assert_eq!(
+        count_nodes(
+            &p,
+            |p| matches!(p, LogicalPlan::UnresolvedRelation { name } if name == "t")
+        ),
         1
     );
 }
@@ -30,24 +39,44 @@ fn simple_select() {
 #[test]
 fn select_star_has_no_projection() {
     let p = parse_query("SELECT * FROM t").unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 0);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })),
+        0
+    );
 }
 
 #[test]
 fn qualified_star_keeps_projection() {
     let p = parse_query("SELECT t.* FROM t").unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })),
+        1
+    );
 }
 
 #[test]
 fn arithmetic_precedence() {
     let p = parse_query("SELECT 1 + 2 * 3 AS x").unwrap();
     // Expect Add(1, Mul(2, 3)).
-    let LogicalPlan::Project { exprs, .. } = &p else { panic!("{p}") };
-    let Expr::Alias { child, .. } = &exprs[0] else { panic!() };
+    let LogicalPlan::Project { exprs, .. } = &p else {
+        panic!("{p}")
+    };
+    let Expr::Alias { child, .. } = &exprs[0] else {
+        panic!()
+    };
     match &**child {
-        Expr::BinaryOp { op: BinaryOperator::Add, right, .. } => {
-            assert!(matches!(&**right, Expr::BinaryOp { op: BinaryOperator::Mul, .. }));
+        Expr::BinaryOp {
+            op: BinaryOperator::Add,
+            right,
+            ..
+        } => {
+            assert!(matches!(
+                &**right,
+                Expr::BinaryOp {
+                    op: BinaryOperator::Mul,
+                    ..
+                }
+            ));
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -60,7 +89,13 @@ fn and_or_precedence() {
     p.for_each(&mut |n| {
         if let LogicalPlan::Filter { predicate, .. } = n {
             // OR at the top: a=1 OR (b=2 AND c=3).
-            assert!(matches!(predicate, Expr::BinaryOp { op: BinaryOperator::Or, .. }));
+            assert!(matches!(
+                predicate,
+                Expr::BinaryOp {
+                    op: BinaryOperator::Or,
+                    ..
+                }
+            ));
             found = true;
         }
     });
@@ -69,10 +104,8 @@ fn and_or_precedence() {
 
 #[test]
 fn joins_parse_with_types() {
-    let p = parse_query(
-        "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id",
-    )
-    .unwrap();
+    let p =
+        parse_query("SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id").unwrap();
     let mut types = vec![];
     p.for_each(&mut |n| {
         if let LogicalPlan::Join { join_type, .. } = n {
@@ -97,7 +130,10 @@ fn comma_join_is_cross() {
 #[test]
 fn group_by_builds_aggregate() {
     let p = parse_query("SELECT dept, count(*), avg(salary) FROM emp GROUP BY dept").unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Aggregate { .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Aggregate { .. })),
+        1
+    );
 }
 
 #[test]
@@ -116,9 +152,18 @@ fn implicit_global_aggregate() {
 fn having_adds_filter_and_projection() {
     let p = parse_query("SELECT dept, count(*) AS n FROM emp GROUP BY dept HAVING count(*) > 5")
         .unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Aggregate { .. })), 1);
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })), 1);
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Aggregate { .. })),
+        1
+    );
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })),
+        1
+    );
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Project { .. })),
+        1
+    );
 }
 
 #[test]
@@ -131,13 +176,16 @@ fn order_and_limit() {
         }
     });
     assert_eq!(orders, Some((2, false, true)));
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Limit { n: 10, .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Limit { n: 10, .. })),
+        1
+    );
 }
 
 #[test]
 fn union_all_chains() {
-    let p = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v")
-        .unwrap();
+    let p =
+        parse_query("SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v").unwrap();
     let mut width = None;
     p.for_each(&mut |n| {
         if let LogicalPlan::Union { inputs } = n {
@@ -151,7 +199,10 @@ fn union_all_chains() {
 fn subquery_in_from() {
     let p = parse_query("SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 0").unwrap();
     assert_eq!(
-        count_nodes(&p, |p| matches!(p, LogicalPlan::SubqueryAlias { alias, .. } if alias.as_ref() == "sub")),
+        count_nodes(
+            &p,
+            |p| matches!(p, LogicalPlan::SubqueryAlias { alias, .. } if alias.as_ref() == "sub")
+        ),
         1
     );
 }
@@ -183,8 +234,11 @@ fn case_when_like_in_between() {
 
 #[test]
 fn cast_and_literals() {
-    let p = parse_query("SELECT CAST('12' AS INT), TRUE, NULL, -3, 2.5, DATE '2015-01-01'").unwrap();
-    let LogicalPlan::Project { exprs, .. } = &p else { panic!() };
+    let p =
+        parse_query("SELECT CAST('12' AS INT), TRUE, NULL, -3, 2.5, DATE '2015-01-01'").unwrap();
+    let LogicalPlan::Project { exprs, .. } = &p else {
+        panic!()
+    };
     assert_eq!(exprs.len(), 6);
     assert!(matches!(&exprs[0], Expr::Cast { .. }));
     assert!(matches!(&exprs[1], Expr::Literal(Value::Boolean(true))));
@@ -218,7 +272,12 @@ fn create_temp_table_using_options() {
     )
     .unwrap();
     match stmt {
-        Statement::CreateTempTable { name, provider, options, query } => {
+        Statement::CreateTempTable {
+            name,
+            provider,
+            options,
+            query,
+        } => {
             assert_eq!(name, "messages");
             assert_eq!(provider, "avro");
             assert_eq!(options["path"], "messages.avro");
@@ -234,7 +293,10 @@ fn cache_and_explain() {
         parse("CACHE TABLE t").unwrap(),
         Statement::CacheTable { name } if name == "t"
     ));
-    assert!(matches!(parse("EXPLAIN SELECT 1").unwrap(), Statement::Explain(_)));
+    assert!(matches!(
+        parse("EXPLAIN SELECT 1").unwrap(),
+        Statement::Explain(_)
+    ));
 }
 
 #[test]
@@ -249,13 +311,19 @@ fn errors_are_parse_errors() {
 #[test]
 fn select_without_from() {
     let p = parse_query("SELECT 1 + 1 AS two").unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::LocalRelation { .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::LocalRelation { .. })),
+        1
+    );
 }
 
 #[test]
 fn distinct_parses() {
     let p = parse_query("SELECT DISTINCT a FROM t").unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Distinct { .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Distinct { .. })),
+        1
+    );
 }
 
 #[test]
@@ -267,15 +335,23 @@ fn genomics_range_join_shape() {
            AND a.start < b.start AND b.start < a.end",
     )
     .unwrap();
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Join { .. })), 1);
-    assert_eq!(count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })), 1);
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Join { .. })),
+        1
+    );
+    assert_eq!(
+        count_nodes(&p, |p| matches!(p, LogicalPlan::Filter { .. })),
+        1
+    );
 }
 
 #[test]
 fn nested_struct_path() {
     // Figures 5-6: SELECT loc.lat FROM tweets.
     let p = parse_query("SELECT loc.lat, loc.long FROM tweets WHERE tags IS NOT NULL").unwrap();
-    let LogicalPlan::Project { exprs, .. } = &p else { panic!("{p}") };
+    let LogicalPlan::Project { exprs, .. } = &p else {
+        panic!("{p}")
+    };
     assert!(matches!(
         &exprs[0],
         Expr::UnresolvedAttribute { qualifier: Some(q), name } if q == "loc" && name == "lat"

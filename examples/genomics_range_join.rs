@@ -69,6 +69,9 @@ fn main() -> catalyst::Result<()> {
         "speedup          : {:.1}x",
         nested_loop.as_secs_f64() / interval_tree.as_secs_f64()
     );
-    println!("\nphysical plan with the extension:\n{}", ctx.sql(q)?.explain()?);
+    println!(
+        "\nphysical plan with the extension:\n{}",
+        ctx.sql(q)?.explain()?
+    );
     Ok(())
 }

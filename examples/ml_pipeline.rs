@@ -12,7 +12,10 @@ fn main() -> catalyst::Result<()> {
     let ctx = SQLContext::new_local(4);
 
     // Register the vector UDT like MLlib does (§4.4.2 / §5.2).
-    ctx.register_udt("vector", catalyst::udt::UserDefinedType::data_type(&VectorUdt));
+    ctx.register_udt(
+        "vector",
+        catalyst::udt::UserDefinedType::data_type(&VectorUdt),
+    );
 
     // Start with a DataFrame of (text, label) records — Figure 7's input.
     let schema = Arc::new(Schema::new(vec![
@@ -22,7 +25,10 @@ fn main() -> catalyst::Result<()> {
     let mut rows = Vec::new();
     for i in 0..200 {
         let (text, label) = if i % 2 == 0 {
-            (format!("spark catalyst optimizer dataframe shuffle {i}"), 1.0)
+            (
+                format!("spark catalyst optimizer dataframe shuffle {i}"),
+                1.0,
+            )
         } else {
             (format!("garden tomato water sunshine compost {i}"), 0.0)
         };
@@ -39,8 +45,14 @@ fn main() -> catalyst::Result<()> {
 
     let model = pipeline.fit(&df)?;
     let scored = model.transform(&df)?;
-    println!("output schema (columns appended per stage): {:?}", scored.columns());
-    println!("training accuracy: {:.3}", accuracy(&scored, "prediction", "label")?);
+    println!(
+        "output schema (columns appended per stage): {:?}",
+        scored.columns()
+    );
+    println!(
+        "training accuracy: {:.3}",
+        accuracy(&scored, "prediction", "label")?
+    );
 
     // §3.7: "given a model object … register its prediction function as a
     // UDF" and use it from SQL.

@@ -22,7 +22,10 @@ fn main() -> catalyst::Result<()> {
     let rows: Vec<Row> = (0..400_000)
         .map(|_| {
             let cat = ["web", "mobile", "store"][rng.random_range(0..3usize)];
-            Row::new(vec![Value::str(cat), Value::Double(rng.random_range(0.0..100.0))])
+            Row::new(vec![
+                Value::str(cat),
+                Value::Double(rng.random_range(0.0..100.0)),
+            ])
         })
         .collect();
     ctx.register_rows("sales", schema, rows)?;
@@ -68,7 +71,11 @@ fn main() -> catalyst::Result<()> {
     last_rows.sort();
     for (est, exact) in last_rows.iter().zip(&exact_sorted) {
         let rel = (est.get_double(1) - exact.get_double(1)).abs() / exact.get_double(1);
-        println!("{}: final relative error {:.2}%", est.get_str(0), rel * 100.0);
+        println!(
+            "{}: final relative error {:.2}%",
+            est.get_str(0),
+            rel * 100.0
+        );
     }
     Ok(())
 }

@@ -47,8 +47,10 @@ fn main() -> catalyst::Result<()> {
     std::fs::write(&logs_path, logs).unwrap();
 
     // The paper's DDL, verbatim in shape:
-    ctx.sql("CREATE TEMPORARY TABLE users USING jdbc \
-             OPTIONS(driver 'mysql', url 'jdbc:mysql://userDB/users', table 'users')")?;
+    ctx.sql(
+        "CREATE TEMPORARY TABLE users USING jdbc \
+             OPTIONS(driver 'mysql', url 'jdbc:mysql://userDB/users', table 'users')",
+    )?;
     ctx.sql(&format!(
         "CREATE TEMPORARY TABLE logs USING json OPTIONS (path '{}')",
         logs_path.display()
@@ -61,7 +63,10 @@ fn main() -> catalyst::Result<()> {
     let df = ctx.sql(q)?;
     let n = df.count()?;
     println!("federated join produced {n} rows");
-    println!("bytes over the remote wire WITH pushdown:    {:>12}", db.bytes_transferred());
+    println!(
+        "bytes over the remote wire WITH pushdown:    {:>12}",
+        db.bytes_transferred()
+    );
     println!(
         "remote query actually executed (cf. §5.3):\n  {}",
         db.query_log().last().unwrap()
@@ -75,7 +80,10 @@ fn main() -> catalyst::Result<()> {
     });
     let n2 = ctx.sql(q)?.count()?;
     assert_eq!(n, n2, "same answer either way");
-    println!("bytes over the remote wire WITHOUT pushdown: {:>12}", db.bytes_transferred());
+    println!(
+        "bytes over the remote wire WITHOUT pushdown: {:>12}",
+        db.bytes_transferred()
+    );
     println!(
         "remote query without pushdown:\n  {}",
         db.query_log().last().unwrap()

@@ -19,10 +19,22 @@ fn main() -> catalyst::Result<()> {
     // the Record implementation (the paper's case-class reflection).
     let users = ctx.create_dataframe_from(
         vec![
-            User { name: "Alice".into(), age: 22 },
-            User { name: "Bob".into(), age: 19 },
-            User { name: "Carol".into(), age: 31 },
-            User { name: "Dan".into(), age: 17 },
+            User {
+                name: "Alice".into(),
+                age: 22,
+            },
+            User {
+                name: "Bob".into(),
+                age: 19,
+            },
+            User {
+                name: "Carol".into(),
+                age: 31,
+            },
+            User {
+                name: "Dan".into(),
+                age: 17,
+            },
         ],
         2,
     )?;

@@ -89,5 +89,7 @@ fn preload(ctx: &SQLContext) {
         r#"{"text": "This is another tweet", "tags": [], "loc": {"lat": 39, "long": 88.5}}"#,
         r##"{"text": "A #tweet without #location", "tags": ["#tweet", "#location"]}"##,
     ];
-    ctx.read_json_lines("tweets", tweets).unwrap().register_temp_table("tweets");
+    ctx.read_json_lines("tweets", tweets)
+        .unwrap()
+        .register_temp_table("tweets");
 }

@@ -61,7 +61,11 @@ fn main() -> catalyst::Result<()> {
         .table("rankings")?
         .where_(col("pageRank").gt(lit(9000)))?
         .select(vec![col("pageURL"), col("pageRank")])?;
-    println!("Q1: sql = {} rows, dsl = {} rows", q1_sql.count()?, q1_df.count()?);
+    println!(
+        "Q1: sql = {} rows, dsl = {} rows",
+        q1_sql.count()?,
+        q1_df.count()?
+    );
 
     // Query 2 (aggregation on a computed key).
     let q2 = ctx.sql(

@@ -115,7 +115,9 @@ impl BytesMut {
 
     /// Builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -178,13 +180,19 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(data.into_boxed_slice()), pos: 0 }
+        Bytes {
+            data: Arc::from(data.into_boxed_slice()),
+            pos: 0,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data), pos: 0 }
+        Bytes {
+            data: Arc::from(data),
+            pos: 0,
+        }
     }
 }
 
@@ -207,7 +215,10 @@ impl Buf for Bytes {
     }
 
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
-        assert!(dst.len() <= self.remaining(), "copy_to_slice past end of Bytes");
+        assert!(
+            dst.len() <= self.remaining(),
+            "copy_to_slice past end of Bytes"
+        );
         dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
         self.pos += dst.len();
     }

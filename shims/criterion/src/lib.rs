@@ -19,7 +19,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `BenchmarkId::new("func", param)` renders as `func/param`.
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
@@ -43,8 +45,8 @@ impl Bencher {
         let start = Instant::now();
         black_box(f());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
-            as u32;
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
         for _ in 0..self.sample_size {
             let start = Instant::now();
             for _ in 0..batch {
@@ -74,7 +76,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut b);
         report(&self.name, &id.to_string(), &mut b.samples);
         self
@@ -90,7 +95,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut b, input);
         report(&self.name, &id.to_string(), &mut b.samples);
         self
@@ -124,13 +132,19 @@ pub struct Criterion {
 impl Criterion {
     /// Fresh driver with default settings.
     pub fn new() -> Self {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+        }
     }
 
     /// Start a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size.max(1);
-        BenchmarkGroup { name: name.into(), sample_size, _c: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _c: self,
+        }
     }
 
     /// Run a standalone benchmark.
@@ -139,7 +153,10 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let n = self.default_sample_size.max(1);
-        let mut b = Bencher { samples: Vec::new(), sample_size: n };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: n,
+        };
         f(&mut b);
         report("bench", &id.to_string(), &mut b.samples);
         self

@@ -52,7 +52,10 @@ impl<T: Clone> IntervalTree<T> {
     /// intervals are kept (they simply never match).
     pub fn build(intervals: Vec<(f64, f64, T)>) -> Self {
         let len = intervals.len();
-        IntervalTree { root: Self::build_node(intervals), len }
+        IntervalTree {
+            root: Self::build_node(intervals),
+            len,
+        }
     }
 
     /// Number of intervals stored.
@@ -89,7 +92,11 @@ impl<T: Clone> IntervalTree<T> {
         // Degenerate split guard: if everything landed on one side pile,
         // keep it here to guarantee progress.
         if here.is_empty() && (left.is_empty() || right.is_empty()) {
-            here = if left.is_empty() { std::mem::take(&mut right) } else { std::mem::take(&mut left) };
+            here = if left.is_empty() {
+                std::mem::take(&mut right)
+            } else {
+                std::mem::take(&mut left)
+            };
         }
         let mut by_lo = here.clone();
         by_lo.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -159,7 +166,11 @@ impl ExtensionExec for IntervalJoinExec {
     fn name(&self) -> String {
         format!(
             "IntervalJoin [{} side builds tree]",
-            if self.interval_is_left { "left" } else { "right" }
+            if self.interval_is_left {
+                "left"
+            } else {
+                "right"
+            }
         )
     }
 
@@ -227,12 +238,16 @@ pub struct IntervalJoinStrategy;
 /// Normalized strict less-than: returns (smaller, larger).
 fn as_lt(e: &Expr) -> Option<(Expr, Expr)> {
     match e {
-        Expr::BinaryOp { left, op: BinaryOperator::Lt, right } => {
-            Some(((**left).clone(), (**right).clone()))
-        }
-        Expr::BinaryOp { left, op: BinaryOperator::Gt, right } => {
-            Some(((**right).clone(), (**left).clone()))
-        }
+        Expr::BinaryOp {
+            left,
+            op: BinaryOperator::Lt,
+            right,
+        } => Some(((**left).clone(), (**right).clone())),
+        Expr::BinaryOp {
+            left,
+            op: BinaryOperator::Gt,
+            right,
+        } => Some(((**right).clone(), (**left).clone())),
         _ => None,
     }
 }
@@ -261,11 +276,19 @@ impl Strategy for IntervalJoinStrategy {
         // its condition (where the optimizer's pushdown places them) or in
         // a Filter directly above it.
         let (join, extra_conjuncts) = match plan {
-            LogicalPlan::Filter { input, predicate } => ((**input).clone(), split_conjuncts(predicate)),
+            LogicalPlan::Filter { input, predicate } => {
+                ((**input).clone(), split_conjuncts(predicate))
+            }
             join @ LogicalPlan::Join { .. } => (join.clone(), vec![]),
             _ => return Ok(None),
         };
-        let LogicalPlan::Join { left, right, join_type, condition } = &join else {
+        let LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            condition,
+        } = &join
+        else {
             return Ok(None);
         };
         if !matches!(join_type, JoinType::Inner | JoinType::Cross) {
@@ -282,12 +305,16 @@ impl Strategy for IntervalJoinStrategy {
         // Find i != j with conjunct_i = (lo < k), conjunct_j = (k < hi),
         // where lo/hi live on one side and k on the other.
         for i in 0..conjuncts.len() {
-            let Some((lo, k1)) = as_lt(&conjuncts[i]) else { continue };
+            let Some((lo, k1)) = as_lt(&conjuncts[i]) else {
+                continue;
+            };
             for j in 0..conjuncts.len() {
                 if i == j {
                     continue;
                 }
-                let Some((k2, hi)) = as_lt(&conjuncts[j]) else { continue };
+                let Some((k2, hi)) = as_lt(&conjuncts[j]) else {
+                    continue;
+                };
                 if k1 != k2 {
                     continue;
                 }
@@ -358,7 +385,10 @@ mod tests {
         let mut hits: Vec<&str> = tree.query(7.2).into_iter().copied().collect();
         hits.sort();
         assert_eq!(hits, vec!["a", "b", "d"]);
-        assert!(tree.query(10.0).iter().all(|t| **t != "a"), "hi bound is strict");
+        assert!(
+            tree.query(10.0).iter().all(|t| **t != "a"),
+            "hi bound is strict"
+        );
         assert!(tree.query(0.0).is_empty(), "lo bound is strict");
         assert_eq!(tree.query(25.0), vec![&"c"]);
         assert!(tree.query(100.0).is_empty());
@@ -369,7 +399,9 @@ mod tests {
         let mut intervals = Vec::new();
         let mut state = 123456789u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64
         };
         for i in 0..500 {

@@ -82,8 +82,14 @@ pub fn online_aggregate(
             })
             .collect();
 
-        let relative_change = estimates.last().map(|prev| estimate_delta(&prev.rows, &scaled));
-        estimates.push(OnlineEstimate { fraction, rows: scaled, relative_change });
+        let relative_change = estimates
+            .last()
+            .map(|prev| estimate_delta(&prev.rows, &scaled));
+        estimates.push(OnlineEstimate {
+            fraction,
+            rows: scaled,
+            relative_change,
+        });
     }
     Ok(estimates)
 }

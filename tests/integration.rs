@@ -24,8 +24,14 @@ fn native_dataset_joins_catalog_table() {
     let users = ctx
         .create_dataframe_from(
             vec![
-                User { name: "Alice".into(), age: 22 },
-                User { name: "Bob".into(), age: 19 },
+                User {
+                    name: "Alice".into(),
+                    age: 22,
+                },
+                User {
+                    name: "Bob".into(),
+                    age: 19,
+                },
             ],
             2,
         )
@@ -54,19 +60,32 @@ fn native_dataset_joins_catalog_table() {
 #[test]
 fn relational_and_procedural_mix() {
     let ctx = SQLContext::new_local(2);
-    let schema = Arc::new(Schema::new(vec![StructField::new("n", DataType::Long, false)]));
+    let schema = Arc::new(Schema::new(vec![StructField::new(
+        "n",
+        DataType::Long,
+        false,
+    )]));
     let rows: Vec<Row> = (0..1000).map(|i| Row::new(vec![Value::Long(i)])).collect();
     let df = ctx.create_dataframe(schema, rows).unwrap();
 
     // Relational filter, procedural map, relational re-entry, SQL finish.
     let evens = df.where_(col("n").rem(lit(2i64)).eq(lit(0i64))).unwrap();
-    let squared = evens.to_rdd().unwrap().map(|r: Row| {
-        Row::new(vec![Value::Long(r.get_long(0) * r.get_long(0))])
-    });
-    let schema2 = Arc::new(Schema::new(vec![StructField::new("sq", DataType::Long, false)]));
+    let squared = evens
+        .to_rdd()
+        .unwrap()
+        .map(|r: Row| Row::new(vec![Value::Long(r.get_long(0) * r.get_long(0))]));
+    let schema2 = Arc::new(Schema::new(vec![StructField::new(
+        "sq",
+        DataType::Long,
+        false,
+    )]));
     let df2 = ctx.dataframe_from_rdd("squares", schema2, squared).unwrap();
     df2.register_temp_table("squares");
-    let out = ctx.sql("SELECT max(sq) FROM squares").unwrap().collect().unwrap();
+    let out = ctx
+        .sql("SELECT max(sq) FROM squares")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(out[0].get(0), &Value::Long(998 * 998));
 }
 
@@ -148,10 +167,16 @@ fn federation_pushdown_reduces_wire_bytes() {
     register_database("jdbc:sim://itest", db.clone());
 
     let ctx = SQLContext::new_local(2);
-    ctx.sql("CREATE TEMPORARY TABLE wide USING jdbc \
-             OPTIONS(url 'jdbc:sim://itest', table 'wide')")
+    ctx.sql(
+        "CREATE TEMPORARY TABLE wide USING jdbc \
+             OPTIONS(url 'jdbc:sim://itest', table 'wide')",
+    )
+    .unwrap();
+    let n = ctx
+        .sql("SELECT id FROM wide WHERE id < 100")
+        .unwrap()
+        .count()
         .unwrap();
-    let n = ctx.sql("SELECT id FROM wide WHERE id < 100").unwrap().count().unwrap();
     assert_eq!(n, 100);
     let pushed_bytes = db.bytes_transferred();
     assert_eq!(db.rows_transferred(), 100, "filter ran remotely");
@@ -161,7 +186,11 @@ fn federation_pushdown_reduces_wire_bytes() {
         c.pushdown_enabled = false;
         c.column_pruning_enabled = false;
     });
-    let n2 = ctx.sql("SELECT id FROM wide WHERE id < 100").unwrap().count().unwrap();
+    let n2 = ctx
+        .sql("SELECT id FROM wide WHERE id < 100")
+        .unwrap()
+        .count()
+        .unwrap();
     assert_eq!(n2, 100);
     assert_eq!(db.rows_transferred(), 2000, "everything crossed the wire");
     assert!(db.bytes_transferred() > pushed_bytes * 10);
@@ -218,7 +247,12 @@ fn cached_dataframe_matches_uncached() {
         StructField::new("x", DataType::Long, false),
     ]));
     let rows: Vec<Row> = (0..5000)
-        .map(|i| Row::new(vec![Value::str(["a", "b", "c"][i % 3]), Value::Long(i as i64)]))
+        .map(|i| {
+            Row::new(vec![
+                Value::str(["a", "b", "c"][i % 3]),
+                Value::Long(i as i64),
+            ])
+        })
         .collect();
     let df = ctx.create_dataframe(schema, rows).unwrap();
     df.register_temp_table("t");
@@ -235,14 +269,24 @@ fn cached_dataframe_matches_uncached() {
 #[test]
 fn figure10_variants_agree() {
     let ctx = SQLContext::new_local(2);
-    let schema = Arc::new(Schema::new(vec![StructField::new("text", DataType::String, false)]));
+    let schema = Arc::new(Schema::new(vec![StructField::new(
+        "text",
+        DataType::String,
+        false,
+    )]));
     let rows: Vec<Row> = (0..500)
         .map(|i| {
-            let text = if i % 10 == 0 { "noise only here" } else { "keep data word data" };
+            let text = if i % 10 == 0 {
+                "noise only here"
+            } else {
+                "keep data word data"
+            };
             Row::new(vec![Value::str(text)])
         })
         .collect();
-    ctx.create_dataframe(schema, rows).unwrap().register_temp_table("messages");
+    ctx.create_dataframe(schema, rows)
+        .unwrap()
+        .register_temp_table("messages");
 
     let filtered = ctx
         .sql("SELECT text FROM messages WHERE text LIKE '%data%'")

@@ -63,7 +63,8 @@ fn to_rows(data: &[RawRow]) -> Vec<Row> {
 fn ctx_with(data: &[RawRow], conf: spark_sql::SqlConf) -> SQLContext {
     let ctx = SQLContext::new_local(2);
     ctx.set_conf(|c| *c = conf);
-    ctx.register_rows("t", table_schema(), to_rows(data)).unwrap();
+    ctx.register_rows("t", table_schema(), to_rows(data))
+        .unwrap();
     ctx
 }
 
@@ -80,7 +81,10 @@ fn filter_matches_reference() {
             .unwrap()
             .collect()
             .unwrap();
-        let want = data.iter().filter(|(_, v, _)| v.is_some_and(|v| v > threshold)).count();
+        let want = data
+            .iter()
+            .filter(|(_, v, _)| v.is_some_and(|v| v > threshold))
+            .count();
         assert_eq!(got[0].get(0), &Value::Long(want as i64));
     }
 }
@@ -150,12 +154,19 @@ fn ablations_preserve_semantics() {
                  GROUP BY t.k ORDER BY t.k";
         let run = |conf: spark_sql::SqlConf| {
             let ctx = ctx_with(&data, conf);
-            ctx.register_rows("t2", table_schema(), to_rows(&data)).unwrap();
+            ctx.register_rows("t2", table_schema(), to_rows(&data))
+                .unwrap();
             ctx.sql(q).unwrap().collect().unwrap()
         };
         let baseline = run(spark_sql::SqlConf::default());
-        let no_codegen = run(spark_sql::SqlConf { codegen_enabled: false, ..Default::default() });
-        let shuffled = run(spark_sql::SqlConf { broadcast_threshold: 0, ..Default::default() });
+        let no_codegen = run(spark_sql::SqlConf {
+            codegen_enabled: false,
+            ..Default::default()
+        });
+        let shuffled = run(spark_sql::SqlConf {
+            broadcast_threshold: 0,
+            ..Default::default()
+        });
         let shark = run(spark_sql::SqlConf::shark_like());
         assert_eq!(&baseline, &no_codegen);
         assert_eq!(&baseline, &shuffled);
@@ -168,11 +179,29 @@ fn ablations_preserve_semantics() {
 #[test]
 fn codegen_agrees_with_interpreter() {
     let mut rng = StdRng::seed_from_u64(0x5EED_4005);
-    let x = Expr::BoundRef { index: 0, dtype: DataType::Long, nullable: true, name: "x".into() };
-    let y = Expr::BoundRef { index: 1, dtype: DataType::Long, nullable: true, name: "y".into() };
+    let x = Expr::BoundRef {
+        index: 0,
+        dtype: DataType::Long,
+        nullable: true,
+        name: "x".into(),
+    };
+    let y = Expr::BoundRef {
+        index: 1,
+        dtype: DataType::Long,
+        nullable: true,
+        name: "y".into(),
+    };
     for _ in 0..256 {
-        let a = if rng.random_bool(0.2) { None } else { Some(rng.random_range(-1000i64..1000)) };
-        let b = if rng.random_bool(0.2) { None } else { Some(rng.random_range(-1000i64..1000)) };
+        let a = if rng.random_bool(0.2) {
+            None
+        } else {
+            Some(rng.random_range(-1000i64..1000))
+        };
+        let b = if rng.random_bool(0.2) {
+            None
+        } else {
+            Some(rng.random_range(-1000i64..1000))
+        };
         let c = rng.random_range(-10i64..10);
         let op = rng.random_range(0usize..8);
         let exprs = [
