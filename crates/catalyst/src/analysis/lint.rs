@@ -1,0 +1,581 @@
+//! Static lint pass over analyzed logical plans.
+//!
+//! Consumes the same abstract interpretation as the constraint optimizer
+//! rules ([`super::constraints`]) but reports instead of rewriting:
+//! each finding is a structured [`LintDiagnostic`] carrying a stable
+//! code, a severity, and plan-node provenance (the pre-order node id and
+//! display name from [`constraints::analyze_plan`]).
+//!
+//! The pass runs over the *analyzed* plan — before optimization — so
+//! that an always-false predicate is reported even though the optimizer
+//! would silently prune it, and so node ids line up with what the user
+//! wrote rather than with a rewritten tree.
+//!
+//! Six diagnostic classes:
+//!
+//! | code | class | severity |
+//! |------|-------|----------|
+//! | `L001` | predicate can never be true | warn |
+//! | `L002` | possible division by zero | warn |
+//! | `L003` | lossy numeric cast | info |
+//! | `L004` | comparison only ever yields NULL | warn |
+//! | `L005` | aggregate over provably-constant column | info |
+//! | `L006` | duplicate projection name | warn |
+//!
+//! Every detector is deliberately narrow — it fires only on *provable*
+//! facts (a divisor whose domain is exactly zero, a cast the type lattice
+//! marks narrowing) — so the pass stays silent on idiomatic plans.
+
+use super::constraints::{
+    analyze_plan, determine, expr_facts, lossy_numeric_cast, Determination, Domain, NodeFacts,
+};
+use crate::expr::{AggFunc, BinaryOperator, Expr};
+use crate::interpreter;
+use crate::plan::LogicalPlan;
+use crate::row::Row;
+use crate::value::Value;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintSeverity {
+    /// Stylistic or performance smell; the query is still correct.
+    Info,
+    /// Very likely a logic error, but the query runs.
+    Warn,
+    /// The query cannot produce meaningful results.
+    Error,
+}
+
+impl LintSeverity {
+    /// Lowercase display name (`info` / `warn` / `error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintSeverity::Info => "info",
+            LintSeverity::Warn => "warn",
+            LintSeverity::Error => "error",
+        }
+    }
+
+    /// Parse a `spark.sql.lint.level` threshold. `off` maps to `None`
+    /// (report nothing).
+    pub fn threshold(level: &str) -> Option<LintSeverity> {
+        match level.to_ascii_lowercase().as_str() {
+            "info" => Some(LintSeverity::Info),
+            "warn" => Some(LintSeverity::Warn),
+            "error" => Some(LintSeverity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// The six diagnostic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintClass {
+    /// `L001`: a filter conjunct or join condition the constraint pass
+    /// proves can never be TRUE.
+    AlwaysFalsePredicate,
+    /// `L002`: a division or modulo whose divisor is provably zero (or
+    /// drawn from a finite set containing zero) — it yields NULL on
+    /// every row here.
+    DivisionByZero,
+    /// `L003`: a numeric cast that can silently truncate or overflow.
+    LossyNumericCast,
+    /// `L004`: a comparison with a NULL operand — it can only ever
+    /// evaluate to NULL, never TRUE or FALSE.
+    NullOnlyComparison,
+    /// `L005`: `MIN`/`MAX`/`AVG`/`SUM` over a column the constraint pass
+    /// proves constant.
+    ConstantAggregate,
+    /// `L006`: two projection outputs share a name; one shadows the
+    /// other in downstream `SELECT`s.
+    DuplicateProjection,
+}
+
+impl LintClass {
+    /// Stable diagnostic code.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintClass::AlwaysFalsePredicate => "L001",
+            LintClass::DivisionByZero => "L002",
+            LintClass::LossyNumericCast => "L003",
+            LintClass::NullOnlyComparison => "L004",
+            LintClass::ConstantAggregate => "L005",
+            LintClass::DuplicateProjection => "L006",
+        }
+    }
+
+    /// Default severity.
+    pub fn severity(self) -> LintSeverity {
+        match self {
+            LintClass::AlwaysFalsePredicate => LintSeverity::Warn,
+            LintClass::DivisionByZero => LintSeverity::Warn,
+            LintClass::LossyNumericCast => LintSeverity::Info,
+            LintClass::NullOnlyComparison => LintSeverity::Warn,
+            LintClass::ConstantAggregate => LintSeverity::Info,
+            LintClass::DuplicateProjection => LintSeverity::Warn,
+        }
+    }
+}
+
+/// One structured finding.
+#[derive(Debug, Clone)]
+pub struct LintDiagnostic {
+    /// Which class fired.
+    pub class: LintClass,
+    /// Severity (the class default).
+    pub severity: LintSeverity,
+    /// Pre-order id of the plan node (matches
+    /// [`constraints::analyze_plan`] numbering).
+    pub node_id: usize,
+    /// Display name of that node (`Filter`, `Join[INNER]`, …).
+    pub node: String,
+    /// Human-readable explanation naming the offending expression.
+    pub message: String,
+}
+
+impl LintDiagnostic {
+    /// `warn[L001] at #2 Filter: …` — the one-line rendering used by
+    /// `EXPLAIN LINT` and the `== Lint ==` section.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] at #{} {}: {}",
+            self.severity.name(),
+            self.class.code(),
+            self.node_id,
+            self.node,
+            self.message
+        )
+    }
+}
+
+/// Lint an analyzed plan. Diagnostics come back in plan pre-order, then
+/// by class code within a node.
+pub fn lint_plan(plan: &LogicalPlan) -> Vec<LintDiagnostic> {
+    let analysis = analyze_plan(plan);
+    let mut nodes: Vec<&LogicalPlan> = Vec::with_capacity(analysis.nodes.len());
+    collect_preorder(plan, &mut nodes);
+    debug_assert_eq!(nodes.len(), analysis.nodes.len());
+
+    let mut out = Vec::new();
+    for (id, p) in nodes.iter().enumerate() {
+        let frame = analysis.input_facts(id);
+        let mut emit = |class: LintClass, message: String| {
+            out.push(LintDiagnostic {
+                class,
+                severity: class.severity(),
+                node_id: id,
+                node: analysis.nodes[id].op.clone(),
+                message,
+            });
+        };
+        check_always_false(p, &frame, &mut emit);
+        check_expressions(p, &frame, &mut emit);
+        check_constant_aggregate(p, &frame, &mut emit);
+        check_duplicate_projection(p, &mut emit);
+    }
+    out
+}
+
+/// Filter diagnostics to the configured minimum severity (`off`, `info`,
+/// `warn`, `error`).
+pub fn lint_plan_at_level(plan: &LogicalPlan, level: &str) -> Vec<LintDiagnostic> {
+    let Some(threshold) = LintSeverity::threshold(level) else {
+        return Vec::new();
+    };
+    lint_plan(plan)
+        .into_iter()
+        .filter(|d| d.severity >= threshold)
+        .collect()
+}
+
+fn collect_preorder<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a LogicalPlan>) {
+    out.push(plan);
+    match plan {
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::Sample { input, .. } => collect_preorder(input, out),
+        LogicalPlan::Join { left, right, .. } => {
+            collect_preorder(left, out);
+            collect_preorder(right, out);
+        }
+        LogicalPlan::Union { inputs } => {
+            for i in inputs {
+                collect_preorder(i, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---- L001: always-false predicate ----
+
+fn check_always_false(
+    plan: &LogicalPlan,
+    frame: &NodeFacts,
+    emit: &mut impl FnMut(LintClass, String),
+) {
+    let pred = match plan {
+        LogicalPlan::Filter { predicate, .. } => predicate,
+        LogicalPlan::Join {
+            condition: Some(c), ..
+        } => c,
+        _ => return,
+    };
+    for conjunct in crate::optimizer::split_conjuncts(pred) {
+        match determine(&conjunct, frame) {
+            Determination::AlwaysFalse => emit(
+                LintClass::AlwaysFalsePredicate,
+                format!("predicate `{conjunct}` is always FALSE; no row can satisfy it"),
+            ),
+            Determination::NeverTrue => emit(
+                LintClass::AlwaysFalsePredicate,
+                format!("predicate `{conjunct}` can never be TRUE (only FALSE or NULL)"),
+            ),
+            _ => {}
+        }
+    }
+}
+
+// ---- L002 / L003 / L004: per-expression checks ----
+
+fn check_expressions(
+    plan: &LogicalPlan,
+    frame: &NodeFacts,
+    emit: &mut impl FnMut(LintClass, String),
+) {
+    // Scan filters evaluate against the base relation, not child nodes;
+    // their columns are in scope regardless, so the same frame applies.
+    for root in plan.expressions() {
+        root.for_each_node(&mut |e| {
+            check_div_by_zero(e, frame, emit);
+            check_lossy_cast(e, emit);
+            check_null_comparison(e, emit);
+        });
+    }
+}
+
+/// Zero in the divisor's *provable* domain only — a plain nullable
+/// column divisor stays silent.
+fn check_div_by_zero(e: &Expr, frame: &NodeFacts, emit: &mut impl FnMut(LintClass, String)) {
+    let Expr::BinaryOp { op, right, .. } = e else {
+        return;
+    };
+    if !matches!(op, BinaryOperator::Div | BinaryOperator::Mod) {
+        return;
+    }
+    let divisor_zero = match &expr_facts(right, frame).domain {
+        Domain::Constant(v) => is_zero(v),
+        Domain::Finite(vs) => vs.iter().any(is_zero),
+        _ => false,
+    };
+    if divisor_zero {
+        emit(
+            LintClass::DivisionByZero,
+            format!("divisor `{right}` can be zero; `{e}` yields NULL on those rows"),
+        );
+    }
+}
+
+fn is_zero(v: &Value) -> bool {
+    match v {
+        Value::Int(0) | Value::Long(0) => true,
+        Value::Float(f) => *f == 0.0,
+        Value::Double(d) => *d == 0.0,
+        _ => false,
+    }
+}
+
+fn check_lossy_cast(e: &Expr, emit: &mut impl FnMut(LintClass, String)) {
+    let Expr::Cast { expr, dtype } = e else {
+        return;
+    };
+    let Ok(src) = expr.data_type() else { return };
+    if lossy_numeric_cast(&src, dtype) {
+        emit(
+            LintClass::LossyNumericCast,
+            format!("cast `{e}` narrows {src} to {dtype}; values outside range truncate"),
+        );
+    }
+}
+
+/// A comparison with a provably-NULL operand (an explicit NULL literal,
+/// or a cast/coercion that folds to NULL) never yields TRUE or FALSE.
+fn check_null_comparison(e: &Expr, emit: &mut impl FnMut(LintClass, String)) {
+    let Expr::BinaryOp { left, op, right } = e else {
+        return;
+    };
+    if !matches!(
+        op,
+        BinaryOperator::Eq
+            | BinaryOperator::NotEq
+            | BinaryOperator::Lt
+            | BinaryOperator::LtEq
+            | BinaryOperator::Gt
+            | BinaryOperator::GtEq
+    ) {
+        return;
+    }
+    for side in [left, right] {
+        if folds_to_null(side) {
+            emit(
+                LintClass::NullOnlyComparison,
+                format!(
+                    "operand `{side}` of `{e}` is NULL; the comparison never \
+                     yields TRUE or FALSE (use IS NULL / IS NOT NULL)"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+fn folds_to_null(e: &Expr) -> bool {
+    if matches!(e, Expr::Literal(Value::Null)) {
+        return true;
+    }
+    if !e.is_resolved() || !e.foldable() {
+        return false;
+    }
+    matches!(interpreter::eval(e, &Row::empty()), Ok(Value::Null))
+}
+
+// ---- L005: aggregate over provably-constant column ----
+
+fn check_constant_aggregate(
+    plan: &LogicalPlan,
+    frame: &NodeFacts,
+    emit: &mut impl FnMut(LintClass, String),
+) {
+    let LogicalPlan::Aggregate { aggregates, .. } = plan else {
+        return;
+    };
+    for a in aggregates {
+        a.for_each_node(&mut |e| {
+            let Expr::Agg {
+                func,
+                arg: Some(arg),
+                distinct: false,
+            } = e
+            else {
+                return;
+            };
+            // COUNT of a constant still counts rows — meaningful.
+            if matches!(func, AggFunc::Count) {
+                return;
+            }
+            // Only flag columns the *input data* proves constant;
+            // aggregating a literal is usually deliberate.
+            if !matches!(arg.as_ref(), Expr::Column(_)) {
+                return;
+            }
+            if let Domain::Constant(v) = &expr_facts(arg, frame).domain {
+                emit(
+                    LintClass::ConstantAggregate,
+                    format!("`{e}` aggregates a provably-constant column (always {v:?})"),
+                );
+            }
+        });
+    }
+}
+
+// ---- L006: duplicate projection names ----
+
+fn check_duplicate_projection(plan: &LogicalPlan, emit: &mut impl FnMut(LintClass, String)) {
+    let LogicalPlan::Project { exprs, .. } = plan else {
+        return;
+    };
+    let mut seen: Vec<String> = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let Ok(attr) = e.to_attribute() else { continue };
+        let name = attr.name.as_ref();
+        if seen.iter().any(|s| s.eq_ignore_ascii_case(name)) {
+            emit(
+                LintClass::DuplicateProjection,
+                format!(
+                    "projection name `{name}` appears more than once; \
+                     later uses resolve ambiguously"
+                ),
+            );
+        } else {
+            seen.push(name.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builders::{count, lit, sum};
+    use crate::expr::ColumnRef;
+    use crate::types::DataType;
+    use std::sync::Arc;
+
+    fn leaf(cols: &[(&str, DataType, bool)], rows: Vec<Row>) -> (LogicalPlan, Vec<ColumnRef>) {
+        let output: Vec<ColumnRef> = cols
+            .iter()
+            .map(|(n, t, nl)| ColumnRef::new(*n, t.clone(), *nl))
+            .collect();
+        (
+            LogicalPlan::LocalRelation {
+                output: output.clone(),
+                rows: Arc::new(rows),
+            },
+            output,
+        )
+    }
+
+    fn codes(diags: &[LintDiagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.class.code()).collect()
+    }
+
+    #[test]
+    fn always_false_predicate_reported_with_provenance() {
+        let (p, out) = leaf(
+            &[("a", DataType::Long, false)],
+            vec![
+                Row::new(vec![Value::Long(1)]),
+                Row::new(vec![Value::Long(10)]),
+            ],
+        );
+        let a = out[0].clone();
+        let plan = p.filter(
+            Expr::Column(a.clone())
+                .gt(lit(0i64))
+                .and(Expr::Column(a).gt(lit(100i64))),
+        );
+        let diags = lint_plan(&plan);
+        assert_eq!(codes(&diags), vec!["L001"], "{diags:?}");
+        assert_eq!(diags[0].node_id, 0);
+        assert_eq!(diags[0].node, "Filter");
+        assert_eq!(diags[0].severity, LintSeverity::Warn);
+    }
+
+    #[test]
+    fn division_by_constant_zero_reported() {
+        let (p, out) = leaf(
+            &[("a", DataType::Long, false), ("z", DataType::Long, false)],
+            vec![Row::new(vec![Value::Long(1), Value::Long(0)])],
+        );
+        let a = out[0].clone();
+        let z = out[1].clone();
+        let plan = p.project(vec![Expr::BinaryOp {
+            left: Box::new(Expr::Column(a)),
+            op: BinaryOperator::Div,
+            right: Box::new(Expr::Column(z)),
+        }
+        .alias("q")]);
+        let diags = lint_plan(&plan);
+        assert_eq!(codes(&diags), vec!["L002"], "{diags:?}");
+    }
+
+    #[test]
+    fn division_by_unconstrained_column_is_silent() {
+        let (p, out) = leaf(
+            &[("a", DataType::Long, false), ("b", DataType::Long, false)],
+            vec![
+                Row::new(vec![Value::Long(1), Value::Long(2)]),
+                Row::new(vec![Value::Long(5), Value::Long(7)]),
+            ],
+        );
+        let a = out[0].clone();
+        let b = out[1].clone();
+        let plan = p.project(vec![Expr::BinaryOp {
+            left: Box::new(Expr::Column(a)),
+            op: BinaryOperator::Div,
+            right: Box::new(Expr::Column(b)),
+        }
+        .alias("q")]);
+        assert!(lint_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_reported_lossless_not() {
+        let (p, out) = leaf(&[("x", DataType::Long, false)], vec![]);
+        let x = out[0].clone();
+        let plan = p.clone().project(vec![Expr::Cast {
+            expr: Box::new(Expr::Column(x.clone())),
+            dtype: DataType::Int,
+        }
+        .alias("narrow")]);
+        let diags = lint_plan(&plan);
+        // The empty leaf also makes the subtree empty, but no L001 fires
+        // (no predicate); only the cast is flagged.
+        assert_eq!(codes(&diags), vec!["L003"], "{diags:?}");
+        assert_eq!(diags[0].severity, LintSeverity::Info);
+
+        let (p2, out2) = leaf(&[("i", DataType::Int, false)], vec![]);
+        let plan = p2.project(vec![Expr::Cast {
+            expr: Box::new(Expr::Column(out2[0].clone())),
+            dtype: DataType::Long,
+        }
+        .alias("wide")]);
+        assert!(lint_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn null_comparison_reported() {
+        let (p, out) = leaf(&[("a", DataType::Long, true)], vec![]);
+        let a = out[0].clone();
+        let plan = p.filter(Expr::Column(a).eq(Expr::Literal(Value::Null)));
+        let diags = lint_plan(&plan);
+        assert!(
+            codes(&diags).contains(&"L004"),
+            "NULL comparison must be flagged: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn constant_aggregate_reported_count_exempt() {
+        let (p, out) = leaf(
+            &[("k", DataType::Long, false), ("v", DataType::Long, false)],
+            vec![
+                Row::new(vec![Value::Long(7), Value::Long(1)]),
+                Row::new(vec![Value::Long(7), Value::Long(2)]),
+            ],
+        );
+        let k = out[0].clone();
+        let v = out[1].clone();
+        let plan = p.aggregate(
+            vec![],
+            vec![
+                sum(Expr::Column(k.clone())).alias("s"),
+                count(Expr::Column(v)).alias("c"),
+            ],
+        );
+        let diags = lint_plan(&plan);
+        assert_eq!(codes(&diags), vec!["L005"], "{diags:?}");
+        assert!(diags[0].message.contains('k'), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_projection_reported() {
+        let (p, out) = leaf(
+            &[("a", DataType::Long, false), ("b", DataType::Long, false)],
+            vec![Row::new(vec![Value::Long(1), Value::Long(2)])],
+        );
+        let a = out[0].clone();
+        let b = out[1].clone();
+        let plan = p.project(vec![Expr::Column(a).alias("x"), Expr::Column(b).alias("x")]);
+        let diags = lint_plan(&plan);
+        assert_eq!(codes(&diags), vec!["L006"], "{diags:?}");
+    }
+
+    #[test]
+    fn level_threshold_filters() {
+        let (p, out) = leaf(&[("x", DataType::Long, false)], vec![]);
+        let x = out[0].clone();
+        let plan = p.project(vec![Expr::Cast {
+            expr: Box::new(Expr::Column(x)),
+            dtype: DataType::Int,
+        }
+        .alias("narrow")]);
+        assert_eq!(lint_plan_at_level(&plan, "info").len(), 1);
+        assert!(lint_plan_at_level(&plan, "warn").is_empty());
+        assert!(lint_plan_at_level(&plan, "off").is_empty());
+    }
+}

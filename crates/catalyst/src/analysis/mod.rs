@@ -21,6 +21,8 @@
 //! soon as the user types an invalid line of code.
 
 pub mod catalog;
+pub mod constraints;
+pub mod lint;
 
 pub use catalog::{Catalog, FunctionRegistry, SimpleCatalog};
 

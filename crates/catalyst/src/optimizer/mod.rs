@@ -1,9 +1,14 @@
 //! Logical optimization (§4.3.2): rule-based rewrites over resolved
 //! plans, executed in fixed-point batches.
 
+pub mod constraint_rules;
 pub mod expr_rules;
 pub mod plan_rules;
 
+pub use constraint_rules::{
+    InferIsNotNullFilters, PropagateEmptyRelations, PruneConstrainedFilters,
+    SimplifyDomainComparisons, UnwrapLosslessCasts,
+};
 pub use expr_rules::{
     BooleanSimplification, ConstantFolding, DecimalAggregates, NullPropagation, SimplifyCasts,
     SimplifyLike,
@@ -52,6 +57,40 @@ impl Optimizer {
                     Box::new(CombineLimits),
                     Box::new(PushDownLimit),
                     Box::new(DecimalAggregates),
+                ],
+            ),
+        ]);
+        Optimizer { executor }
+    }
+
+    /// The constraint-driven phase (`spark.sql.constraints.enabled`):
+    /// rules consuming the [`crate::analysis::constraints`] abstract
+    /// interpretation, followed by a cleanup pass of the standard rules
+    /// to fold the literals and collapse the filters the constraint
+    /// rules expose. Runs as a separate executor *after* [`Optimizer::new`]
+    /// so it sees the settled plan shape.
+    pub fn constraint_phase() -> Self {
+        let executor = RuleExecutor::new(vec![
+            Batch::fixed_point(
+                "Constraint Optimizations",
+                vec![
+                    Box::new(UnwrapLosslessCasts),
+                    Box::new(SimplifyDomainComparisons),
+                    Box::new(InferIsNotNullFilters),
+                    Box::new(PruneConstrainedFilters),
+                    Box::new(PropagateEmptyRelations),
+                ],
+            ),
+            Batch::fixed_point(
+                "Constraint Cleanup",
+                vec![
+                    Box::new(ConstantFolding),
+                    Box::new(BooleanSimplification),
+                    Box::new(CombineFilters),
+                    Box::new(PushDownPredicate),
+                    Box::new(PruneFilters),
+                    Box::new(CollapseProjects),
+                    Box::new(ColumnPruning),
                 ],
             ),
         ]);

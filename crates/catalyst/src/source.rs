@@ -103,6 +103,22 @@ impl Filter {
     }
 }
 
+/// Relation-level statistics for one column, aggregated over every
+/// partition/row group of a source. Feeds the constraint analysis
+/// ([`crate::analysis::constraints`]): a zero null count proves
+/// non-nullability, min/max bound the column's domain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnStatistics {
+    /// Minimum non-null value across the relation, if known.
+    pub min: Option<Value>,
+    /// Maximum non-null value across the relation, if known.
+    pub max: Option<Value>,
+    /// Exact number of NULLs across the relation, if known.
+    pub null_count: Option<u64>,
+    /// Exact number of rows across the relation, if known.
+    pub row_count: Option<u64>,
+}
+
 /// A table exposed to the optimizer by a data source.
 pub trait BaseRelation: Send + Sync {
     /// Human-readable name (file path, table name…).
@@ -187,6 +203,14 @@ pub trait BaseRelation: Send + Sync {
             "relation '{}' is read-only",
             self.name()
         )))
+    }
+
+    /// Per-column statistics in [`BaseRelation::schema`] field order, if
+    /// the source tracks them (colfile row-group stats, columnar-cache
+    /// batch stats). `None` — the default — means unknown; consumers must
+    /// fall back to declared nullability and unbounded domains.
+    fn column_statistics(&self) -> Option<Vec<ColumnStatistics>> {
+        None
     }
 
     /// Downcasting hook for engine-specific integrations.
@@ -285,6 +309,44 @@ impl BaseRelation for MemoryTable {
     ) -> Result<RowIter> {
         let rows = self.partitions[partition].clone();
         Ok(Box::new((0..rows.len()).map(move |i| rows[i].clone())))
+    }
+
+    fn column_statistics(&self) -> Option<Vec<ColumnStatistics>> {
+        // Exact single-pass stats; skipped for very large tables to keep
+        // planning cheap.
+        const STATS_CAP: usize = 65_536;
+        let total = self.len() as u64;
+        if total as usize > STATS_CAP {
+            return None;
+        }
+        let mut out: Vec<ColumnStatistics> = (0..self.schema.len())
+            .map(|_| ColumnStatistics {
+                null_count: Some(0),
+                row_count: Some(total),
+                ..Default::default()
+            })
+            .collect();
+        for part in &self.partitions {
+            for row in part.iter() {
+                for (i, s) in out.iter_mut().enumerate() {
+                    let v = row.get(i);
+                    if v.is_null() {
+                        s.null_count = s.null_count.map(|n| n + 1);
+                        continue;
+                    }
+                    use std::cmp::Ordering;
+                    match &s.min {
+                        Some(m) if v.sql_cmp(m) != Some(Ordering::Less) => {}
+                        _ => s.min = Some(v.clone()),
+                    }
+                    match &s.max {
+                        Some(m) if v.sql_cmp(m) != Some(Ordering::Greater) => {}
+                        _ => s.max = Some(v.clone()),
+                    }
+                }
+            }
+        }
+        Some(out)
     }
 
     fn as_any(&self) -> &dyn Any {

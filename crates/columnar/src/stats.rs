@@ -95,6 +95,65 @@ impl ColumnStats {
             _ => true,
         }
     }
+
+    /// Fold another batch's stats for the same column into this one.
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.null_count += other.null_count;
+        self.row_count += other.row_count;
+        if let Some(m) = &other.min {
+            match &self.min {
+                Some(mine) if m.total_cmp(mine) != Ordering::Less => {}
+                _ => self.min = Some(m.clone()),
+            }
+        }
+        if let Some(m) = &other.max {
+            match &self.max {
+                Some(mine) if m.total_cmp(mine) != Ordering::Greater => {}
+                _ => self.max = Some(m.clone()),
+            }
+        }
+    }
+}
+
+/// Aggregate per-batch column stats into relation-level
+/// [`catalyst::source::ColumnStatistics`], one entry per column — what a
+/// columnar source reports to the constraint pass. Returns `None` when
+/// there are no batches (no information, not an empty relation).
+pub fn relation_statistics<'a>(
+    batches: impl IntoIterator<Item = &'a crate::ColumnarBatch>,
+    num_columns: usize,
+) -> Option<Vec<catalyst::source::ColumnStatistics>> {
+    let mut merged: Vec<ColumnStats> = vec![ColumnStats::default(); num_columns];
+    let mut any = false;
+    for b in batches {
+        any = true;
+        for (i, m) in merged.iter_mut().enumerate() {
+            m.merge(b.stats(i));
+        }
+    }
+    if !any {
+        // Zero batches means zero rows — report exact empty statistics.
+        return Some(
+            (0..num_columns)
+                .map(|_| catalyst::source::ColumnStatistics {
+                    null_count: Some(0),
+                    row_count: Some(0),
+                    ..Default::default()
+                })
+                .collect(),
+        );
+    }
+    Some(
+        merged
+            .into_iter()
+            .map(|s| catalyst::source::ColumnStatistics {
+                min: s.min,
+                max: s.max,
+                null_count: Some(s.null_count),
+                row_count: Some(s.row_count),
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

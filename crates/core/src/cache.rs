@@ -236,6 +236,30 @@ impl BaseRelation for CachedRelation {
         }
     }
 
+    fn column_statistics(&self) -> Option<Vec<catalyst::source::ColumnStatistics>> {
+        // Only a fully *resident* columnar cache has batch statistics.
+        // This runs at planning time, so it must not trigger
+        // materialization: a missing partition (evicted, lost with its
+        // executor, never filled) means incomplete information — report
+        // nothing and let execution refill it with recovery accounting.
+        if !self.columnar || !self.is_materialized() {
+            return None;
+        }
+        let cm = self.sc.cache_manager();
+        let mut batches: Vec<columnar::ColumnarBatch> = Vec::new();
+        for p in 0..self.num_partitions {
+            let part = cm
+                .get(self.cache_id, p)?
+                .downcast::<CachedPartition>()
+                .ok()?;
+            match part.as_ref() {
+                CachedPartition::Columnar(bs) => batches.extend(bs.iter().cloned()),
+                CachedPartition::Rows(_) => return None,
+            }
+        }
+        columnar::stats::relation_statistics(batches.iter(), self.schema.len())
+    }
+
     fn num_partitions(&self) -> usize {
         self.num_partitions
     }

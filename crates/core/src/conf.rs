@@ -83,6 +83,15 @@ pub struct SqlConf {
     pub chaos_seed: Option<u64>,
     /// Override for both chaos fault probabilities (`ENGINE_CHAOS_PROB`).
     pub chaos_prob: Option<f64>,
+    /// Run the constraint-propagation optimizer phase (nullability +
+    /// value-domain abstract interpretation feeding predicate pruning,
+    /// `IS NOT NULL` inference, and empty-relation propagation).
+    /// `CATALYST_CONSTRAINTS=0` in the environment flips the default off
+    /// (for differential testing of the constraint rules).
+    pub constraints_enabled: bool,
+    /// Minimum severity the lint pass reports: `off`, `info`, `warn`, or
+    /// `error`. `SPARK_SQL_LINT_LEVEL` sets the default.
+    pub lint_level: String,
 }
 
 impl SqlConf {
@@ -107,6 +116,8 @@ impl SqlConf {
             plan_validation: None,
             chaos_seed: None,
             chaos_prob: None,
+            constraints_enabled: true,
+            lint_level: "warn".to_string(),
         }
     }
 
@@ -343,6 +354,28 @@ fn entries() -> &'static [ConfEntry] {
                 Some("SPARK_SQL_SPILL"),
                 spill_enabled
             ),
+            bool_entry!(
+                "spark.sql.constraints.enabled",
+                Some("CATALYST_CONSTRAINTS"),
+                constraints_enabled
+            ),
+            ConfEntry {
+                key: "spark.sql.lint.level",
+                env: Some("SPARK_SQL_LINT_LEVEL"),
+                kind: Kind::Str,
+                get: |c| c.lint_level.clone(),
+                set: |c, v| {
+                    let lv = v.to_ascii_lowercase();
+                    if !matches!(lv.as_str(), "off" | "info" | "warn" | "error") {
+                        return Err(CatalystError::analysis(format!(
+                            "invalid level '{v}' for spark.sql.lint.level \
+                             (use off/info/warn/error)"
+                        )));
+                    }
+                    c.lint_level = lv;
+                    Ok(())
+                },
+            },
             ConfEntry {
                 key: "spark.sql.autoBroadcastJoinThreshold",
                 env: None,

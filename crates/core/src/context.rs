@@ -181,6 +181,15 @@ impl SQLContext {
             .optimizer
             .lock()
             .optimize_with(analyzed.clone(), &mut monitor);
+        // Constraint-driven phase (nullability + value-domain abstract
+        // interpretation): runs after the standard batches so it sees the
+        // settled plan, under the same monitor so its rewrites are
+        // validated and traced like any other rule's.
+        let optimized = if conf.constraints_enabled {
+            Optimizer::constraint_phase().optimize_with(optimized, &mut monitor)
+        } else {
+            optimized
+        };
         if !monitor.violations.is_empty() {
             let mut msg = String::from("optimizer rule broke a plan invariant:\n");
             for v in &monitor.violations {
@@ -298,6 +307,30 @@ impl SQLContext {
                     .collect();
                 let schema = Arc::new(catalyst::schema::Schema::new(vec![
                     catalyst::types::StructField::new("plan", DataType::String, false),
+                ]));
+                self.create_dataframe(schema, rows)
+            }
+            sql::Statement::ExplainLint(plan) => {
+                let df = self.dataframe(plan)?;
+                let rows: Vec<Row> = df
+                    .lint()
+                    .into_iter()
+                    .map(|d| {
+                        Row::new(vec![
+                            Value::str(d.severity.name()),
+                            Value::str(d.class.code()),
+                            Value::Long(d.node_id as i64),
+                            Value::str(d.node),
+                            Value::str(d.message),
+                        ])
+                    })
+                    .collect();
+                let schema = Arc::new(catalyst::schema::Schema::new(vec![
+                    catalyst::types::StructField::new("severity", DataType::String, false),
+                    catalyst::types::StructField::new("code", DataType::String, false),
+                    catalyst::types::StructField::new("node_id", DataType::Long, false),
+                    catalyst::types::StructField::new("node", DataType::String, false),
+                    catalyst::types::StructField::new("message", DataType::String, false),
                 ]));
                 self.create_dataframe(schema, rows)
             }

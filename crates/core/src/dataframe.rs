@@ -270,6 +270,24 @@ impl DataFrame {
         ))
     }
 
+    /// Static lint diagnostics for this query (the analyzed plan, before
+    /// optimization — so findings the optimizer would silently rewrite
+    /// away, like an always-false predicate, still surface). Filtered to
+    /// the session's `spark.sql.lint.level`; `off` reports nothing.
+    pub fn lint(&self) -> Vec<catalyst::analysis::lint::LintDiagnostic> {
+        let level = self.ctx.conf().lint_level;
+        catalyst::analysis::lint::lint_plan_at_level(&self.plan, &level)
+    }
+
+    /// [`DataFrame::lint`] rendered one diagnostic per line, or an empty
+    /// string when the plan is clean.
+    pub fn lint_report(&self) -> String {
+        self.lint()
+            .iter()
+            .map(|d| d.render() + "\n")
+            .collect::<String>()
+    }
+
     /// An observability handle over this query: analyzed/optimized/
     /// physical plans plus a per-operator metrics registry that fills in
     /// when the handle executes.

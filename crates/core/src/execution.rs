@@ -895,15 +895,17 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             build_side,
             residual,
         } => execute_broadcast_join(
-            left,
-            right,
-            left_keys,
-            right_keys,
-            *join_type,
+            &JoinSite {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                join_type: *join_type,
+                residual,
+                join_plan: plan,
+                id,
+            },
             *build_side,
-            residual,
-            plan,
-            id,
             ctx,
         ),
 
@@ -915,14 +917,20 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             join_type,
             residual,
         } => {
+            let site = JoinSite {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                join_type: *join_type,
+                residual,
+                join_plan: plan,
+                id,
+            };
             if ctx.conf.adaptive_enabled {
-                execute_adaptive_shuffled_join(
-                    left, right, left_keys, right_keys, *join_type, residual, plan, id, ctx,
-                )
+                execute_adaptive_shuffled_join(&site, ctx)
             } else {
-                execute_shuffled_join(
-                    left, right, left_keys, right_keys, *join_type, residual, plan, id, ctx,
-                )
+                execute_shuffled_join(&site, ctx)
             }
         }
 
@@ -1185,17 +1193,14 @@ type IntHashMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<IntHasher>>;
 
 /// Try the compiled aggregation path. Requirements: codegen on, exactly
 /// one integral grouping key, and only plain numeric aggregates.
-#[allow(clippy::too_many_arguments)]
 fn try_fast_aggregate(
     child: &RddRef<Row>,
     bound_groupings: &[Expr],
     agg_exprs: &[Expr],
-    input_attrs_len: usize,
     final_exprs: &[Expr],
     id: usize,
     ctx: &ExecContext,
 ) -> Option<Result<RddRef<Row>>> {
-    let _ = input_attrs_len;
     if !ctx.conf.codegen_enabled || bound_groupings.len() != 1 {
         return None;
     }
@@ -1450,7 +1455,6 @@ fn execute_aggregate(
                 &child,
                 &bound_groupings_fast,
                 &bound_agg_exprs,
-                input_attrs.len(),
                 &final_exprs,
                 id,
                 ctx,
@@ -1720,19 +1724,38 @@ fn null_row(width: usize) -> Row {
     Row::new(vec![Value::Null; width])
 }
 
-#[allow(clippy::too_many_arguments)]
-fn execute_broadcast_join(
-    left: &Arc<PhysicalPlan>,
-    right: &Arc<PhysicalPlan>,
-    left_keys: &[Expr],
-    right_keys: &[Expr],
+/// One equi-join node's lowering site: child subtrees, key expressions,
+/// join shape, and the node's plan position, bundled so each join
+/// strategy's lowering function takes the site as a unit.
+#[derive(Clone, Copy)]
+struct JoinSite<'a> {
+    left: &'a Arc<PhysicalPlan>,
+    right: &'a Arc<PhysicalPlan>,
+    left_keys: &'a [Expr],
+    right_keys: &'a [Expr],
     join_type: JoinType,
-    build_side: BuildSide,
-    residual: &Option<Expr>,
-    join_plan: &PhysicalPlan,
+    residual: &'a Option<Expr>,
+    /// The join node itself — residual predicates bind against its output.
+    join_plan: &'a PhysicalPlan,
+    /// Pre-order id of the join node, for metric attribution.
     id: usize,
+}
+
+fn execute_broadcast_join(
+    site: &JoinSite,
+    build_side: BuildSide,
     ctx: &ExecContext,
 ) -> Result<RddRef<Row>> {
+    let JoinSite {
+        left,
+        right,
+        left_keys,
+        right_keys,
+        join_type,
+        residual,
+        join_plan,
+        id,
+    } = *site;
     let left_attrs = left.output();
     let right_attrs = right.output();
     let bound_left_keys = key_value_fns(left_keys, &left_attrs, ctx.conf.codegen_enabled)?;
@@ -1863,18 +1886,17 @@ fn broadcast_probe(
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn execute_shuffled_join(
-    left: &Arc<PhysicalPlan>,
-    right: &Arc<PhysicalPlan>,
-    left_keys: &[Expr],
-    right_keys: &[Expr],
-    join_type: JoinType,
-    residual: &Option<Expr>,
-    join_plan: &PhysicalPlan,
-    id: usize,
-    ctx: &ExecContext,
-) -> Result<RddRef<Row>> {
+fn execute_shuffled_join(site: &JoinSite, ctx: &ExecContext) -> Result<RddRef<Row>> {
+    let JoinSite {
+        left,
+        right,
+        left_keys,
+        right_keys,
+        join_type,
+        residual,
+        join_plan,
+        id,
+    } = *site;
     let left_attrs = left.output();
     let right_attrs = right.output();
     let bound_left_keys = key_value_fns(left_keys, &left_attrs, ctx.conf.codegen_enabled)?;
@@ -1902,22 +1924,16 @@ fn execute_shuffled_join(
         let (llayout, rlayout) =
             join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
         let sctx = ctx.spill_ctx(id);
+        let spec = spill::GraceJoinSpec {
+            join_type,
+            residual_pred,
+            left_layout: llayout,
+            right_layout: rlayout,
+            left_width,
+            right_width,
+        };
         return Ok(lkeyed.zip_partitions(&rkeyed, move |lit, rit| {
-            Box::new(
-                spill::grace_hash_join_partition(
-                    lit,
-                    rit,
-                    join_type,
-                    &residual_pred,
-                    &llayout,
-                    &rlayout,
-                    left_width,
-                    right_width,
-                    &sctx,
-                    0,
-                )
-                .into_iter(),
-            )
+            Box::new(spill::grace_hash_join_partition(lit, rit, &spec, &sctx, 0).into_iter())
         }));
     }
 
@@ -2050,18 +2066,17 @@ fn materialize_join_side(
 ///    `adaptive_skew_factor` × the median splits into map-range
 ///    sub-partitions on the legal side, replicating the other side's
 ///    bucket against each.
-#[allow(clippy::too_many_arguments)]
-fn execute_adaptive_shuffled_join(
-    left: &Arc<PhysicalPlan>,
-    right: &Arc<PhysicalPlan>,
-    left_keys: &[Expr],
-    right_keys: &[Expr],
-    join_type: JoinType,
-    residual: &Option<Expr>,
-    join_plan: &PhysicalPlan,
-    id: usize,
-    ctx: &ExecContext,
-) -> Result<RddRef<Row>> {
+fn execute_adaptive_shuffled_join(site: &JoinSite, ctx: &ExecContext) -> Result<RddRef<Row>> {
+    let JoinSite {
+        left,
+        right,
+        left_keys,
+        right_keys,
+        join_type,
+        residual,
+        join_plan,
+        id,
+    } = *site;
     let left_attrs = left.output();
     let right_attrs = right.output();
     let bound_left_keys = key_value_fns(left_keys, &left_attrs, ctx.conf.codegen_enabled)?;
@@ -2245,24 +2260,18 @@ fn execute_adaptive_shuffled_join(
         let (llayout, rlayout) =
             join_spill_layouts(left_keys, right_keys, &left_attrs, &right_attrs);
         let sctx = ctx.spill_ctx(id);
+        let spec = spill::GraceJoinSpec {
+            join_type,
+            residual_pred,
+            left_layout: llayout,
+            right_layout: rlayout,
+            left_width,
+            right_width,
+        };
         return Ok(lmat
             .read(lspecs)
             .zip_partitions(&rmat.read(rspecs), move |lit, rit| {
-                Box::new(
-                    spill::grace_hash_join_partition(
-                        lit,
-                        rit,
-                        join_type,
-                        &residual_pred,
-                        &llayout,
-                        &rlayout,
-                        left_width,
-                        right_width,
-                        &sctx,
-                        0,
-                    )
-                    .into_iter(),
-                )
+                Box::new(spill::grace_hash_join_partition(lit, rit, &spec, &sctx, 0).into_iter())
             }));
     }
 

@@ -197,6 +197,17 @@ impl QueryExecution {
             out.push_str("== Memory ==\n");
             out.push_str(&render_memory(&m));
         }
+        let lint = catalyst::analysis::lint::lint_plan_at_level(
+            &self.analyzed,
+            &self.ctx.conf().lint_level,
+        );
+        if !lint.is_empty() {
+            out.push_str("== Lint ==\n");
+            for d in &lint {
+                out.push_str(&d.render());
+                out.push('\n');
+            }
+        }
         out.push_str(&format!(
             "== Totals ==\noutput rows: {}, wall time: {}\n",
             rows.len(),

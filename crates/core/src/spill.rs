@@ -367,25 +367,41 @@ impl Iterator for BlockRows {
     }
 }
 
+/// Static shape of one grace hash join — join semantics, residual
+/// filter, and both sides' spill layouts and row widths — shared by
+/// every recursion level and every partition of the same join node.
+pub struct GraceJoinSpec {
+    /// Join semantics (outer-row emission).
+    pub join_type: JoinType,
+    /// Non-equi residual predicate over the joined row, if any.
+    pub residual_pred: Option<PredFn>,
+    /// Spill layout of the streamed (left) side.
+    pub left_layout: SideLayout,
+    /// Spill layout of the build (right) side.
+    pub right_layout: SideLayout,
+    /// Column count of the left side (NULL padding for right-outer rows).
+    pub left_width: usize,
+    /// Column count of the right side (NULL padding for left-outer rows).
+    pub right_width: usize,
+}
+
 /// Hash-join one co-partitioned pair of keyed row streams under the
 /// pool's budget: build from the right under a reservation; if the build
 /// side does not fit, re-partition **both** sides to disk by key hash and
 /// join each sub-partition recursively (the grace hash join). Semantics
 /// (matching, residual filtering, outer-row emission) are identical to
 /// the in-memory join.
-#[allow(clippy::too_many_arguments)]
 pub fn grace_hash_join_partition(
     lit: BoxIter<(Option<Row>, Row)>,
     mut rit: BoxIter<(Option<Row>, Row)>,
-    join_type: JoinType,
-    residual_pred: &Option<PredFn>,
-    left_layout: &SideLayout,
-    right_layout: &SideLayout,
-    left_width: usize,
-    right_width: usize,
+    spec: &GraceJoinSpec,
     ctx: &SpillCtx,
     depth: usize,
 ) -> Vec<Row> {
+    let join_type = spec.join_type;
+    let residual_pred = &spec.residual_pred;
+    let (left_layout, right_layout) = (&spec.left_layout, &spec.right_layout);
+    let (left_width, right_width) = (spec.left_width, spec.right_width);
     // Build from the right partition, growing a reservation as it fills.
     let mut reservation = ctx.pool.register();
     let mut table: HashMap<Row, Vec<(Row, bool)>> = HashMap::new();
@@ -426,18 +442,7 @@ pub fn grace_hash_join_partition(
         }
         let mut out = Vec::new();
         for (lsub, rsub) in lbuckets.finish(ctx).into_iter().zip(rbuckets.finish(ctx)) {
-            out.extend(grace_hash_join_partition(
-                lsub,
-                rsub,
-                join_type,
-                residual_pred,
-                left_layout,
-                right_layout,
-                left_width,
-                right_width,
-                ctx,
-                depth + 1,
-            ));
+            out.extend(grace_hash_join_partition(lsub, rsub, spec, ctx, depth + 1));
         }
         return out;
     }

@@ -153,6 +153,10 @@ impl BaseRelation for ColFileRelation {
         Some(self.file.groups.iter().map(|g| g.num_rows() as u64).sum())
     }
 
+    fn column_statistics(&self) -> Option<Vec<catalyst::source::ColumnStatistics>> {
+        columnar::stats::relation_statistics(self.file.groups.iter(), self.file.schema.len())
+    }
+
     fn capability(&self) -> ScanCapability {
         ScanCapability::PrunedFilteredScan
     }

@@ -38,6 +38,9 @@ pub enum Statement {
     },
     /// `EXPLAIN <query>` — show analyzed/optimized/physical plans.
     Explain(LogicalPlan),
+    /// `EXPLAIN LINT <query>` — run the static lint pass and show its
+    /// diagnostics instead of executing.
+    ExplainLint(LogicalPlan),
     /// `SHOW TABLES` — list registered tables.
     ShowTables,
     /// `DESCRIBE <table>` — show a table's schema.

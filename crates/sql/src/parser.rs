@@ -118,6 +118,9 @@ impl Parser {
         }
         if self.at_keyword("EXPLAIN") {
             self.next();
+            if self.eat_keyword("LINT") {
+                return Ok(Statement::ExplainLint(self.query()?));
+            }
             return Ok(Statement::Explain(self.query()?));
         }
         if self.at_keyword("CACHE") {
