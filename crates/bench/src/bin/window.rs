@@ -1,0 +1,176 @@
+//! Back-half vectorization benchmark: the aggregation ladder (multi-key
+//! GROUP BY with a stack of aggregate calls) through the batch-native
+//! hash-aggregation path vs the row-at-a-time path, plus the
+//! window-function operator (rank, lag, running sum) over a 1M-row
+//! table — all end-to-end through SQL/DataFrame plans.
+//!
+//! Writes `BENCH_window.json` to the working directory.
+//!
+//! Run with: `cargo run --release -p bench --bin window`
+
+use catalyst::expr::builders::{avg, col, count_star, max, min, sum};
+use catalyst::value::Value;
+use catalyst::Row;
+use catalyst::{DataType, Schema, StructField};
+use spark_sql::{DataFrame, SQLContext};
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: usize = 1_000_000;
+
+fn splitmix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        StructField::new("id", DataType::Long, false),
+        StructField::new("cat", DataType::String, false),
+        StructField::new("bucket", DataType::Long, false),
+        StructField::new("val", DataType::Long, false),
+        StructField::new("metric", DataType::Double, false),
+    ]))
+}
+
+fn rows() -> Vec<Row> {
+    const CATS: &[&str] = &["US", "DE", "JP", "BR", "IN", "FR", "GB", "CN"];
+    (0..ROWS)
+        .map(|i| {
+            let z = splitmix(i as u64);
+            Row::new(vec![
+                Value::Long(i as i64),
+                Value::str(CATS[(z >> 16) as usize % CATS.len()]),
+                Value::Long((z % 16) as i64),
+                Value::Long(((z >> 8) % 10_000) as i64),
+                Value::Double((z >> 11) as f64 / (1u64 << 53) as f64),
+            ])
+        })
+        .collect()
+}
+
+/// Cached 1M-row table in a context with vectorization on or off.
+fn cached_table(vectorize: bool) -> (SQLContext, DataFrame) {
+    let ctx = SQLContext::new_local(4);
+    ctx.set_conf(|c| c.vectorize_enabled = vectorize);
+    let df = ctx
+        .create_dataframe(schema(), rows())
+        .expect("create_dataframe")
+        .cache()
+        .expect("cache");
+    df.count().expect("materialize"); // force materialization outside the timer
+    (ctx, df)
+}
+
+/// The aggregation ladder: a multi-column group key (128 groups) under a
+/// stack of five aggregate calls. The row path runs this through boxed
+/// per-row accumulators; the batch path hashes keys columnar and updates
+/// typed accumulator lanes per batch.
+fn agg_ladder(df: &DataFrame) -> usize {
+    df.group_by_cols(&["cat", "bucket"])
+        .agg(vec![
+            count_star().alias("n"),
+            sum(col("val")).alias("sv"),
+            avg(col("metric")).alias("am"),
+            min(col("val")).alias("mv"),
+            max(col("metric")).alias("xm"),
+        ])
+        .expect("aggregate")
+        .collect()
+        .expect("collect")
+        .len()
+}
+
+/// A window query reduced to one row so the timer measures window
+/// evaluation, not materializing 1M output rows. The global SUM over the
+/// window column forces every frame to be computed.
+fn windowed_sum(ctx: &SQLContext, window_sql: &str, out_col: &str) -> i64 {
+    let df = ctx.sql(window_sql).expect("window sql");
+    let reduced = df
+        .agg(vec![sum(col(out_col)).alias("total")])
+        .expect("global sum")
+        .collect()
+        .expect("collect");
+    match reduced[0].get(0) {
+        Value::Long(v) => *v,
+        Value::Double(v) => *v as i64,
+        other => panic!("unexpected total {other:?}"),
+    }
+}
+
+/// Warmup once, then min-of-3 wall clock.
+fn time_min3<T: PartialEq + std::fmt::Debug>(mut f: impl FnMut() -> T) -> (u128, T) {
+    let n = f();
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let got = f();
+        assert_eq!(got, n, "non-deterministic result");
+        best = best.min(t.elapsed().as_nanos());
+    }
+    (best, n)
+}
+
+fn main() {
+    println!("back-half vectorization bench, {ROWS} rows (min of 3, after warmup)\n");
+
+    // -- aggregation ladder: row path vs batch path ---------------------
+    let (_ctx_row, df_row) = cached_table(false);
+    let (ctx_vec, df_vec) = cached_table(true);
+
+    let (agg_row, g1) = time_min3(|| agg_ladder(&df_row));
+    let (agg_vec, g2) = time_min3(|| agg_ladder(&df_vec));
+    assert_eq!(g1, g2, "row/batch aggregation ladders disagree");
+    let agg_speedup = agg_row as f64 / agg_vec as f64;
+    println!("aggregation ladder     ({g1} groups, 5 aggregates)");
+    println!("  row path   {:>10.2} ms", agg_row as f64 / 1e6);
+    println!(
+        "  batch path {:>10.2} ms   ({agg_speedup:.2}x)",
+        agg_vec as f64 / 1e6
+    );
+
+    // -- window functions over 1M rows ----------------------------------
+    df_vec.register_temp_table("t");
+    let (rank_ns, rank_total) = time_min3(|| {
+        windowed_sum(
+            &ctx_vec,
+            "SELECT rank() OVER (PARTITION BY cat ORDER BY val) AS r FROM t",
+            "r",
+        )
+    });
+    println!("window rank()          (sum {rank_total})");
+    println!("  batch path {:>10.2} ms", rank_ns as f64 / 1e6);
+
+    let (lag_ns, lag_total) = time_min3(|| {
+        windowed_sum(
+            &ctx_vec,
+            "SELECT lag(val, 1, 0) OVER (PARTITION BY cat ORDER BY val, id) AS l FROM t",
+            "l",
+        )
+    });
+    println!("window lag()           (sum {lag_total})");
+    println!("  batch path {:>10.2} ms", lag_ns as f64 / 1e6);
+
+    let (run_ns, run_total) = time_min3(|| {
+        windowed_sum(
+            &ctx_vec,
+            "SELECT sum(val) OVER (PARTITION BY cat ORDER BY val, id) AS s FROM t",
+            "s",
+        )
+    });
+    println!("window running sum()   (sum {run_total})");
+    println!("  batch path {:>10.2} ms", run_ns as f64 / 1e6);
+
+    let json = format!(
+        "{{\n  \"rows\": {ROWS},\n  \"agg_ladder\": {{ \"row_ns\": {agg_row}, \"batch_ns\": {agg_vec}, \"speedup\": {agg_speedup:.3} }},\n  \"window\": {{ \"rank_ns\": {rank_ns}, \"lag_ns\": {lag_ns}, \"running_sum_ns\": {run_ns} }}\n}}\n"
+    );
+    std::fs::write("BENCH_window.json", &json).expect("write BENCH_window.json");
+    println!("\nwrote BENCH_window.json");
+
+    assert!(
+        agg_speedup >= 3.5,
+        "batch aggregation must be ≥3.5x on the ladder, got {agg_speedup:.2}x"
+    );
+}

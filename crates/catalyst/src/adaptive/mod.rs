@@ -196,6 +196,17 @@ fn with_children(plan: &PhysicalPlan, mut children: Vec<Arc<PhysicalPlan>>) -> P
             input: next(),
             orders: orders.clone(),
         },
+        PhysicalPlan::Window {
+            window_exprs,
+            partition_by,
+            order_by,
+            ..
+        } => PhysicalPlan::Window {
+            input: next(),
+            window_exprs: window_exprs.clone(),
+            partition_by: partition_by.clone(),
+            order_by: order_by.clone(),
+        },
         PhysicalPlan::TakeOrdered { orders, n, .. } => PhysicalPlan::TakeOrdered {
             input: next(),
             orders: orders.clone(),

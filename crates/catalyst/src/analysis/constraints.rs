@@ -511,6 +511,18 @@ pub fn node_facts(plan: &LogicalPlan, children: &[NodeFacts]) -> NodeFacts {
         LogicalPlan::Sort { .. } | LogicalPlan::Distinct { .. } | LogicalPlan::Sample { .. } => {
             children[0].clone()
         }
+        LogicalPlan::Window { window_exprs, .. } => {
+            // Every input column passes through untouched, so the input's
+            // facts and constraints stay valid; the appended window
+            // columns get fresh unknown facts.
+            let mut f = children[0].clone();
+            for e in window_exprs {
+                if let Ok(attr) = e.to_attribute() {
+                    f.attrs.insert(attr.id, AttrFacts::unknown(attr.nullable));
+                }
+            }
+            f
+        }
         LogicalPlan::Limit { n, .. } => {
             let mut f = children[0].clone();
             if *n == 0 {
@@ -1304,6 +1316,7 @@ pub fn op_name(plan: &LogicalPlan) -> String {
         LogicalPlan::Join { join_type, .. } => format!("Join[{}]", join_type.keyword()),
         LogicalPlan::Aggregate { .. } => "Aggregate".into(),
         LogicalPlan::Sort { .. } => "Sort".into(),
+        LogicalPlan::Window { .. } => "Window".into(),
         LogicalPlan::Limit { n, .. } => format!("Limit({n})"),
         LogicalPlan::Union { .. } => "Union".into(),
         LogicalPlan::Distinct { .. } => "Distinct".into(),

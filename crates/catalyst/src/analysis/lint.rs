@@ -4,14 +4,14 @@
 //! rules ([`super::constraints`]) but reports instead of rewriting:
 //! each finding is a structured [`LintDiagnostic`] carrying a stable
 //! code, a severity, and plan-node provenance (the pre-order node id and
-//! display name from [`constraints::analyze_plan`]).
+//! display name from [`super::constraints::analyze_plan`]).
 //!
 //! The pass runs over the *analyzed* plan — before optimization — so
 //! that an always-false predicate is reported even though the optimizer
 //! would silently prune it, and so node ids line up with what the user
 //! wrote rather than with a rewritten tree.
 //!
-//! Six diagnostic classes:
+//! Seven diagnostic classes:
 //!
 //! | code | class | severity |
 //! |------|-------|----------|
@@ -21,6 +21,7 @@
 //! | `L004` | comparison only ever yields NULL | warn |
 //! | `L005` | aggregate over provably-constant column | info |
 //! | `L006` | duplicate projection name | warn |
+//! | `L007` | running window frame without ORDER BY | warn |
 //!
 //! Every detector is deliberately narrow — it fires only on *provable*
 //! facts (a divisor whose domain is exactly zero, a cast the type lattice
@@ -68,7 +69,7 @@ impl LintSeverity {
     }
 }
 
-/// The six diagnostic classes.
+/// The seven diagnostic classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LintClass {
     /// `L001`: a filter conjunct or join condition the constraint pass
@@ -89,6 +90,10 @@ pub enum LintClass {
     /// `L006`: two projection outputs share a name; one shadows the
     /// other in downstream `SELECT`s.
     DuplicateProjection,
+    /// `L007`: a window aggregate with an explicit running (non-whole-
+    /// partition) frame but no ORDER BY — the frame boundary then depends
+    /// on arbitrary row order.
+    UnorderedRunningWindow,
 }
 
 impl LintClass {
@@ -101,6 +106,7 @@ impl LintClass {
             LintClass::NullOnlyComparison => "L004",
             LintClass::ConstantAggregate => "L005",
             LintClass::DuplicateProjection => "L006",
+            LintClass::UnorderedRunningWindow => "L007",
         }
     }
 
@@ -113,6 +119,7 @@ impl LintClass {
             LintClass::NullOnlyComparison => LintSeverity::Warn,
             LintClass::ConstantAggregate => LintSeverity::Info,
             LintClass::DuplicateProjection => LintSeverity::Warn,
+            LintClass::UnorderedRunningWindow => LintSeverity::Warn,
         }
     }
 }
@@ -125,7 +132,7 @@ pub struct LintDiagnostic {
     /// Severity (the class default).
     pub severity: LintSeverity,
     /// Pre-order id of the plan node (matches
-    /// [`constraints::analyze_plan`] numbering).
+    /// [`super::constraints::analyze_plan`] numbering).
     pub node_id: usize,
     /// Display name of that node (`Filter`, `Join[INNER]`, …).
     pub node: String,
@@ -172,6 +179,7 @@ pub fn lint_plan(plan: &LogicalPlan) -> Vec<LintDiagnostic> {
         check_expressions(p, &frame, &mut emit);
         check_constant_aggregate(p, &frame, &mut emit);
         check_duplicate_projection(p, &mut emit);
+        check_unordered_running_window(p, &mut emit);
     }
     out
 }
@@ -198,6 +206,7 @@ fn collect_preorder<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a LogicalPlan>) {
         | LogicalPlan::Limit { input, .. }
         | LogicalPlan::Distinct { input }
         | LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::Window { input, .. }
         | LogicalPlan::Sample { input, .. } => collect_preorder(input, out),
         LogicalPlan::Join { left, right, .. } => {
             collect_preorder(left, out);
@@ -407,6 +416,40 @@ fn check_duplicate_projection(plan: &LogicalPlan, emit: &mut impl FnMut(LintClas
     }
 }
 
+// ---- L007: running window frame without ORDER BY ----
+
+/// A frame-sensitive window aggregate whose explicit frame is narrower
+/// than the whole partition is order-dependent; without ORDER BY the row
+/// order inside the partition — and therefore the result — is arbitrary.
+fn check_unordered_running_window(plan: &LogicalPlan, emit: &mut impl FnMut(LintClass, String)) {
+    let LogicalPlan::Window { window_exprs, .. } = plan else {
+        return;
+    };
+    for w in window_exprs {
+        w.for_each_node(&mut |e| {
+            let Expr::WindowFunction {
+                func,
+                order_by,
+                frame,
+                ..
+            } = e
+            else {
+                return;
+            };
+            if func.frame_sensitive() && order_by.is_empty() && !frame.is_whole_partition() {
+                emit(
+                    LintClass::UnorderedRunningWindow,
+                    format!(
+                        "`{e}` has a running frame but no ORDER BY; the frame \
+                         boundary depends on arbitrary row order (add ORDER BY \
+                         or drop the frame)"
+                    ),
+                );
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +606,51 @@ mod tests {
         let plan = p.project(vec![Expr::Column(a).alias("x"), Expr::Column(b).alias("x")]);
         let diags = lint_plan(&plan);
         assert_eq!(codes(&diags), vec!["L006"], "{diags:?}");
+    }
+
+    #[test]
+    fn unordered_running_window_reported_ordered_not() {
+        use crate::expr::{FrameBound, FrameUnits, SortOrder, WindowFrame, WindowFunc};
+        let (p, out) = leaf(
+            &[("k", DataType::Long, false), ("v", DataType::Long, false)],
+            vec![Row::new(vec![Value::Long(1), Value::Long(2)])],
+        );
+        let k = out[0].clone();
+        let v = out[1].clone();
+        let running = WindowFrame {
+            units: FrameUnits::Rows,
+            start: FrameBound::UnboundedPreceding,
+            end: FrameBound::CurrentRow,
+        };
+        let unordered = Expr::WindowFunction {
+            func: WindowFunc::Agg(AggFunc::Sum),
+            args: vec![Expr::Column(v.clone())],
+            partition_by: vec![Expr::Column(k.clone())],
+            order_by: vec![],
+            frame: running,
+        }
+        .alias("w");
+        let plan = p
+            .clone()
+            .window(vec![unordered], vec![Expr::Column(k.clone())], vec![]);
+        let diags = lint_plan(&plan);
+        assert_eq!(codes(&diags), vec!["L007"], "{diags:?}");
+        assert_eq!(diags[0].severity, LintSeverity::Warn);
+
+        let order = vec![SortOrder {
+            expr: Expr::Column(v.clone()),
+            ascending: true,
+        }];
+        let ordered = Expr::WindowFunction {
+            func: WindowFunc::Agg(AggFunc::Sum),
+            args: vec![Expr::Column(v)],
+            partition_by: vec![Expr::Column(k.clone())],
+            order_by: order.clone(),
+            frame: running,
+        }
+        .alias("w");
+        let plan = p.window(vec![ordered], vec![Expr::Column(k)], order);
+        assert!(lint_plan(&plan).is_empty(), "{:?}", lint_plan(&plan));
     }
 
     #[test]

@@ -456,12 +456,19 @@ pub fn check_analysis(plan: &LogicalPlan) -> Result<()> {
                 None => a.name.to_string(),
             })
             .collect();
+        let in_window = matches!(p, LogicalPlan::Window { .. });
         for e in p.expressions() {
             e.for_each_node(&mut |e| {
                 if problem.is_some() {
                     return;
                 }
                 match e {
+                    Expr::WindowFunction { func, .. } if !in_window => {
+                        problem = Some(CatalystError::analysis(format!(
+                            "window function {}() is only allowed in the SELECT list",
+                            func.name()
+                        )));
+                    }
                     Expr::UnresolvedAttribute { qualifier, name } => {
                         let full = match qualifier {
                             Some(q) => format!("{q}.{name}"),
@@ -628,6 +635,15 @@ fn visit_direct_children(e: &Expr, f: &mut dyn FnMut(&Expr)) {
             if let Some(a) = arg {
                 f(a);
             }
+        }
+        Expr::WindowFunction {
+            args,
+            partition_by,
+            order_by,
+            ..
+        } => {
+            args.iter().chain(partition_by).for_each(&mut *f);
+            order_by.iter().for_each(|o| f(&o.expr));
         }
     }
 }

@@ -109,6 +109,43 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
+            Expr::WindowFunction {
+                func,
+                args,
+                partition_by,
+                order_by,
+                frame,
+            } => {
+                write!(f, "{}(", func.name())?;
+                fmt_args(f, args)?;
+                write!(f, ") OVER (")?;
+                let mut sep = "";
+                if !partition_by.is_empty() {
+                    write!(f, "PARTITION BY ")?;
+                    fmt_args(f, partition_by)?;
+                    sep = " ";
+                }
+                if !order_by.is_empty() {
+                    write!(f, "{sep}ORDER BY ")?;
+                    for (i, o) in order_by.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}{}", o.expr, if o.ascending { "" } else { " DESC" })?;
+                    }
+                    sep = " ";
+                }
+                let units = match frame.units {
+                    super::FrameUnits::Rows => "ROWS",
+                    super::FrameUnits::Range => "RANGE",
+                };
+                write!(
+                    f,
+                    "{sep}{units} BETWEEN {} AND {})",
+                    fmt_bound(frame.start),
+                    fmt_bound(frame.end)
+                )
+            }
             Expr::GetField { expr, name } => write!(f, "{expr}.{name}"),
             Expr::GetItem { expr, index } => write!(f, "{expr}[{index}]"),
             Expr::UnscaledValue(e) => write!(f, "unscaled({e})"),
@@ -120,6 +157,16 @@ impl fmt::Display for Expr {
                 write!(f, "make_decimal({expr}, {precision}, {scale})")
             }
         }
+    }
+}
+
+fn fmt_bound(b: super::FrameBound) -> String {
+    match b {
+        super::FrameBound::UnboundedPreceding => "UNBOUNDED PRECEDING".to_string(),
+        super::FrameBound::Preceding(n) => format!("{n} PRECEDING"),
+        super::FrameBound::CurrentRow => "CURRENT ROW".to_string(),
+        super::FrameBound::Following(n) => format!("{n} FOLLOWING"),
+        super::FrameBound::UnboundedFollowing => "UNBOUNDED FOLLOWING".to_string(),
     }
 }
 

@@ -208,6 +208,122 @@ impl AggFunc {
     }
 }
 
+/// Window functions (ranking, offset, and framed aggregates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowFunc {
+    /// `row_number()` — 1-based position within the partition.
+    RowNumber,
+    /// `rank()` — 1-based rank with gaps after peer groups.
+    Rank,
+    /// `dense_rank()` — 1-based rank without gaps.
+    DenseRank,
+    /// `lag(expr[, offset[, default]])` — value `offset` rows back.
+    Lag,
+    /// `lead(expr[, offset[, default]])` — value `offset` rows ahead.
+    Lead,
+    /// An aggregate evaluated over the window frame.
+    Agg(AggFunc),
+}
+
+impl WindowFunc {
+    /// Resolve a window function name (case-insensitive). Plain
+    /// aggregate names resolve to framed aggregates.
+    pub fn from_name(name: &str) -> Option<WindowFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "row_number" => WindowFunc::RowNumber,
+            "rank" => WindowFunc::Rank,
+            "dense_rank" => WindowFunc::DenseRank,
+            "lag" => WindowFunc::Lag,
+            "lead" => WindowFunc::Lead,
+            other => WindowFunc::Agg(AggFunc::from_name(other)?),
+        })
+    }
+
+    /// SQL name for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            WindowFunc::RowNumber => "row_number",
+            WindowFunc::Rank => "rank",
+            WindowFunc::DenseRank => "dense_rank",
+            WindowFunc::Lag => "lag",
+            WindowFunc::Lead => "lead",
+            WindowFunc::Agg(f) => f.name(),
+        }
+    }
+
+    /// Ranking and offset functions ignore their frame entirely; only
+    /// framed aggregates read it.
+    pub fn frame_sensitive(self) -> bool {
+        matches!(self, WindowFunc::Agg(_))
+    }
+}
+
+/// `ROWS` vs `RANGE` frame semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameUnits {
+    /// Physical row offsets.
+    Rows,
+    /// Logical peer groups: the frame extends over all ORDER BY peers.
+    Range,
+}
+
+/// One end of a window frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameBound {
+    /// `UNBOUNDED PRECEDING`.
+    UnboundedPreceding,
+    /// `<n> PRECEDING` (ROWS only in this engine).
+    Preceding(u64),
+    /// `CURRENT ROW`.
+    CurrentRow,
+    /// `<n> FOLLOWING` (ROWS only in this engine).
+    Following(u64),
+    /// `UNBOUNDED FOLLOWING`.
+    UnboundedFollowing,
+}
+
+/// A window frame: units plus start/end bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowFrame {
+    /// ROWS or RANGE.
+    pub units: FrameUnits,
+    /// Frame start (inclusive).
+    pub start: FrameBound,
+    /// Frame end (inclusive).
+    pub end: FrameBound,
+}
+
+impl WindowFrame {
+    /// The SQL-standard default frame: `RANGE UNBOUNDED PRECEDING`
+    /// through `CURRENT ROW` when the window has an ORDER BY, the whole
+    /// partition otherwise.
+    pub fn default_for(has_order_by: bool) -> WindowFrame {
+        if has_order_by {
+            WindowFrame {
+                units: FrameUnits::Range,
+                start: FrameBound::UnboundedPreceding,
+                end: FrameBound::CurrentRow,
+            }
+        } else {
+            WindowFrame::whole_partition()
+        }
+    }
+
+    /// `ROWS BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING`.
+    pub fn whole_partition() -> WindowFrame {
+        WindowFrame {
+            units: FrameUnits::Rows,
+            start: FrameBound::UnboundedPreceding,
+            end: FrameBound::UnboundedFollowing,
+        }
+    }
+
+    /// Does the frame cover the entire partition regardless of units?
+    pub fn is_whole_partition(&self) -> bool {
+        self.start == FrameBound::UnboundedPreceding && self.end == FrameBound::UnboundedFollowing
+    }
+}
+
 /// A user-defined scalar function registered inline (§3.7).
 pub struct UdfImpl {
     /// Registered name.
@@ -366,6 +482,21 @@ pub enum Expr {
         /// DISTINCT?
         distinct: bool,
     },
+    /// Window function call with its OVER clause (only valid under
+    /// `Window` plans after analysis).
+    WindowFunction {
+        /// Which window function.
+        func: WindowFunc,
+        /// Arguments (empty for ranking functions; `None` argument
+        /// aggregates like `COUNT(*)` use an empty list too).
+        args: Vec<Expr>,
+        /// `PARTITION BY` expressions.
+        partition_by: Vec<Expr>,
+        /// `ORDER BY` keys within each partition.
+        order_by: Vec<SortOrder>,
+        /// The evaluation frame.
+        frame: WindowFrame,
+    },
     /// Struct field access (`loc.lat` once `loc` resolves to a struct).
     GetField {
         /// Struct-typed input.
@@ -467,6 +598,35 @@ impl Expr {
                     .ok_or_else(|| CatalystError::analysis("MIN/MAX require an argument"))?
                     .data_type(),
             },
+            Expr::WindowFunction { func, args, .. } => match func {
+                WindowFunc::RowNumber | WindowFunc::Rank | WindowFunc::DenseRank => {
+                    Ok(DataType::Long)
+                }
+                WindowFunc::Lag | WindowFunc::Lead => args
+                    .first()
+                    .ok_or_else(|| CatalystError::analysis("LAG/LEAD require an argument"))?
+                    .data_type(),
+                WindowFunc::Agg(f) => match f {
+                    AggFunc::Count => Ok(DataType::Long),
+                    AggFunc::Avg => Ok(DataType::Double),
+                    AggFunc::Sum => {
+                        let t = args
+                            .first()
+                            .ok_or_else(|| CatalystError::analysis("SUM requires an argument"))?
+                            .data_type()?;
+                        Ok(match t {
+                            DataType::Int | DataType::Long => DataType::Long,
+                            DataType::Float | DataType::Double => DataType::Double,
+                            DataType::Decimal(p, s) => DataType::Decimal((p + 10).min(38), s),
+                            other => other,
+                        })
+                    }
+                    AggFunc::Min | AggFunc::Max => args
+                        .first()
+                        .ok_or_else(|| CatalystError::analysis("MIN/MAX require an argument"))?
+                        .data_type(),
+                },
+            },
             Expr::GetField { expr, name } => match expr.data_type()? {
                 DataType::Struct(fields) => fields
                     .iter()
@@ -509,6 +669,13 @@ impl Expr {
                 func: AggFunc::Count,
                 ..
             } => false,
+            Expr::WindowFunction { func, .. } => !matches!(
+                func,
+                WindowFunc::RowNumber
+                    | WindowFunc::Rank
+                    | WindowFunc::DenseRank
+                    | WindowFunc::Agg(AggFunc::Count)
+            ),
             _ => true,
         }
     }
@@ -525,10 +692,22 @@ impl Expr {
             | Expr::UnresolvedFunction { .. }
             | Expr::Wildcard { .. }
             | Expr::Udf { .. }
-            | Expr::Agg { .. } => foldable = false,
+            | Expr::Agg { .. }
+            | Expr::WindowFunction { .. } => foldable = false,
             _ => {}
         });
         foldable
+    }
+
+    /// True when any node is a window function call.
+    pub fn contains_window(&self) -> bool {
+        let mut found = false;
+        self.for_each_node(&mut |e| {
+            if matches!(e, Expr::WindowFunction { .. }) {
+                found = true;
+            }
+        });
+        found
     }
 
     /// True when any node is an aggregate function.

@@ -118,6 +118,29 @@ impl TreeNode for Expr {
                 arg: arg.map(|a| map_box(a, f, &mut ch)),
                 distinct,
             },
+            Expr::WindowFunction {
+                func,
+                args,
+                partition_by,
+                order_by,
+                frame,
+            } => Expr::WindowFunction {
+                func,
+                args: map_vec(args, f, &mut ch),
+                partition_by: map_vec(partition_by, f, &mut ch),
+                order_by: order_by
+                    .into_iter()
+                    .map(|o| {
+                        let t = f(o.expr);
+                        ch |= t.changed;
+                        super::SortOrder {
+                            expr: t.data,
+                            ascending: o.ascending,
+                        }
+                    })
+                    .collect(),
+                frame,
+            },
             Expr::GetField { expr, name } => Expr::GetField {
                 expr: map_box(expr, f, &mut ch),
                 name,
@@ -204,6 +227,19 @@ impl TreeNode for Expr {
             Expr::Agg { arg, .. } => {
                 if let Some(a) = arg {
                     a.for_each(f);
+                }
+            }
+            Expr::WindowFunction {
+                args,
+                partition_by,
+                order_by,
+                ..
+            } => {
+                for a in args.iter().chain(partition_by) {
+                    a.for_each(f);
+                }
+                for o in order_by {
+                    o.expr.for_each(f);
                 }
             }
         }

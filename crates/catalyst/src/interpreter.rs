@@ -149,6 +149,10 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
             "aggregate {} evaluated outside an Aggregate operator",
             func.name()
         ))),
+        Expr::WindowFunction { func, .. } => Err(CatalystError::Internal(format!(
+            "window function {} evaluated outside a Window operator",
+            func.name()
+        ))),
         Expr::GetField { expr, name } => {
             let dtype = expr.data_type()?;
             let v = eval(expr, row)?;

@@ -4,6 +4,7 @@
 pub mod constraint_rules;
 pub mod expr_rules;
 pub mod plan_rules;
+pub mod window_rules;
 
 pub use constraint_rules::{
     InferIsNotNullFilters, PropagateEmptyRelations, PruneConstrainedFilters,
@@ -17,6 +18,7 @@ pub use plan_rules::{
     conjunction, split_conjuncts, CollapseProjects, ColumnPruning, CombineFilters, CombineLimits,
     EliminateSubqueryAliases, PruneFilters, PushDownLimit, PushDownPredicate,
 };
+pub use window_rules::NarrowWindowFrames;
 
 use crate::plan::LogicalPlan;
 use crate::rules::{
@@ -57,6 +59,7 @@ impl Optimizer {
                     Box::new(CombineLimits),
                     Box::new(PushDownLimit),
                     Box::new(DecimalAggregates),
+                    Box::new(NarrowWindowFrames),
                 ],
             ),
         ]);

@@ -1,0 +1,206 @@
+//! Window-operator rules: frame normalization and narrowing.
+
+use crate::expr::{Expr, FrameBound, FrameUnits, WindowFrame, WindowFunc};
+use crate::plan::LogicalPlan;
+use crate::rules::Rule;
+use crate::tree::{Transformed, TreeNode};
+
+/// Rewrite every window frame to the cheapest equivalent the executor can
+/// run:
+///
+/// * frame-insensitive functions (`rank`, `row_number`, `dense_rank`,
+///   `lag`, `lead`) get the canonical `ROWS CURRENT ROW .. CURRENT ROW`
+///   frame, so the executor skips frame bookkeeping for them entirely;
+/// * without ORDER BY every partition row is a peer of every other, so
+///   any RANGE frame spans the whole partition and collapses to the
+///   whole-partition frame, which the executor evaluates once per
+///   partition instead of once per row.
+pub struct NarrowWindowFrames;
+
+/// The semantics-preserving normal form of `frame` for `func`.
+fn normalized(func: WindowFunc, has_order_by: bool, frame: WindowFrame) -> WindowFrame {
+    if !func.frame_sensitive() {
+        return WindowFrame {
+            units: FrameUnits::Rows,
+            start: FrameBound::CurrentRow,
+            end: FrameBound::CurrentRow,
+        };
+    }
+    if frame.is_whole_partition() {
+        return frame;
+    }
+    // RANGE bounds are peer-group edges; with no ORDER BY the whole
+    // partition is one peer group, so an unbounded-to-peer-edge frame
+    // covers every row.
+    if !has_order_by && frame.units == FrameUnits::Range {
+        return WindowFrame::whole_partition();
+    }
+    frame
+}
+
+impl Rule<LogicalPlan> for NarrowWindowFrames {
+    fn name(&self) -> &str {
+        "NarrowWindowFrames"
+    }
+
+    fn apply(&self, plan: LogicalPlan) -> Transformed<LogicalPlan> {
+        plan.transform_up(&mut |p| match p {
+            LogicalPlan::Window {
+                input,
+                window_exprs,
+                partition_by,
+                order_by,
+            } => {
+                let mut changed = false;
+                let window_exprs: Vec<Expr> = window_exprs
+                    .into_iter()
+                    .map(|e| {
+                        let t = e.transform_up(&mut |x| match x {
+                            Expr::WindowFunction {
+                                func,
+                                args,
+                                partition_by,
+                                order_by,
+                                frame,
+                            } => {
+                                let norm = normalized(func, !order_by.is_empty(), frame);
+                                let node = Expr::WindowFunction {
+                                    func,
+                                    args,
+                                    partition_by,
+                                    order_by,
+                                    frame: norm,
+                                };
+                                if norm == frame {
+                                    Transformed::no(node)
+                                } else {
+                                    Transformed::yes(node)
+                                }
+                            }
+                            other => Transformed::no(other),
+                        });
+                        changed |= t.changed;
+                        t.data
+                    })
+                    .collect();
+                let node = LogicalPlan::Window {
+                    input,
+                    window_exprs,
+                    partition_by,
+                    order_by,
+                };
+                if changed {
+                    Transformed::yes(node)
+                } else {
+                    Transformed::no(node)
+                }
+            }
+            other => Transformed::no(other),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builders::col;
+    use crate::expr::{ColumnRef, SortOrder};
+    use crate::types::DataType;
+    use std::sync::Arc;
+
+    fn window_plan(func: WindowFunc, order: bool, frame: WindowFrame) -> LogicalPlan {
+        let base = LogicalPlan::LocalRelation {
+            output: vec![
+                ColumnRef::new("k", DataType::Long, false),
+                ColumnRef::new("v", DataType::Long, false),
+            ],
+            rows: Arc::new(vec![]),
+        };
+        let order_by = if order {
+            vec![SortOrder {
+                expr: col("v"),
+                ascending: true,
+            }]
+        } else {
+            vec![]
+        };
+        let w = Expr::WindowFunction {
+            func,
+            args: vec![],
+            partition_by: vec![col("k")],
+            order_by: order_by.clone(),
+            frame,
+        }
+        .alias("w");
+        base.window(vec![w], vec![col("k")], order_by)
+    }
+
+    fn frame_of(plan: &LogicalPlan) -> WindowFrame {
+        let mut out = None;
+        plan.for_each(&mut |p| {
+            for e in p.expressions() {
+                e.for_each_node(&mut |x| {
+                    if let Expr::WindowFunction { frame, .. } = x {
+                        out = Some(*frame);
+                    }
+                });
+            }
+        });
+        out.expect("no window function in plan")
+    }
+
+    #[test]
+    fn rank_frame_collapses_to_current_row() {
+        let plan = window_plan(WindowFunc::Rank, true, WindowFrame::default_for(true));
+        let out = NarrowWindowFrames.apply(plan);
+        assert!(out.changed);
+        let f = frame_of(&out.data);
+        assert_eq!(f.start, FrameBound::CurrentRow);
+        assert_eq!(f.end, FrameBound::CurrentRow);
+    }
+
+    #[test]
+    fn unbounded_both_ways_is_already_whole_partition() {
+        let plan = window_plan(
+            WindowFunc::Agg(crate::expr::AggFunc::Sum),
+            true,
+            WindowFrame {
+                units: FrameUnits::Range,
+                start: FrameBound::UnboundedPreceding,
+                end: FrameBound::UnboundedFollowing,
+            },
+        );
+        let out = NarrowWindowFrames.apply(plan);
+        assert!(!out.changed);
+        assert!(frame_of(&out.data).is_whole_partition());
+    }
+
+    #[test]
+    fn running_range_frame_without_order_by_widens_to_partition() {
+        let plan = window_plan(
+            WindowFunc::Agg(crate::expr::AggFunc::Avg),
+            false,
+            WindowFrame {
+                units: FrameUnits::Range,
+                start: FrameBound::UnboundedPreceding,
+                end: FrameBound::CurrentRow,
+            },
+        );
+        let out = NarrowWindowFrames.apply(plan);
+        assert!(out.changed);
+        assert!(frame_of(&out.data).is_whole_partition());
+    }
+
+    #[test]
+    fn ordered_running_frame_is_kept() {
+        let frame = WindowFrame {
+            units: FrameUnits::Range,
+            start: FrameBound::UnboundedPreceding,
+            end: FrameBound::CurrentRow,
+        };
+        let plan = window_plan(WindowFunc::Agg(crate::expr::AggFunc::Sum), true, frame);
+        let out = NarrowWindowFrames.apply(plan);
+        assert!(!out.changed);
+        assert_eq!(frame_of(&out.data), frame);
+    }
+}

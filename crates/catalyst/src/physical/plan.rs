@@ -98,6 +98,20 @@ pub enum PhysicalPlan {
         /// Sort keys.
         orders: Vec<SortOrder>,
     },
+    /// Window-function evaluation over hash-partitioned, sorted
+    /// partitions (the backend shuffles on the partition keys, sorts each
+    /// partition by partition + order keys, then walks frames).
+    Window {
+        /// Child.
+        input: Arc<PhysicalPlan>,
+        /// Aliased window-function expressions; each appends one output
+        /// column after the input columns.
+        window_exprs: Vec<Expr>,
+        /// Partitioning keys (empty = one global partition).
+        partition_by: Vec<Expr>,
+        /// Intra-partition ordering.
+        order_by: Vec<SortOrder>,
+    },
     /// Sort + Limit fused into a top-k selection (avoids a global sort).
     TakeOrdered {
         /// Child.
@@ -200,6 +214,15 @@ impl PhysicalPlan {
                 .iter()
                 .filter_map(|e| e.to_attribute().ok())
                 .collect(),
+            PhysicalPlan::Window {
+                input,
+                window_exprs,
+                ..
+            } => {
+                let mut out = input.output();
+                out.extend(window_exprs.iter().filter_map(|e| e.to_attribute().ok()));
+                out
+            }
             PhysicalPlan::BroadcastHashJoin {
                 left,
                 right,
@@ -244,6 +267,7 @@ impl PhysicalPlan {
             PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Window { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::TakeOrdered { input, .. }
             | PhysicalPlan::Limit { input, .. }
@@ -300,6 +324,19 @@ impl PhysicalPlan {
                 format!("HashAggregate [{}] [{}]", gs.join(", "), os.join(", "))
             }
             PhysicalPlan::Sort { orders, .. } => format!("Sort [{}]", fmt_orders(orders)),
+            PhysicalPlan::Window {
+                window_exprs,
+                partition_by,
+                order_by,
+                ..
+            } => {
+                format!(
+                    "Window [{}] partition=[{}] order=[{}]",
+                    fmt_exprs(window_exprs),
+                    fmt_exprs(partition_by),
+                    fmt_orders(order_by)
+                )
+            }
             PhysicalPlan::TakeOrdered { orders, n, .. } => {
                 format!("TakeOrdered {n} [{}]", fmt_orders(orders))
             }

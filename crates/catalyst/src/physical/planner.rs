@@ -377,6 +377,17 @@ impl Strategy for BasicOperators {
                 input: Arc::new(planner.plan(input)?),
                 orders: orders.clone(),
             },
+            LogicalPlan::Window {
+                input,
+                window_exprs,
+                partition_by,
+                order_by,
+            } => PhysicalPlan::Window {
+                input: Arc::new(planner.plan(input)?),
+                window_exprs: window_exprs.clone(),
+                partition_by: partition_by.clone(),
+                order_by: order_by.clone(),
+            },
             LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
                 input: Arc::new(planner.plan(input)?),
                 n: *n,

@@ -140,6 +140,21 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
         LogicalPlan::Sort { input, .. } | LogicalPlan::SubqueryAlias { input, .. } => {
             estimate(input)
         }
+        LogicalPlan::Window { input, .. } => {
+            // Row count is preserved; the appended window columns widen
+            // each row.
+            let s = estimate(input);
+            if s.is_unknown() {
+                return Statistics::unknown();
+            }
+            let in_width = input.schema().approx_row_bytes();
+            let out_width = plan.schema().approx_row_bytes();
+            let ratio = (out_width as f64 / in_width.max(1) as f64).max(1.0);
+            Statistics {
+                size_in_bytes: ((s.size_in_bytes as f64 * ratio) as u64).max(1),
+                row_count: s.row_count,
+            }
+        }
         LogicalPlan::Distinct { input } => estimate(input).scaled(0.5),
         LogicalPlan::Limit { input, n } => {
             // Footnote 5: LIMIT makes the size known.

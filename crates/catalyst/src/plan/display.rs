@@ -45,6 +45,25 @@ impl LogicalPlan {
                 let as_: Vec<String> = aggregates.iter().map(|e| e.to_string()).collect();
                 format!("Aggregate [{}] [{}]", gs.join(", "), as_.join(", "))
             }
+            LogicalPlan::Window {
+                window_exprs,
+                partition_by,
+                order_by,
+                ..
+            } => {
+                let ws: Vec<String> = window_exprs.iter().map(|e| e.to_string()).collect();
+                let ps: Vec<String> = partition_by.iter().map(|e| e.to_string()).collect();
+                let os: Vec<String> = order_by
+                    .iter()
+                    .map(|o| format!("{} {}", o.expr, if o.ascending { "ASC" } else { "DESC" }))
+                    .collect();
+                format!(
+                    "Window [{}] partition=[{}] order=[{}]",
+                    ws.join(", "),
+                    ps.join(", "),
+                    os.join(", ")
+                )
+            }
             LogicalPlan::Sort { orders, .. } => {
                 let os: Vec<String> = orders
                     .iter()

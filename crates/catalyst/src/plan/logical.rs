@@ -135,6 +135,21 @@ pub enum LogicalPlan {
         /// New qualifier.
         alias: Arc<str>,
     },
+    /// Window-function evaluation over sorted partitions. The output is
+    /// the input columns followed by one column per window expression;
+    /// all expressions in one node share the same PARTITION BY / ORDER
+    /// BY (the SQL planner stacks nodes for distinct window specs).
+    Window {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Aliased [`Expr::WindowFunction`] expressions, one appended
+        /// output column each.
+        window_exprs: Vec<Expr>,
+        /// Shared PARTITION BY expressions.
+        partition_by: Vec<Expr>,
+        /// Shared within-partition ORDER BY keys.
+        order_by: Vec<SortOrder>,
+    },
     /// Bernoulli sample (used by the §7.1 online-aggregation extension).
     Sample {
         /// Input plan.
@@ -187,6 +202,15 @@ impl LogicalPlan {
                 .iter()
                 .filter_map(|e| e.to_attribute().ok())
                 .collect(),
+            LogicalPlan::Window {
+                input,
+                window_exprs,
+                ..
+            } => {
+                let mut out = input.output();
+                out.extend(window_exprs.iter().filter_map(|e| e.to_attribute().ok()));
+                out
+            }
             LogicalPlan::Union { inputs } => inputs.first().map(|i| i.output()).unwrap_or_default(),
             LogicalPlan::SubqueryAlias { input, alias } => input
                 .output()
@@ -223,6 +247,7 @@ impl LogicalPlan {
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Distinct { input }
             | LogicalPlan::SubqueryAlias { input, .. }
+            | LogicalPlan::Window { input, .. }
             | LogicalPlan::Sample { input, .. } => vec![input.clone()],
             LogicalPlan::Join { left, right, .. } => vec![left.clone(), right.clone()],
             LogicalPlan::Union { inputs } => inputs.clone(),
@@ -242,6 +267,17 @@ impl LogicalPlan {
                 ..
             } => groupings.iter().chain(aggregates.iter()).cloned().collect(),
             LogicalPlan::Sort { orders, .. } => orders.iter().map(|o| o.expr.clone()).collect(),
+            LogicalPlan::Window {
+                window_exprs,
+                partition_by,
+                order_by,
+                ..
+            } => window_exprs
+                .iter()
+                .chain(partition_by.iter())
+                .cloned()
+                .chain(order_by.iter().map(|o| o.expr.clone()))
+                .collect(),
             _ => vec![],
         }
     }
@@ -298,6 +334,23 @@ impl LogicalPlan {
             LogicalPlan::Sort { input, orders } => LogicalPlan::Sort {
                 input,
                 orders: orders
+                    .into_iter()
+                    .map(|o| SortOrder {
+                        expr: apply(o.expr),
+                        ascending: o.ascending,
+                    })
+                    .collect(),
+            },
+            LogicalPlan::Window {
+                input,
+                window_exprs,
+                partition_by,
+                order_by,
+            } => LogicalPlan::Window {
+                input,
+                window_exprs: window_exprs.into_iter().map(&mut apply).collect(),
+                partition_by: partition_by.into_iter().map(&mut apply).collect(),
+                order_by: order_by
                     .into_iter()
                     .map(|o| SortOrder {
                         expr: apply(o.expr),
@@ -412,6 +465,21 @@ impl LogicalPlan {
         }
     }
 
+    /// Append window-function columns.
+    pub fn window(
+        self,
+        window_exprs: Vec<Expr>,
+        partition_by: Vec<Expr>,
+        order_by: Vec<SortOrder>,
+    ) -> LogicalPlan {
+        LogicalPlan::Window {
+            input: Arc::new(self),
+            window_exprs,
+            partition_by,
+            order_by,
+        }
+    }
+
     /// Bernoulli sample.
     pub fn sample(self, fraction: f64, seed: u64) -> LogicalPlan {
         LogicalPlan::Sample {
@@ -499,6 +567,17 @@ impl TreeNode for LogicalPlan {
             LogicalPlan::SubqueryAlias { input, alias } => LogicalPlan::SubqueryAlias {
                 input: apply(input),
                 alias,
+            },
+            LogicalPlan::Window {
+                input,
+                window_exprs,
+                partition_by,
+                order_by,
+            } => LogicalPlan::Window {
+                input: apply(input),
+                window_exprs,
+                partition_by,
+                order_by,
             },
             LogicalPlan::Sample {
                 input,

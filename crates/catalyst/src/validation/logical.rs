@@ -21,6 +21,7 @@ fn node_name(plan: &LogicalPlan) -> &'static str {
         LogicalPlan::Join { .. } => "Join",
         LogicalPlan::Aggregate { .. } => "Aggregate",
         LogicalPlan::Sort { .. } => "Sort",
+        LogicalPlan::Window { .. } => "Window",
         LogicalPlan::Limit { .. } => "Limit",
         LogicalPlan::Union { .. } => "Union",
         LogicalPlan::Distinct { .. } => "Distinct",
@@ -39,6 +40,7 @@ pub(super) fn check_plan(plan: &LogicalPlan) -> Vec<Violation> {
     check_types(plan, &mut v);
     check_unions(plan, &mut v);
     check_join_children(plan, &mut v);
+    check_windows(plan, &mut v);
     v
 }
 
@@ -188,6 +190,7 @@ fn check_named_outputs(plan: &LogicalPlan, v: &mut Vec<Violation>) {
         let exprs: &[Expr] = match p {
             LogicalPlan::Project { exprs, .. } => exprs,
             LogicalPlan::Aggregate { aggregates, .. } => aggregates,
+            LogicalPlan::Window { window_exprs, .. } => window_exprs,
             _ => return,
         };
         for e in exprs {
@@ -277,6 +280,87 @@ fn check_unions(plan: &LogicalPlan, v: &mut Vec<Violation>) {
                         ));
                     }
                 }
+            }
+        }
+    });
+}
+
+/// Frame start must not lie after frame end.
+fn frame_is_ordered(frame: &crate::expr::WindowFrame) -> bool {
+    use crate::expr::FrameBound as B;
+    // Rank each bound on a coarse axis; offsets of the same kind compare
+    // by magnitude.
+    fn rank(b: B) -> i64 {
+        match b {
+            B::UnboundedPreceding => i64::MIN,
+            B::Preceding(n) => -(n.min(i64::MAX as u64 - 1) as i64),
+            B::CurrentRow => 0,
+            B::Following(n) => n.min(i64::MAX as u64 - 1) as i64,
+            B::UnboundedFollowing => i64::MAX,
+        }
+    }
+    rank(frame.start) <= rank(frame.end)
+}
+
+fn check_windows(plan: &LogicalPlan, v: &mut Vec<Violation>) {
+    plan.for_each(&mut |p| {
+        if let LogicalPlan::Window { window_exprs, .. } = p {
+            for e in window_exprs {
+                // Each output must be a window call at the top (under the
+                // naming alias), with no further nesting inside it.
+                let inner = match e {
+                    Expr::Alias { child, .. } => child.as_ref(),
+                    other => other,
+                };
+                match inner {
+                    Expr::WindowFunction {
+                        args,
+                        partition_by,
+                        order_by,
+                        frame,
+                        ..
+                    } => {
+                        if !frame_is_ordered(frame) {
+                            v.push(Violation::new(
+                                Invariant::WindowShape,
+                                format!("window frame of '{e}' starts after it ends"),
+                            ));
+                        }
+                        let nested = args
+                            .iter()
+                            .chain(partition_by)
+                            .chain(order_by.iter().map(|o| &o.expr));
+                        for n in nested {
+                            n.for_each_node(&mut |x| {
+                                if matches!(x, Expr::WindowFunction { .. }) {
+                                    v.push(Violation::new(
+                                        Invariant::WindowShape,
+                                        format!("window function nested inside '{e}'"),
+                                    ));
+                                }
+                            });
+                        }
+                    }
+                    _ => v.push(Violation::new(
+                        Invariant::WindowShape,
+                        format!("Window output '{e}' is not a window-function call"),
+                    )),
+                }
+            }
+        } else {
+            // Window calls are illegal in every other node's expressions.
+            for e in p.expressions() {
+                e.for_each_node(&mut |x| {
+                    if matches!(x, Expr::WindowFunction { .. }) {
+                        v.push(Violation::new(
+                            Invariant::WindowShape,
+                            format!(
+                                "window function '{x}' outside a Window node in {}",
+                                node_name(p)
+                            ),
+                        ));
+                    }
+                });
             }
         }
     });

@@ -71,6 +71,10 @@ pub enum Invariant {
     /// Join inputs produce disjoint attribute ids (a shared id makes
     /// `left.x = right.x` unresolvable — the self-join hazard).
     DistinctJoinChildren,
+    /// Window functions appear only as top-level (aliased) expressions of
+    /// a `Window` node, and every frame is well-formed (start bound not
+    /// after end bound).
+    WindowShape,
     /// An optimizer rewrite preserved the plan's output schema: same
     /// width, and per position the same name, type, and id.
     SchemaPreserved,
@@ -98,6 +102,7 @@ impl Invariant {
             Invariant::BooleanPredicates => "boolean-predicates",
             Invariant::UnionShape => "union-shape",
             Invariant::DistinctJoinChildren => "distinct-join-children",
+            Invariant::WindowShape => "window-shape",
             Invariant::SchemaPreserved => "schema-preserved",
             Invariant::PhysicalReferences => "physical-references",
             Invariant::JoinKeysAligned => "join-keys-aligned",

@@ -152,6 +152,32 @@ fn check_node(plan: &PhysicalPlan, v: &mut Vec<Violation>) {
                 }
             }
         }
+        PhysicalPlan::Window {
+            input,
+            window_exprs,
+            partition_by,
+            order_by,
+        } => {
+            let avail = input.output();
+            for e in window_exprs {
+                refs_within(e, &avail, "Window expression", v);
+                well_typed(e, "Window expression", v);
+                if e.is_resolved() && e.to_attribute().is_err() {
+                    v.push(Violation::new(
+                        Invariant::NamedOutputs,
+                        format!("Window output '{e}' has no stable name"),
+                    ));
+                }
+            }
+            for e in partition_by {
+                refs_within(e, &avail, "Window partition key", v);
+                well_typed(e, "Window partition key", v);
+            }
+            for o in order_by {
+                refs_within(&o.expr, &avail, "Window order key", v);
+                well_typed(&o.expr, "Window order key", v);
+            }
+        }
         PhysicalPlan::Sort { input, orders } | PhysicalPlan::TakeOrdered { input, orders, .. } => {
             let avail = input.output();
             for o in orders {

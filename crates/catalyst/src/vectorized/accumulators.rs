@@ -1,0 +1,564 @@
+//! Typed accumulator lanes for batch-native hash aggregation.
+//!
+//! One [`AccLane`] holds the accumulator state of one aggregate call for
+//! *every* group, as primitive lanes indexed by group id. Updates run in
+//! row-arrival order over `(lane, group)` assignments produced by
+//! [`BatchGroups`](super::hash::BatchGroups), so the resulting partials
+//! are exactly what the row path's per-row accumulators would have
+//! produced for the same partition:
+//!
+//! * COUNT(\*) counts every row; every other aggregate skips NULL
+//!   arguments.
+//! * SUM/AVG over Int/Long lanes are exact 64-bit sums with the row
+//!   path's sticky Int→Long widening (an Int sum that ever leaves i32
+//!   range stays Long), and panic on 64-bit overflow like
+//!   [`Value::add`].
+//! * MIN/MAX compare with [`Value::total_cmp`] semantics (`i64::cmp`,
+//!   [`f64::total_cmp`], byte-wise string compare) and keep the
+//!   first-seen extreme on ties.
+//!
+//! The executor converts finished lanes into its spillable accumulator
+//! partials via [`AccLane::partial`]; unsupported aggregate/type
+//! combinations make [`AccLane::for_input`] return `None` and the caller
+//! falls back to the row path.
+
+use super::batch::{ColumnVector, VectorData};
+use crate::types::DataType;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Which aggregate a lane accumulates (non-DISTINCT only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneAgg {
+    /// `COUNT(*)` — counts every row.
+    CountStar,
+    /// `COUNT(col)` — counts non-NULL arguments.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)` — sum plus non-NULL count.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+/// A finished per-group partial, in the executor's accumulator shape.
+///
+/// Mirrors the executor's spillable accumulator variants one-to-one so
+/// the conversion is a plain constructor call.
+#[derive(Debug, Clone)]
+pub enum AccPartial {
+    /// COUNT partial.
+    Count(i64),
+    /// SUM partial (None = no non-NULL input seen).
+    Sum(Option<Value>),
+    /// AVG partial: running sum + non-NULL count.
+    Avg(Option<Value>, i64),
+    /// MIN partial.
+    Min(Option<Value>),
+    /// MAX partial.
+    Max(Option<Value>),
+}
+
+/// Typed accumulator lanes for one aggregate call across all groups.
+#[derive(Debug)]
+pub enum AccLane {
+    /// COUNT(*) / COUNT(col): one count per group.
+    Count {
+        /// Per-group row (or non-NULL argument) counts.
+        counts: Vec<i64>,
+        /// True for COUNT(*): NULL arguments still count.
+        all_rows: bool,
+    },
+    /// SUM/AVG over Int/Long lanes (exact 64-bit arithmetic).
+    SumLong {
+        /// Per-group running sums.
+        sums: Vec<i64>,
+        /// Per-group "saw a non-NULL value" flags.
+        seen: Vec<bool>,
+        /// Sticky per-group Int→Long widening flags (Int input only).
+        wide: Vec<bool>,
+        /// True when the argument type is Int (enables widening logic).
+        int_input: bool,
+        /// Per-group non-NULL counts (present for AVG).
+        avg_counts: Option<Vec<i64>>,
+    },
+    /// SUM/AVG over Double lanes (f64 accumulation in arrival order).
+    SumDouble {
+        /// Per-group running sums.
+        sums: Vec<f64>,
+        /// Per-group "saw a non-NULL value" flags.
+        seen: Vec<bool>,
+        /// Per-group non-NULL counts (present for AVG).
+        avg_counts: Option<Vec<i64>>,
+    },
+    /// MIN/MAX over Int/Long/Date/Timestamp lanes.
+    ExtremeLong {
+        /// Per-group current extreme.
+        vals: Vec<i64>,
+        /// Per-group "saw a non-NULL value" flags.
+        seen: Vec<bool>,
+        /// True for MIN, false for MAX.
+        is_min: bool,
+        /// Declared argument type, for re-tagging the finished value.
+        dtype: DataType,
+    },
+    /// MIN/MAX over Double lanes ([`f64::total_cmp`] order).
+    ExtremeDouble {
+        /// Per-group current extreme.
+        vals: Vec<f64>,
+        /// Per-group "saw a non-NULL value" flags.
+        seen: Vec<bool>,
+        /// True for MIN, false for MAX.
+        is_min: bool,
+    },
+    /// MIN/MAX over String lanes.
+    ExtremeStr {
+        /// Per-group current extreme (None = no non-NULL value yet).
+        vals: Vec<Option<Arc<str>>>,
+        /// True for MIN, false for MAX.
+        is_min: bool,
+    },
+}
+
+impl AccLane {
+    /// Build a lane for `agg` over an argument of type `dtype`, or `None`
+    /// when the combination has no typed lane (caller falls back to the
+    /// row path). `dtype` is ignored for `CountStar`.
+    pub fn for_input(agg: LaneAgg, dtype: &DataType) -> Option<AccLane> {
+        match agg {
+            LaneAgg::CountStar => Some(AccLane::Count {
+                counts: Vec::new(),
+                all_rows: true,
+            }),
+            LaneAgg::Count => Some(AccLane::Count {
+                counts: Vec::new(),
+                all_rows: false,
+            }),
+            LaneAgg::Sum | LaneAgg::Avg => {
+                let avg = agg == LaneAgg::Avg;
+                match dtype {
+                    DataType::Int | DataType::Long => Some(AccLane::SumLong {
+                        sums: Vec::new(),
+                        seen: Vec::new(),
+                        wide: Vec::new(),
+                        int_input: matches!(dtype, DataType::Int),
+                        avg_counts: avg.then(Vec::new),
+                    }),
+                    DataType::Double => Some(AccLane::SumDouble {
+                        sums: Vec::new(),
+                        seen: Vec::new(),
+                        avg_counts: avg.then(Vec::new),
+                    }),
+                    _ => None,
+                }
+            }
+            LaneAgg::Min | LaneAgg::Max => {
+                let is_min = agg == LaneAgg::Min;
+                match dtype {
+                    DataType::Int | DataType::Long | DataType::Date | DataType::Timestamp => {
+                        Some(AccLane::ExtremeLong {
+                            vals: Vec::new(),
+                            seen: Vec::new(),
+                            is_min,
+                            dtype: dtype.clone(),
+                        })
+                    }
+                    DataType::Double => Some(AccLane::ExtremeDouble {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        is_min,
+                    }),
+                    DataType::String => Some(AccLane::ExtremeStr {
+                        vals: Vec::new(),
+                        is_min,
+                    }),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Grow every per-group vector to `n` groups.
+    fn ensure_groups(&mut self, n: usize) {
+        match self {
+            AccLane::Count { counts, .. } => counts.resize(n, 0),
+            AccLane::SumLong {
+                sums,
+                seen,
+                wide,
+                avg_counts,
+                ..
+            } => {
+                sums.resize(n, 0);
+                seen.resize(n, false);
+                wide.resize(n, false);
+                if let Some(c) = avg_counts {
+                    c.resize(n, 0);
+                }
+            }
+            AccLane::SumDouble {
+                sums,
+                seen,
+                avg_counts,
+            } => {
+                sums.resize(n, 0.0);
+                seen.resize(n, false);
+                if let Some(c) = avg_counts {
+                    c.resize(n, 0);
+                }
+            }
+            AccLane::ExtremeLong { vals, seen, .. } => {
+                vals.resize(n, 0);
+                seen.resize(n, false);
+            }
+            AccLane::ExtremeDouble { vals, seen, .. } => {
+                vals.resize(n, 0.0);
+                seen.resize(n, false);
+            }
+            AccLane::ExtremeStr { vals, .. } => vals.resize(n, None),
+        }
+    }
+
+    /// Apply one batch worth of `(lane, group)` assignments (in arrival
+    /// order). `arg` is the evaluated argument column; `None` only for
+    /// COUNT(*). `num_groups` is the group count after assignment.
+    pub fn update(
+        &mut self,
+        arg: Option<&ColumnVector>,
+        assignments: &[(u32, u32)],
+        num_groups: usize,
+    ) {
+        self.ensure_groups(num_groups);
+        match self {
+            AccLane::Count { counts, all_rows } => {
+                if *all_rows {
+                    for &(_, g) in assignments {
+                        counts[g as usize] += 1;
+                    }
+                } else {
+                    let col = arg.expect("COUNT(col) needs its argument column");
+                    for &(i, g) in assignments {
+                        if !col.is_null(i as usize) {
+                            counts[g as usize] += 1;
+                        }
+                    }
+                }
+            }
+            AccLane::SumLong {
+                sums,
+                seen,
+                wide,
+                int_input,
+                avg_counts,
+            } => {
+                let col = arg.expect("SUM/AVG needs its argument column");
+                let lanes = long_lane_view(col);
+                for &(i, g) in assignments {
+                    let (i, g) = (i as usize, g as usize);
+                    if col.is_null(i) {
+                        continue;
+                    }
+                    let v = lane_i64(col, lanes, i);
+                    if seen[g] {
+                        let s = sums[g].checked_add(v).expect("sum failed");
+                        // Value::add widens Int sums to Long once — and
+                        // only once — a running value leaves i32 range.
+                        if *int_input && !wide[g] && i32::try_from(s).is_err() {
+                            wide[g] = true;
+                        }
+                        sums[g] = s;
+                    } else {
+                        sums[g] = v;
+                        seen[g] = true;
+                    }
+                    if let Some(c) = avg_counts {
+                        c[g] += 1;
+                    }
+                }
+            }
+            AccLane::SumDouble {
+                sums,
+                seen,
+                avg_counts,
+            } => {
+                let col = arg.expect("SUM/AVG needs its argument column");
+                let lanes = double_lane_view(col);
+                for &(i, g) in assignments {
+                    let (i, g) = (i as usize, g as usize);
+                    if col.is_null(i) {
+                        continue;
+                    }
+                    let v = lane_f64(col, lanes, i);
+                    if seen[g] {
+                        sums[g] += v;
+                    } else {
+                        sums[g] = v;
+                        seen[g] = true;
+                    }
+                    if let Some(c) = avg_counts {
+                        c[g] += 1;
+                    }
+                }
+            }
+            AccLane::ExtremeLong {
+                vals, seen, is_min, ..
+            } => {
+                let col = arg.expect("MIN/MAX needs its argument column");
+                let lanes = long_lane_view(col);
+                let want = if *is_min {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                };
+                for &(i, g) in assignments {
+                    let (i, g) = (i as usize, g as usize);
+                    if col.is_null(i) {
+                        continue;
+                    }
+                    let v = lane_i64(col, lanes, i);
+                    if !seen[g] || v.cmp(&vals[g]) == want {
+                        vals[g] = v;
+                        seen[g] = true;
+                    }
+                }
+            }
+            AccLane::ExtremeDouble { vals, seen, is_min } => {
+                let col = arg.expect("MIN/MAX needs its argument column");
+                let lanes = double_lane_view(col);
+                let want = if *is_min {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                };
+                for &(i, g) in assignments {
+                    let (i, g) = (i as usize, g as usize);
+                    if col.is_null(i) {
+                        continue;
+                    }
+                    let v = lane_f64(col, lanes, i);
+                    if !seen[g] || v.total_cmp(&vals[g]) == want {
+                        vals[g] = v;
+                        seen[g] = true;
+                    }
+                }
+            }
+            AccLane::ExtremeStr { vals, is_min } => {
+                let col = arg.expect("MIN/MAX needs its argument column");
+                let want = if *is_min {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                };
+                for &(i, g) in assignments {
+                    let (i, g) = (i as usize, g as usize);
+                    if col.is_null(i) {
+                        continue;
+                    }
+                    let s = match col.get(i) {
+                        Value::Str(s) => s,
+                        other => panic!("MIN/MAX string lane got {other:?}"),
+                    };
+                    match &vals[g] {
+                        Some(cur) if s.as_ref().cmp(cur.as_ref()) != want => {}
+                        _ => vals[g] = Some(s),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The finished partial for group `g`.
+    pub fn partial(&self, g: usize) -> AccPartial {
+        match self {
+            AccLane::Count { counts, .. } => AccPartial::Count(counts.get(g).copied().unwrap_or(0)),
+            AccLane::SumLong {
+                sums,
+                seen,
+                wide,
+                int_input,
+                avg_counts,
+            } => {
+                let v = seen.get(g).copied().unwrap_or(false).then(|| {
+                    let s = sums[g];
+                    if *int_input && !wide[g] {
+                        Value::Int(s as i32)
+                    } else {
+                        Value::Long(s)
+                    }
+                });
+                match avg_counts {
+                    Some(c) => AccPartial::Avg(v, c.get(g).copied().unwrap_or(0)),
+                    None => AccPartial::Sum(v),
+                }
+            }
+            AccLane::SumDouble {
+                sums,
+                seen,
+                avg_counts,
+            } => {
+                let v = seen
+                    .get(g)
+                    .copied()
+                    .unwrap_or(false)
+                    .then(|| Value::Double(sums[g]));
+                match avg_counts {
+                    Some(c) => AccPartial::Avg(v, c.get(g).copied().unwrap_or(0)),
+                    None => AccPartial::Sum(v),
+                }
+            }
+            AccLane::ExtremeLong {
+                vals,
+                seen,
+                is_min,
+                dtype,
+            } => {
+                let v = seen.get(g).copied().unwrap_or(false).then(|| {
+                    let x = vals[g];
+                    match dtype {
+                        DataType::Int => Value::Int(x as i32),
+                        DataType::Date => Value::Date(x as i32),
+                        DataType::Timestamp => Value::Timestamp(x),
+                        _ => Value::Long(x),
+                    }
+                });
+                if *is_min {
+                    AccPartial::Min(v)
+                } else {
+                    AccPartial::Max(v)
+                }
+            }
+            AccLane::ExtremeDouble { vals, seen, is_min } => {
+                let v = seen
+                    .get(g)
+                    .copied()
+                    .unwrap_or(false)
+                    .then(|| Value::Double(vals[g]));
+                if *is_min {
+                    AccPartial::Min(v)
+                } else {
+                    AccPartial::Max(v)
+                }
+            }
+            AccLane::ExtremeStr { vals, is_min } => {
+                let v = vals.get(g).and_then(|o| o.clone()).map(Value::Str);
+                if *is_min {
+                    AccPartial::Min(v)
+                } else {
+                    AccPartial::Max(v)
+                }
+            }
+        }
+    }
+}
+
+/// Typed integer lanes when the column stores them natively; `None`
+/// falls back to boxed [`ColumnVector::get`] per lane.
+fn long_lane_view(col: &ColumnVector) -> Option<&[i64]> {
+    match col.data() {
+        VectorData::Long(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn double_lane_view(col: &ColumnVector) -> Option<&[f64]> {
+    match col.data() {
+        VectorData::Double(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn lane_i64(col: &ColumnVector, lanes: Option<&[i64]>, i: usize) -> i64 {
+    match lanes {
+        Some(v) => v[i],
+        None => match col.get(i) {
+            Value::Int(x) => x as i64,
+            Value::Long(x) | Value::Timestamp(x) => x,
+            Value::Date(x) => x as i64,
+            other => panic!("integer aggregate lane got {other:?}"),
+        },
+    }
+}
+
+fn lane_f64(col: &ColumnVector, lanes: Option<&[f64]>, i: usize) -> f64 {
+    match lanes {
+        Some(v) => v[i],
+        None => match col.get(i) {
+            Value::Double(x) => x,
+            other => panic!("double aggregate lane got {other:?}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn long_col(vals: &[Option<i64>]) -> ColumnVector {
+        let values: Vec<Value> = vals
+            .iter()
+            .map(|v| v.map_or(Value::Null, Value::Long))
+            .collect();
+        ColumnVector::from_values(&DataType::Long, values)
+    }
+
+    #[test]
+    fn count_star_counts_nulls_count_col_skips_them() {
+        let col = long_col(&[Some(1), None, Some(3)]);
+        let asg = [(0u32, 0u32), (1, 0), (2, 1)];
+        let mut star = AccLane::for_input(LaneAgg::CountStar, &DataType::Long).unwrap();
+        star.update(None, &asg, 2);
+        let mut cnt = AccLane::for_input(LaneAgg::Count, &DataType::Long).unwrap();
+        cnt.update(Some(&col), &asg, 2);
+        assert!(matches!(star.partial(0), AccPartial::Count(2)));
+        assert!(matches!(cnt.partial(0), AccPartial::Count(1)));
+        assert!(matches!(cnt.partial(1), AccPartial::Count(1)));
+    }
+
+    #[test]
+    fn int_sum_widens_stickily_like_value_add() {
+        let values = vec![Value::Int(i32::MAX), Value::Int(1), Value::Int(-i32::MAX)];
+        let col = ColumnVector::from_values(&DataType::Int, values);
+        let asg = [(0u32, 0u32), (1, 0), (2, 0)];
+        let mut sum = AccLane::for_input(LaneAgg::Sum, &DataType::Int).unwrap();
+        sum.update(Some(&col), &asg, 1);
+        // The running sum left i32 range at step 2, so it stays Long even
+        // though the final value (1) fits an Int again.
+        match sum.partial(0) {
+            AccPartial::Sum(Some(Value::Long(1))) => {}
+            other => panic!("expected sticky Long(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_min_uses_total_cmp_order() {
+        let values = vec![Value::Double(0.0), Value::Double(-0.0)];
+        let col = ColumnVector::from_values(&DataType::Double, values);
+        let asg = [(0u32, 0u32), (1, 0)];
+        let mut min = AccLane::for_input(LaneAgg::Min, &DataType::Double).unwrap();
+        min.update(Some(&col), &asg, 1);
+        // total_cmp orders -0.0 below 0.0, so -0.0 replaces the first.
+        match min.partial(0) {
+            AccPartial::Min(Some(Value::Double(d))) => assert!(d.is_sign_negative()),
+            other => panic!("expected Min(-0.0), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_null_group_finishes_empty() {
+        let col = long_col(&[None, None]);
+        let asg = [(0u32, 0u32), (1, 0)];
+        for agg in [LaneAgg::Sum, LaneAgg::Avg, LaneAgg::Min, LaneAgg::Max] {
+            let mut lane = AccLane::for_input(agg, &DataType::Long).unwrap();
+            lane.update(Some(&col), &asg, 1);
+            match lane.partial(0) {
+                AccPartial::Sum(None) | AccPartial::Min(None) | AccPartial::Max(None) => {}
+                AccPartial::Avg(None, 0) => {}
+                other => panic!("expected empty partial, got {other:?}"),
+            }
+        }
+    }
+}

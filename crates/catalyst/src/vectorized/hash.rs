@@ -1,0 +1,359 @@
+//! Columnar group-key hashing for batch-native hash aggregation.
+//!
+//! [`BatchGroups`] interns each distinct grouping key and hands back
+//! dense group ids, one `(lane, group)` pair per selected lane, in
+//! arrival order. The truth table is a `HashMap<Row, u32>` — the exact
+//! key equality the row path's hash aggregation uses ([`Value`] hashing
+//! canonicalizes numerics, so `Int(1)`/`Long(1)` land in one group on
+//! both paths) — with typed caches layered on top so the hot loop never
+//! boxes a row: single-column keys hash a raw `i64` or `Arc<str>`
+//! directly, and multi-column keys (up to four columns) intern each
+//! column's value to a dense per-column id and probe a packed id
+//! *signature*, only materializing a boxed key row the first time a
+//! combination is seen.
+
+use super::batch::{ColumnVector, RowBatch, VectorData};
+use crate::row::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How many key columns the packed-signature fast path covers; wider
+/// keys fall back to boxed row interning per lane.
+const MAX_SIG_COLS: usize = 4;
+
+/// Per-column value interner backing the multi-column fast path.
+///
+/// Maps each distinct column value to a dense per-column id. Raw typed
+/// caches (`i64` lanes, `Arc<str>` lanes) front a canonical
+/// `HashMap<Value, u32>` so typed lanes in one batch and boxed lanes in
+/// another agree on ids — [`Value`] hashing canonicalizes numerics, so
+/// the id equivalence is exactly row-path key equality, column by
+/// column. Equal values get equal ids and distinct values get distinct
+/// ids, hence two key rows are equal iff their id signatures are equal.
+#[derive(Debug, Default)]
+struct ColumnInterner {
+    /// Raw cache for integer-lane columns.
+    by_long: HashMap<i64, u32>,
+    /// Raw cache for string-lane columns.
+    by_str: HashMap<Arc<str>, u32>,
+    /// Canonical value → id map; the per-column source of truth.
+    by_value: HashMap<Value, u32>,
+    /// Cached id of NULL in this column.
+    null_id: Option<u32>,
+}
+
+impl ColumnInterner {
+    fn canonical(&mut self, v: Value) -> u32 {
+        let next = self.by_value.len() as u32;
+        *self.by_value.entry(v).or_insert(next)
+    }
+
+    /// Dense id of lane `i` of `col`.
+    fn id(&mut self, col: &ColumnVector, i: usize) -> u32 {
+        if col.is_null(i) {
+            return match self.null_id {
+                Some(id) => id,
+                None => {
+                    let id = self.canonical(Value::Null);
+                    self.null_id = Some(id);
+                    id
+                }
+            };
+        }
+        match col.data() {
+            VectorData::Long(lanes) => {
+                let raw = lanes[i];
+                if let Some(&id) = self.by_long.get(&raw) {
+                    return id;
+                }
+                let id = self.canonical(col.get(i));
+                self.by_long.insert(raw, id);
+                id
+            }
+            VectorData::Str(lanes) => {
+                let raw = &lanes[i];
+                if let Some(&id) = self.by_str.get(raw) {
+                    return id;
+                }
+                let raw = raw.clone();
+                let id = self.canonical(col.get(i));
+                self.by_str.insert(raw, id);
+                id
+            }
+            _ => self.canonical(col.get(i)),
+        }
+    }
+}
+
+/// Incremental group-key interner over batches of key columns.
+#[derive(Debug, Default)]
+pub struct BatchGroups {
+    /// Key row → dense group id; the source of truth.
+    truth: HashMap<Row, u32>,
+    /// Distinct key rows in first-seen order, indexed by group id.
+    keys: Vec<Row>,
+    /// Fast path: single integer-lane key column.
+    long_cache: HashMap<i64, u32>,
+    /// Fast path: single string-lane key column.
+    str_cache: HashMap<Arc<str>, u32>,
+    /// Cached group id of the all-NULL single-column key.
+    null_group: Option<u32>,
+    /// Fast path: per-column interners for multi-column keys.
+    col_interners: Vec<ColumnInterner>,
+    /// Packed per-column id signature → group id (≤ [`MAX_SIG_COLS`]
+    /// columns, 32 bits of id space per column).
+    sig_cache: HashMap<u128, u32>,
+}
+
+impl BatchGroups {
+    /// Fresh, empty interner.
+    pub fn new() -> BatchGroups {
+        BatchGroups::default()
+    }
+
+    /// Number of distinct groups seen so far.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True before any key has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The key row of group `g`.
+    pub fn key(&self, g: usize) -> &Row {
+        &self.keys[g]
+    }
+
+    /// All distinct key rows, in first-seen order.
+    pub fn into_keys(self) -> Vec<Row> {
+        self.keys
+    }
+
+    fn intern(&mut self, key: Row) -> u32 {
+        if let Some(&g) = self.truth.get(&key) {
+            return g;
+        }
+        let g = self.keys.len() as u32;
+        self.keys.push(key.clone());
+        self.truth.insert(key, g);
+        g
+    }
+
+    fn intern_null(&mut self) -> u32 {
+        match self.null_group {
+            Some(g) => g,
+            None => {
+                let g = self.intern(Row::new(vec![Value::Null]));
+                self.null_group = Some(g);
+                g
+            }
+        }
+    }
+
+    /// Assign a group id to every selected lane of `key_batch` (the
+    /// evaluated grouping columns), appending `(lane, group)` pairs to
+    /// `out` in arrival order.
+    pub fn assign(&mut self, key_batch: &RowBatch, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        out.reserve(key_batch.selected_count());
+        if key_batch.num_columns() == 1 {
+            let col = key_batch.column(0).clone();
+            match col.data() {
+                VectorData::Long(lanes) => {
+                    key_batch.for_each_selected(|i| {
+                        let g = if col.is_null(i) {
+                            self.intern_null()
+                        } else {
+                            let raw = lanes[i];
+                            match self.long_cache.get(&raw) {
+                                Some(&g) => g,
+                                None => {
+                                    let g = self.intern(Row::new(vec![col.get(i)]));
+                                    self.long_cache.insert(raw, g);
+                                    g
+                                }
+                            }
+                        };
+                        out.push((i as u32, g));
+                    });
+                    return;
+                }
+                VectorData::Str(lanes) => {
+                    key_batch.for_each_selected(|i| {
+                        let g = if col.is_null(i) {
+                            self.intern_null()
+                        } else {
+                            let raw = &lanes[i];
+                            match self.str_cache.get(raw) {
+                                Some(&g) => g,
+                                None => {
+                                    let g = self.intern(Row::new(vec![col.get(i)]));
+                                    self.str_cache.insert(raw.clone(), g);
+                                    g
+                                }
+                            }
+                        };
+                        out.push((i as u32, g));
+                    });
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let cols: Vec<&Arc<ColumnVector>> = key_batch.columns().iter().collect();
+        if (2..=MAX_SIG_COLS).contains(&cols.len()) {
+            if self.col_interners.len() != cols.len() {
+                self.col_interners = (0..cols.len()).map(|_| ColumnInterner::default()).collect();
+            }
+            key_batch.for_each_selected(|i| {
+                let mut sig = 0u128;
+                for (j, c) in cols.iter().enumerate() {
+                    sig |= (self.col_interners[j].id(c, i) as u128) << (32 * j);
+                }
+                let g = match self.sig_cache.get(&sig) {
+                    Some(&g) => g,
+                    None => {
+                        let key = Row::new(cols.iter().map(|c| c.get(i)).collect());
+                        let g = self.intern(key);
+                        self.sig_cache.insert(sig, g);
+                        g
+                    }
+                };
+                out.push((i as u32, g));
+            });
+            return;
+        }
+        key_batch.for_each_selected(|i| {
+            let key = Row::new(cols.iter().map(|c| c.get(i)).collect());
+            let g = self.intern(key);
+            out.push((i as u32, g));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn batch_of(dtype: DataType, values: Vec<Value>) -> RowBatch {
+        let n = values.len();
+        RowBatch::new(vec![Arc::new(ColumnVector::from_values(&dtype, values))], n)
+    }
+
+    #[test]
+    fn long_keys_intern_in_first_seen_order() {
+        let b = batch_of(
+            DataType::Long,
+            vec![
+                Value::Long(7),
+                Value::Long(3),
+                Value::Null,
+                Value::Long(7),
+                Value::Null,
+            ],
+        );
+        let mut groups = BatchGroups::new();
+        let mut out = Vec::new();
+        groups.assign(&b, &mut out);
+        assert_eq!(out, vec![(0, 0), (1, 1), (2, 2), (3, 0), (4, 2)]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups.key(2), &Row::new(vec![Value::Null]));
+    }
+
+    #[test]
+    fn boxed_and_typed_batches_share_groups() {
+        // First batch arrives typed, second as boxed values (the eval
+        // fallback shape); both must agree on group ids.
+        let typed = batch_of(DataType::Long, vec![Value::Long(1), Value::Long(2)]);
+        let boxed = RowBatch::new(
+            vec![Arc::new(ColumnVector::from_boxed(
+                DataType::Long,
+                vec![Value::Long(2), Value::Long(9)],
+            ))],
+            2,
+        );
+        let mut groups = BatchGroups::new();
+        let mut out = Vec::new();
+        groups.assign(&typed, &mut out);
+        groups.assign(&boxed, &mut out);
+        assert_eq!(out, vec![(0, 1), (1, 2)]);
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn multi_column_keys_use_row_equality() {
+        let n = 3;
+        let c1 = Arc::new(ColumnVector::from_values(
+            &DataType::Long,
+            vec![Value::Long(1), Value::Long(1), Value::Long(1)],
+        ));
+        let c2 = Arc::new(ColumnVector::from_values(
+            &DataType::String,
+            vec![Value::str("a"), Value::str("b"), Value::str("a")],
+        ));
+        let mut groups = BatchGroups::new();
+        let mut out = Vec::new();
+        groups.assign(&RowBatch::new(vec![c1, c2], n), &mut out);
+        assert_eq!(out, vec![(0, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn multi_column_signature_cache_is_stable_across_batches() {
+        // Typed lanes first, then boxed lanes (the eval fallback shape)
+        // with NULLs and a numeric-width change; the packed-signature
+        // fast path must agree with row-path key equality throughout.
+        let typed = RowBatch::new(
+            vec![
+                Arc::new(ColumnVector::from_values(
+                    &DataType::Long,
+                    vec![Value::Long(1), Value::Long(2), Value::Null],
+                )),
+                Arc::new(ColumnVector::from_values(
+                    &DataType::String,
+                    vec![Value::str("a"), Value::str("a"), Value::str("b")],
+                )),
+            ],
+            3,
+        );
+        let boxed = RowBatch::new(
+            vec![
+                Arc::new(ColumnVector::from_boxed(
+                    DataType::Long,
+                    vec![Value::Int(1), Value::Null, Value::Long(3)],
+                )),
+                Arc::new(ColumnVector::from_boxed(
+                    DataType::String,
+                    vec![Value::str("a"), Value::str("b"), Value::Null],
+                )),
+            ],
+            3,
+        );
+        let mut groups = BatchGroups::new();
+        let mut out = Vec::new();
+        groups.assign(&typed, &mut out);
+        assert_eq!(out, vec![(0, 0), (1, 1), (2, 2)]);
+        groups.assign(&boxed, &mut out);
+        // Int(1) canonicalizes to Long(1): lane 0 rejoins group 0.
+        assert_eq!(out, vec![(0, 0), (1, 2), (2, 3)]);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups.key(3), &Row::new(vec![Value::Long(3), Value::Null]));
+    }
+
+    #[test]
+    fn selection_vector_limits_assignment() {
+        let b = batch_of(
+            DataType::String,
+            vec![Value::str("x"), Value::str("y"), Value::str("x")],
+        )
+        .with_selection(vec![0, 2]);
+        let mut groups = BatchGroups::new();
+        let mut out = Vec::new();
+        groups.assign(&b, &mut out);
+        assert_eq!(out, vec![(0, 0), (2, 0)]);
+        assert_eq!(groups.len(), 1);
+    }
+}

@@ -1,440 +1,17 @@
-//! Vectorized (batch-at-a-time) expression evaluation.
+//! Columnar expression kernels over [`RowBatch`] columns.
 //!
-//! The row-at-a-time Volcano iterator pays a virtual call and a boxed
-//! [`Value`] per column per row. This module amortizes that overhead over
-//! whole batches: a [`RowBatch`] carries typed column vectors
-//! ([`ColumnVector`]) plus an optional *selection vector*, and
-//! [`eval_batch`] evaluates an expression tree one **column** at a time
-//! with tight loops over primitive lanes — the Shark/Flare-style answer
-//! to interpretation overhead that §3.4/§4.3.4 of the paper motivate.
-//!
-//! Design rules (documented in DESIGN.md):
-//!
-//! * **Kernels mirror `codegen.rs`.** A kernel exists exactly where the
-//!   row-path code generator compiles a closure (Long/Double arithmetic
-//!   with Hive division semantics, three-valued AND/OR, string
-//!   comparison/concat, numeric casts, null tests). Division or modulo by
-//!   zero yields NULL in both paths.
-//! * **Anything else falls back per row.** Unsupported nodes (CASE, LIKE,
-//!   UDFs, decimals, dates, …) are evaluated with the tree-walking
-//!   [`interpreter`] on the *selected* rows only, producing a boxed
-//!   [`VectorData::Values`] column. Unselected lanes are never evaluated,
-//!   matching the row path where filtered-out rows never reach the
-//!   expression.
-//! * **Filters select, they don't copy.** A predicate refines the
-//!   selection vector; rows are compacted only at the batch→row adapter
-//!   boundary ([`RowBatch::into_selected_rows`]).
+//! A kernel exists exactly where the row-path code generator compiles a
+//! closure; anything else falls back to the tree-walking interpreter on
+//! the selected lanes only (see the module docs in
+//! [`vectorized`](crate::vectorized)).
 
+use super::batch::{ColumnVector, NumLanes, RowBatch, VectorData};
 use crate::error::Result;
 use crate::expr::{BinaryOperator, Expr};
 use crate::interpreter;
-use crate::row::Row;
 use crate::types::DataType;
 use crate::value::Value;
 use std::sync::Arc;
-
-/// Physical lane storage of one [`ColumnVector`].
-///
-/// `Long` lanes back Int/Long/Date/Timestamp columns and `Double` lanes
-/// back Float/Double columns; the vector's declared [`DataType`] decides
-/// how lanes are re-tagged into [`Value`]s (and which kernels may touch
-/// them — Date/Timestamp lanes are deliberately *not* exposed to numeric
-/// kernels, mirroring what the row-path code generator refuses to
-/// compile).
-#[derive(Debug, Clone)]
-pub enum VectorData {
-    /// 64-bit integer lanes (Int/Long/Date/Timestamp storage).
-    Long(Vec<i64>),
-    /// 64-bit float lanes (Float/Double storage).
-    Double(Vec<f64>),
-    /// Boolean lanes.
-    Bool(Vec<bool>),
-    /// String lanes (shared, clones are cheap).
-    Str(Vec<Arc<str>>),
-    /// Boxed values — the universal fallback representation.
-    Values(Vec<Value>),
-}
-
-impl VectorData {
-    fn len(&self) -> usize {
-        match self {
-            VectorData::Long(v) => v.len(),
-            VectorData::Double(v) => v.len(),
-            VectorData::Bool(v) => v.len(),
-            VectorData::Str(v) => v.len(),
-            VectorData::Values(v) => v.len(),
-        }
-    }
-}
-
-/// A typed column of lanes plus an optional null mask.
-///
-/// `nulls[i] == true` means lane `i` is NULL; the corresponding data lane
-/// holds an arbitrary filler and must not be interpreted. A missing mask
-/// means no lane is NULL (for typed data) — boxed [`VectorData::Values`]
-/// lanes may additionally contain explicit [`Value::Null`]s.
-#[derive(Debug, Clone)]
-pub struct ColumnVector {
-    dtype: DataType,
-    data: VectorData,
-    nulls: Option<Vec<bool>>,
-}
-
-/// A typed view over the numeric lanes of a vector, for kernels.
-enum NumLanes<'a> {
-    I(&'a [i64]),
-    F(&'a [f64]),
-}
-
-impl NumLanes<'_> {
-    #[inline]
-    fn f64_at(&self, i: usize) -> f64 {
-        match self {
-            NumLanes::I(v) => v[i] as f64,
-            NumLanes::F(v) => v[i],
-        }
-    }
-}
-
-impl ColumnVector {
-    /// Build a vector from raw parts. `nulls`, when present, must be as
-    /// long as `data`.
-    pub fn new(dtype: DataType, data: VectorData, nulls: Option<Vec<bool>>) -> ColumnVector {
-        debug_assert!(nulls.as_ref().is_none_or(|n| n.len() == data.len()));
-        ColumnVector { dtype, data, nulls }
-    }
-
-    /// Build a boxed-values vector (the fallback representation).
-    pub fn from_boxed(dtype: DataType, values: Vec<Value>) -> ColumnVector {
-        ColumnVector {
-            dtype,
-            data: VectorData::Values(values),
-            nulls: None,
-        }
-    }
-
-    /// Build a typed vector from boxed values, falling back to boxed
-    /// storage when a non-null value does not match `dtype`.
-    pub fn from_values(dtype: &DataType, values: Vec<Value>) -> ColumnVector {
-        let conforms = values.iter().all(|v| match dtype {
-            DataType::Int => matches!(v, Value::Int(_) | Value::Null),
-            DataType::Long => matches!(v, Value::Long(_) | Value::Null),
-            DataType::Date => matches!(v, Value::Date(_) | Value::Null),
-            DataType::Timestamp => matches!(v, Value::Timestamp(_) | Value::Null),
-            DataType::Float => matches!(v, Value::Float(_) | Value::Null),
-            DataType::Double => matches!(v, Value::Double(_) | Value::Null),
-            DataType::Boolean => matches!(v, Value::Boolean(_) | Value::Null),
-            DataType::String => matches!(v, Value::Str(_) | Value::Null),
-            _ => false,
-        });
-        if !conforms {
-            return ColumnVector::from_boxed(dtype.clone(), values);
-        }
-        let n = values.len();
-        let mut nulls = vec![false; n];
-        let mut any_null = false;
-        let data = match dtype {
-            DataType::Int | DataType::Long | DataType::Date | DataType::Timestamp => {
-                let mut lanes = vec![0i64; n];
-                for (i, v) in values.into_iter().enumerate() {
-                    match v {
-                        Value::Int(x) => lanes[i] = x as i64,
-                        Value::Long(x) | Value::Timestamp(x) => lanes[i] = x,
-                        Value::Date(x) => lanes[i] = x as i64,
-                        _ => {
-                            nulls[i] = true;
-                            any_null = true;
-                        }
-                    }
-                }
-                VectorData::Long(lanes)
-            }
-            DataType::Float | DataType::Double => {
-                let mut lanes = vec![0f64; n];
-                for (i, v) in values.into_iter().enumerate() {
-                    match v {
-                        Value::Float(x) => lanes[i] = x as f64,
-                        Value::Double(x) => lanes[i] = x,
-                        _ => {
-                            nulls[i] = true;
-                            any_null = true;
-                        }
-                    }
-                }
-                VectorData::Double(lanes)
-            }
-            DataType::Boolean => {
-                let mut lanes = vec![false; n];
-                for (i, v) in values.into_iter().enumerate() {
-                    match v {
-                        Value::Boolean(x) => lanes[i] = x,
-                        _ => {
-                            nulls[i] = true;
-                            any_null = true;
-                        }
-                    }
-                }
-                VectorData::Bool(lanes)
-            }
-            DataType::String => {
-                let empty: Arc<str> = Arc::from("");
-                let mut lanes = vec![empty; n];
-                for (i, v) in values.into_iter().enumerate() {
-                    match v {
-                        Value::Str(s) => lanes[i] = s,
-                        _ => {
-                            nulls[i] = true;
-                            any_null = true;
-                        }
-                    }
-                }
-                VectorData::Str(lanes)
-            }
-            _ => unreachable!("conformance check covers only typed dtypes"),
-        };
-        ColumnVector::new(dtype.clone(), data, any_null.then_some(nulls))
-    }
-
-    /// Number of lanes.
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// True when the vector has no lanes.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Declared column type (decides lane re-tagging).
-    pub fn dtype(&self) -> &DataType {
-        &self.dtype
-    }
-
-    /// Raw lane storage.
-    pub fn data(&self) -> &VectorData {
-        &self.data
-    }
-
-    /// Null mask, if any lane is NULL (typed storage only).
-    pub fn nulls(&self) -> Option<&[bool]> {
-        self.nulls.as_deref()
-    }
-
-    /// Is lane `i` NULL?
-    #[inline]
-    pub fn is_null(&self, i: usize) -> bool {
-        if self.nulls.as_ref().is_some_and(|n| n[i]) {
-            return true;
-        }
-        matches!(&self.data, VectorData::Values(v) if v[i].is_null())
-    }
-
-    /// Lane `i` re-tagged as a [`Value`] according to the declared dtype.
-    pub fn get(&self, i: usize) -> Value {
-        if self.nulls.as_ref().is_some_and(|n| n[i]) {
-            return Value::Null;
-        }
-        match &self.data {
-            VectorData::Long(v) => match self.dtype {
-                DataType::Int => Value::Int(v[i] as i32),
-                DataType::Date => Value::Date(v[i] as i32),
-                DataType::Timestamp => Value::Timestamp(v[i]),
-                _ => Value::Long(v[i]),
-            },
-            VectorData::Double(v) => match self.dtype {
-                DataType::Float => Value::Float(v[i] as f32),
-                _ => Value::Double(v[i]),
-            },
-            VectorData::Bool(v) => Value::Boolean(v[i]),
-            VectorData::Str(v) => Value::Str(v[i].clone()),
-            VectorData::Values(v) => v[i].clone(),
-        }
-    }
-
-    /// Predicate view of lane `i`: true iff the lane is a non-NULL SQL
-    /// `TRUE` (NULL ⇒ false, mirroring `compile_predicate`).
-    #[inline]
-    pub fn is_true(&self, i: usize) -> bool {
-        if self.nulls.as_ref().is_some_and(|n| n[i]) {
-            return false;
-        }
-        match &self.data {
-            VectorData::Bool(v) => v[i],
-            VectorData::Values(v) => matches!(v[i], Value::Boolean(true)),
-            _ => false,
-        }
-    }
-
-    /// Integer lanes, only for Int/Long columns (Date/Timestamp lanes are
-    /// hidden from numeric kernels, like in the code generator).
-    fn long_lanes(&self) -> Option<&[i64]> {
-        match (&self.dtype, &self.data) {
-            (DataType::Int | DataType::Long, VectorData::Long(v)) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn num_lanes(&self) -> Option<NumLanes<'_>> {
-        match (&self.dtype, &self.data) {
-            (DataType::Int | DataType::Long, VectorData::Long(v)) => Some(NumLanes::I(v)),
-            (DataType::Float | DataType::Double, VectorData::Double(v)) => Some(NumLanes::F(v)),
-            _ => None,
-        }
-    }
-
-    fn bool_lanes(&self) -> Option<&[bool]> {
-        match (&self.dtype, &self.data) {
-            (DataType::Boolean, VectorData::Bool(v)) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn str_lanes(&self) -> Option<&[Arc<str>]> {
-        match (&self.dtype, &self.data) {
-            (DataType::String, VectorData::Str(v)) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Re-tag a vector to the dtype an expression declares (e.g. Long
-    /// lanes produced by integer arithmetic re-tagged as Int), mirroring
-    /// `Compiled::eval_value`. Incompatible combinations are returned
-    /// unchanged.
-    fn retagged(self: Arc<Self>, declared: &DataType) -> Arc<ColumnVector> {
-        if &self.dtype == declared {
-            return self;
-        }
-        let compatible = matches!(
-            (&self.data, declared),
-            (VectorData::Long(_), DataType::Int | DataType::Long)
-                | (VectorData::Double(_), DataType::Float | DataType::Double)
-                | (VectorData::Bool(_), DataType::Boolean)
-                | (VectorData::Str(_), DataType::String)
-        );
-        if !compatible {
-            return self;
-        }
-        Arc::new(ColumnVector::new(
-            declared.clone(),
-            self.data.clone(),
-            self.nulls.clone(),
-        ))
-    }
-}
-
-/// A batch of rows in columnar form: column vectors sharing one lane
-/// count, plus an optional selection vector of live lane indices.
-///
-/// Cloning is cheap (columns and selection are shared), so a `RowBatch`
-/// flows through the engine's RDDs as an ordinary element.
-#[derive(Debug, Clone)]
-pub struct RowBatch {
-    columns: Vec<Arc<ColumnVector>>,
-    num_rows: usize,
-    selection: Option<Arc<Vec<u32>>>,
-}
-
-impl RowBatch {
-    /// Build a batch from column vectors (each `num_rows` lanes long).
-    pub fn new(columns: Vec<Arc<ColumnVector>>, num_rows: usize) -> RowBatch {
-        debug_assert!(columns.iter().all(|c| c.len() == num_rows));
-        RowBatch {
-            columns,
-            num_rows,
-            selection: None,
-        }
-    }
-
-    /// Transpose rows into a typed batch (the generic row→batch adapter
-    /// for sources without a native vector scan).
-    pub fn from_rows(dtypes: &[DataType], rows: &[Row]) -> RowBatch {
-        let columns = dtypes
-            .iter()
-            .enumerate()
-            .map(|(j, dt)| {
-                let vals: Vec<Value> = rows
-                    .iter()
-                    .map(|r| r.values().get(j).cloned().unwrap_or(Value::Null))
-                    .collect();
-                Arc::new(ColumnVector::from_values(dt, vals))
-            })
-            .collect();
-        RowBatch {
-            columns,
-            num_rows: rows.len(),
-            selection: None,
-        }
-    }
-
-    /// Physical lane count (selected or not).
-    pub fn num_rows(&self) -> usize {
-        self.num_rows
-    }
-
-    /// Live rows: selection length if present, else all lanes.
-    pub fn selected_count(&self) -> usize {
-        self.selection.as_ref().map_or(self.num_rows, |s| s.len())
-    }
-
-    /// Number of columns.
-    pub fn num_columns(&self) -> usize {
-        self.columns.len()
-    }
-
-    /// Column `i`.
-    pub fn column(&self, i: usize) -> &Arc<ColumnVector> {
-        &self.columns[i]
-    }
-
-    /// All columns.
-    pub fn columns(&self) -> &[Arc<ColumnVector>] {
-        &self.columns
-    }
-
-    /// The selection vector, if the batch has been filtered.
-    pub fn selection(&self) -> Option<&[u32]> {
-        self.selection.as_ref().map(|s| s.as_slice())
-    }
-
-    /// Replace the selection vector (callers pass indices already
-    /// restricted to the previous selection).
-    pub fn with_selection(mut self, selection: Vec<u32>) -> RowBatch {
-        self.selection = Some(Arc::new(selection));
-        self
-    }
-
-    /// Visit every selected lane index in order.
-    #[inline]
-    pub fn for_each_selected(&self, mut f: impl FnMut(usize)) {
-        match &self.selection {
-            Some(sel) => sel.iter().for_each(|&i| f(i as usize)),
-            None => (0..self.num_rows).for_each(&mut f),
-        }
-    }
-
-    /// Keep only the named columns (cheap: shares vectors). The selection
-    /// vector is preserved.
-    pub fn project(&self, indices: &[usize]) -> RowBatch {
-        RowBatch {
-            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
-            num_rows: self.num_rows,
-            selection: self.selection.clone(),
-        }
-    }
-
-    /// Gather lane `i` across all columns into a [`Row`] (fallback path).
-    pub fn row(&self, i: usize) -> Row {
-        Row::new(self.columns.iter().map(|c| c.get(i)).collect())
-    }
-
-    /// Compact the batch into materialized rows — the batch→row adapter.
-    /// This is the only place selected lanes are copied out.
-    pub fn into_selected_rows(self) -> Vec<Row> {
-        let mut out = Vec::with_capacity(self.selected_count());
-        self.for_each_selected(|i| out.push(self.row(i)));
-        out
-    }
-}
 
 /// Evaluate `expr` over a batch, returning one output lane per physical
 /// row (unselected lanes hold unspecified filler). With `kernels` set,
@@ -858,24 +435,6 @@ mod tests {
             vec![Arc::new(ColumnVector::from_values(&DataType::Long, values))],
             vals.len(),
         )
-    }
-
-    #[test]
-    fn typed_build_and_get_round_trip() {
-        let vals = vec![Value::Int(1), Value::Null, Value::Int(-3)];
-        let v = ColumnVector::from_values(&DataType::Int, vals.clone());
-        assert!(matches!(v.data(), VectorData::Long(_)));
-        for (i, expect) in vals.iter().enumerate() {
-            assert_eq!(&v.get(i), expect);
-        }
-    }
-
-    #[test]
-    fn mixed_values_fall_back_to_boxed() {
-        let vals = vec![Value::Int(1), Value::str("x")];
-        let v = ColumnVector::from_values(&DataType::Int, vals.clone());
-        assert!(matches!(v.data(), VectorData::Values(_)));
-        assert_eq!(v.get(1), Value::str("x"));
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Vectorized (batch-at-a-time) expression evaluation and operators.
+//!
+//! The row-at-a-time Volcano iterator pays a virtual call and a boxed
+//! [`Value`](crate::value::Value) per column per row. This module
+//! amortizes that overhead over whole batches: a [`RowBatch`] carries
+//! typed column vectors ([`ColumnVector`]) plus an optional *selection
+//! vector*, and [`eval_batch`] evaluates an expression tree one
+//! **column** at a time with tight loops over primitive lanes — the
+//! Shark/Flare-style answer to interpretation overhead that §3.4/§4.3.4
+//! of the paper motivate.
+//!
+//! Layout:
+//!
+//! * [`batch`] — the storage types: [`VectorData`], [`ColumnVector`],
+//!   [`RowBatch`] and the batch→row compaction point
+//!   ([`RowBatch::into_selected_rows`]).
+//! * [`kernels`] — columnar expression kernels ([`eval_batch`],
+//!   [`eval_projection_batch`], [`filter_batch`]).
+//! * [`hash`] — columnar group-key hashing for batch-native hash
+//!   aggregation ([`BatchGroups`]).
+//! * [`accumulators`] — typed accumulator lanes updated per-batch
+//!   ([`AccLane`], [`LaneAgg`]).
+//! * [`sort`] — batch-level sort-key extraction and index-sort + gather
+//!   reordering ([`sort_keys_batch`], [`sorted_indices`]).
+//!
+//! Design rules (documented in DESIGN.md):
+//!
+//! * **Kernels mirror `codegen.rs`.** A kernel exists exactly where the
+//!   row-path code generator compiles a closure (Long/Double arithmetic
+//!   with Hive division semantics, three-valued AND/OR, string
+//!   comparison/concat, numeric casts, null tests). Division or modulo by
+//!   zero yields NULL in both paths.
+//! * **Anything else falls back per row.** Unsupported nodes (CASE, LIKE,
+//!   UDFs, decimals, dates, …) are evaluated with the tree-walking
+//!   [`interpreter`](crate::interpreter) on the *selected* rows only,
+//!   producing a boxed [`VectorData::Values`] column. Unselected lanes
+//!   are never evaluated, matching the row path where filtered-out rows
+//!   never reach the expression.
+//! * **Filters select, they don't copy.** A predicate refines the
+//!   selection vector; rows are compacted only at the batch→row adapter
+//!   boundary ([`RowBatch::into_selected_rows`]).
+
+pub mod accumulators;
+pub mod batch;
+pub mod hash;
+pub mod kernels;
+pub mod sort;
+
+pub use accumulators::{AccLane, AccPartial, LaneAgg};
+pub use batch::{ColumnVector, RowBatch, VectorData};
+pub use hash::BatchGroups;
+pub use kernels::{eval_batch, eval_projection_batch, filter_batch};
+pub use sort::{sort_keys_batch, sorted_indices};

@@ -1,0 +1,126 @@
+//! Batch-level sort-key extraction and index-sort + gather reordering.
+//!
+//! The executor's sorts stay row-granular where spill byte-identity
+//! demands it (the external-sort run writer consumes rows in arrival
+//! order); what vectorizes is the expensive part — evaluating the ORDER
+//! BY key expressions — plus an in-memory index sort used where a whole
+//! partition is buffered. [`sorted_indices`] is a *stable* sort under
+//! exactly the comparator the row path's `SortKey` uses
+//! ([`crate::value::Value::total_cmp`] per key, descending keys reversed, NULLs
+//! first ascending), so it yields the identical permutation.
+
+use super::batch::{ColumnVector, RowBatch, VectorData};
+use crate::error::Result;
+use crate::expr::Expr;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Evaluate the bound ORDER BY key expressions over a batch, one column
+/// per key (columnar where kernels exist, interpreter fallback
+/// otherwise — the same contract as [`eval_batch`](super::eval_batch)).
+pub fn sort_keys_batch(
+    order_exprs: &[Expr],
+    batch: &RowBatch,
+    kernels: bool,
+) -> Result<Vec<Arc<ColumnVector>>> {
+    order_exprs
+        .iter()
+        .map(|e| super::eval_batch(e, batch, kernels))
+        .collect()
+}
+
+/// Compare lane `i` against lane `j` of one key column with
+/// [`crate::value::Value::total_cmp`] semantics, using typed lanes when available.
+fn cmp_lanes(col: &ColumnVector, i: usize, j: usize) -> Ordering {
+    match (col.is_null(i), col.is_null(j)) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        (false, false) => {}
+    }
+    match col.data() {
+        VectorData::Long(v) => v[i].cmp(&v[j]),
+        VectorData::Double(v) => v[i].total_cmp(&v[j]),
+        VectorData::Bool(v) => v[i].cmp(&v[j]),
+        VectorData::Str(v) => v[i].as_ref().cmp(v[j].as_ref()),
+        VectorData::Values(_) => col.get(i).total_cmp(&col.get(j)),
+    }
+}
+
+/// Stable index sort of the batch's *selected* lanes by the given key
+/// columns (`true` = descending). Returns lane indices in sorted order;
+/// equal keys keep arrival order, matching the row path's stable sort.
+pub fn sorted_indices(batch: &RowBatch, keys: &[(Arc<ColumnVector>, bool)]) -> Vec<u32> {
+    let mut indices = Vec::with_capacity(batch.selected_count());
+    batch.for_each_selected(|i| indices.push(i as u32));
+    indices.sort_by(|&a, &b| {
+        for (col, descending) in keys {
+            let mut o = cmp_lanes(col, a as usize, b as usize);
+            if *descending {
+                o = o.reverse();
+            }
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
+    indices
+}
+
+/// Gather-based reordering: the sorted indices become the batch's
+/// selection vector, so no column data moves until the single
+/// batch→row compaction boundary.
+pub fn gather(batch: &RowBatch, indices: Vec<u32>) -> RowBatch {
+    batch.clone().with_selection(indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn batch(vals: Vec<Value>) -> RowBatch {
+        let n = vals.len();
+        RowBatch::new(
+            vec![Arc::new(ColumnVector::from_values(&DataType::Long, vals))],
+            n,
+        )
+    }
+
+    #[test]
+    fn stable_sort_keeps_arrival_order_on_ties() {
+        let b = batch(vec![
+            Value::Long(2),
+            Value::Long(1),
+            Value::Long(2),
+            Value::Null,
+        ]);
+        let keys = vec![(b.column(0).clone(), false)];
+        let idx = sorted_indices(&b, &keys);
+        // NULLs first, then 1, then the two 2s in arrival order.
+        assert_eq!(idx, vec![3, 1, 0, 2]);
+        let rows = gather(&b, idx).into_selected_rows();
+        assert_eq!(rows[0].get(0), &Value::Null);
+        assert_eq!(rows[1].get(0), &Value::Long(1));
+    }
+
+    #[test]
+    fn descending_reverses_but_keeps_null_rule() {
+        let b = batch(vec![Value::Long(1), Value::Null, Value::Long(3)]);
+        let keys = vec![(b.column(0).clone(), true)];
+        let idx = sorted_indices(&b, &keys);
+        // Descending reverses the whole total order, so NULL sorts last.
+        assert_eq!(idx, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn sorting_respects_existing_selection() {
+        let b =
+            batch(vec![Value::Long(5), Value::Long(1), Value::Long(3)]).with_selection(vec![0, 2]);
+        let keys = vec![(b.column(0).clone(), false)];
+        let idx = sorted_indices(&b, &keys);
+        assert_eq!(idx, vec![2, 0], "unselected lane 1 never appears");
+    }
+}

@@ -13,7 +13,9 @@ use crate::spill::{self, SpillCtx};
 use catalyst::adaptive::{rules as adaptive_rules, AdaptivePlanChange, AdaptiveRule};
 use catalyst::codegen;
 use catalyst::error::{CatalystError, Result};
-use catalyst::expr::{AggFunc, ColumnRef, Expr, SortOrder};
+use catalyst::expr::{
+    AggFunc, ColumnRef, Expr, FrameBound, FrameUnits, SortOrder, WindowFrame, WindowFunc,
+};
 use catalyst::interpreter::{self, bind_references};
 use catalyst::physical::metrics::{subtree_size, OperatorMetrics, PlanMetrics};
 use catalyst::physical::{BuildSide, PhysicalPlan};
@@ -744,6 +746,56 @@ fn try_lower_batched(
     }
 }
 
+/// Partition iterator for the vectorized sort front end: chunks rows
+/// into batches, evaluates the ORDER BY keys columnar
+/// ([`vectorized::sort_keys_batch`]), and re-emits `(key, row)` pairs in
+/// arrival order — the same stream shape the row path produces, so the
+/// downstream in-memory or external sort is byte-identical.
+struct BatchSortKeys {
+    inner: engine::BoxIter<Row>,
+    bound: Arc<Vec<Expr>>,
+    orders: Arc<Vec<SortOrder>>,
+    dtypes: Arc<Vec<DataType>>,
+    batch_size: usize,
+    kernels: bool,
+    out: std::vec::IntoIter<(SortKey, Row)>,
+}
+
+impl Iterator for BatchSortKeys {
+    type Item = (SortKey, Row);
+
+    fn next(&mut self) -> Option<(SortKey, Row)> {
+        loop {
+            if let Some(pair) = self.out.next() {
+                return Some(pair);
+            }
+            let mut buf = Vec::with_capacity(self.batch_size);
+            while buf.len() < self.batch_size {
+                match self.inner.next() {
+                    Some(row) => buf.push(row),
+                    None => break,
+                }
+            }
+            if buf.is_empty() {
+                return None;
+            }
+            let batch = RowBatch::from_rows(&self.dtypes, &buf);
+            let keys = vectorized::sort_keys_batch(&self.bound, &batch, self.kernels)
+                .expect("sort key failed");
+            let orders = self.orders.clone();
+            let pairs: Vec<(SortKey, Row)> = buf
+                .into_iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let values: Vec<Value> = keys.iter().map(|c| c.get(i)).collect();
+                    (SortKey::new(values, &orders), row)
+                })
+                .collect();
+            self.out = pairs.into_iter();
+        }
+    }
+}
+
 /// Apply a predicate batch-wise: refine each batch's selection vector.
 fn batch_filter(
     rdd: RddRef<RowBatch>,
@@ -826,13 +878,38 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
                 .map(|e| e.data_type().unwrap_or(DataType::String))
                 .collect();
             let orders_meta = orders.clone();
-            let keyed = child.map(move |row| {
-                let values: Vec<Value> = bound
-                    .iter()
-                    .map(|e| interpreter::eval(e, &row).expect("sort key failed"))
-                    .collect();
-                (SortKey::new(values, &orders_meta), row)
-            });
+            let keyed = if ctx.conf.vectorize_enabled {
+                // Vectorized key extraction: chunk the partition into
+                // batches and evaluate the ORDER BY expressions columnar.
+                // The (key, row) pairs come out in arrival order, so the
+                // downstream sort — in-memory or external — consumes a
+                // byte-identical stream to the row path's.
+                let bound = Arc::new(bound);
+                let orders_meta = Arc::new(orders_meta);
+                let dtypes: Arc<Vec<DataType>> =
+                    Arc::new(input.output().iter().map(|c| c.dtype.clone()).collect());
+                let batch_size = ctx.conf.vectorize_batch_size.max(1);
+                let kernels = ctx.conf.codegen_enabled;
+                child.map_partitions(move |it| {
+                    Box::new(BatchSortKeys {
+                        inner: it,
+                        bound: bound.clone(),
+                        orders: orders_meta.clone(),
+                        dtypes: dtypes.clone(),
+                        batch_size,
+                        kernels,
+                        out: Vec::new().into_iter(),
+                    })
+                })
+            } else {
+                child.map(move |row| {
+                    let values: Vec<Value> = bound
+                        .iter()
+                        .map(|e| interpreter::eval(e, &row).expect("sort key failed"))
+                        .collect();
+                    (SortKey::new(values, &orders_meta), row)
+                })
+            };
             if ctx.mem.is_bounded() {
                 let row_dtypes = input.output().iter().map(|c| c.dtype.clone()).collect();
                 return execute_external_sort(keyed, orders, key_dtypes, row_dtypes, id, ctx);
@@ -842,6 +919,13 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
                 .sort_by_key(true, ctx.conf.shuffle_partitions)
                 .values())
         }
+
+        PhysicalPlan::Window {
+            input,
+            window_exprs,
+            partition_by,
+            order_by,
+        } => execute_window(input, window_exprs, partition_by, order_by, id, ctx),
 
         PhysicalPlan::TakeOrdered { input, orders, n } => {
             let child = execute_node(input, id + 1, ctx)?;
@@ -1361,7 +1445,6 @@ fn execute_aggregate(
     ctx: &ExecContext,
 ) -> Result<RddRef<Row>> {
     let input_attrs = input.output();
-    let child = execute_node(input, id + 1, ctx)?;
 
     // Unique aggregate calls appearing anywhere in the output list.
     let mut agg_exprs: Vec<Expr> = Vec::new();
@@ -1428,6 +1511,45 @@ fn execute_aggregate(
         })
         .collect::<Result<_>>()?;
 
+    let finish_rows = {
+        let final_exprs = final_exprs.clone();
+        move |key: Row, accs: Vec<Acc>| -> Row {
+            let mut values = key.into_values();
+            values.extend(accs.into_iter().map(finish_acc));
+            let internal = Row::new(values);
+            Row::new(
+                final_exprs
+                    .iter()
+                    .map(|e| interpreter::eval(e, &internal).expect("final aggregate failed"))
+                    .collect(),
+            )
+        }
+    };
+
+    // Batch-native hash aggregation: group keys hashed columnar, typed
+    // accumulator lanes per aggregate call. Consumes the child's batch
+    // subtree directly when one exists (no row round trip), and produces
+    // the same spillable `(key, Vec<Acc>)` partials as the row path, so
+    // the shuffle and the reduce-side merge (including
+    // `merge_agg_partition` under a bounded pool) are shared. Takes
+    // precedence over the compiled fast path when vectorization is on;
+    // unsupported shapes fall through to the row path below.
+    if ctx.conf.vectorize_enabled && !groupings.is_empty() {
+        if let Some(rdd) = try_batch_aggregate(
+            input,
+            &input_attrs,
+            groupings,
+            &agg_exprs,
+            finish_rows.clone(),
+            id,
+            ctx,
+        ) {
+            return rdd;
+        }
+    }
+
+    let child = execute_node(input, id + 1, ctx)?;
+
     // Compiled fast path (unboxed keys and accumulators). Skipped under a
     // bounded pool: its hash tables grow without reservations.
     if !ctx.mem.is_bounded() {
@@ -1463,21 +1585,6 @@ fn execute_aggregate(
             }
         }
     }
-
-    let finish_rows = {
-        let final_exprs = final_exprs.clone();
-        move |key: Row, accs: Vec<Acc>| -> Row {
-            let mut values = key.into_values();
-            values.extend(accs.into_iter().map(finish_acc));
-            let internal = Row::new(values);
-            Row::new(
-                final_exprs
-                    .iter()
-                    .map(|e| interpreter::eval(e, &internal).expect("final aggregate failed"))
-                    .collect(),
-            )
-        }
-    };
 
     if groupings.is_empty() {
         // Global aggregate: partials per partition, merged on the driver —
@@ -1699,6 +1806,705 @@ fn partial_agg_partition(
     }
     out.extend(table.drain());
     out
+}
+
+// ---- batch-native hash aggregation ----
+
+/// One aggregate call planned onto a typed accumulator lane: the lane
+/// kind plus the bound argument expression and its type (`None` for
+/// `COUNT(*)`).
+type LaneSpec = (vectorized::LaneAgg, Option<(Expr, DataType)>);
+
+/// Fresh lane for a spec (support was proven at plan time).
+fn new_lane(spec: &LaneSpec) -> vectorized::AccLane {
+    let dtype = spec
+        .1
+        .as_ref()
+        .map(|(_, d)| d.clone())
+        .unwrap_or(DataType::Long);
+    vectorized::AccLane::for_input(spec.0, &dtype).expect("lane support checked at plan time")
+}
+
+/// Convert a finished lane partial into the executor's spillable
+/// accumulator shape.
+fn acc_from_partial(p: vectorized::AccPartial) -> Acc {
+    match p {
+        vectorized::AccPartial::Count(n) => Acc::Count(n),
+        vectorized::AccPartial::Sum(v) => Acc::Sum(v),
+        vectorized::AccPartial::Avg(s, n) => Acc::Avg(s, n),
+        vectorized::AccPartial::Min(v) => Acc::Min(v),
+        vectorized::AccPartial::Max(v) => Acc::Max(v),
+    }
+}
+
+/// Flush every interned group as `(key, Vec<Acc>)` partials and reset
+/// the table and lanes for continued accumulation.
+fn drain_batch_groups(
+    groups: &mut vectorized::BatchGroups,
+    lanes: &mut [vectorized::AccLane],
+    specs: &[LaneSpec],
+    out: &mut Vec<(Row, Vec<Acc>)>,
+) {
+    if groups.is_empty() {
+        return;
+    }
+    let taken = std::mem::take(groups);
+    for (g, key) in taken.into_keys().into_iter().enumerate() {
+        let accs: Vec<Acc> = lanes
+            .iter()
+            .map(|l| acc_from_partial(l.partial(g)))
+            .collect();
+        out.push((key, accs));
+    }
+    for (lane, spec) in lanes.iter_mut().zip(specs) {
+        *lane = new_lane(spec);
+    }
+}
+
+/// Batch-native partial aggregation of one input partition: group keys
+/// are evaluated and interned columnar ([`vectorized::BatchGroups`]),
+/// and each aggregate updates a typed accumulator lane over the batch's
+/// `(lane, group)` assignments. Under a bounded pool, a denied
+/// reservation flushes all partials downstream — the shuffle is the
+/// spill destination, exactly as in [`partial_agg_partition`] — and
+/// accumulation restarts empty.
+fn batch_partial_agg(
+    it: engine::BoxIter<RowBatch>,
+    kernels: bool,
+    groupings: &[Expr],
+    specs: &[LaneSpec],
+    sctx: &SpillCtx,
+    node: Option<&Arc<OperatorMetrics>>,
+) -> Vec<(Row, Vec<Acc>)> {
+    let mut reservation = sctx.pool.register();
+    let mut groups = vectorized::BatchGroups::new();
+    let mut lanes: Vec<vectorized::AccLane> = specs.iter().map(new_lane).collect();
+    let mut out: Vec<(Row, Vec<Acc>)> = Vec::new();
+    let mut asg: Vec<(u32, u32)> = Vec::new();
+    let (mut batches, mut interned) = (0u64, 0u64);
+    for batch in it {
+        batches += 1;
+        let key_batch = vectorized::eval_projection_batch(groupings, &batch, kernels)
+            .expect("group key evaluation failed");
+        let prev = groups.len();
+        groups.assign(&key_batch, &mut asg);
+        let num = groups.len();
+        interned += (num - prev) as u64;
+        for (spec, lane) in specs.iter().zip(lanes.iter_mut()) {
+            match &spec.1 {
+                Some((arg, _)) => {
+                    let col = vectorized::eval_batch(arg, &batch, kernels)
+                        .expect("aggregate argument evaluation failed");
+                    lane.update(Some(&col), &asg, num);
+                }
+                None => lane.update(None, &asg, num),
+            }
+        }
+        let new_bytes: u64 = (prev..num)
+            .map(|g| groups.key(g).approx_bytes() + 16 + 24 * lanes.len() as u64)
+            .sum();
+        if new_bytes > 0 && !reservation.try_grow(new_bytes) && prev > 0 {
+            drain_batch_groups(&mut groups, &mut lanes, specs, &mut out);
+            reservation.free();
+            reservation.try_grow(new_bytes);
+        }
+    }
+    drain_batch_groups(&mut groups, &mut lanes, specs, &mut out);
+    if let Some(n) = node {
+        n.add_extra("batches", batches);
+        n.add_extra("groups", interned);
+    }
+    out
+}
+
+/// Try to run a grouped aggregate batch-natively. Returns `None` (row
+/// path takes over) when any aggregate is DISTINCT or has no typed lane
+/// for its argument type. The child is consumed as a batch stream —
+/// directly when its subtree lowers batched ([`try_execute_batched`]),
+/// else through the generic row→batch adapter. On success the map side
+/// produces the same `(key, Vec<Acc>)` partials as the row path, so the
+/// shuffle and the spill-safe reduce-side merge
+/// ([`spill::merge_agg_partition`]) are shared — batch and row paths
+/// stay byte-identical.
+fn try_batch_aggregate(
+    input: &Arc<PhysicalPlan>,
+    input_attrs: &[ColumnRef],
+    groupings: &[Expr],
+    agg_exprs: &[Expr],
+    finish_rows: impl Fn(Row, Vec<Acc>) -> Row + Send + Sync + 'static,
+    id: usize,
+    ctx: &ExecContext,
+) -> Option<Result<RddRef<Row>>> {
+    let mut specs: Vec<LaneSpec> = Vec::with_capacity(agg_exprs.len());
+    for e in agg_exprs {
+        let Expr::Agg {
+            func,
+            arg,
+            distinct: false,
+        } = e
+        else {
+            return None;
+        };
+        let spec = match (func, arg) {
+            (AggFunc::Count, None) => (vectorized::LaneAgg::CountStar, None),
+            (func, Some(a)) => {
+                let bound = bind_references((**a).clone(), input_attrs).ok()?;
+                let dtype = bound.data_type().ok()?;
+                let lane = match func {
+                    AggFunc::Count => vectorized::LaneAgg::Count,
+                    AggFunc::Sum => vectorized::LaneAgg::Sum,
+                    AggFunc::Avg => vectorized::LaneAgg::Avg,
+                    AggFunc::Min => vectorized::LaneAgg::Min,
+                    AggFunc::Max => vectorized::LaneAgg::Max,
+                };
+                vectorized::AccLane::for_input(lane, &dtype)?;
+                (lane, Some((bound, dtype)))
+            }
+            _ => return None,
+        };
+        specs.push(spec);
+    }
+    let bound_groupings = match bind_all(groupings, input_attrs) {
+        Ok(b) => b,
+        Err(e) => return Some(Err(e)),
+    };
+
+    // Source the child as batches: natively when its subtree has a batch
+    // form, else chunked through the generic row→batch adapter.
+    let batched: RddRef<RowBatch> = match try_execute_batched(input, id + 1, ctx) {
+        Some(Ok(rdd)) => rdd,
+        Some(Err(e)) => return Some(Err(e)),
+        None => {
+            let child = match execute_node(input, id + 1, ctx) {
+                Ok(c) => c,
+                Err(e) => return Some(Err(e)),
+            };
+            let dtypes: Arc<Vec<DataType>> =
+                Arc::new(input_attrs.iter().map(|c| c.dtype.clone()).collect());
+            let batch_size = ctx.conf.vectorize_batch_size.max(1);
+            child.map_partitions(move |it| {
+                Box::new(IterChunks {
+                    inner: it,
+                    dtypes: dtypes.clone(),
+                    batch_size,
+                })
+            })
+        }
+    };
+
+    let specs = Arc::new(specs);
+    let bound_groupings = Arc::new(bound_groupings);
+    let kernels = ctx.conf.codegen_enabled;
+    let sctx = ctx.spill_ctx(id);
+    let map_sctx = sctx.clone();
+    let node = ctx.metrics.as_ref().map(|pm| pm.node(id));
+    let partials = batched.map_partitions(move |it| {
+        Box::new(
+            batch_partial_agg(
+                it,
+                kernels,
+                &bound_groupings,
+                &specs,
+                &map_sctx,
+                node.as_ref(),
+            )
+            .into_iter(),
+        )
+    });
+    let shuffled = partials.partition_by(Arc::new(HashPartitioner::new(
+        ctx.conf.shuffle_partitions.max(1),
+    )));
+    let key_dtypes: Vec<DataType> = groupings
+        .iter()
+        .map(|g| g.data_type().unwrap_or(DataType::String))
+        .collect();
+    let layout = spill::AggLayout::new(key_dtypes);
+    let merged = shuffled.map_partitions(move |it| {
+        Box::new(spill::merge_agg_partition(it, &layout, &sctx, 0).into_iter())
+    });
+    Some(Ok(merged.map(move |(key, accs)| finish_rows(key, accs))))
+}
+
+// ---- window-function execution ----
+
+/// One executable window call, planned from an aliased
+/// [`Expr::WindowFunction`].
+enum WindowCall {
+    /// `row_number()`.
+    RowNumber,
+    /// `rank()`.
+    Rank,
+    /// `dense_rank()`.
+    DenseRank,
+    /// `lag`/`lead`: the argument evaluated at a fixed row offset within
+    /// the partition, the default value outside it.
+    Shift {
+        /// Bound argument evaluator.
+        arg: ValueFn,
+        /// Constant offset (rows).
+        offset: i64,
+        /// Value when the shifted position falls outside the partition.
+        default: Value,
+        /// `lead` looks ahead; `lag` looks back.
+        lead: bool,
+    },
+    /// An aggregate evaluated per row over its window frame.
+    Agg {
+        /// The aggregate call.
+        call: AggCall,
+        /// Frame bounds.
+        frame: WindowFrame,
+    },
+}
+
+/// Fold a constant (column-free) expression to its value.
+fn fold_const(e: &Expr) -> Option<Value> {
+    if !e.foldable() {
+        return None;
+    }
+    interpreter::eval(e, &Row::empty()).ok()
+}
+
+/// Plan one window output expression into an executable [`WindowCall`].
+fn plan_window_call(expr: &Expr, input: &[ColumnRef], codegen_on: bool) -> Result<WindowCall> {
+    let mut e = expr;
+    while let Expr::Alias { child, .. } = e {
+        e = child;
+    }
+    let Expr::WindowFunction {
+        func, args, frame, ..
+    } = e
+    else {
+        return Err(CatalystError::Internal(format!(
+            "window expression '{expr}' is not a window-function call"
+        )));
+    };
+    if frame.units == FrameUnits::Range {
+        let supported = matches!(
+            frame.start,
+            FrameBound::UnboundedPreceding | FrameBound::CurrentRow
+        ) && matches!(
+            frame.end,
+            FrameBound::UnboundedFollowing | FrameBound::CurrentRow
+        );
+        if !supported {
+            return Err(CatalystError::Internal(
+                "RANGE frames support only UNBOUNDED and CURRENT ROW bounds".into(),
+            ));
+        }
+    }
+    match func {
+        WindowFunc::RowNumber => Ok(WindowCall::RowNumber),
+        WindowFunc::Rank => Ok(WindowCall::Rank),
+        WindowFunc::DenseRank => Ok(WindowCall::DenseRank),
+        WindowFunc::Lag | WindowFunc::Lead => {
+            let arg0 = args.first().ok_or_else(|| {
+                CatalystError::Internal(format!("{}() requires an argument", func.name()))
+            })?;
+            let bound = bind_references(arg0.clone(), input)?;
+            let offset = match args.get(1) {
+                None => 1,
+                Some(o) => fold_const(o).and_then(|v| v.as_i64()).ok_or_else(|| {
+                    CatalystError::Internal(format!(
+                        "{}() offset must be a constant integer",
+                        func.name()
+                    ))
+                })?,
+            };
+            let default = match args.get(2) {
+                None => Value::Null,
+                Some(d) => fold_const(d).ok_or_else(|| {
+                    CatalystError::Internal(format!("{}() default must be a constant", func.name()))
+                })?,
+            };
+            Ok(WindowCall::Shift {
+                arg: value_fn(bound, codegen_on),
+                offset,
+                default,
+                lead: *func == WindowFunc::Lead,
+            })
+        }
+        WindowFunc::Agg(f) => {
+            let arg = match args.first() {
+                None | Some(Expr::Wildcard { .. }) => None,
+                Some(a) => Some(value_fn(bind_references(a.clone(), input)?, codegen_on)),
+            };
+            if arg.is_none() && *f != AggFunc::Count {
+                return Err(CatalystError::Internal(format!(
+                    "{}() requires an argument",
+                    f.name()
+                )));
+            }
+            Ok(WindowCall::Agg {
+                call: AggCall {
+                    func: *f,
+                    distinct: false,
+                    arg,
+                },
+                frame: *frame,
+            })
+        }
+    }
+}
+
+/// Inclusive frame start for row `i`, or `None` when the frame is empty.
+fn frame_lo(frame: &WindowFrame, i: usize, n: usize, peer_start: &[usize]) -> Option<usize> {
+    let lo = match (frame.units, frame.start) {
+        (_, FrameBound::UnboundedPreceding) => 0,
+        (FrameUnits::Rows, FrameBound::Preceding(p)) => i.saturating_sub(p as usize),
+        (FrameUnits::Rows, FrameBound::CurrentRow) => i,
+        (FrameUnits::Rows, FrameBound::Following(f)) => i + f as usize,
+        (FrameUnits::Rows, FrameBound::UnboundedFollowing) => n,
+        (FrameUnits::Range, _) => peer_start[i],
+    };
+    (lo < n).then_some(lo)
+}
+
+/// Inclusive frame end for row `i`, or `None` when the frame is empty.
+fn frame_hi(frame: &WindowFrame, i: usize, n: usize, peer_end: &[usize]) -> Option<usize> {
+    let hi = match (frame.units, frame.end) {
+        (_, FrameBound::UnboundedFollowing) => n - 1,
+        (FrameUnits::Rows, FrameBound::Following(f)) => (i + f as usize).min(n - 1),
+        (FrameUnits::Rows, FrameBound::CurrentRow) => i,
+        (FrameUnits::Rows, FrameBound::Preceding(p)) => i.checked_sub(p as usize)?,
+        (FrameUnits::Rows, FrameBound::UnboundedPreceding) => return None,
+        (FrameUnits::Range, _) => peer_end[i],
+    };
+    Some(hi)
+}
+
+/// Evaluate one window call over a full partition, producing one value
+/// per row. `frames` counts evaluated aggregate frames (the `frames=`
+/// metric).
+fn eval_window_call(
+    call: &WindowCall,
+    inputs: &[Row],
+    peer_start: &[usize],
+    peer_end: &[usize],
+    frames: &mut u64,
+) -> Vec<Value> {
+    let n = inputs.len();
+    match call {
+        WindowCall::RowNumber => (1..=n as i64).map(Value::Long).collect(),
+        WindowCall::Rank => (0..n)
+            .map(|i| Value::Long(peer_start[i] as i64 + 1))
+            .collect(),
+        WindowCall::DenseRank => {
+            let mut dense = 0i64;
+            (0..n)
+                .map(|i| {
+                    if i == peer_start[i] {
+                        dense += 1;
+                    }
+                    Value::Long(dense)
+                })
+                .collect()
+        }
+        WindowCall::Shift {
+            arg,
+            offset,
+            default,
+            lead,
+        } => (0..n)
+            .map(|i| {
+                let j = if *lead {
+                    i as i64 + offset
+                } else {
+                    i as i64 - offset
+                };
+                if (0..n as i64).contains(&j) {
+                    arg(&inputs[j as usize])
+                } else {
+                    default.clone()
+                }
+            })
+            .collect(),
+        WindowCall::Agg { call, frame } => {
+            if frame.is_whole_partition() {
+                let mut acc = call.init();
+                for row in inputs {
+                    call.update(&mut acc, row);
+                }
+                *frames += 1;
+                let v = finish_acc(acc);
+                vec![v; n]
+            } else if frame.start == FrameBound::UnboundedPreceding {
+                // Growing frame: the end bound is nondecreasing in `i`,
+                // so one running accumulator serves every row.
+                let mut acc = call.init();
+                let mut consumed = 0usize;
+                (0..n)
+                    .map(|i| {
+                        let target = frame_hi(frame, i, n, peer_end).map_or(0, |h| h + 1);
+                        while consumed < target {
+                            call.update(&mut acc, &inputs[consumed]);
+                            consumed += 1;
+                        }
+                        *frames += 1;
+                        if target == 0 {
+                            finish_acc(call.init())
+                        } else {
+                            finish_acc(acc.clone())
+                        }
+                    })
+                    .collect()
+            } else {
+                // Sliding frame: recompute over the bounded window.
+                (0..n)
+                    .map(|i| {
+                        let mut acc = call.init();
+                        if let (Some(lo), Some(hi)) = (
+                            frame_lo(frame, i, n, peer_start),
+                            frame_hi(frame, i, n, peer_end),
+                        ) {
+                            if lo <= hi {
+                                for row in &inputs[lo..=hi] {
+                                    call.update(&mut acc, row);
+                                }
+                            }
+                        }
+                        *frames += 1;
+                        finish_acc(acc)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Evaluate all window calls for one window partition of combined
+/// `(pkeys ++ okeys ++ input)` rows, already frame-ordered. Emits the
+/// input rows extended with one column per call.
+fn eval_window_partition(
+    group: Vec<Row>,
+    np: usize,
+    no: usize,
+    calls: &[WindowCall],
+    frames: &mut u64,
+) -> Vec<Row> {
+    let n = group.len();
+    let mut oks: Vec<Vec<Value>> = Vec::with_capacity(n);
+    let mut inputs: Vec<Row> = Vec::with_capacity(n);
+    for r in group {
+        let mut values = r.into_values();
+        let mut rest = values.split_off(np);
+        let row_values = rest.split_off(no);
+        oks.push(rest);
+        inputs.push(Row::new(row_values));
+    }
+    // Peer groups: maximal runs of equal ORDER BY keys.
+    let mut peer_start = vec![0usize; n];
+    let mut peer_end = vec![0usize; n];
+    for i in 1..n {
+        peer_start[i] = if oks[i] == oks[i - 1] {
+            peer_start[i - 1]
+        } else {
+            i
+        };
+    }
+    if n > 0 {
+        peer_end[n - 1] = n - 1;
+        for i in (0..n - 1).rev() {
+            peer_end[i] = if oks[i] == oks[i + 1] {
+                peer_end[i + 1]
+            } else {
+                i
+            };
+        }
+    }
+    let cols: Vec<Vec<Value>> = calls
+        .iter()
+        .map(|c| eval_window_call(c, &inputs, &peer_start, &peer_end, frames))
+        .collect();
+    inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut values = row.into_values();
+            for col in &cols {
+                values.push(col[i].clone());
+            }
+            Row::new(values)
+        })
+        .collect()
+}
+
+/// Streams one sorted engine partition, buffering one window partition
+/// (rows sharing the partition key) at a time and emitting its rows
+/// extended with the window columns.
+struct WindowPartitionIter {
+    /// Rows sorted by (partition keys, order keys).
+    sorted: engine::BoxIter<Row>,
+    /// First row of the next window partition, read past the boundary.
+    pending: Option<Row>,
+    /// Partition-key column count (combined-row prefix).
+    np: usize,
+    /// Order-key column count (after the partition keys).
+    no: usize,
+    /// Planned window calls.
+    calls: Arc<Vec<WindowCall>>,
+    /// Output rows of the current window partition.
+    out: std::vec::IntoIter<Row>,
+    /// Aggregate frames evaluated so far (`frames=` metric).
+    frames: u64,
+    /// Metric slot to flush `frames` into on drop.
+    node: Option<Arc<OperatorMetrics>>,
+}
+
+impl Iterator for WindowPartitionIter {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(row) = self.out.next() {
+                return Some(row);
+            }
+            let first = self.pending.take().or_else(|| self.sorted.next())?;
+            let mut group = vec![first];
+            for row in self.sorted.by_ref() {
+                if row.values()[..self.np] == group[0].values()[..self.np] {
+                    group.push(row);
+                } else {
+                    self.pending = Some(row);
+                    break;
+                }
+            }
+            self.out =
+                eval_window_partition(group, self.np, self.no, &self.calls, &mut self.frames)
+                    .into_iter();
+        }
+    }
+}
+
+impl Drop for WindowPartitionIter {
+    fn drop(&mut self) {
+        if let Some(node) = &self.node {
+            node.add_extra("frames", self.frames);
+        }
+    }
+}
+
+/// Lower a `Window` operator: shuffle rows so each window partition is
+/// co-located, sort every engine partition by (partition keys, order
+/// keys) — vectorized index-sort in memory, [`spill::external_sort`]
+/// under a bounded pool — then walk each window partition evaluating
+/// ranking, offset, and framed-aggregate calls.
+fn execute_window(
+    input: &Arc<PhysicalPlan>,
+    window_exprs: &[Expr],
+    partition_by: &[Expr],
+    order_by: &[SortOrder],
+    id: usize,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
+    let input_attrs = input.output();
+    let child = execute_node(input, id + 1, ctx)?;
+    let calls: Arc<Vec<WindowCall>> = Arc::new(
+        window_exprs
+            .iter()
+            .map(|e| plan_window_call(e, &input_attrs, ctx.conf.codegen_enabled))
+            .collect::<Result<Vec<_>>>()?,
+    );
+
+    let np = partition_by.len();
+    let no = order_by.len();
+    let nk = np + no;
+    let okey_exprs: Vec<Expr> = order_by.iter().map(|o| o.expr.clone()).collect();
+    let key_fns: Vec<ValueFn> = bind_all(partition_by, &input_attrs)?
+        .into_iter()
+        .chain(bind_all(&okey_exprs, &input_attrs)?)
+        .map(|e| value_fn(e, ctx.conf.codegen_enabled))
+        .collect();
+
+    // Combined rows: (pkeys ++ okeys ++ input); keys evaluated once.
+    let combined = child.map(move |row| {
+        let mut values: Vec<Value> = Vec::with_capacity(nk + row.len());
+        for f in &key_fns {
+            values.push(f(&row));
+        }
+        values.extend(row.into_values());
+        Row::new(values)
+    });
+
+    // Co-locate each window partition: hash shuffle on the partition
+    // key, or a single engine partition when there is none.
+    let partitioned: RddRef<Row> = if np == 0 {
+        combined.coalesce(1)
+    } else {
+        combined
+            .map(move |c| {
+                let key = Row::new(c.values()[..np].to_vec());
+                (key, c)
+            })
+            .partition_by(Arc::new(HashPartitioner::new(
+                ctx.conf.shuffle_partitions.max(1),
+            )))
+            .values()
+    };
+
+    let mut descending_mask = 0u64;
+    for (i, o) in order_by.iter().enumerate() {
+        if !o.ascending {
+            descending_mask |= 1 << (np + i);
+        }
+    }
+    let cmp: spill::RowCmp = Arc::new(move |a: &Row, b: &Row| {
+        for i in 0..nk {
+            let mut o = a.get(i).total_cmp(b.get(i));
+            if descending_mask & (1 << i) != 0 {
+                o = o.reverse();
+            }
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
+    let mut dtypes: Vec<DataType> = partition_by
+        .iter()
+        .chain(okey_exprs.iter())
+        .map(|e| e.data_type().unwrap_or(DataType::String))
+        .collect();
+    dtypes.extend(input_attrs.iter().map(|c| c.dtype.clone()));
+    let codec = columnar::SpillCodec::new(dtypes.clone());
+    let dtypes = Arc::new(dtypes);
+    let bounded = ctx.mem.is_bounded();
+    let vectorize = ctx.conf.vectorize_enabled;
+    let sctx = ctx.spill_ctx(id);
+    let node = ctx.metrics.as_ref().map(|pm| pm.node(id));
+
+    Ok(partitioned.map_partitions(move |it| {
+        let sorted: engine::BoxIter<Row> = if bounded {
+            spill::external_sort(it, &codec, cmp.clone(), &sctx)
+        } else if vectorize {
+            // In-memory path: vectorized index sort + gather. Stable
+            // under the same comparator as the external sort, so both
+            // produce the identical permutation.
+            let rows: Vec<Row> = it.collect();
+            let batch = RowBatch::from_rows(&dtypes, &rows);
+            let keys: Vec<(Arc<vectorized::ColumnVector>, bool)> = (0..nk)
+                .map(|i| (batch.column(i).clone(), descending_mask & (1 << i) != 0))
+                .collect();
+            let idx = vectorized::sorted_indices(&batch, &keys);
+            Box::new(idx.into_iter().map(move |i| rows[i as usize].clone()))
+        } else {
+            // Row path: plain stable sort with the same comparator.
+            let mut rows: Vec<Row> = it.collect();
+            let cmp = cmp.clone();
+            rows.sort_by(move |a, b| cmp(a, b));
+            Box::new(rows.into_iter())
+        };
+        Box::new(WindowPartitionIter {
+            sorted,
+            pending: None,
+            np,
+            no,
+            calls: calls.clone(),
+            out: Vec::new().into_iter(),
+            frames: 0,
+            node: node.clone(),
+        })
+    }))
 }
 
 /// Null-safe key evaluation: returns None when any key is NULL (SQL

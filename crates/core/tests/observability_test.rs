@@ -340,3 +340,28 @@ fn explain_analyze_counts_batches_on_the_vectorized_path() {
     let rows = df.collect().unwrap();
     assert_eq!(rows.len() as u64, expected);
 }
+
+#[test]
+fn explain_analyze_counts_groups_and_frames_on_the_batch_back_half() {
+    let ctx = SQLContext::new_local(2);
+    if !ctx.conf().vectorize_enabled {
+        return; // CATALYST_VECTORIZE=0: the row path has no batch counters
+    }
+    users(&ctx).register_temp_table("users");
+
+    // Batch-native hash aggregation reports the batches it consumed and
+    // the distinct group keys it interned map-side.
+    let agg = ctx
+        .sql("SELECT dept_id, count(*), sum(age) FROM users GROUP BY dept_id")
+        .unwrap();
+    let text = agg.explain_analyze().unwrap();
+    assert!(text.contains("groups="), "missing groups= in:\n{text}");
+    assert!(text.contains("batches="), "missing batches= in:\n{text}");
+
+    // The window operator reports how many aggregate frames it evaluated.
+    let win = ctx
+        .sql("SELECT name, sum(age) OVER (PARTITION BY dept_id) AS total FROM users")
+        .unwrap();
+    let text = win.explain_analyze().unwrap();
+    assert!(text.contains("frames="), "missing frames= in:\n{text}");
+}

@@ -4,8 +4,9 @@
 use crate::ast::Statement;
 use crate::lexer::{tokenize, Token};
 use catalyst::error::{CatalystError, Result};
-use catalyst::expr::{Expr, SortOrder};
+use catalyst::expr::{Expr, FrameBound, FrameUnits, SortOrder, WindowFrame, WindowFunc};
 use catalyst::plan::{JoinType, LogicalPlan};
+use catalyst::tree::Transformed;
 use catalyst::types::DataType;
 use catalyst::value::Value;
 use std::collections::BTreeMap;
@@ -329,7 +330,13 @@ impl Parser {
         };
 
         if self.eat_keyword("WHERE") {
-            plan = plan.filter(self.expr()?);
+            let pred = self.expr()?;
+            if pred.contains_window() {
+                return Err(CatalystError::Parse(
+                    "window functions are not allowed in WHERE".into(),
+                ));
+            }
+            plan = plan.filter(pred);
         }
 
         let mut group_by = Vec::new();
@@ -348,9 +355,95 @@ impl Parser {
             None
         };
 
+        if group_by.iter().any(|e| e.contains_window())
+            || having.as_ref().is_some_and(|h| h.contains_window())
+        {
+            return Err(CatalystError::Parse(
+                "window functions are not allowed in GROUP BY or HAVING".into(),
+            ));
+        }
+
         let is_aggregate = !group_by.is_empty()
             || items.iter().any(|(e, _)| contains_agg_call(e))
             || having.as_ref().is_some_and(contains_agg_call);
+
+        let has_window = items.iter().any(|(e, _)| e.contains_window());
+        if has_window {
+            if is_aggregate {
+                return Err(CatalystError::Parse(
+                    "window functions cannot be combined with GROUP BY or plain \
+                     aggregates in one SELECT (wrap the aggregate in a subquery)"
+                        .into(),
+                ));
+            }
+            // Pull every window call out of the select items: each becomes
+            // an aliased `_w{i}` output of a Window node (one node per
+            // distinct PARTITION BY / ORDER BY spec, stacked in
+            // first-appearance order), and the call site in the item is
+            // replaced by a reference to that alias.
+            let mut specs: Vec<(Vec<Expr>, Vec<SortOrder>)> = Vec::new();
+            let mut spec_exprs: Vec<Vec<Expr>> = Vec::new();
+            let mut counter = 0usize;
+            let items: Vec<(Expr, Option<String>)> = items
+                .into_iter()
+                .map(|(e, alias)| {
+                    let alias = alias.or_else(|| {
+                        // Keep the SQL text as the column name for a bare
+                        // window call (`SELECT rank() OVER (...) FROM t`).
+                        matches!(e, Expr::WindowFunction { .. }).then(|| e.auto_name())
+                    });
+                    let rewritten = e.rewrite_up(&mut |x| match x {
+                        Expr::WindowFunction {
+                            func,
+                            args,
+                            partition_by,
+                            order_by,
+                            frame,
+                        } => {
+                            let name = format!("_w{counter}");
+                            counter += 1;
+                            let key = (partition_by.clone(), order_by.clone());
+                            let idx = specs.iter().position(|s| *s == key).unwrap_or_else(|| {
+                                specs.push(key);
+                                spec_exprs.push(Vec::new());
+                                specs.len() - 1
+                            });
+                            spec_exprs[idx].push(
+                                Expr::WindowFunction {
+                                    func,
+                                    args,
+                                    partition_by,
+                                    order_by,
+                                    frame,
+                                }
+                                .alias(name.as_str()),
+                            );
+                            Transformed::yes(Expr::UnresolvedAttribute {
+                                qualifier: None,
+                                name,
+                            })
+                        }
+                        other => Transformed::no(other),
+                    });
+                    (rewritten.data, alias)
+                })
+                .collect();
+            for ((partition_by, order_by), wexprs) in specs.into_iter().zip(spec_exprs) {
+                plan = plan.window(wexprs, partition_by, order_by);
+            }
+            let exprs = items
+                .into_iter()
+                .map(|(e, alias)| match alias {
+                    Some(a) => e.alias(a),
+                    None => e,
+                })
+                .collect();
+            plan = plan.project(exprs);
+            if distinct {
+                plan = plan.distinct();
+            }
+            return Ok(plan);
+        }
 
         if is_aggregate {
             // Non-trivial outputs get a deterministic alias so HAVING can
@@ -775,6 +868,9 @@ impl Parser {
                 }
             }
             self.expect(&Token::RParen)?;
+            if self.at_keyword("OVER") {
+                return self.over_clause(word, args, distinct);
+            }
             return Ok(Expr::UnresolvedFunction {
                 name: word,
                 args,
@@ -783,6 +879,112 @@ impl Parser {
         }
 
         self.dotted_reference(word)
+    }
+
+    /// `OVER ( [PARTITION BY …] [ORDER BY …] [ROWS|RANGE frame] )` after a
+    /// function call.
+    fn over_clause(&mut self, name: String, args: Vec<Expr>, distinct: bool) -> Result<Expr> {
+        self.expect_keyword("OVER")?;
+        let func = WindowFunc::from_name(&name)
+            .ok_or_else(|| CatalystError::Parse(format!("'{name}' is not a window function")))?;
+        if distinct {
+            return Err(CatalystError::Parse(
+                "DISTINCT is not supported in window functions".into(),
+            ));
+        }
+        if args.iter().any(|a| matches!(a, Expr::Wildcard { .. }))
+            && func != WindowFunc::Agg(catalyst::expr::AggFunc::Count)
+        {
+            return Err(CatalystError::Parse(format!(
+                "'*' is only valid as an argument of count(), not {name}()"
+            )));
+        }
+        // `count(*) OVER …` keeps an empty argument list (the documented
+        // `Expr::WindowFunction` contract); a surviving wildcard would be
+        // rejected by the analyzer's resolution check.
+        let args: Vec<Expr> = args
+            .into_iter()
+            .filter(|a| !matches!(a, Expr::Wildcard { .. }))
+            .collect();
+        self.expect(&Token::LParen)?;
+        let mut partition_by = Vec::new();
+        if self.eat_keyword("PARTITION") {
+            self.expect_keyword("BY")?;
+            loop {
+                partition_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            order_by = self.order_list()?;
+        }
+        let frame = if self.at_keyword("ROWS") || self.at_keyword("RANGE") {
+            let units = if self.eat_keyword("ROWS") {
+                FrameUnits::Rows
+            } else {
+                self.expect_keyword("RANGE")?;
+                FrameUnits::Range
+            };
+            let (start, end) = if self.eat_keyword("BETWEEN") {
+                let s = self.frame_bound()?;
+                self.expect_keyword("AND")?;
+                (s, self.frame_bound()?)
+            } else {
+                (self.frame_bound()?, FrameBound::CurrentRow)
+            };
+            if units == FrameUnits::Range
+                && [start, end]
+                    .iter()
+                    .any(|b| matches!(b, FrameBound::Preceding(_) | FrameBound::Following(_)))
+            {
+                return Err(CatalystError::Parse(
+                    "RANGE frames support only UNBOUNDED and CURRENT ROW bounds".into(),
+                ));
+            }
+            WindowFrame { units, start, end }
+        } else {
+            WindowFrame::default_for(!order_by.is_empty())
+        };
+        self.expect(&Token::RParen)?;
+        Ok(Expr::WindowFunction {
+            func,
+            args,
+            partition_by,
+            order_by,
+            frame,
+        })
+    }
+
+    fn frame_bound(&mut self) -> Result<FrameBound> {
+        if self.eat_keyword("UNBOUNDED") {
+            if self.eat_keyword("PRECEDING") {
+                return Ok(FrameBound::UnboundedPreceding);
+            }
+            self.expect_keyword("FOLLOWING")?;
+            return Ok(FrameBound::UnboundedFollowing);
+        }
+        if self.eat_keyword("CURRENT") {
+            self.expect_keyword("ROW")?;
+            return Ok(FrameBound::CurrentRow);
+        }
+        let n = match self.next() {
+            Token::Number(n) if n >= 0 => n as u64,
+            other => {
+                return Err(CatalystError::Parse(format!(
+                    "expected frame bound, found '{other}'"
+                )))
+            }
+        };
+        if self.eat_keyword("PRECEDING") {
+            Ok(FrameBound::Preceding(n))
+        } else {
+            self.expect_keyword("FOLLOWING")?;
+            Ok(FrameBound::Following(n))
+        }
     }
 
     /// `a`, `a.b`, `a.b.c`, `a.*`.
@@ -947,6 +1149,15 @@ fn is_reserved(word: &str) -> bool {
         "CACHE",
         "UNCACHE",
         "EXPLAIN",
+        "OVER",
+        "PARTITION",
+        "ROWS",
+        "RANGE",
+        "UNBOUNDED",
+        "PRECEDING",
+        "FOLLOWING",
+        "CURRENT",
+        "ROW",
     ];
     RESERVED.iter().any(|k| k.eq_ignore_ascii_case(word))
 }
