@@ -54,6 +54,52 @@ impl Catalog for SimpleCatalog {
     }
 }
 
+/// A session-local catalog layered over a shared one: lookups hit the
+/// session's own temp views first, then fall through to the shared
+/// catalog; registrations always land in the session layer, so one
+/// session's `CREATE TEMP TABLE` never leaks into another's namespace
+/// while shared (server-level) tables stay visible to everyone.
+pub struct OverlayCatalog {
+    local: SimpleCatalog,
+    shared: Arc<SimpleCatalog>,
+}
+
+impl OverlayCatalog {
+    /// Layer a fresh session namespace over `shared`.
+    pub fn over(shared: Arc<SimpleCatalog>) -> Self {
+        OverlayCatalog {
+            local: SimpleCatalog::default(),
+            shared,
+        }
+    }
+
+    /// Register (or replace) a table in the *session* layer. A shared
+    /// table of the same name is shadowed for this session only.
+    pub fn register(&self, name: impl Into<String>, plan: LogicalPlan) {
+        self.local.register(name, plan);
+    }
+
+    /// Remove a session-layer table; true if it existed. Shared tables
+    /// cannot be dropped through a session.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.local.unregister(name)
+    }
+}
+
+impl Catalog for OverlayCatalog {
+    fn lookup(&self, name: &str) -> Option<LogicalPlan> {
+        self.local.lookup(name).or_else(|| self.shared.lookup(name))
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        let mut names = self.local.table_names();
+        names.extend(self.shared.table_names());
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
 /// Registry of user-defined functions (§3.7: inline registration).
 #[derive(Default)]
 pub struct FunctionRegistry {
@@ -114,6 +160,33 @@ mod tests {
         assert_eq!(c.table_names(), vec!["users".to_string()]);
         assert!(c.unregister("users"));
         assert!(!c.unregister("users"));
+    }
+
+    #[test]
+    fn overlay_shadows_and_isolates() {
+        let shared = Arc::new(SimpleCatalog::default());
+        shared.register("events", table());
+        let a = OverlayCatalog::over(shared.clone());
+        let b = OverlayCatalog::over(shared.clone());
+
+        // Both sessions see the shared table.
+        assert!(a.lookup("events").is_some());
+        assert!(b.lookup("events").is_some());
+
+        // A session-local view is invisible to the other session.
+        a.register("mine", table());
+        assert!(a.lookup("mine").is_some());
+        assert!(b.lookup("mine").is_none());
+        assert_eq!(a.table_names(), vec!["events", "mine"]);
+        assert_eq!(b.table_names(), vec!["events"]);
+
+        // Shadowing is per-session and unregister exposes the shared
+        // table again rather than dropping it.
+        a.register("events", table());
+        assert!(a.unregister("events"));
+        assert!(a.lookup("events").is_some(), "shared table still visible");
+        assert!(!a.unregister("events"), "shared layer is read-only");
+        assert!(shared.lookup("events").is_some());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! would silently prune it, and so node ids line up with what the user
 //! wrote rather than with a rewritten tree.
 //!
-//! Seven diagnostic classes:
+//! Eight diagnostic classes:
 //!
 //! | code | class | severity |
 //! |------|-------|----------|
@@ -22,6 +22,7 @@
 //! | `L005` | aggregate over provably-constant column | info |
 //! | `L006` | duplicate projection name | warn |
 //! | `L007` | running window frame without ORDER BY | warn |
+//! | `L008` | uncached relation scanned more than once | warn |
 //!
 //! Every detector is deliberately narrow — it fires only on *provable*
 //! facts (a divisor whose domain is exactly zero, a cast the type lattice
@@ -69,7 +70,7 @@ impl LintSeverity {
     }
 }
 
-/// The seven diagnostic classes.
+/// The eight diagnostic classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LintClass {
     /// `L001`: a filter conjunct or join condition the constraint pass
@@ -94,6 +95,11 @@ pub enum LintClass {
     /// partition) frame but no ORDER BY — the frame boundary then depends
     /// on arbitrary row order.
     UnorderedRunningWindow,
+    /// `L008`: the same uncached source relation is scanned more than
+    /// once within one plan — each scan re-reads the source, where a
+    /// `CACHE TABLE` would pay the read once. A cheap cache-hygiene
+    /// signal for shared multi-tenant deployments.
+    UncachedRepeatedScan,
 }
 
 impl LintClass {
@@ -107,6 +113,7 @@ impl LintClass {
             LintClass::ConstantAggregate => "L005",
             LintClass::DuplicateProjection => "L006",
             LintClass::UnorderedRunningWindow => "L007",
+            LintClass::UncachedRepeatedScan => "L008",
         }
     }
 
@@ -120,6 +127,7 @@ impl LintClass {
             LintClass::ConstantAggregate => LintSeverity::Info,
             LintClass::DuplicateProjection => LintSeverity::Warn,
             LintClass::UnorderedRunningWindow => LintSeverity::Warn,
+            LintClass::UncachedRepeatedScan => LintSeverity::Warn,
         }
     }
 }
@@ -181,7 +189,49 @@ pub fn lint_plan(plan: &LogicalPlan) -> Vec<LintDiagnostic> {
         check_duplicate_projection(p, &mut emit);
         check_unordered_running_window(p, &mut emit);
     }
+    check_uncached_repeated_scan(&nodes, &analysis, &mut out);
     out
+}
+
+// ---- L008: uncached relation scanned more than once ----
+
+/// Counts [`LogicalPlan::Scan`] nodes per relation name across the whole
+/// plan (self-joins, repeated CTE-style references). Cached relations —
+/// whose scans read the in-memory columnar cache, named
+/// `InMemoryCache:<table>` — are exempt: re-scanning them is the point.
+fn check_uncached_repeated_scan(
+    nodes: &[&LogicalPlan],
+    analysis: &super::constraints::ConstraintAnalysis,
+    out: &mut Vec<LintDiagnostic>,
+) {
+    let mut first_seen: Vec<(String, usize, usize)> = Vec::new(); // (name, first id, count)
+    for (id, p) in nodes.iter().enumerate() {
+        let LogicalPlan::Scan { relation, .. } = p else {
+            continue;
+        };
+        let name = relation.name();
+        if name.starts_with("InMemoryCache:") {
+            continue;
+        }
+        match first_seen.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, _, count)) => *count += 1,
+            None => first_seen.push((name, id, 1)),
+        }
+    }
+    for (name, id, count) in first_seen {
+        if count > 1 {
+            out.push(LintDiagnostic {
+                class: LintClass::UncachedRepeatedScan,
+                severity: LintClass::UncachedRepeatedScan.severity(),
+                node_id: id,
+                node: analysis.nodes[id].op.clone(),
+                message: format!(
+                    "uncached relation `{name}` is scanned {count} times in this \
+                     plan; each scan re-reads the source (consider CACHE TABLE)"
+                ),
+            });
+        }
+    }
 }
 
 /// Filter diagnostics to the configured minimum severity (`off`, `info`,
@@ -651,6 +701,88 @@ mod tests {
         .alias("w");
         let plan = p.window(vec![ordered], vec![Expr::Column(k)], order);
         assert!(lint_plan(&plan).is_empty(), "{:?}", lint_plan(&plan));
+    }
+
+    #[test]
+    fn repeated_uncached_scan_reported_cached_and_single_not() {
+        use crate::plan::JoinType;
+        use crate::schema::Schema;
+        use crate::source::{BaseRelation, Filter, RowIter};
+        use crate::types::StructField;
+
+        struct NamedRelation(&'static str);
+        impl BaseRelation for NamedRelation {
+            fn name(&self) -> String {
+                self.0.to_string()
+            }
+            fn schema(&self) -> crate::schema::SchemaRef {
+                Arc::new(Schema::new(vec![StructField::new(
+                    "a",
+                    DataType::Long,
+                    false,
+                )]))
+            }
+            fn scan_partition(
+                &self,
+                _partition: usize,
+                _projection: Option<&[usize]>,
+                _filters: &[Filter],
+            ) -> crate::error::Result<RowIter> {
+                Ok(Box::new(std::iter::empty()))
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+
+        let scan = |rel: &'static str, col: &str| {
+            let relation: Arc<dyn BaseRelation> = Arc::new(NamedRelation(rel));
+            let output = vec![ColumnRef::new(col, DataType::Long, false)];
+            LogicalPlan::Scan {
+                relation,
+                output,
+                filters: vec![],
+            }
+        };
+
+        // Same relation on both sides of a join: flagged once.
+        let left = scan("events", "a");
+        let right = scan("events", "b");
+        let l = left.output()[0].clone();
+        let r = right.output()[0].clone();
+        let plan = left.join(
+            right,
+            JoinType::Inner,
+            Some(Expr::Column(l).eq(Expr::Column(r))),
+        );
+        let diags = lint_plan(&plan);
+        assert_eq!(codes(&diags), vec!["L008"], "{diags:?}");
+        assert!(diags[0].message.contains("events"), "{diags:?}");
+        assert_eq!(diags[0].severity, LintSeverity::Warn);
+
+        // Distinct relations: silent.
+        let left = scan("events", "a");
+        let right = scan("users", "b");
+        let l = left.output()[0].clone();
+        let r = right.output()[0].clone();
+        let plan = left.join(
+            right,
+            JoinType::Inner,
+            Some(Expr::Column(l).eq(Expr::Column(r))),
+        );
+        assert!(lint_plan(&plan).is_empty());
+
+        // Cached relations (InMemoryCache:*) are exempt.
+        let left = scan("InMemoryCache:events", "a");
+        let right = scan("InMemoryCache:events", "b");
+        let l = left.output()[0].clone();
+        let r = right.output()[0].clone();
+        let plan = left.join(
+            right,
+            JoinType::Inner,
+            Some(Expr::Column(l).eq(Expr::Column(r))),
+        );
+        assert!(lint_plan(&plan).is_empty());
     }
 
     #[test]

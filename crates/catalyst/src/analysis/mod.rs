@@ -24,7 +24,7 @@ pub mod catalog;
 pub mod constraints;
 pub mod lint;
 
-pub use catalog::{Catalog, FunctionRegistry, SimpleCatalog};
+pub use catalog::{Catalog, FunctionRegistry, OverlayCatalog, SimpleCatalog};
 
 use crate::error::{CatalystError, Result};
 use crate::expr::{AggFunc, BinaryOperator, ColumnRef, Expr, ScalarFunc, SortOrder};

@@ -133,8 +133,17 @@ impl CachedRelation {
             if cm.take_lost(self.cache_id, p) {
                 Metrics::add(&self.sc.metrics().cache_recomputes, 1);
             }
-            let block = Arc::new(self.encode(std::mem::take(&mut parts[p])));
-            cm.put_owned(self.cache_id, p, block, p % slots);
+            let block = self.encode(std::mem::take(&mut parts[p]));
+            // Sized puts participate in the cache budget: under
+            // `spark.sql.cache.budgetBytes` the store may evict other
+            // blocks (policy-chosen) to admit this one.
+            let bytes = match &block {
+                CachedPartition::Columnar(batches) => {
+                    batches.iter().map(ColumnarBatch::bytes).sum::<u64>()
+                }
+                CachedPartition::Rows(rows) => rows.iter().map(Row::approx_bytes).sum(),
+            };
+            cm.put_sized(self.cache_id, p, Arc::new(block), p % slots, bytes);
         }
         self.ever_filled.store(true, Ordering::SeqCst);
         Ok(())
@@ -150,12 +159,24 @@ impl CachedRelation {
             Some(b) => b,
             None => {
                 self.ensure()?;
-                cm.get(self.cache_id, partition).ok_or_else(|| {
-                    CatalystError::Internal(format!(
-                        "cache block {}:{partition} missing after materialization",
-                        self.name
-                    ))
-                })?
+                match cm.get(self.cache_id, partition) {
+                    Some(b) => b,
+                    // Under a bounded budget the block `ensure` just
+                    // stored can already be gone again: it alone may
+                    // exceed the budget, or concurrent fills from other
+                    // sessions churned it out. The cache is a
+                    // performance layer, never a correctness dependency
+                    // — serve this scan from a direct recompute.
+                    None => {
+                        let mut parts = (self.materializer)()?;
+                        let rows = if partition < parts.len() {
+                            std::mem::take(&mut parts[partition])
+                        } else {
+                            Vec::new()
+                        };
+                        return Ok(Some(Arc::new(self.encode(rows))));
+                    }
+                }
             }
         };
         block

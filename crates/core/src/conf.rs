@@ -92,6 +92,33 @@ pub struct SqlConf {
     /// Minimum severity the lint pass reports: `off`, `info`, `warn`, or
     /// `error`. `SPARK_SQL_LINT_LEVEL` sets the default.
     pub lint_level: String,
+    /// Byte budget for the shared columnar block cache; exceeding it
+    /// evicts per `cache_eviction_policy`. `0` means unbounded (no
+    /// eviction). `SPARK_SQL_CACHE_BUDGET` sets the default. Applied to
+    /// the engine's shared `CacheManager` when set through a session.
+    pub cache_budget_bytes: u64,
+    /// Which cached block to evict when over budget: `lru` or `cost`
+    /// (cost-aware `(hits+1)/bytes` density, per the Yang et al. line of
+    /// work). `SPARK_SQL_CACHE_POLICY` sets the default.
+    pub cache_eviction_policy: String,
+    /// Worker threads the multi-tenant SQL service runs queries on.
+    /// `SPARK_SQL_SERVICE_WORKERS` sets the default.
+    pub service_workers: usize,
+    /// Per-session cap on queries executing at once (fair-scheduler slot
+    /// accounting). `SPARK_SQL_SERVICE_SESSION_INFLIGHT` sets the default.
+    pub service_session_in_flight: usize,
+    /// Admission-control memory budget for the service, in bytes; a query
+    /// is only started once its reservation fits. `0` disables admission
+    /// control. `SPARK_SQL_SERVICE_ADMISSION_BUDGET` sets the default.
+    pub service_admission_budget: u64,
+    /// Bytes reserved against the admission budget per admitted query.
+    pub service_admission_query_bytes: u64,
+    /// Per-session cap on queries waiting to run; submissions beyond it
+    /// are rejected outright rather than queued.
+    pub service_max_queued: usize,
+    /// Default per-query deadline in milliseconds (measured from
+    /// submission, so queue time counts); `0` means no deadline.
+    pub service_query_timeout_ms: usize,
 }
 
 impl SqlConf {
@@ -118,6 +145,14 @@ impl SqlConf {
             chaos_prob: None,
             constraints_enabled: true,
             lint_level: "warn".to_string(),
+            cache_budget_bytes: 0,
+            cache_eviction_policy: "lru".to_string(),
+            service_workers: 4,
+            service_session_in_flight: 2,
+            service_admission_budget: 0,
+            service_admission_query_bytes: 8 << 20,
+            service_max_queued: 64,
+            service_query_timeout_ms: 0,
         }
     }
 
@@ -478,6 +513,113 @@ fn entries() -> &'static [ConfEntry] {
                 },
             },
             ConfEntry {
+                key: "spark.sql.cache.budgetBytes",
+                env: Some("SPARK_SQL_CACHE_BUDGET"),
+                kind: Kind::Bytes,
+                get: |c| c.cache_budget_bytes.to_string(),
+                set: |c, v| {
+                    c.cache_budget_bytes = parse_bytes("spark.sql.cache.budgetBytes", v)?;
+                    Ok(())
+                },
+            },
+            ConfEntry {
+                key: "spark.sql.cache.evictionPolicy",
+                env: Some("SPARK_SQL_CACHE_POLICY"),
+                kind: Kind::Str,
+                get: |c| c.cache_eviction_policy.clone(),
+                set: |c, v| {
+                    let lv = v.to_ascii_lowercase();
+                    if !matches!(lv.as_str(), "lru" | "cost") {
+                        return Err(CatalystError::analysis(format!(
+                            "invalid policy '{v}' for spark.sql.cache.evictionPolicy \
+                             (use lru/cost)"
+                        )));
+                    }
+                    c.cache_eviction_policy = lv;
+                    Ok(())
+                },
+            },
+            ConfEntry {
+                key: "spark.sql.service.workers",
+                env: Some("SPARK_SQL_SERVICE_WORKERS"),
+                kind: Kind::Count,
+                get: |c| c.service_workers.to_string(),
+                set: |c, v| {
+                    let n = parse_count("spark.sql.service.workers", v)?;
+                    if n == 0 {
+                        return Err(CatalystError::analysis(
+                            "spark.sql.service.workers must be at least 1",
+                        ));
+                    }
+                    c.service_workers = n;
+                    Ok(())
+                },
+            },
+            ConfEntry {
+                key: "spark.sql.service.sessionInFlight",
+                env: Some("SPARK_SQL_SERVICE_SESSION_INFLIGHT"),
+                kind: Kind::Count,
+                get: |c| c.service_session_in_flight.to_string(),
+                set: |c, v| {
+                    let n = parse_count("spark.sql.service.sessionInFlight", v)?;
+                    if n == 0 {
+                        return Err(CatalystError::analysis(
+                            "spark.sql.service.sessionInFlight must be at least 1",
+                        ));
+                    }
+                    c.service_session_in_flight = n;
+                    Ok(())
+                },
+            },
+            ConfEntry {
+                key: "spark.sql.service.admission.budgetBytes",
+                env: Some("SPARK_SQL_SERVICE_ADMISSION_BUDGET"),
+                kind: Kind::Bytes,
+                get: |c| c.service_admission_budget.to_string(),
+                set: |c, v| {
+                    c.service_admission_budget =
+                        parse_bytes("spark.sql.service.admission.budgetBytes", v)?;
+                    Ok(())
+                },
+            },
+            ConfEntry {
+                key: "spark.sql.service.admission.queryBytes",
+                env: None,
+                kind: Kind::Bytes,
+                get: |c| c.service_admission_query_bytes.to_string(),
+                set: |c, v| {
+                    let n = parse_bytes("spark.sql.service.admission.queryBytes", v)?;
+                    if n == 0 {
+                        return Err(CatalystError::analysis(
+                            "spark.sql.service.admission.queryBytes must be at least 1",
+                        ));
+                    }
+                    c.service_admission_query_bytes = n;
+                    Ok(())
+                },
+            },
+            ConfEntry {
+                key: "spark.sql.service.maxQueued",
+                env: None,
+                kind: Kind::Count,
+                get: |c| c.service_max_queued.to_string(),
+                set: |c, v| {
+                    c.service_max_queued = parse_count("spark.sql.service.maxQueued", v)?;
+                    Ok(())
+                },
+            },
+            ConfEntry {
+                key: "spark.sql.service.queryTimeoutMs",
+                env: None,
+                kind: Kind::Count,
+                get: |c| c.service_query_timeout_ms.to_string(),
+                set: |c, v| {
+                    c.service_query_timeout_ms =
+                        parse_count("spark.sql.service.queryTimeoutMs", v)?;
+                    Ok(())
+                },
+            },
+            ConfEntry {
                 key: "spark.sql.chaos.seed",
                 env: Some("ENGINE_CHAOS_SEED"),
                 kind: Kind::Str,
@@ -586,6 +728,33 @@ mod tests {
             (v == "SPARK_SQL_MEMORY_BUDGET").then(|| "garbage".to_string())
         });
         assert_eq!(c.memory_budget_bytes, 0);
+    }
+
+    #[test]
+    fn service_and_cache_keys_roundtrip() {
+        let mut c = SqlConf::base();
+        c.set("spark.sql.cache.budgetBytes", "4m").unwrap();
+        assert_eq!(c.cache_budget_bytes, 4 << 20);
+        c.set("spark.sql.cache.evictionPolicy", "cost").unwrap();
+        assert_eq!(c.cache_eviction_policy, "cost");
+        assert!(c.set("spark.sql.cache.evictionPolicy", "fifo").is_err());
+        c.set("spark.sql.service.workers", "8").unwrap();
+        assert_eq!(c.service_workers, 8);
+        assert!(c.set("spark.sql.service.workers", "0").is_err());
+        assert!(c.set("spark.sql.service.sessionInFlight", "0").is_err());
+        c.set("spark.sql.service.admission.budgetBytes", "64m")
+            .unwrap();
+        assert_eq!(c.service_admission_budget, 64 << 20);
+        c.set("spark.sql.service.admission.queryBytes", "1m")
+            .unwrap();
+        assert_eq!(c.service_admission_query_bytes, 1 << 20);
+        assert!(c
+            .set("spark.sql.service.admission.queryBytes", "0")
+            .is_err());
+        c.set("spark.sql.service.queryTimeoutMs", "250").unwrap();
+        assert_eq!(c.service_query_timeout_ms, 250);
+        c.set("spark.sql.service.maxQueued", "5").unwrap();
+        assert_eq!(c.service_max_queued, 5);
     }
 
     #[test]

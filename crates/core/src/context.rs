@@ -10,7 +10,7 @@ use crate::io::DataFrameReader;
 use crate::query_execution::QueryLogEntry;
 use crate::rdd_table::RddTable;
 use crate::record::Record;
-use catalyst::analysis::{Analyzer, Catalog, FunctionRegistry, SimpleCatalog};
+use catalyst::analysis::{Analyzer, Catalog, FunctionRegistry, OverlayCatalog, SimpleCatalog};
 use catalyst::error::{CatalystError, Result};
 use catalyst::expr::{ColumnRef, UdfImpl};
 use catalyst::optimizer::Optimizer;
@@ -27,14 +27,19 @@ use catalyst::value::Value;
 use datasources::{CsvOptions, DataSourceRegistry, JsonRelation, Options};
 use engine::{RddRef, SparkContext};
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct CtxInner {
     sc: SparkContext,
-    catalog: Arc<SimpleCatalog>,
+    /// The server-wide catalog shared by every session.
+    shared_catalog: Arc<SimpleCatalog>,
+    /// `Some` for contexts created by [`SQLContext::new_session`]: a
+    /// session-local temp-view layer over the shared catalog.
+    session_catalog: Option<Arc<OverlayCatalog>>,
     functions: Arc<FunctionRegistry>,
-    udts: UdtRegistry,
-    sources: DataSourceRegistry,
+    udts: Arc<UdtRegistry>,
+    sources: Arc<DataSourceRegistry>,
     conf: RwLock<SqlConf>,
     strategies: RwLock<Vec<Arc<dyn Strategy>>>,
     optimizer: Mutex<Optimizer>,
@@ -42,6 +47,11 @@ struct CtxInner {
     uncached_plans: Mutex<std::collections::HashMap<String, LogicalPlan>>,
     /// Instrumented runs recorded by `QueryExecution::collect`.
     query_log: Mutex<Vec<QueryLogEntry>>,
+    /// Stable id stamped on this session's query-log entries. `"local"`
+    /// for library use; the SQL service assigns `s1`, `s2`, ….
+    session_id: String,
+    /// Monotonic per-session query-id source (first query is 1).
+    next_query_id: AtomicU64,
 }
 
 /// A Spark SQL session.
@@ -53,19 +63,86 @@ pub struct SQLContext {
 impl SQLContext {
     /// Create a session over an existing engine context.
     pub fn new(sc: SparkContext) -> Self {
-        SQLContext {
+        let ctx = SQLContext {
             inner: Arc::new(CtxInner {
                 sc,
-                catalog: Arc::new(SimpleCatalog::default()),
+                shared_catalog: Arc::new(SimpleCatalog::default()),
+                session_catalog: None,
                 functions: Arc::new(FunctionRegistry::default()),
-                udts: UdtRegistry::default(),
-                sources: DataSourceRegistry::default(),
+                udts: Arc::new(UdtRegistry::default()),
+                sources: Arc::new(DataSourceRegistry::default()),
                 conf: RwLock::new(SqlConf::default()),
                 strategies: RwLock::new(Vec::new()),
                 optimizer: Mutex::new(Optimizer::new()),
                 uncached_plans: Mutex::new(std::collections::HashMap::new()),
                 query_log: Mutex::new(Vec::new()),
+                session_id: "local".to_string(),
+                next_query_id: AtomicU64::new(1),
             }),
+        };
+        // The environment may have set a cache budget through the
+        // registry defaults; mirror it onto the engine cache.
+        ctx.apply_cache_conf();
+        ctx
+    }
+
+    /// Derive an isolated session sharing this context's engine, shared
+    /// catalog, cache, functions, UDTs, and data sources. The new session
+    /// gets its own temp-view layer (a [`OverlayCatalog`] over the shared
+    /// catalog), a snapshot of the current configuration (later `SET`s
+    /// are invisible across sessions), its own query log, and its own
+    /// query-id counter. Custom optimizer batches are *not* inherited.
+    pub fn new_session(&self, session_id: impl Into<String>) -> SQLContext {
+        SQLContext {
+            inner: Arc::new(CtxInner {
+                sc: self.inner.sc.clone(),
+                shared_catalog: self.inner.shared_catalog.clone(),
+                session_catalog: Some(Arc::new(OverlayCatalog::over(
+                    self.inner.shared_catalog.clone(),
+                ))),
+                functions: self.inner.functions.clone(),
+                udts: self.inner.udts.clone(),
+                sources: self.inner.sources.clone(),
+                conf: RwLock::new(self.conf()),
+                strategies: RwLock::new(self.inner.strategies.read().clone()),
+                optimizer: Mutex::new(Optimizer::new()),
+                uncached_plans: Mutex::new(std::collections::HashMap::new()),
+                query_log: Mutex::new(Vec::new()),
+                session_id: session_id.into(),
+                next_query_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// This session's id (`"local"` outside the SQL service).
+    pub fn session_id(&self) -> &str {
+        &self.inner.session_id
+    }
+
+    /// Allocate the next query id for this session.
+    pub(crate) fn next_query_id(&self) -> u64 {
+        self.inner.next_query_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// The catalog this session resolves tables against.
+    fn catalog_dyn(&self) -> Arc<dyn Catalog> {
+        match &self.inner.session_catalog {
+            Some(overlay) => overlay.clone(),
+            None => self.inner.shared_catalog.clone(),
+        }
+    }
+
+    fn catalog_register(&self, name: &str, plan: LogicalPlan) {
+        match &self.inner.session_catalog {
+            Some(overlay) => overlay.register(name, plan),
+            None => self.inner.shared_catalog.register(name, plan),
+        }
+    }
+
+    fn catalog_unregister(&self, name: &str) -> bool {
+        match &self.inner.session_catalog {
+            Some(overlay) => overlay.unregister(name),
+            None => self.inner.shared_catalog.unregister(name),
         }
     }
 
@@ -88,6 +165,9 @@ impl SQLContext {
     /// Mutate the configuration.
     pub fn set_conf(&self, f: impl FnOnce(&mut SqlConf)) {
         f(&mut self.inner.conf.write());
+        // Shared-resource knobs (the cache budget/policy) act on the
+        // engine immediately, same as the string-keyed `set` path.
+        self.apply_cache_conf();
     }
 
     /// Set a runtime config by registry key, e.g.
@@ -96,8 +176,12 @@ impl SQLContext {
     /// statements and startup environment variables.
     pub fn set(&self, key: &str, value: &str) -> Result<()> {
         self.inner.conf.write().set(key, value)?;
-        if key.to_ascii_lowercase().starts_with("spark.sql.chaos.") {
+        let lower = key.to_ascii_lowercase();
+        if lower.starts_with("spark.sql.chaos.") {
             self.apply_chaos_conf();
+        }
+        if lower == "spark.sql.cache.budgetbytes" || lower == "spark.sql.cache.evictionpolicy" {
+            self.apply_cache_conf();
         }
         Ok(())
     }
@@ -122,6 +206,19 @@ impl SQLContext {
         self.inner.sc.set_chaos(plan);
     }
 
+    /// Apply the session's cache budget/policy to the engine's shared
+    /// cache manager. Like the chaos hook, this is an engine-level
+    /// side effect: the cache is shared, so the last session to set it
+    /// wins (services set it once at startup).
+    fn apply_cache_conf(&self) {
+        let conf = self.conf();
+        let budget = (conf.cache_budget_bytes > 0).then_some(conf.cache_budget_bytes);
+        self.inner.sc.cache_manager().set_budget(
+            budget,
+            engine::EvictionPolicy::parse(&conf.cache_eviction_policy),
+        );
+    }
+
     /// The user-defined-type registry (§4.4.2).
     pub fn udts(&self) -> &UdtRegistry {
         &self.inner.udts
@@ -136,7 +233,7 @@ impl SQLContext {
 
     /// Analyze a plan against this session's catalog and functions.
     pub fn analyze(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
-        Analyzer::new(self.inner.catalog.clone(), self.inner.functions.clone()).analyze(plan)
+        Analyzer::new(self.catalog_dyn(), self.inner.functions.clone()).analyze(plan)
     }
 
     /// Wrap an unanalyzed plan into a DataFrame (analyzing it eagerly).
@@ -355,8 +452,7 @@ impl SQLContext {
             }
             sql::Statement::ShowTables => {
                 let rows: Vec<Row> = self
-                    .inner
-                    .catalog
+                    .catalog_dyn()
                     .table_names()
                     .into_iter()
                     .map(|n| Row::new(vec![Value::str(n)]))
@@ -399,14 +495,15 @@ impl SQLContext {
 
     // ---- catalog ----
 
-    /// Register an analyzed plan as a temp table.
+    /// Register an analyzed plan as a temp table (in the session layer,
+    /// for sessions; in the shared catalog, for the root context).
     pub fn register_plan(&self, name: &str, plan: LogicalPlan) {
-        self.inner.catalog.register(name, plan);
+        self.catalog_register(name, plan);
     }
 
     /// Register a data source relation as a table.
     pub fn register_relation(&self, name: &str, relation: Arc<dyn BaseRelation>) {
-        self.inner.catalog.register(name, scan_plan(relation));
+        self.catalog_register(name, scan_plan(relation));
     }
 
     /// Register literal rows as a table.
@@ -418,7 +515,7 @@ impl SQLContext {
 
     /// Remove a temp table.
     pub fn drop_temp_table(&self, name: &str) -> bool {
-        self.inner.catalog.unregister(name)
+        self.catalog_unregister(name)
     }
 
     /// Look up a table as a DataFrame.

@@ -81,6 +81,12 @@ pub struct ExecContext {
     /// Bounded when `spark.sql.memory.budgetBytes` is set (and spilling
     /// is not disabled); unbounded pools never deny and never spill.
     pub mem: Arc<MemoryPool>,
+    /// Cooperative cancellation token. When set, every operator's
+    /// partition iterator checks it at the partition boundary and every
+    /// 256 rows (per batch on the vectorized path); a fired token unwinds
+    /// the task with [`engine::CancelSignal`], releasing reservations and
+    /// spill files on the way out.
+    pub cancel: Option<engine::CancelToken>,
 }
 
 /// Build the execution's memory pool from session configuration.
@@ -101,6 +107,7 @@ impl ExecContext {
             metrics: None,
             adaptive: AdaptiveLog::default(),
             mem,
+            cancel: None,
         }
     }
 
@@ -113,6 +120,7 @@ impl ExecContext {
             metrics: Some(metrics),
             adaptive: AdaptiveLog::default(),
             mem,
+            cancel: None,
         }
     }
 
@@ -167,6 +175,48 @@ fn metered(rdd: &RddRef<Row>, node: Arc<OperatorMetrics>) -> RddRef<Row> {
             rows: 0,
             elapsed_ns: 0,
         })
+    })
+}
+
+/// Cooperative cancellation point in a row pipeline: checks the token
+/// when the partition opens and every 256 rows after.
+struct CancelCheckIter {
+    inner: engine::BoxIter<Row>,
+    token: engine::CancelToken,
+    count: u32,
+}
+
+impl Iterator for CancelCheckIter {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        self.count = self.count.wrapping_add(1);
+        if self.count & 0xFF == 0 {
+            engine::cancel::check(&self.token);
+        }
+        self.inner.next()
+    }
+}
+
+/// Wrap an operator's output so its partitions observe `token`.
+fn cancel_checked(rdd: &RddRef<Row>, token: engine::CancelToken) -> RddRef<Row> {
+    rdd.map_partitions(move |it| {
+        engine::cancel::check(&token);
+        Box::new(CancelCheckIter {
+            inner: it,
+            token: token.clone(),
+            count: 0,
+        })
+    })
+}
+
+/// Batch-path cancellation point: per batch (a batch is the row path's
+/// "every few hundred rows" in one step).
+fn cancel_checked_batches(rdd: &RddRef<RowBatch>, token: engine::CancelToken) -> RddRef<RowBatch> {
+    rdd.map_partitions(move |it| {
+        engine::cancel::check(&token);
+        let token = token.clone();
+        Box::new(it.inspect(move |_| engine::cancel::check(&token)))
     })
 }
 
@@ -556,16 +606,20 @@ fn execute_node(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<Rdd
     }
     let shuffles_before = ctx.sc.current_shuffle_id();
     let rdd = lower(plan, id, ctx)?;
-    match &ctx.metrics {
+    let rdd = match &ctx.metrics {
         Some(pm) => {
             let node = pm.node(id);
             for sid in pm.claim_shuffles(shuffles_before..ctx.sc.current_shuffle_id()) {
                 node.add_shuffle_id(sid);
             }
-            Ok(metered(&rdd, node))
+            metered(&rdd, node)
         }
-        None => Ok(rdd),
-    }
+        None => rdd,
+    };
+    Ok(match &ctx.cancel {
+        Some(token) => cancel_checked(&rdd, token.clone()),
+        None => rdd,
+    })
 }
 
 // ---- vectorized (batch) execution path ----
@@ -660,9 +714,15 @@ fn try_execute_batched(
     ctx: &ExecContext,
 ) -> Option<Result<RddRef<RowBatch>>> {
     let lowered = try_lower_batched(plan, id, ctx)?;
-    Some(lowered.map(|rdd| match &ctx.metrics {
-        Some(pm) => metered_batches(&rdd, pm.node(id)),
-        None => rdd,
+    Some(lowered.map(|rdd| {
+        let rdd = match &ctx.metrics {
+            Some(pm) => metered_batches(&rdd, pm.node(id)),
+            None => rdd,
+        };
+        match &ctx.cancel {
+            Some(token) => cancel_checked_batches(&rdd, token.clone()),
+            None => rdd,
+        }
     }))
 }
 
@@ -916,7 +976,8 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             }
             use engine::pair::SortedPairRdd;
             Ok(keyed
-                .sort_by_key(true, ctx.conf.shuffle_partitions)
+                .try_sort_by_key(true, ctx.conf.shuffle_partitions)
+                .map_err(engine_err)?
                 .values())
         }
 
@@ -1696,12 +1757,21 @@ fn execute_external_sort(
     // the engine's sort, so partition boundaries match exactly.
     let total = (num_partitions * 20).max(20);
     let keys = keyed.keys();
-    let approx = keys.count();
+    // Driver-side jobs: propagate failures (including cancellation)
+    // instead of panicking the calling thread.
+    let approx: u64 = keys
+        .run_job(|_, it| it.count() as u64)
+        .map_err(engine_err)?
+        .into_iter()
+        .sum();
     if approx == 0 {
         return Ok(keyed.values());
     }
     let fraction = (total as f64 / approx as f64).min(1.0);
-    let sample: Vec<SortKey> = keys.sample(fraction, 0xC0FFEE).collect();
+    let sample: Vec<SortKey> = keys
+        .sample(fraction, 0xC0FFEE)
+        .try_collect()
+        .map_err(engine_err)?;
     let bounds = RangePartitioner::bounds_from_sample(sample, num_partitions);
     let partitioned = keyed.partition_by(Arc::new(RangePartitioner::new(bounds, true)));
 

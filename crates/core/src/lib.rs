@@ -50,7 +50,9 @@ pub use conf::SqlConf;
 pub use context::SQLContext;
 pub use dataframe::{DataFrame, GroupedData};
 pub use io::{DataFrameReader, DataFrameWriter, SaveMode};
-pub use query_execution::{OperatorLogEntry, QueryExecution, QueryLogEntry, RecoveryEvents};
+pub use query_execution::{
+    CacheEvents, OperatorLogEntry, QueryExecution, QueryLogEntry, RecoveryEvents,
+};
 
 /// Convenient glob import for applications.
 pub mod prelude {

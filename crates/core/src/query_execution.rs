@@ -19,7 +19,7 @@ use catalyst::plan::LogicalPlan;
 use catalyst::row::Row;
 use catalyst::rules::RuleHealthReport;
 use catalyst::CatalystError;
-use engine::{MemoryPool, MemoryStats, RddRef};
+use engine::{CacheBudgetStats, CancelToken, MemoryPool, MemoryStats, RddRef};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -40,12 +40,17 @@ pub struct QueryExecution {
     adaptive_log: AdaptiveLog,
     /// Memory pool of the most recent run (set by [`QueryExecution::to_rdd`]).
     mem_pool: Mutex<Option<Arc<MemoryPool>>>,
+    /// Session-scoped id assigned when the handle was created.
+    query_id: u64,
+    /// Cooperative cancellation token (see [`QueryExecution::set_cancel`]).
+    cancel: Mutex<Option<CancelToken>>,
 }
 
 impl QueryExecution {
     pub(crate) fn new(ctx: SQLContext, analyzed: LogicalPlan) -> Result<QueryExecution> {
         let planned = ctx.plan_query_monitored(&analyzed)?;
         let metrics = PlanMetrics::for_plan(&planned.physical);
+        let query_id = ctx.next_query_id();
         Ok(QueryExecution {
             ctx,
             analyzed,
@@ -55,7 +60,25 @@ impl QueryExecution {
             rule_health: planned.rule_health,
             adaptive_log: AdaptiveLog::default(),
             mem_pool: Mutex::new(None),
+            query_id,
+            cancel: Mutex::new(None),
         })
+    }
+
+    /// The session-scoped id of this query (monotonic per `SQLContext`).
+    pub fn query_id(&self) -> u64 {
+        self.query_id
+    }
+
+    /// Attach a cancellation token. Subsequent executions of this handle
+    /// check it cooperatively: at every partition boundary, every 256
+    /// rows (every batch on the vectorized path), and in the scheduler's
+    /// wait loop. A fired token unwinds in-flight tasks, releasing
+    /// memory reservations and deleting spill files, and surfaces as an
+    /// `execution failed: job cancelled` error from
+    /// [`QueryExecution::collect`].
+    pub fn set_cancel(&self, token: CancelToken) {
+        *self.cancel.lock().unwrap() = Some(token);
     }
 
     /// Per-rule health for this query's optimizer run: how often each
@@ -107,6 +130,7 @@ impl QueryExecution {
         // eagerly, so the log fills in during `execute`.
         self.adaptive_log.clear();
         ctx.adaptive = self.adaptive_log.clone();
+        ctx.cancel = self.cancel.lock().unwrap().clone();
         *self.mem_pool.lock().unwrap() = Some(ctx.mem.clone());
         execute(&self.physical, &ctx)
     }
@@ -144,6 +168,15 @@ impl QueryExecution {
     /// the session query log.
     pub fn collect(&self) -> Result<Vec<Row>> {
         let before = self.ctx.spark_context().metrics().snapshot();
+        let cache_before = self.ctx.spark_context().cache_manager().budget_stats();
+        // Install the cancel token on the driver thread so the engine
+        // scheduler's wait loop observes it between task completions.
+        let _cancel_guard = self
+            .cancel
+            .lock()
+            .unwrap()
+            .clone()
+            .map(engine::cancel::install);
         let start = Instant::now();
         let rows = self
             .to_rdd()?
@@ -154,8 +187,12 @@ impl QueryExecution {
             RecoveryEvents::delta(&before, &self.ctx.spark_context().metrics().snapshot());
         self.attribute_shuffle_stats();
         let memory = self.memory_stats();
+        let cache = CacheEvents::delta(
+            &cache_before,
+            &self.ctx.spark_context().cache_manager().budget_stats(),
+        );
         self.ctx
-            .log_query(self.log_entry(wall_ns, rows.len() as u64, recovery, memory));
+            .log_query(self.log_entry(wall_ns, rows.len() as u64, recovery, memory, cache));
         Ok(rows)
     }
 
@@ -165,6 +202,11 @@ impl QueryExecution {
         let rows = self.collect()?;
         let changes = self.adaptive_changes();
         let mut out = String::new();
+        out.push_str(&format!(
+            "== Query ==\nsession: {}, query id: {}\n",
+            self.ctx.session_id(),
+            self.query_id,
+        ));
         if changes.is_empty() {
             out.push_str("== Physical Plan (executed) ==\n");
             out.push_str(&render_annotated(&self.physical, &self.metrics));
@@ -186,9 +228,9 @@ impl QueryExecution {
             ));
         }
         let entry = self.ctx.query_log().pop();
-        let (wall, recovery, memory) = entry
-            .map(|e| (e.wall_ns, e.recovery, e.memory))
-            .unwrap_or((0, RecoveryEvents::default(), None));
+        let (wall, recovery, memory, cache) = entry
+            .map(|e| (e.wall_ns, e.recovery, e.memory, e.cache))
+            .unwrap_or((0, RecoveryEvents::default(), None, CacheEvents::default()));
         if recovery.any() {
             out.push_str("== Fault Recovery ==\n");
             out.push_str(&recovery.render());
@@ -196,6 +238,10 @@ impl QueryExecution {
         if let Some(m) = memory {
             out.push_str("== Memory ==\n");
             out.push_str(&render_memory(&m));
+        }
+        if cache.any() {
+            out.push_str("== Cache ==\n");
+            out.push_str(&cache.render());
         }
         let lint = catalyst::analysis::lint::lint_plan_at_level(
             &self.analyzed,
@@ -245,6 +291,7 @@ impl QueryExecution {
         output_rows: u64,
         recovery: RecoveryEvents,
         memory: Option<MemoryStats>,
+        cache: CacheEvents,
     ) -> QueryLogEntry {
         let mut names = Vec::new();
         preorder_descriptions(&self.physical, &mut names);
@@ -263,12 +310,15 @@ impl QueryExecution {
             })
             .collect();
         QueryLogEntry {
+            session_id: self.ctx.session_id().to_string(),
+            query_id: self.query_id,
             query: self.optimized.node_description(),
             wall_ns,
             output_rows,
             operators,
             recovery,
             memory,
+            cache,
         }
     }
 }
@@ -364,6 +414,47 @@ impl RecoveryEvents {
     }
 }
 
+/// Shared-cache eviction activity observed during one instrumented run:
+/// deltas of the budgeted cache's eviction counters between the start
+/// and end of [`QueryExecution::collect`]. All zero when the cache runs
+/// unbudgeted or nothing was evicted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheEvents {
+    /// Cached blocks evicted to stay under the cache budget.
+    pub evictions: u64,
+    /// Total bytes of those evicted blocks.
+    pub evicted_bytes: u64,
+}
+
+impl CacheEvents {
+    fn delta(before: &CacheBudgetStats, after: &CacheBudgetStats) -> CacheEvents {
+        CacheEvents {
+            evictions: after.evictions.saturating_sub(before.evictions),
+            evicted_bytes: after.evicted_bytes.saturating_sub(before.evicted_bytes),
+        }
+    }
+
+    /// True if any block was evicted during the run.
+    pub fn any(&self) -> bool {
+        *self != CacheEvents::default()
+    }
+
+    /// One-line summary for `explain_analyze` output.
+    pub fn render(&self) -> String {
+        format!(
+            "evictions: {}, evicted bytes: {}\n",
+            self.evictions, self.evicted_bytes
+        )
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"evictions\":{},\"evicted_bytes\":{}}}",
+            self.evictions, self.evicted_bytes
+        )
+    }
+}
+
 fn preorder_descriptions(plan: &PhysicalPlan, out: &mut Vec<String>) {
     out.push(plan.node_description());
     for child in plan.children() {
@@ -374,6 +465,11 @@ fn preorder_descriptions(plan: &PhysicalPlan, out: &mut Vec<String>) {
 /// One instrumented query run, as recorded in the session query log.
 #[derive(Debug, Clone)]
 pub struct QueryLogEntry {
+    /// Session the query ran in (`"local"` for direct library use; the
+    /// SQL service stamps its wire session id).
+    pub session_id: String,
+    /// Session-scoped query id (monotonic per root `SQLContext`).
+    pub query_id: u64,
     /// Root description of the optimized logical plan.
     pub query: String,
     /// End-to-end wall time of the run (driver side).
@@ -387,6 +483,9 @@ pub struct QueryLogEntry {
     /// Memory-pool counters when the run executed under a bounded budget
     /// (`None` for unbounded runs).
     pub memory: Option<MemoryStats>,
+    /// Shared-cache evictions this run triggered (all zero when the
+    /// cache is unbudgeted).
+    pub cache: CacheEvents,
 }
 
 /// Actuals of one physical operator within a [`QueryLogEntry`].
@@ -434,12 +533,15 @@ impl QueryLogEntry {
             ),
         };
         format!(
-            "{{\"query\":{},\"wall_ns\":{},\"output_rows\":{},\"recovery\":{},\"memory\":{},\"operators\":[{}]}}",
+            "{{\"session_id\":{},\"query_id\":{},\"query\":{},\"wall_ns\":{},\"output_rows\":{},\"recovery\":{},\"memory\":{},\"cache\":{},\"operators\":[{}]}}",
+            json_string(&self.session_id),
+            self.query_id,
             json_string(&self.query),
             self.wall_ns,
             self.output_rows,
             self.recovery.to_json(),
             memory,
+            self.cache.to_json(),
             ops.join(",")
         )
     }
@@ -477,6 +579,8 @@ mod tests {
     #[test]
     fn log_entry_renders_json() {
         let entry = QueryLogEntry {
+            session_id: "local".into(),
+            query_id: 7,
             query: "Project [a]".into(),
             wall_ns: 1200,
             output_rows: 3,
@@ -492,10 +596,17 @@ mod tests {
                 ..RecoveryEvents::default()
             },
             memory: None,
+            cache: CacheEvents::default(),
         };
         let json = entry.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"session_id\":\"local\""), "{json}");
+        assert!(json.contains("\"query_id\":7"), "{json}");
         assert!(json.contains("\"query\":\"Project [a]\""), "{json}");
+        assert!(
+            json.contains("\"cache\":{\"evictions\":0,\"evicted_bytes\":0}"),
+            "{json}"
+        );
         assert!(
             json.contains("\"extras\":{\"shuffle_bytes_written\":64}"),
             "{json}"

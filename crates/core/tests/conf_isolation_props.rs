@@ -1,0 +1,122 @@
+//! Property tests for session isolation of the runtime-config registry:
+//! concurrent sessions hammer `SET`/get over the same registry keys with
+//! session-unique values, and every read must observe only the session's
+//! own writes (or the root default for keys it never touched). The root
+//! context's conf must come out of the stampede untouched.
+//!
+//! Same deterministic seeded-sweep style as `spill_props.rs` (the build
+//! vendors only a minimal rand shim).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spark_sql::SQLContext;
+use std::collections::HashMap;
+
+/// Integer-valued registry keys whose setters accept any positive value
+/// and have no shared-engine side effects (the cache/chaos keys are
+/// deliberately excluded: those exist to reconfigure *shared* state).
+const KEYS: &[&str] = &[
+    "spark.sql.shuffle.partitions",
+    "spark.sql.vectorize.batchSize",
+    "spark.sql.cache.batchSize",
+    "spark.sql.autoBroadcastJoinThreshold",
+    "spark.sql.memory.budgetBytes",
+    "spark.sql.service.workers",
+    "spark.sql.service.maxQueued",
+    "spark.sql.service.queryTimeoutMs",
+];
+
+const SESSIONS: usize = 8;
+const ROUNDS: usize = 200;
+
+/// A value no two (session, round) pairs share, so any cross-session
+/// bleed-through shows up as a concrete wrong number.
+fn unique_value(session: usize, round: usize) -> String {
+    (1 + session * (ROUNDS * 13) + round).to_string()
+}
+
+#[test]
+fn concurrent_sessions_only_observe_their_own_sets() {
+    for seed in 0..6u64 {
+        let root = SQLContext::new_local(2);
+        let defaults: Vec<String> = KEYS.iter().map(|k| root.conf().get(k).unwrap()).collect();
+
+        std::thread::scope(|scope| {
+            for s in 0..SESSIONS {
+                let session = root.new_session(format!("s{s}"));
+                let defaults = &defaults;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed * 1000 + s as u64);
+                    // What this session believes each key holds.
+                    let mut mine: HashMap<&str, String> = HashMap::new();
+                    for round in 0..ROUNDS {
+                        let ki = rng.random_range(0usize..KEYS.len());
+                        let key = KEYS[ki];
+                        if rng.random_bool(0.6) {
+                            let v = unique_value(s, round);
+                            session.set(key, &v).unwrap();
+                            mine.insert(key, v);
+                        } else {
+                            let expected = mine.get(key).unwrap_or(&defaults[ki]);
+                            let got = session.conf().get(key).unwrap();
+                            assert_eq!(
+                                &got, expected,
+                                "seed {seed} session {s} round {round}: \
+                                 {key} leaked a foreign write"
+                            );
+                        }
+                    }
+                    // Final sweep over every key, touched or not.
+                    for (ki, key) in KEYS.iter().enumerate() {
+                        let expected = mine.get(key).unwrap_or(&defaults[ki]);
+                        let got = session.conf().get(key).unwrap();
+                        assert_eq!(&got, expected, "seed {seed} session {s} final: {key}");
+                    }
+                });
+            }
+        });
+
+        // The stampede of session SETs must not have moved the root.
+        for (ki, key) in KEYS.iter().enumerate() {
+            assert_eq!(
+                root.conf().get(key).unwrap(),
+                defaults[ki],
+                "seed {seed}: root conf moved for {key}"
+            );
+        }
+    }
+}
+
+/// A session snapshots the root conf at creation: root values set before
+/// `new_session` are visible, later root changes are not, and the
+/// session's own sets never flow back up.
+#[test]
+fn sessions_snapshot_root_conf_at_creation() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FF + seed);
+        let root = SQLContext::new_local(2);
+        let ki = rng.random_range(0usize..KEYS.len());
+        let key = KEYS[ki];
+
+        let before = (1000 + rng.random_range(0usize..1000)).to_string();
+        root.set(key, &before).unwrap();
+        let session = root.new_session(format!("snap{seed}"));
+        assert_eq!(session.conf().get(key).unwrap(), before);
+
+        let after = (3000 + rng.random_range(0usize..1000)).to_string();
+        root.set(key, &after).unwrap();
+        assert_eq!(
+            session.conf().get(key).unwrap(),
+            before,
+            "seed {seed}: a root SET after new_session reached the session"
+        );
+
+        let own = (5000 + rng.random_range(0usize..1000)).to_string();
+        session.set(key, &own).unwrap();
+        assert_eq!(
+            root.conf().get(key).unwrap(),
+            after,
+            "seed {seed}: a session SET flowed back to the root"
+        );
+    }
+}

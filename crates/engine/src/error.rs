@@ -24,6 +24,12 @@ pub enum EngineError {
         /// How many resubmissions were attempted before giving up.
         attempts: usize,
     },
+    /// The job's [`crate::cancel::CancelToken`] fired before it finished
+    /// (explicit cancel or deadline). Not retried.
+    Cancelled {
+        /// Human-readable cause ("query cancelled" / "query deadline exceeded").
+        reason: String,
+    },
     /// An I/O problem in the simulated file store.
     Io(String),
     /// Anything else (mis-shapen job, missing shuffle output after retries).
@@ -52,6 +58,7 @@ impl fmt::Display for EngineError {
                 "stage {stage} aborted: fetch failures on shuffle {shuffle_id} persisted \
                  after {attempts} map-stage resubmissions"
             ),
+            EngineError::Cancelled { reason } => write!(f, "job cancelled: {reason}"),
             EngineError::Io(msg) => write!(f, "io error: {msg}"),
             EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }

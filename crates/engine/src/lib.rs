@@ -49,6 +49,7 @@
 
 pub mod broadcast;
 pub mod cache;
+pub mod cancel;
 pub mod chaos;
 pub mod context;
 pub mod error;
@@ -65,6 +66,8 @@ pub mod scheduler;
 pub mod shuffle;
 
 pub use broadcast::Broadcast;
+pub use cache::{CacheBudgetStats, EvictionPolicy};
+pub use cancel::{CancelReason, CancelSignal, CancelToken};
 pub use chaos::{ChaosConf, ChaosPlan, ChaosStats, FaultKind};
 pub use context::{EngineConf, SparkContext};
 pub use error::{EngineError, Result};

@@ -408,27 +408,45 @@ impl<K: Data + Hash + Eq, V: Data> PairRdd<K, V> for RddRef<(K, V)> {
 /// Sorting for pair RDDs with ordered keys.
 pub trait SortedPairRdd<K: Data + Hash + Eq + Ord, V: Data> {
     /// Globally sort by key via sampled range partitioning followed by a
-    /// per-partition sort (Spark's `sortByKey`).
-    fn sort_by_key(&self, ascending: bool, num_partitions: usize) -> RddRef<(K, V)>;
+    /// per-partition sort (Spark's `sortByKey`). Panics if the sampling
+    /// jobs fail; fallible callers (e.g. services running queries on
+    /// worker threads) should use [`SortedPairRdd::try_sort_by_key`].
+    fn sort_by_key(&self, ascending: bool, num_partitions: usize) -> RddRef<(K, V)> {
+        self.try_sort_by_key(ascending, num_partitions)
+            .expect("job failed")
+    }
+
+    /// Like [`SortedPairRdd::sort_by_key`], but surfaces failures (task
+    /// errors, cancellation) from the driver-side sampling jobs instead
+    /// of panicking.
+    fn try_sort_by_key(
+        &self,
+        ascending: bool,
+        num_partitions: usize,
+    ) -> crate::Result<RddRef<(K, V)>>;
 }
 
 impl<K: Data + Hash + Eq + Ord, V: Data> SortedPairRdd<K, V> for RddRef<(K, V)> {
-    fn sort_by_key(&self, ascending: bool, num_partitions: usize) -> RddRef<(K, V)> {
+    fn try_sort_by_key(
+        &self,
+        ascending: bool,
+        num_partitions: usize,
+    ) -> crate::Result<RddRef<(K, V)>> {
         // Sample ~20 keys per output partition to pick range boundaries.
         let total = (num_partitions * 20).max(20);
         let sample: Vec<K> = {
             let keys = self.keys();
-            let approx = keys.count();
+            let approx: u64 = keys.run_job(|_, it| it.count() as u64)?.into_iter().sum();
             if approx == 0 {
-                return self.clone();
+                return Ok(self.clone());
             }
             let fraction = (total as f64 / approx as f64).min(1.0);
-            keys.sample(fraction, 0xC0FFEE).collect()
+            keys.sample(fraction, 0xC0FFEE).try_collect()?
         };
         let bounds = RangePartitioner::bounds_from_sample(sample, num_partitions);
         let partitioner: Arc<dyn Partitioner<K>> =
             Arc::new(RangePartitioner::new(bounds, ascending));
-        self.partition_by(partitioner).map_partitions(move |it| {
+        Ok(self.partition_by(partitioner).map_partitions(move |it| {
             let mut rows: Vec<(K, V)> = it.collect();
             if ascending {
                 rows.sort_by(|a, b| a.0.cmp(&b.0));
@@ -436,6 +454,6 @@ impl<K: Data + Hash + Eq + Ord, V: Data> SortedPairRdd<K, V> for RddRef<(K, V)> 
                 rows.sort_by(|a, b| b.0.cmp(&a.0));
             }
             Box::new(rows.into_iter())
-        })
+        }))
     }
 }

@@ -15,7 +15,9 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::Cell;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -36,6 +38,11 @@ pub struct ThreadPool {
     /// queued tasks while they wait.
     stealer: Receiver<Task>,
     workers: Vec<JoinHandle<()>>,
+    /// Generation counter + condvar that waiters (the scheduler's
+    /// result loop) block on instead of polling. Bumped on every task
+    /// submission and by [`notify`](Self::notify) when a task result is
+    /// posted.
+    activity: Arc<(Mutex<u64>, Condvar)>,
 }
 
 impl ThreadPool {
@@ -61,6 +68,7 @@ impl ThreadPool {
             sender: Some(sender),
             stealer: receiver,
             workers,
+            activity: Arc::new((Mutex::new(0), Condvar::new())),
         }
     }
 
@@ -76,11 +84,45 @@ impl ThreadPool {
             .expect("pool shut down")
             .send(Box::new(f))
             .expect("executor pool disconnected");
+        // A new task is also something a blocked waiter may want to steal.
+        self.notify();
     }
 
     /// Take one queued task, if any, to run on the calling thread.
     pub fn try_steal(&self) -> Option<Task> {
         self.stealer.try_recv()
+    }
+
+    /// Wake every thread blocked in [`wait_for_activity`](Self::wait_for_activity).
+    /// Tasks call this after posting a result so the driver's wait loop
+    /// re-checks its result channel without spinning.
+    pub fn notify(&self) {
+        let (gen, cv) = &*self.activity;
+        *gen.lock().unwrap() += 1;
+        cv.notify_all();
+    }
+
+    /// Current activity generation; pass to
+    /// [`wait_for_activity`](Self::wait_for_activity).
+    pub fn activity_generation(&self) -> u64 {
+        *self.activity.0.lock().unwrap()
+    }
+
+    /// Block until the activity generation advances past `seen` or
+    /// `timeout` elapses. The pattern is: read the generation, re-check
+    /// whatever condition you are waiting on, then wait — any event
+    /// between the read and the wait bumps the generation and makes the
+    /// wait return immediately, so wake-ups cannot be lost.
+    pub fn wait_for_activity(&self, seen: u64, timeout: Duration) {
+        let (gen, cv) = &*self.activity;
+        let mut g = gen.lock().unwrap();
+        while *g == seen {
+            let (next, result) = cv.wait_timeout(g, timeout).unwrap();
+            g = next;
+            if result.timed_out() {
+                break;
+            }
+        }
     }
 }
 
@@ -163,6 +205,32 @@ mod tests {
             let id = rx.recv().unwrap().expect("worker must have an executor id");
             assert!(id < 3);
         }
+    }
+
+    #[test]
+    fn wait_for_activity_wakes_on_notify() {
+        let pool = Arc::new(ThreadPool::new(1));
+        let seen = pool.activity_generation();
+        let p = pool.clone();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            p.notify();
+        });
+        // Must return well before the fallback timeout.
+        let start = std::time::Instant::now();
+        pool.wait_for_activity(seen, Duration::from_secs(10));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_activity_returns_immediately_on_stale_generation() {
+        let pool = ThreadPool::new(1);
+        let seen = pool.activity_generation();
+        pool.notify(); // generation advances before the wait starts
+        let start = std::time::Instant::now();
+        pool.wait_for_activity(seen, Duration::from_secs(10));
+        assert!(start.elapsed() < Duration::from_secs(1));
     }
 
     #[test]

@@ -80,6 +80,7 @@ enum StageError {
 enum TaskOutcome<R> {
     Ok(R),
     FetchFailed { shuffle_id: usize, map_id: usize },
+    Cancelled(crate::cancel::CancelReason),
     Failed(String),
 }
 
@@ -153,15 +154,23 @@ fn run_tasks<R: Send + 'static>(
             );
             let outcome = match result {
                 Ok(r) => TaskOutcome::Ok(r),
-                Err(p) => match p.downcast_ref::<FetchFailedSignal>() {
-                    Some(sig) => TaskOutcome::FetchFailed {
-                        shuffle_id: sig.shuffle_id,
-                        map_id: sig.map_id,
-                    },
-                    None => TaskOutcome::Failed(panic_message(p)),
-                },
+                Err(p) => {
+                    if let Some(sig) = p.downcast_ref::<FetchFailedSignal>() {
+                        TaskOutcome::FetchFailed {
+                            shuffle_id: sig.shuffle_id,
+                            map_id: sig.map_id,
+                        }
+                    } else if let Some(sig) = p.downcast_ref::<crate::cancel::CancelSignal>() {
+                        TaskOutcome::Cancelled(sig.reason)
+                    } else {
+                        TaskOutcome::Failed(panic_message(p))
+                    }
+                }
             };
             let _ = tx.send((partition, attempt, outcome));
+            // Wake the driver's result-wait loop (it blocks on the pool's
+            // activity condvar, not on the channel).
+            sc2.pool().notify();
         });
     };
 
@@ -177,29 +186,69 @@ fn run_tasks<R: Send + 'static>(
     let max_retries = sc.conf().max_task_retries;
     let mut results: Vec<Option<R>> = partitions.iter().map(|_| None).collect();
     let mut remaining = partitions.len();
+    // Submitted tasks that have not reported an outcome yet. Cancellation
+    // waits for these to unwind before returning, so a cancelled job's
+    // resources (memory reservations, spill files) are released — not
+    // merely *about to be* released — when the error surfaces.
+    let mut outstanding = partitions.len();
+    let drain_on_cancel = |mut outstanding: usize| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while outstanding > 0 && std::time::Instant::now() < deadline {
+            let generation = sc.pool().activity_generation();
+            if rx.try_recv().is_some() {
+                outstanding -= 1;
+                continue;
+            }
+            // Queued tasks of this stage must still run (each hits its
+            // cancel check at open and unwinds immediately); keep the
+            // pool moving so the drain can't starve itself.
+            if let Some(stolen) = sc.pool().try_steal() {
+                stolen();
+                continue;
+            }
+            sc.pool()
+                .wait_for_activity(generation, Duration::from_millis(25));
+        }
+    };
     while remaining > 0 {
         // Wait for a result, but keep the pool moving: run queued tasks
         // on this thread so a nested job can't starve a blocked pool.
+        // Blocking is event-driven — the pool's activity generation is
+        // bumped by every submission and result, and the generation is
+        // sampled *before* re-checking the channel, so a result that
+        // lands between the check and the wait wakes us immediately
+        // rather than being missed. The timeout is only a liveness bound
+        // for conditions nothing notifies about (a deadline expiring on
+        // an otherwise idle job), not a polling interval.
+        let cancel_token = crate::cancel::current();
+        let wait_bound = if cancel_token.is_some() {
+            Duration::from_millis(25)
+        } else {
+            Duration::from_millis(500)
+        };
         let (partition, attempt, outcome) = loop {
+            let generation = sc.pool().activity_generation();
             if let Some(msg) = rx.try_recv() {
                 break msg;
+            }
+            if let Some(token) = &cancel_token {
+                if let Some(reason) = token.state() {
+                    // Abandon the stage, but only after in-flight tasks
+                    // hit their own cancellation checks and unwind.
+                    drain_on_cancel(outstanding);
+                    return Err(StageError::Err(EngineError::Cancelled {
+                        reason: reason.describe().to_string(),
+                    }));
+                }
             }
             if let Some(stolen) = sc.pool().try_steal() {
                 stolen();
                 continue;
             }
-            use crossbeam::channel::RecvTimeoutError;
-            match rx.recv_timeout(Duration::from_millis(1)) {
-                Ok(msg) => break msg,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(StageError::Err(EngineError::Internal(
-                        "executor pool disconnected".into(),
-                    )));
-                }
-            }
+            sc.pool().wait_for_activity(generation, wait_bound);
         };
         let slot = index[&partition];
+        outstanding -= 1;
         match outcome {
             TaskOutcome::Ok(r) => {
                 if results[slot].is_none() {
@@ -213,6 +262,16 @@ fn run_tasks<R: Send + 'static>(
                 // into the dropped channel are harmless.
                 return Err(StageError::Fetch { shuffle_id, map_id });
             }
+            TaskOutcome::Cancelled(reason) => {
+                // Cooperative cancellation is never retried: the token
+                // stays fired, so a rerun would cancel itself again.
+                // Sibling tasks unwind on their own checks; wait them out
+                // so cancellation implies resources are released.
+                drain_on_cancel(outstanding);
+                return Err(StageError::Err(EngineError::Cancelled {
+                    reason: reason.describe().to_string(),
+                }));
+            }
             TaskOutcome::Failed(reason) => {
                 Metrics::add(&sc.metrics().task_failures, 1);
                 if attempt + 1 > max_retries {
@@ -223,6 +282,7 @@ fn run_tasks<R: Send + 'static>(
                     }));
                 }
                 submit(partition, attempt + 1);
+                outstanding += 1;
             }
         }
     }

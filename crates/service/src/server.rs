@@ -1,0 +1,440 @@
+//! The SQL service: a TCP server multiplexing many client sessions over
+//! one shared `SQLContext` (shared catalog, shared columnar cache),
+//! with per-session isolation for temp views and conf overrides.
+//!
+//! Threading model (the build vendors no async runtime, so the server
+//! is thread-per-connection over blocking I/O — the protocol itself is
+//! runtime-agnostic):
+//!
+//! - an accept thread hands each connection to its own thread;
+//! - connection threads only parse frames, submit queries, and block in
+//!   `fetch` — they never execute plans;
+//! - a fixed worker pool (`spark.sql.service.workers`) pulls queries
+//!   from the [`Scheduler`], so admission and fairness hold regardless
+//!   of how many connections exist.
+
+use crate::json::Json;
+use crate::sched::{Outcome, QueryTask, Scheduler, ServiceConf};
+use crate::wire::{read_frame, write_frame};
+use catalyst::value::Value;
+use spark_sql::SQLContext;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared server state: the root context, per-session contexts, and the
+/// scheduler.
+struct Shared {
+    root: SQLContext,
+    sched: Scheduler,
+    sessions: Mutex<HashMap<String, SQLContext>>,
+    next_session: AtomicU64,
+    next_query: AtomicU64,
+    shutdown: AtomicBool,
+    /// Live connection streams, so shutdown can unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn session(&self, id: &str) -> Option<SQLContext> {
+        self.sessions.lock().unwrap().get(id).cloned()
+    }
+}
+
+/// A running SQL service. Dropping the handle (or calling
+/// [`SqlServer::stop`]) shuts the service down and joins every thread.
+pub struct SqlServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SqlServer {
+    /// Bind to `127.0.0.1:0` (kernel-assigned port) and start serving
+    /// `root`'s catalog and cache. Service knobs are snapshotted from
+    /// `root`'s `spark.sql.service.*` confs.
+    pub fn start(root: SQLContext) -> io::Result<SqlServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let conf = ServiceConf::from_sql_conf(&root.conf());
+        let shared = Arc::new(Shared {
+            root,
+            sched: Scheduler::new(conf.clone()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            next_query: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let workers = (0..conf.workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept_shared = shared.clone();
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(SqlServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Scheduler counters plus cache stats, as one JSON object (same
+    /// shape the `stats` wire op returns).
+    pub fn stats(&self) -> Json {
+        stats_json(&self.shared)
+    }
+
+    /// Shut down: stop admitting, wake workers, unblock every
+    /// connection, join all threads. Idempotent.
+    pub fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.sched.shutdown();
+        // Unblock the accept loop with a throwaway connection, and
+        // connection readers by closing their sockets.
+        let _ = TcpStream::connect(self.addr);
+        for stream in self.shared.conns.lock().unwrap().iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SqlServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().push(clone);
+        }
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &shared);
+        });
+    }
+}
+
+/// One connection: a hello handshake binds it to a fresh session, then
+/// requests are served in order until `close` or EOF.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let mut session_id: Option<String> = None;
+    while let Some(req) = read_frame(&mut stream)? {
+        let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+        let reply = match (op, &session_id) {
+            ("hello", _) => {
+                let id = format!("s{}", shared.next_session.fetch_add(1, Ordering::SeqCst));
+                let ctx = shared.root.new_session(&id);
+                shared.sessions.lock().unwrap().insert(id.clone(), ctx);
+                session_id = Some(id.clone());
+                ok([("session", Json::Str(id))])
+            }
+            (_, None) => err("handshake required: send {\"op\":\"hello\"} first"),
+            ("close", Some(_)) => {
+                let _ = write_frame(&mut stream, &ok([]));
+                return Ok(());
+            }
+            ("set", Some(sid)) => handle_set(shared, sid, &req),
+            ("conf", Some(sid)) => handle_conf(shared, sid, &req),
+            ("query", Some(sid)) => handle_query(shared, sid, &req),
+            ("fetch", Some(_)) => handle_fetch(shared, &req),
+            ("cancel", Some(_)) => handle_cancel(shared, &req),
+            ("stats", Some(_)) => stats_json(shared),
+            (other, Some(_)) => err(&format!("unknown op {other:?}")),
+        };
+        write_frame(&mut stream, &reply)?;
+    }
+    Ok(())
+}
+
+fn handle_set(shared: &Shared, sid: &str, req: &Json) -> Json {
+    let (Some(key), Some(value)) = (
+        req.get("key").and_then(Json::as_str),
+        req.get("value").and_then(Json::as_str),
+    ) else {
+        return err("set needs string fields key and value");
+    };
+    let Some(ctx) = shared.session(sid) else {
+        return err("session is gone");
+    };
+    match ctx.set(key, value) {
+        Ok(()) => ok([]),
+        Err(e) => err(&e.to_string()),
+    }
+}
+
+fn handle_conf(shared: &Shared, sid: &str, req: &Json) -> Json {
+    let Some(key) = req.get("key").and_then(Json::as_str) else {
+        return err("conf needs a string field key");
+    };
+    let Some(ctx) = shared.session(sid) else {
+        return err("session is gone");
+    };
+    match ctx.conf().get(key) {
+        Ok(v) => ok([("value", Json::Str(v))]),
+        Err(e) => err(&e.to_string()),
+    }
+}
+
+fn handle_query(shared: &Shared, sid: &str, req: &Json) -> Json {
+    let Some(sql) = req.get("sql").and_then(Json::as_str) else {
+        return err("query needs a string field sql");
+    };
+    let conf_timeout = shared.sched.conf().query_timeout_ms;
+    let timeout_ms = req
+        .get("timeout_ms")
+        .and_then(Json::as_i64)
+        .map(|t| t.max(0) as u64)
+        .unwrap_or(conf_timeout);
+    let timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+    let id = shared.next_query.fetch_add(1, Ordering::SeqCst);
+    let task = QueryTask::new(id, sid.to_string(), sql.to_string(), timeout);
+    match shared.sched.submit(task) {
+        Ok(()) => ok([("query", Json::Int(id as i64))]),
+        Err(e) => err(&e),
+    }
+}
+
+fn handle_fetch(shared: &Shared, req: &Json) -> Json {
+    let Some(id) = req.get("query").and_then(Json::as_i64) else {
+        return err("fetch needs an integer field query");
+    };
+    let Some(task) = shared.sched.task(id as u64) else {
+        return err(&format!("unknown query handle {id}"));
+    };
+    let outcome = task.wait_done();
+    shared.sched.forget(id as u64);
+    let queued = task.queued_by_admission.load(Ordering::SeqCst);
+    let mut fields = vec![
+        ("queued", Json::Bool(queued)),
+        ("wall_ns", Json::Int(outcome.wall_ns as i64)),
+        (
+            "spill_files_created",
+            Json::Int(outcome.spill_files_created as i64),
+        ),
+        (
+            "spill_files_deleted",
+            Json::Int(outcome.spill_files_deleted as i64),
+        ),
+        ("evictions", Json::Int(outcome.evictions as i64)),
+    ];
+    match outcome.rows {
+        Ok((columns, rows)) => {
+            fields.push((
+                "columns",
+                Json::Arr(columns.into_iter().map(Json::Str).collect()),
+            ));
+            fields.push(("rows", Json::Arr(rows.iter().map(row_json).collect())));
+            ok(fields)
+        }
+        Err(e) => {
+            let mut reply = err(&e);
+            if let Json::Obj(map) = &mut reply {
+                for (k, v) in fields {
+                    map.insert(k.to_string(), v);
+                }
+            }
+            reply
+        }
+    }
+}
+
+fn handle_cancel(shared: &Shared, req: &Json) -> Json {
+    let Some(id) = req.get("query").and_then(Json::as_i64) else {
+        return err("cancel needs an integer field query");
+    };
+    match shared.sched.task(id as u64) {
+        Some(task) => {
+            task.token.cancel();
+            ok([("cancelled", Json::Bool(true))])
+        }
+        None => ok([("cancelled", Json::Bool(false))]),
+    }
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let c = &shared.sched.counters;
+    let cache = shared.root.spark_context().cache_manager().budget_stats();
+    ok([
+        (
+            "admitted",
+            Json::Int(c.admitted.load(Ordering::SeqCst) as i64),
+        ),
+        (
+            "queued_by_admission",
+            Json::Int(c.queued_by_admission.load(Ordering::SeqCst) as i64),
+        ),
+        (
+            "rejected",
+            Json::Int(c.rejected.load(Ordering::SeqCst) as i64),
+        ),
+        (
+            "cancelled",
+            Json::Int(c.cancelled.load(Ordering::SeqCst) as i64),
+        ),
+        ("queued_now", Json::Int(shared.sched.queued_len() as i64)),
+        (
+            "sessions",
+            Json::Int(shared.sessions.lock().unwrap().len() as i64),
+        ),
+        ("cache_evictions", Json::Int(cache.evictions as i64)),
+        ("cache_evicted_bytes", Json::Int(cache.evicted_bytes as i64)),
+        ("cache_used_bytes", Json::Int(cache.used_bytes as i64)),
+    ])
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some((task, reservation)) = shared.sched.next() {
+        // A panic anywhere in query execution must not kill the worker:
+        // the task would never finish and its fetch would hang forever.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_query(shared, &task)))
+                .unwrap_or_else(|payload| {
+                    let msg = if payload
+                        .downcast_ref::<engine::cancel::CancelSignal>()
+                        .is_some()
+                    {
+                        format!("query {}: cancelled", task.id)
+                    } else if let Some(s) = payload.downcast_ref::<&str>() {
+                        format!("query {} panicked: {s}", task.id)
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        format!("query {} panicked: {s}", task.id)
+                    } else {
+                        format!("query {} panicked", task.id)
+                    };
+                    Outcome {
+                        rows: Err(msg),
+                        ..Outcome::default()
+                    }
+                });
+        let cancelled =
+            matches!(&outcome.rows, Err(e) if e.contains("cancelled") || e.contains("deadline"));
+        // Release the admission grant first, then let finish() wake the
+        // queue so a denied query's re-check sees the freed budget.
+        drop(reservation);
+        shared.sched.finish(&task, outcome, cancelled);
+    }
+}
+
+/// Execute one admitted query on a worker thread.
+fn run_query(shared: &Arc<Shared>, task: &QueryTask) -> Outcome {
+    let Some(ctx) = shared.session(&task.session) else {
+        return Outcome {
+            rows: Err(format!("session {} is gone", task.session)),
+            ..Outcome::default()
+        };
+    };
+    // A deadline can expire while the query waits in the run queue;
+    // don't bother starting it.
+    if let Some(reason) = task.token.state() {
+        return Outcome {
+            rows: Err(format!("query {}: {}", task.id, reason.describe())),
+            ..Outcome::default()
+        };
+    }
+    let cache_before = ctx.spark_context().cache_manager().budget_stats();
+    let start = Instant::now();
+    let result = ctx.sql(&task.sql).and_then(|df| {
+        let columns: Vec<String> = df
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.to_string())
+            .collect();
+        let qe = df.query_execution()?;
+        qe.set_cancel(task.token.clone());
+        let rows = qe.collect();
+        let memory = qe.memory_stats();
+        Ok((columns, rows, memory))
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let cache_after = ctx.spark_context().cache_manager().budget_stats();
+    let evictions = cache_after.evictions.saturating_sub(cache_before.evictions);
+    match result {
+        Ok((columns, rows, memory)) => {
+            let (created, deleted) = memory
+                .map(|m| (m.spill_files_created, m.spill_files_deleted))
+                .unwrap_or((0, 0));
+            Outcome {
+                rows: rows.map(|r| (columns, r)).map_err(|e| e.to_string()),
+                wall_ns,
+                spill_files_created: created,
+                spill_files_deleted: deleted,
+                evictions,
+            }
+        }
+        Err(e) => Outcome {
+            rows: Err(e.to_string()),
+            wall_ns,
+            spill_files_created: 0,
+            spill_files_deleted: 0,
+            evictions,
+        },
+    }
+}
+
+/// Encode one result row exactly as `fetch` replies do — exposed so
+/// tests can compare wire results byte-for-byte against library runs.
+pub fn row_json(row: &catalyst::row::Row) -> Json {
+    Json::Arr(row.values().iter().map(value_json).collect())
+}
+
+/// Convert one SQL value to its wire representation. Primitives map to
+/// native JSON; everything else renders through `Value`'s display form.
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Boolean(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i as i64),
+        Value::Long(l) => Json::Int(*l),
+        Value::Float(f) => Json::Num(*f as f64),
+        Value::Double(d) => Json::Num(*d),
+        Value::Date(d) => Json::Int(*d as i64),
+        Value::Timestamp(t) => Json::Int(*t),
+        Value::Str(s) => Json::Str(s.to_string()),
+        other => Json::Str(format!("{other}")),
+    }
+}
+
+fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut obj = Json::obj(fields);
+    if let Json::Obj(map) = &mut obj {
+        map.insert("ok".to_string(), Json::Bool(true));
+    }
+    obj
+}
+
+fn err(message: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
