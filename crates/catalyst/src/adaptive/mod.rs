@@ -236,6 +236,7 @@ fn with_children(plan: &PhysicalPlan, mut children: Vec<Arc<PhysicalPlan>>) -> P
             left_keys,
             right_keys,
             join_type,
+            build_side,
             residual,
             ..
         } => PhysicalPlan::ShuffledHashJoin {
@@ -244,6 +245,7 @@ fn with_children(plan: &PhysicalPlan, mut children: Vec<Arc<PhysicalPlan>>) -> P
             left_keys: left_keys.clone(),
             right_keys: right_keys.clone(),
             join_type: *join_type,
+            build_side: *build_side,
             residual: residual.clone(),
         },
         PhysicalPlan::NestedLoopJoin {
@@ -347,6 +349,7 @@ mod tests {
             left_keys: lk,
             right_keys: rk,
             join_type: JoinType::Inner,
+            build_side: BuildSide::Right,
             residual: None,
         }
     }

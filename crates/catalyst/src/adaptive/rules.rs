@@ -113,6 +113,7 @@ pub fn broadcast_candidate(shj: &PhysicalPlan, build: BuildSide) -> Option<Physi
             right_keys,
             join_type,
             residual,
+            ..
         } if can_demote(*join_type, build) => Some(PhysicalPlan::BroadcastHashJoin {
             left: left.clone(),
             right: right.clone(),

@@ -308,7 +308,11 @@ pub fn node_facts(plan: &LogicalPlan, children: &[NodeFacts]) -> NodeFacts {
                 let mut af = AttrFacts::unknown(c.nullable);
                 if let Some(stats) = &stats {
                     if let Ok(i) = schema.index_of(&c.name) {
-                        if let Some(s) = stats.get(i) {
+                        // Partial statistics (e.g. from a partially
+                        // evicted cache) describe a subset of the rows:
+                        // they prove nothing about nullability, domains,
+                        // or emptiness, so they must not seed facts.
+                        if let Some(s) = stats.get(i).filter(|s| !s.partial) {
                             if s.null_count == Some(0) {
                                 af.nullable = false;
                             }

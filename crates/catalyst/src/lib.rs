@@ -33,9 +33,11 @@ pub mod row;
 pub mod adaptive;
 pub mod analysis;
 pub mod codegen;
+pub mod cost;
 pub mod error;
 pub mod expr;
 pub mod interpreter;
+pub mod ndv;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;

@@ -1,0 +1,308 @@
+//! Distinct-value (NDV) estimation with a KMV (k-minimum-values) sketch.
+//!
+//! Every value is hashed to a point on the `u64` line; the sketch keeps
+//! only the `k` smallest distinct hashes it has seen. Below capacity the
+//! sketch *is* the distinct set (exact count, modulo 64-bit hash
+//! collisions); at capacity the density of the k retained points
+//! estimates the total: if the k-th smallest hash lands at fraction `f`
+//! of the hash space, about `(k-1)/f` distinct values exist.
+//!
+//! Merging two sketches is the set union of their hashes truncated back
+//! to the k smallest — an associative, commutative, idempotent operation,
+//! so per-batch sketches can be combined in any order (row groups, cache
+//! partitions, shuffle sides) and always yield the same relation-level
+//! sketch. That property is what lets the colfile writer and the
+//! columnar cache collect statistics independently per block and still
+//! report one coherent estimate through
+//! [`crate::source::ColumnStatistics`].
+
+use crate::value::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Default number of retained minimum hashes. 256 gives a relative
+/// standard error of about `1/sqrt(k-1)` ≈ 6%, plenty for join ordering
+/// where decisions compare cardinalities that differ by integer factors.
+pub const DEFAULT_K: usize = 256;
+
+/// A k-minimum-values distinct-count sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdvSketch {
+    /// Retained distinct hashes, sorted ascending; at most `k`.
+    hashes: Vec<u64>,
+    /// Capacity — the sketch threshold below which counts are exact.
+    k: usize,
+}
+
+impl Default for NdvSketch {
+    fn default() -> Self {
+        NdvSketch::new(DEFAULT_K)
+    }
+}
+
+/// Deterministic 64-bit hash of a value (nulls excluded by callers).
+/// `DefaultHasher::new()` uses fixed keys, so hashes — and therefore
+/// serialized sketches — are stable across processes and runs.
+fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl NdvSketch {
+    /// An empty sketch retaining at most `k` hashes (`k >= 2`).
+    pub fn new(k: usize) -> Self {
+        NdvSketch {
+            hashes: Vec::new(),
+            k: k.max(2),
+        }
+    }
+
+    /// Rebuild a sketch from serialized hashes (sorted or not).
+    pub fn from_hashes(k: usize, mut hashes: Vec<u64>) -> Self {
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes.truncate(k.max(2));
+        NdvSketch {
+            hashes,
+            k: k.max(2),
+        }
+    }
+
+    /// The retained hashes, sorted ascending (for serialization).
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// The sketch capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Fold one value in; nulls are ignored (NDV counts non-null values).
+    pub fn insert(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.insert_hash(hash_value(v));
+    }
+
+    /// Fold a precomputed hash in.
+    pub fn insert_hash(&mut self, h: u64) {
+        match self.hashes.binary_search(&h) {
+            Ok(_) => {}
+            Err(pos) => {
+                if self.hashes.len() < self.k {
+                    self.hashes.insert(pos, h);
+                } else if pos < self.k {
+                    // Larger than the new hash ⇒ the current maximum
+                    // falls out of the k smallest.
+                    self.hashes.insert(pos, h);
+                    self.hashes.pop();
+                }
+            }
+        }
+    }
+
+    /// Union with another sketch (set union, truncated to the k
+    /// smallest). Associative and commutative. The result keeps the
+    /// *smaller* `k` of the two inputs: a sketch that already truncated
+    /// at a lower capacity cannot supply the hashes a larger capacity
+    /// would need, so claiming the larger `k` could mislabel an estimate
+    /// as exact.
+    pub fn merge(&mut self, other: &NdvSketch) {
+        self.k = self.k.min(other.k);
+        let mut merged = Vec::with_capacity((self.hashes.len() + other.hashes.len()).min(self.k));
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < self.k && (i < self.hashes.len() || j < other.hashes.len()) {
+            let next = match (self.hashes.get(i), other.hashes.get(j)) {
+                (Some(a), Some(b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    *a
+                }
+                (Some(a), Some(b)) if a < b => {
+                    i += 1;
+                    *a
+                }
+                (Some(_), Some(b)) => {
+                    j += 1;
+                    *b
+                }
+                (Some(a), None) => {
+                    i += 1;
+                    *a
+                }
+                (None, Some(b)) => {
+                    j += 1;
+                    *b
+                }
+                (None, None) => break,
+            };
+            merged.push(next);
+        }
+        self.hashes = merged;
+    }
+
+    /// True while the sketch has never discarded a hash — the estimate
+    /// is an exact distinct count.
+    pub fn is_exact(&self) -> bool {
+        self.hashes.len() < self.k
+    }
+
+    /// Estimated number of distinct (non-null) values.
+    pub fn estimate(&self) -> u64 {
+        if self.is_exact() {
+            return self.hashes.len() as u64;
+        }
+        // k-th minimum at fraction f of the hash space ⇒ ndv ≈ (k-1)/f.
+        let kth = self.hashes[self.hashes.len() - 1];
+        let f = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        let est = ((self.hashes.len() as f64 - 1.0) / f).round();
+        (est as u64).max(self.hashes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = NdvSketch::new(64);
+        for i in 0..50i64 {
+            s.insert(&Value::Long(i % 25));
+        }
+        assert!(s.is_exact());
+        assert_eq!(s.estimate(), 25);
+        // Nulls never count.
+        s.insert(&Value::Null);
+        assert_eq!(s.estimate(), 25);
+    }
+
+    #[test]
+    fn estimate_within_bounds_on_all_distinct() {
+        let mut s = NdvSketch::new(256);
+        let n = 100_000i64;
+        for i in 0..n {
+            s.insert(&Value::Long(i));
+        }
+        assert!(!s.is_exact());
+        let est = s.estimate() as f64;
+        // 3-sigma of the KMV relative error (~6% at k=256).
+        assert!(
+            (est - n as f64).abs() / n as f64 <= 0.2,
+            "estimate {est} too far from {n}"
+        );
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let mut whole = NdvSketch::new(128);
+        let mut left = NdvSketch::new(128);
+        let mut right = NdvSketch::new(128);
+        for i in 0..10_000i64 {
+            let v = Value::Long(i * 37 % 4096);
+            whole.insert(&v);
+            if i % 2 == 0 {
+                left.insert(&v);
+            } else {
+                right.insert(&v);
+            }
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+    }
+
+    /// Build a sketch over `n` values drawn from `gen`.
+    fn sketch_of(k: usize, n: i64, gen: impl Fn(i64) -> i64) -> NdvSketch {
+        let mut s = NdvSketch::new(k);
+        for i in 0..n {
+            s.insert(&Value::Long(gen(i)));
+        }
+        s
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        // Three block sketches with overlapping value ranges, small k so
+        // all three are saturated and truncation actually happens.
+        let a = sketch_of(32, 5_000, |i| i % 700);
+        let b = sketch_of(32, 5_000, |i| 350 + i % 900);
+        let c = sketch_of(32, 5_000, |i| i * 13 % 1_500);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c): row groups can be combined in
+        // whatever order blocks arrive.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+
+        // Idempotent, too: re-merging a block changes nothing.
+        let mut again = ab_c.clone();
+        again.merge(&b);
+        assert_eq!(again, ab_c);
+    }
+
+    #[test]
+    fn merge_keeps_the_smaller_capacity() {
+        // A sketch truncated at k=16 cannot supply the hashes a k=256
+        // union would need; the merge must demote itself rather than
+        // claim exactness it cannot back.
+        let coarse = sketch_of(16, 10_000, |i| i);
+        let fine = sketch_of(256, 200, |i| i);
+        assert!(fine.is_exact());
+        let mut m = fine.clone();
+        m.merge(&coarse);
+        assert_eq!(m.k(), 16);
+        assert!(!m.is_exact());
+
+        let mut m2 = coarse.clone();
+        m2.merge(&fine);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn estimate_tracks_distinct_count_not_row_count_on_skew() {
+        // 100k rows, 1k distinct values, zipf-ish skew: one value covers
+        // half the rows. NDV must land near 1 000, nowhere near 100 000.
+        let n = 100_000i64;
+        let s = sketch_of(256, n, |i| if i % 2 == 0 { 0 } else { 1 + i % 999 });
+        let est = s.estimate() as f64;
+        assert!(
+            (est - 1_000.0).abs() / 1_000.0 <= 0.25,
+            "skewed estimate {est} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn exact_fallback_survives_serialization_round_trip() {
+        // Below capacity the sketch is the distinct set; a round trip
+        // through the serialized hash list (colfile footer form) must
+        // preserve both the count and the exactness claim.
+        let s = sketch_of(64, 1_000, |i| i % 40);
+        assert!(s.is_exact());
+        assert_eq!(s.estimate(), 40);
+        let restored = NdvSketch::from_hashes(s.k(), s.hashes().to_vec());
+        assert_eq!(restored, s);
+        assert!(restored.is_exact());
+        assert_eq!(restored.estimate(), 40);
+
+        // Saturated sketches round-trip, too.
+        let big = sketch_of(32, 50_000, |i| i);
+        assert!(!big.is_exact());
+        let restored = NdvSketch::from_hashes(big.k(), big.hashes().to_vec());
+        assert_eq!(restored, big);
+        assert_eq!(restored.estimate(), big.estimate());
+    }
+}

@@ -2,6 +2,7 @@
 //! plans, executed in fixed-point batches.
 
 pub mod constraint_rules;
+pub mod cost_rules;
 pub mod expr_rules;
 pub mod plan_rules;
 pub mod window_rules;
@@ -10,6 +11,7 @@ pub use constraint_rules::{
     InferIsNotNullFilters, PropagateEmptyRelations, PruneConstrainedFilters,
     SimplifyDomainComparisons, UnwrapLosslessCasts,
 };
+pub use cost_rules::{AggregateFromStats, CommonSubexprElimination, ReorderJoins};
 pub use expr_rules::{
     BooleanSimplification, ConstantFolding, DecimalAggregates, NullPropagation, SimplifyCasts,
     SimplifyLike,
@@ -93,6 +95,37 @@ impl Optimizer {
                     Box::new(PushDownPredicate),
                     Box::new(PruneFilters),
                     Box::new(CollapseProjects),
+                    Box::new(ColumnPruning),
+                ],
+            ),
+        ]);
+        Optimizer { executor }
+    }
+
+    /// The cost-based phase (`spark.sql.cbo.enabled`): statistics-driven
+    /// join reordering, aggregates answered from source statistics, and
+    /// common-subexpression elimination, followed by a cleanup pass.
+    /// Runs after [`Optimizer::constraint_phase`] so estimates see the
+    /// settled plan. The cleanup batch deliberately omits
+    /// `CollapseProjects` and `PushDownPredicate`: both would inline the
+    /// subexpressions CSE just hoisted.
+    pub fn cbo_phase() -> Self {
+        let executor = RuleExecutor::new(vec![
+            Batch::once(
+                "CBO Statistics Aggregates",
+                vec![Box::new(AggregateFromStats)],
+            ),
+            Batch::once("CBO Join Reordering", vec![Box::new(ReorderJoins)]),
+            Batch::once(
+                "CBO Subexpression Elimination",
+                vec![Box::new(CommonSubexprElimination)],
+            ),
+            Batch::fixed_point(
+                "CBO Cleanup",
+                vec![
+                    Box::new(ConstantFolding),
+                    Box::new(BooleanSimplification),
+                    Box::new(PruneFilters),
                     Box::new(ColumnPruning),
                 ],
             ),

@@ -9,4 +9,4 @@ pub mod stats;
 pub use metrics::{OperatorMetrics, PlanMetrics};
 pub use plan::{BuildSide, ExtensionExec, PhysicalPlan};
 pub use planner::{expr_to_filter, extract_equi_keys, Planner, PlannerConfig, Strategy};
-pub use stats::{estimate, Statistics};
+pub use stats::{annotate_row_estimates, estimate, estimate_physical_rows, Statistics};

@@ -158,6 +158,10 @@ pub enum PhysicalPlan {
         right_keys: Vec<Expr>,
         /// Join flavor.
         join_type: JoinType,
+        /// Which side the hash table is built from. Both sides are
+        /// co-partitioned, so either side is legal for any join type;
+        /// the cost model picks the smaller estimated side.
+        build_side: BuildSide,
         /// Non-equi residual condition.
         residual: Option<Expr>,
     },
@@ -357,12 +361,13 @@ impl PhysicalPlan {
             }
             PhysicalPlan::ShuffledHashJoin {
                 join_type,
+                build_side,
                 left_keys,
                 right_keys,
                 ..
             } => {
                 format!(
-                    "ShuffledHashJoin {} keys=({} = {})",
+                    "ShuffledHashJoin {} build={build_side:?} keys=({} = {})",
                     join_type.keyword(),
                     fmt_exprs(left_keys),
                     fmt_exprs(right_keys)

@@ -21,6 +21,10 @@ pub struct PlannerConfig {
     pub column_pruning_enabled: bool,
     /// Broadcast-join threshold in estimated bytes.
     pub broadcast_threshold: u64,
+    /// Cost-based build-side selection for shuffled hash joins
+    /// (`spark.sql.cbo.enabled`): build the smaller estimated side.
+    /// When off, shuffled joins always build the right side.
+    pub cbo_enabled: bool,
 }
 
 impl Default for PlannerConfig {
@@ -29,6 +33,7 @@ impl Default for PlannerConfig {
             pushdown_enabled: true,
             column_pruning_enabled: true,
             broadcast_threshold: 10 * 1024 * 1024,
+            cbo_enabled: true,
         }
     }
 }
@@ -306,12 +311,26 @@ impl Strategy for JoinSelection {
                 residual,
             }
         } else {
+            // Build-probe ordering (DataFusion's hash-build-probe-order
+            // rule): both sides of a shuffled join are co-partitioned, so
+            // either side may be built for any join type — build the
+            // smaller estimated side. A side with unknown statistics is
+            // arbitrarily large and never preferred.
+            let build_side = if planner.config.cbo_enabled
+                && !left_stats.is_unknown()
+                && (right_stats.is_unknown() || left_size < right_size)
+            {
+                BuildSide::Left
+            } else {
+                BuildSide::Right
+            };
             PhysicalPlan::ShuffledHashJoin {
                 left: left_phys,
                 right: right_phys,
                 left_keys,
                 right_keys,
                 join_type: *join_type,
+                build_side,
                 residual,
             }
         };

@@ -13,6 +13,8 @@
 //! footnote-5 cases — LIMIT bounds the size regardless of the input, and
 //! a global (no-groupings) aggregate produces exactly one row.
 
+use crate::physical::metrics::PlanMetrics;
+use crate::physical::PhysicalPlan;
 use crate::plan::LogicalPlan;
 
 /// Estimated properties of a (sub)plan.
@@ -194,6 +196,95 @@ pub fn estimate(plan: &LogicalPlan) -> Statistics {
             input, fraction, ..
         } => estimate(input).scaled(*fraction),
     }
+}
+
+/// Estimated output rows of one physical operator, bottom-up. `None`
+/// where no estimate is derivable (external data, extension operators,
+/// sources without statistics) — unknown-ness propagates upward except
+/// through the footnote-5 killers (LIMIT, global aggregates).
+pub fn estimate_physical_rows(plan: &PhysicalPlan) -> Option<u64> {
+    let scaled = |rows: Option<u64>, f: f64| rows.map(|r| ((r as f64 * f) as u64).max(1));
+    match plan {
+        PhysicalPlan::Scan {
+            relation,
+            pushed_filters,
+            residual,
+            ..
+        } => {
+            let filters = pushed_filters.len() + usize::from(residual.is_some());
+            scaled(
+                relation.row_count(),
+                FILTER_SELECTIVITY.powi(filters as i32),
+            )
+        }
+        PhysicalPlan::ExternalScan { .. } | PhysicalPlan::Extension { .. } => None,
+        PhysicalPlan::LocalData { rows, .. } => Some(rows.len() as u64),
+        PhysicalPlan::Filter { input, .. } => {
+            scaled(estimate_physical_rows(input), FILTER_SELECTIVITY)
+        }
+        PhysicalPlan::Project { input, .. } | PhysicalPlan::Sort { input, .. } => {
+            estimate_physical_rows(input)
+        }
+        PhysicalPlan::Window { input, .. } => estimate_physical_rows(input),
+        PhysicalPlan::HashAggregate {
+            input, groupings, ..
+        } => {
+            if groupings.is_empty() {
+                Some(1)
+            } else {
+                scaled(estimate_physical_rows(input), AGGREGATE_RATIO)
+            }
+        }
+        PhysicalPlan::TakeOrdered { input, n, .. } | PhysicalPlan::Limit { input, n } => {
+            Some(match estimate_physical_rows(input) {
+                Some(r) => r.min(*n as u64),
+                None => *n as u64,
+            })
+        }
+        PhysicalPlan::BroadcastHashJoin { left, right, .. }
+        | PhysicalPlan::ShuffledHashJoin { left, right, .. } => {
+            // FK-style: output tracks the bigger input.
+            Some(estimate_physical_rows(left)?.max(estimate_physical_rows(right)?))
+        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            condition,
+            ..
+        } => {
+            let product =
+                estimate_physical_rows(left)?.saturating_mul(estimate_physical_rows(right)?);
+            match condition {
+                Some(_) => scaled(Some(product), FILTER_SELECTIVITY),
+                None => Some(product),
+            }
+        }
+        PhysicalPlan::Union { inputs } => inputs
+            .iter()
+            .map(|i| estimate_physical_rows(i))
+            .try_fold(0u64, |acc, r| r.map(|r| acc.saturating_add(r))),
+        PhysicalPlan::Sample {
+            input, fraction, ..
+        } => scaled(estimate_physical_rows(input), *fraction),
+    }
+}
+
+/// Stamp every operator's estimated output rows into its metrics slot as
+/// an `est_rows` extra, so `EXPLAIN ANALYZE` renders estimated next to
+/// actual rows per operator. Nodes with no derivable estimate are left
+/// unstamped.
+pub fn annotate_row_estimates(plan: &PhysicalPlan, metrics: &PlanMetrics) {
+    fn walk(plan: &PhysicalPlan, id: usize, metrics: &PlanMetrics) -> usize {
+        if let Some(rows) = estimate_physical_rows(plan) {
+            metrics.node(id).set_extra("est_rows", rows);
+        }
+        let mut next = id + 1;
+        for child in plan.children() {
+            next = walk(&child, next, metrics);
+        }
+        next
+    }
+    walk(plan, 0, metrics);
 }
 
 #[cfg(test)]

@@ -117,6 +117,17 @@ pub struct ColumnStatistics {
     pub null_count: Option<u64>,
     /// Exact number of rows across the relation, if known.
     pub row_count: Option<u64>,
+    /// Estimated number of distinct non-null values (NDV), if known —
+    /// from a [`crate::ndv::NdvSketch`] merged across row groups /
+    /// cache partitions, or an exact count for small in-memory tables.
+    pub ndv: Option<u64>,
+    /// True when these statistics cover only *part* of the relation
+    /// (e.g. the resident partitions of a partially evicted cache).
+    /// Partial stats are lower bounds: `row_count`, `null_count`, and
+    /// `ndv` undercount, and min/max do not bound unseen rows — so they
+    /// must never be used as relation-wide proofs (constraint domains,
+    /// stats-answered aggregates), only as cost-estimation floors.
+    pub partial: bool,
 }
 
 /// A table exposed to the optimizer by a data source.
@@ -326,6 +337,8 @@ impl BaseRelation for MemoryTable {
                 ..Default::default()
             })
             .collect();
+        let mut sketches: Vec<crate::ndv::NdvSketch> =
+            vec![crate::ndv::NdvSketch::default(); self.schema.len()];
         for part in &self.partitions {
             for row in part.iter() {
                 for (i, s) in out.iter_mut().enumerate() {
@@ -334,6 +347,7 @@ impl BaseRelation for MemoryTable {
                         s.null_count = s.null_count.map(|n| n + 1);
                         continue;
                     }
+                    sketches[i].insert(v);
                     use std::cmp::Ordering;
                     match &s.min {
                         Some(m) if v.sql_cmp(m) != Some(Ordering::Less) => {}
@@ -345,6 +359,9 @@ impl BaseRelation for MemoryTable {
                     }
                 }
             }
+        }
+        for (s, sk) in out.iter_mut().zip(&sketches) {
+            s.ndv = Some(sk.estimate());
         }
         Some(out)
     }

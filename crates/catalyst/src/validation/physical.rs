@@ -362,6 +362,7 @@ mod tests {
             left_keys: vec![Expr::Column(a.clone()), Expr::Column(a)],
             right_keys: vec![Expr::Column(b)],
             join_type: JoinType::Inner,
+            build_side: BuildSide::Right,
             residual: None,
         };
         let v = check_plan(&p);
@@ -381,6 +382,7 @@ mod tests {
             left_keys: vec![],
             right_keys: vec![],
             join_type: JoinType::Inner,
+            build_side: BuildSide::Right,
             residual: None,
         };
         let v = check_plan(&p);
@@ -400,6 +402,7 @@ mod tests {
             left_keys: vec![Expr::Column(a)],
             right_keys: vec![Expr::Column(b)],
             join_type: JoinType::Inner,
+            build_side: BuildSide::Right,
             residual: None,
         };
         let v = check_plan(&p);

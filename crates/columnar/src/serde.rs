@@ -13,6 +13,7 @@ use crate::column::{ColumnData, EncodedColumn};
 use crate::stats::ColumnStats;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use catalyst::error::{CatalystError, Result};
+use catalyst::ndv::NdvSketch;
 use catalyst::types::{DataType, StructField};
 use catalyst::value::Value;
 use std::sync::Arc;
@@ -250,6 +251,12 @@ pub fn put_column(buf: &mut BytesMut, c: &EncodedColumn) {
     put_value(buf, &c.stats.max.clone().unwrap_or(Value::Null));
     buf.put_u64(c.stats.null_count);
     buf.put_u64(c.stats.row_count);
+    // NDV sketch: capacity, then the retained minimum hashes.
+    buf.put_u32(c.stats.ndv.k() as u32);
+    buf.put_u32(c.stats.ndv.hashes().len() as u32);
+    for h in c.stats.ndv.hashes() {
+        buf.put_u64(*h);
+    }
     // Payload.
     match &c.data {
         ColumnData::Int(v) => {
@@ -338,11 +345,18 @@ pub fn get_column(buf: &mut Bytes) -> Result<EncodedColumn> {
     let max = get_value(buf)?;
     let null_count = checked(buf, 8)?.get_u64();
     let row_count = checked(buf, 8)?.get_u64();
+    let ndv_k = checked(buf, 4)?.get_u32() as usize;
+    let ndv_len = checked(buf, 4)?.get_u32() as usize;
+    let mut ndv_hashes = Vec::with_capacity(ndv_len.min(4096));
+    for _ in 0..ndv_len {
+        ndv_hashes.push(checked(buf, 8)?.get_u64());
+    }
     let stats = ColumnStats {
         min: if min.is_null() { None } else { Some(min) },
         max: if max.is_null() { None } else { Some(max) },
         null_count,
         row_count,
+        ndv: NdvSketch::from_hashes(ndv_k, ndv_hashes),
     };
     let data = match checked_u8(buf)? {
         0 => {

@@ -1,6 +1,7 @@
 //! Per-column min/max/null statistics, used to skip whole batches during
 //! cached scans and columnar-file scans.
 
+use catalyst::ndv::NdvSketch;
 use catalyst::source::Filter;
 use catalyst::value::Value;
 use std::cmp::Ordering;
@@ -16,6 +17,10 @@ pub struct ColumnStats {
     pub null_count: u64,
     /// Number of rows.
     pub row_count: u64,
+    /// Distinct-count sketch over the non-null values; merged across
+    /// batches exactly like min/max, and serialized in the colfile
+    /// footer so file scans report NDV without decoding data pages.
+    pub ndv: NdvSketch,
 }
 
 impl ColumnStats {
@@ -37,6 +42,7 @@ impl ColumnStats {
             self.null_count += 1;
             return;
         }
+        self.ndv.insert(v);
         match &self.min {
             Some(m) if v.total_cmp(m) != Ordering::Less => {}
             _ => self.min = Some(v.clone()),
@@ -100,6 +106,7 @@ impl ColumnStats {
     pub fn merge(&mut self, other: &ColumnStats) {
         self.null_count += other.null_count;
         self.row_count += other.row_count;
+        self.ndv.merge(&other.ndv);
         if let Some(m) = &other.min {
             match &self.min {
                 Some(mine) if m.total_cmp(mine) != Ordering::Less => {}
@@ -138,6 +145,7 @@ pub fn relation_statistics<'a>(
                 .map(|_| catalyst::source::ColumnStatistics {
                     null_count: Some(0),
                     row_count: Some(0),
+                    ndv: Some(0),
                     ..Default::default()
                 })
                 .collect(),
@@ -151,6 +159,8 @@ pub fn relation_statistics<'a>(
                 max: s.max,
                 null_count: Some(s.null_count),
                 row_count: Some(s.row_count),
+                ndv: Some(s.ndv.estimate()),
+                partial: false,
             })
             .collect(),
     )

@@ -191,6 +191,32 @@ impl CachedRelation {
         self.ever_filled.load(Ordering::SeqCst)
     }
 
+    /// `(bytes, rows)` summed over resident blocks — `None` unless every
+    /// partition is resident. Planning-time sizing must never run the
+    /// materializer (a nested engine job), so after an eviction or an
+    /// executor loss the relation simply reports unknown until the next
+    /// scan refills it.
+    fn resident_footprint(&self) -> Option<(u64, u64)> {
+        let cm = self.sc.cache_manager();
+        let mut bytes = 0u64;
+        let mut rows = 0u64;
+        for p in 0..self.num_partitions {
+            let block = cm.get(self.cache_id, p)?;
+            let part = block.downcast::<CachedPartition>().ok()?;
+            match part.as_ref() {
+                CachedPartition::Columnar(batches) => {
+                    bytes += batches.iter().map(ColumnarBatch::bytes).sum::<u64>();
+                    rows += batches.iter().map(|b| b.num_rows() as u64).sum::<u64>();
+                }
+                CachedPartition::Rows(r) => {
+                    bytes += r.iter().map(Row::approx_bytes).sum::<u64>();
+                    rows += r.len() as u64;
+                }
+            }
+        }
+        Some((bytes, rows))
+    }
+
     /// Total cached footprint in bytes (materializes if needed).
     pub fn cached_bytes(&self) -> Result<u64> {
         self.ensure()?;
@@ -233,20 +259,14 @@ impl BaseRelation for CachedRelation {
 
     fn size_in_bytes(&self) -> Option<u64> {
         // Known once cached (footnote 5: cached tables have size
-        // estimates, enabling broadcast joins).
-        if self.is_materialized() {
-            self.cached_bytes().ok()
-        } else {
-            None
-        }
+        // estimates, enabling broadcast joins) — but only from resident
+        // blocks: sizing runs at planning time and must not trigger a
+        // fill or a lost-block recompute.
+        self.resident_footprint().map(|(bytes, _)| bytes)
     }
 
     fn row_count(&self) -> Option<u64> {
-        if self.is_materialized() {
-            self.cached_rows().ok()
-        } else {
-            None
-        }
+        self.resident_footprint().map(|(_, rows)| rows)
     }
 
     fn capability(&self) -> ScanCapability {
@@ -258,27 +278,41 @@ impl BaseRelation for CachedRelation {
     }
 
     fn column_statistics(&self) -> Option<Vec<catalyst::source::ColumnStatistics>> {
-        // Only a fully *resident* columnar cache has batch statistics.
-        // This runs at planning time, so it must not trigger
-        // materialization: a missing partition (evicted, lost with its
-        // executor, never filled) means incomplete information — report
-        // nothing and let execution refill it with recovery accounting.
-        if !self.columnar || !self.is_materialized() {
+        // Statistics come from whatever partitions are *resident*. This
+        // runs at planning time, so it must not trigger materialization:
+        // a missing partition (evicted, lost with its executor, never
+        // filled) is simply not counted — but its absence makes the
+        // result PARTIAL, and partial stats are lower bounds only (no
+        // always-empty proofs, no stats-answered aggregates, no min/max
+        // domains). Execution refills missing partitions with recovery
+        // accounting as usual.
+        if !self.columnar {
             return None;
         }
         let cm = self.sc.cache_manager();
         let mut batches: Vec<columnar::ColumnarBatch> = Vec::new();
+        let mut missing = 0usize;
         for p in 0..self.num_partitions {
-            let part = cm
-                .get(self.cache_id, p)?
-                .downcast::<CachedPartition>()
-                .ok()?;
+            let Some(slot) = cm.get(self.cache_id, p) else {
+                missing += 1;
+                continue;
+            };
+            let part = slot.downcast::<CachedPartition>().ok()?;
             match part.as_ref() {
                 CachedPartition::Columnar(bs) => batches.extend(bs.iter().cloned()),
                 CachedPartition::Rows(_) => return None,
             }
         }
-        columnar::stats::relation_statistics(batches.iter(), self.schema.len())
+        if missing == self.num_partitions {
+            return None;
+        }
+        let mut stats = columnar::stats::relation_statistics(batches.iter(), self.schema.len())?;
+        if missing > 0 {
+            for s in &mut stats {
+                s.partial = true;
+            }
+        }
+        Some(stats)
     }
 
     fn num_partitions(&self) -> usize {
@@ -516,5 +550,61 @@ mod tests {
         assert_eq!(rel.resident_partitions(), 2);
         assert_eq!(Metrics::get(&sc.metrics().cache_recomputes), before + 1);
         assert!(rel.is_materialized());
+    }
+
+    #[test]
+    fn partial_eviction_marks_statistics_partial() {
+        let sc = SparkContext::new(2);
+        sc.set_chaos(None);
+        let rel = CachedRelation::new(
+            "t",
+            schema(),
+            2,
+            true,
+            16,
+            sc.clone(),
+            Box::new(|| {
+                Ok((0..2i64)
+                    .map(|p| {
+                        (0..100)
+                            .map(|i| Row::new(vec![Value::Long(p * 100 + i), Value::str("c")]))
+                            .collect()
+                    })
+                    .collect())
+            }),
+        );
+        // Planning before first materialization sees no statistics —
+        // column_statistics must not trigger a fill.
+        assert!(rel.column_statistics().is_none());
+        assert!(!rel.is_materialized());
+
+        rel.cached_rows().unwrap();
+        let full = rel.column_statistics().expect("resident stats");
+        assert!(full.iter().all(|s| !s.partial));
+        assert_eq!(full[0].min, Some(Value::Long(0)));
+        assert_eq!(full[0].max, Some(Value::Long(199)));
+
+        // Drop partition 1 (owned by executor slot 1): the surviving
+        // partition's max is 99, far below the true 199. If these stats
+        // were not flagged partial, a `WHERE id > 150` could be "proven"
+        // always-empty and MAX(id) "answered" as 99.
+        sc.lose_executor(1);
+        assert_eq!(rel.resident_partitions(), 1);
+        let partial = rel.column_statistics().expect("partial stats");
+        assert!(partial.iter().all(|s| s.partial));
+        assert_eq!(partial[0].max, Some(Value::Long(99)));
+
+        // Fully evicted: no stats at all rather than empty-set stats,
+        // which would "prove" every aggregate is NULL and every scan
+        // empty.
+        sc.lose_executor(0);
+        assert_eq!(rel.resident_partitions(), 0);
+        assert!(rel.column_statistics().is_none());
+
+        // The data itself is never lost: the next scan refills.
+        assert_eq!(rel.cached_rows().unwrap(), 200);
+        assert!(rel
+            .column_statistics()
+            .is_some_and(|s| s.iter().all(|c| !c.partial)));
     }
 }

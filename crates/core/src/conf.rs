@@ -89,6 +89,12 @@ pub struct SqlConf {
     /// `CATALYST_CONSTRAINTS=0` in the environment flips the default off
     /// (for differential testing of the constraint rules).
     pub constraints_enabled: bool,
+    /// Run the cost-based optimizer phase (statistics-driven join
+    /// reordering, aggregates answered from source stats,
+    /// common-subexpression elimination, and build-side selection for
+    /// shuffled hash joins). `CATALYST_CBO=0` in the environment flips
+    /// the default off (for differential testing of the CBO rules).
+    pub cbo_enabled: bool,
     /// Minimum severity the lint pass reports: `off`, `info`, `warn`, or
     /// `error`. `SPARK_SQL_LINT_LEVEL` sets the default.
     pub lint_level: String,
@@ -144,6 +150,7 @@ impl SqlConf {
             chaos_seed: None,
             chaos_prob: None,
             constraints_enabled: true,
+            cbo_enabled: true,
             lint_level: "warn".to_string(),
             cache_budget_bytes: 0,
             cache_eviction_policy: "lru".to_string(),
@@ -394,6 +401,7 @@ fn entries() -> &'static [ConfEntry] {
                 Some("CATALYST_CONSTRAINTS"),
                 constraints_enabled
             ),
+            bool_entry!("spark.sql.cbo.enabled", Some("CATALYST_CBO"), cbo_enabled),
             ConfEntry {
                 key: "spark.sql.lint.level",
                 env: Some("SPARK_SQL_LINT_LEVEL"),

@@ -287,6 +287,14 @@ impl SQLContext {
         } else {
             optimized
         };
+        // Cost-based phase (statistics-driven join reordering, aggregates
+        // answered from source stats, CSE): runs last so its cardinality
+        // estimates see the settled plan, under the same monitor.
+        let optimized = if conf.cbo_enabled {
+            Optimizer::cbo_phase().optimize_with(optimized, &mut monitor)
+        } else {
+            optimized
+        };
         if !monitor.violations.is_empty() {
             let mut msg = String::from("optimizer rule broke a plan invariant:\n");
             for v in &monitor.violations {
@@ -299,6 +307,7 @@ impl SQLContext {
             pushdown_enabled: conf.pushdown_enabled,
             column_pruning_enabled: conf.column_pruning_enabled,
             broadcast_threshold: conf.broadcast_threshold,
+            cbo_enabled: conf.cbo_enabled,
         });
         for s in self.inner.strategies.read().iter() {
             planner.add_strategy(s.clone());

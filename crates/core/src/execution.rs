@@ -1060,6 +1060,7 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
             left_keys,
             right_keys,
             join_type,
+            build_side,
             residual,
         } => {
             let site = JoinSite {
@@ -1073,9 +1074,9 @@ fn lower(plan: &PhysicalPlan, id: usize, ctx: &ExecContext) -> Result<RddRef<Row
                 id,
             };
             if ctx.conf.adaptive_enabled {
-                execute_adaptive_shuffled_join(&site, ctx)
+                execute_adaptive_shuffled_join(&site, *build_side, ctx)
             } else {
-                execute_shuffled_join(&site, ctx)
+                execute_shuffled_join(&site, *build_side, ctx)
             }
         }
 
@@ -2762,7 +2763,11 @@ fn broadcast_probe(
     })
 }
 
-fn execute_shuffled_join(site: &JoinSite, ctx: &ExecContext) -> Result<RddRef<Row>> {
+fn execute_shuffled_join(
+    site: &JoinSite,
+    build_side: BuildSide,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
     let JoinSite {
         left,
         right,
@@ -2815,8 +2820,16 @@ fn execute_shuffled_join(site: &JoinSite, ctx: &ExecContext) -> Result<RddRef<Ro
 
     Ok(lkeyed.zip_partitions(&rkeyed, move |lit, rit| {
         Box::new(
-            hash_join_partition(lit, rit, join_type, &residual_pred, left_width, right_width)
-                .into_iter(),
+            hash_join_partition(
+                lit,
+                rit,
+                join_type,
+                build_side,
+                &residual_pred,
+                left_width,
+                right_width,
+            )
+            .into_iter(),
         )
     }))
 }
@@ -2845,54 +2858,85 @@ fn join_spill_layouts(
     )
 }
 
-/// Hash-join one co-partitioned pair of keyed row streams: build from the
-/// right, probe with the left, emit unmatched rows per `join_type`.
+/// Hash-join one co-partitioned pair of keyed row streams: build a table
+/// from `build_side`, probe with the other, emit unmatched rows per
+/// `join_type`. Both streams hold the same key range, so either side is a
+/// legal build side for every join type — unmatched-row emission depends
+/// only on `join_type`, never on which side was built. The cost model
+/// picks the smaller side; joined rows are always `left ++ right`.
 fn hash_join_partition(
     lit: engine::BoxIter<(Option<Row>, Row)>,
     rit: engine::BoxIter<(Option<Row>, Row)>,
     join_type: JoinType,
+    build_side: BuildSide,
     residual_pred: &Option<PredFn>,
     left_width: usize,
     right_width: usize,
 ) -> Vec<Row> {
-    // Build from the right partition.
+    let build_left = build_side == BuildSide::Left;
+    let (bit, pit) = if build_left { (lit, rit) } else { (rit, lit) };
+    // Build rows with NULL keys can never match; they only matter when the
+    // build side is outer-preserved.
     let mut table: HashMap<Row, Vec<(Row, bool)>> = HashMap::new();
-    let mut null_key_right: Vec<Row> = Vec::new();
-    for (k, row) in rit {
+    let mut null_key_build: Vec<Row> = Vec::new();
+    for (k, row) in bit {
         match k {
             Some(k) => table.entry(k).or_default().push((row, false)),
-            None => null_key_right.push(row),
+            None => null_key_build.push(row),
         }
     }
+    let probe_preserved = matches!(
+        (join_type, build_left),
+        (JoinType::Left | JoinType::Full, false) | (JoinType::Right | JoinType::Full, true)
+    );
+    let build_preserved = matches!(
+        (join_type, build_left),
+        (JoinType::Left | JoinType::Full, true) | (JoinType::Right | JoinType::Full, false)
+    );
     let mut out: Vec<Row> = Vec::new();
-    for (k, lrow) in lit {
+    for (k, prow) in pit {
         let mut matched = false;
         if let Some(k) = &k {
             if let Some(entries) = table.get_mut(k) {
-                for (rrow, rmatched) in entries.iter_mut() {
-                    let joined = lrow.concat(rrow);
+                for (brow, bmatched) in entries.iter_mut() {
+                    let joined = if build_left {
+                        brow.concat(&prow)
+                    } else {
+                        prow.concat(brow)
+                    };
                     if residual_pred.as_ref().is_none_or(|p| p(&joined)) {
-                        *rmatched = true;
+                        *bmatched = true;
                         matched = true;
                         out.push(joined);
                     }
                 }
             }
         }
-        if !matched && matches!(join_type, JoinType::Left | JoinType::Full) {
-            out.push(lrow.concat(&null_row(right_width)));
+        if !matched && probe_preserved {
+            out.push(if build_left {
+                null_row(left_width).concat(&prow)
+            } else {
+                prow.concat(&null_row(right_width))
+            });
         }
     }
-    if matches!(join_type, JoinType::Right | JoinType::Full) {
+    if build_preserved {
+        let pad = |brow: &Row| {
+            if build_left {
+                brow.concat(&null_row(right_width))
+            } else {
+                null_row(left_width).concat(brow)
+            }
+        };
         for entries in table.values() {
-            for (rrow, matched) in entries {
+            for (brow, matched) in entries {
                 if !matched {
-                    out.push(null_row(left_width).concat(rrow));
+                    out.push(pad(brow));
                 }
             }
         }
-        for rrow in &null_key_right {
-            out.push(null_row(left_width).concat(rrow));
+        for brow in &null_key_build {
+            out.push(pad(brow));
         }
     }
     out
@@ -2942,7 +2986,11 @@ fn materialize_join_side(
 ///    `adaptive_skew_factor` × the median splits into map-range
 ///    sub-partitions on the legal side, replicating the other side's
 ///    bucket against each.
-fn execute_adaptive_shuffled_join(site: &JoinSite, ctx: &ExecContext) -> Result<RddRef<Row>> {
+fn execute_adaptive_shuffled_join(
+    site: &JoinSite,
+    build_side: BuildSide,
+    ctx: &ExecContext,
+) -> Result<RddRef<Row>> {
     let JoinSite {
         left,
         right,
@@ -3155,8 +3203,16 @@ fn execute_adaptive_shuffled_join(site: &JoinSite, ctx: &ExecContext) -> Result<
         .read(lspecs)
         .zip_partitions(&rmat.read(rspecs), move |lit, rit| {
             Box::new(
-                hash_join_partition(lit, rit, join_type, &residual_pred, left_width, right_width)
-                    .into_iter(),
+                hash_join_partition(
+                    lit,
+                    rit,
+                    join_type,
+                    build_side,
+                    &residual_pred,
+                    left_width,
+                    right_width,
+                )
+                .into_iter(),
             )
         }))
 }

@@ -50,6 +50,9 @@ impl QueryExecution {
     pub(crate) fn new(ctx: SQLContext, analyzed: LogicalPlan) -> Result<QueryExecution> {
         let planned = ctx.plan_query_monitored(&analyzed)?;
         let metrics = PlanMetrics::for_plan(&planned.physical);
+        // Stamp cost-model row estimates up front so EXPLAIN ANALYZE can
+        // grade estimated vs. actual rows per operator after the run.
+        catalyst::physical::annotate_row_estimates(&planned.physical, &metrics);
         let query_id = ctx.next_query_id();
         Ok(QueryExecution {
             ctx,

@@ -1,0 +1,426 @@
+//! Sqllogictest-style golden-query corpus (`tests/sqllogic/*.slt`).
+//!
+//! Every `.slt` file is a sequence of records over a fixed set of seed
+//! tables. Each `query` record carries its expected output inline; the
+//! runner executes the whole corpus under the full configuration matrix
+//! (vectorize × adaptive × cbo × bounded-memory = 16 configs) and
+//! requires byte-identical results in every cell of the matrix. The
+//! recorded goldens double as a cross-config differential oracle: an
+//! optimization that changes any answer fails with the file, query, SQL,
+//! and config that diverged.
+//!
+//! File format (simplified sqllogictest):
+//!
+//! ```text
+//! # comment
+//! statement ok
+//! SET spark.sql.shuffle.partitions=4
+//!
+//! query rowsort
+//! SELECT a, b FROM t WHERE a > 1
+//! ----
+//! 2|x
+//! 3|y
+//! ```
+//!
+//! Directives: `statement ok` (execute, expect success, discard rows),
+//! `query rowsort` (sort result lines before comparing), and
+//! `query ordered` (compare in engine order; use only with a total
+//! ORDER BY). NULL renders as `NULL`, the empty string as `(empty)`,
+//! and cells join with `|`.
+//!
+//! Re-record goldens after an intended behavior change with
+//! `SQLLOGIC_RECORD=1 cargo test --test sqllogic` (records under the
+//! default configuration, then verifies the rest of the matrix).
+
+use catalyst::row::Row;
+use catalyst::schema::Schema;
+use catalyst::types::{DataType, StructField};
+use catalyst::value::Value;
+use spark_sql_repro::spark_sql::SQLContext;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+// ---- configuration matrix ----
+
+#[derive(Clone, Copy)]
+struct Config {
+    vectorize: bool,
+    adaptive: bool,
+    cbo: bool,
+    bounded: bool,
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vectorize={} adaptive={} cbo={} bounded={}",
+            self.vectorize, self.adaptive, self.cbo, self.bounded
+        )
+    }
+}
+
+fn matrix() -> Vec<Config> {
+    let mut out = Vec::new();
+    for &vectorize in &[true, false] {
+        for &adaptive in &[true, false] {
+            for &cbo in &[true, false] {
+                for &bounded in &[true, false] {
+                    out.push(Config {
+                        vectorize,
+                        adaptive,
+                        cbo,
+                        bounded,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn context_for(config: Config) -> SQLContext {
+    let ctx = SQLContext::new_local(2);
+    ctx.set_conf(|c| {
+        c.vectorize_enabled = config.vectorize;
+        c.adaptive_enabled = config.adaptive;
+        c.cbo_enabled = config.cbo;
+        if config.bounded {
+            // Small enough that hash joins and aggregates over the seed
+            // tables actually exercise the spill machinery.
+            c.memory_budget_bytes = 64 * 1024;
+        }
+        // Deterministic small plans regardless of the machine.
+        c.shuffle_partitions = 4;
+    });
+    register_seed_tables(&ctx);
+    ctx
+}
+
+// ---- seed tables ----
+
+/// Fixed relations every corpus file runs against. Key properties the
+/// queries rely on: `emp.dept_id` and `sales.emp_id` contain NULLs (join
+/// keys that must never match), `dept.id` is unique, and all numeric
+/// columns are integers so aggregates are exact under any evaluation
+/// order.
+fn register_seed_tables(ctx: &SQLContext) {
+    let emp = Arc::new(Schema::new(vec![
+        StructField::new("id", DataType::Int, false),
+        StructField::new("name", DataType::String, false),
+        StructField::new("dept_id", DataType::Int, true),
+        StructField::new("salary", DataType::Long, false),
+        StructField::new("age", DataType::Int, false),
+    ]));
+    let emp_rows = vec![
+        emp_row(1, "alice", Some(10), 5200, 34),
+        emp_row(2, "bob", Some(20), 4100, 28),
+        emp_row(3, "carol", Some(10), 6900, 45),
+        emp_row(4, "dave", Some(30), 3300, 23),
+        emp_row(5, "erin", None, 4700, 31),
+        emp_row(6, "frank", Some(20), 5200, 39),
+        emp_row(7, "grace", Some(10), 8100, 52),
+        emp_row(8, "heidi", Some(40), 2900, 21),
+        emp_row(9, "ivan", None, 3600, 27),
+        emp_row(10, "judy", Some(20), 7400, 48),
+        emp_row(11, "mallory", Some(30), 5200, 33),
+        emp_row(12, "oscar", Some(10), 4400, 26),
+    ];
+    ctx.register_rows("emp", emp, emp_rows).unwrap();
+
+    let dept = Arc::new(Schema::new(vec![
+        StructField::new("id", DataType::Int, false),
+        StructField::new("name", DataType::String, false),
+        StructField::new("loc_id", DataType::Int, true),
+    ]));
+    let dept_rows = vec![
+        dept_row(10, "eng", Some(100)),
+        dept_row(20, "sales", Some(200)),
+        dept_row(30, "hr", Some(100)),
+        dept_row(40, "ops", None),
+        dept_row(50, "legal", Some(300)),
+    ];
+    ctx.register_rows("dept", dept, dept_rows).unwrap();
+
+    let loc = Arc::new(Schema::new(vec![
+        StructField::new("id", DataType::Int, false),
+        StructField::new("city", DataType::String, false),
+    ]));
+    let loc_rows = vec![
+        loc_row(100, "zurich"),
+        loc_row(200, "berlin"),
+        loc_row(300, "lisbon"),
+    ];
+    ctx.register_rows("loc", loc, loc_rows).unwrap();
+
+    let sales = Arc::new(Schema::new(vec![
+        StructField::new("sale_id", DataType::Int, false),
+        StructField::new("emp_id", DataType::Int, true),
+        StructField::new("amount", DataType::Long, false),
+        StructField::new("qty", DataType::Int, false),
+    ]));
+    let sales_rows = vec![
+        sale_row(1, Some(1), 300, 3),
+        sale_row(2, Some(1), 150, 1),
+        sale_row(3, Some(2), 700, 7),
+        sale_row(4, Some(3), 90, 1),
+        sale_row(5, Some(3), 420, 4),
+        sale_row(6, Some(3), 180, 2),
+        sale_row(7, None, 999, 9),
+        sale_row(8, Some(6), 260, 2),
+        sale_row(9, Some(7), 310, 3),
+        sale_row(10, Some(7), 80, 1),
+        sale_row(11, Some(10), 550, 5),
+        sale_row(12, Some(10), 20, 1),
+        sale_row(13, None, 640, 6),
+        sale_row(14, Some(12), 130, 1),
+        sale_row(15, Some(99), 75, 1),
+    ];
+    ctx.register_rows("sales", sales, sales_rows).unwrap();
+}
+
+fn emp_row(id: i32, name: &str, dept_id: Option<i32>, salary: i64, age: i32) -> Row {
+    Row::new(vec![
+        Value::Int(id),
+        Value::str(name),
+        dept_id.map_or(Value::Null, Value::Int),
+        Value::Long(salary),
+        Value::Int(age),
+    ])
+}
+
+fn dept_row(id: i32, name: &str, loc_id: Option<i32>) -> Row {
+    Row::new(vec![
+        Value::Int(id),
+        Value::str(name),
+        loc_id.map_or(Value::Null, Value::Int),
+    ])
+}
+
+fn loc_row(id: i32, city: &str) -> Row {
+    Row::new(vec![Value::Int(id), Value::str(city)])
+}
+
+fn sale_row(sale_id: i32, emp_id: Option<i32>, amount: i64, qty: i32) -> Row {
+    Row::new(vec![
+        Value::Int(sale_id),
+        emp_id.map_or(Value::Null, Value::Int),
+        Value::Long(amount),
+        Value::Int(qty),
+    ])
+}
+
+// ---- .slt parsing ----
+
+enum Directive {
+    StatementOk,
+    QueryRowsort,
+    QueryOrdered,
+}
+
+struct Record {
+    /// Comment/blank lines preceding the directive, re-emitted verbatim
+    /// when re-recording.
+    preamble: Vec<String>,
+    directive: Directive,
+    sql: String,
+    expected: Vec<String>,
+    /// 1-based line number of the directive, for error messages.
+    line: usize,
+}
+
+fn parse_slt(path: &Path) -> Vec<Record> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut records = Vec::new();
+    let mut preamble: Vec<String> = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, line)) = lines.next() {
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            preamble.push(trimmed.to_string());
+            continue;
+        }
+        let directive = match trimmed {
+            "statement ok" => Directive::StatementOk,
+            "query rowsort" => Directive::QueryRowsort,
+            "query ordered" => Directive::QueryOrdered,
+            other => panic!(
+                "{}:{}: unknown directive '{other}'",
+                path.display(),
+                idx + 1
+            ),
+        };
+        let mut sql_lines = Vec::new();
+        let mut expected = Vec::new();
+        let mut in_expected = false;
+        while let Some(&(_, peeked)) = lines.peek() {
+            let l = peeked.trim_end();
+            if l.is_empty() {
+                break;
+            }
+            lines.next();
+            if l == "----" {
+                in_expected = true;
+            } else if in_expected {
+                expected.push(l.to_string());
+            } else {
+                sql_lines.push(l.to_string());
+            }
+        }
+        assert!(
+            !sql_lines.is_empty(),
+            "{}:{}: directive with no SQL",
+            path.display(),
+            idx + 1
+        );
+        records.push(Record {
+            preamble: std::mem::take(&mut preamble),
+            directive,
+            sql: sql_lines.join("\n"),
+            expected,
+            line: idx + 1,
+        });
+    }
+    records
+}
+
+fn render_slt(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        for p in &r.preamble {
+            out.push_str(p);
+            out.push('\n');
+        }
+        out.push_str(match r.directive {
+            Directive::StatementOk => "statement ok",
+            Directive::QueryRowsort => "query rowsort",
+            Directive::QueryOrdered => "query ordered",
+        });
+        out.push('\n');
+        out.push_str(&r.sql);
+        out.push('\n');
+        if !matches!(r.directive, Directive::StatementOk) {
+            out.push_str("----\n");
+            for e in &r.expected {
+                out.push_str(e);
+                out.push('\n');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---- execution ----
+
+/// Canonical text for one result cell. Distinguishes NULL from the empty
+/// string so goldens stay unambiguous.
+fn cell(v: &Value) -> String {
+    match v {
+        Value::Str(s) if s.is_empty() => "(empty)".to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn run_record(ctx: &SQLContext, r: &Record) -> Result<Vec<String>, String> {
+    let df = ctx.sql(&r.sql).map_err(|e| format!("plan error: {e}"))?;
+    let rows = df.collect().map_err(|e| format!("execution error: {e}"))?;
+    let mut lines: Vec<String> = rows
+        .iter()
+        .map(|row| row.values().iter().map(cell).collect::<Vec<_>>().join("|"))
+        .collect();
+    if matches!(r.directive, Directive::QueryRowsort) {
+        lines.sort();
+    }
+    Ok(lines)
+}
+
+fn run_file(name: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/sqllogic")
+        .join(name);
+    let mut records = parse_slt(&path);
+
+    if std::env::var("SQLLOGIC_RECORD").is_ok() {
+        // Record under the default configuration, then verify the matrix
+        // below — a nondeterministic query fails immediately.
+        let ctx = context_for(Config {
+            vectorize: true,
+            adaptive: true,
+            cbo: true,
+            bounded: false,
+        });
+        for r in &mut records {
+            let got = run_record(&ctx, r)
+                .unwrap_or_else(|e| panic!("{}:{}: {e}\nSQL: {}", path.display(), r.line, r.sql));
+            if !matches!(r.directive, Directive::StatementOk) {
+                r.expected = got;
+            }
+        }
+        std::fs::write(&path, render_slt(&records)).unwrap();
+    }
+
+    let mut queries = 0usize;
+    for config in matrix() {
+        let ctx = context_for(config);
+        for r in &records {
+            let got = run_record(&ctx, r).unwrap_or_else(|e| {
+                panic!(
+                    "{}:{}: {e}\nSQL: {}\nconfig: {config}",
+                    path.display(),
+                    r.line,
+                    r.sql
+                )
+            });
+            if matches!(r.directive, Directive::StatementOk) {
+                continue;
+            }
+            queries += 1;
+            if got != r.expected {
+                panic!(
+                    "{}:{}: result mismatch\nSQL: {}\nconfig: {config}\n\
+                     expected:\n{}\ngot:\n{}",
+                    path.display(),
+                    r.line,
+                    r.sql,
+                    r.expected.join("\n"),
+                    got.join("\n"),
+                );
+            }
+        }
+    }
+    assert!(queries > 0, "{}: no query records", path.display());
+}
+
+#[test]
+fn sqllogic_joins() {
+    run_file("joins.slt");
+}
+
+#[test]
+fn sqllogic_aggregates() {
+    run_file("aggregates.slt");
+}
+
+#[test]
+fn sqllogic_windows() {
+    run_file("windows.slt");
+}
+
+#[test]
+fn sqllogic_setops() {
+    run_file("setops.slt");
+}
+
+#[test]
+fn sqllogic_scalar() {
+    run_file("scalar.slt");
+}
+
+#[test]
+fn sqllogic_stats() {
+    run_file("stats.slt");
+}
